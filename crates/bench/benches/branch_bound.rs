@@ -1,0 +1,60 @@
+//! Microbenchmark B2: exact MILP solves — knapsacks and the paper's
+//! relaxed problem `P̃` (the model Algorithm 1 queries every iteration),
+//! including the cut ladder that drives the whole exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_core::{MilpEncoding, TopologyConstraints};
+use hi_milp::{LinExpr, Model, Sense};
+use hi_net::AppParams;
+
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut weight = LinExpr::new();
+    let mut value = LinExpr::new();
+    for i in 0..n {
+        let x = m.add_binary(&format!("x{i}"));
+        weight.add_term(x, ((i * 7 + 3) % 10 + 1) as f64);
+        value.add_term(x, ((i * 11 + 5) % 13 + 1) as f64);
+    }
+    m.add_constraint(weight, Sense::Le, (2 * n) as f64);
+    m.maximize(value);
+    m
+}
+
+fn bench_branch_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_bound");
+    for n in [10usize, 20, 30] {
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &model, |b, m| {
+            b.iter(|| std::hint::black_box(m.solve().expect("solves").objective()))
+        });
+    }
+    // One MILP query of Algorithm 1 (paper problem, no cuts yet).
+    let enc = MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default());
+    group.bench_function("paper_p_tilde_pool", |b| {
+        b.iter(|| std::hint::black_box(enc.solve_pool().expect("solves").1))
+    });
+    // The full 18-level cut ladder (a complete RunMILP sequence).
+    group.bench_function("paper_cut_ladder", |b| {
+        b.iter(|| {
+            let mut enc =
+                MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default());
+            let mut levels = 0u32;
+            loop {
+                let (_, p) = enc.solve_pool().expect("solves");
+                match p {
+                    Some(p) => {
+                        levels += 1;
+                        enc.add_power_cut(p);
+                    }
+                    None => break,
+                }
+            }
+            std::hint::black_box(levels)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_bound);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmark B4: the search loops themselves. An instant analytic
+//! oracle stands in for the simulator, so these measure the pure
+//! orchestration cost of Algorithm 1 (MILP queries, pool expansion,
+//! bookkeeping) and of the baselines — the overhead on top of `RunSim`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hi_core::power::analytic_power_mw;
+use hi_core::{
+    exhaustive_search, explore, simulated_annealing, DesignPoint, Evaluation, FnEvaluator,
+    Problem, RouteChoice, SaParams,
+};
+use hi_net::{AppParams, TxPower};
+
+fn oracle(point: &DesignPoint) -> Evaluation {
+    let app = AppParams::default();
+    let base = match point.tx_power {
+        TxPower::Minus20Dbm => 0.45,
+        TxPower::Minus10Dbm => 0.70,
+        TxPower::ZeroDbm => 0.93,
+    };
+    let bonus: f64 = if point.routing == RouteChoice::Mesh { 0.06 } else { 0.0 };
+    let power = analytic_power_mw(point, &app);
+    Evaluation {
+        pdr: (base + bonus).min(1.0),
+        nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+        power_mw: power,
+    }
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer_oracle");
+    group.bench_function("algorithm1_pdr90", |b| {
+        let problem = Problem::paper_default(0.90);
+        b.iter(|| {
+            let mut ev = FnEvaluator::new(oracle);
+            std::hint::black_box(explore(&problem, &mut ev).expect("explore").simulations)
+        })
+    });
+    group.bench_function("exhaustive_pdr90", |b| {
+        let problem = Problem::paper_default(0.90);
+        b.iter(|| {
+            let mut ev = FnEvaluator::new(oracle);
+            std::hint::black_box(exhaustive_search(&problem, &mut ev).simulations)
+        })
+    });
+    group.bench_function("annealing_pdr90_300steps", |b| {
+        let problem = Problem::paper_default(0.90);
+        b.iter(|| {
+            let mut ev = FnEvaluator::new(oracle);
+            let out = simulated_annealing(
+                &problem,
+                &mut ev,
+                SaParams {
+                    steps: 300,
+                    ..Default::default()
+                },
+                7,
+            );
+            std::hint::black_box(out.simulations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Microbenchmark B3: discrete-event simulation throughput for each
+//! MAC x routing combination — the per-candidate cost Algorithm 1 pays at
+//! `RunSim`, and the quantity the 87%-fewer-simulations claim saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hi_channel::{BodyLocation, ChannelParams};
+use hi_des::SimDuration;
+use hi_net::{simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower};
+
+fn placements() -> Vec<BodyLocation> {
+    vec![
+        BodyLocation::Chest,
+        BodyLocation::LeftHip,
+        BodyLocation::LeftAnkle,
+        BodyLocation::LeftWrist,
+        BodyLocation::LeftUpperArm,
+    ]
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_10s_5nodes");
+    group.sample_size(20);
+    let cases = [
+        ("star_csma", MacKind::csma(), Routing::Star { coordinator: 0 }),
+        ("star_tdma", MacKind::tdma(), Routing::Star { coordinator: 0 }),
+        ("mesh_csma", MacKind::csma(), Routing::mesh()),
+        ("mesh_tdma", MacKind::tdma(), Routing::mesh()),
+    ];
+    for (name, mac, routing) in cases {
+        let cfg = NetworkConfig::new(placements(), TxPower::ZeroDbm, mac, routing);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = simulate_stochastic(
+                    &cfg,
+                    ChannelParams::default(),
+                    SimDuration::from_secs(10.0),
+                    seed,
+                )
+                .expect("valid config");
+                std::hint::black_box(out.pdr)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmark B1: LP relaxation solve times of the dense two-phase
+//! simplex, from textbook-sized to design-space-sized instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_milp::simplex::solve_lp;
+use hi_milp::{LinExpr, Model, Sense};
+
+/// Dense random-ish LP with `n` variables and `n` cover constraints.
+/// Coefficients come from a fixed LCG so runs are reproducible.
+fn cover_lp(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(&format!("x{i}"), 0.0, 10.0))
+        .collect();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 9) as f64 + 1.0
+    };
+    for c in 0..n {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            if (i + c) % 3 != 0 {
+                e.add_term(v, next());
+            }
+        }
+        m.add_constraint(e, Sense::Ge, 5.0 + (c % 7) as f64);
+    }
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, next());
+    }
+    m.minimize(obj);
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for n in [8usize, 16, 32, 64] {
+        let model = cover_lp(n);
+        group.bench_with_input(BenchmarkId::new("cover_lp", n), &model, |b, m| {
+            b.iter(|| {
+                let r = solve_lp(m).expect("lp solves");
+                std::hint::black_box(r.objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

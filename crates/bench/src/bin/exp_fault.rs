@@ -1,0 +1,72 @@
+//! Experiment E8 (extension): graceful degradation under node failure.
+//! The Human Intranet vision (§1) stresses dependability for
+//! safety-critical wearables; this harness kills one node mid-mission
+//! and compares how the star and the flooding mesh absorb the loss —
+//! including the star's single point of failure, its coordinator.
+//!
+//! ```sh
+//! cargo run --release -p hi-bench --bin exp_fault
+//! ```
+
+use hi_bench::ExpOptions;
+use hi_channel::{BodyLocation, ChannelParams};
+use hi_des::SimDuration;
+use hi_net::{
+    simulate_averaged, MacKind, NetworkConfig, NodeFault, Routing, TxPower,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let placements = vec![
+        BodyLocation::Chest,
+        BodyLocation::LeftHip,
+        BodyLocation::LeftAnkle,
+        BodyLocation::LeftWrist,
+        BodyLocation::LeftUpperArm,
+    ];
+    let half = SimDuration::from_secs(opts.t_sim.as_secs_f64() / 2.0);
+    println!("# Experiment E8: PDR with one node dying at half-mission (5 nodes, 0 dBm, TDMA)");
+    println!("routing\tfailed_node\tpdr_pct\tpdr_healthy_pct\tdelta_pp");
+    for routing in [Routing::Star { coordinator: 0 }, Routing::mesh()] {
+        let healthy = {
+            let cfg = NetworkConfig::new(
+                placements.clone(),
+                TxPower::ZeroDbm,
+                MacKind::tdma(),
+                routing,
+            );
+            simulate_averaged(&cfg, ChannelParams::default(), opts.t_sim, opts.seed, opts.runs)
+                .expect("valid config")
+        };
+        for failed in [0usize, 2] {
+            let mut cfg = NetworkConfig::new(
+                placements.clone(),
+                TxPower::ZeroDbm,
+                MacKind::tdma(),
+                routing,
+            );
+            cfg.faults.push(NodeFault {
+                node: failed,
+                at: half,
+            });
+            let out = simulate_averaged(
+                &cfg,
+                ChannelParams::default(),
+                opts.t_sim,
+                opts.seed,
+                opts.runs,
+            )
+            .expect("valid config");
+            let label = if failed == 0 { "0 (hub)" } else { "2 (ankle)" };
+            println!(
+                "{}\t{}\t{:.2}\t{:.2}\t{:+.2}",
+                routing.label(),
+                label,
+                out.pdr_percent(),
+                healthy.pdr_percent(),
+                out.pdr_percent() - healthy.pdr_percent()
+            );
+        }
+    }
+    println!("\n# the mesh loses a relay; the star can lose its spine.");
+}

@@ -1,0 +1,85 @@
+//! Experiment F3: regenerate the paper's Figure 3 — the (network
+//! lifetime, packet delivery ratio) scatter of every feasible
+//! configuration, plus the optimal configuration per `PDRmin` floor (the
+//! figure's arrows).
+//!
+//! Output is tab-separated: one row per configuration, then a summary
+//! block. Pipe the scatter into any plotting tool.
+//!
+//! ```sh
+//! cargo run --release -p hi-bench --bin fig3              # fast protocol
+//! cargo run --release -p hi-bench --bin fig3 -- --paper   # 600 s x 3
+//! ```
+
+use hi_bench::{optima_per_floor, parallel_sweep, pareto_front, ExpOptions};
+use hi_core::DesignSpace;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let space = DesignSpace::paper_default();
+    let points = space.points();
+    eprintln!(
+        "sweeping {} feasible configurations ({}s x {} runs, {} threads) ...",
+        points.len(),
+        opts.t_sim.as_secs_f64(),
+        opts.runs,
+        opts.threads
+    );
+    let t0 = Instant::now();
+    let evals = parallel_sweep(&points, &opts);
+    eprintln!("sweep finished in {:.1?}", t0.elapsed());
+
+    println!("# Figure 3: PDR vs network lifetime, all feasible configurations");
+    println!("nlt_days\tpdr_pct\tplacement\trouting\tmac\ttx_power\tnodes");
+    let sweep: Vec<_> = points.into_iter().zip(evals).collect();
+    for (pt, ev) in &sweep {
+        println!(
+            "{:.3}\t{:.2}\t{}\t{}\t{}\t{}\t{}",
+            ev.nlt_days,
+            ev.pdr * 100.0,
+            pt.placement,
+            pt.routing,
+            pt.mac,
+            pt.tx_power,
+            pt.num_nodes()
+        );
+    }
+
+    println!("\n# Optimal configuration per PDRmin (the figure's arrows)");
+    println!("pdr_min_pct\tdesign\tpdr_pct\tnlt_days");
+    let floors = [0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1.00];
+    for (floor, best) in optima_per_floor(&sweep, &floors) {
+        match best {
+            Some((pt, ev)) => println!(
+                "{:.0}\t{}\t{:.2}\t{:.2}",
+                floor * 100.0,
+                pt,
+                ev.pdr * 100.0,
+                ev.nlt_days
+            ),
+            None => println!("{:.0}\t(infeasible)\t-\t-", floor * 100.0),
+        }
+    }
+
+    println!("\n# Reliability/lifetime Pareto front");
+    println!("pdr_pct\tnlt_days\tdesign");
+    for (pt, ev) in pareto_front(&sweep) {
+        println!("{:.2}\t{:.2}\t{}", ev.pdr * 100.0, ev.nlt_days, pt);
+    }
+
+    // Envelope, for quick comparison with the paper's axes
+    // (0-100% PDR; ~2 days to >1 month NLT).
+    let min_nlt = sweep.iter().map(|(_, e)| e.nlt_days).fold(f64::INFINITY, f64::min);
+    let max_nlt = sweep.iter().map(|(_, e)| e.nlt_days).fold(0.0f64, f64::max);
+    let min_pdr = sweep.iter().map(|(_, e)| e.pdr).fold(1.0f64, f64::min);
+    let max_pdr = sweep.iter().map(|(_, e)| e.pdr).fold(0.0f64, f64::max);
+    println!("\n# Envelope");
+    println!(
+        "nlt: {:.1} .. {:.1} days   pdr: {:.1} .. {:.1} %",
+        min_nlt,
+        max_nlt,
+        min_pdr * 100.0,
+        max_pdr * 100.0
+    );
+}

@@ -1,0 +1,28 @@
+//! Experiment T1: regenerate the paper's Table 1 (TI CC2650 radio
+//! specifications) from the constants embedded in `hi-net`.
+//!
+//! ```sh
+//! cargo run --release -p hi-bench --bin table1
+//! ```
+
+use hi_net::{RadioParams, TxPower};
+
+fn main() {
+    let base = RadioParams::cc2650(TxPower::ZeroDbm);
+    println!("Table 1: TI CC2650 radio specifications");
+    println!("---------------------------------------");
+    println!("fc      {:>10.1} GHz", base.carrier_ghz);
+    println!("BR      {:>10.0} kbps", base.bit_rate_bps / 1e3);
+    println!("RxdBm   {:>10.1} dBm", base.rx_sensitivity_dbm);
+    println!("RxmW    {:>10.2} mW", base.rx_consumption_mw);
+    println!();
+    println!("Tx Mode    TxdBm      TxmW");
+    for (mode, p) in ["p1", "p2", "p3"].iter().zip(TxPower::ALL) {
+        println!("{mode:<8} {:>7.0} {:>9.2}", p.dbm(), p.consumption_mw());
+    }
+    println!();
+    println!(
+        "derived: Tpkt(100 B) = {:.2} us",
+        base.packet_duration(100).as_secs_f64() * 1e6
+    );
+}

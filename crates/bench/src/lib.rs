@@ -1,0 +1,260 @@
+//! Shared plumbing for the experiment binaries: CLI options, the threaded
+//! design-space sweep and result formatting.
+//!
+//! Every binary regenerates one artifact of the paper (see the experiment
+//! index in `DESIGN.md`); this crate keeps them small and consistent.
+
+use std::sync::Mutex;
+
+use hi_channel::ChannelParams;
+use hi_core::{DesignPoint, Evaluation, Evaluator, SimEvaluator};
+use hi_des::SimDuration;
+
+/// Common command-line options of the experiment binaries.
+///
+/// Parsed from `--tsim <secs>`, `--runs <n>`, `--seed <n>`,
+/// `--paper` (shorthand for the paper's 600 s × 3 protocol) and
+/// `--threads <n>`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Per-run simulated duration.
+    pub t_sim: SimDuration,
+    /// Replications averaged per evaluation.
+    pub runs: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            // Fast default so the harnesses finish in tens of seconds;
+            // `--paper` switches to the publication protocol.
+            t_sim: SimDuration::from_secs(60.0),
+            runs: 3,
+            seed: 0xDAC_2017,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses options from `std::env::args`, exiting with a usage message
+    /// on malformed input.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let usage = || -> ! {
+            eprintln!(
+                "usage: [--tsim <secs>] [--runs <n>] [--seed <n>] [--threads <n>] [--paper]"
+            );
+            std::process::exit(2);
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--tsim" => {
+                    i += 1;
+                    let secs: f64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    opts.t_sim = SimDuration::from_secs(secs);
+                }
+                "--runs" => {
+                    i += 1;
+                    opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                }
+                "--paper" => {
+                    opts.t_sim = SimDuration::from_secs(600.0);
+                    opts.runs = 3;
+                }
+                _ => usage(),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// A fresh memoizing simulator evaluator under these options.
+    pub fn evaluator(&self) -> SimEvaluator {
+        SimEvaluator::new(ChannelParams::default(), self.t_sim, self.runs, self.seed)
+    }
+}
+
+/// Evaluates `points` in parallel with per-point deterministic seeding.
+///
+/// Results are returned in the input order regardless of scheduling, so
+/// sweeps are reproducible. Each worker owns an independent evaluator
+/// (the per-point seed derivation in [`SimEvaluator`] makes their
+/// measurements identical to a sequential sweep).
+pub fn parallel_sweep(points: &[DesignPoint], opts: &ExpOptions) -> Vec<Evaluation> {
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<Evaluation>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.threads.max(1) {
+            scope.spawn(|| {
+                let mut evaluator = opts.evaluator();
+                loop {
+                    let idx = {
+                        let mut n = next.lock().expect("sweep index lock");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if idx >= points.len() {
+                        break;
+                    }
+                    let eval = evaluator.evaluate(&points[idx]);
+                    *results[idx].lock().expect("sweep result lock") = Some(eval);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("all points evaluated"))
+        .collect()
+}
+
+/// Picks, per reliability floor, the lifetime-optimal point of a sweep —
+/// the "arrows" of the paper's Fig. 3.
+pub fn optima_per_floor(
+    sweep: &[(DesignPoint, Evaluation)],
+    floors: &[f64],
+) -> Vec<(f64, Option<(DesignPoint, Evaluation)>)> {
+    floors
+        .iter()
+        .map(|&floor| {
+            let best = sweep
+                .iter()
+                .filter(|(_, e)| e.pdr >= floor)
+                .min_by(|(_, a), (_, b)| {
+                    a.power_mw
+                        .partial_cmp(&b.power_mw)
+                        .expect("finite powers")
+                })
+                .map(|&(p, e)| (p, e));
+            (floor, best)
+        })
+        .collect()
+}
+
+/// The (reliability, lifetime) Pareto front of a sweep: every point not
+/// dominated by another with both a higher-or-equal PDR and a
+/// higher-or-equal lifetime (one strictly). Sorted by descending PDR.
+pub fn pareto_front(
+    sweep: &[(DesignPoint, Evaluation)],
+) -> Vec<(DesignPoint, Evaluation)> {
+    let mut sorted: Vec<&(DesignPoint, Evaluation)> = sweep.iter().collect();
+    // Descending PDR; lifetime breaks ties descending so the scan below
+    // keeps the best representative per PDR level.
+    sorted.sort_by(|(_, a), (_, b)| {
+        b.pdr
+            .partial_cmp(&a.pdr)
+            .expect("finite pdr")
+            .then(b.nlt_days.partial_cmp(&a.nlt_days).expect("finite nlt"))
+    });
+    let mut front = Vec::new();
+    let mut best_nlt = f64::NEG_INFINITY;
+    let mut last_pdr = f64::INFINITY;
+    for &&(p, e) in &sorted {
+        if e.nlt_days > best_nlt + 1e-12 {
+            // Equal-PDR entries after the first are dominated.
+            if (e.pdr - last_pdr).abs() > 1e-12 {
+                front.push((p, e));
+                best_nlt = e.nlt_days;
+                last_pdr = e.pdr;
+            }
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::DesignSpace;
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let opts = ExpOptions {
+            t_sim: SimDuration::from_secs(3.0),
+            runs: 1,
+            seed: 5,
+            threads: 4,
+        };
+        let points: Vec<_> = DesignSpace::paper_default()
+            .points()
+            .into_iter()
+            .take(12)
+            .collect();
+        let par = parallel_sweep(&points, &opts);
+        let mut evaluator = opts.evaluator();
+        let seq: Vec<_> = points.iter().map(|p| evaluator.evaluate(p)).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        use hi_core::{MacChoice, Placement, RouteChoice};
+        use hi_net::TxPower;
+        let pt = |p| DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: p,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let e = |pdr, nlt| Evaluation {
+            pdr,
+            nlt_days: nlt,
+            power_mw: 1.0,
+        };
+        let sweep = vec![
+            (pt(TxPower::Minus20Dbm), e(0.5, 30.0)), // on front
+            (pt(TxPower::Minus10Dbm), e(0.7, 25.0)), // on front
+            (pt(TxPower::ZeroDbm), e(0.6, 20.0)),    // dominated by 0.7/25
+            (pt(TxPower::ZeroDbm), e(0.9, 15.0)),    // on front
+            (pt(TxPower::ZeroDbm), e(0.9, 10.0)),    // dominated (equal pdr)
+        ];
+        let front = pareto_front(&sweep);
+        let pdrs: Vec<f64> = front.iter().map(|(_, e)| e.pdr).collect();
+        assert_eq!(pdrs, vec![0.9, 0.7, 0.5]);
+        assert_eq!(front[0].1.nlt_days, 15.0);
+    }
+
+    #[test]
+    fn pareto_front_of_empty_sweep_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn optima_respect_floor() {
+        use hi_core::{MacChoice, Placement, RouteChoice};
+        use hi_net::TxPower;
+        let pt = |p| DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: p,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let sweep = vec![
+            (pt(TxPower::Minus20Dbm), Evaluation { pdr: 0.5, nlt_days: 30.0, power_mw: 0.9 }),
+            (pt(TxPower::ZeroDbm), Evaluation { pdr: 0.95, nlt_days: 25.0, power_mw: 1.1 }),
+        ];
+        let out = optima_per_floor(&sweep, &[0.4, 0.9, 0.99]);
+        assert_eq!(out[0].1.unwrap().1.power_mw, 0.9);
+        assert_eq!(out[1].1.unwrap().1.power_mw, 1.1);
+        assert!(out[2].1.is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! CSV import/export of average path-loss matrices.
+//!
+//! Users with their own body-channel measurement campaign (e.g. the NICTA
+//! dataset the paper uses) can drop in a measured matrix instead of the
+//! synthetic one: a 10×10 comma-separated table in [`BodyLocation`] index
+//! order, dB units, optionally preceded by comment lines starting with
+//! `#` or a header row of site names.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BodyLocation, PathLossMatrix};
+
+/// Error from [`matrix_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseMatrixError {
+    /// Expected exactly 10 data rows.
+    WrongRowCount(usize),
+    /// A data row did not hold exactly 10 values.
+    WrongColumnCount {
+        /// Zero-based data-row index.
+        row: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// Zero-based data-row index.
+        row: usize,
+        /// Zero-based column index.
+        col: usize,
+    },
+}
+
+impl fmt::Display for ParseMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMatrixError::WrongRowCount(n) => {
+                write!(f, "expected 10 data rows, found {n}")
+            }
+            ParseMatrixError::WrongColumnCount { row, found } => {
+                write!(f, "row {row} holds {found} fields instead of 10")
+            }
+            ParseMatrixError::BadNumber { row, col } => {
+                write!(f, "field at row {row}, column {col} is not a number")
+            }
+        }
+    }
+}
+
+impl Error for ParseMatrixError {}
+
+/// Parses a path-loss matrix from CSV text.
+///
+/// Lines starting with `#` are skipped; a first non-comment line whose
+/// first field is not numeric is treated as a header and skipped too. The
+/// matrix is symmetrized (averaging `(i,j)` and `(j,i)`) and the diagonal
+/// zeroed, as in [`PathLossMatrix::from_values`].
+///
+/// # Errors
+///
+/// Returns [`ParseMatrixError`] on malformed input.
+pub fn matrix_from_csv(text: &str) -> Result<PathLossMatrix, ParseMatrixError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut saw_header = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let first_numeric = fields
+            .first()
+            .is_some_and(|f| f.parse::<f64>().is_ok());
+        if !first_numeric && !saw_header && rows.is_empty() {
+            saw_header = true;
+            continue;
+        }
+        let row_idx = rows.len();
+        if fields.len() != BodyLocation::COUNT {
+            return Err(ParseMatrixError::WrongColumnCount {
+                row: row_idx,
+                found: fields.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(BodyLocation::COUNT);
+        for (col, field) in fields.iter().enumerate() {
+            let v: f64 = field
+                .parse()
+                .map_err(|_| ParseMatrixError::BadNumber { row: row_idx, col })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.len() != BodyLocation::COUNT {
+        return Err(ParseMatrixError::WrongRowCount(rows.len()));
+    }
+    let mut values = [[0.0; BodyLocation::COUNT]; BodyLocation::COUNT];
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            values[i][j] = v;
+        }
+    }
+    Ok(PathLossMatrix::from_values(values))
+}
+
+/// Renders a matrix as CSV with a site-name header row.
+pub fn matrix_to_csv(matrix: &PathLossMatrix) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = BodyLocation::ALL.iter().map(|l| l.name()).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for &a in &BodyLocation::ALL {
+        let row: Vec<String> = BodyLocation::ALL
+            .iter()
+            .map(|&b| format!("{:.2}", matrix.loss_db(a, b)))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PathLossParams;
+
+    #[test]
+    fn roundtrip_synthetic_matrix() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        let csv = matrix_to_csv(&m);
+        let parsed = matrix_from_csv(&csv).unwrap();
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                assert!(
+                    (m.loss_db(a, b) - parsed.loss_db(a, b)).abs() < 0.01,
+                    "{a}-{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_header_skipped() {
+        let mut body = String::from("# campaign 2017-03\nchest,a,b,c,d,e,f,g,h,i\n");
+        for i in 0..10 {
+            let row: Vec<String> = (0..10)
+                .map(|j| if i == j { "0".into() } else { format!("{}", 50 + i + j) })
+                .collect();
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        let m = matrix_from_csv(&body).unwrap();
+        assert_eq!(m.loss_db(BodyLocation::Chest, BodyLocation::LeftHip), 51.0);
+    }
+
+    #[test]
+    fn wrong_row_count_rejected() {
+        assert_eq!(
+            matrix_from_csv("1,2,3,4,5,6,7,8,9,10\n"),
+            Err(ParseMatrixError::WrongRowCount(1))
+        );
+    }
+
+    #[test]
+    fn wrong_column_count_rejected() {
+        let err = matrix_from_csv("1,2,3\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseMatrixError::WrongColumnCount { row: 0, found: 3 }
+        );
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let mut body = String::new();
+        for i in 0..10 {
+            let row: Vec<String> = (0..10)
+                .map(|j| if i == 2 && j == 5 { "oops".into() } else { "60".into() })
+                .collect();
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        assert_eq!(
+            matrix_from_csv(&body),
+            Err(ParseMatrixError::BadNumber { row: 2, col: 5 })
+        );
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ParseMatrixError::WrongRowCount(3);
+        assert_eq!(e.to_string(), "expected 10 data rows, found 3");
+    }
+}

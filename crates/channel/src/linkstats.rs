@@ -1,0 +1,205 @@
+//! Second-order fading statistics of a link.
+//!
+//! For link-layer design it matters not only *how often* a link is in a
+//! fade (outage probability) but *how long* fades last relative to the
+//! packet airtime: a 10 ms fade at 10 packets/s wipes out bursts, while
+//! fast fading averages out. These estimators work on a uniformly sampled
+//! path-loss trace.
+
+use hi_des::{SimDuration, SimTime};
+
+use crate::{BodyLocation, ChannelModel};
+
+/// Fade statistics of a sampled link trace against a loss threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadeStats {
+    /// Fraction of samples in outage (path loss above the threshold).
+    pub outage_fraction: f64,
+    /// Threshold up-crossings per second (fade onsets).
+    pub crossing_rate_hz: f64,
+    /// Mean contiguous outage duration, seconds (0 if never in outage).
+    pub mean_fade_duration_s: f64,
+    /// Longest contiguous outage, seconds.
+    pub max_fade_duration_s: f64,
+}
+
+/// Samples `PL(a, b, t)` on a uniform grid.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `step` is zero.
+pub fn sample_trace<C: ChannelModel>(
+    channel: &mut C,
+    a: BodyLocation,
+    b: BodyLocation,
+    step: SimDuration,
+    samples: usize,
+) -> Vec<f64> {
+    assert!(samples > 0, "need at least one sample");
+    assert!(!step.is_zero(), "step must be positive");
+    (0..samples)
+        .map(|k| channel.path_loss_db(a, b, SimTime::ZERO + step * (k as u64 + 1)))
+        .collect()
+}
+
+/// Computes [`FadeStats`] for a uniformly sampled trace.
+///
+/// A sample is *in outage* when its loss exceeds `threshold_db` (i.e. the
+/// link budget no longer closes).
+///
+/// # Panics
+///
+/// Panics if `trace` is empty or `step` is zero.
+pub fn fade_statistics(trace: &[f64], step: SimDuration, threshold_db: f64) -> FadeStats {
+    assert!(!trace.is_empty(), "empty trace");
+    assert!(!step.is_zero(), "step must be positive");
+    let dt = step.as_secs_f64();
+    let mut outage_samples = 0usize;
+    let mut crossings = 0usize;
+    let mut fades: Vec<usize> = Vec::new();
+    let mut run = 0usize;
+    let mut prev_out = false;
+    for (k, &loss) in trace.iter().enumerate() {
+        let out = loss > threshold_db;
+        if out {
+            outage_samples += 1;
+            run += 1;
+            if !prev_out && k > 0 {
+                crossings += 1;
+            }
+        } else if run > 0 {
+            fades.push(run);
+            run = 0;
+        }
+        prev_out = out;
+    }
+    if run > 0 {
+        fades.push(run);
+    }
+    let total_s = trace.len() as f64 * dt;
+    FadeStats {
+        outage_fraction: outage_samples as f64 / trace.len() as f64,
+        crossing_rate_hz: crossings as f64 / total_s,
+        mean_fade_duration_s: if fades.is_empty() {
+            0.0
+        } else {
+            fades.iter().sum::<usize>() as f64 * dt / fades.len() as f64
+        },
+        max_fade_duration_s: fades.iter().copied().max().unwrap_or(0) as f64 * dt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Channel, ChannelParams, StaticChannel, VariationParams};
+
+    fn ms(x: f64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn square_wave_statistics() {
+        // 10 samples: 3 in fade, then 2 clear, then 2 in fade, 3 clear.
+        let trace = [99.0, 99.0, 99.0, 50.0, 50.0, 99.0, 99.0, 50.0, 50.0, 50.0];
+        let s = fade_statistics(&trace, ms(1.0), 90.0);
+        assert!((s.outage_fraction - 0.5).abs() < 1e-12);
+        // One onset at k=5 (k=0 start does not count as a crossing).
+        assert!((s.crossing_rate_hz - 1.0 / 0.010).abs() < 1e-9);
+        assert!((s.mean_fade_duration_s - 0.0025).abs() < 1e-12);
+        assert!((s.max_fade_duration_s - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_in_outage() {
+        let trace = [50.0; 20];
+        let s = fade_statistics(&trace, ms(1.0), 90.0);
+        assert_eq!(s.outage_fraction, 0.0);
+        assert_eq!(s.mean_fade_duration_s, 0.0);
+        assert_eq!(s.crossing_rate_hz, 0.0);
+    }
+
+    #[test]
+    fn always_in_outage() {
+        let trace = [99.0; 20];
+        let s = fade_statistics(&trace, ms(1.0), 90.0);
+        assert_eq!(s.outage_fraction, 1.0);
+        assert!((s.max_fade_duration_s - 0.020).abs() < 1e-12);
+        assert_eq!(s.crossing_rate_hz, 0.0);
+    }
+
+    #[test]
+    fn static_channel_has_no_fades() {
+        let mut ch = StaticChannel::uniform(70.0);
+        let trace = sample_trace(
+            &mut ch,
+            BodyLocation::Chest,
+            BodyLocation::LeftWrist,
+            ms(10.0),
+            100,
+        );
+        let s = fade_statistics(&trace, ms(10.0), 80.0);
+        assert_eq!(s.outage_fraction, 0.0);
+    }
+
+    #[test]
+    fn stochastic_outage_matches_gaussian_tail() {
+        // Threshold one sigma above the mean loss: expect ~16% outage.
+        let params = ChannelParams {
+            variation: VariationParams {
+                sigma_db: 6.0,
+                tau_s: 0.05, // fast fading so samples decorrelate
+            },
+            ..Default::default()
+        };
+        let mean = crate::PathLossMatrix::synthetic(&params.path_loss)
+            .loss_db(BodyLocation::Chest, BodyLocation::LeftHip);
+        let mut ch = Channel::new(params, 99);
+        let trace = sample_trace(
+            &mut ch,
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            SimDuration::from_secs(1.0),
+            20_000,
+        );
+        let s = fade_statistics(&trace, SimDuration::from_secs(1.0), mean + 6.0);
+        assert!(
+            (s.outage_fraction - 0.1587).abs() < 0.01,
+            "outage {} vs N(0,1) tail 0.159",
+            s.outage_fraction
+        );
+    }
+
+    #[test]
+    fn slower_fading_means_longer_fades() {
+        let mk = |tau_s| ChannelParams {
+            variation: VariationParams { sigma_db: 6.0, tau_s },
+            ..Default::default()
+        };
+        let mean = crate::PathLossMatrix::synthetic(&mk(1.0).path_loss)
+            .loss_db(BodyLocation::Chest, BodyLocation::LeftHip);
+        let run = |tau_s| {
+            let mut ch = Channel::new(mk(tau_s), 7);
+            let trace = sample_trace(
+                &mut ch,
+                BodyLocation::Chest,
+                BodyLocation::LeftHip,
+                ms(10.0),
+                50_000,
+            );
+            fade_statistics(&trace, ms(10.0), mean).mean_fade_duration_s
+        };
+        let slow = run(2.0);
+        let fast = run(0.05);
+        assert!(
+            slow > 2.0 * fast,
+            "slow fading fades ({slow}s) should outlast fast fading ({fast}s)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        fade_statistics(&[], ms(1.0), 80.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The ten candidate on-body node locations of the paper's design example.
+
+use std::fmt;
+
+/// A candidate node placement site on the human body.
+///
+/// The indices match the paper's design example (§4.1): `n0` must be the
+/// chest (respiration monitoring and the star coordinator), `n1 + n2 ≥ 1`
+/// covers gait analysis at the hip, `n3 + n4 ≥ 1` at the foot, and
+/// `n5 + n6 ≥ 1` at the wrist; `n7` is the shoulder/upper-arm site that the
+/// optimizer adds for full-reliability mesh configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum BodyLocation {
+    /// Sternum, front of torso — index 0.
+    Chest = 0,
+    /// Left hip — index 1.
+    LeftHip = 1,
+    /// Right hip — index 2.
+    RightHip = 2,
+    /// Left ankle — index 3.
+    LeftAnkle = 3,
+    /// Right ankle — index 4.
+    RightAnkle = 4,
+    /// Left wrist — index 5.
+    LeftWrist = 5,
+    /// Right wrist — index 6.
+    RightWrist = 6,
+    /// Left upper arm / shoulder — index 7.
+    LeftUpperArm = 7,
+    /// Head (behind the ear) — index 8.
+    Head = 8,
+    /// Middle of the back — index 9.
+    Back = 9,
+}
+
+impl BodyLocation {
+    /// All ten locations in index order.
+    pub const ALL: [BodyLocation; 10] = [
+        BodyLocation::Chest,
+        BodyLocation::LeftHip,
+        BodyLocation::RightHip,
+        BodyLocation::LeftAnkle,
+        BodyLocation::RightAnkle,
+        BodyLocation::LeftWrist,
+        BodyLocation::RightWrist,
+        BodyLocation::LeftUpperArm,
+        BodyLocation::Head,
+        BodyLocation::Back,
+    ];
+
+    /// Number of candidate locations (the paper's `M`).
+    pub const COUNT: usize = 10;
+
+    /// The dense index (0..10) of this location.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The location with the given dense index.
+    ///
+    /// Returns `None` if `index >= 10`.
+    pub fn from_index(index: usize) -> Option<BodyLocation> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// Approximate position in a standing body frame, metres:
+    /// `x` lateral (left negative), `y` depth (front positive), `z` height.
+    ///
+    /// Used by the synthetic path-loss model; see
+    /// [`PathLossParams`](crate::PathLossParams).
+    pub const fn position(self) -> [f64; 3] {
+        match self {
+            BodyLocation::Chest => [0.00, 0.12, 1.35],
+            BodyLocation::LeftHip => [-0.15, 0.10, 1.00],
+            BodyLocation::RightHip => [0.15, 0.10, 1.00],
+            BodyLocation::LeftAnkle => [-0.12, 0.05, 0.10],
+            BodyLocation::RightAnkle => [0.12, 0.05, 0.10],
+            BodyLocation::LeftWrist => [-0.35, 0.05, 0.90],
+            BodyLocation::RightWrist => [0.35, 0.05, 0.90],
+            BodyLocation::LeftUpperArm => [-0.22, 0.00, 1.45],
+            BodyLocation::Head => [0.05, 0.00, 1.70],
+            BodyLocation::Back => [0.00, -0.12, 1.25],
+        }
+    }
+
+    /// Whether the site faces the front of the torso. Links between a
+    /// front and a back site suffer an around-torso shadowing penalty.
+    pub const fn is_front(self) -> bool {
+        !matches!(self, BodyLocation::Back)
+    }
+
+    /// Whether the site sits on a distal limb (wrist/ankle). Limb-to-limb
+    /// links suffer extra body blockage and swing with posture.
+    pub const fn is_distal(self) -> bool {
+        matches!(
+            self,
+            BodyLocation::LeftAnkle
+                | BodyLocation::RightAnkle
+                | BodyLocation::LeftWrist
+                | BodyLocation::RightWrist
+        )
+    }
+
+    /// Euclidean distance in metres to another site.
+    pub fn distance_m(self, other: BodyLocation) -> f64 {
+        let a = self.position();
+        let b = other.position();
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+    }
+
+    /// Short human-readable name (e.g. `"chest"`, `"l-wrist"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BodyLocation::Chest => "chest",
+            BodyLocation::LeftHip => "l-hip",
+            BodyLocation::RightHip => "r-hip",
+            BodyLocation::LeftAnkle => "l-ankle",
+            BodyLocation::RightAnkle => "r-ankle",
+            BodyLocation::LeftWrist => "l-wrist",
+            BodyLocation::RightWrist => "r-wrist",
+            BodyLocation::LeftUpperArm => "l-arm",
+            BodyLocation::Head => "head",
+            BodyLocation::Back => "back",
+        }
+    }
+}
+
+impl fmt::Display for BodyLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, loc) in BodyLocation::ALL.iter().enumerate() {
+            assert_eq!(loc.index(), i);
+            assert_eq!(BodyLocation::from_index(i), Some(*loc));
+        }
+        assert_eq!(BodyLocation::from_index(10), None);
+    }
+
+    #[test]
+    fn paper_constraint_sites() {
+        assert_eq!(BodyLocation::Chest.index(), 0);
+        assert_eq!(BodyLocation::LeftHip.index(), 1);
+        assert_eq!(BodyLocation::RightHip.index(), 2);
+        assert_eq!(BodyLocation::LeftAnkle.index(), 3);
+        assert_eq!(BodyLocation::RightAnkle.index(), 4);
+        assert_eq!(BodyLocation::LeftWrist.index(), 5);
+        assert_eq!(BodyLocation::RightWrist.index(), 6);
+        assert_eq!(BodyLocation::LeftUpperArm.index(), 7);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                let d = a.distance_m(b);
+                assert!((d - b.distance_m(a)).abs() < 1e-12);
+                if a == b {
+                    assert_eq!(d, 0.0);
+                } else {
+                    assert!(d > 0.05, "{a}-{b} too close: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chest_to_ankle_is_longest_class() {
+        let far = BodyLocation::Chest.distance_m(BodyLocation::LeftAnkle);
+        let near = BodyLocation::LeftHip.distance_m(BodyLocation::RightHip);
+        assert!(far > near);
+        assert!(far > 1.0);
+    }
+
+    #[test]
+    fn only_back_is_rear_facing() {
+        let rear: Vec<_> = BodyLocation::ALL
+            .iter()
+            .filter(|l| !l.is_front())
+            .collect();
+        assert_eq!(rear, vec![&BodyLocation::Back]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BodyLocation::Chest.to_string(), "chest");
+        assert_eq!(BodyLocation::LeftUpperArm.to_string(), "l-arm");
+    }
+}

@@ -1,0 +1,204 @@
+//! Average path loss between body sites (`PL̄_ij` of the paper's eq. 1).
+
+use crate::BodyLocation;
+
+/// Parameters of the synthetic log-distance average path-loss model.
+///
+/// The average loss between sites `i` and `j` is
+///
+/// ```text
+/// PL̄_ij = pl0_db + 10 · exponent · log10(d_ij / ref_distance_m) + penalties
+/// ```
+///
+/// with an `nlos_penalty_db` added for front↔back links (creeping-wave
+/// propagation around the torso) and `limb_penalty_db` for links between
+/// two distal limb sites (wrist/ankle), which in measurements suffer from
+/// frequent body blockage.
+///
+/// Defaults are calibrated (see `EXPERIMENTS.md`) so the resulting matrix
+/// spans ≈45–90 dB, matching the dynamic range of 2.4 GHz on-body
+/// measurement campaigns, and so the paper's qualitative Fig. 3 shape is
+/// reproduced with the CC2650 link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossParams {
+    /// Loss at the reference distance, dB.
+    pub pl0_db: f64,
+    /// Reference distance, metres.
+    pub ref_distance_m: f64,
+    /// Log-distance exponent (on-body 2.4 GHz: 3–4).
+    pub exponent: f64,
+    /// Extra loss for front↔back (around-torso) links, dB.
+    pub nlos_penalty_db: f64,
+    /// Extra loss between two distal limb sites (wrist/ankle), dB.
+    pub limb_penalty_db: f64,
+}
+
+impl Default for PathLossParams {
+    fn default() -> Self {
+        Self {
+            pl0_db: 38.0,
+            ref_distance_m: 0.1,
+            exponent: 5.0,
+            nlos_penalty_db: 14.0,
+            limb_penalty_db: 8.0,
+        }
+    }
+}
+
+/// A symmetric matrix of average path losses (dB) over the ten body sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLossMatrix {
+    /// Row-major `10 x 10`, symmetric, zero diagonal.
+    values: [[f64; BodyLocation::COUNT]; BodyLocation::COUNT],
+}
+
+impl PathLossMatrix {
+    /// Builds the synthetic matrix from site geometry and `params`.
+    pub fn synthetic(params: &PathLossParams) -> Self {
+        let mut values = [[0.0; BodyLocation::COUNT]; BodyLocation::COUNT];
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                if a == b {
+                    continue;
+                }
+                values[a.index()][b.index()] = Self::link_loss(a, b, params);
+            }
+        }
+        Self { values }
+    }
+
+    /// Builds a matrix from explicit values (e.g. a measured dataset).
+    ///
+    /// The input is symmetrized by averaging `(i,j)` and `(j,i)` and the
+    /// diagonal is zeroed.
+    pub fn from_values(values: [[f64; BodyLocation::COUNT]; BodyLocation::COUNT]) -> Self {
+        let mut v = values;
+        for i in 0..BodyLocation::COUNT {
+            v[i][i] = 0.0;
+            for j in (i + 1)..BodyLocation::COUNT {
+                let avg = 0.5 * (values[i][j] + values[j][i]);
+                v[i][j] = avg;
+                v[j][i] = avg;
+            }
+        }
+        Self { values: v }
+    }
+
+    fn link_loss(a: BodyLocation, b: BodyLocation, p: &PathLossParams) -> f64 {
+        let d = a.distance_m(b).max(p.ref_distance_m);
+        let mut pl = p.pl0_db + 10.0 * p.exponent * (d / p.ref_distance_m).log10();
+        if a.is_front() != b.is_front() {
+            pl += p.nlos_penalty_db;
+        }
+        if a.is_distal() && b.is_distal() {
+            pl += p.limb_penalty_db;
+        }
+        pl
+    }
+
+    /// Average path loss between two sites, dB (zero for `a == b`).
+    pub fn loss_db(&self, a: BodyLocation, b: BodyLocation) -> f64 {
+        self.values[a.index()][b.index()]
+    }
+
+    /// Largest off-diagonal entry, dB.
+    pub fn max_loss_db(&self) -> f64 {
+        let mut m = f64::NEG_INFINITY;
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                if a != b {
+                    m = m.max(self.loss_db(a, b));
+                }
+            }
+        }
+        m
+    }
+
+    /// Smallest off-diagonal entry, dB.
+    pub fn min_loss_db(&self) -> f64 {
+        let mut m = f64::INFINITY;
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                if a != b {
+                    m = m.min(self.loss_db(a, b));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_matrix_is_symmetric() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        for &a in &BodyLocation::ALL {
+            for &b in &BodyLocation::ALL {
+                assert_eq!(m.loss_db(a, b), m.loss_db(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        for &a in &BodyLocation::ALL {
+            assert_eq!(m.loss_db(a, a), 0.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_range_is_realistic() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        assert!(
+            m.min_loss_db() > 40.0,
+            "min loss too small: {}",
+            m.min_loss_db()
+        );
+        assert!(
+            m.max_loss_db() < 115.0,
+            "max loss too large: {}",
+            m.max_loss_db()
+        );
+        assert!(m.max_loss_db() - m.min_loss_db() > 20.0);
+    }
+
+    #[test]
+    fn nlos_links_are_worse_than_los_at_same_distance_class() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        // chest->back is geometrically short but around-torso.
+        let chest_back = m.loss_db(BodyLocation::Chest, BodyLocation::Back);
+        let chest_hip = m.loss_db(BodyLocation::Chest, BodyLocation::LeftHip);
+        assert!(chest_back > chest_hip);
+    }
+
+    #[test]
+    fn wrist_to_ankle_is_among_the_worst() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        let wa = m.loss_db(BodyLocation::LeftWrist, BodyLocation::RightAnkle);
+        assert!(wa > 75.0, "wrist-ankle {wa} dB should be heavily attenuated");
+    }
+
+    #[test]
+    fn from_values_symmetrizes() {
+        let mut v = [[0.0; 10]; 10];
+        v[0][1] = 50.0;
+        v[1][0] = 60.0;
+        v[2][2] = 99.0; // diagonal must be cleared
+        let m = PathLossMatrix::from_values(v);
+        assert_eq!(m.loss_db(BodyLocation::Chest, BodyLocation::LeftHip), 55.0);
+        assert_eq!(m.loss_db(BodyLocation::LeftHip, BodyLocation::Chest), 55.0);
+        assert_eq!(m.loss_db(BodyLocation::RightHip, BodyLocation::RightHip), 0.0);
+    }
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = PathLossMatrix::synthetic(&PathLossParams::default());
+        let near = m.loss_db(BodyLocation::LeftHip, BodyLocation::RightHip);
+        let far = m.loss_db(BodyLocation::Chest, BodyLocation::LeftAnkle);
+        assert!(far > near);
+    }
+}

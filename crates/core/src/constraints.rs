@@ -1,0 +1,199 @@
+//! Topological constraints (`r_T(ν, χ) ≤ 0`) and design-space enumeration.
+
+use hi_net::TxPower;
+
+use crate::point::{DesignPoint, MacChoice, Placement, RouteChoice};
+
+/// Application-driven placement rules — mixed-integer-linear by
+/// construction, checked here in closed form and emitted as rows by the
+/// MILP encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyConstraints {
+    /// Sites that must be occupied (`n_i = 1`).
+    pub required: Vec<usize>,
+    /// Site groups of which at least one member must be occupied
+    /// (`Σ n_i ≥ 1`).
+    pub at_least_one: Vec<Vec<usize>>,
+    /// Pairs `(i, j)` meaning "if `j` is used then `i` must be used"
+    /// (`n_j − n_i ≤ 0`, the paper's §2.1 example).
+    pub implications: Vec<(usize, usize)>,
+    /// Minimum node count `N`.
+    pub min_nodes: usize,
+    /// Maximum node count `N`.
+    pub max_nodes: usize,
+}
+
+impl TopologyConstraints {
+    /// The paper's §4.1 experiment rules: chest required (`n0 = 1`), at
+    /// least one hip (`n1 + n2 ≥ 1`), one foot (`n3 + n4 ≥ 1`), one wrist
+    /// (`n5 + n6 ≥ 1`), and up to two extra nodes anywhere (so
+    /// `4 ≤ N ≤ 6`).
+    pub fn paper_default() -> Self {
+        Self {
+            required: vec![0],
+            at_least_one: vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+            implications: Vec::new(),
+            min_nodes: 4,
+            max_nodes: 6,
+        }
+    }
+
+    /// Whether `placement` satisfies every rule.
+    pub fn is_satisfied(&self, placement: Placement) -> bool {
+        let n = placement.len();
+        if n < self.min_nodes || n > self.max_nodes {
+            return false;
+        }
+        if !self.required.iter().all(|&i| placement.contains_index(i)) {
+            return false;
+        }
+        if !self
+            .at_least_one
+            .iter()
+            .all(|g| g.iter().any(|&i| placement.contains_index(i)))
+        {
+            return false;
+        }
+        self.implications
+            .iter()
+            .all(|&(i, j)| !placement.contains_index(j) || placement.contains_index(i))
+    }
+
+    /// All placements satisfying the rules, in ascending bitmask order.
+    pub fn feasible_placements(&self) -> Vec<Placement> {
+        (0u16..(1 << 10))
+            .map(Placement::from_mask)
+            .filter(|p| self.is_satisfied(*p))
+            .collect()
+    }
+}
+
+/// The complete discrete design space: feasible placements × 3 transmit
+/// powers × 2 MACs × 2 routings.
+///
+/// ```
+/// use hi_core::{DesignSpace, TopologyConstraints};
+///
+/// let space = DesignSpace::new(TopologyConstraints::paper_default());
+/// // The paper's feasible region: 110 placements x 12 stack configs.
+/// assert_eq!(space.points().len(), 1320);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    constraints: TopologyConstraints,
+}
+
+impl DesignSpace {
+    /// A design space under the given topological constraints.
+    pub fn new(constraints: TopologyConstraints) -> Self {
+        Self { constraints }
+    }
+
+    /// The paper's §4.1 space.
+    pub fn paper_default() -> Self {
+        Self::new(TopologyConstraints::paper_default())
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &TopologyConstraints {
+        &self.constraints
+    }
+
+    /// Enumerates every feasible design point, deterministically ordered.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for placement in self.constraints.feasible_placements() {
+            for tx_power in TxPower::ALL {
+                for mac in MacChoice::ALL {
+                    for routing in RouteChoice::ALL {
+                        out.push(DesignPoint {
+                            placement,
+                            tx_power,
+                            mac,
+                            routing,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a point lies in this space.
+    pub fn contains(&self, point: &DesignPoint) -> bool {
+        self.constraints.is_satisfied(point.placement)
+    }
+
+    /// The total size of the *unconstrained* configuration space the paper
+    /// quotes (2^10 placements × 3 powers × 2 MAC × 2 routing = 12,288).
+    pub fn unconstrained_size() -> usize {
+        (1 << 10) * 3 * 2 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constraints_accept_canonical_minimum() {
+        let c = TopologyConstraints::paper_default();
+        assert!(c.is_satisfied(Placement::from_indices([0, 1, 3, 5])));
+        assert!(c.is_satisfied(Placement::from_indices([0, 2, 4, 6])));
+    }
+
+    #[test]
+    fn paper_constraints_reject_missing_groups() {
+        let c = TopologyConstraints::paper_default();
+        // No wrist.
+        assert!(!c.is_satisfied(Placement::from_indices([0, 1, 3, 7])));
+        // No chest.
+        assert!(!c.is_satisfied(Placement::from_indices([1, 3, 5, 7])));
+        // Too many nodes (7).
+        assert!(!c.is_satisfied(Placement::from_indices([0, 1, 2, 3, 4, 5, 6])));
+        // Too few (3).
+        assert!(!c.is_satisfied(Placement::from_indices([0, 1, 3])));
+    }
+
+    #[test]
+    fn paper_space_has_110_placements() {
+        // Derived by direct enumeration; documented in DESIGN.md.
+        let c = TopologyConstraints::paper_default();
+        assert_eq!(c.feasible_placements().len(), 110);
+    }
+
+    #[test]
+    fn paper_space_has_1320_points() {
+        assert_eq!(DesignSpace::paper_default().points().len(), 1320);
+    }
+
+    #[test]
+    fn unconstrained_size_matches_paper() {
+        assert_eq!(DesignSpace::unconstrained_size(), 12_288);
+    }
+
+    #[test]
+    fn implication_constraint_enforced() {
+        let mut c = TopologyConstraints::paper_default();
+        c.implications.push((7, 8)); // head (8) requires upper arm (7)
+        assert!(!c.is_satisfied(Placement::from_indices([0, 1, 3, 5, 8])));
+        assert!(c.is_satisfied(Placement::from_indices([0, 1, 3, 5, 7])));
+        assert!(c.is_satisfied(Placement::from_indices([0, 1, 3, 5, 7, 8])));
+    }
+
+    #[test]
+    fn all_enumerated_points_are_contained() {
+        let space = DesignSpace::paper_default();
+        for p in space.points() {
+            assert!(space.contains(&p));
+        }
+    }
+
+    #[test]
+    fn every_placement_has_between_4_and_6_nodes() {
+        for p in TopologyConstraints::paper_default().feasible_placements() {
+            assert!(p.len() >= 4 && p.len() <= 6);
+            assert!(p.contains_index(0));
+        }
+    }
+}

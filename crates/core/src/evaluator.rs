@@ -1,0 +1,229 @@
+//! Performance evaluation of design points (Algorithm 1's `RunSim`).
+
+use std::collections::HashMap;
+
+use hi_channel::ChannelParams;
+use hi_des::SimDuration;
+use hi_net::simulate_averaged;
+
+use crate::point::DesignPoint;
+
+/// The simulated performance of one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Network packet delivery ratio in `[0, 1]` (eq. 7).
+    pub pdr: f64,
+    /// Network lifetime in days (eq. 4).
+    pub nlt_days: f64,
+    /// Simulated power of the lifetime-limiting node, mW (`P̄sim`).
+    pub power_mw: f64,
+}
+
+/// Anything that can measure a design point. Algorithm 1 and the baseline
+/// searches consume evaluations through this trait, so tests and benches
+/// can substitute deterministic oracles for the (expensive) simulator.
+pub trait Evaluator {
+    /// Measures (or recalls) the performance of `point`.
+    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation;
+
+    /// Number of *unique* expensive evaluations performed so far — the
+    /// simulation-count metric behind the paper's "87% fewer simulations".
+    fn unique_evaluations(&self) -> u64;
+}
+
+/// The production evaluator: runs the discrete-event simulator (averaged
+/// over `runs` seeds), memoizing results per design point.
+#[derive(Debug)]
+pub struct SimEvaluator {
+    channel: ChannelParams,
+    t_sim: SimDuration,
+    runs: u32,
+    base_seed: u64,
+    cache: HashMap<DesignPoint, Evaluation>,
+    unique: u64,
+}
+
+impl SimEvaluator {
+    /// Creates an evaluator with the paper's protocol: each evaluation is
+    /// `runs` simulations of `t_sim` averaged together.
+    pub fn new(channel: ChannelParams, t_sim: SimDuration, runs: u32, base_seed: u64) -> Self {
+        Self {
+            channel,
+            t_sim,
+            runs,
+            base_seed,
+            cache: HashMap::new(),
+            unique: 0,
+        }
+    }
+
+    /// The paper's §4 protocol: `Tsim = 600 s`, 3 runs.
+    pub fn paper_protocol(channel: ChannelParams, base_seed: u64) -> Self {
+        Self::new(channel, SimDuration::from_secs(600.0), 3, base_seed)
+    }
+
+    /// Number of cached evaluations.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+        if let Some(e) = self.cache.get(point) {
+            return *e;
+        }
+        let cfg = point.to_network_config();
+        // Derive the seed from the point so evaluation order cannot change
+        // results (full determinism regardless of search strategy).
+        let seed = self.base_seed
+            ^ hi_des::rng::derive_seed(u64::from(point.placement.mask()), point_tag(point));
+        let out = simulate_averaged(&cfg, self.channel, self.t_sim, seed, self.runs)
+            .expect("design points lower to valid configs");
+        let eval = Evaluation {
+            pdr: out.pdr,
+            nlt_days: out.nlt_days,
+            power_mw: out.max_power_mw,
+        };
+        self.cache.insert(*point, eval);
+        self.unique += 1;
+        eval
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.unique
+    }
+}
+
+fn point_tag(point: &DesignPoint) -> u64 {
+    use crate::point::{MacChoice, RouteChoice};
+    use hi_net::TxPower;
+    let p = match point.tx_power {
+        TxPower::Minus20Dbm => 0u64,
+        TxPower::Minus10Dbm => 1,
+        TxPower::ZeroDbm => 2,
+    };
+    let m = match point.mac {
+        MacChoice::Csma => 0u64,
+        MacChoice::Tdma => 1,
+    };
+    let r = match point.routing {
+        RouteChoice::Star => 0u64,
+        RouteChoice::Mesh => 1,
+    };
+    p | (m << 2) | (r << 3)
+}
+
+/// A deterministic test/bench oracle backed by a closure.
+pub struct FnEvaluator<F: FnMut(&DesignPoint) -> Evaluation> {
+    f: F,
+    cache: HashMap<DesignPoint, Evaluation>,
+    unique: u64,
+}
+
+impl<F: FnMut(&DesignPoint) -> Evaluation> std::fmt::Debug for FnEvaluator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnEvaluator")
+            .field("unique", &self.unique)
+            .finish()
+    }
+}
+
+impl<F: FnMut(&DesignPoint) -> Evaluation> FnEvaluator<F> {
+    /// Wraps a closure as a memoized evaluator.
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            cache: HashMap::new(),
+            unique: 0,
+        }
+    }
+}
+
+impl<F: FnMut(&DesignPoint) -> Evaluation> Evaluator for FnEvaluator<F> {
+    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+        if let Some(e) = self.cache.get(point) {
+            return *e;
+        }
+        let e = (self.f)(point);
+        self.cache.insert(*point, e);
+        self.unique += 1;
+        e
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.unique
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{MacChoice, Placement, RouteChoice};
+    use hi_net::TxPower;
+
+    fn pt() -> DesignPoint {
+        DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        }
+    }
+
+    #[test]
+    fn fn_evaluator_memoizes() {
+        let mut calls = 0;
+        let mut ev = FnEvaluator::new(|_p| {
+            calls += 1;
+            Evaluation {
+                pdr: 0.9,
+                nlt_days: 10.0,
+                power_mw: 1.0,
+            }
+        });
+        let a = ev.evaluate(&pt());
+        let b = ev.evaluate(&pt());
+        assert_eq!(a, b);
+        assert_eq!(ev.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn sim_evaluator_caches_and_counts() {
+        let mut ev = SimEvaluator::new(
+            ChannelParams::default(),
+            SimDuration::from_secs(5.0),
+            1,
+            42,
+        );
+        let a = ev.evaluate(&pt());
+        assert_eq!(ev.unique_evaluations(), 1);
+        let b = ev.evaluate(&pt());
+        assert_eq!(ev.unique_evaluations(), 1);
+        assert_eq!(a, b);
+        assert_eq!(ev.cache_len(), 1);
+        assert!(a.pdr >= 0.0 && a.pdr <= 1.0);
+        assert!(a.power_mw > 0.1);
+    }
+
+    #[test]
+    fn sim_evaluator_is_order_independent() {
+        let mk = || {
+            SimEvaluator::new(
+                ChannelParams::default(),
+                SimDuration::from_secs(5.0),
+                1,
+                7,
+            )
+        };
+        let p1 = pt();
+        let mut p2 = pt();
+        p2.tx_power = TxPower::Minus10Dbm;
+        let mut a = mk();
+        let r1 = (a.evaluate(&p1), a.evaluate(&p2));
+        let mut b = mk();
+        let r2 = (b.evaluate(&p2), b.evaluate(&p1));
+        assert_eq!(r1.0, r2.1);
+        assert_eq!(r1.1, r2.0);
+    }
+}

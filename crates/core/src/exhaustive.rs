@@ -1,0 +1,89 @@
+//! Exhaustive-search baseline: simulate every feasible configuration.
+//!
+//! This is the reference the paper measures its "87% reduction in the
+//! number of required simulations" against.
+
+use crate::algorithm1::Problem;
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::point::DesignPoint;
+
+/// Result of an exhaustive sweep.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOutcome {
+    /// The lifetime-optimal reliability-feasible point, if any.
+    pub best: Option<(DesignPoint, Evaluation)>,
+    /// Every `(point, evaluation)` pair, in enumeration order — the raw
+    /// material of the paper's Fig. 3 scatter.
+    pub evaluations: Vec<(DesignPoint, Evaluation)>,
+    /// Unique simulations run.
+    pub simulations: u64,
+}
+
+/// Evaluates every point of the problem's design space and returns the
+/// best feasible one along with the full sweep.
+pub fn exhaustive_search(problem: &Problem, evaluator: &mut dyn Evaluator) -> ExhaustiveOutcome {
+    let before = evaluator.unique_evaluations();
+    let mut best: Option<(DesignPoint, Evaluation)> = None;
+    let mut evaluations = Vec::new();
+    for point in problem.space.points() {
+        let eval = evaluator.evaluate(&point);
+        if eval.pdr >= problem.pdr_min {
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| eval.power_mw < b.power_mw);
+            if better {
+                best = Some((point, eval));
+            }
+        }
+        evaluations.push((point, eval));
+    }
+    ExhaustiveOutcome {
+        best,
+        evaluations,
+        simulations: evaluator.unique_evaluations() - before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use crate::power::analytic_power_mw;
+    use hi_net::AppParams;
+
+    fn oracle(point: &DesignPoint) -> Evaluation {
+        let app = AppParams::default();
+        let power = analytic_power_mw(point, &app);
+        Evaluation {
+            pdr: if point.tx_power == hi_net::TxPower::ZeroDbm {
+                0.95
+            } else {
+                0.5
+            },
+            nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+            power_mw: power,
+        }
+    }
+
+    #[test]
+    fn sweeps_whole_space() {
+        let problem = Problem::paper_default(0.9);
+        let mut ev = FnEvaluator::new(oracle);
+        let out = exhaustive_search(&problem, &mut ev);
+        assert_eq!(out.evaluations.len(), 1320);
+        assert_eq!(out.simulations, 1320);
+        let (pt, _) = out.best.unwrap();
+        // Cheapest feasible: 4-node star at 0 dBm.
+        assert_eq!(pt.tx_power, hi_net::TxPower::ZeroDbm);
+        assert_eq!(pt.num_nodes(), 4);
+    }
+
+    #[test]
+    fn reports_infeasible_when_nothing_qualifies() {
+        let problem = Problem::paper_default(0.99);
+        let mut ev = FnEvaluator::new(oracle);
+        let out = exhaustive_search(&problem, &mut ev);
+        assert!(out.best.is_none());
+        assert_eq!(out.evaluations.len(), 1320);
+    }
+}

@@ -1,0 +1,73 @@
+//! Design-space exploration for a Human Intranet network.
+//!
+//! This crate is the primary contribution of the `hi-opt` workspace: a
+//! from-scratch reproduction of *"Optimized Design of a Human Intranet
+//! Network"* (Moin, Nuzzo, Sangiovanni-Vincentelli, Rabaey — DAC 2017).
+//! Given application-driven topological constraints and a reliability
+//! floor `PDRmin`, it selects the node placement and full network-stack
+//! configuration (radio transmit power, MAC protocol, routing topology)
+//! that maximizes network lifetime:
+//!
+//! * [`DesignSpace`] / [`TopologyConstraints`] — the constrained discrete
+//!   space of `(ν, χ)` design vectors ([`DesignPoint`]);
+//! * [`power`] — the coarse analytic power model (eqs. 3, 5, 9) used to
+//!   rank candidates cheaply, and the α bound-correction;
+//! * [`MilpEncoding`] — the relaxed problem `P̃` as a mixed integer linear
+//!   program (solved exactly by [`hi_milp`]);
+//! * [`explore`] — **Algorithm 1**: the iterative MILP + discrete-event
+//!   simulation loop with power cuts and the α-corrected optimality test;
+//! * [`exhaustive_search`] and [`simulated_annealing`] — the baselines the
+//!   paper compares against.
+//!
+//! # Quickstart
+//!
+//! Find the lifetime-optimal configuration at 70% reliability with a
+//! fast simulation protocol:
+//!
+//! ```
+//! use hi_channel::ChannelParams;
+//! use hi_core::{explore, Problem, SimEvaluator};
+//! use hi_des::SimDuration;
+//!
+//! # fn main() -> Result<(), hi_core::ExploreError> {
+//! let problem = Problem::paper_default(0.70);
+//! let mut evaluator = SimEvaluator::new(
+//!     ChannelParams::default(),
+//!     SimDuration::from_secs(30.0), // paper protocol uses 600 s x 3 runs
+//!     1,
+//!     42,
+//! );
+//! let outcome = explore(&problem, &mut evaluator)?;
+//! let (point, eval) = outcome.best.expect("70% is achievable");
+//! println!("optimal: {point} (PDR {:.1}%, {:.1} days)",
+//!          eval.pdr * 100.0, eval.nlt_days);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod algorithm1;
+mod constraints;
+mod evaluator;
+mod exhaustive;
+mod milp_encode;
+mod point;
+pub mod power;
+mod profiles;
+mod sa;
+mod tradeoff;
+
+pub use algorithm1::{
+    explore, explore_with_options, ExplorationOutcome, ExploreError, ExploreOptions, Problem,
+    StopReason,
+};
+pub use constraints::{DesignSpace, TopologyConstraints};
+pub use evaluator::{Evaluation, Evaluator, FnEvaluator, SimEvaluator};
+pub use exhaustive::{exhaustive_search, ExhaustiveOutcome};
+pub use milp_encode::MilpEncoding;
+pub use point::{DesignPoint, MacChoice, Placement, RouteChoice};
+pub use profiles::AppProfile;
+pub use sa::{simulated_annealing, SaOutcome, SaParams};
+pub use tradeoff::{explore_tradeoff, TradeoffPoint};

@@ -1,0 +1,367 @@
+//! MILP encoding of the relaxed problem `P̃` (everything in eq. 8 except
+//! the PDR constraint, with the analytic power eq. 9 as objective).
+//!
+//! Variables:
+//!
+//! * `n_i` — site occupancy binaries (the topology vector `ν`);
+//! * `p_k` — one-hot transmit-power selectors (`p1 + p2 + p3 = 1`);
+//! * `mac` — MAC choice (free: the coarse power model is MAC-independent,
+//!   so both choices appear in every optimal pool);
+//! * `mesh` — routing selector (`Prt`);
+//! * `y_N` — one-hot node-count indicators (`Σ n_i = Σ N·y_N`);
+//! * `z_{N,k,r}` — products `y_N ∧ p_k ∧ (routing = r)`, linearized with
+//!   the standard `z ≤ a, z ≤ b, z ≤ c, z ≥ a + b + c − 2` rows.
+//!
+//! The bilinear analytic power (eq. 9 multiplies the power-level choice,
+//! the routing choice and an `N`-dependent factor) becomes the linear form
+//! `Σ cost(N, k, r) · z_{N,k,r}` over the 18-combination lattice.
+
+use hi_milp::{LinExpr, Model, Sense, Solution, SolveError, VarId};
+use hi_net::{AppParams, TxPower};
+
+use crate::constraints::TopologyConstraints;
+use crate::point::{DesignPoint, MacChoice, Placement, RouteChoice};
+use crate::power::radio_power_mw;
+
+/// The growing MILP model behind Algorithm 1's `RunMILP`: construct once,
+/// then alternate [`solve_pool`](MilpEncoding::solve_pool) and
+/// [`add_power_cut`](MilpEncoding::add_power_cut).
+#[derive(Debug, Clone)]
+pub struct MilpEncoding {
+    model: Model,
+    site_vars: Vec<VarId>,
+    power_vars: Vec<(TxPower, VarId)>,
+    mac_var: VarId,
+    mesh_var: VarId,
+    /// Objective in mW, kept for power cuts.
+    objective_mw: LinExpr,
+    /// The product lattice: `(analytic power incl. baseline, z var)`.
+    z_vars: Vec<(f64, VarId)>,
+    /// Kept for expanding the optimal solution into the full pool.
+    constraints: TopologyConstraints,
+}
+
+impl MilpEncoding {
+    /// Encodes `P̃` for the given topological constraints and application
+    /// parameters.
+    pub fn new(constraints: &TopologyConstraints, app: &AppParams) -> Self {
+        let mut model = Model::new();
+
+        let site_vars: Vec<VarId> = (0..10).map(|i| model.add_binary(&format!("n{i}"))).collect();
+        let power_vars: Vec<(TxPower, VarId)> = TxPower::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (p, model.add_binary(&format!("p{}", k + 1))))
+            .collect();
+        let mac_var = model.add_binary("mac");
+        let mesh_var = model.add_binary("mesh");
+
+        // Topological constraints r_T.
+        for &i in &constraints.required {
+            model.add_constraint(site_vars[i] * 1.0, Sense::Eq, 1.0);
+        }
+        for group in &constraints.at_least_one {
+            let e = LinExpr::sum(group.iter().map(|&i| site_vars[i]));
+            model.add_constraint(e, Sense::Ge, 1.0);
+        }
+        for &(i, j) in &constraints.implications {
+            model.add_constraint(site_vars[j] - site_vars[i], Sense::Le, 0.0);
+        }
+        let total = LinExpr::sum(site_vars.iter().copied());
+        model.add_constraint(total.clone(), Sense::Ge, constraints.min_nodes as f64);
+        model.add_constraint(total.clone(), Sense::Le, constraints.max_nodes as f64);
+
+        // One-hot selectors.
+        let p_sum = LinExpr::sum(power_vars.iter().map(|&(_, v)| v));
+        model.add_constraint(p_sum, Sense::Eq, 1.0);
+
+        // Node-count indicators: sum n = sum N * y_N, sum y = 1.
+        let counts: Vec<usize> = (constraints.min_nodes..=constraints.max_nodes).collect();
+        let count_vars: Vec<(usize, VarId)> = counts
+            .iter()
+            .map(|&n| (n, model.add_binary(&format!("y{n}"))))
+            .collect();
+        let y_sum = LinExpr::sum(count_vars.iter().map(|&(_, v)| v));
+        model.add_constraint(y_sum, Sense::Eq, 1.0);
+        let mut linked = LinExpr::new();
+        for &(n, y) in &count_vars {
+            linked.add_term(y, n as f64);
+        }
+        model.add_constraint(total - linked, Sense::Eq, 0.0);
+
+        // Product lattice and the linearized objective.
+        let baseline_mw = app.baseline_power_w * 1e3;
+        let mut objective_mw = LinExpr::constant_expr(baseline_mw);
+        let mut z_sum = LinExpr::new();
+        let mut z_vars = Vec::new();
+        for &(n, y) in &count_vars {
+            for &(p, pv) in &power_vars {
+                for r in RouteChoice::ALL {
+                    let z = model.add_binary(&format!("z_{n}_{p}_{r}"));
+                    // z <= y, z <= p
+                    model.add_constraint(LinExpr::var(z) - y, Sense::Le, 0.0);
+                    model.add_constraint(LinExpr::var(z) - pv, Sense::Le, 0.0);
+                    match r {
+                        RouteChoice::Mesh => {
+                            // z <= mesh; z >= y + p + mesh - 2
+                            model.add_constraint(LinExpr::var(z) - mesh_var, Sense::Le, 0.0);
+                            model.add_constraint(
+                                LinExpr::var(z) - y - pv - mesh_var,
+                                Sense::Ge,
+                                -2.0,
+                            );
+                        }
+                        RouteChoice::Star => {
+                            // z <= 1 - mesh; z >= y + p + (1 - mesh) - 2
+                            model.add_constraint(z + mesh_var, Sense::Le, 1.0);
+                            model.add_constraint(
+                                LinExpr::var(z) - y - pv + mesh_var,
+                                Sense::Ge,
+                                -1.0,
+                            );
+                        }
+                    }
+                    let cost = radio_power_mw(n, p, r, app);
+                    objective_mw.add_term(z, cost);
+                    z_vars.push((baseline_mw + cost, z));
+                    z_sum.add_term(z, 1.0);
+                }
+            }
+        }
+        model.add_constraint(z_sum, Sense::Eq, 1.0);
+        model.minimize(objective_mw.clone());
+
+        Self {
+            model,
+            site_vars,
+            power_vars,
+            mac_var,
+            mesh_var,
+            objective_mw,
+            z_vars,
+            constraints: constraints.clone(),
+        }
+    }
+
+    /// Prunes every configuration whose analytic power is at or below
+    /// `power_mw` — Algorithm 1's `Update(P̃, P̄ > P̄*)` (line 11).
+    pub fn add_power_cut(&mut self, power_mw: f64) {
+        // Power levels are discrete and well separated; a tiny epsilon
+        // turns the strict inequality into a usable `>=` row.
+        self.model
+            .add_constraint(self.objective_mw.clone(), Sense::Ge, power_mw + 1e-6);
+        // Presolve-strength equivalent: the analytic power is `Σ cost·z`
+        // over a one-hot lattice, so `P̄ > power_mw` is exactly "no combo
+        // at or below the bound" — fixing those `z` to zero keeps the LP
+        // relaxation tight (the bare `>=` row alone admits fractional
+        // z-mixes that sit on the bound and stall branch & bound).
+        let to_fix: Vec<VarId> = self
+            .z_vars
+            .iter()
+            .filter(|&&(cost, _)| cost <= power_mw + 1e-6)
+            .map(|&(_, v)| v)
+            .collect();
+        for v in to_fix {
+            self.model.set_bounds(v, 0.0, 0.0);
+        }
+    }
+
+    /// Runs the MILP and enumerates *all* optimal configurations —
+    /// Algorithm 1's `RunMILP` returning `(S, P̄*)`.
+    ///
+    /// The branch & bound finds one optimum and its power level; because
+    /// the analytic cost (eq. 9) depends only on `(N, power, routing)`,
+    /// the remaining optimal solutions are exactly the other placements of
+    /// the same size (under the same topological constraints) combined
+    /// with either MAC — the pool is expanded combinatorially instead of
+    /// re-solving behind no-good cuts. (For generic models,
+    /// [`hi_milp::pool::enumerate_optima`] provides the cut-based
+    /// equivalent.)
+    ///
+    /// Returns an empty set if the (cut-augmented) model is infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve_pool(&self) -> Result<(Vec<DesignPoint>, Option<f64>), SolveError> {
+        let sol = self.model.solve()?;
+        if !sol.is_optimal() {
+            return Ok((Vec::new(), None));
+        }
+        let p_star = sol.objective();
+        let witness = self.decode(&sol);
+        let n = witness.num_nodes();
+        let mut points = Vec::new();
+        for placement in self.constraints.feasible_placements() {
+            if placement.len() != n {
+                continue;
+            }
+            for mac in MacChoice::ALL {
+                points.push(DesignPoint {
+                    placement,
+                    tx_power: witness.tx_power,
+                    mac,
+                    routing: witness.routing,
+                });
+            }
+        }
+        debug_assert!(points.contains(&witness));
+        Ok((points, Some(p_star)))
+    }
+
+    /// Interprets a MILP solution as a design point.
+    fn decode(&self, sol: &Solution) -> DesignPoint {
+        let placement = Placement::from_indices(
+            self.site_vars
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| sol.int_value(v) == 1)
+                .map(|(i, _)| i),
+        );
+        let tx_power = self
+            .power_vars
+            .iter()
+            .find(|&&(_, v)| sol.int_value(v) == 1)
+            .map(|&(p, _)| p)
+            .expect("exactly one power level must be selected");
+        let mac = if sol.int_value(self.mac_var) == 1 {
+            MacChoice::Tdma
+        } else {
+            MacChoice::Csma
+        };
+        let routing = if sol.int_value(self.mesh_var) == 1 {
+            RouteChoice::Mesh
+        } else {
+            RouteChoice::Star
+        };
+        DesignPoint {
+            placement,
+            tx_power,
+            mac,
+            routing,
+        }
+    }
+
+    /// Read-only access to the underlying MILP model (for inspection and
+    /// benchmarking).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::analytic_power_mw;
+    use std::collections::HashSet;
+
+    fn paper_encoding() -> MilpEncoding {
+        MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default())
+    }
+
+    #[test]
+    fn first_pool_is_minimal_star_at_minus20() {
+        let enc = paper_encoding();
+        let (points, p_star) = enc.solve_pool().unwrap();
+        assert!(!points.is_empty());
+        let app = AppParams::default();
+        for pt in &points {
+            // Cheapest class: 4 nodes, -20 dBm, star (both MACs).
+            assert_eq!(pt.num_nodes(), 4, "{pt}");
+            assert_eq!(pt.tx_power, TxPower::Minus20Dbm, "{pt}");
+            assert_eq!(pt.routing, RouteChoice::Star, "{pt}");
+            assert!((analytic_power_mw(pt, &app) - p_star.unwrap()).abs() < 1e-6);
+        }
+        // 8 minimal placements x 2 MAC choices.
+        assert_eq!(points.len(), 16);
+        let macs: HashSet<_> = points.iter().map(|p| p.mac).collect();
+        assert_eq!(macs.len(), 2, "both MACs must appear in the pool");
+    }
+
+    #[test]
+    fn pool_entries_are_distinct_and_constraint_satisfying() {
+        let enc = paper_encoding();
+        let constraints = TopologyConstraints::paper_default();
+        let (points, _) = enc.solve_pool().unwrap();
+        let set: HashSet<_> = points.iter().collect();
+        assert_eq!(set.len(), points.len());
+        for pt in &points {
+            assert!(constraints.is_satisfied(pt.placement), "{pt}");
+        }
+    }
+
+    #[test]
+    fn power_cut_advances_to_next_level() {
+        let app = AppParams::default();
+        let mut enc = paper_encoding();
+        let (_, p1) = enc.solve_pool().unwrap();
+        enc.add_power_cut(p1.unwrap());
+        let (points, p2) = enc.solve_pool().unwrap();
+        assert!(p2.unwrap() > p1.unwrap());
+        // Second-cheapest class: 4 nodes, -10 dBm, star.
+        for pt in &points {
+            assert_eq!(pt.tx_power, TxPower::Minus10Dbm, "{pt}");
+            assert_eq!(pt.routing, RouteChoice::Star, "{pt}");
+            assert!((analytic_power_mw(pt, &app) - p2.unwrap()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cut_ladder_reaches_infeasibility() {
+        // 18 (N, power, routing) cost levels at most; cutting repeatedly
+        // must terminate with an empty pool.
+        let mut enc = paper_encoding();
+        let mut levels = Vec::new();
+        for _ in 0..32 {
+            let (points, p) = enc.solve_pool().unwrap();
+            match p {
+                None => break,
+                Some(p) => {
+                    assert!(!points.is_empty());
+                    levels.push(p);
+                    enc.add_power_cut(p);
+                }
+            }
+        }
+        assert!(!levels.is_empty());
+        assert!(levels.len() <= 18, "at most 18 distinct cost levels");
+        assert!(levels.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        // After the ladder is exhausted the model must be infeasible.
+        let (points, p) = enc.solve_pool().unwrap();
+        assert!(points.is_empty() && p.is_none());
+    }
+
+    #[test]
+    fn ladder_orders_star_before_equal_size_mesh() {
+        let mut enc = paper_encoding();
+        let mut first_mesh_level = None;
+        let mut last_star4_level = None;
+        for level in 0.. {
+            let (points, p) = enc.solve_pool().unwrap();
+            let Some(p) = p else { break };
+            for pt in &points {
+                if pt.routing == RouteChoice::Mesh && first_mesh_level.is_none() {
+                    first_mesh_level = Some(level);
+                }
+                if pt.routing == RouteChoice::Star && pt.num_nodes() == 4 {
+                    last_star4_level = Some(level);
+                }
+            }
+            enc.add_power_cut(p);
+        }
+        let (fm, ls) = (first_mesh_level.unwrap(), last_star4_level.unwrap());
+        assert!(
+            fm > ls,
+            "every 4-node star level ({ls}) must precede the first mesh level ({fm})"
+        );
+    }
+
+    #[test]
+    fn required_site_always_selected() {
+        let enc = paper_encoding();
+        let (points, _) = enc.solve_pool().unwrap();
+        for pt in points {
+            assert!(pt.placement.contains_index(0), "chest required");
+        }
+    }
+}

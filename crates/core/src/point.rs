@@ -1,0 +1,323 @@
+//! The design vector: node placements `ν` and stack configuration `χ`.
+
+use std::fmt;
+
+use hi_channel::BodyLocation;
+use hi_net::{MacKind, NetworkConfig, Routing, TxPower};
+
+/// A set of occupied body locations — the paper's topology vector
+/// `ν = (n0, ..., n9)`, packed as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Placement(u16);
+
+impl Placement {
+    /// The empty placement.
+    pub const EMPTY: Placement = Placement(0);
+
+    /// Builds a placement from location indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= 10`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut mask = 0u16;
+        for i in indices {
+            assert!(i < BodyLocation::COUNT, "location index {i} out of range");
+            mask |= 1 << i;
+        }
+        Placement(mask)
+    }
+
+    /// Builds a placement from [`BodyLocation`]s.
+    pub fn from_locations<I: IntoIterator<Item = BodyLocation>>(locs: I) -> Self {
+        Self::from_indices(locs.into_iter().map(|l| l.index()))
+    }
+
+    /// Builds a placement directly from a bitmask over location indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit `>= 10` is set.
+    pub fn from_mask(mask: u16) -> Self {
+        assert!(
+            mask < (1 << BodyLocation::COUNT),
+            "placement mask {mask:#x} uses bits beyond the 10 sites"
+        );
+        Placement(mask)
+    }
+
+    /// The raw bitmask.
+    pub fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the site with index `i` is occupied.
+    pub fn contains_index(self, i: usize) -> bool {
+        i < BodyLocation::COUNT && self.0 & (1 << i) != 0
+    }
+
+    /// Whether `loc` is occupied.
+    pub fn contains(self, loc: BodyLocation) -> bool {
+        self.contains_index(loc.index())
+    }
+
+    /// Number of occupied sites (the paper's `N`).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no site is occupied.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds a site, returning the extended placement.
+    pub fn with(self, loc: BodyLocation) -> Placement {
+        Placement(self.0 | (1 << loc.index()))
+    }
+
+    /// Removes a site, returning the reduced placement.
+    pub fn without(self, loc: BodyLocation) -> Placement {
+        Placement(self.0 & !(1 << loc.index()))
+    }
+
+    /// The occupied locations in index order.
+    pub fn locations(self) -> Vec<BodyLocation> {
+        BodyLocation::ALL
+            .iter()
+            .copied()
+            .filter(|l| self.contains(*l))
+            .collect()
+    }
+
+    /// Iterates over occupied location indices in ascending order.
+    pub fn indices(self) -> impl Iterator<Item = usize> {
+        let mask = self.0;
+        (0..BodyLocation::COUNT).filter(move |i| mask & (1 << i) != 0)
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let idx: Vec<String> = self.indices().map(|i| i.to_string()).collect();
+        write!(f, "[{}]", idx.join(","))
+    }
+}
+
+/// MAC protocol choice (`PMAC`), parameter-free at the exploration level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MacChoice {
+    /// Contention-based access.
+    Csma,
+    /// Time-division access.
+    Tdma,
+}
+
+impl MacChoice {
+    /// Both options.
+    pub const ALL: [MacChoice; 2] = [MacChoice::Csma, MacChoice::Tdma];
+}
+
+impl fmt::Display for MacChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacChoice::Csma => write!(f, "CSMA"),
+            MacChoice::Tdma => write!(f, "TDMA"),
+        }
+    }
+}
+
+/// Routing protocol choice (`Prt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteChoice {
+    /// Star with the chest coordinator (`ncoor = n0`, paper §4.1).
+    Star,
+    /// Two-hop controlled-flooding mesh (`Nhops = 2`).
+    Mesh,
+}
+
+impl RouteChoice {
+    /// Both options.
+    pub const ALL: [RouteChoice; 2] = [RouteChoice::Star, RouteChoice::Mesh];
+
+    /// The paper's `Prt` bit (1 for mesh).
+    pub fn prt(self) -> u8 {
+        match self {
+            RouteChoice::Star => 0,
+            RouteChoice::Mesh => 1,
+        }
+    }
+}
+
+impl fmt::Display for RouteChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteChoice::Star => write!(f, "Star"),
+            RouteChoice::Mesh => write!(f, "Mesh"),
+        }
+    }
+}
+
+/// One point of the design space: `(ν, χ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DesignPoint {
+    /// Node placements (`ν`).
+    pub placement: Placement,
+    /// Radio transmit power level.
+    pub tx_power: TxPower,
+    /// MAC protocol.
+    pub mac: MacChoice,
+    /// Routing protocol.
+    pub routing: RouteChoice,
+}
+
+impl DesignPoint {
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Lowers the design point into a simulatable [`NetworkConfig`] with
+    /// the paper's §4.1 stack defaults (chest coordinator, 2-hop mesh,
+    /// 1 ms TDMA slots, non-persistent CSMA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a star point does not include the chest (the coordinator
+    /// site); the paper's topological constraints always place it.
+    pub fn to_network_config(&self) -> NetworkConfig {
+        let placements = self.placement.locations();
+        let routing = match self.routing {
+            RouteChoice::Star => {
+                let coordinator = placements
+                    .iter()
+                    .position(|&l| l == BodyLocation::Chest)
+                    .expect("star topology requires the chest coordinator site");
+                Routing::Star { coordinator }
+            }
+            RouteChoice::Mesh => Routing::mesh(),
+        };
+        let mac = match self.mac {
+            MacChoice::Csma => MacKind::csma(),
+            MacChoice::Tdma => MacKind::tdma(),
+        };
+        NetworkConfig::new(placements, self.tx_power, mac, routing)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.placement, self.routing, self.mac, self.tx_power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_bit_manipulation() {
+        let p = Placement::from_indices([0, 3, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(BodyLocation::Chest));
+        assert!(p.contains(BodyLocation::LeftAnkle));
+        assert!(!p.contains(BodyLocation::Back));
+        let q = p.with(BodyLocation::Back).without(BodyLocation::Chest);
+        assert!(q.contains(BodyLocation::Back));
+        assert!(!q.contains(BodyLocation::Chest));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn placement_display_lists_indices() {
+        assert_eq!(Placement::from_indices([0, 1, 3, 6]).to_string(), "[0,1,3,6]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placement_rejects_bad_index() {
+        Placement::from_indices([10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 10 sites")]
+    fn placement_rejects_bad_mask() {
+        Placement::from_mask(1 << 10);
+    }
+
+    #[test]
+    fn locations_round_trip() {
+        let locs = vec![BodyLocation::Chest, BodyLocation::LeftWrist];
+        let p = Placement::from_locations(locs.clone());
+        assert_eq!(p.locations(), locs);
+    }
+
+    #[test]
+    fn to_network_config_star_uses_chest_coordinator() {
+        let pt = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let cfg = pt.to_network_config();
+        assert_eq!(cfg.coordinator(), Some(0));
+        assert_eq!(cfg.placements[0], BodyLocation::Chest);
+        assert_eq!(cfg.num_nodes(), 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "chest coordinator")]
+    fn star_without_chest_panics() {
+        let pt = DesignPoint {
+            placement: Placement::from_indices([1, 3, 5]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let _ = pt.to_network_config();
+    }
+
+    #[test]
+    fn mesh_config_has_two_hops() {
+        let pt = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: TxPower::Minus10Dbm,
+            mac: MacChoice::Csma,
+            routing: RouteChoice::Mesh,
+        };
+        let cfg = pt.to_network_config();
+        assert!(matches!(cfg.routing, Routing::Mesh { max_hops: 2, .. }));
+        assert_eq!(cfg.coordinator(), None);
+    }
+
+    #[test]
+    fn display_is_fig3_style() {
+        let pt = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 6]),
+            tx_power: TxPower::Minus10Dbm,
+            mac: MacChoice::Csma,
+            routing: RouteChoice::Star,
+        };
+        assert_eq!(pt.to_string(), "[0,1,3,6] Star CSMA -10dBm");
+    }
+
+    #[test]
+    fn design_point_is_hashable_key() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let pt = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 6]),
+            tx_power: TxPower::Minus10Dbm,
+            mac: MacChoice::Csma,
+            routing: RouteChoice::Star,
+        };
+        assert!(set.insert(pt));
+        assert!(!set.insert(pt));
+    }
+}

@@ -1,0 +1,197 @@
+//! The coarse analytic power model (paper eqs. 3, 5 and 9) and the
+//! α optimality-gap correction of Algorithm 1.
+
+use hi_net::{AppParams, RadioParams, TxPower};
+
+use crate::point::{DesignPoint, RouteChoice};
+
+/// `NreTx` — the maximum number of transmissions of one packet in a
+/// two-hop flooding mesh of `n` nodes (paper §4.1: `N² − 4N + 5`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn nretx_two_hop(n: usize) -> f64 {
+    assert!(n >= 2, "mesh needs at least two nodes");
+    (n * n) as f64 - 4.0 * n as f64 + 5.0
+}
+
+/// The paper's analytic radio power `Prd` in mW (eq. 5) for a
+/// non-coordinator node.
+///
+/// * Star (`Prt = 0`): `φ·Tpkt·(TxmW + 2(N−1)·RxmW)` — per round a node
+///   transmits once and hears both the originals and the coordinator's
+///   relayed copies.
+/// * Mesh (`Prt = 1`): `φ·Tpkt·NreTx·(TxmW + (N−1)·RxmW)`.
+pub fn radio_power_mw(n: usize, tx_power: TxPower, routing: RouteChoice, app: &AppParams) -> f64 {
+    let radio = RadioParams::cc2650(tx_power);
+    let tpkt = 8.0 * app.packet_len_bytes as f64 / radio.bit_rate_bps;
+    let phi = app.packets_per_second;
+    let tx_mw = tx_power.consumption_mw();
+    let rx_mw = radio.rx_consumption_mw;
+    match routing {
+        RouteChoice::Star => phi * tpkt * (tx_mw + 2.0 * (n as f64 - 1.0) * rx_mw),
+        RouteChoice::Mesh => phi * tpkt * nretx_two_hop(n) * (tx_mw + (n as f64 - 1.0) * rx_mw),
+    }
+}
+
+/// The analytic total node power `P̄` in mW (eq. 9): baseline plus radio.
+pub fn analytic_power_mw(point: &DesignPoint, app: &AppParams) -> f64 {
+    app.baseline_power_w * 1e3
+        + radio_power_mw(point.num_nodes(), point.tx_power, point.routing, app)
+}
+
+/// The α correction of Algorithm 1's termination test.
+///
+/// `P̄` assumes every packet is received and every retransmission happens;
+/// a network that only achieves `PDRmin` may burn as little as
+/// `P̄lb = Pbl + Tx-side + PDRmin · Rx-side`. The returned
+/// `α = P̄ / P̄lb ≥ 1` therefore bounds how far the simulated power of a
+/// candidate can fall below its analytic estimate, so
+/// `P̄*/α > P̄min` proves no unexplored candidate can beat the incumbent.
+///
+/// # Panics
+///
+/// Panics if `pdr_min` is outside `[0, 1]`.
+pub fn alpha(point: &DesignPoint, pdr_min: f64, app: &AppParams) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&pdr_min),
+        "pdr_min must be within [0, 1], got {pdr_min}"
+    );
+    let radio = RadioParams::cc2650(point.tx_power);
+    let tpkt = 8.0 * app.packet_len_bytes as f64 / radio.bit_rate_bps;
+    let phi = app.packets_per_second;
+    let n = point.num_nodes() as f64;
+    let tx_mw = point.tx_power.consumption_mw();
+    let rx_mw = radio.rx_consumption_mw;
+    let (tx_side, rx_side) = match point.routing {
+        RouteChoice::Star => (phi * tpkt * tx_mw, phi * tpkt * 2.0 * (n - 1.0) * rx_mw),
+        RouteChoice::Mesh => {
+            let re = nretx_two_hop(point.num_nodes());
+            (
+                // In a lossy mesh even the relaying transmissions dry up,
+                // but a node always sends its own originals.
+                phi * tpkt * (1.0 + (re - 1.0) * pdr_min) * tx_mw,
+                phi * tpkt * re * (n - 1.0) * rx_mw * pdr_min,
+            )
+        }
+    };
+    let baseline = app.baseline_power_w * 1e3;
+    let p_bar = analytic_power_mw(point, app);
+    let p_lb = baseline
+        + match point.routing {
+            RouteChoice::Star => tx_side + pdr_min * rx_side,
+            RouteChoice::Mesh => tx_side + rx_side,
+        };
+    p_bar / p_lb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{MacChoice, Placement};
+
+    fn point(n: usize, tx: TxPower, routing: RouteChoice) -> DesignPoint {
+        // Any placement with n nodes will do for the analytic model.
+        DesignPoint {
+            placement: Placement::from_indices(0..n),
+            tx_power: tx,
+            mac: MacChoice::Tdma,
+            routing,
+        }
+    }
+
+    #[test]
+    fn nretx_matches_paper_examples() {
+        assert_eq!(nretx_two_hop(4), 5.0);
+        assert_eq!(nretx_two_hop(5), 10.0);
+        assert_eq!(nretx_two_hop(6), 17.0);
+    }
+
+    #[test]
+    fn star_power_hand_computed() {
+        // N=4, 0 dBm: Prd = 10 * 781.25e-6 * (18.3 + 6*17.7) mW.
+        let app = AppParams::default();
+        let p = radio_power_mw(4, TxPower::ZeroDbm, RouteChoice::Star, &app);
+        let expected = 10.0 * (800.0 / 1_024_000.0) * (18.3 + 6.0 * 17.7);
+        assert!((p - expected).abs() < 1e-12);
+        // ~0.97 mW: matches the order of magnitude behind Fig. 3's ~26 d.
+        assert!(p > 0.9 && p < 1.05);
+    }
+
+    #[test]
+    fn mesh_power_uses_nretx() {
+        let app = AppParams::default();
+        let p = radio_power_mw(5, TxPower::ZeroDbm, RouteChoice::Mesh, &app);
+        let expected = 10.0 * (800.0 / 1_024_000.0) * 10.0 * (18.3 + 4.0 * 17.7);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_power_adds_baseline() {
+        let app = AppParams::default();
+        let pt = point(4, TxPower::ZeroDbm, RouteChoice::Star);
+        let total = analytic_power_mw(&pt, &app);
+        let radio = radio_power_mw(4, TxPower::ZeroDbm, RouteChoice::Star, &app);
+        assert!((total - (0.1 + radio)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_orderings_that_drive_the_search() {
+        let app = AppParams::default();
+        // More Tx power costs more.
+        assert!(
+            analytic_power_mw(&point(4, TxPower::Minus20Dbm, RouteChoice::Star), &app)
+                < analytic_power_mw(&point(4, TxPower::Minus10Dbm, RouteChoice::Star), &app)
+        );
+        // More nodes cost more.
+        assert!(
+            analytic_power_mw(&point(4, TxPower::ZeroDbm, RouteChoice::Star), &app)
+                < analytic_power_mw(&point(5, TxPower::ZeroDbm, RouteChoice::Star), &app)
+        );
+        // Mesh costs more than star at the same size/power.
+        assert!(
+            analytic_power_mw(&point(5, TxPower::ZeroDbm, RouteChoice::Star), &app)
+                < analytic_power_mw(&point(5, TxPower::ZeroDbm, RouteChoice::Mesh), &app)
+        );
+        // A 0 dBm star is cheaper than ANY -20 dBm mesh of the same size:
+        // this is why the ladder visits all star powers first.
+        assert!(
+            analytic_power_mw(&point(4, TxPower::ZeroDbm, RouteChoice::Star), &app)
+                < analytic_power_mw(&point(4, TxPower::Minus20Dbm, RouteChoice::Mesh), &app)
+        );
+    }
+
+    #[test]
+    fn alpha_at_full_reliability_is_one() {
+        let app = AppParams::default();
+        for routing in [RouteChoice::Star, RouteChoice::Mesh] {
+            let pt = point(5, TxPower::ZeroDbm, routing);
+            let a = alpha(&pt, 1.0, &app);
+            assert!((a - 1.0).abs() < 1e-12, "alpha(1.0) = {a}");
+        }
+    }
+
+    #[test]
+    fn alpha_grows_as_reliability_relaxes() {
+        let app = AppParams::default();
+        let pt = point(5, TxPower::ZeroDbm, RouteChoice::Star);
+        let a90 = alpha(&pt, 0.9, &app);
+        let a50 = alpha(&pt, 0.5, &app);
+        assert!(a90 > 1.0);
+        assert!(a50 > a90);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn alpha_validates_pdr() {
+        let app = AppParams::default();
+        alpha(&point(4, TxPower::ZeroDbm, RouteChoice::Star), 1.5, &app);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn nretx_rejects_tiny_networks() {
+        nretx_two_hop(1);
+    }
+}

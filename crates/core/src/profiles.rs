@@ -1,0 +1,89 @@
+//! Application profiles: the paper's motivating use cases as presets.
+//!
+//! §1 of the paper frames the design tension with two archetypes: an
+//! everyday activity monitor that tolerates occasional packet drops but
+//! must live long on a coin cell, and a safety-critical wearable (the
+//! insulin-delivery example) where reliability dominates everything.
+//! These presets capture that spectrum as ready-made [`Problem`]s.
+
+use crate::algorithm1::Problem;
+
+/// A named reliability/lifetime trade-off preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppProfile {
+    /// Everyday physical-activity monitoring: "achieving the longest
+    /// possible battery lifetime is preferred, while a few packet drops
+    /// can occasionally be tolerated" (§1).
+    FitnessMonitoring,
+    /// Continuous clinical vital-signs monitoring: losses must be rare
+    /// enough not to hide clinically relevant episodes.
+    ClinicalMonitoring,
+    /// Safety-critical actuation (the paper's wearable insulin-delivery
+    /// example): "reliability becomes of utmost importance" (§1).
+    SafetyCritical,
+}
+
+impl AppProfile {
+    /// All profiles, ordered by rising reliability demand.
+    pub const ALL: [AppProfile; 3] = [
+        AppProfile::FitnessMonitoring,
+        AppProfile::ClinicalMonitoring,
+        AppProfile::SafetyCritical,
+    ];
+
+    /// The reliability floor `PDRmin` this profile demands.
+    pub fn pdr_min(self) -> f64 {
+        match self {
+            AppProfile::FitnessMonitoring => 0.60,
+            AppProfile::ClinicalMonitoring => 0.95,
+            AppProfile::SafetyCritical => 0.999,
+        }
+    }
+
+    /// Short display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AppProfile::FitnessMonitoring => "fitness-monitoring",
+            AppProfile::ClinicalMonitoring => "clinical-monitoring",
+            AppProfile::SafetyCritical => "safety-critical",
+        }
+    }
+
+    /// The exploration problem for this profile over the paper's §4.1
+    /// design space.
+    pub fn problem(self) -> Problem {
+        Problem::paper_default(self.pdr_min())
+    }
+}
+
+impl std::fmt::Display for AppProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_rise_with_criticality() {
+        let floors: Vec<f64> = AppProfile::ALL.iter().map(|p| p.pdr_min()).collect();
+        assert!(floors.windows(2).all(|w| w[0] < w[1]));
+        assert!(floors.iter().all(|f| (0.0..=1.0).contains(f)));
+    }
+
+    #[test]
+    fn problems_use_the_paper_space() {
+        for profile in AppProfile::ALL {
+            let p = profile.problem();
+            assert_eq!(p.space.points().len(), 1320);
+            assert!((p.pdr_min - profile.pdr_min()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AppProfile::SafetyCritical.to_string(), "safety-critical");
+    }
+}

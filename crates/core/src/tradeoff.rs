@@ -1,0 +1,159 @@
+//! Reliability/lifetime trade-off sweeps — the paper's Fig. 3 arrows as
+//! an API.
+//!
+//! Running [`explore`] once answers "what is the best design for *this*
+//! `PDRmin`?". Designers usually want the whole frontier: how the
+//! architecture migrates (weak star → strong star → mesh → bigger mesh)
+//! as the floor rises, and what each step costs in lifetime.
+//! [`explore_tradeoff`] runs Algorithm 1 per floor against a *shared*
+//! memoizing evaluator, so the sweep costs barely more than its most
+//! demanding floor.
+
+use crate::algorithm1::{explore, ExploreError, Problem, StopReason};
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::point::DesignPoint;
+
+/// One floor of a trade-off sweep.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// The reliability floor explored.
+    pub pdr_min: f64,
+    /// The optimal design and its measured performance (`None` if the
+    /// floor is infeasible).
+    pub best: Option<(DesignPoint, Evaluation)>,
+    /// Unique simulations newly run for this floor (cache hits excluded).
+    pub new_simulations: u64,
+    /// Why Algorithm 1 stopped at this floor.
+    pub stop_reason: StopReason,
+}
+
+/// Runs Algorithm 1 for every floor in `floors` (any order), sharing
+/// `evaluator`'s cache across floors. Results are returned in the given
+/// floor order.
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`].
+///
+/// # Panics
+///
+/// Panics if a floor lies outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use hi_core::{explore_tradeoff, power, DesignPoint, Evaluation,
+///               FnEvaluator, Problem};
+/// use hi_net::AppParams;
+///
+/// # fn main() -> Result<(), hi_core::ExploreError> {
+/// let app = AppParams::default();
+/// let mut oracle = FnEvaluator::new(move |p: &DesignPoint| {
+///     let power = power::analytic_power_mw(p, &app);
+///     Evaluation { pdr: 0.9, nlt_days: 2430.0 / power / 86.4, power_mw: power }
+/// });
+/// let problem = Problem::paper_default(0.5);
+/// let sweep = explore_tradeoff(&problem, &[0.5, 0.8], &mut oracle)?;
+/// assert_eq!(sweep.len(), 2);
+/// assert!(sweep.iter().all(|t| t.best.is_some()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_tradeoff(
+    template: &Problem,
+    floors: &[f64],
+    evaluator: &mut dyn Evaluator,
+) -> Result<Vec<TradeoffPoint>, ExploreError> {
+    let mut out = Vec::with_capacity(floors.len());
+    for &floor in floors {
+        assert!(
+            (0.0..=1.0).contains(&floor),
+            "floor {floor} outside [0, 1]"
+        );
+        let problem = Problem {
+            space: template.space.clone(),
+            pdr_min: floor,
+            app: template.app,
+        };
+        let before = evaluator.unique_evaluations();
+        let outcome = explore(&problem, evaluator)?;
+        out.push(TradeoffPoint {
+            pdr_min: floor,
+            best: outcome.best,
+            new_simulations: evaluator.unique_evaluations() - before,
+            stop_reason: outcome.stop_reason,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+    use crate::point::RouteChoice;
+    use crate::power::analytic_power_mw;
+    use hi_net::{AppParams, TxPower};
+
+    fn ladder_oracle(point: &DesignPoint) -> Evaluation {
+        let app = AppParams::default();
+        let base = match point.tx_power {
+            TxPower::Minus20Dbm => 0.45,
+            TxPower::Minus10Dbm => 0.70,
+            TxPower::ZeroDbm => 0.93,
+        };
+        let bonus: f64 = if point.routing == RouteChoice::Mesh { 0.06 } else { 0.0 };
+        let power = analytic_power_mw(point, &app);
+        Evaluation {
+            pdr: (base + bonus).min(1.0),
+            nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+            power_mw: power,
+        }
+    }
+
+    #[test]
+    fn lifetime_is_monotone_in_the_floor() {
+        let template = Problem::paper_default(0.5);
+        let mut ev = FnEvaluator::new(ladder_oracle);
+        let sweep =
+            explore_tradeoff(&template, &[0.4, 0.6, 0.9, 0.98], &mut ev).unwrap();
+        let nlts: Vec<f64> = sweep
+            .iter()
+            .map(|t| t.best.as_ref().expect("feasible").1.nlt_days)
+            .collect();
+        assert!(
+            nlts.windows(2).all(|w| w[0] >= w[1]),
+            "lifetime must not rise with the floor: {nlts:?}"
+        );
+    }
+
+    #[test]
+    fn shared_cache_makes_later_floors_cheap() {
+        let template = Problem::paper_default(0.5);
+        let mut ev = FnEvaluator::new(ladder_oracle);
+        let sweep = explore_tradeoff(&template, &[0.9, 0.9], &mut ev).unwrap();
+        assert!(sweep[0].new_simulations > 0);
+        assert_eq!(sweep[1].new_simulations, 0, "second pass fully cached");
+    }
+
+    #[test]
+    fn infeasible_floor_reported() {
+        let template = Problem::paper_default(0.5);
+        let mut ev = FnEvaluator::new(|p: &DesignPoint| {
+            let mut e = ladder_oracle(p);
+            e.pdr = e.pdr.min(0.98);
+            e
+        });
+        let sweep = explore_tradeoff(&template, &[0.99], &mut ev).unwrap();
+        assert!(sweep[0].best.is_none());
+        assert_eq!(sweep[0].stop_reason, StopReason::MilpExhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn floors_validated() {
+        let template = Problem::paper_default(0.5);
+        let mut ev = FnEvaluator::new(ladder_oracle);
+        let _ = explore_tradeoff(&template, &[1.5], &mut ev);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based verification of the exploration machinery:
+//!
+//! * the MILP encoding's pool equals the brute-force set of analytic-cost
+//!   minimizers for random topological constraint sets;
+//! * Algorithm 1 returns the exhaustive-search optimum whenever the
+//!   simulated power respects the analytic model (α-soundness premise).
+
+use hi_core::power::analytic_power_mw;
+use hi_core::{
+    exhaustive_search, explore, DesignPoint, DesignSpace, Evaluation, FnEvaluator,
+    MilpEncoding, Problem, TopologyConstraints,
+};
+use hi_net::AppParams;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn constraints_strategy() -> impl Strategy<Value = TopologyConstraints> {
+    (
+        prop::sample::subsequence((0..10usize).collect::<Vec<_>>(), 0..3),
+        prop::collection::vec(
+            prop::sample::subsequence((0..10usize).collect::<Vec<_>>(), 1..4),
+            0..3,
+        ),
+        2usize..5,
+        0usize..4,
+    )
+        .prop_map(|(required, groups, min_nodes, extra)| TopologyConstraints {
+            required,
+            at_least_one: groups,
+            implications: Vec::new(),
+            min_nodes,
+            max_nodes: min_nodes + extra,
+        })
+        .prop_filter("non-empty space", |c| !c.feasible_placements().is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn milp_pool_equals_brute_force_minimizers(constraints in constraints_strategy()) {
+        let app = AppParams::default();
+        let enc = MilpEncoding::new(&constraints, &app);
+        let (pool, p_star) = enc.solve_pool().expect("solves");
+        let space = DesignSpace::new(constraints);
+        let points = space.points();
+        prop_assert!(!points.is_empty());
+        let p_star = p_star.expect("feasible space must yield an optimum");
+
+        // Brute force: every point attaining the minimum analytic power.
+        let best = points
+            .iter()
+            .map(|p| analytic_power_mw(p, &app))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((best - p_star).abs() < 1e-6, "milp {p_star} vs brute {best}");
+        let want: HashSet<DesignPoint> = points
+            .into_iter()
+            .filter(|p| (analytic_power_mw(p, &app) - best).abs() < 1e-9)
+            .collect();
+        let got: HashSet<DesignPoint> = pool.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn algorithm1_equals_exhaustive_under_sound_oracle(
+        constraints in constraints_strategy(),
+        pdr_seed in any::<u64>(),
+        floor in 0.1f64..0.95,
+    ) {
+        // Oracle: deterministic pseudo-random PDR per point, simulated
+        // power exactly the analytic value (so the α bound is sound).
+        let app = AppParams::default();
+        let oracle = move |p: &DesignPoint| {
+            let mut h = pdr_seed
+                ^ (u64::from(p.placement.mask()) << 7)
+                ^ ((p.tx_power as u64) << 30)
+                ^ ((p.routing as u64) << 40)
+                ^ ((p.mac as u64) << 50);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            let pdr = (h % 1000) as f64 / 999.0;
+            let power = analytic_power_mw(p, &app);
+            Evaluation {
+                pdr,
+                nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+                power_mw: power,
+            }
+        };
+        let problem = Problem {
+            space: DesignSpace::new(constraints),
+            pdr_min: floor,
+            app,
+        };
+        let mut a1_ev = FnEvaluator::new(oracle);
+        let a1 = explore(&problem, &mut a1_ev).expect("explore");
+        let mut ex_ev = FnEvaluator::new(oracle);
+        let ex = exhaustive_search(&problem, &mut ex_ev);
+
+        prop_assert_eq!(
+            a1.best.map(|(_, e)| e.power_mw.to_bits()),
+            ex.best.map(|(_, e)| e.power_mw.to_bits()),
+            "optimum mismatch"
+        );
+        prop_assert!(a1.simulations <= ex.simulations);
+    }
+}

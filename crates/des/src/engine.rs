@@ -1,0 +1,259 @@
+//! The future-event list and simulation clock.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable to [`cancel`](Engine::cancel) it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap (a max-heap):
+        // earliest time first; FIFO among equal times via the sequence no.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine.
+///
+/// The engine is generic over the model's event type `E`. It maintains the
+/// future-event list, the simulation clock and (lazily) cancelled timers.
+/// Events scheduled for the same instant are delivered in scheduling order.
+///
+/// See the [crate-level example](crate) for usage.
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    horizon: SimTime,
+    delivered: u64,
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("delivered", &self.delivered)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at zero and no horizon.
+    pub fn new() -> Self {
+        Self {
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            horizon: SimTime::MAX,
+            delivered: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (including lazily cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sets the horizon: events strictly after it are never delivered.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a cancel handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the engine's current time):
+    /// causality would be violated.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now = {}, requested = {}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pops the next event, advancing the clock. Returns `None` once the
+    /// queue is exhausted or the next event lies beyond the horizon.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let next = self.queue.pop()?;
+            if self.cancelled.remove(&next.seq) {
+                continue;
+            }
+            if next.time > self.horizon {
+                // Past the horizon: simulation over. Leave the clock where
+                // it is; drop the event (and the rest stays in the queue,
+                // which is fine because `pop` will keep returning `None`
+                // only after re-pushing).
+                self.queue.push(next);
+                return None;
+            }
+            self.now = next.time;
+            self.delivered += 1;
+            return Some((next.time, next.event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_nanos(30), "c");
+        e.schedule_at(SimTime::from_nanos(10), "a");
+        e.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, x)| x).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            e.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, x)| x).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2.0), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1.0), ());
+        e.pop();
+        e.schedule_at(SimTime::from_secs(0.5), ());
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_nanos(1), "x");
+        e.schedule_at(SimTime::from_nanos(2), "y");
+        e.cancel(h);
+        assert_eq!(e.pop().map(|(_, v)| v), Some("y"));
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_nanos(1), ());
+        e.pop();
+        e.cancel(h); // no panic, no effect
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut e = Engine::new();
+        e.set_horizon(SimTime::from_secs(1.0));
+        e.schedule_at(SimTime::from_secs(0.5), "in");
+        e.schedule_at(SimTime::from_secs(1.5), "out");
+        assert_eq!(e.pop().map(|(_, v)| v), Some("in"));
+        assert_eq!(e.pop(), None);
+        // Event exactly at the horizon still fires.
+        let mut e = Engine::new();
+        e.set_horizon(SimTime::from_secs(1.0));
+        e.schedule_at(SimTime::from_secs(1.0), "edge");
+        assert_eq!(e.pop().map(|(_, v)| v), Some("edge"));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1.0), 0u8);
+        e.pop();
+        e.schedule_in(SimDuration::from_secs(0.5), 1u8);
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1.5));
+    }
+
+    #[test]
+    fn delivered_counter() {
+        let mut e = Engine::new();
+        for i in 0..5 {
+            e.schedule_at(SimTime::from_nanos(i), i);
+        }
+        while e.pop().is_some() {}
+        assert_eq!(e.delivered(), 5);
+    }
+}

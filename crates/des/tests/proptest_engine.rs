@@ -1,0 +1,98 @@
+//! Property-based tests of the event engine: delivery order, FIFO ties,
+//! cancellation and horizon semantics under arbitrary schedules.
+
+use hi_des::{Engine, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn delivery_is_sorted_and_complete(times in prop::collection::vec(0u64..1_000, 0..64)) {
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut delivered = Vec::new();
+        while let Some((t, id)) = engine.pop() {
+            delivered.push((t.as_nanos(), id));
+        }
+        // Complete: every scheduled event arrives exactly once.
+        prop_assert_eq!(delivered.len(), times.len());
+        // Sorted by time, FIFO among equal timestamps (ids ascend within
+        // the same instant because we scheduled them in id order).
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..1_000, 1..64),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut engine = Engine::new();
+        let mut keep = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let h = engine.schedule_at(SimTime::from_nanos(t), i);
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                engine.cancel(h);
+            } else {
+                keep.push(i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, id)) = engine.pop() {
+            delivered.push(id);
+        }
+        delivered.sort_unstable();
+        prop_assert_eq!(delivered, keep);
+    }
+
+    #[test]
+    fn horizon_is_a_clean_cut(
+        times in prop::collection::vec(0u64..1_000, 1..64),
+        horizon in 0u64..1_000,
+    ) {
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::from_nanos(horizon));
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut count = 0usize;
+        while let Some((t, _)) = engine.pop() {
+            prop_assert!(t.as_nanos() <= horizon);
+            count += 1;
+        }
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn clock_is_monotone_under_interleaved_scheduling(
+        seeds in prop::collection::vec(0u64..100, 1..32),
+    ) {
+        // Re-schedule from inside the run loop (events spawn events).
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::from_nanos(5_000));
+        for (i, &s) in seeds.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(s), i as u64);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, gen)) = engine.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            if gen < 1_000 {
+                // Spawn a follow-up event a pseudo-random delay ahead.
+                let delay = (gen * 37 + 11) % 400 + 1;
+                engine.schedule_at(
+                    SimTime::from_nanos(t.as_nanos() + delay),
+                    gen + 1_000,
+                );
+            }
+        }
+    }
+}

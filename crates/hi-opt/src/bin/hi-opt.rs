@@ -1,0 +1,298 @@
+//! `hi-opt` command-line interface.
+//!
+//! ```text
+//! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42]
+//! hi-opt simulate --sites 0,1,3,5 --power 0 --mac tdma --routing mesh
+//! hi-opt space
+//! ```
+
+use std::process::ExitCode;
+
+use hi_opt::channel::{BodyLocation, ChannelParams};
+use hi_opt::des::SimDuration;
+use hi_opt::net::{simulate_averaged, MacKind, NetworkConfig, Routing, TxPower};
+use hi_opt::{explore, explore_tradeoff, DesignSpace, Evaluator, Problem, SimEvaluator};
+
+const USAGE: &str = "\
+hi-opt — optimized design of a Human Intranet network (DAC 2017)
+
+USAGE:
+    hi-opt explore  --pdr-min <0..1> [--tsim <secs>] [--runs <n>] [--seed <n>]
+    hi-opt tradeoff [--floors <p1,p2,...>] [--tsim <secs>] [--runs <n>] [--seed <n>]
+    hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
+                    --routing <star|mesh> [--tsim <secs>] [--runs <n>] [--seed <n>]
+    hi-opt space
+
+COMMANDS:
+    explore    run Algorithm 1: MILP-proposed candidates verified by
+               discrete-event simulation; prints the lifetime-optimal
+               configuration meeting the PDR floor
+    tradeoff   sweep reliability floors and print the architecture ladder
+               (default floors: 50,60,70,80,90,95,99%)
+    simulate   evaluate one explicit configuration
+    space      describe the design space and its constraints
+
+SITES (index = paper's n_i):
+    0 chest  1 l-hip  2 r-hip  3 l-ankle  4 r-ankle
+    5 l-wrist  6 r-wrist  7 l-arm  8 head  9 back
+";
+
+struct Common {
+    t_sim: SimDuration,
+    runs: u32,
+    seed: u64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "explore" => cmd_explore(&args[1..]),
+        "tradeoff" => cmd_tradeoff(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "space" => cmd_space(),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), String> {
+    let mut common = Common {
+        t_sim: SimDuration::from_secs(60.0),
+        runs: 3,
+        seed: 0xDAC_2017,
+    };
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        let value = args
+            .get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("missing value for `{key}`"))?;
+        match key.as_str() {
+            "--tsim" => {
+                let secs: f64 = value.parse().map_err(|_| "bad --tsim".to_owned())?;
+                common.t_sim = SimDuration::from_secs(secs);
+            }
+            "--runs" => common.runs = value.parse().map_err(|_| "bad --runs".to_owned())?,
+            "--seed" => common.seed = value.parse().map_err(|_| "bad --seed".to_owned())?,
+            _ => rest.push((key, value)),
+        }
+        i += 2;
+    }
+    if common.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    if common.t_sim.is_zero() {
+        return Err("--tsim must be positive".into());
+    }
+    Ok((common, rest))
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    let (common, rest) = parse_common(args)?;
+    let mut pdr_min = None;
+    for (k, v) in rest {
+        match k.as_str() {
+            "--pdr-min" => {
+                pdr_min = Some(v.parse::<f64>().map_err(|_| "bad --pdr-min".to_owned())?)
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let pdr_min = pdr_min.ok_or("explore requires --pdr-min")?;
+    if !(0.0..=1.0).contains(&pdr_min) {
+        return Err("--pdr-min must be within [0, 1]".into());
+    }
+    let problem = Problem::paper_default(pdr_min);
+    let mut evaluator =
+        SimEvaluator::new(ChannelParams::default(), common.t_sim, common.runs, common.seed);
+    let outcome = explore(&problem, &mut evaluator).map_err(|e| e.to_string())?;
+    match outcome.best {
+        Some((point, eval)) => {
+            println!("optimal design : {point}");
+            println!(
+                "placements     : {:?}",
+                point
+                    .placement
+                    .locations()
+                    .iter()
+                    .map(|l| l.name())
+                    .collect::<Vec<_>>()
+            );
+            println!("PDR            : {:.2}%", eval.pdr * 100.0);
+            println!("lifetime       : {:.1} days", eval.nlt_days);
+            println!("worst power    : {:.3} mW", eval.power_mw);
+        }
+        None => println!("infeasible: no configuration reaches {:.1}% PDR", pdr_min * 100.0),
+    }
+    println!(
+        "effort         : {} simulations, {} MILP iterations ({:?})",
+        outcome.simulations, outcome.iterations, outcome.stop_reason
+    );
+    Ok(())
+}
+
+fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
+    let (common, rest) = parse_common(args)?;
+    let mut floors: Vec<f64> = vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99];
+    for (k, v) in rest {
+        match k.as_str() {
+            "--floors" => {
+                floors = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map(|p| p / 100.0))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "bad --floors (expected e.g. 50,80,95)".to_owned())?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if floors.iter().any(|f| !(0.0..=1.0).contains(f)) {
+        return Err("floors must be percentages within [0, 100]".into());
+    }
+    let template = Problem::paper_default(0.5);
+    let mut evaluator =
+        SimEvaluator::new(ChannelParams::default(), common.t_sim, common.runs, common.seed);
+    let sweep =
+        explore_tradeoff(&template, &floors, &mut evaluator).map_err(|e| e.to_string())?;
+    println!("{:>7}  {:<34} {:>7} {:>10}", "PDRmin", "design", "PDR", "lifetime");
+    for point in sweep {
+        match point.best {
+            Some((design, eval)) => println!(
+                "{:>6.1}%  {:<34} {:>6.1}% {:>8.1} d",
+                point.pdr_min * 100.0,
+                design.to_string(),
+                eval.pdr * 100.0,
+                eval.nlt_days
+            ),
+            None => println!("{:>6.1}%  (infeasible)", point.pdr_min * 100.0),
+        }
+    }
+    println!(
+        "total unique simulations: {}",
+        evaluator.unique_evaluations()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (common, rest) = parse_common(args)?;
+    let mut sites: Option<Vec<usize>> = None;
+    let mut power = None;
+    let mut mac = None;
+    let mut routing = None;
+    for (k, v) in rest {
+        match k.as_str() {
+            "--sites" => {
+                sites = Some(
+                    v.split(',')
+                        .map(|s| s.trim().parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| "bad --sites (expected e.g. 0,1,3,5)".to_owned())?,
+                )
+            }
+            "--power" => {
+                power = Some(match v.as_str() {
+                    "-20" => TxPower::Minus20Dbm,
+                    "-10" => TxPower::Minus10Dbm,
+                    "0" => TxPower::ZeroDbm,
+                    _ => return Err("bad --power (use -20, -10 or 0)".into()),
+                })
+            }
+            "--mac" => {
+                mac = Some(match v.as_str() {
+                    "csma" => MacKind::csma(),
+                    "tdma" => MacKind::tdma(),
+                    _ => return Err("bad --mac (use csma or tdma)".into()),
+                })
+            }
+            "--routing" => {
+                routing = Some(match v.as_str() {
+                    "star" => None, // resolved after sites are known
+                    "mesh" => Some(Routing::mesh()),
+                    _ => return Err("bad --routing (use star or mesh)".into()),
+                })
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let sites = sites.ok_or("simulate requires --sites")?;
+    let power = power.ok_or("simulate requires --power")?;
+    let mac = mac.ok_or("simulate requires --mac")?;
+    let routing = routing.ok_or("simulate requires --routing")?;
+
+    let placements: Vec<BodyLocation> = sites
+        .iter()
+        .map(|&i| BodyLocation::from_index(i).ok_or(format!("site index {i} out of range")))
+        .collect::<Result<_, _>>()?;
+    let routing = match routing {
+        Some(mesh) => mesh,
+        None => {
+            let coordinator = placements
+                .iter()
+                .position(|&l| l == BodyLocation::Chest)
+                .ok_or("star routing requires site 0 (chest) as coordinator")?;
+            Routing::Star { coordinator }
+        }
+    };
+    let cfg = NetworkConfig::new(placements, power, mac, routing);
+    cfg.validate().map_err(|e| e.to_string())?;
+    let out = simulate_averaged(&cfg, ChannelParams::default(), common.t_sim, common.seed, common.runs)
+        .map_err(|e| e.to_string())?;
+    println!("configuration  : {}", cfg.summary());
+    println!("PDR            : {:.2}%", out.pdr_percent());
+    println!("lifetime       : {:.1} days", out.nlt_days);
+    println!("worst power    : {:.3} mW", out.max_power_mw);
+    println!(
+        "latency        : mean {:.2} ms, jitter {:.2} ms, max {:.2} ms",
+        out.latency.mean_ms, out.latency.std_ms, out.latency.max_ms
+    );
+    println!(
+        "traffic        : {} generated, {} transmissions, {} collisions, {} drops",
+        out.counts.generated,
+        out.counts.transmissions,
+        out.counts.collisions,
+        out.counts.buffer_drops + out.counts.mac_drops
+    );
+    Ok(())
+}
+
+fn cmd_space() -> Result<(), String> {
+    let space = DesignSpace::paper_default();
+    let constraints = space.constraints();
+    println!("design space (paper §4.1 defaults)");
+    println!("  candidate sites      : 10 (see `hi-opt --help` for the index map)");
+    println!("  required             : chest (n0 = 1)");
+    println!("  at least one of      : {{l-hip, r-hip}}, {{l-ankle, r-ankle}}, {{l-wrist, r-wrist}}");
+    println!(
+        "  node count           : {} ..= {}",
+        constraints.min_nodes, constraints.max_nodes
+    );
+    println!(
+        "  feasible placements  : {}",
+        constraints.feasible_placements().len()
+    );
+    println!("  stack choices        : 3 Tx powers x 2 MACs x 2 routings");
+    println!("  feasible points      : {}", space.points().len());
+    println!(
+        "  unconstrained space  : {} (the paper's 12,288)",
+        DesignSpace::unconstrained_size()
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `hi-opt` — Optimized Design of a Human Intranet Network.
+//!
+//! Umbrella crate for the open-source reproduction of Moin, Nuzzo,
+//! Sangiovanni-Vincentelli and Rabaey, *"Optimized Design of a Human
+//! Intranet Network"*, DAC 2017. It re-exports the workspace crates under
+//! one roof:
+//!
+//! * [`milp`] — the exact MILP solver (simplex + branch & bound + pools);
+//! * [`des`] — the discrete-event simulation kernel;
+//! * [`channel`] — the time-varying on-body wireless channel;
+//! * [`net`] — the WBAN stack simulator (radio / MAC / routing / app);
+//! * [`core`] — the design-space explorer (Algorithm 1 and baselines),
+//!   whose items are also re-exported at the top level.
+//!
+//! # Example
+//!
+//! ```
+//! use hi_opt::{explore, Problem, SimEvaluator};
+//! use hi_opt::channel::ChannelParams;
+//! use hi_opt::des::SimDuration;
+//!
+//! # fn main() -> Result<(), hi_opt::ExploreError> {
+//! let problem = Problem::paper_default(0.60);
+//! let mut sim = SimEvaluator::new(ChannelParams::default(),
+//!                                 SimDuration::from_secs(10.0), 1, 1);
+//! let outcome = explore(&problem, &mut sim)?;
+//! assert!(outcome.is_feasible());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hi_channel as channel;
+pub use hi_core as core;
+pub use hi_des as des;
+pub use hi_milp as milp;
+pub use hi_net as net;
+
+pub use hi_core::{
+    AppProfile, exhaustive_search, explore, explore_with_options, simulated_annealing, DesignPoint,
+    DesignSpace, Evaluation, ExploreOptions,
+    Evaluator, ExhaustiveOutcome, ExplorationOutcome, ExploreError, FnEvaluator, MacChoice,
+    MilpEncoding, Placement, Problem, RouteChoice, SaOutcome, SaParams, SimEvaluator,
+    StopReason, TopologyConstraints, TradeoffPoint, explore_tradeoff,
+};

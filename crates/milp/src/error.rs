@@ -1,0 +1,60 @@
+//! Error types for model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the solve entry points of this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// A variable's lower bound exceeds its upper bound.
+    InvalidBounds {
+        /// Name of the offending variable.
+        var: String,
+    },
+    /// The model has no objective set.
+    MissingObjective,
+    /// A constraint or the objective contains a non-finite coefficient.
+    NonFiniteCoefficient,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+    /// The branch & bound node limit was exceeded.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidBounds { var } => {
+                write!(f, "variable `{var}` has lower bound above upper bound")
+            }
+            SolveError::MissingObjective => write!(f, "model has no objective"),
+            SolveError::NonFiniteCoefficient => {
+                write!(f, "model contains a non-finite coefficient")
+            }
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::NodeLimit => write!(f, "branch and bound node limit exceeded"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SolveError::MissingObjective;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<SolveError>();
+    }
+}

@@ -1,0 +1,361 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::VarId;
+
+/// One `coefficient * variable` term of a [`LinExpr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Term {
+    /// The variable this term refers to.
+    pub var: VarId,
+    /// The multiplying coefficient.
+    pub coeff: f64,
+}
+
+/// A linear expression `c0 + c1*x1 + c2*x2 + ...`.
+///
+/// `LinExpr` supports the arithmetic you would expect from a modelling
+/// language: expressions, variables, and `f64` scalars can be combined with
+/// `+`, `-` and `*` (scalar multiplication only — the expression is linear
+/// by construction).
+///
+/// ```
+/// use hi_milp::{LinExpr, Model, VarType};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let e = x * 2.0 + y - 1.0;
+/// assert_eq!(e.constant(), -1.0);
+/// assert_eq!(e.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// Coefficients keyed by variable; kept sorted for determinism.
+    coeffs: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a constant expression.
+    pub fn constant_expr(value: f64) -> Self {
+        Self {
+            coeffs: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// Creates the expression `1.0 * var`.
+    pub fn var(var: VarId) -> Self {
+        Self::term(var, 1.0)
+    }
+
+    /// Creates the expression `coeff * var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(var, coeff);
+        Self {
+            coeffs,
+            constant: 0.0,
+        }
+    }
+
+    /// Sums `1.0 * v` over an iterator of variables.
+    pub fn sum<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        let mut e = Self::new();
+        for v in vars {
+            e.add_term(v, 1.0);
+        }
+        e
+    }
+
+    /// Adds `coeff * var` to this expression in place.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) {
+        let entry = self.coeffs.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() == 0.0 {
+            self.coeffs.remove(&var);
+        }
+    }
+
+    /// The additive constant of the expression.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Adds to the additive constant.
+    pub fn add_constant(&mut self, value: f64) {
+        self.constant += value;
+    }
+
+    /// The coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.coeffs.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The non-zero terms, ordered by variable index.
+    pub fn terms(&self) -> Vec<Term> {
+        self.coeffs
+            .iter()
+            .map(|(&var, &coeff)| Term { var, coeff })
+            .collect()
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.coeffs.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// True if the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates the expression against a dense assignment
+    /// (`values[i]` is the value of the variable with index `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of bounds for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .map(|(v, c)| c * values[v.0])
+                .sum::<f64>()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+impl AddAssign<LinExpr> for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.coeffs {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl SubAssign<LinExpr> for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.coeffs {
+            self.add_term(v, -c);
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.coeffs.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        self.coeffs.retain(|_, c| {
+            *c *= rhs;
+            c.abs() != 0.0
+        });
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+// -- VarId arithmetic sugar ------------------------------------------------
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        LinExpr::var(self) + LinExpr::var(rhs)
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::var(self) + rhs
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        self + LinExpr::var(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Add<f64> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::var(self) + rhs
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        LinExpr::var(self) - LinExpr::var(rhs)
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        self - LinExpr::var(rhs)
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::var(self) - rhs
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Sub<f64> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        LinExpr::var(self) - rhs
+    }
+}
+
+impl Mul<f64> for VarId {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::term(self, rhs)
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: VarId) -> LinExpr {
+        LinExpr::term(rhs, self)
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::new(), |acc, e| acc + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn add_and_merge_terms() {
+        let e = v(0) + v(1) + v(0);
+        assert_eq!(e.coeff(v(0)), 2.0);
+        assert_eq!(e.coeff(v(1)), 1.0);
+    }
+
+    #[test]
+    fn cancellation_removes_term() {
+        let e = v(0) - v(0);
+        assert!(e.is_constant());
+        assert_eq!(e.terms().len(), 0);
+    }
+
+    #[test]
+    fn scalar_mul_scales_everything() {
+        let e = (v(0) + 2.0) * 3.0;
+        assert_eq!(e.coeff(v(0)), 3.0);
+        assert_eq!(e.constant(), 6.0);
+    }
+
+    #[test]
+    fn eval_dense() {
+        let e = v(0) * 2.0 + v(2) - 1.0;
+        assert_eq!(e.eval(&[1.0, 99.0, 4.0]), 2.0 + 4.0 - 1.0);
+    }
+
+    #[test]
+    fn sum_of_vars() {
+        let e = LinExpr::sum([v(0), v(1), v(2)]);
+        assert_eq!(e.terms().len(), 3);
+        assert_eq!(e.coeff(v(1)), 1.0);
+    }
+
+    #[test]
+    fn neg_flips_signs() {
+        let e = -(v(0) * 2.0 - 3.0);
+        assert_eq!(e.coeff(v(0)), -2.0);
+        assert_eq!(e.constant(), 3.0);
+    }
+
+    #[test]
+    fn sum_trait_accumulates() {
+        let e: LinExpr = (0..3).map(|i| v(i) * (i as f64 + 1.0)).sum();
+        assert_eq!(e.coeff(v(2)), 3.0);
+    }
+}

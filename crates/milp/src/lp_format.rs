@@ -1,0 +1,239 @@
+//! CPLEX-LP-format export.
+//!
+//! Writes a [`Model`] in the widely understood LP text format so models
+//! can be inspected, diffed in tests, or cross-checked against external
+//! solvers (CPLEX, Gurobi, HiGHS, `lp_solve` all read it).
+
+use std::fmt::Write as _;
+
+use crate::{LinExpr, Model, Objective, Sense, VarType};
+
+/// Renders `model` in CPLEX LP format.
+///
+/// Variable names are taken from the model; empty or duplicate names are
+/// made unique by suffixing the dense index, since the LP format requires
+/// identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use hi_milp::{lp_format, Model, Sense};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_integer("y", 0.0, 5.0);
+/// m.add_constraint(x + y, Sense::Le, 4.0);
+/// m.maximize(x * 3.0 + y * 2.0);
+/// let text = lp_format::to_lp_string(&m);
+/// assert!(text.starts_with("Maximize"));
+/// assert!(text.contains("Binaries"));
+/// ```
+pub fn to_lp_string(model: &Model) -> String {
+    let names = unique_names(model);
+    let mut out = String::new();
+
+    match model.objective.as_ref() {
+        Some((Objective::Maximize, e)) => {
+            out.push_str("Maximize\n obj: ");
+            write_expr(&mut out, e, &names);
+        }
+        Some((Objective::Minimize, e)) => {
+            out.push_str("Minimize\n obj: ");
+            write_expr(&mut out, e, &names);
+        }
+        None => out.push_str("Minimize\n obj: 0"),
+    }
+    out.push('\n');
+
+    out.push_str("Subject To\n");
+    for (i, c) in model.constraints.iter().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        write_expr(&mut out, &c.expr, &names);
+        let op = match c.sense {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        };
+        let _ = writeln!(out, " {} {}", op, fmt_num(c.rhs));
+    }
+
+    out.push_str("Bounds\n");
+    for (i, v) in model.vars.iter().enumerate() {
+        if v.ty == VarType::Binary {
+            continue; // implied 0/1
+        }
+        let name = &names[i];
+        let lb = v.lb;
+        let ub = v.ub;
+        if lb == f64::NEG_INFINITY && ub == f64::INFINITY {
+            let _ = writeln!(out, " {name} free");
+        } else if lb == f64::NEG_INFINITY {
+            let _ = writeln!(out, " -inf <= {name} <= {}", fmt_num(ub));
+        } else if ub == f64::INFINITY {
+            let _ = writeln!(out, " {name} >= {}", fmt_num(lb));
+        } else {
+            let _ = writeln!(out, " {} <= {name} <= {}", fmt_num(lb), fmt_num(ub));
+        }
+    }
+
+    let generals: Vec<&String> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == VarType::Integer)
+        .map(|(i, _)| &names[i])
+        .collect();
+    if !generals.is_empty() {
+        out.push_str("Generals\n");
+        for n in generals {
+            let _ = writeln!(out, " {n}");
+        }
+    }
+    let binaries: Vec<&String> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == VarType::Binary)
+        .map(|(i, _)| &names[i])
+        .collect();
+    if !binaries.is_empty() {
+        out.push_str("Binaries\n");
+        for n in binaries {
+            let _ = writeln!(out, " {n}");
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn unique_names(model: &Model) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let base = sanitize(v.name());
+            let name = if base.is_empty() || !seen.insert(base.clone()) {
+                let fallback = format!("{base}_{i}");
+                seen.insert(fallback.clone());
+                fallback
+            } else {
+                base
+            };
+            name
+        })
+        .collect()
+}
+
+/// LP identifiers cannot start with a digit or contain operators.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'x');
+    }
+    s
+}
+
+fn write_expr(out: &mut String, e: &LinExpr, names: &[String]) {
+    let mut first = true;
+    for (v, c) in e.iter() {
+        if first {
+            if c < 0.0 {
+                let _ = write!(out, "- {} {}", fmt_num(-c), names[v.index()]);
+            } else {
+                let _ = write!(out, "{} {}", fmt_num(c), names[v.index()]);
+            }
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(out, " - {} {}", fmt_num(-c), names[v.index()]);
+        } else {
+            let _ = write!(out, " + {} {}", fmt_num(c), names[v.index()]);
+        }
+    }
+    let k = e.constant();
+    if k != 0.0 || first {
+        if first {
+            let _ = write!(out, "{}", fmt_num(k));
+        } else if k < 0.0 {
+            let _ = write!(out, " - {}", fmt_num(-k));
+        } else {
+            let _ = write!(out, " + {}", fmt_num(k));
+        }
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn golden_small_model() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_integer("y", 0.0, 5.0);
+        let z = m.add_continuous("z", -1.0, f64::INFINITY);
+        m.add_constraint(x + y * 2.0 - z, Sense::Le, 4.0);
+        m.add_constraint(y - x, Sense::Ge, 0.0);
+        m.maximize(x * 3.0 + y * 2.0 + z * 0.5);
+        let text = to_lp_string(&m);
+        let expected = "\
+Maximize
+ obj: 3 x + 2 y + 0.5 z
+Subject To
+ c0: 1 x + 2 y - 1 z <= 4
+ c1: - 1 x + 1 y >= 0
+Bounds
+ 0 <= y <= 5
+ z >= -1
+Generals
+ y
+Binaries
+ x
+End
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn duplicate_and_bad_names_are_fixed() {
+        let mut m = Model::new();
+        m.add_binary("a b"); // space -> underscore
+        m.add_binary("a_b"); // now duplicate
+        m.add_binary("1st"); // leading digit
+        m.minimize(crate::LinExpr::constant_expr(0.0));
+        let text = to_lp_string(&m);
+        assert!(text.contains("a_b"));
+        assert!(text.contains("a_b_1"));
+        assert!(text.contains("x1st"));
+    }
+
+    #[test]
+    fn free_variable_rendered() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.minimize(x * 1.0);
+        assert!(to_lp_string(&m).contains(" x free"));
+    }
+
+    #[test]
+    fn constant_objective_renders() {
+        let mut m = Model::new();
+        let _ = m.add_binary("b");
+        m.minimize(crate::LinExpr::constant_expr(7.0));
+        let text = to_lp_string(&m);
+        assert!(text.contains("obj: 7"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Enumeration of all optimal solutions ("solution pool").
+//!
+//! Algorithm 1 of the paper expects the MILP solver to return *the set* of
+//! configurations attaining the current optimum (`RunMILP` returns
+//! `S = {(ν*_j, χ*_j)}`). CPLEX offers this through its solution pool; we
+//! reproduce it by repeatedly re-solving with a *no-good cut* that excludes
+//! each found binary assignment:
+//!
+//! ```text
+//! sum_{b: b*=1} (1 - b)  +  sum_{b: b*=0} b  >=  1
+//! ```
+//!
+//! Enumeration stops when the objective degrades beyond `obj_tol` or the
+//! model becomes infeasible, so the returned pool is exactly the set of
+//! optimal binary assignments (up to `max_solutions`).
+
+use crate::{LinExpr, Model, Sense, Solution, SolveError, SolveStatus, VarId, VarType};
+
+/// Options controlling [`enumerate_optima`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// Stop after this many solutions (safety valve; pools in this
+    /// workspace are small but adversarial models could explode).
+    pub max_solutions: usize,
+    /// Two objective values within this tolerance count as "equal optimum".
+    pub obj_tol: f64,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            max_solutions: 256,
+            obj_tol: 1e-6,
+        }
+    }
+}
+
+/// All optimal solutions of `model`, distinguished by their **binary**
+/// variable assignments.
+///
+/// Two optima that differ only in continuous/general-integer variables are
+/// considered the same pool entry (the paper's design vector is fully
+/// binary, so this is the natural equivalence).
+///
+/// Returns an empty vector if the model is infeasible or unbounded.
+///
+/// # Errors
+///
+/// Propagates solver failures from [`Model::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use hi_milp::{pool, Model, Sense};
+///
+/// # fn main() -> Result<(), hi_milp::SolveError> {
+/// let mut m = Model::new();
+/// let a = m.add_binary("a");
+/// let b = m.add_binary("b");
+/// m.add_constraint(a + b, Sense::Eq, 1.0); // pick exactly one
+/// m.minimize(a + b);                       // both choices cost 1
+/// let pool = pool::enumerate_optima(&m, pool::PoolOptions::default())?;
+/// assert_eq!(pool.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_optima(
+    model: &Model,
+    options: PoolOptions,
+) -> Result<Vec<Solution>, SolveError> {
+    let binaries: Vec<VarId> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == VarType::Binary)
+        .map(|(i, _)| VarId(i))
+        .collect();
+
+    let mut work = model.clone();
+    let mut pool = Vec::new();
+    let mut best: Option<f64> = None;
+
+    while pool.len() < options.max_solutions {
+        let sol = work.solve()?;
+        if sol.status() != SolveStatus::Optimal {
+            break;
+        }
+        match best {
+            None => {
+                best = Some(sol.objective());
+                // Pin the objective to the optimal level: subsequent solves
+                // become feasibility probes and branch & bound can prune
+                // any node whose relaxation already degrades the optimum.
+                if let Some((dir, expr)) = &model.objective {
+                    let expr = expr.clone();
+                    match dir {
+                        crate::Objective::Minimize => work.add_constraint(
+                            expr,
+                            Sense::Le,
+                            sol.objective() + options.obj_tol,
+                        ),
+                        crate::Objective::Maximize => work.add_constraint(
+                            expr,
+                            Sense::Ge,
+                            sol.objective() - options.obj_tol,
+                        ),
+                    }
+                }
+            }
+            Some(b) => {
+                let degraded = match model.objective {
+                    Some((crate::Objective::Minimize, _)) => {
+                        sol.objective() > b + options.obj_tol
+                    }
+                    Some((crate::Objective::Maximize, _)) => {
+                        sol.objective() < b - options.obj_tol
+                    }
+                    None => true,
+                };
+                if degraded {
+                    break;
+                }
+            }
+        }
+        if binaries.is_empty() {
+            // No binary structure to enumerate over: the unique LP/MIP
+            // optimum is the whole pool.
+            pool.push(sol);
+            break;
+        }
+        // Build the no-good cut before moving `sol` into the pool.
+        let mut cut = LinExpr::new();
+        let mut ones = 0.0;
+        for &b in &binaries {
+            if sol.int_value(b) == 1 {
+                cut.add_term(b, -1.0);
+                ones += 1.0;
+            } else {
+                cut.add_term(b, 1.0);
+            }
+        }
+        // sum_{b*=0} b + sum_{b*=1} (1 - b) >= 1   <=>   cut >= 1 - ones
+        work.add_constraint(cut, Sense::Ge, 1.0 - ones);
+        pool.push(sol);
+    }
+    Ok(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn symmetric_optima_all_found() {
+        // choose exactly 2 of 4 equal-cost binaries: C(4,2) = 6 optima.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.add_constraint(LinExpr::sum(vars.clone()), Sense::Eq, 2.0);
+        m.minimize(LinExpr::sum(vars));
+        let pool = enumerate_optima(&m, PoolOptions::default()).unwrap();
+        assert_eq!(pool.len(), 6);
+        // All entries distinct.
+        let mut keys: Vec<Vec<i64>> = pool
+            .iter()
+            .map(|s| (0..4).map(|i| s.int_value(VarId(i))).collect())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn unique_optimum_single_entry() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_constraint(a + b, Sense::Ge, 1.0);
+        m.minimize(a * 1.0 + b * 2.0);
+        let pool = enumerate_optima(&m, PoolOptions::default()).unwrap();
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool[0].int_value(a), 1);
+        assert_eq!(pool[0].int_value(b), 0);
+    }
+
+    #[test]
+    fn infeasible_gives_empty_pool() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        m.add_constraint(a * 1.0, Sense::Ge, 2.0);
+        m.minimize(a * 1.0);
+        let pool = enumerate_optima(&m, PoolOptions::default()).unwrap();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn max_solutions_caps_enumeration() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.add_constraint(LinExpr::sum(vars.clone()), Sense::Eq, 3.0);
+        m.minimize(LinExpr::constant_expr(0.0));
+        let pool = enumerate_optima(
+            &m,
+            PoolOptions {
+                max_solutions: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn maximization_pool() {
+        // maximize a + b with a + b <= 1: two optima (1,0) and (0,1).
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_constraint(a + b, Sense::Le, 1.0);
+        m.maximize(a + b);
+        let pool = enumerate_optima(&m, PoolOptions::default()).unwrap();
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_respects_objective_gap() {
+        // optima at cost 1 (two ways), next best cost 2 — pool must stop at 2 entries.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(a + b + c, Sense::Ge, 1.0);
+        m.minimize(a * 1.0 + b * 1.0 + c * 2.0);
+        let pool = enumerate_optima(&m, PoolOptions::default()).unwrap();
+        assert_eq!(pool.len(), 2);
+        for s in &pool {
+            assert!((s.objective() - 1.0).abs() < 1e-6);
+        }
+    }
+}

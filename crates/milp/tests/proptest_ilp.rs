@@ -1,0 +1,170 @@
+//! Property-based verification of the MILP solver against brute force.
+//!
+//! For random small binary ILPs we enumerate all 2^n assignments directly
+//! and check that branch & bound (a) agrees on feasibility and (b) returns
+//! the same optimal objective. The pool enumeration is checked to return
+//! exactly the set of optimal assignments.
+
+use hi_milp::{pool, LinExpr, Model, Sense, SolveStatus, VarId};
+use proptest::prelude::*;
+
+/// A randomly generated binary ILP instance description.
+#[derive(Debug, Clone)]
+struct Instance {
+    nvars: usize,
+    obj: Vec<f64>,
+    /// (coeffs, sense index 0..3, rhs)
+    constraints: Vec<(Vec<f64>, u8, f64)>,
+    maximize: bool,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..7).prop_flat_map(|nvars| {
+        let coeff = -5.0..5.0f64;
+        let obj = prop::collection::vec(coeff.clone(), nvars);
+        let con = (
+            prop::collection::vec(-4.0..4.0f64, nvars),
+            0u8..3,
+            -6.0..6.0f64,
+        );
+        let constraints = prop::collection::vec(con, 1..5);
+        (obj, constraints, any::<bool>()).prop_map(move |(obj, constraints, maximize)| {
+            Instance {
+                nvars,
+                obj,
+                constraints,
+                maximize,
+            }
+        })
+    })
+}
+
+fn build_model(inst: &Instance) -> (Model, Vec<VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..inst.nvars)
+        .map(|i| m.add_binary(&format!("b{i}")))
+        .collect();
+    for (coeffs, sense, rhs) in &inst.constraints {
+        let mut e = LinExpr::new();
+        for (v, c) in vars.iter().zip(coeffs) {
+            e.add_term(*v, round2(*c));
+        }
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        m.add_constraint(e, sense, round2(*rhs));
+    }
+    let mut o = LinExpr::new();
+    for (v, c) in vars.iter().zip(&inst.obj) {
+        o.add_term(*v, round2(*c));
+    }
+    if inst.maximize {
+        m.maximize(o);
+    } else {
+        m.minimize(o);
+    }
+    (m, vars)
+}
+
+/// Round coefficients to 2 decimals so brute-force feasibility checks and
+/// the solver agree despite floating point tolerances.
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Enumerates all assignments; returns (best objective, set of optimal keys).
+fn brute_force(inst: &Instance) -> Option<(f64, Vec<u64>)> {
+    let mut best: Option<f64> = None;
+    let mut winners: Vec<u64> = Vec::new();
+    for mask in 0u64..(1 << inst.nvars) {
+        let x: Vec<f64> = (0..inst.nvars)
+            .map(|i| ((mask >> i) & 1) as f64)
+            .collect();
+        let feasible = inst.constraints.iter().all(|(coeffs, sense, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(c, v)| round2(*c) * v).sum();
+            let rhs = round2(*rhs);
+            match sense {
+                0 => lhs <= rhs + 1e-9,
+                1 => lhs >= rhs - 1e-9,
+                _ => (lhs - rhs).abs() <= 1e-9,
+            }
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: f64 = inst.obj.iter().zip(&x).map(|(c, v)| round2(*c) * v).sum();
+        let better = match best {
+            None => true,
+            Some(b) => {
+                if inst.maximize {
+                    obj > b + 1e-9
+                } else {
+                    obj < b - 1e-9
+                }
+            }
+        };
+        if better {
+            best = Some(obj);
+            winners.clear();
+            winners.push(mask);
+        } else if let Some(b) = best {
+            if (obj - b).abs() <= 1e-9 {
+                winners.push(mask);
+            }
+        }
+    }
+    best.map(|b| (b, winners))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(inst in instance_strategy()) {
+        let (m, _) = build_model(&inst);
+        let sol = m.solve().unwrap();
+        match brute_force(&inst) {
+            None => prop_assert_eq!(sol.status(), SolveStatus::Infeasible),
+            Some((best, _)) => {
+                prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+                prop_assert!((sol.objective() - best).abs() < 1e-5,
+                    "solver {} vs brute {}", sol.objective(), best);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_matches_brute_force_optima(inst in instance_strategy()) {
+        let (m, vars) = build_model(&inst);
+        let found = pool::enumerate_optima(&m, pool::PoolOptions::default()).unwrap();
+        match brute_force(&inst) {
+            None => prop_assert!(found.is_empty()),
+            Some((_, winners)) => {
+                let mut got: Vec<u64> = found
+                    .iter()
+                    .map(|s| {
+                        vars.iter()
+                            .enumerate()
+                            .map(|(i, &v)| (s.int_value(v) as u64) << i)
+                            .sum()
+                    })
+                    .collect();
+                got.sort_unstable();
+                let mut want = winners.clone();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_solutions_are_feasible(inst in instance_strategy()) {
+        let (m, _) = build_model(&inst);
+        let sol = m.solve().unwrap();
+        if sol.is_optimal() {
+            prop_assert!(m.is_feasible(sol.values(), 1e-6));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! WBAN network simulator for the Human Intranet.
+//!
+//! This crate is the discrete-event network-simulation substrate of the
+//! `hi-opt` workspace (the role Castalia/OMNeT++ plays in the DAC 2017
+//! paper). It models the four-layer node stack of the paper's §2.1.2 over
+//! the [`hi_des`] kernel and the [`hi_channel`] body channel:
+//!
+//! * **Radio** — the TI CC2650 of Table 1 ([`RadioParams::cc2650`]), with
+//!   three selectable transmit power levels ([`TxPower`]), a link-budget
+//!   reception rule and per-transmission/reception energy metering.
+//! * **MAC** — non-persistent CSMA (Castalia's `TunableMAC` flavour) or
+//!   round-robin TDMA with 1 ms slots ([`MacKind`]).
+//! * **Routing** — star with a relaying coordinator, or controlled
+//!   flooding mesh with hop counter and visited history ([`Routing`]).
+//! * **Application** — periodic fixed-size packets with sequence numbers,
+//!   from which the packet delivery ratio (eqs. 6–7) and network lifetime
+//!   (eq. 4) are computed ([`SimOutcome`]).
+//!
+//! # Example
+//!
+//! Simulate the paper's 4-node star at 0 dBm for one simulated minute:
+//!
+//! ```
+//! use hi_channel::{BodyLocation, ChannelParams};
+//! use hi_des::SimDuration;
+//! use hi_net::{simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower};
+//!
+//! # fn main() -> Result<(), hi_net::ConfigError> {
+//! let cfg = NetworkConfig::new(
+//!     vec![
+//!         BodyLocation::Chest,
+//!         BodyLocation::LeftHip,
+//!         BodyLocation::LeftAnkle,
+//!         BodyLocation::LeftWrist,
+//!     ],
+//!     TxPower::ZeroDbm,
+//!     MacKind::csma(),
+//!     Routing::Star { coordinator: 0 },
+//! );
+//! let out = simulate_stochastic(&cfg, ChannelParams::default(),
+//!                               SimDuration::from_secs(60.0), 7)?;
+//! assert!(out.pdr > 0.5 && out.pdr <= 1.0);
+//! assert!(out.nlt_days > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod medium;
+mod metrics;
+mod packet;
+mod params;
+mod runner;
+mod sim;
+pub mod trace;
+
+pub use metrics::{average_outcomes, network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts};
+pub use packet::Packet;
+pub use params::{
+    AlohaParams, AppParams, ConfigError, CsmaAccessMode, CsmaParams, FloodMode, HybridParams,
+    MacKind,
+    NetworkConfig, NodeFault,
+    RadioParams, Routing,
+    TdmaParams, TxPower, CR2032_ENERGY_J,
+};
+pub use runner::{simulate, simulate_averaged, simulate_stochastic};
+pub use sim::NetworkSim;

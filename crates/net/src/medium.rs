@@ -1,0 +1,252 @@
+//! Shared-medium arbitration: concurrent transmissions and collisions.
+//!
+//! The body-area network shares a single wireless channel. A transmission
+//! is *audible* at a receiver when the link budget closes at transmission
+//! start (`TxdBm ≥ RxdBm + PL(i,j,t)`). Two audible transmissions that
+//! overlap in time at the same receiver corrupt each other there (no
+//! capture effect). A node that starts transmitting while a reception is
+//! in progress loses that reception (half-duplex radio).
+//!
+//! Corruption is applied *eagerly* when the second transmission starts, so
+//! no interval history is needed; at `end_tx` the surviving receptions are
+//! handed to the protocol stack.
+
+use hi_des::SimTime;
+
+use crate::packet::Packet;
+
+/// The outcome of one reception attempt at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reception {
+    /// Receiving node index.
+    pub receiver: usize,
+    /// Whether an overlapping transmission (or the receiver's own
+    /// transmission) corrupted this reception.
+    pub corrupted: bool,
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    tx: usize,
+    packet: Packet,
+    #[allow(dead_code)] // retained for debugging/tracing
+    start: SimTime,
+    receptions: Vec<Reception>,
+}
+
+/// The shared channel's bookkeeping of in-flight transmissions.
+#[derive(Debug, Default)]
+pub struct Medium {
+    active: Vec<ActiveTx>,
+    collisions: u64,
+}
+
+impl Medium {
+    /// An idle medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Node indices currently transmitting.
+    pub fn active_transmitters(&self) -> impl Iterator<Item = usize> + '_ {
+        self.active.iter().map(|a| a.tx)
+    }
+
+    /// `(transmitter, start time)` of each in-flight transmission —
+    /// persistent CSMA uses this to re-sense exactly when the channel
+    /// frees.
+    pub fn active_transmissions(&self) -> impl Iterator<Item = (usize, SimTime)> + '_ {
+        self.active.iter().map(|a| (a.tx, a.start))
+    }
+
+    /// Number of in-flight transmissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total receptions corrupted by collisions so far.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Registers a transmission starting now.
+    ///
+    /// `audible` lists the receivers whose link budget closes for this
+    /// transmission (already excluding nodes that are themselves
+    /// transmitting). Overlap corruption with concurrently active
+    /// transmissions is applied immediately, in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` already has an active transmission.
+    pub fn start_tx(&mut self, tx: usize, packet: Packet, start: SimTime, audible: &[usize]) {
+        assert!(
+            self.active.iter().all(|a| a.tx != tx),
+            "node {tx} started a transmission while already transmitting"
+        );
+        let mut receptions: Vec<Reception> = audible
+            .iter()
+            .map(|&receiver| Reception {
+                receiver,
+                corrupted: false,
+            })
+            .collect();
+        for a in &mut self.active {
+            // The new transmitter abandons any reception in progress.
+            for r in &mut a.receptions {
+                if r.receiver == tx && !r.corrupted {
+                    r.corrupted = true;
+                    self.collisions += 1;
+                }
+            }
+            // Mutual corruption wherever both transmissions are audible.
+            for new_r in &mut receptions {
+                if let Some(old_r) = a
+                    .receptions
+                    .iter_mut()
+                    .find(|r| r.receiver == new_r.receiver)
+                {
+                    if !old_r.corrupted {
+                        old_r.corrupted = true;
+                        self.collisions += 1;
+                    }
+                    if !new_r.corrupted {
+                        new_r.corrupted = true;
+                        self.collisions += 1;
+                    }
+                }
+            }
+        }
+        self.active.push(ActiveTx {
+            tx,
+            packet,
+            start,
+            receptions,
+        });
+    }
+
+    /// Completes `tx`'s transmission, returning the packet and the final
+    /// reception outcomes (corrupted and clean alike — the radio spent
+    /// receive energy either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` has no active transmission.
+    pub fn end_tx(&mut self, tx: usize) -> (Packet, Vec<Reception>) {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.tx == tx)
+            .unwrap_or_else(|| panic!("node {tx} has no active transmission to end"));
+        let a = self.active.swap_remove(idx);
+        (a.packet, a.receptions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(origin: usize) -> Packet {
+        Packet::new(origin, 0)
+    }
+
+    #[test]
+    fn single_tx_delivers_clean() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[1, 2]);
+        let (_, recs) = m.end_tx(0);
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| !r.corrupted));
+        assert_eq!(m.collisions(), 0);
+    }
+
+    #[test]
+    fn overlapping_txs_corrupt_shared_receivers() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[2, 3]);
+        m.start_tx(1, pkt(1), SimTime::from_nanos(10), &[2]);
+        let (_, r0) = m.end_tx(0);
+        let (_, r1) = m.end_tx(1);
+        // Receiver 2 hears both -> both corrupted there; 3 hears only tx0.
+        assert!(r0.iter().find(|r| r.receiver == 2).unwrap().corrupted);
+        assert!(!r0.iter().find(|r| r.receiver == 3).unwrap().corrupted);
+        assert!(r1.iter().find(|r| r.receiver == 2).unwrap().corrupted);
+        assert_eq!(m.collisions(), 2);
+    }
+
+    #[test]
+    fn disjoint_receivers_do_not_collide() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[2]);
+        m.start_tx(1, pkt(1), SimTime::ZERO, &[3]);
+        let (_, r0) = m.end_tx(0);
+        let (_, r1) = m.end_tx(1);
+        assert!(!r0[0].corrupted);
+        assert!(!r1[0].corrupted);
+        assert_eq!(m.collisions(), 0);
+    }
+
+    #[test]
+    fn transmitter_loses_reception_in_progress() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[1]);
+        // Node 1 starts its own transmission mid-reception.
+        m.start_tx(1, pkt(1), SimTime::from_nanos(5), &[2]);
+        let (_, r0) = m.end_tx(0);
+        assert!(r0[0].corrupted);
+        // Node 1's own transmission to 2 is unaffected.
+        let (_, r1) = m.end_tx(1);
+        assert!(!r1[0].corrupted);
+    }
+
+    #[test]
+    fn sequential_txs_do_not_interact() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[1]);
+        let (_, r0) = m.end_tx(0);
+        m.start_tx(1, pkt(1), SimTime::from_nanos(100), &[0]);
+        let (_, r1) = m.end_tx(1);
+        assert!(!r0[0].corrupted);
+        assert!(!r1[0].corrupted);
+    }
+
+    #[test]
+    fn active_transmitters_listed() {
+        let mut m = Medium::new();
+        m.start_tx(4, pkt(4), SimTime::ZERO, &[]);
+        m.start_tx(7, pkt(7), SimTime::ZERO, &[]);
+        let mut txs: Vec<_> = m.active_transmitters().collect();
+        txs.sort_unstable();
+        assert_eq!(txs, vec![4, 7]);
+        assert_eq!(m.active_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn double_start_panics() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[]);
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no active transmission")]
+    fn end_without_start_panics() {
+        let mut m = Medium::new();
+        m.end_tx(3);
+    }
+
+    #[test]
+    fn three_way_collision_counts_each_corruption_once() {
+        let mut m = Medium::new();
+        m.start_tx(0, pkt(0), SimTime::ZERO, &[9]);
+        m.start_tx(1, pkt(1), SimTime::ZERO, &[9]);
+        m.start_tx(2, pkt(2), SimTime::ZERO, &[9]);
+        // tx0/tx1 corrupt each other (2); tx2 corrupts nothing new on the
+        // already-corrupted entries but its own reception is corrupted (1).
+        let (_, r2) = m.end_tx(2);
+        assert!(r2[0].corrupted);
+        assert_eq!(m.collisions(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+//! Performance metrics: packet delivery ratio, network lifetime and
+//! end-to-end delivery latency.
+
+/// End-to-end delivery latency statistics (generation to first clean
+/// application-layer arrival, per `(packet, receiver)` pair).
+///
+/// The paper's §2.1.2 remark contrasts CSMA's non-deterministic delay
+/// with TDMA's deterministic slotting; these statistics quantify it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples observed (delivered `(packet, receiver)` pairs).
+    pub samples: u64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation, milliseconds — the "jitter" CSMA introduces.
+    pub std_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Aggregate traffic counters of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Application packets generated (no retransmissions counted).
+    pub generated: u64,
+    /// Physical-layer transmissions (originals + relays).
+    pub transmissions: u64,
+    /// Clean packet receptions delivered to a stack.
+    pub deliveries: u64,
+    /// Receptions corrupted by collisions.
+    pub collisions: u64,
+    /// Packets dropped on a full MAC buffer.
+    pub buffer_drops: u64,
+    /// Packets abandoned after exhausting CSMA attempts.
+    pub mac_drops: u64,
+}
+
+/// The measured outcome of one simulation run.
+///
+/// `pdr` is the paper's eq. (7) network PDR (mean of per-node eq. (6)
+/// values); `nlt_days` is eq. (4) with the star coordinator excluded, as
+/// the paper assumes it has a larger energy store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Network packet delivery ratio in `[0, 1]` (eq. 7).
+    pub pdr: f64,
+    /// Per-node PDR (eq. 6), indexed like the configuration's placements.
+    pub node_pdr: Vec<f64>,
+    /// Network lifetime in days (eq. 4), `Ebat / max_i P_i` over the
+    /// lifetime-relevant nodes.
+    pub nlt_days: f64,
+    /// Per-node average power, mW (baseline + radio).
+    pub node_power_mw: Vec<f64>,
+    /// Average power of the worst (lifetime-limiting) node, mW — the
+    /// paper's simulated `P̄sim`.
+    pub max_power_mw: f64,
+    /// End-to-end delivery latency statistics.
+    pub latency: LatencyStats,
+    /// Aggregate traffic counters.
+    pub counts: TrafficCounts,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+}
+
+impl SimOutcome {
+    /// PDR as a percentage (0–100), as plotted in the paper's Fig. 3.
+    pub fn pdr_percent(&self) -> f64 {
+        self.pdr * 100.0
+    }
+}
+
+/// Averages outcomes over repeated runs (the paper uses 3 runs of 600 s
+/// to push the metric error below 0.5%).
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty or the runs have different node counts.
+pub fn average_outcomes(outcomes: &[SimOutcome]) -> SimOutcome {
+    assert!(!outcomes.is_empty(), "cannot average zero outcomes");
+    let n = outcomes[0].node_pdr.len();
+    assert!(
+        outcomes.iter().all(|o| o.node_pdr.len() == n),
+        "outcomes have inconsistent node counts"
+    );
+    let k = outcomes.len() as f64;
+    let mean = |f: &dyn Fn(&SimOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / k;
+    let mean_vec = |f: &dyn Fn(&SimOutcome) -> &Vec<f64>| {
+        (0..n)
+            .map(|i| outcomes.iter().map(|o| f(o)[i]).sum::<f64>() / k)
+            .collect::<Vec<f64>>()
+    };
+    let sum_counts = |f: &dyn Fn(&TrafficCounts) -> u64| {
+        outcomes.iter().map(|o| f(&o.counts)).sum::<u64>()
+    };
+    // Latency: weight means by sample counts; std/max pooled conservatively.
+    let total_samples: u64 = outcomes.iter().map(|o| o.latency.samples).sum();
+    let latency = if total_samples == 0 {
+        LatencyStats::default()
+    } else {
+        LatencyStats {
+            samples: total_samples,
+            mean_ms: outcomes
+                .iter()
+                .map(|o| o.latency.mean_ms * o.latency.samples as f64)
+                .sum::<f64>()
+                / total_samples as f64,
+            std_ms: mean(&|o| o.latency.std_ms),
+            max_ms: outcomes
+                .iter()
+                .map(|o| o.latency.max_ms)
+                .fold(0.0, f64::max),
+        }
+    };
+    SimOutcome {
+        pdr: mean(&|o| o.pdr),
+        node_pdr: mean_vec(&|o| &o.node_pdr),
+        nlt_days: mean(&|o| o.nlt_days),
+        node_power_mw: mean_vec(&|o| &o.node_power_mw),
+        max_power_mw: mean(&|o| o.max_power_mw),
+        latency,
+        counts: TrafficCounts {
+            generated: sum_counts(&|c| c.generated),
+            transmissions: sum_counts(&|c| c.transmissions),
+            deliveries: sum_counts(&|c| c.deliveries),
+            collisions: sum_counts(&|c| c.collisions),
+            buffer_drops: sum_counts(&|c| c.buffer_drops),
+            mac_drops: sum_counts(&|c| c.mac_drops),
+        },
+        sim_seconds: outcomes.iter().map(|o| o.sim_seconds).sum(),
+    }
+}
+
+/// Converts per-node power (mW) and a battery (J) into lifetime days of
+/// the worst node among `considered`.
+///
+/// Returns `f64::INFINITY` if `considered` selects no nodes or all
+/// selected nodes draw zero power.
+pub fn network_lifetime_days(
+    node_power_mw: &[f64],
+    battery_j: f64,
+    considered: impl Iterator<Item = usize>,
+) -> f64 {
+    let mut worst: f64 = f64::INFINITY;
+    for i in considered {
+        let p_w = node_power_mw[i] * 1e-3;
+        if p_w > 0.0 {
+            worst = worst.min(battery_j / p_w);
+        }
+    }
+    worst / 86_400.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(pdr: f64, nlt: f64) -> SimOutcome {
+        SimOutcome {
+            pdr,
+            node_pdr: vec![pdr; 3],
+            nlt_days: nlt,
+            node_power_mw: vec![1.0, 2.0, 3.0],
+            max_power_mw: 3.0,
+            latency: LatencyStats {
+                samples: 10,
+                mean_ms: 2.0,
+                std_ms: 1.0,
+                max_ms: 9.0,
+            },
+            counts: TrafficCounts {
+                generated: 10,
+                ..Default::default()
+            },
+            sim_seconds: 600.0,
+        }
+    }
+
+    #[test]
+    fn averaging_means_metrics_and_sums_counts() {
+        let avg = average_outcomes(&[outcome(0.8, 10.0), outcome(0.6, 20.0)]);
+        assert!((avg.pdr - 0.7).abs() < 1e-12);
+        assert!((avg.nlt_days - 15.0).abs() < 1e-12);
+        assert_eq!(avg.counts.generated, 20);
+        assert_eq!(avg.sim_seconds, 1200.0);
+        assert_eq!(avg.node_pdr.len(), 3);
+        assert_eq!(avg.latency.samples, 20);
+        assert!((avg.latency.mean_ms - 2.0).abs() < 1e-12);
+        assert_eq!(avg.latency.max_ms, 9.0);
+    }
+
+    #[test]
+    fn averaging_latency_weights_by_samples() {
+        let mut a = outcome(0.5, 1.0);
+        a.latency = LatencyStats {
+            samples: 30,
+            mean_ms: 1.0,
+            std_ms: 0.0,
+            max_ms: 1.0,
+        };
+        let mut b = outcome(0.5, 1.0);
+        b.latency = LatencyStats {
+            samples: 10,
+            mean_ms: 5.0,
+            std_ms: 0.0,
+            max_ms: 7.0,
+        };
+        let avg = average_outcomes(&[a, b]);
+        // (30*1 + 10*5) / 40 = 2.0
+        assert!((avg.latency.mean_ms - 2.0).abs() < 1e-12);
+        assert_eq!(avg.latency.max_ms, 7.0);
+    }
+
+    #[test]
+    fn averaging_zero_latency_samples_is_safe() {
+        let mut a = outcome(0.5, 1.0);
+        a.latency = LatencyStats::default();
+        let avg = average_outcomes(&[a.clone(), a]);
+        assert_eq!(avg.latency, LatencyStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn averaging_empty_panics() {
+        average_outcomes(&[]);
+    }
+
+    #[test]
+    fn lifetime_takes_worst_node() {
+        // 2430 J battery; 1 mW -> 2.43e6 s =~ 28.1 days; 3 mW -> 9.375 days
+        let days = network_lifetime_days(&[1.0, 3.0], 2430.0, 0..2);
+        assert!((days - 2430.0 / 3e-3 / 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_excludes_unconsidered_nodes() {
+        let days = network_lifetime_days(&[100.0, 1.0], 2430.0, 1..2);
+        assert!((days - 2430.0 / 1e-3 / 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_of_idle_network_is_infinite() {
+        assert!(network_lifetime_days(&[0.0], 2430.0, 0..1).is_infinite());
+    }
+
+    #[test]
+    fn pdr_percent() {
+        assert_eq!(outcome(0.856, 1.0).pdr_percent(), 85.6);
+    }
+}

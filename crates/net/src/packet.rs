@@ -1,0 +1,90 @@
+//! In-flight packet representation.
+
+/// A physical-layer packet, as tracked by the simulator.
+///
+/// The application payload is abstract; what the simulator carries is the
+/// metadata the routing and PDR machinery needs: originator, sequence
+/// number, hop counter and visited-node history (the paper's controlled
+/// flooding puts the last two in the payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Index of the node that generated the packet.
+    pub origin: usize,
+    /// Per-origin sequence number (application layer).
+    pub seq: u32,
+    /// Number of re-broadcasting hops this copy has traversed.
+    pub hops: u8,
+    /// Bitmask of node indices this copy has visited (supports up to 16
+    /// nodes; the paper's design space tops out at 6).
+    pub visited: u16,
+    /// Whether this copy is a relay/rebroadcast rather than the original.
+    pub relay: bool,
+}
+
+impl Packet {
+    /// A freshly generated packet from `origin`.
+    pub fn new(origin: usize, seq: u32) -> Self {
+        Self {
+            origin,
+            seq,
+            hops: 0,
+            visited: 1 << origin,
+            relay: false,
+        }
+    }
+
+    /// The unique identity of the underlying application packet.
+    pub fn key(&self) -> (usize, u32) {
+        (self.origin, self.seq)
+    }
+
+    /// Whether `node` appears in this copy's visited history.
+    pub fn has_visited(&self, node: usize) -> bool {
+        self.visited & (1 << node) != 0
+    }
+
+    /// The copy a relaying `node` would rebroadcast: hop counter bumped,
+    /// history extended, marked as a relay.
+    pub fn relayed_by(&self, node: usize) -> Packet {
+        Packet {
+            origin: self.origin,
+            seq: self.seq,
+            hops: self.hops + 1,
+            visited: self.visited | (1 << node),
+            relay: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_packet_has_visited_origin() {
+        let p = Packet::new(3, 17);
+        assert!(p.has_visited(3));
+        assert!(!p.has_visited(0));
+        assert_eq!(p.hops, 0);
+        assert!(!p.relay);
+        assert_eq!(p.key(), (3, 17));
+    }
+
+    #[test]
+    fn relay_extends_history_and_bumps_hops() {
+        let p = Packet::new(0, 5).relayed_by(2);
+        assert!(p.has_visited(0));
+        assert!(p.has_visited(2));
+        assert!(!p.has_visited(1));
+        assert_eq!(p.hops, 1);
+        assert!(p.relay);
+        assert_eq!(p.key(), (0, 5)); // identity preserved
+    }
+
+    #[test]
+    fn chained_relays() {
+        let p = Packet::new(1, 9).relayed_by(4).relayed_by(7);
+        assert_eq!(p.hops, 2);
+        assert!(p.has_visited(1) && p.has_visited(4) && p.has_visited(7));
+    }
+}

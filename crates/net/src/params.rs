@@ -1,0 +1,685 @@
+//! Network-stack configuration vectors (the paper's `χ = (χrd, χMAC, χrt, χapp)`).
+
+use hi_channel::BodyLocation;
+use hi_des::SimDuration;
+
+/// Transmitter output power levels of the TI CC2650 used in the paper
+/// (Table 1; the binary selectors `p1`, `p2`, `p3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TxPower {
+    /// `p1`: −20 dBm output, 9.55 mW consumption.
+    Minus20Dbm,
+    /// `p2`: −10 dBm output, 11.56 mW consumption.
+    Minus10Dbm,
+    /// `p3`: 0 dBm output, 18.3 mW consumption.
+    ZeroDbm,
+}
+
+impl TxPower {
+    /// All levels in ascending output power.
+    pub const ALL: [TxPower; 3] = [TxPower::Minus20Dbm, TxPower::Minus10Dbm, TxPower::ZeroDbm];
+
+    /// Transmitter output power in dBm (`TxdBm`).
+    pub const fn dbm(self) -> f64 {
+        match self {
+            TxPower::Minus20Dbm => -20.0,
+            TxPower::Minus10Dbm => -10.0,
+            TxPower::ZeroDbm => 0.0,
+        }
+    }
+
+    /// Transmitter power consumption in mW (`TxmW`).
+    pub const fn consumption_mw(self) -> f64 {
+        match self {
+            TxPower::Minus20Dbm => 9.55,
+            TxPower::Minus10Dbm => 11.56,
+            TxPower::ZeroDbm => 18.3,
+        }
+    }
+}
+
+impl std::fmt::Display for TxPower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxPower::Minus20Dbm => write!(f, "-20dBm"),
+            TxPower::Minus10Dbm => write!(f, "-10dBm"),
+            TxPower::ZeroDbm => write!(f, "0dBm"),
+        }
+    }
+}
+
+/// Radio (physical-layer) parameters — the paper's
+/// `χrd = (fc, BR, TxdBm, TxmW, RxdBm, RxmW)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioParams {
+    /// Carrier frequency, GHz (`fc`). Informational (the channel model is
+    /// calibrated for 2.4 GHz).
+    pub carrier_ghz: f64,
+    /// Bit rate, bits/s (`BR`).
+    pub bit_rate_bps: f64,
+    /// Selected transmit power level (`TxdBm`, `TxmW`).
+    pub tx_power: TxPower,
+    /// Receiver sensitivity, dBm (`RxdBm`).
+    pub rx_sensitivity_dbm: f64,
+    /// Receiver power consumption, mW (`RxmW`).
+    pub rx_consumption_mw: f64,
+}
+
+impl RadioParams {
+    /// The TI CC2650 BLE radio of the paper's Table 1, at the given
+    /// transmit power level.
+    ///
+    /// `fc = 2.4 GHz`, `BR = 1024 kbps`, `RxdBm = −97 dBm`,
+    /// `RxmW = 17.7 mW`.
+    pub const fn cc2650(tx_power: TxPower) -> Self {
+        Self {
+            carrier_ghz: 2.4,
+            bit_rate_bps: 1_024_000.0,
+            tx_power,
+            rx_sensitivity_dbm: -97.0,
+            rx_consumption_mw: 17.7,
+        }
+    }
+
+    /// Airtime of an `len_bytes`-byte packet: `Tpkt = 8 L / BR` (paper §2.1.2).
+    pub fn packet_duration(&self, len_bytes: usize) -> SimDuration {
+        SimDuration::from_secs(8.0 * len_bytes as f64 / self.bit_rate_bps)
+    }
+
+    /// Link-budget check: can a transmission at this radio's power be
+    /// decoded across `path_loss_db`? (`TxdBm ≥ RxdBm + PL`.)
+    pub fn link_closes(&self, path_loss_db: f64) -> bool {
+        self.tx_power.dbm() >= self.rx_sensitivity_dbm + path_loss_db
+    }
+}
+
+/// The CSMA access mode — the paper's `AM` component of `χMAC`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CsmaAccessMode {
+    /// Sense once; if busy, back off for a uniform random delay and
+    /// retry (Castalia `TunableMAC`'s non-persistent flavour, used in the
+    /// paper's §4.1 experiments).
+    NonPersistent,
+    /// p-persistent: poll the channel every `sense_period`; when idle,
+    /// transmit with probability `p`, otherwise defer one period.
+    /// `p = 1.0` gives classic 1-persistent CSMA (greedy, collision-prone
+    /// when several nodes wait out the same transmission).
+    PPersistent {
+        /// Transmission probability on an idle poll, in `(0, 1]`.
+        p: f64,
+        /// Polling interval.
+        sense_period: SimDuration,
+    },
+}
+
+impl CsmaAccessMode {
+    /// Classic 1-persistent CSMA with a 0.5 ms poll.
+    pub fn one_persistent() -> Self {
+        CsmaAccessMode::PPersistent {
+            p: 1.0,
+            sense_period: SimDuration::from_millis(0.5),
+        }
+    }
+}
+
+/// CSMA (carrier-sense multiple access) MAC parameters.
+///
+/// Models Castalia's `TunableMAC`: before each attempt the node waits a
+/// uniform random delay, senses the medium, and proceeds per the
+/// [`CsmaAccessMode`]. There are no acknowledgements or retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaParams {
+    /// Uniform upper bound of the pre-sense randomization delay.
+    pub initial_backoff: SimDuration,
+    /// Uniform upper bound of the busy-channel backoff
+    /// (non-persistent mode).
+    pub backoff: SimDuration,
+    /// Give up on a packet after this many busy-channel senses.
+    pub max_attempts: u32,
+    /// Access mode (`AM`).
+    pub access_mode: CsmaAccessMode,
+    /// Rx→Tx turnaround: the blind window between a clear-channel
+    /// assessment and the transmission actually starting. Two nodes whose
+    /// assessments fall within the same window collide — the physical
+    /// mechanism behind CSMA collisions.
+    pub turnaround: SimDuration,
+}
+
+impl Default for CsmaParams {
+    fn default() -> Self {
+        Self {
+            initial_backoff: SimDuration::from_millis(2.0),
+            backoff: SimDuration::from_millis(8.0),
+            max_attempts: 8,
+            access_mode: CsmaAccessMode::NonPersistent,
+            turnaround: SimDuration::from_micros(150),
+        }
+    }
+}
+
+/// TDMA MAC parameters: fixed slots assigned round-robin (paper §4.1 uses
+/// 1 ms slots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdmaParams {
+    /// Slot duration (`Tslot`). A packet must fit within one slot.
+    pub slot: SimDuration,
+}
+
+impl Default for TdmaParams {
+    fn default() -> Self {
+        Self {
+            slot: SimDuration::from_millis(1.0),
+        }
+    }
+}
+
+/// Slotted-ALOHA MAC parameters (library extension; the paper's design
+/// example uses only CSMA and TDMA, but its Fig. 1 component library is
+/// explicitly open-ended).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlohaParams {
+    /// Slot duration; a packet must fit within one slot.
+    pub slot: SimDuration,
+    /// Per-slot transmission probability for a backlogged node.
+    pub p: f64,
+}
+
+impl Default for AlohaParams {
+    fn default() -> Self {
+        Self {
+            slot: SimDuration::from_millis(1.0),
+            p: 0.3,
+        }
+    }
+}
+
+/// IEEE 802.15.6-inspired hybrid superframe MAC parameters (library
+/// extension). Each superframe starts with one guaranteed slot per node
+/// (the standard's managed access phase), followed by
+/// `contention_slots` mini-slots of random access (the random access
+/// phase) that nodes with more than one queued packet use to drain
+/// bursts — a lone packet waits for its guaranteed slot instead of
+/// risking an unrecoverable collision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridParams {
+    /// Mini-slot duration (both phases); a packet must fit in one.
+    pub slot: SimDuration,
+    /// Number of contention mini-slots appended per superframe.
+    pub contention_slots: u32,
+    /// Per-mini-slot transmission probability in the contention phase.
+    pub p: f64,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        Self {
+            slot: SimDuration::from_millis(1.0),
+            contention_slots: 4,
+            p: 0.3,
+        }
+    }
+}
+
+/// The MAC-layer choice (`PMAC` with its protocol-specific parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MacKind {
+    /// Contention-based access with carrier sensing.
+    Csma(CsmaParams),
+    /// Time-division access.
+    Tdma(TdmaParams),
+    /// Slotted ALOHA: transmit in the next slot with probability `p`,
+    /// no carrier sensing at all.
+    SlottedAloha(AlohaParams),
+    /// IEEE 802.15.6-style superframe: guaranteed slots + contention tail.
+    Hybrid(HybridParams),
+}
+
+impl MacKind {
+    /// Default-parameter CSMA.
+    pub fn csma() -> Self {
+        MacKind::Csma(CsmaParams::default())
+    }
+
+    /// Default-parameter TDMA.
+    pub fn tdma() -> Self {
+        MacKind::Tdma(TdmaParams::default())
+    }
+
+    /// Default-parameter slotted ALOHA.
+    pub fn slotted_aloha() -> Self {
+        MacKind::SlottedAloha(AlohaParams::default())
+    }
+
+    /// Default-parameter hybrid superframe MAC.
+    pub fn hybrid() -> Self {
+        MacKind::Hybrid(HybridParams::default())
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MacKind::Csma(_) => "CSMA",
+            MacKind::Tdma(_) => "TDMA",
+            MacKind::SlottedAloha(_) => "S-ALOHA",
+            MacKind::Hybrid(_) => "Hybrid",
+        }
+    }
+}
+
+/// How the flooding mesh suppresses duplicate rebroadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FloodMode {
+    /// A node rebroadcasts a given `(origin, seq)` packet at most once
+    /// (standard controlled flooding). Fewer transmissions, still one
+    /// relay per peer.
+    #[default]
+    DedupPerNode,
+    /// Only the per-copy visited history and the hop budget limit
+    /// rebroadcasts, as in the paper's §2.1.2 description; every distinct
+    /// copy may be relayed. Maximum redundancy, maximum energy.
+    HistoryOnly,
+}
+
+/// The routing-layer choice (`χrt = (Prt, ncoor, Nhops)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Routing {
+    /// Star topology: every packet is relayed once by the coordinator
+    /// node; peers also overhear originals directly.
+    Star {
+        /// Index (into the placement vector) of the coordinator (`ncoor`).
+        coordinator: usize,
+    },
+    /// Controlled-flooding mesh with a maximum hop count (`Nhops`).
+    Mesh {
+        /// Maximum number of re-broadcasting hops.
+        max_hops: u8,
+        /// Duplicate-suppression mode.
+        flood_mode: FloodMode,
+    },
+}
+
+impl Routing {
+    /// The paper's default mesh: two re-broadcasting hops.
+    pub fn mesh() -> Self {
+        Routing::Mesh {
+            max_hops: 2,
+            flood_mode: FloodMode::default(),
+        }
+    }
+
+    /// Short label used in experiment output ("Star"/"Mesh").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::Star { .. } => "Star",
+            Routing::Mesh { .. } => "Mesh",
+        }
+    }
+
+    /// True for the mesh option (`Prt = 1`).
+    pub fn is_mesh(&self) -> bool {
+        matches!(self, Routing::Mesh { .. })
+    }
+}
+
+/// Application-layer parameters (`χapp = (Pbl, Lpkt, φ)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppParams {
+    /// Node baseline power (everything but the radio), watts (`Pbl`).
+    pub baseline_power_w: f64,
+    /// Generated packet length, bytes (`Lpkt`).
+    pub packet_len_bytes: usize,
+    /// Per-node throughput in packets/second (`φ`).
+    pub packets_per_second: f64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        // Paper §4.1: 100-byte packets every 100 ms, 100 µW baseline.
+        Self {
+            baseline_power_w: 100e-6,
+            packet_len_bytes: 100,
+            packets_per_second: 10.0,
+        }
+    }
+}
+
+impl AppParams {
+    /// The generation period `1/φ`.
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_secs(1.0 / self.packets_per_second)
+    }
+}
+
+/// Energy stored in a CR2032 coin cell (225 mAh at 3 V), joules.
+pub const CR2032_ENERGY_J: f64 = 225e-3 * 3600.0 * 3.0;
+
+/// A scheduled node failure (extension beyond the paper): at `at`, the
+/// node stops generating, relaying and receiving. Any transmission
+/// already in flight completes. Use to study how each topology degrades
+/// when a body node dies mid-mission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFault {
+    /// Index (into the placement vector) of the failing node.
+    pub node: usize,
+    /// Failure instant, relative to simulation start.
+    pub at: SimDuration,
+}
+
+/// A complete simulatable network configuration — the paper's pair `(ν, χ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Node placements; node `i` sits at `placements[i]`. Order matters
+    /// only for indexing (TDMA slots are assigned in this order).
+    pub placements: Vec<BodyLocation>,
+    /// Physical layer.
+    pub radio: RadioParams,
+    /// MAC layer.
+    pub mac: MacKind,
+    /// Routing layer.
+    pub routing: Routing,
+    /// Application layer.
+    pub app: AppParams,
+    /// Per-node stored energy, joules (`Ebat`). The star coordinator is
+    /// assumed mains-assisted/bigger and is excluded from lifetime.
+    pub battery_j: f64,
+    /// MAC transmit-queue capacity in packets (`BMAC`).
+    pub mac_buffer: usize,
+    /// Scheduled node failures (empty for the paper's experiments).
+    pub faults: Vec<NodeFault>,
+    /// Per-node packet-rate overrides in packets/second, dense over the
+    /// placement vector. `None` (the paper's setting) gives every node
+    /// the shared `app.packets_per_second`.
+    pub per_node_rates: Option<Vec<f64>>,
+    /// Average harvested power per non-coordinator node, watts
+    /// (extension: the Human Intranet vision includes energy-harvesting
+    /// nodes). Subtracted from the drain before computing lifetime; a
+    /// node harvesting more than it draws lives forever.
+    pub harvest_power_w: f64,
+}
+
+/// Error returned by [`NetworkConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Fewer than two nodes.
+    TooFewNodes,
+    /// Two nodes share a body location.
+    DuplicatePlacement(BodyLocation),
+    /// Star coordinator index out of range.
+    BadCoordinator(usize),
+    /// A scheduled fault names a node index out of range.
+    BadFaultNode(usize),
+    /// A packet does not fit in a TDMA slot.
+    PacketExceedsSlot,
+    /// The MAC buffer capacity is zero.
+    ZeroBuffer,
+    /// The slotted-ALOHA transmission probability is outside `[0, 1]`.
+    BadAlohaProbability,
+    /// `per_node_rates` has the wrong length or a non-positive rate.
+    BadRateOverrides,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewNodes => write!(f, "network needs at least two nodes"),
+            ConfigError::DuplicatePlacement(l) => {
+                write!(f, "two nodes placed at the same location `{l}`")
+            }
+            ConfigError::BadCoordinator(i) => {
+                write!(f, "coordinator index {i} is out of range")
+            }
+            ConfigError::BadFaultNode(i) => {
+                write!(f, "fault names node index {i}, which is out of range")
+            }
+            ConfigError::PacketExceedsSlot => {
+                write!(f, "packet airtime exceeds the TDMA slot duration")
+            }
+            ConfigError::ZeroBuffer => write!(f, "MAC buffer capacity must be nonzero"),
+            ConfigError::BadAlohaProbability => {
+                write!(f, "slotted-ALOHA probability must be within [0, 1]")
+            }
+            ConfigError::BadRateOverrides => {
+                write!(f, "per-node rates must list one positive rate per node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl NetworkConfig {
+    /// A configuration with the paper's §4.1 defaults: CC2650 radio,
+    /// 100-byte packets at 10 pkt/s, 100 µW baseline, CR2032 batteries,
+    /// chest coordinator for star.
+    pub fn new(
+        placements: Vec<BodyLocation>,
+        tx_power: TxPower,
+        mac: MacKind,
+        routing: Routing,
+    ) -> Self {
+        Self {
+            placements,
+            radio: RadioParams::cc2650(tx_power),
+            mac,
+            routing,
+            app: AppParams::default(),
+            battery_j: CR2032_ENERGY_J,
+            mac_buffer: 16,
+            faults: Vec::new(),
+            per_node_rates: None,
+            harvest_power_w: 0.0,
+        }
+    }
+
+    /// Number of nodes (`N`).
+    pub fn num_nodes(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The coordinator index for star routing, if applicable.
+    pub fn coordinator(&self) -> Option<usize> {
+        match self.routing {
+            Routing::Star { coordinator } => Some(coordinator),
+            Routing::Mesh { .. } => None,
+        }
+    }
+
+    /// Packet airtime for this configuration.
+    pub fn packet_duration(&self) -> SimDuration {
+        self.radio.packet_duration(self.app.packet_len_bytes)
+    }
+
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.placements.len() < 2 {
+            return Err(ConfigError::TooFewNodes);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &p in &self.placements {
+            if !seen.insert(p) {
+                return Err(ConfigError::DuplicatePlacement(p));
+            }
+        }
+        if let Routing::Star { coordinator } = self.routing {
+            if coordinator >= self.placements.len() {
+                return Err(ConfigError::BadCoordinator(coordinator));
+            }
+        }
+        match self.mac {
+            MacKind::Tdma(t) => {
+                if self.packet_duration() > t.slot {
+                    return Err(ConfigError::PacketExceedsSlot);
+                }
+            }
+            MacKind::SlottedAloha(a) => {
+                if self.packet_duration() > a.slot {
+                    return Err(ConfigError::PacketExceedsSlot);
+                }
+                if !(0.0..=1.0).contains(&a.p) {
+                    return Err(ConfigError::BadAlohaProbability);
+                }
+            }
+            MacKind::Hybrid(h) => {
+                if self.packet_duration() > h.slot {
+                    return Err(ConfigError::PacketExceedsSlot);
+                }
+                if !(0.0..=1.0).contains(&h.p) {
+                    return Err(ConfigError::BadAlohaProbability);
+                }
+            }
+            MacKind::Csma(_) => {}
+        }
+        if self.mac_buffer == 0 {
+            return Err(ConfigError::ZeroBuffer);
+        }
+        for f in &self.faults {
+            if f.node >= self.placements.len() {
+                return Err(ConfigError::BadFaultNode(f.node));
+            }
+        }
+        if let Some(rates) = &self.per_node_rates {
+            if rates.len() != self.placements.len()
+                || rates.iter().any(|&r| r <= 0.0 || !r.is_finite())
+            {
+                return Err(ConfigError::BadRateOverrides);
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `[chest, l-hip, l-ankle, l-wrist] Star CSMA -10dBm`.
+    pub fn summary(&self) -> String {
+        let locs: Vec<&str> = self.placements.iter().map(|l| l.name()).collect();
+        format!(
+            "[{}] {} {} {}",
+            locs.join(", "),
+            self.routing.label(),
+            self.mac.label(),
+            self.radio.tx_power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        // Paper Table 1 verbatim.
+        let r = RadioParams::cc2650(TxPower::Minus20Dbm);
+        assert_eq!(r.carrier_ghz, 2.4);
+        assert_eq!(r.bit_rate_bps, 1_024_000.0);
+        assert_eq!(r.rx_sensitivity_dbm, -97.0);
+        assert_eq!(r.rx_consumption_mw, 17.7);
+        assert_eq!(TxPower::Minus20Dbm.dbm(), -20.0);
+        assert_eq!(TxPower::Minus20Dbm.consumption_mw(), 9.55);
+        assert_eq!(TxPower::Minus10Dbm.dbm(), -10.0);
+        assert_eq!(TxPower::Minus10Dbm.consumption_mw(), 11.56);
+        assert_eq!(TxPower::ZeroDbm.dbm(), 0.0);
+        assert_eq!(TxPower::ZeroDbm.consumption_mw(), 18.3);
+    }
+
+    #[test]
+    fn packet_airtime_matches_eq_tpkt() {
+        // Tpkt = 8*100/1024000 = 781.25 µs.
+        let r = RadioParams::cc2650(TxPower::ZeroDbm);
+        let d = r.packet_duration(100);
+        assert_eq!(d.as_nanos(), 781_250);
+    }
+
+    #[test]
+    fn link_budget() {
+        let r = RadioParams::cc2650(TxPower::ZeroDbm);
+        assert!(r.link_closes(96.9)); // 0 >= -97 + 96.9
+        assert!(!r.link_closes(97.1));
+        let weak = RadioParams::cc2650(TxPower::Minus20Dbm);
+        assert!(weak.link_closes(76.9));
+        assert!(!weak.link_closes(77.1));
+    }
+
+    #[test]
+    fn cr2032_energy() {
+        assert!((CR2032_ENERGY_J - 2430.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_period() {
+        assert_eq!(AppParams::default().period(), SimDuration::from_millis(100.0));
+    }
+
+    fn base_config() -> NetworkConfig {
+        NetworkConfig::new(
+            vec![
+                BodyLocation::Chest,
+                BodyLocation::LeftHip,
+                BodyLocation::LeftAnkle,
+                BodyLocation::LeftWrist,
+            ],
+            TxPower::ZeroDbm,
+            MacKind::csma(),
+            Routing::Star { coordinator: 0 },
+        )
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert_eq!(base_config().validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let mut c = base_config();
+        c.placements[1] = BodyLocation::Chest;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DuplicatePlacement(BodyLocation::Chest))
+        ));
+    }
+
+    #[test]
+    fn bad_coordinator_rejected() {
+        let mut c = base_config();
+        c.routing = Routing::Star { coordinator: 9 };
+        assert_eq!(c.validate(), Err(ConfigError::BadCoordinator(9)));
+    }
+
+    #[test]
+    fn oversized_packet_for_tdma_rejected() {
+        let mut c = base_config();
+        c.mac = MacKind::tdma();
+        c.app.packet_len_bytes = 200; // 1.56 ms > 1 ms slot
+        assert_eq!(c.validate(), Err(ConfigError::PacketExceedsSlot));
+    }
+
+    #[test]
+    fn too_few_nodes_rejected() {
+        let mut c = base_config();
+        c.placements.truncate(1);
+        assert_eq!(c.validate(), Err(ConfigError::TooFewNodes));
+    }
+
+    #[test]
+    fn summary_mentions_all_choices() {
+        let s = base_config().summary();
+        assert!(s.contains("chest"));
+        assert!(s.contains("Star"));
+        assert!(s.contains("CSMA"));
+        assert!(s.contains("0dBm"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MacKind::csma().label(), "CSMA");
+        assert_eq!(MacKind::tdma().label(), "TDMA");
+        assert_eq!(Routing::mesh().label(), "Mesh");
+        assert!(Routing::mesh().is_mesh());
+        assert!(!Routing::Star { coordinator: 0 }.is_mesh());
+    }
+}

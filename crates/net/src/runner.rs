@@ -1,0 +1,63 @@
+//! Convenience entry points for running simulations.
+
+use hi_channel::{Channel, ChannelModel, ChannelParams};
+use hi_des::SimDuration;
+
+use crate::metrics::{average_outcomes, SimOutcome};
+use crate::params::{ConfigError, NetworkConfig};
+use crate::sim::NetworkSim;
+
+/// Runs one simulation of `cfg` over an arbitrary channel model.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for structurally invalid configurations.
+pub fn simulate<C: ChannelModel>(
+    cfg: &NetworkConfig,
+    channel: C,
+    t_sim: SimDuration,
+    seed: u64,
+) -> Result<SimOutcome, ConfigError> {
+    Ok(NetworkSim::new(cfg.clone(), channel, t_sim, seed)?.run())
+}
+
+/// Runs one simulation with the stochastic body channel built from
+/// `channel_params`; the channel's fading RNG is seeded from `seed`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for structurally invalid configurations.
+pub fn simulate_stochastic(
+    cfg: &NetworkConfig,
+    channel_params: ChannelParams,
+    t_sim: SimDuration,
+    seed: u64,
+) -> Result<SimOutcome, ConfigError> {
+    // Decorrelate the channel stream from the MAC/app stream.
+    let channel = Channel::new(channel_params, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    simulate(cfg, channel, t_sim, seed)
+}
+
+/// Runs `runs` independent replications (seeds `base_seed..base_seed+runs`)
+/// and averages the outcomes — the paper's "averaged over 3 runs" protocol.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for structurally invalid configurations.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn simulate_averaged(
+    cfg: &NetworkConfig,
+    channel_params: ChannelParams,
+    t_sim: SimDuration,
+    base_seed: u64,
+    runs: u32,
+) -> Result<SimOutcome, ConfigError> {
+    assert!(runs > 0, "need at least one run");
+    let outcomes: Result<Vec<_>, _> = (0..runs)
+        .map(|r| simulate_stochastic(cfg, channel_params, t_sim, base_seed + u64::from(r)))
+        .collect();
+    Ok(average_outcomes(&outcomes?))
+}

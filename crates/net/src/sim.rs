@@ -1,0 +1,658 @@
+//! The event-driven WBAN simulation: application, routing, MAC and radio
+//! state machines over the [`hi_des`] kernel.
+
+use std::collections::{HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use hi_channel::{BodyLocation, ChannelModel};
+use hi_des::{rng, Engine, SimDuration, SimTime};
+
+use hi_des::stats::Tally;
+
+use crate::medium::Medium;
+use crate::metrics::{network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts};
+use crate::packet::Packet;
+use crate::trace::TraceEvent;
+use crate::params::{ConfigError, FloodMode, MacKind, NetworkConfig, Routing};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Node's application layer emits its next periodic packet.
+    Generate { node: usize },
+    /// CSMA: node wakes up to sense the channel and maybe transmit.
+    MacAttempt { node: usize },
+    /// Node's in-flight transmission completes.
+    TxEnd { node: usize },
+    /// CSMA: the Rx→Tx turnaround elapsed; the committed transmission
+    /// starts regardless of current channel state.
+    TxCommit { node: usize },
+    /// TDMA: slot boundary; the owner may transmit.
+    TdmaSlot { index: u64 },
+    /// Slotted ALOHA: slot boundary; every backlogged node may transmit.
+    AlohaSlot { index: u64 },
+    /// Hybrid superframe: mini-slot boundary (scheduled or contention).
+    HybridSlot { index: u64 },
+    /// A scheduled node failure fires.
+    NodeFail { node: usize },
+}
+
+/// Per-node protocol state.
+#[derive(Debug)]
+struct NodeState {
+    loc: BodyLocation,
+    queue: VecDeque<Packet>,
+    transmitting: bool,
+    /// CSMA: a `MacAttempt` is already scheduled.
+    mac_pending: bool,
+    /// CSMA: busy-channel backoffs taken for the head-of-queue packet.
+    attempts: u32,
+    next_seq: u32,
+    generated: u64,
+    /// `received[origin]` = set of unique sequence numbers seen.
+    received: Vec<HashSet<u32>>,
+    /// Packets this node has already relayed, for duplicate suppression.
+    relayed: HashSet<(usize, u32)>,
+    tx_energy_j: f64,
+    rx_energy_j: f64,
+    /// Cleared by a scheduled [`NodeFault`](crate::NodeFault).
+    alive: bool,
+}
+
+impl NodeState {
+    fn new(loc: BodyLocation, num_nodes: usize) -> Self {
+        Self {
+            loc,
+            queue: VecDeque::new(),
+            transmitting: false,
+            mac_pending: false,
+            attempts: 0,
+            next_seq: 0,
+            generated: 0,
+            received: vec![HashSet::new(); num_nodes],
+            relayed: HashSet::new(),
+            tx_energy_j: 0.0,
+            rx_energy_j: 0.0,
+            alive: true,
+        }
+    }
+}
+
+/// One full network simulation.
+///
+/// Construct with [`NetworkSim::new`], drive to completion with
+/// [`run`](NetworkSim::run). Most users want the crate-level convenience
+/// functions ([`crate::simulate`], [`crate::simulate_averaged`]) instead.
+pub struct NetworkSim<C: ChannelModel> {
+    cfg: NetworkConfig,
+    channel: C,
+    engine: Engine<Event>,
+    nodes: Vec<NodeState>,
+    medium: Medium,
+    rngs: Vec<StdRng>,
+    t_sim: SimDuration,
+    tpkt: SimDuration,
+    transmissions: u64,
+    deliveries: u64,
+    buffer_drops: u64,
+    mac_drops: u64,
+    /// Generation instant per live packet identity, for latency samples.
+    gen_times: std::collections::HashMap<(usize, u32), SimTime>,
+    latency: Tally,
+    /// Event trace, populated only by [`run_traced`](NetworkSim::run_traced).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<C: ChannelModel> std::fmt::Debug for NetworkSim<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkSim")
+            .field("nodes", &self.nodes.len())
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl<C: ChannelModel> NetworkSim<C> {
+    /// Prepares a simulation of `cfg` over `channel` for `t_sim` simulated
+    /// time. `seed` drives MAC backoffs and application phases (channel
+    /// randomness is owned by the `channel` value itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is structurally
+    /// invalid (see [`NetworkConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_sim` is zero — metrics are rates over the simulated
+    /// duration and would be undefined.
+    pub fn new(
+        cfg: NetworkConfig,
+        channel: C,
+        t_sim: SimDuration,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        assert!(!t_sim.is_zero(), "simulation duration must be positive");
+        cfg.validate()?;
+        let n = cfg.num_nodes();
+        let nodes = cfg
+            .placements
+            .iter()
+            .map(|&loc| NodeState::new(loc, n))
+            .collect();
+        // Stream 0 is reserved; nodes use streams 1..=n.
+        let rngs = (0..n).map(|i| rng::stream(seed, 1 + i as u64)).collect();
+        let tpkt = cfg.packet_duration();
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::ZERO + t_sim);
+        Ok(Self {
+            cfg,
+            channel,
+            engine,
+            nodes,
+            medium: Medium::new(),
+            rngs,
+            t_sim,
+            tpkt,
+            transmissions: 0,
+            deliveries: 0,
+            buffer_drops: 0,
+            mac_drops: 0,
+            gen_times: std::collections::HashMap::new(),
+            latency: Tally::new(),
+            trace: None,
+        })
+    }
+
+    /// Runs the simulation with packet-journey tracing enabled, returning
+    /// the outcome together with the ordered [`TraceEvent`] log.
+    ///
+    /// Tracing allocates per event; prefer [`run`](NetworkSim::run) for
+    /// sweeps and use this for debugging and demonstrations.
+    pub fn run_traced(mut self) -> (SimOutcome, Vec<TraceEvent>) {
+        self.trace = Some(Vec::new());
+        let mut trace_out = Vec::new();
+        let outcome = self.run_inner(&mut trace_out);
+        (outcome, trace_out)
+    }
+
+    /// Runs the simulation to the horizon and computes the outcome.
+    pub fn run(self) -> SimOutcome {
+        let mut ignored = Vec::new();
+        self.run_inner(&mut ignored)
+    }
+
+    fn run_inner(mut self, trace_out: &mut Vec<TraceEvent>) -> SimOutcome {
+        // Application phases: uniform random offset within one period so
+        // nodes do not generate in lock-step.
+        for i in 0..self.nodes.len() {
+            let phase = SimDuration::from_secs(
+                self.rngs[i].gen::<f64>() * self.node_period(i).as_secs_f64(),
+            );
+            self.engine
+                .schedule_at(SimTime::ZERO + phase, Event::Generate { node: i });
+        }
+        match self.cfg.mac {
+            MacKind::Tdma(_) => {
+                self.engine
+                    .schedule_at(SimTime::ZERO, Event::TdmaSlot { index: 0 });
+            }
+            MacKind::SlottedAloha(_) => {
+                self.engine
+                    .schedule_at(SimTime::ZERO, Event::AlohaSlot { index: 0 });
+            }
+            MacKind::Hybrid(_) => {
+                self.engine
+                    .schedule_at(SimTime::ZERO, Event::HybridSlot { index: 0 });
+            }
+            MacKind::Csma(_) => {}
+        }
+        for fault in self.cfg.faults.clone() {
+            self.engine.schedule_at(
+                SimTime::ZERO + fault.at,
+                Event::NodeFail { node: fault.node },
+            );
+        }
+
+        while let Some((now, event)) = self.engine.pop() {
+            match event {
+                Event::Generate { node } => self.on_generate(now, node),
+                Event::MacAttempt { node } => self.on_mac_attempt(now, node),
+                Event::TxCommit { node } => self.on_tx_commit(now, node),
+                Event::TxEnd { node } => self.on_tx_end(now, node),
+                Event::TdmaSlot { index } => self.on_tdma_slot(now, index),
+                Event::AlohaSlot { index } => self.on_aloha_slot(now, index),
+                Event::HybridSlot { index } => self.on_hybrid_slot(now, index),
+                Event::NodeFail { node } => {
+                    self.nodes[node].alive = false;
+                    self.record(TraceEvent::NodeFailed { t: now, node });
+                }
+            }
+        }
+        if let Some(tr) = self.trace.take() {
+            *trace_out = tr;
+        }
+        self.finish()
+    }
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(event);
+        }
+    }
+
+    /// The generation period of `node` (honours per-node rate overrides).
+    fn node_period(&self, node: usize) -> SimDuration {
+        match &self.cfg.per_node_rates {
+            Some(rates) => SimDuration::from_secs(1.0 / rates[node]),
+            None => self.cfg.app.period(),
+        }
+    }
+
+    // --- application layer -------------------------------------------------
+
+    fn on_generate(&mut self, now: SimTime, node: usize) {
+        if !self.nodes[node].alive {
+            return; // dead nodes stop generating (and rescheduling)
+        }
+        let seq = self.nodes[node].next_seq;
+        self.nodes[node].next_seq += 1;
+        self.nodes[node].generated += 1;
+        let pkt = Packet::new(node, seq);
+        self.gen_times.insert(pkt.key(), now);
+        self.record(TraceEvent::Generated { t: now, node, seq });
+        self.enqueue(now, node, pkt);
+        let period = self.node_period(node);
+        // Horizon cuts generation off automatically.
+        self.engine
+            .schedule_at(now + period, Event::Generate { node });
+    }
+
+    // --- MAC layer ----------------------------------------------------------
+
+    fn enqueue(&mut self, now: SimTime, node: usize, pkt: Packet) {
+        if self.nodes[node].queue.len() >= self.cfg.mac_buffer {
+            self.buffer_drops += 1;
+            self.record(TraceEvent::BufferDrop { t: now, node });
+            return;
+        }
+        self.nodes[node].queue.push_back(pkt);
+        self.mac_kick(now, node);
+    }
+
+    /// CSMA: ensure a sensing attempt is scheduled when there is traffic.
+    fn mac_kick(&mut self, _now: SimTime, node: usize) {
+        let MacKind::Csma(csma) = self.cfg.mac else {
+            return; // TDMA/ALOHA transmissions are driven by slot events
+        };
+        let st = &mut self.nodes[node];
+        if st.transmitting || st.mac_pending || st.queue.is_empty() {
+            return;
+        }
+        st.mac_pending = true;
+        let delay = SimDuration::from_secs(
+            self.rngs[node].gen::<f64>() * csma.initial_backoff.as_secs_f64(),
+        );
+        self.engine.schedule_in(delay, Event::MacAttempt { node });
+    }
+
+    fn on_mac_attempt(&mut self, now: SimTime, node: usize) {
+        let MacKind::Csma(csma) = self.cfg.mac else {
+            unreachable!("MacAttempt event under TDMA");
+        };
+        self.nodes[node].mac_pending = false;
+        if !self.nodes[node].alive
+            || self.nodes[node].transmitting
+            || self.nodes[node].queue.is_empty()
+        {
+            return;
+        }
+        let busy = self.channel_busy_at(now, node);
+        match csma.access_mode {
+            crate::params::CsmaAccessMode::NonPersistent => {
+                if busy {
+                    self.nodes[node].attempts += 1;
+                    if self.nodes[node].attempts >= csma.max_attempts {
+                        // Non-persistent CSMA gives up: drop the head packet.
+                        self.nodes[node].queue.pop_front();
+                        self.nodes[node].attempts = 0;
+                        self.mac_drops += 1;
+                        self.record(TraceEvent::MacDrop { t: now, node });
+                        self.mac_kick(now, node);
+                    } else {
+                        self.nodes[node].mac_pending = true;
+                        let delay = SimDuration::from_secs(
+                            self.rngs[node].gen::<f64>() * csma.backoff.as_secs_f64(),
+                        );
+                        self.engine.schedule_in(delay, Event::MacAttempt { node });
+                    }
+                    return;
+                }
+            }
+            crate::params::CsmaAccessMode::PPersistent { p, sense_period } => {
+                // Persistent access never abandons the packet: it waits
+                // for the channel to free (transmissions always end, so
+                // this cannot livelock) and re-senses at that instant —
+                // which is exactly why 1-persistent CSMA collides when
+                // several nodes wait out the same transmission. On an
+                // idle sense it defers one period with probability 1 - p.
+                if busy {
+                    // Re-attempt when the last audible transmission ends.
+                    let busy_until = self.audible_busy_until(now, node);
+                    self.nodes[node].mac_pending = true;
+                    self.engine
+                        .schedule_at(busy_until.max(now), Event::MacAttempt { node });
+                    return;
+                }
+                if self.rngs[node].gen::<f64>() >= p {
+                    self.nodes[node].mac_pending = true;
+                    self.engine
+                        .schedule_in(sense_period, Event::MacAttempt { node });
+                    return;
+                }
+            }
+        }
+        self.nodes[node].attempts = 0;
+        // Clear channel: commit. The radio turns around from receive to
+        // transmit; during this blind window other nodes still sense an
+        // idle channel, which is where CSMA collisions come from.
+        self.nodes[node].mac_pending = true; // suppress further attempts
+        self.engine
+            .schedule_in(csma.turnaround, Event::TxCommit { node });
+    }
+
+    fn on_tx_commit(&mut self, now: SimTime, node: usize) {
+        self.nodes[node].mac_pending = false;
+        if !self.nodes[node].alive
+            || self.nodes[node].transmitting
+            || self.nodes[node].queue.is_empty()
+        {
+            return;
+        }
+        self.start_transmission(now, node);
+    }
+
+    fn on_aloha_slot(&mut self, now: SimTime, index: u64) {
+        let MacKind::SlottedAloha(aloha) = self.cfg.mac else {
+            unreachable!("AlohaSlot event under a different MAC");
+        };
+        for node in 0..self.nodes.len() {
+            if self.nodes[node].alive
+                && !self.nodes[node].transmitting
+                && !self.nodes[node].queue.is_empty()
+                && self.rngs[node].gen::<f64>() < aloha.p
+            {
+                self.start_transmission(now, node);
+            }
+        }
+        self.engine
+            .schedule_in(aloha.slot, Event::AlohaSlot { index: index + 1 });
+    }
+
+    fn on_hybrid_slot(&mut self, now: SimTime, index: u64) {
+        let MacKind::Hybrid(h) = self.cfg.mac else {
+            unreachable!("HybridSlot event under a different MAC");
+        };
+        let frame_len = self.nodes.len() as u64 + u64::from(h.contention_slots);
+        let within = index % frame_len;
+        if within < self.nodes.len() as u64 {
+            // Managed phase: the owner's guaranteed slot.
+            let owner = within as usize;
+            if self.nodes[owner].alive
+                && !self.nodes[owner].transmitting
+                && !self.nodes[owner].queue.is_empty()
+            {
+                self.start_transmission(now, owner);
+            }
+        } else {
+            // Random access phase: only *backlogged* nodes (more than one
+            // queued packet) gamble for the slot — a lone fresh packet is
+            // safer waiting for its guaranteed slot than risking a
+            // collision it cannot retransmit.
+            for node in 0..self.nodes.len() {
+                if self.nodes[node].alive
+                    && !self.nodes[node].transmitting
+                    && self.nodes[node].queue.len() > 1
+                    && self.rngs[node].gen::<f64>() < h.p
+                {
+                    self.start_transmission(now, node);
+                }
+            }
+        }
+        self.engine
+            .schedule_in(h.slot, Event::HybridSlot { index: index + 1 });
+    }
+
+    fn on_tdma_slot(&mut self, now: SimTime, index: u64) {
+        let MacKind::Tdma(tdma) = self.cfg.mac else {
+            unreachable!("TdmaSlot event under CSMA");
+        };
+        let owner = (index % self.nodes.len() as u64) as usize;
+        if self.nodes[owner].alive
+            && !self.nodes[owner].transmitting
+            && !self.nodes[owner].queue.is_empty()
+        {
+            self.start_transmission(now, owner);
+        }
+        self.engine
+            .schedule_in(tdma.slot, Event::TdmaSlot { index: index + 1 });
+    }
+
+    /// The end time of the last in-flight transmission audible at `node`
+    /// (current time if none are audible).
+    fn audible_busy_until(&mut self, now: SimTime, node: usize) -> SimTime {
+        let transmissions: Vec<(usize, SimTime)> =
+            self.medium.active_transmissions().collect();
+        let loc = self.nodes[node].loc;
+        let mut until = now;
+        for (tx, start) in transmissions {
+            let pl = self.channel.path_loss_db(self.nodes[tx].loc, loc, now);
+            if self.cfg.radio.link_closes(pl) {
+                until = until.max(start + self.tpkt);
+            }
+        }
+        until
+    }
+
+    /// Carrier sense: is any in-flight transmission audible at `node`?
+    /// (CCA threshold taken equal to the receiver sensitivity.)
+    fn channel_busy_at(&mut self, now: SimTime, node: usize) -> bool {
+        let transmitters: Vec<usize> = self.medium.active_transmitters().collect();
+        let loc = self.nodes[node].loc;
+        transmitters.into_iter().any(|tx| {
+            let pl = self.channel.path_loss_db(self.nodes[tx].loc, loc, now);
+            self.cfg.radio.link_closes(pl)
+        })
+    }
+
+    // --- radio layer ----------------------------------------------------------
+
+    fn start_transmission(&mut self, now: SimTime, node: usize) {
+        let pkt = self.nodes[node]
+            .queue
+            .pop_front()
+            .expect("start_transmission on empty queue");
+        self.nodes[node].transmitting = true;
+        self.transmissions += 1;
+        // Determine audibility per receiver at transmission start.
+        let tx_loc = self.nodes[node].loc;
+        let mut audible = Vec::with_capacity(self.nodes.len() - 1);
+        for r in 0..self.nodes.len() {
+            if r == node || self.nodes[r].transmitting || !self.nodes[r].alive {
+                continue;
+            }
+            let pl = self.channel.path_loss_db(tx_loc, self.nodes[r].loc, now);
+            if self.cfg.radio.link_closes(pl) {
+                audible.push(r);
+            }
+        }
+        self.medium.start_tx(node, pkt, now, &audible);
+        self.record(TraceEvent::TxStart {
+            t: now,
+            node,
+            origin: pkt.origin,
+            seq: pkt.seq,
+            relay: pkt.relay,
+        });
+        self.nodes[node].tx_energy_j +=
+            self.tpkt.as_secs_f64() * self.cfg.radio.tx_power.consumption_mw() * 1e-3;
+        self.engine.schedule_in(self.tpkt, Event::TxEnd { node });
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, node: usize) {
+        self.nodes[node].transmitting = false;
+        let (pkt, receptions) = self.medium.end_tx(node);
+        let rx_energy = self.tpkt.as_secs_f64() * self.cfg.radio.rx_consumption_mw * 1e-3;
+        for rec in receptions {
+            self.nodes[rec.receiver].rx_energy_j += rx_energy;
+            if !rec.corrupted {
+                self.deliveries += 1;
+                self.record(TraceEvent::Delivered {
+                    t: now,
+                    rx: rec.receiver,
+                    origin: pkt.origin,
+                    seq: pkt.seq,
+                });
+                self.deliver(now, rec.receiver, pkt);
+            } else {
+                self.record(TraceEvent::Corrupted {
+                    t: now,
+                    rx: rec.receiver,
+                    tx: node,
+                });
+            }
+        }
+        self.mac_kick(now, node);
+    }
+
+    // --- routing + application reception -----------------------------------
+
+    fn deliver(&mut self, now: SimTime, node: usize, pkt: Packet) {
+        // Application bookkeeping: count unique (origin, seq) arrivals.
+        if pkt.origin != node {
+            let origin = pkt.origin;
+            let seq = pkt.seq;
+            if self.nodes[node].received[origin].insert(seq) {
+                // First arrival of this packet at this receiver: a latency
+                // sample from generation to application delivery.
+                if let Some(&t0) = self.gen_times.get(&pkt.key()) {
+                    self.latency
+                        .record(now.duration_since(t0).as_secs_f64() * 1e3);
+                }
+            }
+        }
+        // Routing decision.
+        match self.cfg.routing {
+            Routing::Star { coordinator } => {
+                if node == coordinator && !pkt.relay && pkt.origin != node
+                    && self.nodes[node].relayed.insert(pkt.key()) {
+                        let copy = pkt.relayed_by(node);
+                        self.enqueue(now, node, copy);
+                    }
+            }
+            Routing::Mesh {
+                max_hops,
+                flood_mode,
+            } => {
+                if !pkt.has_visited(node) && pkt.hops < max_hops {
+                    let relay_ok = match flood_mode {
+                        FloodMode::DedupPerNode => self.nodes[node].relayed.insert(pkt.key()),
+                        FloodMode::HistoryOnly => true,
+                    };
+                    if relay_ok {
+                        let copy = pkt.relayed_by(node);
+                        self.enqueue(now, node, copy);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- metrics -------------------------------------------------------------
+
+    fn finish(self) -> SimOutcome {
+        let n = self.nodes.len();
+        let secs = self.t_sim.as_secs_f64();
+
+        // Eq. (6): PDR_k = 1/(N-1) * sum_{i != k} received_{i->k} / sent_i.
+        let node_pdr: Vec<f64> = (0..n)
+            .map(|k| {
+                let mut sum = 0.0;
+                let mut pairs = 0u32;
+                for i in 0..n {
+                    if i == k || self.nodes[i].generated == 0 {
+                        continue;
+                    }
+                    sum += self.nodes[k].received[i].len() as f64
+                        / self.nodes[i].generated as f64;
+                    pairs += 1;
+                }
+                if pairs == 0 {
+                    0.0
+                } else {
+                    sum / pairs as f64
+                }
+            })
+            .collect();
+        // Eq. (7): network PDR.
+        let pdr = node_pdr.iter().sum::<f64>() / n as f64;
+
+        let node_power_mw: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|st| {
+                let radio_w = (st.tx_energy_j + st.rx_energy_j) / secs;
+                (self.cfg.app.baseline_power_w + radio_w) * 1e3
+            })
+            .collect();
+
+        // Eq. (4): the coordinator is exempt in a star (bigger battery),
+        // and nodes killed by fault injection no longer limit lifetime.
+        // Harvested power offsets the drain (net-zero nodes live forever).
+        let coordinator = self.cfg.coordinator();
+        let considered =
+            (0..n).filter(|&i| Some(i) != coordinator && self.nodes[i].alive);
+        let harvest_mw = self.cfg.harvest_power_w * 1e3;
+        let net_power_mw: Vec<f64> = node_power_mw
+            .iter()
+            .map(|&p| (p - harvest_mw).max(0.0))
+            .collect();
+        let nlt_days =
+            network_lifetime_days(&net_power_mw, self.cfg.battery_j, considered.clone());
+        let max_power_mw = considered
+            .map(|i| node_power_mw[i])
+            .fold(0.0f64, f64::max);
+
+        let generated = self.nodes.iter().map(|s| s.generated).sum();
+        let latency = if self.latency.count() == 0 {
+            LatencyStats::default()
+        } else {
+            LatencyStats {
+                samples: self.latency.count(),
+                mean_ms: self.latency.mean(),
+                std_ms: self.latency.std_dev(),
+                max_ms: self.latency.max(),
+            }
+        };
+        SimOutcome {
+            pdr,
+            node_pdr,
+            nlt_days,
+            node_power_mw,
+            max_power_mw,
+            latency,
+            counts: TrafficCounts {
+                generated,
+                transmissions: self.transmissions,
+                deliveries: self.deliveries,
+                collisions: self.medium.collisions(),
+                buffer_drops: self.buffer_drops,
+                mac_drops: self.mac_drops,
+            },
+            sim_seconds: secs,
+        }
+    }
+}

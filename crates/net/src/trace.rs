@@ -1,0 +1,203 @@
+//! Packet-journey tracing.
+//!
+//! A traced run records every application, MAC and radio milestone with
+//! its timestamp, so a packet's fate — generated, transmitted, relayed,
+//! collided, delivered or dropped — can be reconstructed exactly.
+//! Tracing is off by default (zero overhead); turn it on with
+//! [`NetworkSim::run_traced`](crate::NetworkSim::run_traced).
+
+use hi_des::SimTime;
+
+/// One traced milestone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The application layer emitted a packet.
+    Generated {
+        /// Timestamp.
+        t: SimTime,
+        /// Generating node.
+        node: usize,
+        /// Sequence number.
+        seq: u32,
+    },
+    /// A node put a packet on the air.
+    TxStart {
+        /// Timestamp.
+        t: SimTime,
+        /// Transmitting node.
+        node: usize,
+        /// Packet origin.
+        origin: usize,
+        /// Packet sequence number.
+        seq: u32,
+        /// Whether this is a relayed copy.
+        relay: bool,
+    },
+    /// A clean copy reached a node's stack.
+    Delivered {
+        /// Timestamp (end of reception).
+        t: SimTime,
+        /// Receiving node.
+        rx: usize,
+        /// Packet origin.
+        origin: usize,
+        /// Packet sequence number.
+        seq: u32,
+    },
+    /// A reception was corrupted by a collision (or the receiver turned
+    /// transmitter mid-reception).
+    Corrupted {
+        /// Timestamp (end of the corrupted reception).
+        t: SimTime,
+        /// The would-be receiver.
+        rx: usize,
+        /// The transmitter whose packet was lost at `rx`.
+        tx: usize,
+    },
+    /// A packet was rejected by a full MAC buffer.
+    BufferDrop {
+        /// Timestamp.
+        t: SimTime,
+        /// Dropping node.
+        node: usize,
+    },
+    /// Non-persistent CSMA exhausted its attempts and abandoned a packet.
+    MacDrop {
+        /// Timestamp.
+        t: SimTime,
+        /// Dropping node.
+        node: usize,
+    },
+    /// A scheduled fault killed a node.
+    NodeFailed {
+        /// Timestamp.
+        t: SimTime,
+        /// The failed node.
+        node: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Generated { t, .. }
+            | TraceEvent::TxStart { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::Corrupted { t, .. }
+            | TraceEvent::BufferDrop { t, .. }
+            | TraceEvent::MacDrop { t, .. }
+            | TraceEvent::NodeFailed { t, .. } => t,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TraceEvent::Generated { t, node, seq } => {
+                write!(f, "{t} gen    n{node} seq {seq}")
+            }
+            TraceEvent::TxStart {
+                t,
+                node,
+                origin,
+                seq,
+                relay,
+            } => write!(
+                f,
+                "{t} tx     n{node} ({}{origin}:{seq})",
+                if relay { "relay " } else { "" }
+            ),
+            TraceEvent::Delivered { t, rx, origin, seq } => {
+                write!(f, "{t} rx     n{rx} <- {origin}:{seq}")
+            }
+            TraceEvent::Corrupted { t, rx, tx } => {
+                write!(f, "{t} COLL   n{rx} lost frame from n{tx}")
+            }
+            TraceEvent::BufferDrop { t, node } => write!(f, "{t} DROP-Q n{node}"),
+            TraceEvent::MacDrop { t, node } => write!(f, "{t} DROP-M n{node}"),
+            TraceEvent::NodeFailed { t, node } => write!(f, "{t} FAIL   n{node}"),
+        }
+    }
+}
+
+/// Renders a trace as one line per event.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Follows one packet `(origin, seq)` through a trace.
+pub fn packet_journey(events: &[TraceEvent], origin: usize, seq: u32) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| match **e {
+            TraceEvent::Generated { node, seq: s, .. } => node == origin && s == seq,
+            TraceEvent::TxStart {
+                origin: o, seq: s, ..
+            }
+            | TraceEvent::Delivered {
+                origin: o, seq: s, ..
+            } => o == origin && s == seq,
+            _ => false,
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::Delivered {
+            t: t(1_000),
+            rx: 2,
+            origin: 0,
+            seq: 7,
+        };
+        assert_eq!(e.to_string(), "0.000001000s rx     n2 <- 0:7");
+    }
+
+    #[test]
+    fn journey_filters_by_identity() {
+        let events = vec![
+            TraceEvent::Generated { t: t(0), node: 0, seq: 1 },
+            TraceEvent::Generated { t: t(0), node: 1, seq: 1 },
+            TraceEvent::TxStart { t: t(10), node: 0, origin: 0, seq: 1, relay: false },
+            TraceEvent::Delivered { t: t(20), rx: 2, origin: 0, seq: 1 },
+            TraceEvent::Delivered { t: t(30), rx: 2, origin: 1, seq: 1 },
+        ];
+        let j = packet_journey(&events, 0, 1);
+        assert_eq!(j.len(), 3);
+        assert!(matches!(j[2], TraceEvent::Delivered { rx: 2, .. }));
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let events = vec![
+            TraceEvent::BufferDrop { t: t(5), node: 3 },
+            TraceEvent::NodeFailed { t: t(9), node: 1 },
+        ];
+        let s = render(&events);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("DROP-Q n3"));
+        assert!(s.contains("FAIL   n1"));
+    }
+
+    #[test]
+    fn time_accessor() {
+        let e = TraceEvent::MacDrop { t: t(42), node: 0 };
+        assert_eq!(e.time(), t(42));
+    }
+}

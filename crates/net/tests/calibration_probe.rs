@@ -1,0 +1,47 @@
+//! Calibration probe (run with --nocapture to inspect PDR/NLT landscape).
+
+use hi_channel::{BodyLocation, ChannelParams};
+use hi_des::SimDuration;
+use hi_net::{simulate_averaged, MacKind, NetworkConfig, Routing, TxPower};
+
+#[test]
+#[ignore = "manual calibration aid; run with --ignored --nocapture"]
+fn print_landscape() {
+    let base4 = vec![
+        BodyLocation::Chest,
+        BodyLocation::LeftHip,
+        BodyLocation::LeftAnkle,
+        BodyLocation::LeftWrist,
+    ];
+    let base5 = {
+        let mut v = base4.clone();
+        v.push(BodyLocation::LeftUpperArm);
+        v
+    };
+    let t = SimDuration::from_secs(120.0);
+    for (label, placements) in [("N4", &base4), ("N5", &base5)] {
+        for power in TxPower::ALL {
+            for (mlabel, mac) in [("CSMA", MacKind::csma()), ("TDMA", MacKind::tdma())] {
+                for (rlabel, routing) in [
+                    ("Star", Routing::Star { coordinator: 0 }),
+                    ("Mesh", Routing::mesh()),
+                ] {
+                    let cfg =
+                        NetworkConfig::new(placements.clone(), power, mac, routing);
+                    let out =
+                        simulate_averaged(&cfg, ChannelParams::default(), t, 1000, 3)
+                            .unwrap();
+                    println!(
+                        "{label} {power} {mlabel} {rlabel}: PDR {:5.1}%  NLT {:6.2} d  Pmax {:.3} mW  tx {} coll {} drops {}",
+                        out.pdr_percent(),
+                        out.nlt_days,
+                        out.max_power_mw,
+                        out.counts.transmissions,
+                        out.counts.collisions,
+                        out.counts.buffer_drops + out.counts.mac_drops,
+                    );
+                }
+            }
+        }
+    }
+}

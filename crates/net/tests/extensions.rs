@@ -1,0 +1,204 @@
+//! Tests for the beyond-the-paper extensions: heterogeneous traffic
+//! rates and energy harvesting.
+
+use hi_channel::{BodyLocation, StaticChannel};
+use hi_des::SimDuration;
+use hi_net::{simulate, ConfigError, MacKind, NetworkConfig, Routing, TxPower};
+
+fn t_sim() -> SimDuration {
+    SimDuration::from_secs(60.0)
+}
+
+fn base() -> NetworkConfig {
+    NetworkConfig::new(
+        vec![
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            BodyLocation::LeftAnkle,
+            BodyLocation::LeftWrist,
+        ],
+        TxPower::ZeroDbm,
+        MacKind::tdma(),
+        Routing::Star { coordinator: 0 },
+    )
+}
+
+#[test]
+fn rate_overrides_validated() {
+    let mut cfg = base();
+    cfg.per_node_rates = Some(vec![10.0, 10.0]); // wrong length
+    assert_eq!(cfg.validate(), Err(ConfigError::BadRateOverrides));
+    cfg.per_node_rates = Some(vec![10.0, 10.0, 0.0, 10.0]); // zero rate
+    assert_eq!(cfg.validate(), Err(ConfigError::BadRateOverrides));
+    cfg.per_node_rates = Some(vec![10.0, 5.0, 1.0, 50.0]);
+    assert_eq!(cfg.validate(), Ok(()));
+}
+
+#[test]
+fn per_node_rates_shape_generated_counts() {
+    let mut cfg = base();
+    cfg.per_node_rates = Some(vec![10.0, 5.0, 1.0, 20.0]);
+    let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    // Roughly rate * 60 packets per node; everything delivered (lossless).
+    assert_eq!(out.pdr, 1.0);
+    let g = out.counts.generated as f64;
+    assert!((g - 36.0 * 60.0).abs() < 8.0, "total generated {g}");
+    // The chatty node dominates its neighbours' receive energy; the
+    // quiet node still receives everything, so power ordering holds:
+    // the node transmitting 20 pkt/s burns more than the 1 pkt/s one.
+    assert!(out.node_power_mw[3] > out.node_power_mw[2]);
+}
+
+#[test]
+fn uniform_rates_match_default_behavior() {
+    let mut overridden = base();
+    overridden.per_node_rates = Some(vec![10.0; 4]);
+    let a = simulate(&overridden, StaticChannel::uniform(50.0), t_sim(), 9).unwrap();
+    let b = simulate(&base(), StaticChannel::uniform(50.0), t_sim(), 9).unwrap();
+    assert_eq!(a, b, "uniform overrides must reproduce the default");
+}
+
+#[test]
+fn harvesting_extends_lifetime() {
+    let plain = simulate(&base(), StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    let mut cfg = base();
+    cfg.harvest_power_w = 0.5e-3; // 0.5 mW of harvest
+    let harvested = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    assert!(
+        harvested.nlt_days > 1.5 * plain.nlt_days,
+        "0.5 mW harvest should stretch lifetime: {} vs {}",
+        harvested.nlt_days,
+        plain.nlt_days
+    );
+    // Gross power reporting is unchanged (harvest offsets drain, it does
+    // not reduce consumption).
+    assert_eq!(plain.max_power_mw, harvested.max_power_mw);
+}
+
+#[test]
+fn net_zero_harvest_means_infinite_lifetime() {
+    let mut cfg = base();
+    cfg.harvest_power_w = 50e-3; // far above any node's drain
+    let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    assert!(out.nlt_days.is_infinite());
+}
+
+mod hybrid_mac {
+    use super::*;
+    use hi_net::HybridParams;
+
+    fn hybrid_cfg(params: HybridParams, rate: f64) -> NetworkConfig {
+        let mut cfg = NetworkConfig::new(
+            vec![
+                BodyLocation::Chest,
+                BodyLocation::LeftHip,
+                BodyLocation::LeftAnkle,
+                BodyLocation::LeftWrist,
+            ],
+            TxPower::ZeroDbm,
+            MacKind::Hybrid(params),
+            Routing::Star { coordinator: 0 },
+        );
+        cfg.app.packets_per_second = rate;
+        cfg.mac_buffer = 64;
+        cfg
+    }
+
+    #[test]
+    fn lossless_hybrid_delivers_everything_at_nominal_load() {
+        let cfg = hybrid_cfg(HybridParams::default(), 10.0);
+        let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+        assert_eq!(out.pdr, 1.0, "guaranteed slots cover nominal traffic");
+    }
+
+    #[test]
+    fn contention_phase_collides_scheduled_phase_does_not() {
+        // Saturate so the contention tail is exercised every frame.
+        let cfg = hybrid_cfg(HybridParams::default(), 300.0);
+        let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 2).unwrap();
+        assert!(out.counts.collisions > 0, "contention phase must collide");
+        // Still better than nothing: the guaranteed slots keep a floor.
+        assert!(out.pdr > 0.2, "pdr {}", out.pdr);
+    }
+
+    #[test]
+    fn zero_contention_slots_degenerate_to_tdma() {
+        let params = HybridParams {
+            contention_slots: 0,
+            ..Default::default()
+        };
+        let hybrid = simulate(
+            &hybrid_cfg(params, 10.0),
+            StaticChannel::uniform(50.0),
+            t_sim(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(hybrid.counts.collisions, 0, "no contention, no collisions");
+        assert_eq!(hybrid.pdr, 1.0);
+    }
+
+    #[test]
+    fn contention_tail_absorbs_asymmetric_bursts_better_than_tdma() {
+        // Under *symmetric* saturation round-robin TDMA is optimal (every
+        // slot carries a packet). The hybrid's contention tail pays off
+        // when ONE node bursts while the others idle: TDMA caps the
+        // bursty node at 1/(N * slot) = 250 pkt/s, while the hybrid lets
+        // it win most of the (uncontended) random-access slots on top of
+        // its guaranteed one.
+        let mk = |mac| {
+            let mut cfg = hybrid_cfg(
+                HybridParams {
+                    contention_slots: 8,
+                    p: 0.5,
+                    ..Default::default()
+                },
+                10.0,
+            );
+            cfg.mac = mac;
+            // The chest coordinator bursts (its packets reach everyone
+            // directly, so no relay backlog muddies the comparison).
+            cfg.per_node_rates = Some(vec![320.0, 2.0, 2.0, 2.0]);
+            cfg
+        };
+        let hybrid = simulate(
+            &mk(MacKind::Hybrid(HybridParams {
+                contention_slots: 8,
+                p: 0.5,
+                ..Default::default()
+            })),
+            StaticChannel::uniform(50.0),
+            t_sim(),
+            4,
+        )
+        .unwrap();
+        let tdma = simulate(&mk(MacKind::tdma()), StaticChannel::uniform(50.0), t_sim(), 4)
+            .unwrap();
+        assert!(
+            hybrid.pdr > tdma.pdr,
+            "hybrid ({}) should out-deliver TDMA ({}) under asymmetric bursts",
+            hybrid.pdr,
+            tdma.pdr
+        );
+        // TDMA visibly drops the bursty node's overflow.
+        assert!(tdma.counts.buffer_drops > 0);
+    }
+
+    #[test]
+    fn hybrid_validates_probability_and_slot() {
+        let mut cfg = hybrid_cfg(
+            HybridParams {
+                p: -0.1,
+                ..Default::default()
+            },
+            10.0,
+        );
+        assert_eq!(
+            cfg.validate(),
+            Err(hi_net::ConfigError::BadAlohaProbability)
+        );
+        cfg.mac = MacKind::Hybrid(HybridParams::default());
+        cfg.app.packet_len_bytes = 200; // 1.56 ms > 1 ms mini-slot
+        assert_eq!(cfg.validate(), Err(hi_net::ConfigError::PacketExceedsSlot));
+    }
+}

@@ -1,0 +1,184 @@
+//! Failure-injection tests (extension beyond the paper): a node dying
+//! mid-mission degrades the network in topology-dependent ways.
+
+use hi_channel::{BodyLocation, ChannelModel, StaticChannel};
+use hi_des::{SimDuration, SimTime};
+use hi_net::{simulate, MacKind, NetworkConfig, NodeFault, Routing, TxPower};
+
+fn t_sim() -> SimDuration {
+    SimDuration::from_secs(60.0)
+}
+
+fn base() -> NetworkConfig {
+    NetworkConfig::new(
+        vec![
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            BodyLocation::LeftAnkle,
+            BodyLocation::LeftWrist,
+        ],
+        TxPower::ZeroDbm,
+        MacKind::tdma(),
+        Routing::Star { coordinator: 0 },
+    )
+}
+
+#[test]
+fn fault_config_validated() {
+    let mut cfg = base();
+    cfg.faults.push(NodeFault {
+        node: 9,
+        at: SimDuration::from_secs(1.0),
+    });
+    assert!(matches!(
+        cfg.validate(),
+        Err(hi_net::ConfigError::BadFaultNode(9))
+    ));
+}
+
+#[test]
+fn member_death_halves_its_traffic() {
+    let mut cfg = base();
+    cfg.faults.push(NodeFault {
+        node: 3, // the wrist node dies at half time
+        at: SimDuration::from_secs(30.0),
+    });
+    let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    let healthy = simulate(&base(), StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    assert_eq!(healthy.pdr, 1.0);
+    // Pairs into the dead node lose everything after t/2; pairs out of it
+    // stop being generated (which does NOT hurt PDR); so network PDR sits
+    // clearly between 50% and 100%.
+    assert!(
+        out.pdr > 0.6 && out.pdr < 0.95,
+        "pdr with half-time death = {}",
+        out.pdr
+    );
+    assert!(out.counts.generated < healthy.counts.generated);
+}
+
+#[test]
+fn coordinator_death_is_catastrophic_for_star_hidden_pairs() {
+    // Hidden-pair topology: only the chest coordinator links hip & wrist.
+    struct Bridge;
+    impl ChannelModel for Bridge {
+        fn path_loss_db(&mut self, a: BodyLocation, b: BodyLocation, _t: SimTime) -> f64 {
+            let bridge = |x: BodyLocation, y: BodyLocation| {
+                (x == BodyLocation::Chest && y != BodyLocation::Chest)
+                    || (y == BodyLocation::Chest && x != BodyLocation::Chest)
+            };
+            if a == b {
+                0.0
+            } else if bridge(a, b) {
+                50.0
+            } else {
+                150.0
+            }
+        }
+    }
+    let mut cfg = NetworkConfig::new(
+        vec![
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            BodyLocation::LeftWrist,
+        ],
+        TxPower::ZeroDbm,
+        MacKind::tdma(),
+        Routing::Star { coordinator: 0 },
+    );
+    cfg.faults.push(NodeFault {
+        node: 0,
+        at: SimDuration::from_secs(30.0),
+    });
+    let out = simulate(&cfg, Bridge, t_sim(), 1).unwrap();
+    // After the hub dies nothing flows between hip and wrist at all.
+    assert!(
+        out.pdr < 0.8,
+        "hub death should gut a hidden-pair star, pdr = {}",
+        out.pdr
+    );
+}
+
+#[test]
+fn mesh_degrades_more_gracefully_than_star_on_relay_death() {
+    // Chain chest - hip - ankle - wrist; the hip is the critical relay for
+    // chest<->ankle. In the mesh, ankle<->wrist still work after the hip
+    // dies; compare against hub death in the star.
+    struct Chain;
+    impl ChannelModel for Chain {
+        fn path_loss_db(&mut self, a: BodyLocation, b: BodyLocation, _t: SimTime) -> f64 {
+            use BodyLocation::*;
+            let adj = |x: BodyLocation, y: BodyLocation| {
+                matches!(
+                    (x, y),
+                    (Chest, LeftHip)
+                        | (LeftHip, Chest)
+                        | (LeftHip, LeftAnkle)
+                        | (LeftAnkle, LeftHip)
+                        | (LeftAnkle, LeftWrist)
+                        | (LeftWrist, LeftAnkle)
+                )
+            };
+            if a == b {
+                0.0
+            } else if adj(a, b) {
+                50.0
+            } else {
+                150.0
+            }
+        }
+    }
+    let mk = |routing| {
+        let mut cfg = NetworkConfig::new(
+            vec![
+                BodyLocation::Chest,
+                BodyLocation::LeftHip,
+                BodyLocation::LeftAnkle,
+                BodyLocation::LeftWrist,
+            ],
+            TxPower::ZeroDbm,
+            MacKind::tdma(),
+            routing,
+        );
+        cfg.mac_buffer = 64;
+        cfg.faults.push(NodeFault {
+            node: 1, // hip relay dies at half time
+            at: SimDuration::from_secs(30.0),
+        });
+        cfg
+    };
+    let mesh = simulate(&mk(Routing::mesh()), Chain, t_sim(), 1).unwrap();
+    let star = simulate(&mk(Routing::Star { coordinator: 0 }), Chain, t_sim(), 1).unwrap();
+    assert!(
+        mesh.pdr > star.pdr,
+        "mesh ({}) should degrade more gracefully than star ({})",
+        mesh.pdr,
+        star.pdr
+    );
+}
+
+#[test]
+fn dead_node_excluded_from_lifetime() {
+    let mut cfg = base();
+    cfg.faults.push(NodeFault {
+        node: 3,
+        at: SimDuration::from_secs(1.0),
+    });
+    let faulty = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    let healthy = simulate(&base(), StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
+    // The survivors hear less traffic (fewer receptions), so the
+    // lifetime-limiting survivor draws no more than in the healthy net.
+    assert!(faulty.nlt_days >= healthy.nlt_days);
+}
+
+#[test]
+fn fault_after_horizon_changes_nothing() {
+    let mut cfg = base();
+    cfg.faults.push(NodeFault {
+        node: 2,
+        at: SimDuration::from_secs(1e4),
+    });
+    let a = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 7).unwrap();
+    let b = simulate(&base(), StaticChannel::uniform(50.0), t_sim(), 7).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,146 @@
+//! Property-based invariants of the network simulator: for *any* valid
+//! configuration and seed, the metrics must be internally consistent.
+
+use hi_channel::{BodyLocation, ChannelParams};
+use hi_des::SimDuration;
+use hi_net::{
+    simulate_stochastic, FloodMode, MacKind, NetworkConfig, Routing, TxPower,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct AnyConfig {
+    cfg: NetworkConfig,
+    seed: u64,
+}
+
+fn config_strategy() -> impl Strategy<Value = AnyConfig> {
+    let placements = prop::sample::subsequence(
+        vec![
+            BodyLocation::LeftHip,
+            BodyLocation::RightHip,
+            BodyLocation::LeftAnkle,
+            BodyLocation::RightAnkle,
+            BodyLocation::LeftWrist,
+            BodyLocation::RightWrist,
+            BodyLocation::LeftUpperArm,
+            BodyLocation::Head,
+            BodyLocation::Back,
+        ],
+        1..5,
+    )
+    .prop_map(|mut extra| {
+        let mut v = vec![BodyLocation::Chest];
+        v.append(&mut extra);
+        v
+    });
+    (
+        placements,
+        0usize..3,
+        0u8..4,
+        prop::bool::ANY,
+        0u8..3,
+        any::<u64>(),
+    )
+        .prop_map(|(placements, power, mac_kind, mesh, hops, seed)| {
+            let power = TxPower::ALL[power];
+            let mac = match mac_kind {
+                0 => MacKind::csma(),
+                1 => MacKind::tdma(),
+                2 => MacKind::slotted_aloha(),
+                _ => MacKind::hybrid(),
+            };
+            let routing = if mesh {
+                Routing::Mesh {
+                    max_hops: hops + 1,
+                    flood_mode: FloodMode::DedupPerNode,
+                }
+            } else {
+                Routing::Star { coordinator: 0 }
+            };
+            AnyConfig {
+                cfg: NetworkConfig::new(placements, power, mac, routing),
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_are_internally_consistent(any in config_strategy()) {
+        let out = simulate_stochastic(
+            &any.cfg,
+            ChannelParams::default(),
+            SimDuration::from_secs(5.0),
+            any.seed,
+        ).expect("generated configs are valid");
+
+        let n = any.cfg.num_nodes();
+        // PDR bounds (eq. 6-7).
+        prop_assert!((0.0..=1.0).contains(&out.pdr), "pdr {}", out.pdr);
+        prop_assert_eq!(out.node_pdr.len(), n);
+        for &p in &out.node_pdr {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+        let mean = out.node_pdr.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - out.pdr).abs() < 1e-9, "eq. 7 violated");
+
+        // Power: every node draws at least the baseline; the reported
+        // worst equals the max over lifetime-relevant nodes.
+        prop_assert_eq!(out.node_power_mw.len(), n);
+        for &p in &out.node_power_mw {
+            prop_assert!(p >= 0.1 - 1e-12, "below baseline: {p}");
+        }
+        let coordinator = any.cfg.coordinator();
+        let worst = out
+            .node_power_mw
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != coordinator)
+            .map(|(_, &p)| p)
+            .fold(0.0f64, f64::max);
+        prop_assert!((worst - out.max_power_mw).abs() < 1e-12);
+
+        // Lifetime consistent with the worst power (eq. 4).
+        let expected_days = any.cfg.battery_j / (out.max_power_mw * 1e-3) / 86_400.0;
+        prop_assert!((out.nlt_days - expected_days).abs() < 1e-6);
+
+        // Traffic accounting.
+        let c = &out.counts;
+        prop_assert!(c.deliveries <= c.transmissions * (n as u64 - 1));
+        prop_assert!(c.generated > 0);
+        // Latency sane.
+        prop_assert!(out.latency.mean_ms >= 0.0);
+        prop_assert!(out.latency.max_ms >= out.latency.mean_ms || out.latency.samples == 0);
+        if out.pdr > 0.0 {
+            prop_assert!(out.latency.samples > 0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(any in config_strategy()) {
+        let run = || simulate_stochastic(
+            &any.cfg,
+            ChannelParams::default(),
+            SimDuration::from_secs(3.0),
+            any.seed,
+        ).expect("valid");
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn longer_simulation_does_not_break_invariants(any in config_strategy()) {
+        // Guard against time-dependent state corruption (e.g. queue leaks):
+        // PDR of a longer run stays within [0, 1] and power stays finite.
+        let out = simulate_stochastic(
+            &any.cfg,
+            ChannelParams::default(),
+            SimDuration::from_secs(20.0),
+            any.seed,
+        ).expect("valid");
+        prop_assert!((0.0..=1.0).contains(&out.pdr));
+        prop_assert!(out.max_power_mw.is_finite() && out.max_power_mw < 100.0);
+    }
+}

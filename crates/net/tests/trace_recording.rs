@@ -1,0 +1,122 @@
+//! Tests of the packet-journey trace facility.
+
+use hi_channel::{BodyLocation, StaticChannel};
+use hi_des::SimDuration;
+use hi_net::trace::{packet_journey, render, TraceEvent};
+use hi_net::{MacKind, NetworkConfig, NetworkSim, NodeFault, Routing, TxPower};
+
+fn cfg() -> NetworkConfig {
+    let mut cfg = NetworkConfig::new(
+        vec![
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            BodyLocation::LeftWrist,
+        ],
+        TxPower::ZeroDbm,
+        MacKind::tdma(),
+        Routing::Star { coordinator: 0 },
+    );
+    cfg.app.packets_per_second = 2.0; // sparse, readable trace
+    cfg
+}
+
+#[test]
+fn traced_run_matches_untraced_outcome() {
+    let t = SimDuration::from_secs(10.0);
+    let (traced, events) = NetworkSim::new(cfg(), StaticChannel::uniform(50.0), t, 3)
+        .unwrap()
+        .run_traced();
+    let plain = NetworkSim::new(cfg(), StaticChannel::uniform(50.0), t, 3)
+        .unwrap()
+        .run();
+    assert_eq!(traced, plain, "tracing must not change behaviour");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn trace_counts_reconcile_with_metrics() {
+    let t = SimDuration::from_secs(10.0);
+    let (out, events) = NetworkSim::new(cfg(), StaticChannel::uniform(50.0), t, 3)
+        .unwrap()
+        .run_traced();
+    let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Generated { .. })),
+        out.counts.generated
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::TxStart { .. })),
+        out.counts.transmissions
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Delivered { .. })),
+        out.counts.deliveries
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Corrupted { .. })),
+        out.counts.collisions
+    );
+}
+
+#[test]
+fn trace_is_time_ordered() {
+    let (_, events) = NetworkSim::new(
+        cfg(),
+        StaticChannel::uniform(50.0),
+        SimDuration::from_secs(5.0),
+        1,
+    )
+    .unwrap()
+    .run_traced();
+    for w in events.windows(2) {
+        assert!(w[0].time() <= w[1].time());
+    }
+}
+
+#[test]
+fn packet_journey_tells_the_star_story() {
+    // Lossless star: a non-coordinator packet is generated, transmitted,
+    // heard by everyone, relayed once by the coordinator, heard again.
+    let (_, events) = NetworkSim::new(
+        cfg(),
+        StaticChannel::uniform(50.0),
+        SimDuration::from_secs(5.0),
+        1,
+    )
+    .unwrap()
+    .run_traced();
+    let journey = packet_journey(&events, 1, 0); // node 1's first packet
+    let txs = journey
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TxStart { .. }))
+        .count();
+    assert_eq!(txs, 2, "original + coordinator relay: {journey:#?}");
+    let deliveries = journey
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+        .count();
+    // Original heard by coordinator + wrist; relay heard by hip + wrist.
+    assert_eq!(deliveries, 4, "{journey:#?}");
+}
+
+#[test]
+fn node_failure_appears_in_trace() {
+    let mut c = cfg();
+    c.faults.push(NodeFault {
+        node: 2,
+        at: SimDuration::from_secs(2.0),
+    });
+    let (_, events) = NetworkSim::new(
+        c,
+        StaticChannel::uniform(50.0),
+        SimDuration::from_secs(5.0),
+        1,
+    )
+    .unwrap()
+    .run_traced();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::NodeFailed { node: 2, .. })));
+    let text = render(&events);
+    assert!(text.contains("FAIL   n2"));
+}

@@ -1,0 +1,69 @@
+//! Inspect the body-area channel model: the average path-loss matrix over
+//! the ten candidate sites (the synthetic stand-in for the paper's NICTA
+//! measurement dataset) and a fading trace from the conditional
+//! (Gauss–Markov) temporal-variation process of eq. (1).
+//!
+//! ```sh
+//! cargo run --release -p hi-opt --example channel_explorer
+//! ```
+
+use hi_opt::channel::{
+    BodyLocation, Channel, ChannelModel, ChannelParams, PathLossMatrix, PathLossParams,
+};
+use hi_opt::des::SimTime;
+use hi_opt::net::{RadioParams, TxPower};
+
+fn main() {
+    let params = PathLossParams::default();
+    let matrix = PathLossMatrix::synthetic(&params);
+
+    println!("average path loss PL̄_ij (dB) over the 10 candidate sites:\n");
+    print!("{:>8}", "");
+    for b in BodyLocation::ALL {
+        print!("{:>8}", b.name());
+    }
+    println!();
+    for a in BodyLocation::ALL {
+        print!("{:>8}", a.name());
+        for b in BodyLocation::ALL {
+            print!("{:>8.1}", matrix.loss_db(a, b));
+        }
+        println!();
+    }
+
+    println!(
+        "\nrange: {:.1} .. {:.1} dB",
+        matrix.min_loss_db(),
+        matrix.max_loss_db()
+    );
+
+    // Which links close at each CC2650 power level?
+    println!("\nlink budget (mean path loss vs CC2650 sensitivity of -97 dBm):");
+    for power in TxPower::ALL {
+        let radio = RadioParams::cc2650(power);
+        let mut open = 0;
+        let mut total = 0;
+        for a in BodyLocation::ALL {
+            for b in BodyLocation::ALL {
+                if a.index() < b.index() {
+                    total += 1;
+                    if radio.link_closes(matrix.loss_db(a, b)) {
+                        open += 1;
+                    }
+                }
+            }
+        }
+        println!("  {power:>7}: {open}/{total} links close on average");
+    }
+
+    // A short fading trace on the hardest standard link.
+    println!("\nfading trace chest->l-ankle, 100 ms steps (PL̄ + δPL(t), dB):");
+    let mut channel = Channel::new(ChannelParams::default(), 2024);
+    let mean = matrix.loss_db(BodyLocation::Chest, BodyLocation::LeftAnkle);
+    for k in 0..20 {
+        let t = SimTime::from_secs(0.1 * (k + 1) as f64);
+        let pl = channel.path_loss_db(BodyLocation::Chest, BodyLocation::LeftAnkle, t);
+        let bar = "#".repeat(((pl - mean + 15.0).max(0.0) / 1.5) as usize);
+        println!("  t={:>4.1}s  {:6.1} dB  {}", t.as_secs_f64(), pl, bar);
+    }
+}

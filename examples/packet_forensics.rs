@@ -1,0 +1,67 @@
+//! Packet forensics: trace a short simulation over the fading body
+//! channel and reconstruct one packet's journey — generation, the
+//! original broadcast, the coordinator's relay, collisions and
+//! deliveries, all timestamped. Also injects a node failure mid-run to
+//! show how the trace captures it.
+//!
+//! ```sh
+//! cargo run --release -p hi-opt --example packet_forensics
+//! ```
+
+use hi_opt::channel::{Channel, ChannelParams};
+use hi_opt::des::SimDuration;
+use hi_opt::net::trace::{packet_journey, TraceEvent};
+use hi_opt::net::{MacKind, NetworkConfig, NetworkSim, NodeFault, Routing, TxPower};
+use hi_opt::channel::BodyLocation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = NetworkConfig::new(
+        vec![
+            BodyLocation::Chest,
+            BodyLocation::LeftHip,
+            BodyLocation::LeftAnkle,
+            BodyLocation::LeftWrist,
+        ],
+        TxPower::Minus10Dbm, // marginal links => interesting losses
+        MacKind::csma(),
+        Routing::Star { coordinator: 0 },
+    );
+    cfg.app.packets_per_second = 2.0; // sparse, readable trace
+    cfg.faults.push(NodeFault {
+        node: 2,
+        at: SimDuration::from_secs(3.0),
+    });
+
+    let channel = Channel::new(ChannelParams::default(), 77);
+    let sim = NetworkSim::new(cfg, channel, SimDuration::from_secs(5.0), 77)?;
+    let (outcome, events) = sim.run_traced();
+
+    println!("run summary: PDR {:.1}%, {} events traced\n", outcome.pdr * 100.0, events.len());
+
+    println!("first 25 trace lines:");
+    for e in events.iter().take(25) {
+        println!("  {e}");
+    }
+
+    // Follow the ankle node's first packet before it died.
+    println!("\njourney of packet 2:0 (the ankle node's first packet):");
+    for e in packet_journey(&events, 2, 0) {
+        println!("  {e}");
+    }
+
+    // Count what the fade cost us.
+    let collisions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Corrupted { .. }))
+        .count();
+    let failures = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeFailed { .. }))
+        .count();
+    println!("\ncollisions: {collisions}, node failures: {failures}");
+    println!(
+        "events after the ankle node's death at t=3s mention it only as history: \
+         the trace is the ground truth the aggregate metrics summarize."
+    );
+    Ok(())
+}

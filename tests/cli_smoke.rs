@@ -1,0 +1,89 @@
+//! End-to-end smoke tests of the `hi-opt` CLI binary.
+
+use std::process::Command;
+
+fn hi_opt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hi-opt"))
+}
+
+#[test]
+fn space_prints_the_design_space() {
+    let out = hi_opt().arg("space").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("feasible placements  : 110"));
+    assert!(text.contains("feasible points      : 1320"));
+    assert!(text.contains("12288"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = hi_opt().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = hi_opt().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_runs_an_explicit_config() {
+    let out = hi_opt()
+        .args([
+            "simulate", "--sites", "0,1,3,5", "--power", "0", "--mac", "tdma", "--routing",
+            "star", "--tsim", "5", "--runs", "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PDR"));
+    assert!(text.contains("lifetime"));
+    assert!(text.contains("Star TDMA 0dBm"));
+}
+
+#[test]
+fn simulate_rejects_star_without_chest() {
+    let out = hi_opt()
+        .args([
+            "simulate", "--sites", "1,3,5", "--power", "0", "--mac", "tdma", "--routing",
+            "star",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("chest"));
+}
+
+#[test]
+fn explore_finds_an_optimum_quickly() {
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.6", "--tsim", "5", "--runs", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimal design"));
+    assert!(text.contains("simulations"));
+}
+
+#[test]
+fn explore_validates_pdr_min() {
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "1.7"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
