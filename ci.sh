@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full offline CI gate: formatting, lints, release build, tests.
+# Benches run in quick mode so the whole script stays under a few minutes.
+set -eux
+
+cargo fmt --all --check
+cargo clippy --all-targets -- -D warnings
+cargo build --release
+cargo test -q
+HI_BENCH_QUICK=1 cargo bench

@@ -2,7 +2,7 @@
 //! relaxed problem `P̃` (the model Algorithm 1 queries every iteration),
 //! including the cut ladder that drives the whole exploration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_bench::micro::Runner;
 use hi_core::{MilpEncoding, TopologyConstraints};
 use hi_milp::{LinExpr, Model, Sense};
 use hi_net::AppParams;
@@ -21,40 +21,32 @@ fn knapsack(n: usize) -> Model {
     m
 }
 
-fn bench_branch_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("branch_bound");
+fn main() {
+    let runner = Runner::new("branch_bound");
     for n in [10usize, 20, 30] {
         let model = knapsack(n);
-        group.bench_with_input(BenchmarkId::new("knapsack", n), &model, |b, m| {
-            b.iter(|| std::hint::black_box(m.solve().expect("solves").objective()))
+        runner.bench(&format!("knapsack/{n}"), || {
+            model.solve().expect("solves").objective()
         });
     }
     // One MILP query of Algorithm 1 (paper problem, no cuts yet).
     let enc = MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default());
-    group.bench_function("paper_p_tilde_pool", |b| {
-        b.iter(|| std::hint::black_box(enc.solve_pool().expect("solves").1))
-    });
-    // The full 18-level cut ladder (a complete RunMILP sequence).
-    group.bench_function("paper_cut_ladder", |b| {
-        b.iter(|| {
-            let mut enc =
-                MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default());
-            let mut levels = 0u32;
-            loop {
-                let (_, p) = enc.solve_pool().expect("solves");
-                match p {
-                    Some(p) => {
-                        levels += 1;
-                        enc.add_power_cut(p);
-                    }
-                    None => break,
+    runner.bench("paper_p_tilde_pool", || enc.solve_pool().expect("solves").1);
+    // The full cut ladder (a complete RunMILP sequence).
+    runner.bench("paper_cut_ladder", || {
+        let mut enc =
+            MilpEncoding::new(&TopologyConstraints::paper_default(), &AppParams::default());
+        let mut levels = 0u32;
+        loop {
+            let (_, p) = enc.solve_pool().expect("solves");
+            match p {
+                Some(p) => {
+                    levels += 1;
+                    enc.add_power_cut(p);
                 }
+                None => break,
             }
-            std::hint::black_box(levels)
-        })
+        }
+        levels
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_branch_bound);
-criterion_main!(benches);

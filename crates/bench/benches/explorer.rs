@@ -3,11 +3,11 @@
 //! orchestration cost of Algorithm 1 (MILP queries, pool expansion,
 //! bookkeeping) and of the baselines — the overhead on top of `RunSim`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hi_bench::micro::Runner;
 use hi_core::power::analytic_power_mw;
 use hi_core::{
-    exhaustive_search, explore, simulated_annealing, DesignPoint, Evaluation, FnEvaluator,
-    Problem, RouteChoice, SaParams,
+    exhaustive_search, explore, simulated_annealing, DesignPoint, Evaluation, FnEvaluator, Problem,
+    RouteChoice, SaParams,
 };
 use hi_net::{AppParams, TxPower};
 
@@ -18,7 +18,11 @@ fn oracle(point: &DesignPoint) -> Evaluation {
         TxPower::Minus10Dbm => 0.70,
         TxPower::ZeroDbm => 0.93,
     };
-    let bonus: f64 = if point.routing == RouteChoice::Mesh { 0.06 } else { 0.0 };
+    let bonus: f64 = if point.routing == RouteChoice::Mesh {
+        0.06
+    } else {
+        0.0
+    };
     let power = analytic_power_mw(point, &app);
     Evaluation {
         pdr: (base + bonus).min(1.0),
@@ -27,40 +31,28 @@ fn oracle(point: &DesignPoint) -> Evaluation {
     }
 }
 
-fn bench_explorer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explorer_oracle");
-    group.bench_function("algorithm1_pdr90", |b| {
-        let problem = Problem::paper_default(0.90);
-        b.iter(|| {
-            let mut ev = FnEvaluator::new(oracle);
-            std::hint::black_box(explore(&problem, &mut ev).expect("explore").simulations)
-        })
+fn main() {
+    let runner = Runner::new("explorer_oracle");
+    let problem = Problem::paper_default(0.90);
+    runner.bench("algorithm1_pdr90", || {
+        let mut ev = FnEvaluator::new(oracle);
+        explore(&problem, &mut ev).expect("explore").simulations
     });
-    group.bench_function("exhaustive_pdr90", |b| {
-        let problem = Problem::paper_default(0.90);
-        b.iter(|| {
-            let mut ev = FnEvaluator::new(oracle);
-            std::hint::black_box(exhaustive_search(&problem, &mut ev).simulations)
-        })
+    runner.bench("exhaustive_pdr90", || {
+        let mut ev = FnEvaluator::new(oracle);
+        exhaustive_search(&problem, &mut ev).simulations
     });
-    group.bench_function("annealing_pdr90_300steps", |b| {
-        let problem = Problem::paper_default(0.90);
-        b.iter(|| {
-            let mut ev = FnEvaluator::new(oracle);
-            let out = simulated_annealing(
-                &problem,
-                &mut ev,
-                SaParams {
-                    steps: 300,
-                    ..Default::default()
-                },
-                7,
-            );
-            std::hint::black_box(out.simulations)
-        })
+    runner.bench("annealing_pdr90_300steps", || {
+        let mut ev = FnEvaluator::new(oracle);
+        simulated_annealing(
+            &problem,
+            &mut ev,
+            SaParams {
+                steps: 300,
+                ..Default::default()
+            },
+            7,
+        )
+        .simulations
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_explorer);
-criterion_main!(benches);

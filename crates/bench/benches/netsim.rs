@@ -2,7 +2,7 @@
 //! MAC x routing combination — the per-candidate cost Algorithm 1 pays at
 //! `RunSim`, and the quantity the 87%-fewer-simulations claim saves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hi_bench::micro::Runner;
 use hi_channel::{BodyLocation, ChannelParams};
 use hi_des::SimDuration;
 use hi_net::{simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower};
@@ -17,34 +17,35 @@ fn placements() -> Vec<BodyLocation> {
     ]
 }
 
-fn bench_netsim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim_10s_5nodes");
-    group.sample_size(20);
+fn main() {
+    let runner = Runner::new("netsim_10s_5nodes");
     let cases = [
-        ("star_csma", MacKind::csma(), Routing::Star { coordinator: 0 }),
-        ("star_tdma", MacKind::tdma(), Routing::Star { coordinator: 0 }),
+        (
+            "star_csma",
+            MacKind::csma(),
+            Routing::Star { coordinator: 0 },
+        ),
+        (
+            "star_tdma",
+            MacKind::tdma(),
+            Routing::Star { coordinator: 0 },
+        ),
         ("mesh_csma", MacKind::csma(), Routing::mesh()),
         ("mesh_tdma", MacKind::tdma(), Routing::mesh()),
     ];
     for (name, mac, routing) in cases {
         let cfg = NetworkConfig::new(placements(), TxPower::ZeroDbm, mac, routing);
-        group.bench_function(name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let out = simulate_stochastic(
-                    &cfg,
-                    ChannelParams::default(),
-                    SimDuration::from_secs(10.0),
-                    seed,
-                )
-                .expect("valid config");
-                std::hint::black_box(out.pdr)
-            })
+        let mut seed = 0u64;
+        runner.bench(name, || {
+            seed += 1;
+            simulate_stochastic(
+                &cfg,
+                ChannelParams::default(),
+                SimDuration::from_secs(10.0),
+                seed,
+            )
+            .expect("valid config")
+            .pdr
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_netsim);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Microbenchmark B1: LP relaxation solve times of the dense two-phase
 //! simplex, from textbook-sized to design-space-sized instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_bench::micro::Runner;
 use hi_milp::simplex::solve_lp;
 use hi_milp::{LinExpr, Model, Sense};
 
@@ -36,19 +36,12 @@ fn cover_lp(n: usize) -> Model {
     m
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex");
+fn main() {
+    let runner = Runner::new("simplex");
     for n in [8usize, 16, 32, 64] {
         let model = cover_lp(n);
-        group.bench_with_input(BenchmarkId::new("cover_lp", n), &model, |b, m| {
-            b.iter(|| {
-                let r = solve_lp(m).expect("lp solves");
-                std::hint::black_box(r.objective)
-            })
+        runner.bench(&format!("cover_lp/{n}"), || {
+            solve_lp(&model).expect("lp solves").objective
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simplex);
-criterion_main!(benches);

@@ -16,9 +16,7 @@
 use hi_bench::ExpOptions;
 use hi_channel::{BodyLocation, ChannelParams};
 use hi_core::{explore_with_options, ExploreOptions, Problem};
-use hi_net::{
-    simulate_averaged, FloodMode, MacKind, NetworkConfig, Routing, TxPower,
-};
+use hi_net::{simulate_averaged, FloodMode, MacKind, NetworkConfig, Routing, TxPower};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -51,8 +49,14 @@ fn flooding_modes(opts: &ExpOptions) {
             },
         );
         cfg.mac_buffer = 64; // history-only floods need queue headroom
-        let out = simulate_averaged(&cfg, ChannelParams::default(), opts.t_sim, opts.seed, opts.runs)
-            .expect("valid config");
+        let out = simulate_averaged(
+            &cfg,
+            ChannelParams::default(),
+            opts.t_sim,
+            opts.seed,
+            opts.runs,
+        )
+        .expect("valid config");
         println!(
             "{label}\t{:.2}\t{:.2}\t{}\t{:.3}",
             out.pdr_percent(),
@@ -117,9 +121,14 @@ fn mac_choice(opts: &ExpOptions) {
     for routing in [Routing::Star { coordinator: 0 }, Routing::mesh()] {
         for mac in [MacKind::csma(), MacKind::tdma()] {
             let cfg = NetworkConfig::new(placements.clone(), TxPower::ZeroDbm, mac, routing);
-            let out =
-                simulate_averaged(&cfg, ChannelParams::default(), opts.t_sim, opts.seed, opts.runs)
-                    .expect("valid config");
+            let out = simulate_averaged(
+                &cfg,
+                ChannelParams::default(),
+                opts.t_sim,
+                opts.seed,
+                opts.runs,
+            )
+            .expect("valid config");
             println!(
                 "{}\t{}\t{:.2}\t{:.2}\t{}",
                 routing.label(),

@@ -11,9 +11,7 @@
 use hi_bench::ExpOptions;
 use hi_channel::{BodyLocation, ChannelParams};
 use hi_des::SimDuration;
-use hi_net::{
-    simulate_averaged, MacKind, NetworkConfig, NodeFault, Routing, TxPower,
-};
+use hi_net::{simulate_averaged, MacKind, NetworkConfig, NodeFault, Routing, TxPower};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -35,8 +33,14 @@ fn main() {
                 MacKind::tdma(),
                 routing,
             );
-            simulate_averaged(&cfg, ChannelParams::default(), opts.t_sim, opts.seed, opts.runs)
-                .expect("valid config")
+            simulate_averaged(
+                &cfg,
+                ChannelParams::default(),
+                opts.t_sim,
+                opts.seed,
+                opts.runs,
+            )
+            .expect("valid config")
         };
         for failed in [0usize, 2] {
             let mut cfg = NetworkConfig::new(

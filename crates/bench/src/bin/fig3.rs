@@ -70,7 +70,10 @@ fn main() {
 
     // Envelope, for quick comparison with the paper's axes
     // (0-100% PDR; ~2 days to >1 month NLT).
-    let min_nlt = sweep.iter().map(|(_, e)| e.nlt_days).fold(f64::INFINITY, f64::min);
+    let min_nlt = sweep
+        .iter()
+        .map(|(_, e)| e.nlt_days)
+        .fold(f64::INFINITY, f64::min);
     let max_nlt = sweep.iter().map(|(_, e)| e.nlt_days).fold(0.0f64, f64::max);
     let min_pdr = sweep.iter().map(|(_, e)| e.pdr).fold(1.0f64, f64::min);
     let max_pdr = sweep.iter().map(|(_, e)| e.pdr).fold(0.0f64, f64::max);

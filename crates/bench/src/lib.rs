@@ -4,6 +4,10 @@
 //! Every binary regenerates one artifact of the paper (see the experiment
 //! index in `DESIGN.md`); this crate keeps them small and consistent.
 
+#![forbid(unsafe_code)]
+
+pub mod micro;
+
 use std::sync::Mutex;
 
 use hi_channel::ChannelParams;
@@ -50,29 +54,39 @@ impl ExpOptions {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         let usage = || -> ! {
-            eprintln!(
-                "usage: [--tsim <secs>] [--runs <n>] [--seed <n>] [--threads <n>] [--paper]"
-            );
+            eprintln!("usage: [--tsim <secs>] [--runs <n>] [--seed <n>] [--threads <n>] [--paper]");
             std::process::exit(2);
         };
         while i < args.len() {
             match args[i].as_str() {
                 "--tsim" => {
                     i += 1;
-                    let secs: f64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    let secs: f64 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage());
                     opts.t_sim = SimDuration::from_secs(secs);
                 }
                 "--runs" => {
                     i += 1;
-                    opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    opts.runs = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage());
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage());
                 }
                 "--threads" => {
                     i += 1;
-                    opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage());
                 }
                 "--paper" => {
                     opts.t_sim = SimDuration::from_secs(600.0);
@@ -99,8 +113,7 @@ impl ExpOptions {
 /// measurements identical to a sequential sweep).
 pub fn parallel_sweep(points: &[DesignPoint], opts: &ExpOptions) -> Vec<Evaluation> {
     let next = Mutex::new(0usize);
-    let results: Vec<Mutex<Option<Evaluation>>> =
-        points.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Evaluation>>> = points.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..opts.threads.max(1) {
             scope.spawn(|| {
@@ -123,7 +136,11 @@ pub fn parallel_sweep(points: &[DesignPoint], opts: &ExpOptions) -> Vec<Evaluati
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("all points evaluated"))
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned")
+                .expect("all points evaluated")
+        })
         .collect()
 }
 
@@ -140,9 +157,7 @@ pub fn optima_per_floor(
                 .iter()
                 .filter(|(_, e)| e.pdr >= floor)
                 .min_by(|(_, a), (_, b)| {
-                    a.power_mw
-                        .partial_cmp(&b.power_mw)
-                        .expect("finite powers")
+                    a.power_mw.partial_cmp(&b.power_mw).expect("finite powers")
                 })
                 .map(|&(p, e)| (p, e));
             (floor, best)
@@ -153,9 +168,7 @@ pub fn optima_per_floor(
 /// The (reliability, lifetime) Pareto front of a sweep: every point not
 /// dominated by another with both a higher-or-equal PDR and a
 /// higher-or-equal lifetime (one strictly). Sorted by descending PDR.
-pub fn pareto_front(
-    sweep: &[(DesignPoint, Evaluation)],
-) -> Vec<(DesignPoint, Evaluation)> {
+pub fn pareto_front(sweep: &[(DesignPoint, Evaluation)]) -> Vec<(DesignPoint, Evaluation)> {
     let mut sorted: Vec<&(DesignPoint, Evaluation)> = sweep.iter().collect();
     // Descending PDR; lifetime breaks ties descending so the scan below
     // keeps the best representative per PDR level.
@@ -249,8 +262,22 @@ mod tests {
             routing: RouteChoice::Star,
         };
         let sweep = vec![
-            (pt(TxPower::Minus20Dbm), Evaluation { pdr: 0.5, nlt_days: 30.0, power_mw: 0.9 }),
-            (pt(TxPower::ZeroDbm), Evaluation { pdr: 0.95, nlt_days: 25.0, power_mw: 1.1 }),
+            (
+                pt(TxPower::Minus20Dbm),
+                Evaluation {
+                    pdr: 0.5,
+                    nlt_days: 30.0,
+                    power_mw: 0.9,
+                },
+            ),
+            (
+                pt(TxPower::ZeroDbm),
+                Evaluation {
+                    pdr: 0.95,
+                    nlt_days: 25.0,
+                    power_mw: 1.1,
+                },
+            ),
         ];
         let out = optima_per_floor(&sweep, &[0.4, 0.9, 0.99]);
         assert_eq!(out[0].1.unwrap().1.power_mw, 0.9);

@@ -1,0 +1,98 @@
+//! A minimal microbenchmark runner on `std::time`.
+//!
+//! The workspace builds offline, so instead of `criterion` the
+//! `benches/` harnesses (all `harness = false`) use this runner: warm up
+//! once, then repeat the closure until a wall-clock target is met, and
+//! print per-iteration mean and minimum. Set `HI_BENCH_QUICK=1` to run
+//! each benchmark only a handful of times (smoke-test mode for CI).
+
+use std::time::{Duration, Instant};
+
+/// Drives and reports a group of microbenchmarks.
+#[derive(Debug)]
+pub struct Runner {
+    group: String,
+    min_iters: u32,
+    max_iters: u32,
+    target: Duration,
+}
+
+impl Runner {
+    /// A runner with the default measurement budget (≥10 iterations,
+    /// ~300 ms per benchmark), or the quick budget if `HI_BENCH_QUICK`
+    /// is set in the environment.
+    pub fn new(group: &str) -> Self {
+        let quick = std::env::var_os("HI_BENCH_QUICK").is_some();
+        let (min_iters, target) = if quick {
+            (2, Duration::ZERO)
+        } else {
+            (10, Duration::from_millis(300))
+        };
+        println!("group {group}");
+        Self {
+            group: group.to_string(),
+            min_iters,
+            max_iters: 100_000,
+            target,
+        }
+    }
+
+    /// Measures `f`, printing one summary line.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the computation cannot be optimized away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // One untimed warm-up call absorbs lazy setup (allocations, page
+        // faults) that would skew the first sample.
+        std::hint::black_box(f());
+        let mut samples: Vec<Duration> = Vec::new();
+        let started = Instant::now();
+        while (samples.len() as u32) < self.min_iters
+            || (started.elapsed() < self.target && (samples.len() as u32) < self.max_iters)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+        }
+        let iters = samples.len() as u32;
+        let total: Duration = samples.iter().sum();
+        let mean = total / iters;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {}/{name:<32} {iters:>6} iters  mean {mean:>12.3?}  min {min:>12.3?}",
+            self.group
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_min_iters() {
+        let mut calls = 0u32;
+        let r = Runner {
+            group: "t".into(),
+            min_iters: 5,
+            max_iters: 5,
+            target: Duration::ZERO,
+        };
+        r.bench("count", || calls += 1);
+        // min_iters timed calls plus the warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn bench_respects_max_iters_cap() {
+        let mut calls = 0u32;
+        let r = Runner {
+            group: "t".into(),
+            min_iters: 1,
+            max_iters: 3,
+            target: Duration::from_secs(60),
+        };
+        r.bench("capped", || calls += 1);
+        assert_eq!(calls, 4);
+    }
+}

@@ -70,9 +70,7 @@ pub fn matrix_from_csv(text: &str) -> Result<PathLossMatrix, ParseMatrixError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        let first_numeric = fields
-            .first()
-            .is_some_and(|f| f.parse::<f64>().is_ok());
+        let first_numeric = fields.first().is_some_and(|f| f.parse::<f64>().is_ok());
         if !first_numeric && !saw_header && rows.is_empty() {
             saw_header = true;
             continue;
@@ -147,7 +145,13 @@ mod tests {
         let mut body = String::from("# campaign 2017-03\nchest,a,b,c,d,e,f,g,h,i\n");
         for i in 0..10 {
             let row: Vec<String> = (0..10)
-                .map(|j| if i == j { "0".into() } else { format!("{}", 50 + i + j) })
+                .map(|j| {
+                    if i == j {
+                        "0".into()
+                    } else {
+                        format!("{}", 50 + i + j)
+                    }
+                })
                 .collect();
             body.push_str(&row.join(","));
             body.push('\n');
@@ -167,10 +171,7 @@ mod tests {
     #[test]
     fn wrong_column_count_rejected() {
         let err = matrix_from_csv("1,2,3\n").unwrap_err();
-        assert_eq!(
-            err,
-            ParseMatrixError::WrongColumnCount { row: 0, found: 3 }
-        );
+        assert_eq!(err, ParseMatrixError::WrongColumnCount { row: 0, found: 3 });
     }
 
     #[test]
@@ -178,7 +179,13 @@ mod tests {
         let mut body = String::new();
         for i in 0..10 {
             let row: Vec<String> = (0..10)
-                .map(|j| if i == 2 && j == 5 { "oops".into() } else { "60".into() })
+                .map(|j| {
+                    if i == 2 && j == 5 {
+                        "oops".into()
+                    } else {
+                        "60".into()
+                    }
+                })
                 .collect();
             body.push_str(&row.join(","));
             body.push('\n');

@@ -36,14 +36,15 @@
 //! assert!(pl > 30.0 && pl < 120.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod csv;
 pub mod linkstats;
-pub mod posture;
 mod location;
 mod pathloss;
+pub mod posture;
 mod sampler;
 mod variation;
 

@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn slower_fading_means_longer_fades() {
         let mk = |tau_s| ChannelParams {
-            variation: VariationParams { sigma_db: 6.0, tau_s },
+            variation: VariationParams {
+                sigma_db: 6.0,
+                tau_s,
+            },
             ..Default::default()
         };
         let mean = crate::PathLossMatrix::synthetic(&mk(1.0).path_loss)

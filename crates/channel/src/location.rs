@@ -182,10 +182,7 @@ mod tests {
 
     #[test]
     fn only_back_is_rear_facing() {
-        let rear: Vec<_> = BodyLocation::ALL
-            .iter()
-            .filter(|l| !l.is_front())
-            .collect();
+        let rear: Vec<_> = BodyLocation::ALL.iter().filter(|l| !l.is_front()).collect();
         assert_eq!(rear, vec![&BodyLocation::Back]);
     }
 

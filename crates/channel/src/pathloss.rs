@@ -179,7 +179,10 @@ mod tests {
     fn wrist_to_ankle_is_among_the_worst() {
         let m = PathLossMatrix::synthetic(&PathLossParams::default());
         let wa = m.loss_db(BodyLocation::LeftWrist, BodyLocation::RightAnkle);
-        assert!(wa > 75.0, "wrist-ankle {wa} dB should be heavily attenuated");
+        assert!(
+            wa > 75.0,
+            "wrist-ankle {wa} dB should be heavily attenuated"
+        );
     }
 
     #[test]
@@ -191,7 +194,10 @@ mod tests {
         let m = PathLossMatrix::from_values(v);
         assert_eq!(m.loss_db(BodyLocation::Chest, BodyLocation::LeftHip), 55.0);
         assert_eq!(m.loss_db(BodyLocation::LeftHip, BodyLocation::Chest), 55.0);
-        assert_eq!(m.loss_db(BodyLocation::RightHip, BodyLocation::RightHip), 0.0);
+        assert_eq!(
+            m.loss_db(BodyLocation::RightHip, BodyLocation::RightHip),
+            0.0
+        );
     }
 
     #[test]

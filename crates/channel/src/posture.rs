@@ -17,9 +17,6 @@
 //! dB). All values are documented defaults, overridable via
 //! [`PostureParams`].
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use hi_des::{rng, SimTime};
 
 use crate::{BodyLocation, Channel, ChannelModel, ChannelParams};
@@ -140,7 +137,7 @@ pub struct PostureProcess {
     current: Posture,
     /// Time at which the current sojourn ends.
     until: SimTime,
-    rng: StdRng,
+    rng: rng::Rng,
 }
 
 impl PostureProcess {
@@ -165,7 +162,7 @@ impl PostureProcess {
 
     fn draw_sojourn_end(&mut self, from: SimTime) -> SimTime {
         let mean = self.params.mean_dwell_s[Self::dwell_index(self.current)];
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.gen_f64().max(1e-12);
         let sojourn = -mean * u.ln();
         from + hi_des::SimDuration::from_secs(sojourn.min(1e7))
     }
@@ -336,11 +333,8 @@ mod tests {
     #[test]
     fn postured_channel_is_deterministic() {
         let run = |seed| {
-            let mut ch = PosturedChannel::new(
-                ChannelParams::default(),
-                PostureParams::default(),
-                seed,
-            );
+            let mut ch =
+                PosturedChannel::new(ChannelParams::default(), PostureParams::default(), seed);
             (1..20)
                 .map(|k| {
                     ch.path_loss_db(
@@ -360,8 +354,7 @@ mod tests {
         // Compare long-run averages between standing and lying for a limb
         // link; the offset should show through the fading.
         let avg = |posture| {
-            let mut ch =
-                FixedPostureChannel::new(ChannelParams::default(), posture, 11);
+            let mut ch = FixedPostureChannel::new(ChannelParams::default(), posture, 11);
             let n = 4_000;
             (1..=n)
                 .map(|k| {

@@ -1,7 +1,5 @@
 //! The composite channel: average path loss plus temporal variation.
 
-use rand::rngs::StdRng;
-
 use hi_des::{rng, SimTime};
 
 use crate::{BodyLocation, OuProcess, PathLossMatrix, PathLossParams, VariationParams};
@@ -36,26 +34,25 @@ pub struct ChannelParams {
 #[derive(Debug)]
 pub struct Channel {
     matrix: PathLossMatrix,
-    links: Vec<(OuProcess, StdRng)>,
+    links: Vec<(OuProcess, rng::Rng)>,
     variation: VariationParams,
 }
 
 impl Channel {
     /// Builds a channel with the synthetic average-loss matrix.
     pub fn new(params: ChannelParams, seed: u64) -> Self {
-        Self::with_matrix(PathLossMatrix::synthetic(&params.path_loss), params.variation, seed)
+        Self::with_matrix(
+            PathLossMatrix::synthetic(&params.path_loss),
+            params.variation,
+            seed,
+        )
     }
 
     /// Builds a channel over an explicit average-loss matrix.
     pub fn with_matrix(matrix: PathLossMatrix, variation: VariationParams, seed: u64) -> Self {
         let n = BodyLocation::COUNT;
         let links = (0..n * (n - 1) / 2)
-            .map(|k| {
-                (
-                    OuProcess::new(variation),
-                    rng::stream(seed, k as u64),
-                )
-            })
+            .map(|k| (OuProcess::new(variation), rng::stream(seed, k as u64)))
             .collect();
         Self {
             matrix,

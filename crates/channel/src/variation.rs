@@ -1,8 +1,6 @@
 //! Temporal channel variation `δPL_ij(t)` as a Gauss–Markov process.
 
-use rand::Rng;
-
-use hi_des::rng::standard_normal;
+use hi_des::rng::{standard_normal, Rng};
 use hi_des::SimTime;
 
 /// Parameters of the Ornstein–Uhlenbeck temporal-variation process.
@@ -65,7 +63,7 @@ impl OuProcess {
     /// # Panics
     ///
     /// Panics if `t` precedes the previous query time.
-    pub fn sample<R: Rng + ?Sized>(&mut self, t: SimTime, rng: &mut R) -> f64 {
+    pub fn sample(&mut self, t: SimTime, rng: &mut Rng) -> f64 {
         let sigma = self.params.sigma_db;
         match self.last_time {
             None => {
@@ -81,8 +79,7 @@ impl OuProcess {
                 let dt = t.duration_since(t0).as_secs_f64();
                 let rho = (-dt / self.params.tau_s).exp();
                 let z: f64 = standard_normal(rng);
-                self.last_value =
-                    rho * self.last_value + sigma * (1.0 - rho * rho).sqrt() * z;
+                self.last_value = rho * self.last_value + sigma * (1.0 - rho * rho).sqrt() * z;
                 self.last_time = Some(t);
                 self.last_value
             }

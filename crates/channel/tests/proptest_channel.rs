@@ -5,86 +5,79 @@ use hi_channel::{
     BodyLocation, Channel, ChannelModel, ChannelParams, PathLossMatrix, PathLossParams,
     VariationParams,
 };
+use hi_des::check::{run_cases, Gen};
 use hi_des::SimTime;
-use proptest::prelude::*;
 
-fn params_strategy() -> impl Strategy<Value = ChannelParams> {
-    (
-        30.0..45.0f64, // pl0
-        2.0..6.0f64,   // exponent
-        0.0..20.0f64,  // nlos penalty
-        0.0..12.0f64,  // limb penalty
-        0.5..10.0f64,  // sigma
-        0.05..5.0f64,  // tau
-    )
-        .prop_map(|(pl0, exp, nlos, limb, sigma, tau)| ChannelParams {
-            path_loss: PathLossParams {
-                pl0_db: pl0,
-                ref_distance_m: 0.1,
-                exponent: exp,
-                nlos_penalty_db: nlos,
-                limb_penalty_db: limb,
-            },
-            variation: VariationParams {
-                sigma_db: sigma,
-                tau_s: tau,
-            },
-        })
+fn any_params(g: &mut Gen) -> ChannelParams {
+    ChannelParams {
+        path_loss: PathLossParams {
+            pl0_db: g.f64_in(30.0, 45.0),
+            ref_distance_m: 0.1,
+            exponent: g.f64_in(2.0, 6.0),
+            nlos_penalty_db: g.f64_in(0.0, 20.0),
+            limb_penalty_db: g.f64_in(0.0, 12.0),
+        },
+        variation: VariationParams {
+            sigma_db: g.f64_in(0.5, 10.0),
+            tau_s: g.f64_in(0.05, 5.0),
+        },
+    }
 }
 
-fn loc_strategy() -> impl Strategy<Value = BodyLocation> {
-    (0usize..10).prop_map(|i| BodyLocation::from_index(i).expect("index < 10"))
+fn any_location(g: &mut Gen) -> BodyLocation {
+    *g.choose(&BodyLocation::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn matrix_is_symmetric_zero_diagonal(params in params_strategy()) {
+#[test]
+fn matrix_is_symmetric_zero_diagonal() {
+    run_cases(128, 0xC4_0001, |g| {
+        let params = any_params(g);
         let m = PathLossMatrix::synthetic(&params.path_loss);
         for &a in &BodyLocation::ALL {
-            prop_assert_eq!(m.loss_db(a, a), 0.0);
+            assert_eq!(m.loss_db(a, a), 0.0);
             for &b in &BodyLocation::ALL {
-                prop_assert_eq!(m.loss_db(a, b), m.loss_db(b, a));
+                assert_eq!(m.loss_db(a, b), m.loss_db(b, a));
                 if a != b {
-                    prop_assert!(m.loss_db(a, b) >= params.path_loss.pl0_db - 1e-9);
+                    assert!(m.loss_db(a, b) >= params.path_loss.pl0_db - 1e-9);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn channel_symmetric_and_deterministic(
-        params in params_strategy(),
-        a in loc_strategy(),
-        b in loc_strategy(),
-        seed in any::<u64>(),
-        t_ms in 1u64..10_000,
-    ) {
+#[test]
+fn channel_symmetric_and_deterministic() {
+    run_cases(128, 0xC4_0002, |g| {
+        let params = any_params(g);
+        let a = any_location(g);
+        let b = any_location(g);
+        let seed = g.u64();
+        let t_ms = 1 + g.u64_below(9_999);
         let t = SimTime::from_nanos(t_ms * 1_000_000);
         let mut ch1 = Channel::new(params, seed);
         let v1 = ch1.path_loss_db(a, b, t);
         let v1r = ch1.path_loss_db(b, a, t); // same time: symmetric
-        prop_assert_eq!(v1, v1r);
+        assert_eq!(v1, v1r);
 
         let mut ch2 = Channel::new(params, seed);
-        prop_assert_eq!(v1, ch2.path_loss_db(a, b, t));
+        assert_eq!(v1, ch2.path_loss_db(a, b, t));
 
         if a == b {
-            prop_assert_eq!(v1, 0.0);
+            assert_eq!(v1, 0.0);
         } else {
             // Within mean +- 8 sigma: effectively always.
             let mean = PathLossMatrix::synthetic(&params.path_loss).loss_db(a, b);
-            prop_assert!((v1 - mean).abs() <= 8.0 * params.variation.sigma_db + 1e-9);
+            assert!((v1 - mean).abs() <= 8.0 * params.variation.sigma_db + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn monotone_queries_never_panic(
-        params in params_strategy(),
-        seed in any::<u64>(),
-        steps in prop::collection::vec(1u64..500, 1..64),
-    ) {
+#[test]
+fn monotone_queries_never_panic() {
+    run_cases(128, 0xC4_0003, |g| {
+        let params = any_params(g);
+        let seed = g.u64();
+        let steps: Vec<u64> = g.vec(1..64, |g| 1 + g.u64_below(499));
         let mut ch = Channel::new(params, seed);
         let mut t = SimTime::ZERO;
         for (k, &d) in steps.iter().enumerate() {
@@ -92,7 +85,7 @@ proptest! {
             let a = BodyLocation::ALL[k % 10];
             let b = BodyLocation::ALL[(k * 3 + 1) % 10];
             let v = ch.path_loss_db(a, b, t);
-            prop_assert!(v.is_finite());
+            assert!(v.is_finite());
         }
-    }
+    });
 }

@@ -190,12 +190,8 @@ mod tests {
 
     #[test]
     fn sim_evaluator_caches_and_counts() {
-        let mut ev = SimEvaluator::new(
-            ChannelParams::default(),
-            SimDuration::from_secs(5.0),
-            1,
-            42,
-        );
+        let mut ev =
+            SimEvaluator::new(ChannelParams::default(), SimDuration::from_secs(5.0), 1, 42);
         let a = ev.evaluate(&pt());
         assert_eq!(ev.unique_evaluations(), 1);
         let b = ev.evaluate(&pt());
@@ -208,14 +204,7 @@ mod tests {
 
     #[test]
     fn sim_evaluator_is_order_independent() {
-        let mk = || {
-            SimEvaluator::new(
-                ChannelParams::default(),
-                SimDuration::from_secs(5.0),
-                1,
-                7,
-            )
-        };
+        let mk = || SimEvaluator::new(ChannelParams::default(), SimDuration::from_secs(5.0), 1, 7);
         let p1 = pt();
         let mut p2 = pt();
         p2.tx_power = TxPower::Minus10Dbm;

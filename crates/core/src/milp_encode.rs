@@ -16,6 +16,7 @@
 //! the routing choice and an `N`-dependent factor) becomes the linear form
 //! `Σ cost(N, k, r) · z_{N,k,r}` over the 18-combination lattice.
 
+use hi_lint::{CutTracker, Finding, Report};
 use hi_milp::{LinExpr, Model, Sense, Solution, SolveError, VarId};
 use hi_net::{AppParams, TxPower};
 
@@ -39,6 +40,12 @@ pub struct MilpEncoding {
     z_vars: Vec<(f64, VarId)>,
     /// Kept for expanding the optimal solution into the full pool.
     constraints: TopologyConstraints,
+    /// Fingerprints of the Algorithm-1 cuts added so far, so a cut that
+    /// is no tighter than an earlier one is flagged instead of silently
+    /// bloating every subsequent solve.
+    cut_tracker: CutTracker,
+    /// Redundancy findings the tracker produced across the cut ladder.
+    cut_findings: Vec<Finding>,
 }
 
 impl MilpEncoding {
@@ -47,7 +54,9 @@ impl MilpEncoding {
     pub fn new(constraints: &TopologyConstraints, app: &AppParams) -> Self {
         let mut model = Model::new();
 
-        let site_vars: Vec<VarId> = (0..10).map(|i| model.add_binary(&format!("n{i}"))).collect();
+        let site_vars: Vec<VarId> = (0..10)
+            .map(|i| model.add_binary(&format!("n{i}")))
+            .collect();
         let power_vars: Vec<(TxPower, VarId)> = TxPower::ALL
             .iter()
             .enumerate()
@@ -140,6 +149,8 @@ impl MilpEncoding {
             objective_mw,
             z_vars,
             constraints: constraints.clone(),
+            cut_tracker: CutTracker::new(),
+            cut_findings: Vec::new(),
         }
     }
 
@@ -150,6 +161,15 @@ impl MilpEncoding {
         // turns the strict inequality into a usable `>=` row.
         self.model
             .add_constraint(self.objective_mw.clone(), Sense::Ge, power_mw + 1e-6);
+        // Fingerprint the new cut (the row just appended) so a ladder that
+        // stops tightening — the classic stalled-Algorithm-1 bug — is
+        // reported instead of looping forever at the same power level.
+        let lint_model = self.model.to_lint_model();
+        if let Some(cut_row) = lint_model.rows.last() {
+            if let Some(finding) = self.cut_tracker.observe(cut_row) {
+                self.cut_findings.push(finding);
+            }
+        }
         // Presolve-strength equivalent: the analytic power is `Σ cost·z`
         // over a one-hot lattice, so `P̄ > power_mw` is exactly "no combo
         // at or below the bound" — fixing those `z` to zero keeps the LP
@@ -164,6 +184,27 @@ impl MilpEncoding {
         for v in to_fix {
             self.model.set_bounds(v, 0.0, 0.0);
         }
+        // Re-lint the augmented encoding: a cut must never make the model
+        // structurally broken (that would be an encoding bug, not a normal
+        // "ladder exhausted" infeasibility, which is warning-severity).
+        debug_assert!(
+            !self.model.lint().has_errors(),
+            "power cut introduced a structural error:\n{}",
+            self.model.lint()
+        );
+    }
+
+    /// Lints the current (cut-augmented) encoding.
+    ///
+    /// Combines the model-level analysis of [`hi_lint::analyze`] with the
+    /// cross-iteration cut-redundancy findings accumulated by
+    /// [`add_power_cut`](MilpEncoding::add_power_cut).
+    pub fn lint_report(&self) -> Report {
+        let mut report = self.model.lint();
+        for finding in &self.cut_findings {
+            report.push(finding.clone());
+        }
+        report
     }
 
     /// Runs the MILP and enumerates *all* optimal configurations —
@@ -325,7 +366,10 @@ mod tests {
         }
         assert!(!levels.is_empty());
         assert!(levels.len() <= 18, "at most 18 distinct cost levels");
-        assert!(levels.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        assert!(
+            levels.windows(2).all(|w| w[1] > w[0]),
+            "strictly increasing"
+        );
         // After the ladder is exhausted the model must be infeasible.
         let (points, p) = enc.solve_pool().unwrap();
         assert!(points.is_empty() && p.is_none());
@@ -354,6 +398,43 @@ mod tests {
             fm > ls,
             "every 4-node star level ({ls}) must precede the first mesh level ({fm})"
         );
+    }
+
+    #[test]
+    fn cut_ladder_stays_lint_clean_on_paper_scenario() {
+        // Regression for the full 12,288-configuration scenario: the cuts
+        // Algorithm 1 accumulates while exhausting the ladder must neither
+        // break the encoding structurally nor repeat themselves.
+        assert_eq!(
+            crate::DesignSpace::unconstrained_size(),
+            12_288,
+            "paper scenario size"
+        );
+        let mut enc = paper_encoding();
+        loop {
+            let (_, p) = enc.solve_pool().unwrap();
+            match p {
+                Some(p) => enc.add_power_cut(p),
+                None => break,
+            }
+        }
+        let report = enc.lint_report();
+        assert!(!report.has_errors(), "{report}");
+        assert!(
+            !report.has_rule(hi_lint::RuleId::RedundantCut),
+            "a strictly rising ladder must not repeat cuts:\n{report}"
+        );
+    }
+
+    #[test]
+    fn repeated_power_cut_is_flagged_as_redundant() {
+        let mut enc = paper_encoding();
+        let (_, p) = enc.solve_pool().unwrap();
+        let p = p.unwrap();
+        enc.add_power_cut(p);
+        enc.add_power_cut(p); // same threshold again: no progress
+        let report = enc.lint_report();
+        assert!(report.has_rule(hi_lint::RuleId::RedundantCut), "{report}");
     }
 
     #[test]

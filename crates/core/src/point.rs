@@ -234,7 +234,10 @@ mod tests {
 
     #[test]
     fn placement_display_lists_indices() {
-        assert_eq!(Placement::from_indices([0, 1, 3, 6]).to_string(), "[0,1,3,6]");
+        assert_eq!(
+            Placement::from_indices([0, 1, 3, 6]).to_string(),
+            "[0,1,3,6]"
+        );
     }
 
     #[test]

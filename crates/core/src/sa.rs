@@ -7,9 +7,6 @@
 //! reliability floor, so the annealer minimizes power among reliable
 //! configurations — the same objective Algorithm 1 optimizes exactly.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use hi_des::rng;
 use hi_net::TxPower;
 
@@ -95,8 +92,8 @@ pub fn simulated_annealing(
         let candidate = neighbor(&current, &constraints, &mut rng);
         let eval = evaluator.evaluate(&candidate);
         let e = energy(&eval);
-        let accept = e < current_energy
-            || rng.gen::<f64>() < ((current_energy - e) / temperature).exp();
+        let accept =
+            e < current_energy || rng.gen_f64() < ((current_energy - e) / temperature).exp();
         if accept {
             current = candidate;
             current_eval = eval;
@@ -132,19 +129,19 @@ fn feasible(
 fn neighbor(
     point: &DesignPoint,
     constraints: &crate::constraints::TopologyConstraints,
-    rng: &mut StdRng,
+    rng: &mut rng::Rng,
 ) -> DesignPoint {
     for _attempt in 0..32 {
         let mut next = *point;
-        match rng.gen_range(0..4u8) {
+        match rng.gen_range(0..4) {
             0 => {
                 // Toggle one of the ten sites.
-                let site = rng.gen_range(0..10usize);
+                let site = rng.gen_range(0..10);
                 let mask = next.placement.mask() ^ (1 << site);
                 next.placement = Placement::from_mask(mask);
             }
             1 => {
-                let step: i8 = if rng.gen() { 1 } else { -1 };
+                let step: i8 = if rng.gen_bool() { 1 } else { -1 };
                 let idx = TxPower::ALL
                     .iter()
                     .position(|&p| p == next.tx_power)

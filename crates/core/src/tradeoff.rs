@@ -66,10 +66,7 @@ pub fn explore_tradeoff(
 ) -> Result<Vec<TradeoffPoint>, ExploreError> {
     let mut out = Vec::with_capacity(floors.len());
     for &floor in floors {
-        assert!(
-            (0.0..=1.0).contains(&floor),
-            "floor {floor} outside [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&floor), "floor {floor} outside [0, 1]");
         let problem = Problem {
             space: template.space.clone(),
             pdr_min: floor,
@@ -102,7 +99,11 @@ mod tests {
             TxPower::Minus10Dbm => 0.70,
             TxPower::ZeroDbm => 0.93,
         };
-        let bonus: f64 = if point.routing == RouteChoice::Mesh { 0.06 } else { 0.0 };
+        let bonus: f64 = if point.routing == RouteChoice::Mesh {
+            0.06
+        } else {
+            0.0
+        };
         let power = analytic_power_mw(point, &app);
         Evaluation {
             pdr: (base + bonus).min(1.0),
@@ -115,8 +116,7 @@ mod tests {
     fn lifetime_is_monotone_in_the_floor() {
         let template = Problem::paper_default(0.5);
         let mut ev = FnEvaluator::new(ladder_oracle);
-        let sweep =
-            explore_tradeoff(&template, &[0.4, 0.6, 0.9, 0.98], &mut ev).unwrap();
+        let sweep = explore_tradeoff(&template, &[0.4, 0.6, 0.9, 0.98], &mut ev).unwrap();
         let nlts: Vec<f64> = sweep
             .iter()
             .map(|t| t.best.as_ref().expect("feasible").1.nlt_days)

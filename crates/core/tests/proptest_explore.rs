@@ -7,44 +7,62 @@
 
 use hi_core::power::analytic_power_mw;
 use hi_core::{
-    exhaustive_search, explore, DesignPoint, DesignSpace, Evaluation, FnEvaluator,
-    MilpEncoding, Problem, TopologyConstraints,
+    exhaustive_search, explore, DesignPoint, DesignSpace, Evaluation, FnEvaluator, MilpEncoding,
+    Problem, TopologyConstraints,
 };
+use hi_des::check::{run_cases, Gen};
 use hi_net::AppParams;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-fn constraints_strategy() -> impl Strategy<Value = TopologyConstraints> {
-    (
-        prop::sample::subsequence((0..10usize).collect::<Vec<_>>(), 0..3),
-        prop::collection::vec(
-            prop::sample::subsequence((0..10usize).collect::<Vec<_>>(), 1..4),
-            0..3,
-        ),
-        2usize..5,
-        0usize..4,
-    )
-        .prop_map(|(required, groups, min_nodes, extra)| TopologyConstraints {
+fn any_constraints(g: &mut Gen) -> TopologyConstraints {
+    let all: Vec<usize> = (0..10).collect();
+    // Rejection-sample until the induced design space is non-empty
+    // (mirrors the original `prop_filter`); generous cap so a pathological
+    // seed still terminates with a witness instead of spinning.
+    for _ in 0..64 {
+        let mut required = g.subsequence(&all, 0.1);
+        required.truncate(2);
+        let groups = g.vec(0..3, |g| {
+            let mut grp = g.subsequence(&all, 0.2);
+            grp.truncate(3);
+            if grp.is_empty() {
+                grp.push(*g.choose(&all));
+            }
+            grp
+        });
+        let min_nodes = g.usize_in(2..5);
+        let extra = g.usize_in(0..4);
+        let c = TopologyConstraints {
             required,
             at_least_one: groups,
             implications: Vec::new(),
             min_nodes,
             max_nodes: min_nodes + extra,
-        })
-        .prop_filter("non-empty space", |c| !c.feasible_placements().is_empty())
+        };
+        if !c.feasible_placements().is_empty() {
+            return c;
+        }
+    }
+    // Fallback: the unconstrained space, always non-empty.
+    TopologyConstraints {
+        required: Vec::new(),
+        at_least_one: Vec::new(),
+        implications: Vec::new(),
+        min_nodes: 2,
+        max_nodes: 4,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn milp_pool_equals_brute_force_minimizers(constraints in constraints_strategy()) {
+#[test]
+fn milp_pool_equals_brute_force_minimizers() {
+    run_cases(40, 0xC0_7E01, |g| {
+        let constraints = any_constraints(g);
         let app = AppParams::default();
         let enc = MilpEncoding::new(&constraints, &app);
         let (pool, p_star) = enc.solve_pool().expect("solves");
         let space = DesignSpace::new(constraints);
         let points = space.points();
-        prop_assert!(!points.is_empty());
+        assert!(!points.is_empty());
         let p_star = p_star.expect("feasible space must yield an optimum");
 
         // Brute force: every point attaining the minimum analytic power.
@@ -52,21 +70,25 @@ proptest! {
             .iter()
             .map(|p| analytic_power_mw(p, &app))
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((best - p_star).abs() < 1e-6, "milp {p_star} vs brute {best}");
+        assert!(
+            (best - p_star).abs() < 1e-6,
+            "milp {p_star} vs brute {best}"
+        );
         let want: HashSet<DesignPoint> = points
             .into_iter()
             .filter(|p| (analytic_power_mw(p, &app) - best).abs() < 1e-9)
             .collect();
         let got: HashSet<DesignPoint> = pool.into_iter().collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn algorithm1_equals_exhaustive_under_sound_oracle(
-        constraints in constraints_strategy(),
-        pdr_seed in any::<u64>(),
-        floor in 0.1f64..0.95,
-    ) {
+#[test]
+fn algorithm1_equals_exhaustive_under_sound_oracle() {
+    run_cases(40, 0xC0_7E02, |g| {
+        let constraints = any_constraints(g);
+        let pdr_seed = g.u64();
+        let floor = g.f64_in(0.1, 0.95);
         // Oracle: deterministic pseudo-random PDR per point, simulated
         // power exactly the analytic value (so the α bound is sound).
         let app = AppParams::default();
@@ -97,11 +119,11 @@ proptest! {
         let mut ex_ev = FnEvaluator::new(oracle);
         let ex = exhaustive_search(&problem, &mut ex_ev);
 
-        prop_assert_eq!(
+        assert_eq!(
             a1.best.map(|(_, e)| e.power_mw.to_bits()),
             ex.best.map(|(_, e)| e.power_mw.to_bits()),
             "optimum mismatch"
         );
-        prop_assert!(a1.simulations <= ex.simulations);
-    }
+        assert!(a1.simulations <= ex.simulations);
+    });
 }

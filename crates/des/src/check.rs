@@ -1,0 +1,235 @@
+//! A minimal property-based testing harness.
+//!
+//! The workspace builds offline, so instead of `proptest` the test suites
+//! use this deliberately small stand-in: [`run_cases`] drives a closure
+//! with many independently seeded [`Gen`]s, and on failure reports the
+//! case's seed so the exact input can be replayed by hand.
+//!
+//! ```
+//! use hi_des::check::{run_cases, Gen};
+//!
+//! run_cases(64, 0xC0FFEE, |g: &mut Gen| {
+//!     let xs: Vec<u32> = g.vec(0..20, |g| g.u64_below(1000) as u32);
+//!     let mut sorted = xs.clone();
+//!     sorted.sort_unstable();
+//!     assert_eq!(sorted.len(), xs.len()); // sorting preserves length
+//! });
+//! ```
+
+use crate::rng::{derive_seed, standard_normal, Rng};
+
+/// A source of random test inputs for one generated case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng,
+    seed: u64,
+}
+
+impl Gen {
+    /// Creates a generator from an explicit seed (for replaying a failure).
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this case was built from — print it to reproduce.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raw 64 random bits.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.rng.gen_below(bound)
+    }
+
+    /// A uniform `usize` in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `i64` in the inclusive `[lo, hi]` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in with lo > hi");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.rng.gen_below(span) as i64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad f64 range");
+        lo + self.rng.gen_f64() * (hi - lo)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// A standard-normal draw.
+    pub fn normal(&mut self) -> f64 {
+        standard_normal(&mut self.rng)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool()
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_p(&mut self, p: f64) -> bool {
+        self.rng.gen_bool_p(p)
+    }
+
+    /// A vector whose length is drawn uniformly from `len` and whose
+    /// elements come from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let n = if len.start + 1 == len.end {
+            len.start
+        } else {
+            self.usize_in(len)
+        };
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A reference to a uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.usize_in(0..items.len())]
+    }
+
+    /// A random subsequence of `items` where each element is kept with
+    /// probability `p`.
+    pub fn subsequence<T: Clone>(&mut self, items: &[T], p: f64) -> Vec<T> {
+        items.iter().filter(|_| self.bool_p(p)).cloned().collect()
+    }
+}
+
+/// Runs `f` against `cases` independently generated inputs.
+///
+/// Case seeds are derived from `master_seed` via [`derive_seed`], so a
+/// suite is fully reproducible; a failing case panics with its index and
+/// seed attached (via [`Gen::seed`], printed by the wrapped panic), which
+/// [`Gen::from_seed`] replays.
+///
+/// # Panics
+///
+/// Re-raises the first assertion failure from `f`, annotated with the
+/// case number and seed.
+pub fn run_cases(cases: u64, master_seed: u64, mut f: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = derive_seed(master_seed, case);
+        let mut g = Gen::from_seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut g)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property failed at case {case}/{cases} \
+                 (replay with Gen::from_seed({seed:#x}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            run_cases(16, 42, |g| out.push(g.u64()));
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn cases_are_distinct() {
+        let mut firsts = Vec::new();
+        run_cases(16, 42, |g| firsts.push(g.u64()));
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 16, "all case streams differ");
+    }
+
+    #[test]
+    fn replay_matches_original() {
+        let mut seen: Option<(u64, u64)> = None;
+        run_cases(1, 7, |g| seen = Some((g.seed(), g.u64())));
+        let (seed, value) = seen.unwrap();
+        let mut replay = Gen::from_seed(seed);
+        assert_eq!(replay.u64(), value);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        run_cases(8, 1, |g| {
+            if g.u64() % 2 == 0 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        run_cases(64, 3, |g| {
+            let v = g.vec(2..5, |g| g.bool());
+            assert!((2..5).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    fn i64_in_is_inclusive() {
+        let mut g = Gen::from_seed(1);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1_000 {
+            let x = g.i64_in(-2, 2);
+            assert!((-2..=2).contains(&x));
+            saw_lo |= x == -2;
+            saw_hi |= x == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn subsequence_extremes() {
+        let mut g = Gen::from_seed(2);
+        let items = [1, 2, 3, 4];
+        assert!(g.subsequence(&items, 0.0).is_empty());
+        assert_eq!(g.subsequence(&items, 1.0), items.to_vec());
+    }
+}

@@ -153,6 +153,15 @@ impl<E> Engine<E> {
                 self.queue.push(next);
                 return None;
             }
+            // Event-time monotonicity: the heap must never hand us an event
+            // older than the clock. A violation means the ordering in
+            // `Scheduled::cmp` (or a future refactor of it) is broken.
+            debug_assert!(
+                next.time >= self.now,
+                "event-time monotonicity violated: clock at {}, popped event at {}",
+                self.now,
+                next.time
+            );
             self.now = next.time;
             self.delivered += 1;
             return Some((next.time, next.event));

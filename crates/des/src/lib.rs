@@ -43,9 +43,11 @@
 //! assert_eq!(pings, 2); // t = 0 and t = 0.8 s; 1.6 s is past the horizon
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 mod engine;
 pub mod rng;
 pub mod stats;

@@ -1,18 +1,18 @@
-//! Reproducible random-number streams.
+//! Reproducible random-number streams, self-contained (no external crates).
 //!
 //! Simulation models need many *independent* random sources (one per node,
 //! per link, per traffic generator, ...) that are all derived from a single
 //! master seed so a run can be reproduced exactly. [`derive_seed`] maps
 //! `(master, stream_id)` to a well-mixed 64-bit seed via SplitMix64, and
-//! [`stream`] builds a [`rand`] PRNG from it.
+//! [`stream`] builds an [`Rng`] (xoshiro256++) from it.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::Range;
 
 /// SplitMix64 step: a fast, well-distributed 64-bit mixer.
 ///
 /// Used to derive independent stream seeds from `(master_seed, stream_id)`
-/// pairs. The constants are from Steele, Lea & Flood's SplitMix paper.
+/// pairs and to expand a 64-bit seed into xoshiro256++ state. The constants
+/// are from Steele, Lea & Flood's SplitMix paper.
 pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -32,6 +32,103 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
     a ^ b.rotate_left(32)
 }
 
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// This is Blackman & Vigna's xoshiro256++ 1.0: 256 bits of state, a
+/// 2^256 − 1 period and excellent statistical quality — more than enough
+/// for simulation workloads — with no external dependency. State is seeded
+/// through SplitMix64 so any 64-bit seed (including 0) yields a healthy
+/// state.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = hi_des::rng::stream(42, 0);
+/// let mut b = hi_des::rng::stream(42, 0);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        Self {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` via Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below requires a positive bound");
+        // Widening-multiply rejection sampling (Lemire 2018): unbiased and
+        // branch-light for the small bounds simulations use.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + self.gen_below((range.end - range.start) as u64) as usize
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        // Use the high bit: the low bits of some generators are weaker,
+        // and this keeps the choice independent of `gen_below` rejection.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool_p(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
 /// Draws a standard-normal variate via the Box–Muller transform.
 ///
 /// Kept here so model crates do not need an extra distribution dependency.
@@ -43,10 +140,10 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
 /// let z = hi_des::rng::standard_normal(&mut rng);
 /// assert!(z.is_finite());
 /// ```
-pub fn standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng) -> f64 {
     // u1 in (0, 1] so ln(u1) is finite.
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
@@ -55,34 +152,33 @@ pub fn standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
-///
 /// let mut a = hi_des::rng::stream(42, 0);
-/// let mut b = hi_des::rng::stream(42, 0);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // reproducible
+/// let mut b = hi_des::rng::stream(42, 1);
+/// assert_ne!(a.next_u64(), b.next_u64()); // decorrelated streams
 /// ```
-pub fn stream(master: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(derive_seed(master, stream))
+pub fn stream(master: u64, stream: u64) -> Rng {
+    Rng::seed_from_u64(derive_seed(master, stream))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_pair_same_stream() {
-        let xs: Vec<u64> = (0..8).map(|_| 0).scan(stream(1, 2), |r, _| Some(r.gen())).collect();
-        let ys: Vec<u64> = (0..8).map(|_| 0).scan(stream(1, 2), |r, _| Some(r.gen())).collect();
-        assert_eq!(xs, ys);
+        let draw = || {
+            let mut r = stream(1, 2);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
     }
 
     #[test]
     fn different_streams_differ() {
         let mut a = stream(1, 0);
         let mut b = stream(1, 1);
-        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
         assert_ne!(va, vb);
     }
 
@@ -105,5 +201,91 @@ mod tests {
         let a = derive_seed(7, 100);
         let b = derive_seed(7, 101);
         assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut r = stream(3, 3);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_f64_mean_is_near_half() {
+        let mut r = stream(9, 0);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut r = stream(5, 0);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k = r.gen_range(2..9);
+            assert!((2..9).contains(&k));
+            seen[k - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut r = stream(11, 0);
+        let mut counts = [0u32; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[r.gen_below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.02, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn gen_below_zero_panics() {
+        stream(0, 0).gen_below(0);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = stream(13, 0);
+        let n = 50_000;
+        let heads = (0..n).filter(|_| r.gen_bool()).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn bernoulli_tracks_p() {
+        let mut r = stream(17, 0);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| r.gen_bool_p(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = stream(19, 0);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn zero_seed_is_healthy() {
+        // SplitMix64 expansion must not leave an all-zero xoshiro state.
+        let mut r = Rng::seed_from_u64(0);
+        let xs: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
     }
 }

@@ -119,7 +119,10 @@ fn secs_to_nanos(secs: f64) -> u64 {
         "time must be finite and non-negative, got {secs}"
     );
     let ns = secs * 1e9;
-    assert!(ns <= u64::MAX as f64, "time overflows u64 nanoseconds: {secs} s");
+    assert!(
+        ns <= u64::MAX as f64,
+        "time overflows u64 nanoseconds: {secs} s"
+    );
     ns.round() as u64
 }
 

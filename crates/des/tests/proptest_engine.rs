@@ -1,14 +1,17 @@
 //! Property-based tests of the event engine: delivery order, FIFO ties,
 //! cancellation and horizon semantics under arbitrary schedules.
 
+use hi_des::check::{run_cases, Gen};
 use hi_des::{Engine, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn times(g: &mut Gen, len: std::ops::Range<usize>) -> Vec<u64> {
+    g.vec(len, |g| g.u64_below(1_000))
+}
 
-    #[test]
-    fn delivery_is_sorted_and_complete(times in prop::collection::vec(0u64..1_000, 0..64)) {
+#[test]
+fn delivery_is_sorted_and_complete() {
+    run_cases(256, 0xE0_0001, |g| {
+        let times = times(g, 0..64);
         let mut engine = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             engine.schedule_at(SimTime::from_nanos(t), i);
@@ -18,22 +21,23 @@ proptest! {
             delivered.push((t.as_nanos(), id));
         }
         // Complete: every scheduled event arrives exactly once.
-        prop_assert_eq!(delivered.len(), times.len());
+        assert_eq!(delivered.len(), times.len());
         // Sorted by time, FIFO among equal timestamps (ids ascend within
         // the same instant because we scheduled them in id order).
         for w in delivered.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
+                assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cancellation_removes_exactly_the_cancelled(
-        times in prop::collection::vec(0u64..1_000, 1..64),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..64),
-    ) {
+#[test]
+fn cancellation_removes_exactly_the_cancelled() {
+    run_cases(256, 0xE0_0002, |g| {
+        let times = times(g, 1..64);
+        let cancel_mask: Vec<bool> = g.vec(1..64, |g| g.bool());
         let mut engine = Engine::new();
         let mut keep = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -49,14 +53,15 @@ proptest! {
             delivered.push(id);
         }
         delivered.sort_unstable();
-        prop_assert_eq!(delivered, keep);
-    }
+        assert_eq!(delivered, keep);
+    });
+}
 
-    #[test]
-    fn horizon_is_a_clean_cut(
-        times in prop::collection::vec(0u64..1_000, 1..64),
-        horizon in 0u64..1_000,
-    ) {
+#[test]
+fn horizon_is_a_clean_cut() {
+    run_cases(256, 0xE0_0003, |g| {
+        let times = times(g, 1..64);
+        let horizon = g.u64_below(1_000);
         let mut engine = Engine::new();
         engine.set_horizon(SimTime::from_nanos(horizon));
         for (i, &t) in times.iter().enumerate() {
@@ -64,18 +69,19 @@ proptest! {
         }
         let mut count = 0usize;
         while let Some((t, _)) = engine.pop() {
-            prop_assert!(t.as_nanos() <= horizon);
+            assert!(t.as_nanos() <= horizon);
             count += 1;
         }
         let expected = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(count, expected);
-    }
+        assert_eq!(count, expected);
+    });
+}
 
-    #[test]
-    fn clock_is_monotone_under_interleaved_scheduling(
-        seeds in prop::collection::vec(0u64..100, 1..32),
-    ) {
+#[test]
+fn clock_is_monotone_under_interleaved_scheduling() {
+    run_cases(256, 0xE0_0004, |g| {
         // Re-schedule from inside the run loop (events spawn events).
+        let seeds: Vec<u64> = g.vec(1..32, |g| g.u64_below(100));
         let mut engine = Engine::new();
         engine.set_horizon(SimTime::from_nanos(5_000));
         for (i, &s) in seeds.iter().enumerate() {
@@ -83,16 +89,13 @@ proptest! {
         }
         let mut last = SimTime::ZERO;
         while let Some((t, gen)) = engine.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             if gen < 1_000 {
                 // Spawn a follow-up event a pseudo-random delay ahead.
                 let delay = (gen * 37 + 11) % 400 + 1;
-                engine.schedule_at(
-                    SimTime::from_nanos(t.as_nanos() + delay),
-                    gen + 1_000,
-                );
+                engine.schedule_at(SimTime::from_nanos(t.as_nanos() + delay), gen + 1_000);
             }
         }
-    }
+    });
 }

@@ -4,6 +4,7 @@
 //! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42]
 //! hi-opt simulate --sites 0,1,3,5 --power 0 --mac tdma --routing mesh
 //! hi-opt space
+//! hi-opt lint
 //! ```
 
 use std::process::ExitCode;
@@ -11,7 +12,10 @@ use std::process::ExitCode;
 use hi_opt::channel::{BodyLocation, ChannelParams};
 use hi_opt::des::SimDuration;
 use hi_opt::net::{simulate_averaged, MacKind, NetworkConfig, Routing, TxPower};
-use hi_opt::{explore, explore_tradeoff, DesignSpace, Evaluator, Problem, SimEvaluator};
+use hi_opt::{
+    explore, explore_tradeoff, DesignSpace, Evaluator, MilpEncoding, Problem, SimEvaluator,
+    TopologyConstraints,
+};
 
 const USAGE: &str = "\
 hi-opt — optimized design of a Human Intranet network (DAC 2017)
@@ -22,6 +26,7 @@ USAGE:
     hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
                     --routing <star|mesh> [--tsim <secs>] [--runs <n>] [--seed <n>]
     hi-opt space
+    hi-opt lint     [--seed <n>]
 
 COMMANDS:
     explore    run Algorithm 1: MILP-proposed candidates verified by
@@ -31,6 +36,9 @@ COMMANDS:
                (default floors: 50,60,70,80,90,95,99%)
     simulate   evaluate one explicit configuration
     space      describe the design space and its constraints
+    lint       statically analyze the paper scenario: configuration space,
+               MILP encoding, the full Algorithm-1 cut ladder and a sample
+               event schedule; exits 1 on error-severity findings
 
 SITES (index = paper's n_i):
     0 chest  1 l-hip  2 r-hip  3 l-ankle  4 r-ankle
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
         "tradeoff" => cmd_tradeoff(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "space" => cmd_space(),
+        "lint" => cmd_lint(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -120,8 +129,12 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         return Err("--pdr-min must be within [0, 1]".into());
     }
     let problem = Problem::paper_default(pdr_min);
-    let mut evaluator =
-        SimEvaluator::new(ChannelParams::default(), common.t_sim, common.runs, common.seed);
+    let mut evaluator = SimEvaluator::new(
+        ChannelParams::default(),
+        common.t_sim,
+        common.runs,
+        common.seed,
+    );
     let outcome = explore(&problem, &mut evaluator).map_err(|e| e.to_string())?;
     match outcome.best {
         Some((point, eval)) => {
@@ -139,7 +152,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
             println!("lifetime       : {:.1} days", eval.nlt_days);
             println!("worst power    : {:.3} mW", eval.power_mw);
         }
-        None => println!("infeasible: no configuration reaches {:.1}% PDR", pdr_min * 100.0),
+        None => println!(
+            "infeasible: no configuration reaches {:.1}% PDR",
+            pdr_min * 100.0
+        ),
     }
     println!(
         "effort         : {} simulations, {} MILP iterations ({:?})",
@@ -167,11 +183,17 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
         return Err("floors must be percentages within [0, 100]".into());
     }
     let template = Problem::paper_default(0.5);
-    let mut evaluator =
-        SimEvaluator::new(ChannelParams::default(), common.t_sim, common.runs, common.seed);
-    let sweep =
-        explore_tradeoff(&template, &floors, &mut evaluator).map_err(|e| e.to_string())?;
-    println!("{:>7}  {:<34} {:>7} {:>10}", "PDRmin", "design", "PDR", "lifetime");
+    let mut evaluator = SimEvaluator::new(
+        ChannelParams::default(),
+        common.t_sim,
+        common.runs,
+        common.seed,
+    );
+    let sweep = explore_tradeoff(&template, &floors, &mut evaluator).map_err(|e| e.to_string())?;
+    println!(
+        "{:>7}  {:<34} {:>7} {:>10}",
+        "PDRmin", "design", "PDR", "lifetime"
+    );
     for point in sweep {
         match point.best {
             Some((design, eval)) => println!(
@@ -253,8 +275,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     };
     let cfg = NetworkConfig::new(placements, power, mac, routing);
     cfg.validate().map_err(|e| e.to_string())?;
-    let out = simulate_averaged(&cfg, ChannelParams::default(), common.t_sim, common.seed, common.runs)
-        .map_err(|e| e.to_string())?;
+    let out = simulate_averaged(
+        &cfg,
+        ChannelParams::default(),
+        common.t_sim,
+        common.seed,
+        common.runs,
+    )
+    .map_err(|e| e.to_string())?;
     println!("configuration  : {}", cfg.summary());
     println!("PDR            : {:.2}%", out.pdr_percent());
     println!("lifetime       : {:.1} days", out.nlt_days);
@@ -279,7 +307,9 @@ fn cmd_space() -> Result<(), String> {
     println!("design space (paper §4.1 defaults)");
     println!("  candidate sites      : 10 (see `hi-opt --help` for the index map)");
     println!("  required             : chest (n0 = 1)");
-    println!("  at least one of      : {{l-hip, r-hip}}, {{l-ankle, r-ankle}}, {{l-wrist, r-wrist}}");
+    println!(
+        "  at least one of      : {{l-hip, r-hip}}, {{l-ankle, r-ankle}}, {{l-wrist, r-wrist}}"
+    );
     println!(
         "  node count           : {} ..= {}",
         constraints.min_nodes, constraints.max_nodes
@@ -294,5 +324,106 @@ fn cmd_space() -> Result<(), String> {
         "  unconstrained space  : {} (the paper's 12,288)",
         DesignSpace::unconstrained_size()
     );
+    Ok(())
+}
+
+fn print_lint_section(title: &str, report: &hi_opt::lint::Report) {
+    println!("{title}");
+    if report.is_clean() {
+        println!("  clean");
+    } else {
+        for finding in report.findings() {
+            println!("  {finding}");
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use hi_opt::lint::{lint_schedule, lint_space, Report, SpaceDim};
+
+    let mut seed: u64 = 0xDAC_2017;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --seed")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let constraints = TopologyConstraints::paper_default();
+    let app = hi_opt::net::AppParams::default();
+    let mut total = Report::new();
+
+    // 1. The configuration space itself (paper §4.1 dimensions).
+    let dims = [
+        SpaceDim::new(
+            "feasible placements",
+            constraints.feasible_placements().len() as u64,
+        ),
+        SpaceDim::new("tx power", TxPower::ALL.len() as u64),
+        SpaceDim::new("mac", 2),
+        SpaceDim::new("routing", 2),
+    ];
+    let report = lint_space(&dims);
+    print_lint_section("configuration space", &report);
+    total.merge(report);
+
+    // 2. The MILP encoding of the relaxed problem P-tilde, as built.
+    let enc = MilpEncoding::new(&constraints, &app);
+    let report = enc.lint_report();
+    print_lint_section("milp encoding (no cuts)", &report);
+    total.merge(report);
+
+    // 3. The full Algorithm-1 cut ladder: every power cut RunMILP would
+    //    ever add, checked for structural damage and redundancy.
+    let mut enc = MilpEncoding::new(&constraints, &app);
+    let mut levels = 0u32;
+    loop {
+        let (_, p) = enc.solve_pool().map_err(|e| e.to_string())?;
+        match p {
+            Some(p) => {
+                levels += 1;
+                enc.add_power_cut(p);
+            }
+            None => break,
+        }
+    }
+    let report = enc.lint_report();
+    print_lint_section(&format!("cut ladder ({levels} levels)"), &report);
+    total.merge(report);
+
+    // 4. A sample event schedule drained through the DES engine.
+    let mut rng = hi_opt::des::rng::stream(seed, 7);
+    let mut engine = hi_opt::des::Engine::new();
+    for event in 0u32..64 {
+        let t_ns = rng.gen_below(10_000_000_000); // within 10 s
+        engine.schedule_at(hi_opt::des::SimTime::from_nanos(t_ns), event);
+    }
+    let mut times = Vec::new();
+    while let Some((t, _)) = engine.pop() {
+        times.push(t.as_secs_f64());
+    }
+    let report = lint_schedule(&times);
+    print_lint_section("event schedule sample (64 events)", &report);
+    total.merge(report);
+
+    println!();
+    println!(
+        "summary: {} error(s), {} warning(s), {} info(s)",
+        total.error_count(),
+        total.warning_count(),
+        total.info_count()
+    );
+    if total.has_errors() {
+        // Error severity means a structurally broken artifact; make the
+        // failure visible to scripts without dumping the usage banner.
+        std::process::exit(1);
+    }
     Ok(())
 }

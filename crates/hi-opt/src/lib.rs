@@ -6,6 +6,7 @@
 //! one roof:
 //!
 //! * [`milp`] — the exact MILP solver (simplex + branch & bound + pools);
+//! * [`lint`] — the static analyzer over models, schedules and spaces;
 //! * [`des`] — the discrete-event simulation kernel;
 //! * [`channel`] — the time-varying on-body wireless channel;
 //! * [`net`] — the WBAN stack simulator (radio / MAC / routing / app);
@@ -29,18 +30,20 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hi_channel as channel;
 pub use hi_core as core;
 pub use hi_des as des;
+pub use hi_lint as lint;
 pub use hi_milp as milp;
 pub use hi_net as net;
 
 pub use hi_core::{
-    AppProfile, exhaustive_search, explore, explore_with_options, simulated_annealing, DesignPoint,
-    DesignSpace, Evaluation, ExploreOptions,
-    Evaluator, ExhaustiveOutcome, ExplorationOutcome, ExploreError, FnEvaluator, MacChoice,
-    MilpEncoding, Placement, Problem, RouteChoice, SaOutcome, SaParams, SimEvaluator,
-    StopReason, TopologyConstraints, TradeoffPoint, explore_tradeoff,
+    exhaustive_search, explore, explore_tradeoff, explore_with_options, simulated_annealing,
+    AppProfile, DesignPoint, DesignSpace, Evaluation, Evaluator, ExhaustiveOutcome,
+    ExplorationOutcome, ExploreError, ExploreOptions, FnEvaluator, MacChoice, MilpEncoding,
+    Placement, Problem, RouteChoice, SaOutcome, SaParams, SimEvaluator, StopReason,
+    TopologyConstraints, TradeoffPoint,
 };

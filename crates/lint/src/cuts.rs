@@ -1,0 +1,167 @@
+//! Cross-iteration cut accounting for Algorithm-1 style loops.
+//!
+//! The paper's Algorithm 1 repeatedly adds *no-good cuts* (excluding an
+//! enumerated configuration) and *power cuts* (`P̄ > P̄*`) to one long-lived
+//! model. Two bug classes hide there: re-adding a cut that is already
+//! present (the loop stops making progress but still burns solver time),
+//! and adding a cut weaker than an existing one (dead weight in every
+//! subsequent solve). [`CutTracker`] observes each cut as it is added and
+//! reports both via [`RuleId::RedundantCut`].
+
+use std::collections::HashMap;
+
+use crate::model::{normalize, LintRow, NormRow, TOL};
+use crate::report::{Finding, RuleId, Span};
+
+/// Tracks cuts added across solver iterations and flags redundant ones.
+///
+/// # Examples
+///
+/// ```
+/// use hi_lint::{CutTracker, LintRow, RowSense};
+///
+/// let mut tracker = CutTracker::new();
+/// let cut = LintRow {
+///     name: "power-cut-0".into(),
+///     terms: vec![(0, 1.0)],
+///     sense: RowSense::Ge,
+///     rhs: 2.0,
+/// };
+/// assert!(tracker.observe(&cut).is_none()); // first time: fine
+/// assert!(tracker.observe(&cut).is_some()); // identical again: redundant
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CutTracker {
+    /// Fingerprint -> (name of the strongest cut seen, its Le-normalized
+    /// rhs). Smaller normalized rhs = tighter, since fingerprints are
+    /// normalized to `<=` form.
+    seen: HashMap<NormRow, (String, f64)>,
+    observed: usize,
+}
+
+impl CutTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cuts observed so far (redundant or not).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Records `cut` and returns a [`RuleId::RedundantCut`] finding if it
+    /// is no tighter than a cut already tracked.
+    ///
+    /// Cuts that fail to normalize (empty/non-finite) return `None` here;
+    /// the model-level rules report those.
+    pub fn observe(&mut self, cut: &LintRow) -> Option<Finding> {
+        self.observed += 1;
+        let norm = normalize(cut)?;
+        let span = Span::Row {
+            index: self.observed - 1,
+            name: cut.name.clone(),
+        };
+        match self.seen.get_mut(&norm.key) {
+            None => {
+                self.seen.insert(norm.key, (cut.name.clone(), norm.rhs));
+                None
+            }
+            Some((prev_name, prev_rhs)) => {
+                if norm.rhs >= *prev_rhs - TOL {
+                    // Not strictly tighter than what we already have.
+                    let how = if (norm.rhs - *prev_rhs).abs() <= TOL {
+                        "identical to"
+                    } else {
+                        "weaker than"
+                    };
+                    Some(Finding::new(
+                        RuleId::RedundantCut,
+                        span,
+                        format!("{how} the earlier cut `{prev_name}`"),
+                    ))
+                } else {
+                    // Strictly tighter: it supersedes the stored cut.
+                    *prev_name = cut.name.clone();
+                    *prev_rhs = norm.rhs;
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RowSense;
+
+    fn cut(name: &str, terms: Vec<(usize, f64)>, sense: RowSense, rhs: f64) -> LintRow {
+        LintRow {
+            name: name.into(),
+            terms,
+            sense,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn distinct_no_good_cuts_are_clean() {
+        // Cuts excluding different binary assignments have different terms.
+        let mut t = CutTracker::new();
+        let a = cut("ng0", vec![(0, 1.0), (1, -1.0)], RowSense::Ge, 0.0);
+        let b = cut("ng1", vec![(0, -1.0), (1, 1.0)], RowSense::Ge, 0.0);
+        assert!(t.observe(&a).is_none());
+        assert!(t.observe(&b).is_none());
+        assert_eq!(t.observed(), 2);
+    }
+
+    #[test]
+    fn repeated_cut_is_redundant() {
+        let mut t = CutTracker::new();
+        let a = cut("ng0", vec![(0, 1.0), (1, 1.0)], RowSense::Ge, 1.0);
+        assert!(t.observe(&a).is_none());
+        let f = t.observe(&a).expect("second add flagged");
+        assert_eq!(f.rule, RuleId::RedundantCut);
+        assert!(f.message.contains("identical"), "{}", f.message);
+    }
+
+    #[test]
+    fn tightened_power_cut_is_progress() {
+        // Rising power threshold = strictly tighter Ge cut each round.
+        let mut t = CutTracker::new();
+        for (i, p) in [1.0, 2.0, 3.5].into_iter().enumerate() {
+            let c = cut(&format!("power-{i}"), vec![(0, 1.0)], RowSense::Ge, p);
+            assert!(t.observe(&c).is_none(), "iteration {i} flagged");
+        }
+    }
+
+    #[test]
+    fn loosened_power_cut_is_redundant() {
+        let mut t = CutTracker::new();
+        let tight = cut("power-0", vec![(0, 1.0)], RowSense::Ge, 5.0);
+        let loose = cut("power-1", vec![(0, 1.0)], RowSense::Ge, 2.0);
+        assert!(t.observe(&tight).is_none());
+        let f = t.observe(&loose).expect("looser cut flagged");
+        assert!(f.message.contains("weaker"), "{}", f.message);
+        assert!(f.message.contains("power-0"), "{}", f.message);
+    }
+
+    #[test]
+    fn scaling_does_not_hide_redundancy() {
+        let mut t = CutTracker::new();
+        let a = cut("c0", vec![(0, 1.0), (1, 1.0)], RowSense::Ge, 1.0);
+        let b = cut("c1", vec![(0, 3.0), (1, 3.0)], RowSense::Ge, 3.0);
+        assert!(t.observe(&a).is_none());
+        assert!(t.observe(&b).is_some());
+    }
+
+    #[test]
+    fn unnormalizable_cut_is_skipped() {
+        let mut t = CutTracker::new();
+        let empty = cut("e", vec![], RowSense::Ge, 1.0);
+        assert!(t.observe(&empty).is_none());
+        assert!(t.observe(&empty).is_none());
+        assert_eq!(t.observed(), 2);
+    }
+}

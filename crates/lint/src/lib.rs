@@ -1,0 +1,68 @@
+//! Static analysis for optimization models, configuration spaces and
+//! event schedules.
+//!
+//! The DAC 2017 Human-Intranet exploration loop (Algorithm 1) alternates a
+//! MILP solver with a discrete-event simulator, mutating the MILP every
+//! iteration with no-good and power cuts. A malformed or trivially
+//! infeasible encoding does not crash — it silently turns into "MILP
+//! infeasible → terminate", which corrupts the whole reproduction. This
+//! crate is the pre-solve gate that catches those states and explains them:
+//!
+//! * [`analyze`] runs the full rule set over a [`LintModel`] — structural
+//!   errors (non-finite numbers, dangling variable references, crossed
+//!   bounds), semantic warnings (provable infeasibility via interval
+//!   propagation, unused variables, duplicate/dominated rows, big-M
+//!   conditioning) and redundancy infos.
+//! * [`CutTracker`] watches the cuts an Algorithm-1 style loop adds across
+//!   iterations and flags ones that are identical to or weaker than cuts
+//!   already present.
+//! * [`lint_schedule`] and [`lint_space`] cover the two other inputs of the
+//!   loop: event schedules (monotone, finite times) and configuration
+//!   spaces (no empty dimensions).
+//!
+//! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
+//! [`Span`] naming the offending variable, row, event or dimension. The
+//! severity contract is deliberate: **errors mean the object is broken and
+//! solving it would be meaningless; provable *infeasibility* is only a
+//! warning**, because an infeasible model is a legal question with a
+//! well-defined answer — Algorithm 1 terminates by driving its model
+//! infeasible on purpose.
+//!
+//! This crate is dependency-free and sits at the bottom of the workspace
+//! graph so `hi-milp` itself can call it on every solve.
+//!
+//! # Example
+//!
+//! ```
+//! use hi_lint::{analyze, LintModel, RowSense, RuleId, Severity};
+//!
+//! let mut m = LintModel::new();
+//! let x = m.var("x", 0.0, 1.0, true);
+//! let y = m.var("y", 0.0, 1.0, true);
+//! m.row("choose-two", vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 3.0);
+//! m.objective = vec![(x, 1.0), (y, 1.0)];
+//!
+//! let report = analyze(&m);
+//! assert!(report.has_rule(RuleId::BoundInfeasible)); // 2 binaries < 3
+//! assert!(!report.has_errors());                     // ...but still legal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cuts;
+mod model;
+mod propagate;
+mod report;
+mod rules;
+mod schedule;
+mod space;
+
+pub use cuts::CutTracker;
+pub use model::{LintModel, LintRow, LintVar, RowSense};
+pub use propagate::{propagate, Propagation};
+pub use report::{Finding, Report, RuleId, Severity, Span};
+pub use rules::analyze;
+pub use schedule::lint_schedule;
+pub use space::{lint_space, SpaceDim};

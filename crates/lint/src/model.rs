@@ -1,0 +1,248 @@
+//! The analyzer's own lightweight model IR.
+//!
+//! `hi-lint` sits *below* the solver crates in the dependency graph (so
+//! `hi-milp` can run it before every solve), which means it cannot use the
+//! solver's types. Producers convert their model into this IR — plain
+//! vectors of variables and rows — and hand it to
+//! [`analyze`](crate::analyze).
+
+/// Comparison sense of a [`LintRow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowSense {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs >= rhs`
+    Ge,
+}
+
+/// A decision variable as the analyzer sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintVar {
+    /// Display name.
+    pub name: String,
+    /// Lower bound (`-inf` allowed).
+    pub lower: f64,
+    /// Upper bound (`+inf` allowed).
+    pub upper: f64,
+    /// True for integer/binary variables.
+    pub integer: bool,
+}
+
+/// One linear constraint row: `sum terms (sense) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintRow {
+    /// Display name.
+    pub name: String,
+    /// `(variable index, coefficient)` pairs.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: RowSense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// The full model handed to the analyzer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintModel {
+    /// Variables, indexed by the `usize` used in rows.
+    pub vars: Vec<LintVar>,
+    /// Constraint rows.
+    pub rows: Vec<LintRow>,
+    /// Objective terms (may be empty; linting does not require one).
+    pub objective: Vec<(usize, f64)>,
+}
+
+impl LintModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable and returns its index.
+    pub fn var(&mut self, name: &str, lower: f64, upper: f64, integer: bool) -> usize {
+        self.vars.push(LintVar {
+            name: name.to_owned(),
+            lower,
+            upper,
+            integer,
+        });
+        self.vars.len() - 1
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, name: &str, terms: Vec<(usize, f64)>, sense: RowSense, rhs: f64) {
+        self.rows.push(LintRow {
+            name: name.to_owned(),
+            terms,
+            sense,
+            rhs,
+        });
+    }
+}
+
+/// Coefficients with magnitude at or below this are treated as zero.
+pub(crate) const ZERO_TOL: f64 = 1e-12;
+
+/// General feasibility/comparison tolerance used by the rules.
+pub(crate) const TOL: f64 = 1e-9;
+
+/// Quantization scale for normalized-row fingerprints.
+const QUANT: f64 = 1e9;
+
+/// A scaling-invariant fingerprint of a row, used for duplicate, dominance
+/// and cut-redundancy detection.
+///
+/// Normalization: drop (near-)zero coefficients, sort terms by variable,
+/// flip `Ge` rows to `Le` (and canonicalize `Eq` rows so their first
+/// coefficient is positive), divide by the largest coefficient magnitude,
+/// then quantize to `1e-9` resolution so float noise does not defeat the
+/// comparison. Rows whose fingerprints share `kind` + `terms` have the same
+/// left-hand side up to positive scaling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct NormRow {
+    /// `Le` for inequalities (after flipping `Ge`), `Eq` for equalities.
+    pub kind: NormKind,
+    /// Quantized `(var, coeff)` pairs, sorted by `var`.
+    pub terms: Vec<(usize, i64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum NormKind {
+    Le,
+    Eq,
+}
+
+/// The normalized form of a row: its fingerprint plus the scaled rhs kept
+/// in full precision (the rhs is *not* part of the fingerprint so that
+/// same-LHS rows can be compared for dominance).
+#[derive(Debug, Clone)]
+pub(crate) struct Normalized {
+    pub key: NormRow,
+    pub rhs: f64,
+}
+
+/// Normalizes `row`; returns `None` for empty rows or rows containing
+/// non-finite numbers (other rules report those).
+pub(crate) fn normalize(row: &LintRow) -> Option<Normalized> {
+    let mut terms: Vec<(usize, f64)> = row
+        .terms
+        .iter()
+        .filter(|(_, c)| c.abs() > ZERO_TOL)
+        .copied()
+        .collect();
+    if terms.is_empty() || terms.iter().any(|(_, c)| !c.is_finite()) || !row.rhs.is_finite() {
+        return None;
+    }
+    terms.sort_by_key(|&(v, _)| v);
+    // Merge duplicate variables within one row (a + a -> 2a).
+    let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+    for (v, c) in terms {
+        match merged.last_mut() {
+            Some((lv, lc)) if *lv == v => *lc += c,
+            _ => merged.push((v, c)),
+        }
+    }
+    merged.retain(|(_, c)| c.abs() > ZERO_TOL);
+    if merged.is_empty() {
+        return None;
+    }
+
+    let mut rhs = row.rhs;
+    let mut sign = 1.0;
+    let kind = match row.sense {
+        RowSense::Le => NormKind::Le,
+        RowSense::Ge => {
+            sign = -1.0;
+            NormKind::Le
+        }
+        RowSense::Eq => {
+            // Canonical sign: first coefficient positive.
+            if merged[0].1 < 0.0 {
+                sign = -1.0;
+            }
+            NormKind::Eq
+        }
+    };
+    let scale = merged.iter().map(|(_, c)| c.abs()).fold(0.0f64, f64::max);
+    let factor = sign / scale;
+    let quantized: Vec<(usize, i64)> = merged
+        .iter()
+        .map(|&(v, c)| (v, (c * factor * QUANT).round() as i64))
+        .collect();
+    rhs *= factor;
+    Some(Normalized {
+        key: NormRow {
+            kind,
+            terms: quantized,
+        },
+        rhs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(terms: Vec<(usize, f64)>, sense: RowSense, rhs: f64) -> LintRow {
+        LintRow {
+            name: "r".into(),
+            terms,
+            sense,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn scaling_does_not_change_fingerprint() {
+        let a = normalize(&row(vec![(0, 1.0), (1, 2.0)], RowSense::Le, 3.0)).unwrap();
+        let b = normalize(&row(vec![(0, 10.0), (1, 20.0)], RowSense::Le, 30.0)).unwrap();
+        assert_eq!(a.key, b.key);
+        assert!((a.rhs - b.rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ge_flips_to_le() {
+        let a = normalize(&row(vec![(0, 1.0)], RowSense::Ge, 2.0)).unwrap();
+        let b = normalize(&row(vec![(0, -1.0)], RowSense::Le, -2.0)).unwrap();
+        assert_eq!(a.key, b.key);
+        assert!((a.rhs - b.rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_sign_is_canonical() {
+        let a = normalize(&row(vec![(0, -1.0), (1, 2.0)], RowSense::Eq, 1.0)).unwrap();
+        let b = normalize(&row(vec![(0, 1.0), (1, -2.0)], RowSense::Eq, -1.0)).unwrap();
+        assert_eq!(a.key, b.key);
+        assert!((a.rhs - b.rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let a = normalize(&row(vec![(0, 1.0), (1, 0.0)], RowSense::Le, 1.0)).unwrap();
+        let b = normalize(&row(vec![(0, 1.0)], RowSense::Le, 1.0)).unwrap();
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn repeated_variable_terms_merge() {
+        let a = normalize(&row(vec![(0, 1.0), (0, 1.0)], RowSense::Le, 2.0)).unwrap();
+        let b = normalize(&row(vec![(0, 2.0)], RowSense::Le, 2.0)).unwrap();
+        assert_eq!(a.key, b.key);
+        assert!((a.rhs - b.rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rows_normalize_to_none() {
+        assert!(normalize(&row(vec![], RowSense::Le, 1.0)).is_none());
+        assert!(normalize(&row(vec![(0, 0.0)], RowSense::Le, 1.0)).is_none());
+        assert!(normalize(&row(vec![(0, f64::NAN)], RowSense::Le, 1.0)).is_none());
+        assert!(normalize(&row(vec![(0, 1.0)], RowSense::Le, f64::INFINITY)).is_none());
+    }
+
+    #[test]
+    fn canceling_terms_normalize_to_none() {
+        assert!(normalize(&row(vec![(0, 1.0), (0, -1.0)], RowSense::Le, 1.0)).is_none());
+    }
+}

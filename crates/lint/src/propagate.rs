@@ -1,0 +1,360 @@
+//! Interval (bound) propagation over a [`LintModel`].
+//!
+//! Classic MILP presolve machinery: from the variable bounds, compute each
+//! row's activity interval `[L, U]`; a `<=` row with `L > rhs` can never be
+//! satisfied, one with `U <= rhs` is always satisfied. Rows also *imply*
+//! bounds on their variables, which tighten the intervals and may expose
+//! infeasibility several steps removed from any single row — the "trivial
+//! infeasibility" class of Algorithm-1 regressions this crate exists to
+//! catch before the solver reports a bare `Infeasible`.
+
+use crate::model::{LintModel, LintRow, RowSense, TOL, ZERO_TOL};
+use crate::report::{Finding, RuleId, Span};
+
+/// Result of a propagation pass.
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    /// Tightened lower bounds (same indexing as the model's variables).
+    pub lower: Vec<f64>,
+    /// Tightened upper bounds.
+    pub upper: Vec<f64>,
+    /// Infeasibility and redundancy findings discovered along the way.
+    pub findings: Vec<Finding>,
+}
+
+/// One-sided row view: `terms <= rhs`. `Ge` rows are negated into this
+/// form and `Eq` rows contribute one of each.
+struct LeRow<'a> {
+    /// Index of the originating row (for spans).
+    origin: usize,
+    name: &'a str,
+    terms: Vec<(usize, f64)>,
+    rhs: f64,
+}
+
+fn le_views(index: usize, row: &LintRow) -> Vec<LeRow<'_>> {
+    let terms: Vec<(usize, f64)> = row
+        .terms
+        .iter()
+        .filter(|(_, c)| c.abs() > ZERO_TOL && c.is_finite())
+        .copied()
+        .collect();
+    if terms.is_empty() || !row.rhs.is_finite() {
+        return Vec::new();
+    }
+    let neg = || terms.iter().map(|&(v, c)| (v, -c)).collect::<Vec<_>>();
+    match row.sense {
+        RowSense::Le => vec![LeRow {
+            origin: index,
+            name: &row.name,
+            terms,
+            rhs: row.rhs,
+        }],
+        RowSense::Ge => vec![LeRow {
+            origin: index,
+            name: &row.name,
+            terms: neg(),
+            rhs: -row.rhs,
+        }],
+        RowSense::Eq => vec![
+            LeRow {
+                origin: index,
+                name: &row.name,
+                terms: neg(),
+                rhs: -row.rhs,
+            },
+            LeRow {
+                origin: index,
+                name: &row.name,
+                terms,
+                rhs: row.rhs,
+            },
+        ],
+    }
+}
+
+/// `coeff * bound` with the IEEE edge cases resolved for activity sums
+/// (`coeff` is finite and nonzero here, so no `0 * inf`).
+fn mul(coeff: f64, bound: f64) -> f64 {
+    coeff * bound
+}
+
+/// The minimum of `sum terms` over the box `[lower, upper]`.
+fn min_activity(terms: &[(usize, f64)], lower: &[f64], upper: &[f64]) -> f64 {
+    terms
+        .iter()
+        .map(|&(v, c)| {
+            if c > 0.0 {
+                mul(c, lower[v])
+            } else {
+                mul(c, upper[v])
+            }
+        })
+        .sum()
+}
+
+/// Runs up to `max_rounds` of propagation.
+///
+/// Returns tightened bounds and any [`RuleId::BoundInfeasible`] /
+/// [`RuleId::RedundantRow`] findings. Variables with out-of-range indices
+/// are skipped here — [`analyze`](crate::analyze) reports those separately.
+pub fn propagate(model: &LintModel, max_rounds: usize) -> Propagation {
+    let n = model.vars.len();
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let mut findings = Vec::new();
+
+    // Integer bounds round inward before any row is consulted.
+    for (i, v) in model.vars.iter().enumerate() {
+        if v.integer {
+            if lower[i].is_finite() {
+                lower[i] = (lower[i] - TOL).ceil();
+            }
+            if upper[i].is_finite() {
+                upper[i] = (upper[i] + TOL).floor();
+            }
+        }
+    }
+
+    let rows: Vec<LeRow<'_>> = model
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.terms.iter().all(|&(v, _)| v < n))
+        .flat_map(|(i, r)| le_views(i, r))
+        .collect();
+
+    // Initial box inconsistency (NaN bounds are caught by other rules and
+    // poison comparisons to `false`, which safely reports nothing here).
+    for i in 0..n {
+        if lower[i] > upper[i] + TOL {
+            return Propagation {
+                lower,
+                upper,
+                findings, // CrossedBounds already covers this; stay silent
+            };
+        }
+    }
+
+    let mut infeasible_rows: Vec<usize> = Vec::new();
+    for _round in 0..max_rounds {
+        let mut changed = false;
+        for row in &rows {
+            let min_act = min_activity(&row.terms, &lower, &upper);
+            if min_act > row.rhs + TOL {
+                if !infeasible_rows.contains(&row.origin) {
+                    infeasible_rows.push(row.origin);
+                    findings.push(Finding::new(
+                        RuleId::BoundInfeasible,
+                        Span::Row {
+                            index: row.origin,
+                            name: row.name.to_owned(),
+                        },
+                        format!(
+                            "minimum activity {min_act:.6} exceeds rhs {:.6}: \
+                             the row cannot be satisfied within the variable bounds",
+                            row.rhs
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if !min_act.is_finite() {
+                continue; // unbounded below: no implied bounds from this row
+            }
+            // Implied bound for each variable: c_k x_k <= rhs - (min_act - c_k·best_k).
+            for &(v, c) in &row.terms {
+                let best = if c > 0.0 { lower[v] } else { upper[v] };
+                let rest = min_act - mul(c, best);
+                if !rest.is_finite() {
+                    continue;
+                }
+                let limit = (row.rhs - rest) / c;
+                if c > 0.0 {
+                    let mut new_ub = limit;
+                    if model.vars[v].integer {
+                        new_ub = (new_ub + TOL).floor();
+                    }
+                    if new_ub < upper[v] - TOL {
+                        upper[v] = new_ub;
+                        changed = true;
+                    }
+                } else {
+                    let mut new_lb = limit;
+                    if model.vars[v].integer {
+                        new_lb = (new_lb - TOL).ceil();
+                    }
+                    if new_lb > lower[v] + TOL {
+                        lower[v] = new_lb;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Crossed tightened bounds: the model is infeasible even though no
+        // single row is.
+        for i in 0..n {
+            if lower[i] > upper[i] + TOL {
+                findings.push(Finding::new(
+                    RuleId::BoundInfeasible,
+                    Span::Variable {
+                        index: i,
+                        name: model.vars[i].name.clone(),
+                    },
+                    format!(
+                        "bound propagation tightened `{}` to the empty interval \
+                         [{:.6}, {:.6}]",
+                        model.vars[i].name, lower[i], upper[i]
+                    ),
+                ));
+                return Propagation {
+                    lower,
+                    upper,
+                    findings,
+                };
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Redundancy: a row always satisfied over the (original) box. Uses the
+    // *original* bounds so the verdict does not depend on propagation order.
+    let orig_lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let orig_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let mut redundant_seen: Vec<usize> = Vec::new();
+    for row in &rows {
+        // max activity = -min activity of the negated row.
+        let neg: Vec<(usize, f64)> = row.terms.iter().map(|&(v, c)| (v, -c)).collect();
+        let max_act = -min_activity(&neg, &orig_lower, &orig_upper);
+        if max_act.is_finite()
+            && max_act <= row.rhs + TOL
+            && !redundant_seen.contains(&row.origin)
+            && !matches!(model.rows[row.origin].sense, RowSense::Eq)
+        {
+            redundant_seen.push(row.origin);
+            findings.push(Finding::new(
+                RuleId::RedundantRow,
+                Span::Row {
+                    index: row.origin,
+                    name: row.name.to_owned(),
+                },
+                format!(
+                    "maximum activity {max_act:.6} never exceeds rhs {:.6}: \
+                     the row is always satisfied",
+                    row.rhs
+                ),
+            ));
+        }
+    }
+
+    Propagation {
+        lower,
+        upper,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(m: &mut LintModel, name: &str, lo: f64, hi: f64) -> usize {
+        m.var(name, lo, hi, false)
+    }
+
+    #[test]
+    fn detects_single_row_infeasibility() {
+        // x in [0,1], y in [0,1], x + y >= 3 can never hold.
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", 0.0, 1.0);
+        let y = var(&mut m, "y", 0.0, 1.0);
+        m.row("c0", vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 3.0);
+        let p = propagate(&m, 8);
+        assert!(p.findings.iter().any(|f| f.rule == RuleId::BoundInfeasible));
+    }
+
+    #[test]
+    fn detects_chained_infeasibility() {
+        // No single row is infeasible, but together: x >= 2 and x + y <= 1
+        // force y <= -1 while y >= 0.
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", 0.0, 10.0);
+        let y = var(&mut m, "y", 0.0, 10.0);
+        m.row("c0", vec![(x, 1.0)], RowSense::Ge, 2.0);
+        m.row("c1", vec![(x, 1.0), (y, 1.0)], RowSense::Le, 1.0);
+        let p = propagate(&m, 8);
+        assert!(
+            p.findings.iter().any(|f| f.rule == RuleId::BoundInfeasible),
+            "{:?}",
+            p.findings
+        );
+    }
+
+    #[test]
+    fn clean_model_reports_nothing() {
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", 0.0, 1.0);
+        let y = var(&mut m, "y", 0.0, 1.0);
+        m.row("c0", vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 1.0);
+        let p = propagate(&m, 8);
+        assert!(p.findings.is_empty(), "{:?}", p.findings);
+    }
+
+    #[test]
+    fn tightens_bounds() {
+        // x + y <= 1 with x, y >= 0 implies x <= 1, y <= 1.
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", 0.0, 100.0);
+        let y = var(&mut m, "y", 0.0, 100.0);
+        m.row("c0", vec![(x, 1.0), (y, 1.0)], RowSense::Le, 1.0);
+        let p = propagate(&m, 8);
+        assert!(p.upper[x] <= 1.0 + 1e-9);
+        assert!(p.upper[y] <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        // 2x <= 5 for integer x implies x <= 2 (not 2.5).
+        let mut m = LintModel::new();
+        let x = m.var("x", 0.0, 10.0, true);
+        m.row("c0", vec![(x, 2.0)], RowSense::Le, 5.0);
+        let p = propagate(&m, 8);
+        assert_eq!(p.upper[x], 2.0);
+    }
+
+    #[test]
+    fn flags_redundant_row() {
+        // x <= 5 with x in [0,1] is always satisfied.
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", 0.0, 1.0);
+        m.row("c0", vec![(x, 1.0)], RowSense::Le, 5.0);
+        let p = propagate(&m, 8);
+        assert!(p.findings.iter().any(|f| f.rule == RuleId::RedundantRow));
+        assert!(!p.findings.iter().any(|f| f.rule == RuleId::BoundInfeasible));
+    }
+
+    #[test]
+    fn free_variables_disable_implied_bounds_safely() {
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = var(&mut m, "y", 0.0, 1.0);
+        m.row("c0", vec![(x, 1.0), (y, 1.0)], RowSense::Le, 10.0);
+        let p = propagate(&m, 8);
+        assert!(p.findings.is_empty(), "{:?}", p.findings);
+        assert_eq!(p.lower[x], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn equality_propagates_both_directions() {
+        // x + y == 2 with y in [0, 1] forces x in [1, 2].
+        let mut m = LintModel::new();
+        let x = var(&mut m, "x", -100.0, 100.0);
+        let y = var(&mut m, "y", 0.0, 1.0);
+        m.row("c0", vec![(x, 1.0), (y, 1.0)], RowSense::Eq, 2.0);
+        let p = propagate(&m, 8);
+        assert!((p.lower[x] - 1.0).abs() < 1e-6, "lb {}", p.lower[x]);
+        assert!((p.upper[x] - 2.0).abs() < 1e-6, "ub {}", p.upper[x]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Diagnostics: rule identifiers, severities, spans and the report that
+//! collects them.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// The contract consumers rely on: **`Error` means the analyzed object is
+/// structurally broken** (non-finite numbers, references to variables that
+/// do not exist, contradictory bounds on one variable) and solving it would
+/// compute garbage — callers abort. `Warning` flags models that are legal
+/// but suspicious or provably infeasible — a MILP whose feasible region is
+/// empty is still a *valid* question with the answer "infeasible", so
+/// Algorithm 1's cut ladder may legitimately drive a model into this state.
+/// `Info` marks harmless redundancy worth knowing about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Structurally broken; solving would be meaningless.
+    Error,
+    /// Legal but suspicious (or provably infeasible).
+    Warning,
+    /// Harmless observation.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// Stable identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RuleId {
+    /// A variable bound is NaN, or a lower bound of `+inf` / upper of `-inf`.
+    NonFiniteBound,
+    /// A variable's lower bound exceeds its upper bound.
+    CrossedBounds,
+    /// A row or objective coefficient (or a right-hand side) is not finite.
+    NonFiniteCoefficient,
+    /// A row or the objective references a variable the model does not have.
+    DanglingVariable,
+    /// A row with no effective terms (empty or all-zero coefficients).
+    EmptyRow,
+    /// A variable that appears in no row and not in the objective.
+    UnusedVariable,
+    /// A row identical (up to scaling) to an earlier row.
+    DuplicateRow,
+    /// A row implied by an earlier row with the same left-hand side.
+    DominatedRow,
+    /// Interval (bound) propagation proves the model infeasible.
+    BoundInfeasible,
+    /// A row that bound propagation proves always satisfied.
+    RedundantRow,
+    /// Coefficient magnitudes in one row span a dangerous ratio (big-M).
+    Conditioning,
+    /// A no-good/power cut no tighter than one already in the model.
+    RedundantCut,
+    /// An event time in a schedule is NaN or infinite.
+    NonFiniteTime,
+    /// Event times in a schedule go backwards.
+    NonMonotoneSchedule,
+    /// A configuration-space dimension with zero values.
+    EmptyDimension,
+    /// A configuration-space dimension with exactly one value.
+    DegenerateDimension,
+    /// The configuration space is too large to enumerate exhaustively.
+    SpaceExplosion,
+}
+
+impl RuleId {
+    /// The stable short code (`HLxxx`) used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::NonFiniteBound => "HL001",
+            RuleId::CrossedBounds => "HL002",
+            RuleId::NonFiniteCoefficient => "HL003",
+            RuleId::DanglingVariable => "HL004",
+            RuleId::EmptyRow => "HL005",
+            RuleId::UnusedVariable => "HL006",
+            RuleId::DuplicateRow => "HL007",
+            RuleId::DominatedRow => "HL008",
+            RuleId::BoundInfeasible => "HL009",
+            RuleId::RedundantRow => "HL010",
+            RuleId::Conditioning => "HL011",
+            RuleId::RedundantCut => "HL012",
+            RuleId::NonFiniteTime => "HL020",
+            RuleId::NonMonotoneSchedule => "HL021",
+            RuleId::EmptyDimension => "HL030",
+            RuleId::DegenerateDimension => "HL031",
+            RuleId::SpaceExplosion => "HL032",
+        }
+    }
+
+    /// The severity findings of this rule carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::NonFiniteBound
+            | RuleId::CrossedBounds
+            | RuleId::NonFiniteCoefficient
+            | RuleId::DanglingVariable
+            | RuleId::NonFiniteTime
+            | RuleId::NonMonotoneSchedule
+            | RuleId::EmptyDimension => Severity::Error,
+            RuleId::EmptyRow
+            | RuleId::UnusedVariable
+            | RuleId::DuplicateRow
+            | RuleId::DominatedRow
+            | RuleId::BoundInfeasible
+            | RuleId::Conditioning
+            | RuleId::RedundantCut => Severity::Warning,
+            RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// What a finding points at.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// A decision variable, by model index and name.
+    Variable {
+        /// Index into the model's variable list.
+        index: usize,
+        /// The variable's name.
+        name: String,
+    },
+    /// A constraint row, by model index and name.
+    Row {
+        /// Index into the model's row list.
+        index: usize,
+        /// The row's name.
+        name: String,
+    },
+    /// An event in a schedule, by position.
+    Event {
+        /// Index into the analyzed schedule.
+        index: usize,
+    },
+    /// A configuration-space dimension, by name.
+    Dimension {
+        /// The dimension's name.
+        name: String,
+    },
+    /// The model (or schedule/space) as a whole.
+    Model,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Variable { index, name } => write!(f, "var `{name}` (#{index})"),
+            Span::Row { index, name } => write!(f, "row `{name}` (#{index})"),
+            Span::Event { index } => write!(f, "event #{index}"),
+            Span::Dimension { name } => write!(f, "dimension `{name}`"),
+            Span::Model => f.write_str("model"),
+        }
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// The rule's severity (always `rule.severity()`).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding for `rule` (severity is taken from the rule).
+    pub fn new(rule: RuleId, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            severity: rule.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.span, self.message
+        )
+    }
+}
+
+/// An ordered collection of [`Finding`]s from one analysis pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+
+    /// All findings, in the order they were produced.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Consumes the report, yielding its findings.
+    pub fn into_findings(self) -> Vec<Finding> {
+        self.findings
+    }
+
+    /// Findings of exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity == severity)
+    }
+
+    /// True if any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Number of error findings.
+    pub fn error_count(&self) -> usize {
+        self.with_severity(Severity::Error).count()
+    }
+
+    /// Number of warning findings.
+    pub fn warning_count(&self) -> usize {
+        self.with_severity(Severity::Warning).count()
+    }
+
+    /// Number of info findings.
+    pub fn info_count(&self) -> usize {
+        self.with_severity(Severity::Info).count()
+    }
+
+    /// True if nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True if a finding with `rule` is present.
+    pub fn has_rule(&self, rule: RuleId) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info(s)",
+            self.error_count(),
+            self.warning_count(),
+            self.info_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_follows_rule() {
+        let f = Finding::new(RuleId::CrossedBounds, Span::Model, "x");
+        assert_eq!(f.severity, Severity::Error);
+        let f = Finding::new(RuleId::DuplicateRow, Span::Model, "x");
+        assert_eq!(f.severity, Severity::Warning);
+        let f = Finding::new(RuleId::RedundantRow, Span::Model, "x");
+        assert_eq!(f.severity, Severity::Info);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            RuleId::NonFiniteBound,
+            RuleId::CrossedBounds,
+            RuleId::NonFiniteCoefficient,
+            RuleId::DanglingVariable,
+            RuleId::EmptyRow,
+            RuleId::UnusedVariable,
+            RuleId::DuplicateRow,
+            RuleId::DominatedRow,
+            RuleId::BoundInfeasible,
+            RuleId::RedundantRow,
+            RuleId::Conditioning,
+            RuleId::RedundantCut,
+            RuleId::NonFiniteTime,
+            RuleId::NonMonotoneSchedule,
+            RuleId::EmptyDimension,
+            RuleId::DegenerateDimension,
+            RuleId::SpaceExplosion,
+        ];
+        let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = Report::new();
+        r.push(Finding::new(
+            RuleId::CrossedBounds,
+            Span::Variable {
+                index: 0,
+                name: "x".into(),
+            },
+            "lb 2 > ub 1",
+        ));
+        r.push(Finding::new(
+            RuleId::DuplicateRow,
+            Span::Row {
+                index: 3,
+                name: "c3".into(),
+            },
+            "same as row `c1`",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_rule(RuleId::DuplicateRow));
+        assert!(!r.has_rule(RuleId::EmptyRow));
+        let text = r.to_string();
+        assert!(text.contains("error[HL002] var `x` (#0)"), "{text}");
+        assert!(
+            text.contains("1 error(s), 1 warning(s), 0 info(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Finding::new(RuleId::EmptyRow, Span::Model, "a"));
+        let mut b = Report::new();
+        b.push(Finding::new(RuleId::RedundantRow, Span::Model, "b"));
+        a.merge(b);
+        assert_eq!(a.findings().len(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Lints over discrete-event schedules.
+//!
+//! The DES kernel's contract is a monotone clock over finite times; these
+//! rules check a recorded (or about-to-be-committed) event sequence for
+//! violations *before* they corrupt a simulation — the static counterpart
+//! of the kernel's debug-mode assertions.
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// Lints an ordered sequence of event timestamps (seconds).
+///
+/// Fires [`RuleId::NonFiniteTime`] on NaN/infinite entries and
+/// [`RuleId::NonMonotoneSchedule`] wherever a time precedes its
+/// predecessor. Equal consecutive times are fine (simultaneous events are
+/// FIFO-ordered by the kernel).
+///
+/// # Examples
+///
+/// ```
+/// use hi_lint::{lint_schedule, RuleId};
+///
+/// let report = lint_schedule(&[0.0, 1.0, 0.5]);
+/// assert!(report.has_rule(RuleId::NonMonotoneSchedule));
+/// assert!(lint_schedule(&[0.0, 1.0, 1.0, 2.0]).is_clean());
+/// ```
+pub fn lint_schedule(times: &[f64]) -> Report {
+    let mut report = Report::new();
+    let mut last_finite: Option<(usize, f64)> = None;
+    for (i, &t) in times.iter().enumerate() {
+        if !t.is_finite() {
+            report.push(Finding::new(
+                RuleId::NonFiniteTime,
+                Span::Event { index: i },
+                format!("event time {t} is not finite"),
+            ));
+            continue;
+        }
+        if let Some((j, prev)) = last_finite {
+            if t < prev {
+                report.push(Finding::new(
+                    RuleId::NonMonotoneSchedule,
+                    Span::Event { index: i },
+                    format!("time {t} precedes event #{j} at {prev}"),
+                ));
+            }
+        }
+        last_finite = Some((i, t));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_schedule_is_clean() {
+        assert!(lint_schedule(&[0.0, 0.5, 0.5, 2.0]).is_clean());
+    }
+
+    #[test]
+    fn empty_schedule_is_clean() {
+        assert!(lint_schedule(&[]).is_clean());
+    }
+
+    #[test]
+    fn backwards_time_fires() {
+        let r = lint_schedule(&[0.0, 2.0, 1.0]);
+        assert!(r.has_rule(RuleId::NonMonotoneSchedule));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn nan_time_fires_and_does_not_poison_ordering() {
+        let r = lint_schedule(&[0.0, f64::NAN, 1.0]);
+        assert!(r.has_rule(RuleId::NonFiniteTime));
+        assert!(!r.has_rule(RuleId::NonMonotoneSchedule), "{r}");
+    }
+
+    #[test]
+    fn infinite_time_fires() {
+        let r = lint_schedule(&[0.0, f64::INFINITY]);
+        assert!(r.has_rule(RuleId::NonFiniteTime));
+    }
+
+    #[test]
+    fn each_regression_is_reported() {
+        let r = lint_schedule(&[3.0, 1.0, 2.0, 0.5]);
+        assert_eq!(r.with_severity(crate::Severity::Error).count(), 2, "{r}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Lints over configuration (design) spaces.
+//!
+//! Algorithm 1 explores a Cartesian product of design dimensions
+//! (placements × transmit powers × MACs × routings). A dimension that is
+//! accidentally empty silently collapses the whole space to nothing, and a
+//! single-value dimension is usually a constraint-tightening bug; both are
+//! cheap to detect up front.
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// Above this many total configurations, exhaustive enumeration is
+/// flagged as impractical.
+const EXPLOSION_LIMIT: u128 = 1_000_000_000;
+
+/// One named dimension of a configuration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceDim {
+    /// Display name of the dimension.
+    pub name: String,
+    /// Number of admissible values.
+    pub cardinality: u64,
+}
+
+impl SpaceDim {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cardinality: u64) -> Self {
+        Self {
+            name: name.into(),
+            cardinality,
+        }
+    }
+}
+
+/// Lints the Cartesian product of `dims`.
+///
+/// Fires [`RuleId::EmptyDimension`] (error) for zero-cardinality
+/// dimensions, [`RuleId::DegenerateDimension`] (info) for singletons, and
+/// [`RuleId::SpaceExplosion`] (info) when the product exceeds a billion
+/// configurations.
+///
+/// # Examples
+///
+/// ```
+/// use hi_lint::{lint_space, SpaceDim, RuleId};
+///
+/// let report = lint_space(&[
+///     SpaceDim::new("placement", 110),
+///     SpaceDim::new("tx-power", 0), // oops: constraints filtered everything
+/// ]);
+/// assert!(report.has_rule(RuleId::EmptyDimension));
+/// ```
+pub fn lint_space(dims: &[SpaceDim]) -> Report {
+    let mut report = Report::new();
+    let mut total: u128 = 1;
+    for d in dims {
+        let span = Span::Dimension {
+            name: d.name.clone(),
+        };
+        match d.cardinality {
+            0 => report.push(Finding::new(
+                RuleId::EmptyDimension,
+                span,
+                "no admissible values: the whole space is empty".to_owned(),
+            )),
+            1 => report.push(Finding::new(
+                RuleId::DegenerateDimension,
+                span,
+                "only one admissible value: the dimension is fixed".to_owned(),
+            )),
+            _ => {}
+        }
+        total = total.saturating_mul(u128::from(d.cardinality));
+    }
+    if total > EXPLOSION_LIMIT {
+        report.push(Finding::new(
+            RuleId::SpaceExplosion,
+            Span::Model,
+            format!(
+                "{total} total configurations exceed {EXPLOSION_LIMIT}; \
+                 exhaustive enumeration is impractical"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_is_clean() {
+        // 110 placements x 3 powers x 2 MACs x 2 routings.
+        let r = lint_space(&[
+            SpaceDim::new("placement", 110),
+            SpaceDim::new("tx-power", 3),
+            SpaceDim::new("mac", 2),
+            SpaceDim::new("routing", 2),
+        ]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn empty_dimension_is_error() {
+        let r = lint_space(&[SpaceDim::new("placement", 0)]);
+        assert!(r.has_rule(RuleId::EmptyDimension));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn singleton_dimension_is_info() {
+        let r = lint_space(&[SpaceDim::new("mac", 1), SpaceDim::new("power", 3)]);
+        assert!(r.has_rule(RuleId::DegenerateDimension));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn explosion_is_flagged() {
+        let r = lint_space(&[SpaceDim::new("a", 1 << 20), SpaceDim::new("b", 1 << 20)]);
+        assert!(r.has_rule(RuleId::SpaceExplosion));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn product_does_not_overflow() {
+        let r = lint_space(&[
+            SpaceDim::new("a", u64::MAX),
+            SpaceDim::new("b", u64::MAX),
+            SpaceDim::new("c", u64::MAX),
+        ]);
+        assert!(r.has_rule(RuleId::SpaceExplosion));
+    }
+}

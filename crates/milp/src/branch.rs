@@ -293,11 +293,7 @@ mod tests {
             m.add_constraint(vars[e] + vars[e + 5], Sense::Ge, 1.0);
         }
         let costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
-        let obj: crate::LinExpr = vars
-            .iter()
-            .zip(costs.iter())
-            .map(|(&v, &c)| v * c)
-            .sum();
+        let obj: crate::LinExpr = vars.iter().zip(costs.iter()).map(|(&v, &c)| v * c).sum();
         m.minimize(obj);
         let s = m.solve().unwrap();
         // per element pick the cheaper of (e, e+5): min(3,9)+min(1,2)+min(4,5)+min(1,3)+min(5,3)

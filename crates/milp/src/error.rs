@@ -20,6 +20,13 @@ pub enum SolveError {
     IterationLimit,
     /// The branch & bound node limit was exceeded.
     NodeLimit,
+    /// The pre-solve static analyzer rejected the model.
+    Lint {
+        /// The first error-severity finding, rendered.
+        first: String,
+        /// Total number of error-severity findings.
+        errors: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -34,6 +41,12 @@ impl fmt::Display for SolveError {
             }
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             SolveError::NodeLimit => write!(f, "branch and bound node limit exceeded"),
+            SolveError::Lint { first, errors } => {
+                write!(
+                    f,
+                    "static analysis rejected the model ({errors} error(s); first: {first})"
+                )
+            }
         }
     }
 }

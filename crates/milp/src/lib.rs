@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -58,7 +59,7 @@ mod solution;
 pub use error::SolveError;
 pub use expr::{LinExpr, Term};
 pub use model::{Constraint, Model, Objective, Sense, VarType, Variable};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};
 
 /// Identifier of a decision variable within a [`Model`].
 ///

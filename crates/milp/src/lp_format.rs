@@ -130,7 +130,13 @@ fn unique_names(model: &Model) -> Vec<String> {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'x');

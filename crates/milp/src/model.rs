@@ -233,9 +233,7 @@ impl Model {
             if x < v.lb - tol || x > v.ub + tol {
                 return false;
             }
-            if matches!(v.ty, VarType::Integer | VarType::Binary)
-                && (x - x.round()).abs() > tol
-            {
+            if matches!(v.ty, VarType::Integer | VarType::Binary) && (x - x.round()).abs() > tol {
                 return false;
             }
         }
@@ -256,8 +254,12 @@ impl Model {
                 });
             }
         }
-        let obj = self.objective.as_ref().ok_or(SolveError::MissingObjective)?;
-        let finite_expr = |e: &LinExpr| e.iter().all(|(_, c)| c.is_finite()) && e.constant().is_finite();
+        let obj = self
+            .objective
+            .as_ref()
+            .ok_or(SolveError::MissingObjective)?;
+        let finite_expr =
+            |e: &LinExpr| e.iter().all(|(_, c)| c.is_finite()) && e.constant().is_finite();
         if !finite_expr(&obj.1) {
             return Err(SolveError::NonFiniteCoefficient);
         }
@@ -269,7 +271,46 @@ impl Model {
         Ok(())
     }
 
+    /// Converts the model into the static analyzer's IR.
+    ///
+    /// Constraints are named `c0`, `c1`, ... in insertion order; variables
+    /// keep their given names.
+    pub fn to_lint_model(&self) -> hi_lint::LintModel {
+        let mut lm = hi_lint::LintModel::new();
+        for v in &self.vars {
+            lm.var(
+                &v.name,
+                v.lb,
+                v.ub,
+                matches!(v.ty, VarType::Integer | VarType::Binary),
+            );
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            let terms: Vec<(usize, f64)> = c.expr.iter().map(|(id, coeff)| (id.0, coeff)).collect();
+            let sense = match c.sense {
+                Sense::Le => hi_lint::RowSense::Le,
+                Sense::Eq => hi_lint::RowSense::Eq,
+                Sense::Ge => hi_lint::RowSense::Ge,
+            };
+            lm.row(&format!("c{i}"), terms, sense, c.rhs);
+        }
+        if let Some((_, expr)) = &self.objective {
+            lm.objective = expr.iter().map(|(id, coeff)| (id.0, coeff)).collect();
+        }
+        lm
+    }
+
+    /// Runs the static analyzer ([`hi_lint::analyze`]) over the model.
+    pub fn lint(&self) -> hi_lint::Report {
+        hi_lint::analyze(&self.to_lint_model())
+    }
+
     /// Solves the model exactly (branch & bound over the LP relaxation).
+    ///
+    /// The static analyzer runs first: error-severity findings abort the
+    /// solve with [`SolveError::Lint`], while warnings and infos are
+    /// carried on the returned solution
+    /// ([`Solution::lint_findings`]).
     ///
     /// # Errors
     ///
@@ -278,7 +319,21 @@ impl Model {
     /// reported through [`Solution::status`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.validate()?;
-        branch::solve(self)
+        let report = self.lint();
+        if report.has_errors() {
+            let first = report
+                .with_severity(hi_lint::Severity::Error)
+                .next()
+                .expect("has_errors implies an error finding")
+                .to_string();
+            return Err(SolveError::Lint {
+                first,
+                errors: report.error_count(),
+            });
+        }
+        let mut solution = branch::solve(self)?;
+        solution.set_lint_findings(report.into_findings());
+        Ok(solution)
     }
 }
 

@@ -64,10 +64,7 @@ impl Default for PoolOptions {
 /// # Ok(())
 /// # }
 /// ```
-pub fn enumerate_optima(
-    model: &Model,
-    options: PoolOptions,
-) -> Result<Vec<Solution>, SolveError> {
+pub fn enumerate_optima(model: &Model, options: PoolOptions) -> Result<Vec<Solution>, SolveError> {
     let binaries: Vec<VarId> = model
         .vars
         .iter()
@@ -94,27 +91,19 @@ pub fn enumerate_optima(
                 if let Some((dir, expr)) = &model.objective {
                     let expr = expr.clone();
                     match dir {
-                        crate::Objective::Minimize => work.add_constraint(
-                            expr,
-                            Sense::Le,
-                            sol.objective() + options.obj_tol,
-                        ),
-                        crate::Objective::Maximize => work.add_constraint(
-                            expr,
-                            Sense::Ge,
-                            sol.objective() - options.obj_tol,
-                        ),
+                        crate::Objective::Minimize => {
+                            work.add_constraint(expr, Sense::Le, sol.objective() + options.obj_tol)
+                        }
+                        crate::Objective::Maximize => {
+                            work.add_constraint(expr, Sense::Ge, sol.objective() - options.obj_tol)
+                        }
                     }
                 }
             }
             Some(b) => {
                 let degraded = match model.objective {
-                    Some((crate::Objective::Minimize, _)) => {
-                        sol.objective() > b + options.obj_tol
-                    }
-                    Some((crate::Objective::Maximize, _)) => {
-                        sol.objective() < b - options.obj_tol
-                    }
+                    Some((crate::Objective::Minimize, _)) => sol.objective() > b + options.obj_tol,
+                    Some((crate::Objective::Maximize, _)) => sol.objective() < b - options.obj_tol,
                     None => true,
                 };
                 if degraded {

@@ -170,10 +170,7 @@ fn propagate_row(
             }
             Sense::Eq => unreachable!(),
         };
-        let integral = matches!(
-            model.vars[v.0].ty,
-            VarType::Integer | VarType::Binary
-        );
+        let integral = matches!(model.vars[v.0].ty, VarType::Integer | VarType::Binary);
         if upper {
             let mut new_ub = bound;
             if integral {

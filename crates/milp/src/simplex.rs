@@ -83,11 +83,17 @@ pub fn solve_lp(model: &Model) -> Result<LpResult, SolveError> {
         let map = if (v.ub - v.lb).abs() <= TOL && v.lb.is_finite() {
             VarMap::Fixed { value: v.lb }
         } else if v.lb.is_finite() {
-            let m = VarMap::Shifted { col: ncols, lb: v.lb };
+            let m = VarMap::Shifted {
+                col: ncols,
+                lb: v.lb,
+            };
             ncols += 1;
             m
         } else if v.ub.is_finite() {
-            let m = VarMap::Mirrored { col: ncols, ub: v.ub };
+            let m = VarMap::Mirrored {
+                col: ncols,
+                ub: v.ub,
+            };
             ncols += 1;
             m
         } else {
@@ -106,23 +112,21 @@ pub fn solve_lp(model: &Model) -> Result<LpResult, SolveError> {
     let mut obj_coeffs = vec![0.0; ncols];
     let mut obj_const = obj.constant();
 
-    let apply_term = |coeffs: &mut [f64], rhs: &mut f64, var: usize, c: f64| {
-        match maps[var] {
-            VarMap::Shifted { col, lb } => {
-                coeffs[col] += c;
-                *rhs -= c * lb;
-            }
-            VarMap::Mirrored { col, ub } => {
-                coeffs[col] -= c;
-                *rhs -= c * ub;
-            }
-            VarMap::Split { pos, neg } => {
-                coeffs[pos] += c;
-                coeffs[neg] -= c;
-            }
-            VarMap::Fixed { value } => {
-                *rhs -= c * value;
-            }
+    let apply_term = |coeffs: &mut [f64], rhs: &mut f64, var: usize, c: f64| match maps[var] {
+        VarMap::Shifted { col, lb } => {
+            coeffs[col] += c;
+            *rhs -= c * lb;
+        }
+        VarMap::Mirrored { col, ub } => {
+            coeffs[col] -= c;
+            *rhs -= c * ub;
+        }
+        VarMap::Split { pos, neg } => {
+            coeffs[pos] += c;
+            coeffs[neg] -= c;
+        }
+        VarMap::Fixed { value } => {
+            *rhs -= c * value;
         }
     };
 
@@ -355,8 +359,8 @@ impl Tableau {
         while row < self.t.len() {
             if is_art[self.basis[row]] {
                 // Find a non-artificial column with a nonzero coefficient.
-                let pivot_col = (0..self.ncols)
-                    .find(|&j| !is_art[j] && self.t[row][j].abs() > 1e-9);
+                let pivot_col =
+                    (0..self.ncols).find(|&j| !is_art[j] && self.t[row][j].abs() > 1e-9);
                 match pivot_col {
                     Some(j) => {
                         self.pivot(row, j);
@@ -402,16 +406,17 @@ impl Tableau {
                 // Dantzig: most negative reduced cost (index tie-break).
                 let mut best: Option<(usize, f64)> = None;
                 for j in 0..self.ncols {
-                    if reduced[j] < -1e-9 && (allow_artificials || !is_art[j])
-                        && best.is_none_or(|(_, r)| reduced[j] < r) {
-                            best = Some((j, reduced[j]));
-                        }
+                    if reduced[j] < -1e-9
+                        && (allow_artificials || !is_art[j])
+                        && best.is_none_or(|(_, r)| reduced[j] < r)
+                    {
+                        best = Some((j, reduced[j]));
+                    }
                 }
                 best.map(|(j, _)| j)
             } else {
                 // Bland: smallest index with negative reduced cost.
-                (0..self.ncols)
-                    .find(|&j| reduced[j] < -1e-9 && (allow_artificials || !is_art[j]))
+                (0..self.ncols).find(|&j| reduced[j] < -1e-9 && (allow_artificials || !is_art[j]))
             };
             let Some(col) = entering else {
                 let cost = self
@@ -482,6 +487,25 @@ impl Tableau {
             }
         }
         self.basis[row] = col;
+        #[cfg(debug_assertions)]
+        self.check_pivot_invariants(row, col);
+    }
+
+    /// Debug-mode dynamic invariant: after a pivot the entering column must
+    /// be a unit vector with its 1 in the pivot row, and the basis
+    /// bookkeeping must point at it. O(m), so it keeps debug solves usable
+    /// even on Algorithm-1 cut ladders with hundreds of rows.
+    #[cfg(debug_assertions)]
+    fn check_pivot_invariants(&self, row: usize, col: usize) {
+        debug_assert_eq!(self.basis[row], col, "basis entry not updated by pivot");
+        for (i, r) in self.t.iter().enumerate() {
+            let expect = if i == row { 1.0 } else { 0.0 };
+            debug_assert!(
+                (r[col] - expect).abs() <= 1e-6,
+                "entering column {col} is not a unit vector: t[{i}][{col}] = {}",
+                r[col]
+            );
+        }
     }
 }
 

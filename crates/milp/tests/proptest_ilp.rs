@@ -5,8 +5,8 @@
 //! the same optimal objective. The pool enumeration is checked to return
 //! exactly the set of optimal assignments.
 
+use hi_des::check::{run_cases, Gen};
 use hi_milp::{pool, LinExpr, Model, Sense, SolveStatus, VarId};
-use proptest::prelude::*;
 
 /// A randomly generated binary ILP instance description.
 #[derive(Debug, Clone)]
@@ -18,25 +18,24 @@ struct Instance {
     maximize: bool,
 }
 
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    (2usize..7).prop_flat_map(|nvars| {
-        let coeff = -5.0..5.0f64;
-        let obj = prop::collection::vec(coeff.clone(), nvars);
-        let con = (
-            prop::collection::vec(-4.0..4.0f64, nvars),
-            0u8..3,
-            -6.0..6.0f64,
-        );
-        let constraints = prop::collection::vec(con, 1..5);
-        (obj, constraints, any::<bool>()).prop_map(move |(obj, constraints, maximize)| {
-            Instance {
-                nvars,
-                obj,
-                constraints,
-                maximize,
-            }
+fn any_instance(g: &mut Gen) -> Instance {
+    let nvars = g.usize_in(2..7);
+    let obj = (0..nvars).map(|_| g.f64_in(-5.0, 5.0)).collect();
+    let ncons = g.usize_in(1..5);
+    let constraints = (0..ncons)
+        .map(|_| {
+            let coeffs = (0..nvars).map(|_| g.f64_in(-4.0, 4.0)).collect();
+            let sense = g.u64_below(3) as u8;
+            let rhs = g.f64_in(-6.0, 6.0);
+            (coeffs, sense, rhs)
         })
-    })
+        .collect();
+    Instance {
+        nvars,
+        obj,
+        constraints,
+        maximize: g.bool(),
+    }
 }
 
 fn build_model(inst: &Instance) -> (Model, Vec<VarId>) {
@@ -79,9 +78,7 @@ fn brute_force(inst: &Instance) -> Option<(f64, Vec<u64>)> {
     let mut best: Option<f64> = None;
     let mut winners: Vec<u64> = Vec::new();
     for mask in 0u64..(1 << inst.nvars) {
-        let x: Vec<f64> = (0..inst.nvars)
-            .map(|i| ((mask >> i) & 1) as f64)
-            .collect();
+        let x: Vec<f64> = (0..inst.nvars).map(|i| ((mask >> i) & 1) as f64).collect();
         let feasible = inst.constraints.iter().all(|(coeffs, sense, rhs)| {
             let lhs: f64 = coeffs.iter().zip(&x).map(|(c, v)| round2(*c) * v).sum();
             let rhs = round2(*rhs);
@@ -118,29 +115,35 @@ fn brute_force(inst: &Instance) -> Option<(f64, Vec<u64>)> {
     best.map(|b| (b, winners))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn branch_and_bound_matches_brute_force(inst in instance_strategy()) {
+#[test]
+fn branch_and_bound_matches_brute_force() {
+    run_cases(300, 0x11_9001, |g| {
+        let inst = any_instance(g);
         let (m, _) = build_model(&inst);
         let sol = m.solve().unwrap();
         match brute_force(&inst) {
-            None => prop_assert_eq!(sol.status(), SolveStatus::Infeasible),
+            None => assert_eq!(sol.status(), SolveStatus::Infeasible),
             Some((best, _)) => {
-                prop_assert_eq!(sol.status(), SolveStatus::Optimal);
-                prop_assert!((sol.objective() - best).abs() < 1e-5,
-                    "solver {} vs brute {}", sol.objective(), best);
+                assert_eq!(sol.status(), SolveStatus::Optimal);
+                assert!(
+                    (sol.objective() - best).abs() < 1e-5,
+                    "solver {} vs brute {}",
+                    sol.objective(),
+                    best
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pool_matches_brute_force_optima(inst in instance_strategy()) {
+#[test]
+fn pool_matches_brute_force_optima() {
+    run_cases(300, 0x11_9002, |g| {
+        let inst = any_instance(g);
         let (m, vars) = build_model(&inst);
         let found = pool::enumerate_optima(&m, pool::PoolOptions::default()).unwrap();
         match brute_force(&inst) {
-            None => prop_assert!(found.is_empty()),
+            None => assert!(found.is_empty()),
             Some((_, winners)) => {
                 let mut got: Vec<u64> = found
                     .iter()
@@ -154,17 +157,20 @@ proptest! {
                 got.sort_unstable();
                 let mut want = winners.clone();
                 want.sort_unstable();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimal_solutions_are_feasible(inst in instance_strategy()) {
+#[test]
+fn optimal_solutions_are_feasible() {
+    run_cases(300, 0x11_9003, |g| {
+        let inst = any_instance(g);
         let (m, _) = build_model(&inst);
         let sol = m.solve().unwrap();
         if sol.is_optimal() {
-            prop_assert!(m.is_feasible(sol.values(), 1e-6));
+            assert!(m.is_feasible(sol.values(), 1e-6));
         }
-    }
+    });
 }

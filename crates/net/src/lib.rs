@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -56,14 +57,13 @@ mod runner;
 mod sim;
 pub mod trace;
 
-pub use metrics::{average_outcomes, network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts};
+pub use metrics::{
+    average_outcomes, network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts,
+};
 pub use packet::Packet;
 pub use params::{
     AlohaParams, AppParams, ConfigError, CsmaAccessMode, CsmaParams, FloodMode, HybridParams,
-    MacKind,
-    NetworkConfig, NodeFault,
-    RadioParams, Routing,
-    TdmaParams, TxPower, CR2032_ENERGY_J,
+    MacKind, NetworkConfig, NodeFault, RadioParams, Routing, TdmaParams, TxPower, CR2032_ENERGY_J,
 };
 pub use runner::{simulate, simulate_averaged, simulate_stochastic};
 pub use sim::NetworkSim;

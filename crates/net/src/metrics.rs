@@ -89,9 +89,8 @@ pub fn average_outcomes(outcomes: &[SimOutcome]) -> SimOutcome {
             .map(|i| outcomes.iter().map(|o| f(o)[i]).sum::<f64>() / k)
             .collect::<Vec<f64>>()
     };
-    let sum_counts = |f: &dyn Fn(&TrafficCounts) -> u64| {
-        outcomes.iter().map(|o| f(&o.counts)).sum::<u64>()
-    };
+    let sum_counts =
+        |f: &dyn Fn(&TrafficCounts) -> u64| outcomes.iter().map(|o| f(&o.counts)).sum::<u64>();
     // Latency: weight means by sample counts; std/max pooled conservatively.
     let total_samples: u64 = outcomes.iter().map(|o| o.latency.samples).sum();
     let latency = if total_samples == 0 {

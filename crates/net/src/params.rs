@@ -611,7 +611,10 @@ mod tests {
 
     #[test]
     fn app_period() {
-        assert_eq!(AppParams::default().period(), SimDuration::from_millis(100.0));
+        assert_eq!(
+            AppParams::default().period(),
+            SimDuration::from_millis(100.0)
+        );
     }
 
     fn base_config() -> NetworkConfig {

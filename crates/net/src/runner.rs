@@ -34,7 +34,10 @@ pub fn simulate_stochastic(
     seed: u64,
 ) -> Result<SimOutcome, ConfigError> {
     // Decorrelate the channel stream from the MAC/app stream.
-    let channel = Channel::new(channel_params, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let channel = Channel::new(
+        channel_params,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+    );
     simulate(cfg, channel, t_sim, seed)
 }
 

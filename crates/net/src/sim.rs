@@ -3,9 +3,6 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use hi_channel::{BodyLocation, ChannelModel};
 use hi_des::{rng, Engine, SimDuration, SimTime};
 
@@ -14,8 +11,8 @@ use hi_des::stats::Tally;
 use crate::medium::Medium;
 use crate::metrics::{network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts};
 use crate::packet::Packet;
-use crate::trace::TraceEvent;
 use crate::params::{ConfigError, FloodMode, MacKind, NetworkConfig, Routing};
+use crate::trace::TraceEvent;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -91,7 +88,7 @@ pub struct NetworkSim<C: ChannelModel> {
     engine: Engine<Event>,
     nodes: Vec<NodeState>,
     medium: Medium,
-    rngs: Vec<StdRng>,
+    rngs: Vec<rng::Rng>,
     t_sim: SimDuration,
     tpkt: SimDuration,
     transmissions: u64,
@@ -188,9 +185,8 @@ impl<C: ChannelModel> NetworkSim<C> {
         // Application phases: uniform random offset within one period so
         // nodes do not generate in lock-step.
         for i in 0..self.nodes.len() {
-            let phase = SimDuration::from_secs(
-                self.rngs[i].gen::<f64>() * self.node_period(i).as_secs_f64(),
-            );
+            let phase =
+                SimDuration::from_secs(self.rngs[i].gen_f64() * self.node_period(i).as_secs_f64());
             self.engine
                 .schedule_at(SimTime::ZERO + phase, Event::Generate { node: i });
         }
@@ -293,9 +289,8 @@ impl<C: ChannelModel> NetworkSim<C> {
             return;
         }
         st.mac_pending = true;
-        let delay = SimDuration::from_secs(
-            self.rngs[node].gen::<f64>() * csma.initial_backoff.as_secs_f64(),
-        );
+        let delay =
+            SimDuration::from_secs(self.rngs[node].gen_f64() * csma.initial_backoff.as_secs_f64());
         self.engine.schedule_in(delay, Event::MacAttempt { node });
     }
 
@@ -325,7 +320,7 @@ impl<C: ChannelModel> NetworkSim<C> {
                     } else {
                         self.nodes[node].mac_pending = true;
                         let delay = SimDuration::from_secs(
-                            self.rngs[node].gen::<f64>() * csma.backoff.as_secs_f64(),
+                            self.rngs[node].gen_f64() * csma.backoff.as_secs_f64(),
                         );
                         self.engine.schedule_in(delay, Event::MacAttempt { node });
                     }
@@ -347,7 +342,7 @@ impl<C: ChannelModel> NetworkSim<C> {
                         .schedule_at(busy_until.max(now), Event::MacAttempt { node });
                     return;
                 }
-                if self.rngs[node].gen::<f64>() >= p {
+                if self.rngs[node].gen_f64() >= p {
                     self.nodes[node].mac_pending = true;
                     self.engine
                         .schedule_in(sense_period, Event::MacAttempt { node });
@@ -383,7 +378,7 @@ impl<C: ChannelModel> NetworkSim<C> {
             if self.nodes[node].alive
                 && !self.nodes[node].transmitting
                 && !self.nodes[node].queue.is_empty()
-                && self.rngs[node].gen::<f64>() < aloha.p
+                && self.rngs[node].gen_f64() < aloha.p
             {
                 self.start_transmission(now, node);
             }
@@ -416,7 +411,7 @@ impl<C: ChannelModel> NetworkSim<C> {
                 if self.nodes[node].alive
                     && !self.nodes[node].transmitting
                     && self.nodes[node].queue.len() > 1
-                    && self.rngs[node].gen::<f64>() < h.p
+                    && self.rngs[node].gen_f64() < h.p
                 {
                     self.start_transmission(now, node);
                 }
@@ -444,8 +439,7 @@ impl<C: ChannelModel> NetworkSim<C> {
     /// The end time of the last in-flight transmission audible at `node`
     /// (current time if none are audible).
     fn audible_busy_until(&mut self, now: SimTime, node: usize) -> SimTime {
-        let transmissions: Vec<(usize, SimTime)> =
-            self.medium.active_transmissions().collect();
+        let transmissions: Vec<(usize, SimTime)> = self.medium.active_transmissions().collect();
         let loc = self.nodes[node].loc;
         let mut until = now;
         for (tx, start) in transmissions {
@@ -547,11 +541,14 @@ impl<C: ChannelModel> NetworkSim<C> {
         // Routing decision.
         match self.cfg.routing {
             Routing::Star { coordinator } => {
-                if node == coordinator && !pkt.relay && pkt.origin != node
-                    && self.nodes[node].relayed.insert(pkt.key()) {
-                        let copy = pkt.relayed_by(node);
-                        self.enqueue(now, node, copy);
-                    }
+                if node == coordinator
+                    && !pkt.relay
+                    && pkt.origin != node
+                    && self.nodes[node].relayed.insert(pkt.key())
+                {
+                    let copy = pkt.relayed_by(node);
+                    self.enqueue(now, node, copy);
+                }
             }
             Routing::Mesh {
                 max_hops,
@@ -586,8 +583,7 @@ impl<C: ChannelModel> NetworkSim<C> {
                     if i == k || self.nodes[i].generated == 0 {
                         continue;
                     }
-                    sum += self.nodes[k].received[i].len() as f64
-                        / self.nodes[i].generated as f64;
+                    sum += self.nodes[k].received[i].len() as f64 / self.nodes[i].generated as f64;
                     pairs += 1;
                 }
                 if pairs == 0 {
@@ -613,18 +609,14 @@ impl<C: ChannelModel> NetworkSim<C> {
         // and nodes killed by fault injection no longer limit lifetime.
         // Harvested power offsets the drain (net-zero nodes live forever).
         let coordinator = self.cfg.coordinator();
-        let considered =
-            (0..n).filter(|&i| Some(i) != coordinator && self.nodes[i].alive);
+        let considered = (0..n).filter(|&i| Some(i) != coordinator && self.nodes[i].alive);
         let harvest_mw = self.cfg.harvest_power_w * 1e3;
         let net_power_mw: Vec<f64> = node_power_mw
             .iter()
             .map(|&p| (p - harvest_mw).max(0.0))
             .collect();
-        let nlt_days =
-            network_lifetime_days(&net_power_mw, self.cfg.battery_j, considered.clone());
-        let max_power_mw = considered
-            .map(|i| node_power_mw[i])
-            .fold(0.0f64, f64::max);
+        let nlt_days = network_lifetime_days(&net_power_mw, self.cfg.battery_j, considered.clone());
+        let max_power_mw = considered.map(|i| node_power_mw[i]).fold(0.0f64, f64::max);
 
         let generated = self.nodes.iter().map(|s| s.generated).sum();
         let latency = if self.latency.count() == 0 {

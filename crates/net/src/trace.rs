@@ -172,11 +172,35 @@ mod tests {
     #[test]
     fn journey_filters_by_identity() {
         let events = vec![
-            TraceEvent::Generated { t: t(0), node: 0, seq: 1 },
-            TraceEvent::Generated { t: t(0), node: 1, seq: 1 },
-            TraceEvent::TxStart { t: t(10), node: 0, origin: 0, seq: 1, relay: false },
-            TraceEvent::Delivered { t: t(20), rx: 2, origin: 0, seq: 1 },
-            TraceEvent::Delivered { t: t(30), rx: 2, origin: 1, seq: 1 },
+            TraceEvent::Generated {
+                t: t(0),
+                node: 0,
+                seq: 1,
+            },
+            TraceEvent::Generated {
+                t: t(0),
+                node: 1,
+                seq: 1,
+            },
+            TraceEvent::TxStart {
+                t: t(10),
+                node: 0,
+                origin: 0,
+                seq: 1,
+                relay: false,
+            },
+            TraceEvent::Delivered {
+                t: t(20),
+                rx: 2,
+                origin: 0,
+                seq: 1,
+            },
+            TraceEvent::Delivered {
+                t: t(30),
+                rx: 2,
+                origin: 1,
+                seq: 1,
+            },
         ];
         let j = packet_journey(&events, 0, 1);
         assert_eq!(j.len(), 3);

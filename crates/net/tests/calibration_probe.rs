@@ -26,11 +26,9 @@ fn print_landscape() {
                     ("Star", Routing::Star { coordinator: 0 }),
                     ("Mesh", Routing::mesh()),
                 ] {
-                    let cfg =
-                        NetworkConfig::new(placements.clone(), power, mac, routing);
+                    let cfg = NetworkConfig::new(placements.clone(), power, mac, routing);
                     let out =
-                        simulate_averaged(&cfg, ChannelParams::default(), t, 1000, 3)
-                            .unwrap();
+                        simulate_averaged(&cfg, ChannelParams::default(), t, 1000, 3).unwrap();
                     println!(
                         "{label} {power} {mlabel} {rlabel}: PDR {:5.1}%  NLT {:6.2} d  Pmax {:.3} mW  tx {} coll {} drops {}",
                         out.pdr_percent(),

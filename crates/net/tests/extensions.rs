@@ -172,8 +172,13 @@ mod hybrid_mac {
             4,
         )
         .unwrap();
-        let tdma = simulate(&mk(MacKind::tdma()), StaticChannel::uniform(50.0), t_sim(), 4)
-            .unwrap();
+        let tdma = simulate(
+            &mk(MacKind::tdma()),
+            StaticChannel::uniform(50.0),
+            t_sim(),
+            4,
+        )
+        .unwrap();
         assert!(
             hybrid.pdr > tdma.pdr,
             "hybrid ({}) should out-deliver TDMA ({}) under asymmetric bursts",

@@ -2,11 +2,9 @@
 //! configuration and seed, the metrics must be internally consistent.
 
 use hi_channel::{BodyLocation, ChannelParams};
+use hi_des::check::{run_cases, Gen};
 use hi_des::SimDuration;
-use hi_net::{
-    simulate_stochastic, FloodMode, MacKind, NetworkConfig, Routing, TxPower,
-};
-use proptest::prelude::*;
+use hi_net::{simulate_stochastic, FloodMode, MacKind, NetworkConfig, Routing, TxPower};
 
 #[derive(Debug, Clone)]
 struct AnyConfig {
@@ -14,84 +12,75 @@ struct AnyConfig {
     seed: u64,
 }
 
-fn config_strategy() -> impl Strategy<Value = AnyConfig> {
-    let placements = prop::sample::subsequence(
-        vec![
-            BodyLocation::LeftHip,
-            BodyLocation::RightHip,
-            BodyLocation::LeftAnkle,
-            BodyLocation::RightAnkle,
-            BodyLocation::LeftWrist,
-            BodyLocation::RightWrist,
-            BodyLocation::LeftUpperArm,
-            BodyLocation::Head,
-            BodyLocation::Back,
-        ],
-        1..5,
-    )
-    .prop_map(|mut extra| {
-        let mut v = vec![BodyLocation::Chest];
-        v.append(&mut extra);
-        v
-    });
-    (
-        placements,
-        0usize..3,
-        0u8..4,
-        prop::bool::ANY,
-        0u8..3,
-        any::<u64>(),
-    )
-        .prop_map(|(placements, power, mac_kind, mesh, hops, seed)| {
-            let power = TxPower::ALL[power];
-            let mac = match mac_kind {
-                0 => MacKind::csma(),
-                1 => MacKind::tdma(),
-                2 => MacKind::slotted_aloha(),
-                _ => MacKind::hybrid(),
-            };
-            let routing = if mesh {
-                Routing::Mesh {
-                    max_hops: hops + 1,
-                    flood_mode: FloodMode::DedupPerNode,
-                }
-            } else {
-                Routing::Star { coordinator: 0 }
-            };
-            AnyConfig {
-                cfg: NetworkConfig::new(placements, power, mac, routing),
-                seed,
-            }
-        })
+fn any_config(g: &mut Gen) -> AnyConfig {
+    const EXTRAS: [BodyLocation; 9] = [
+        BodyLocation::LeftHip,
+        BodyLocation::RightHip,
+        BodyLocation::LeftAnkle,
+        BodyLocation::RightAnkle,
+        BodyLocation::LeftWrist,
+        BodyLocation::RightWrist,
+        BodyLocation::LeftUpperArm,
+        BodyLocation::Head,
+        BodyLocation::Back,
+    ];
+    // 1..=4 distinct extra nodes next to the mandatory chest hub.
+    let mut extra = g.subsequence(&EXTRAS, 0.3);
+    extra.truncate(4);
+    if extra.is_empty() {
+        extra.push(*g.choose(&EXTRAS));
+    }
+    let mut placements = vec![BodyLocation::Chest];
+    placements.append(&mut extra);
+
+    let power = *g.choose(&TxPower::ALL[..3]);
+    let mac = match g.u64_below(4) {
+        0 => MacKind::csma(),
+        1 => MacKind::tdma(),
+        2 => MacKind::slotted_aloha(),
+        _ => MacKind::hybrid(),
+    };
+    let routing = if g.bool() {
+        Routing::Mesh {
+            max_hops: g.u64_below(3) as u8 + 1,
+            flood_mode: FloodMode::DedupPerNode,
+        }
+    } else {
+        Routing::Star { coordinator: 0 }
+    };
+    AnyConfig {
+        cfg: NetworkConfig::new(placements, power, mac, routing),
+        seed: g.u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn metrics_are_internally_consistent(any in config_strategy()) {
+#[test]
+fn metrics_are_internally_consistent() {
+    run_cases(48, 0x4E_0001, |g| {
+        let any = any_config(g);
         let out = simulate_stochastic(
             &any.cfg,
             ChannelParams::default(),
             SimDuration::from_secs(5.0),
             any.seed,
-        ).expect("generated configs are valid");
+        )
+        .expect("generated configs are valid");
 
         let n = any.cfg.num_nodes();
         // PDR bounds (eq. 6-7).
-        prop_assert!((0.0..=1.0).contains(&out.pdr), "pdr {}", out.pdr);
-        prop_assert_eq!(out.node_pdr.len(), n);
+        assert!((0.0..=1.0).contains(&out.pdr), "pdr {}", out.pdr);
+        assert_eq!(out.node_pdr.len(), n);
         for &p in &out.node_pdr {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
         }
         let mean = out.node_pdr.iter().sum::<f64>() / n as f64;
-        prop_assert!((mean - out.pdr).abs() < 1e-9, "eq. 7 violated");
+        assert!((mean - out.pdr).abs() < 1e-9, "eq. 7 violated");
 
         // Power: every node draws at least the baseline; the reported
         // worst equals the max over lifetime-relevant nodes.
-        prop_assert_eq!(out.node_power_mw.len(), n);
+        assert_eq!(out.node_power_mw.len(), n);
         for &p in &out.node_power_mw {
-            prop_assert!(p >= 0.1 - 1e-12, "below baseline: {p}");
+            assert!(p >= 0.1 - 1e-12, "below baseline: {p}");
         }
         let coordinator = any.cfg.coordinator();
         let worst = out
@@ -101,37 +90,46 @@ proptest! {
             .filter(|(i, _)| Some(*i) != coordinator)
             .map(|(_, &p)| p)
             .fold(0.0f64, f64::max);
-        prop_assert!((worst - out.max_power_mw).abs() < 1e-12);
+        assert!((worst - out.max_power_mw).abs() < 1e-12);
 
         // Lifetime consistent with the worst power (eq. 4).
         let expected_days = any.cfg.battery_j / (out.max_power_mw * 1e-3) / 86_400.0;
-        prop_assert!((out.nlt_days - expected_days).abs() < 1e-6);
+        assert!((out.nlt_days - expected_days).abs() < 1e-6);
 
         // Traffic accounting.
         let c = &out.counts;
-        prop_assert!(c.deliveries <= c.transmissions * (n as u64 - 1));
-        prop_assert!(c.generated > 0);
+        assert!(c.deliveries <= c.transmissions * (n as u64 - 1));
+        assert!(c.generated > 0);
         // Latency sane.
-        prop_assert!(out.latency.mean_ms >= 0.0);
-        prop_assert!(out.latency.max_ms >= out.latency.mean_ms || out.latency.samples == 0);
+        assert!(out.latency.mean_ms >= 0.0);
+        assert!(out.latency.max_ms >= out.latency.mean_ms || out.latency.samples == 0);
         if out.pdr > 0.0 {
-            prop_assert!(out.latency.samples > 0);
+            assert!(out.latency.samples > 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(any in config_strategy()) {
-        let run = || simulate_stochastic(
-            &any.cfg,
-            ChannelParams::default(),
-            SimDuration::from_secs(3.0),
-            any.seed,
-        ).expect("valid");
-        prop_assert_eq!(run(), run());
-    }
+#[test]
+fn simulation_is_deterministic() {
+    run_cases(48, 0x4E_0002, |g| {
+        let any = any_config(g);
+        let run = || {
+            simulate_stochastic(
+                &any.cfg,
+                ChannelParams::default(),
+                SimDuration::from_secs(3.0),
+                any.seed,
+            )
+            .expect("valid")
+        };
+        assert_eq!(run(), run());
+    });
+}
 
-    #[test]
-    fn longer_simulation_does_not_break_invariants(any in config_strategy()) {
+#[test]
+fn longer_simulation_does_not_break_invariants() {
+    run_cases(48, 0x4E_0003, |g| {
+        let any = any_config(g);
         // Guard against time-dependent state corruption (e.g. queue leaks):
         // PDR of a longer run stays within [0, 1] and power stays finite.
         let out = simulate_stochastic(
@@ -139,8 +137,9 @@ proptest! {
             ChannelParams::default(),
             SimDuration::from_secs(20.0),
             any.seed,
-        ).expect("valid");
-        prop_assert!((0.0..=1.0).contains(&out.pdr));
-        prop_assert!(out.max_power_mw.is_finite() && out.max_power_mw < 100.0);
-    }
+        )
+        .expect("valid");
+        assert!((0.0..=1.0).contains(&out.pdr));
+        assert!(out.max_power_mw.is_finite() && out.max_power_mw < 100.0);
+    });
 }

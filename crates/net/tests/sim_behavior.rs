@@ -199,7 +199,14 @@ fn mesh_two_hop_reaches_across_chain() {
         cfg
     };
     let out = simulate(&mk(2), ch(), t_sim(), 1).unwrap();
-    assert_eq!(out.pdr, 1.0, "2 hops must cover a 3-link chain");
+    // Not exactly 1.0: a packet generated just before the horizon may not
+    // finish both hops in time, and that truncation artifact depends on
+    // where the generation jitter lands for the seed.
+    assert!(
+        out.pdr > 0.999,
+        "2 hops must cover a 3-link chain: {}",
+        out.pdr
+    );
 
     // One re-broadcast hop cannot connect chest <-> wrist.
     let out = simulate(&mk(1), ch(), t_sim(), 1).unwrap();
@@ -255,10 +262,20 @@ fn history_only_flooding_transmits_more() {
         cfg.mac_buffer = 64;
         cfg
     };
-    let dedup = simulate(&mk(FloodMode::DedupPerNode), StaticChannel::uniform(50.0), t_sim(), 1)
-        .unwrap();
-    let hist = simulate(&mk(FloodMode::HistoryOnly), StaticChannel::uniform(50.0), t_sim(), 1)
-        .unwrap();
+    let dedup = simulate(
+        &mk(FloodMode::DedupPerNode),
+        StaticChannel::uniform(50.0),
+        t_sim(),
+        1,
+    )
+    .unwrap();
+    let hist = simulate(
+        &mk(FloodMode::HistoryOnly),
+        StaticChannel::uniform(50.0),
+        t_sim(),
+        1,
+    )
+    .unwrap();
     assert!(
         hist.counts.transmissions > dedup.counts.transmissions,
         "history-only flooding must be more redundant ({} vs {})",
@@ -297,8 +314,13 @@ fn energy_matches_analytic_model_for_lossless_tdma_star() {
         MacKind::tdma(),
         Routing::Star { coordinator: 0 },
     );
-    let out = simulate(&cfg, StaticChannel::uniform(50.0), SimDuration::from_secs(300.0), 1)
-        .unwrap();
+    let out = simulate(
+        &cfg,
+        StaticChannel::uniform(50.0),
+        SimDuration::from_secs(300.0),
+        1,
+    )
+    .unwrap();
     let phi = 10.0;
     let tpkt = 800.0 / 1_024_000.0;
     let prd_mw = phi * tpkt * (18.3 + 2.0 * (n - 1.0) * 17.7);
@@ -376,11 +398,7 @@ fn mesh_lifetime_counts_every_node() {
         Routing::mesh(),
     );
     let out = simulate(&cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap();
-    let worst = out
-        .node_power_mw
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let worst = out.node_power_mw.iter().cloned().fold(0.0f64, f64::max);
     assert!((out.max_power_mw - worst).abs() < 1e-12);
 }
 
@@ -421,7 +439,10 @@ fn pdr_sweep_spans_paper_fig3_range() {
             max_nlt = max_nlt.max(out.nlt_days);
         }
     }
-    assert!(min_pdr < 0.6, "worst config should be unreliable: {min_pdr}");
+    assert!(
+        min_pdr < 0.6,
+        "worst config should be unreliable: {min_pdr}"
+    );
     assert!(max_pdr > 0.97, "best config should be reliable: {max_pdr}");
     assert!(min_nlt < 15.0, "mesh should be power-hungry: {min_nlt}");
     assert!(max_nlt > 25.0, "weak star should be long-lived: {max_nlt}");
@@ -459,8 +480,20 @@ fn latency_reflects_mac_determinism() {
             Routing::Star { coordinator: 0 },
         )
     };
-    let tdma = simulate(&mk(MacKind::tdma()), StaticChannel::uniform(50.0), t_sim(), 2).unwrap();
-    let csma = simulate(&mk(MacKind::csma()), StaticChannel::uniform(50.0), t_sim(), 2).unwrap();
+    let tdma = simulate(
+        &mk(MacKind::tdma()),
+        StaticChannel::uniform(50.0),
+        t_sim(),
+        2,
+    )
+    .unwrap();
+    let csma = simulate(
+        &mk(MacKind::csma()),
+        StaticChannel::uniform(50.0),
+        t_sim(),
+        2,
+    )
+    .unwrap();
     assert!(tdma.latency.samples > 1000);
     assert!(csma.latency.samples > 1000);
     // TDMA: a 4-node round is 4 ms; direct packets wait <= one frame and

@@ -8,11 +8,11 @@
 //! cargo run --release -p hi-opt --example packet_forensics
 //! ```
 
+use hi_opt::channel::BodyLocation;
 use hi_opt::channel::{Channel, ChannelParams};
 use hi_opt::des::SimDuration;
 use hi_opt::net::trace::{packet_journey, TraceEvent};
 use hi_opt::net::{MacKind, NetworkConfig, NetworkSim, NodeFault, Routing, TxPower};
-use hi_opt::channel::BodyLocation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = NetworkConfig::new(
@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = NetworkSim::new(cfg, channel, SimDuration::from_secs(5.0), 77)?;
     let (outcome, events) = sim.run_traced();
 
-    println!("run summary: PDR {:.1}%, {} events traced\n", outcome.pdr * 100.0, events.len());
+    println!(
+        "run summary: PDR {:.1}%, {} events traced\n",
+        outcome.pdr * 100.0,
+        events.len()
+    );
 
     println!("first 25 trace lines:");
     for e in events.iter().take(25) {

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match outcome.best {
         Some((point, eval)) => {
-            println!("optimal configuration for PDRmin = {:.0}%:", pdr_min * 100.0);
+            println!(
+                "optimal configuration for PDRmin = {:.0}%:",
+                pdr_min * 100.0
+            );
             println!("  design        : {point}");
             println!("  placements    : {:?}", point.placement.locations());
             println!("  PDR           : {:.1}%", eval.pdr * 100.0);

@@ -56,19 +56,17 @@ fn display_formats_are_stable() {
     assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250000000s");
     assert_eq!(Placement::from_indices([0, 9]).to_string(), "[0,9]");
     assert_eq!(hi_opt::net::TxPower::Minus10Dbm.to_string(), "-10dBm");
-    assert_eq!(hi_opt::core::AppProfile::FitnessMonitoring.to_string(), "fitness-monitoring");
+    assert_eq!(
+        hi_opt::core::AppProfile::FitnessMonitoring.to_string(),
+        "fitness-monitoring"
+    );
 }
 
 #[test]
 fn evaluators_are_usable_across_threads() {
     // A practical Send check: move an evaluator into a thread.
     let handle = std::thread::spawn(|| {
-        let mut ev = SimEvaluator::new(
-            ChannelParams::default(),
-            SimDuration::from_secs(2.0),
-            1,
-            1,
-        );
+        let mut ev = SimEvaluator::new(ChannelParams::default(), SimDuration::from_secs(2.0), 1, 1);
         use hi_opt::Evaluator;
         let pt = DesignPoint {
             placement: Placement::from_indices([0, 1, 3, 5]),

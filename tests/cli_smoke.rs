@@ -34,8 +34,19 @@ fn unknown_command_exits_nonzero_with_usage() {
 fn simulate_runs_an_explicit_config() {
     let out = hi_opt()
         .args([
-            "simulate", "--sites", "0,1,3,5", "--power", "0", "--mac", "tdma", "--routing",
-            "star", "--tsim", "5", "--runs", "1",
+            "simulate",
+            "--sites",
+            "0,1,3,5",
+            "--power",
+            "0",
+            "--mac",
+            "tdma",
+            "--routing",
+            "star",
+            "--tsim",
+            "5",
+            "--runs",
+            "1",
         ])
         .output()
         .expect("binary runs");
@@ -54,7 +65,14 @@ fn simulate_runs_an_explicit_config() {
 fn simulate_rejects_star_without_chest() {
     let out = hi_opt()
         .args([
-            "simulate", "--sites", "1,3,5", "--power", "0", "--mac", "tdma", "--routing",
+            "simulate",
+            "--sites",
+            "1,3,5",
+            "--power",
+            "0",
+            "--mac",
+            "tdma",
+            "--routing",
             "star",
         ])
         .output()
@@ -77,6 +95,30 @@ fn explore_finds_an_optimum_quickly() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("optimal design"));
     assert!(text.contains("simulations"));
+}
+
+#[test]
+fn lint_runs_clean_on_paper_scenario() {
+    let out = hi_opt().arg("lint").output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "lint must find zero error-severity issues; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("configuration space"));
+    assert!(text.contains("cut ladder"));
+    assert!(text.contains("event schedule sample"));
+    assert!(text.contains("summary: 0 error(s)"), "{text}");
+}
+
+#[test]
+fn lint_rejects_unknown_options() {
+    let out = hi_opt()
+        .args(["lint", "--frobnicate", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -6,8 +6,8 @@
 use hi_opt::channel::ChannelParams;
 use hi_opt::des::SimDuration;
 use hi_opt::net::AppParams;
-use hi_opt::{Evaluator, 
-    exhaustive_search, explore, DesignSpace, Problem, SimEvaluator, TopologyConstraints,
+use hi_opt::{
+    exhaustive_search, explore, DesignSpace, Evaluator, Problem, SimEvaluator, TopologyConstraints,
 };
 
 /// A CI-sized problem: 4-node placements only (8 of them), full stack
@@ -23,7 +23,12 @@ fn small_problem(pdr_min: f64) -> Problem {
 }
 
 fn evaluator(seed: u64) -> SimEvaluator {
-    SimEvaluator::new(ChannelParams::default(), SimDuration::from_secs(20.0), 1, seed)
+    SimEvaluator::new(
+        ChannelParams::default(),
+        SimDuration::from_secs(20.0),
+        1,
+        seed,
+    )
 }
 
 #[test]

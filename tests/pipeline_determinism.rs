@@ -16,8 +16,7 @@ fn run_explore(seed: u64) -> (Option<(String, f64, f64)>, u64) {
     );
     let out = explore(&problem, &mut ev).expect("explore");
     (
-        out.best
-            .map(|(pt, e)| (pt.to_string(), e.pdr, e.power_mw)),
+        out.best.map(|(pt, e)| (pt.to_string(), e.pdr, e.power_mw)),
         out.simulations,
     )
 }
@@ -46,12 +45,7 @@ fn different_seeds_change_measurements() {
 fn annealing_is_deterministic_per_seed() {
     let problem = Problem::paper_default(0.60);
     let run = |seed: u64| {
-        let mut ev = SimEvaluator::new(
-            ChannelParams::default(),
-            SimDuration::from_secs(5.0),
-            1,
-            9,
-        );
+        let mut ev = SimEvaluator::new(ChannelParams::default(), SimDuration::from_secs(5.0), 1, 9);
         let out = simulated_annealing(
             &problem,
             &mut ev,
@@ -61,7 +55,8 @@ fn annealing_is_deterministic_per_seed() {
             },
             seed,
         );
-        out.best.map(|(pt, e)| (pt.to_string(), e.power_mw.to_bits()))
+        out.best
+            .map(|(pt, e)| (pt.to_string(), e.power_mw.to_bits()))
     };
     assert_eq!(run(5), run(5));
 }
