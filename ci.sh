@@ -1,10 +1,22 @@
 #!/bin/sh
 # Full offline CI gate: formatting, lints, release build, tests.
+# The test suite runs twice — pinned to one worker and at the default
+# thread count — because the execution engine's contract is that results
+# are bit-identical for any parallelism; a test that passes in one mode
+# and fails in the other IS the divergence we're gating on.
 # Benches run in quick mode so the whole script stays under a few minutes.
 set -eux
 
 cargo fmt --all --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
+HI_EXEC_THREADS=1 cargo test -q
 cargo test -q
+
+# Cross-thread CLI divergence gate: the same exploration at 1 and 8
+# workers must print byte-identical output.
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 1 > /tmp/hi_ci_t1.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 > /tmp/hi_ci_t8.txt
+diff /tmp/hi_ci_t1.txt /tmp/hi_ci_t8.txt
+
 HI_BENCH_QUICK=1 cargo bench

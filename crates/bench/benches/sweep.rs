@@ -1,0 +1,58 @@
+//! Microbenchmark B5: the pool-backed design-space sweep.
+//!
+//! Runs the same exhaustive sweep (real discrete-event simulator, short
+//! protocol) sequentially and on the `hi-exec` pool, and reports the
+//! measured speedup. A fresh evaluator is built per iteration so every
+//! iteration pays the full simulation cost rather than hitting the cache.
+//! On a single-core host the ratio is expected to be ~1x (the engine's
+//! value there is determinism + shared caching, not speedup); on
+//! multi-core hosts it should approach the worker count for this
+//! embarrassingly parallel workload.
+
+use std::time::Instant;
+
+use hi_bench::micro::Runner;
+use hi_bench::{parallel_sweep, ExpOptions};
+use hi_core::DesignSpace;
+use hi_des::SimDuration;
+
+fn main() {
+    let quick = std::env::var_os("HI_BENCH_QUICK").is_some();
+    let runner = Runner::new("sweep");
+    let mut points = DesignSpace::paper_default().points();
+    if quick {
+        points.truncate(24);
+    }
+    let opts = |threads: usize| ExpOptions {
+        t_sim: SimDuration::from_secs(2.0),
+        runs: 1,
+        seed: 7,
+        threads,
+    };
+    let threads = hi_exec::default_threads();
+
+    runner.bench("exhaustive_sequential", || {
+        parallel_sweep(&points, &opts(1))
+    });
+    runner.bench(&format!("exhaustive_pool_{threads}threads"), || {
+        parallel_sweep(&points, &opts(threads))
+    });
+
+    // One paired measurement for the headline ratio (the Runner prints
+    // per-variant stats above; this line makes the comparison explicit).
+    let t0 = Instant::now();
+    let seq = parallel_sweep(&points, &opts(1));
+    let sequential = t0.elapsed();
+    let t1 = Instant::now();
+    let par = parallel_sweep(&points, &opts(threads));
+    let pooled = t1.elapsed();
+    assert_eq!(seq, par, "pool changed the sweep's results");
+    println!(
+        "  sweep/speedup_{}pts_{}threads          {:.2}x (seq {:.3?} vs pool {:.3?})",
+        points.len(),
+        threads,
+        sequential.as_secs_f64() / pooled.as_secs_f64().max(1e-9),
+        sequential,
+        pooled
+    );
+}

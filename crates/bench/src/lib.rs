@@ -1,17 +1,18 @@
-//! Shared plumbing for the experiment binaries: CLI options, the threaded
-//! design-space sweep and result formatting.
+//! Shared plumbing for the experiment binaries: CLI options, the
+//! pool-backed design-space sweep and result formatting.
 //!
 //! Every binary regenerates one artifact of the paper (see the experiment
 //! index in `DESIGN.md`); this crate keeps them small and consistent.
+//! All simulation work funnels through one [`SimProtocol`] constructor
+//! ([`ExpOptions::protocol`]) so the sequential evaluator, the shared
+//! cached evaluator and every worker thread are guaranteed to agree on
+//! `t_sim`, `runs` and seeding.
 
 #![forbid(unsafe_code)]
 
 pub mod micro;
 
-use std::sync::Mutex;
-
-use hi_channel::ChannelParams;
-use hi_core::{DesignPoint, Evaluation, Evaluator, SimEvaluator};
+use hi_core::{DesignPoint, Evaluation, ExecContext, SimEvaluator, SimProtocol};
 use hi_des::SimDuration;
 
 /// Common command-line options of the experiment binaries.
@@ -39,9 +40,7 @@ impl Default for ExpOptions {
             t_sim: SimDuration::from_secs(60.0),
             runs: 3,
             seed: 0xDAC_2017,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: hi_exec::default_threads(),
         }
     }
 }
@@ -99,48 +98,42 @@ impl ExpOptions {
         opts
     }
 
+    /// The simulation protocol these options describe. Every evaluator a
+    /// binary constructs — sequential or shared — must come from this one
+    /// value so `--tsim`/`--runs`/`--seed` cannot drift between workers.
+    pub fn protocol(&self) -> SimProtocol {
+        SimProtocol::new(self.t_sim, self.runs, self.seed)
+    }
+
     /// A fresh memoizing simulator evaluator under these options.
     pub fn evaluator(&self) -> SimEvaluator {
-        SimEvaluator::new(ChannelParams::default(), self.t_sim, self.runs, self.seed)
+        self.protocol().evaluator()
+    }
+
+    /// A fresh cache-backed evaluator for pool-based sweeps.
+    pub fn shared_evaluator(&self) -> hi_core::SharedSimEvaluator {
+        self.protocol().shared_evaluator()
+    }
+
+    /// An execution context with these options' thread count.
+    pub fn exec_context(&self) -> ExecContext {
+        ExecContext::new(self.threads)
     }
 }
 
-/// Evaluates `points` in parallel with per-point deterministic seeding.
+/// Evaluates `points` on the `hi-exec` engine with per-point
+/// deterministic seeding.
 ///
 /// Results are returned in the input order regardless of scheduling, so
-/// sweeps are reproducible. Each worker owns an independent evaluator
-/// (the per-point seed derivation in [`SimEvaluator`] makes their
-/// measurements identical to a sequential sweep).
+/// sweeps are reproducible: the per-point seed derivation in
+/// [`SimProtocol`] makes the measurements bit-identical to a sequential
+/// sweep for any `--threads` value.
 pub fn parallel_sweep(points: &[DesignPoint], opts: &ExpOptions) -> Vec<Evaluation> {
-    let next = Mutex::new(0usize);
-    let results: Vec<Mutex<Option<Evaluation>>> = points.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..opts.threads.max(1) {
-            scope.spawn(|| {
-                let mut evaluator = opts.evaluator();
-                loop {
-                    let idx = {
-                        let mut n = next.lock().expect("sweep index lock");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if idx >= points.len() {
-                        break;
-                    }
-                    let eval = evaluator.evaluate(&points[idx]);
-                    *results[idx].lock().expect("sweep result lock") = Some(eval);
-                }
-            });
-        }
-    });
-    results
+    let exec = opts.exec_context();
+    let evaluator = opts.shared_evaluator();
+    exec.eval_points(&evaluator, points)
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("poisoned")
-                .expect("all points evaluated")
-        })
+        .map(|e| e.expect("sweep is never cancelled"))
         .collect()
 }
 
@@ -197,7 +190,7 @@ pub fn pareto_front(sweep: &[(DesignPoint, Evaluation)]) -> Vec<(DesignPoint, Ev
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hi_core::DesignSpace;
+    use hi_core::{DesignSpace, Evaluator};
 
     #[test]
     fn parallel_sweep_matches_sequential() {

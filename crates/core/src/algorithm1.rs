@@ -11,8 +11,10 @@
 use hi_net::AppParams;
 
 use crate::constraints::DesignSpace;
-use crate::evaluator::{Evaluation, Evaluator};
+use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::exhaustive::{best_feasible, improves};
 use crate::milp_encode::MilpEncoding;
+use crate::parallel::ExecContext;
 use crate::point::DesignPoint;
 use crate::power::alpha;
 
@@ -54,6 +56,12 @@ pub enum StopReason {
     MilpExhausted,
     /// The α-corrected analytic bound proved the incumbent optimal.
     BoundProven,
+    /// The execution context's [`CancelToken`](hi_exec::CancelToken)
+    /// fired: the loop stopped early and `best` holds the incumbent from
+    /// the last *fully evaluated* candidate level (partial levels are
+    /// discarded so cancellation can never report a wrong optimum, only
+    /// a premature one).
+    Cancelled,
 }
 
 /// The result of a design-space exploration.
@@ -153,14 +161,95 @@ pub fn explore_with_options(
     evaluator: &mut dyn Evaluator,
     options: ExploreOptions,
 ) -> Result<ExplorationOutcome, ExploreError> {
+    explore_impl(problem, options, &mut SeqOracle(evaluator))
+}
+
+/// [`explore`] on the execution engine: each candidate level (the MILP's
+/// pool `S`) fans out over `exec`'s thread pool and the per-level
+/// reduction stays sequential over pool order, so the outcome — best
+/// point, iteration count, candidate count and simulation count — is
+/// bit-identical for every thread count (`threads == 1` runs the plain
+/// sequential loop).
+///
+/// Cancelling `exec` stops in-flight candidate evaluations between tasks
+/// and breaks the loop with [`StopReason::Cancelled`]; the incumbent of
+/// the last fully evaluated level is returned.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the MILP solver fails.
+pub fn explore_par(
+    problem: &Problem,
+    evaluator: &SharedSimEvaluator,
+    options: ExploreOptions,
+    exec: &ExecContext,
+) -> Result<ExplorationOutcome, ExploreError> {
+    explore_impl(problem, options, &mut ParOracle { evaluator, exec })
+}
+
+/// How `explore_impl` measures candidate levels: sequentially through a
+/// `&mut dyn Evaluator`, or batched over the execution engine.
+trait CandidateOracle {
+    /// Evaluates one candidate level in pool order. `None` entries mark
+    /// candidates skipped because of cancellation.
+    fn eval_level(&mut self, pool: &[DesignPoint]) -> Vec<Option<Evaluation>>;
+    /// The evaluator's unique-simulation counter.
+    fn unique_evaluations(&self) -> u64;
+    /// Whether the search has been cancelled.
+    fn cancelled(&self) -> bool;
+}
+
+struct SeqOracle<'a>(&'a mut dyn Evaluator);
+
+impl CandidateOracle for SeqOracle<'_> {
+    fn eval_level(&mut self, pool: &[DesignPoint]) -> Vec<Option<Evaluation>> {
+        pool.iter().map(|p| Some(self.0.evaluate(p))).collect()
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.0.unique_evaluations()
+    }
+
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+struct ParOracle<'a> {
+    evaluator: &'a SharedSimEvaluator,
+    exec: &'a ExecContext,
+}
+
+impl CandidateOracle for ParOracle<'_> {
+    fn eval_level(&mut self, pool: &[DesignPoint]) -> Vec<Option<Evaluation>> {
+        self.exec.eval_points(self.evaluator, pool)
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.evaluator.unique_evaluations()
+    }
+
+    fn cancelled(&self) -> bool {
+        self.exec.is_cancelled()
+    }
+}
+
+fn explore_impl(
+    problem: &Problem,
+    options: ExploreOptions,
+    oracle: &mut dyn CandidateOracle,
+) -> Result<ExplorationOutcome, ExploreError> {
     let mut encoding = MilpEncoding::new(problem.space.constraints(), &problem.app);
     let mut best: Option<(DesignPoint, Evaluation)> = None;
     let mut p_min = f64::INFINITY; // P̄min: best simulated power so far
     let mut iterations = 0u32;
     let mut candidates_proposed = 0u64;
-    let sims_before = evaluator.unique_evaluations();
+    let sims_before = oracle.unique_evaluations();
 
     let stop_reason = loop {
+        if oracle.cancelled() {
+            break StopReason::Cancelled;
+        }
         // Line 3: (S, P̄*) <- RunMILP(P̃).
         let (pool, p_star) = encoding.solve_pool()?;
         iterations += 1;
@@ -180,22 +269,23 @@ pub fn explore_with_options(
         }
         candidates_proposed += pool.len() as u64;
 
-        // Line 7: RunSim(S); line 8: Sort.
-        let mut level_best: Option<(DesignPoint, Evaluation)> = None;
-        for point in &pool {
-            let eval = evaluator.evaluate(point);
-            if eval.pdr >= problem.pdr_min {
-                let better = level_best
-                    .as_ref()
-                    .is_none_or(|(_, b)| eval.power_mw < b.power_mw);
-                if better {
-                    level_best = Some((*point, eval));
-                }
-            }
+        // Line 7: RunSim(S); line 8: Sort. The reduction walks pool order,
+        // so the level best (ties: lowest power, then first in pool order)
+        // is independent of evaluation scheduling.
+        let evals = oracle.eval_level(&pool);
+        if oracle.cancelled() {
+            // A partially evaluated level could elect a wrong level-best;
+            // discard it and report the incumbent so far.
+            break StopReason::Cancelled;
         }
+        let level: Vec<(DesignPoint, Evaluation)> = pool
+            .iter()
+            .zip(evals)
+            .filter_map(|(point, eval)| eval.map(|e| (*point, e)))
+            .collect();
         // Lines 9-10: update the incumbent.
-        if let Some((pt, ev)) = level_best {
-            if p_min >= ev.power_mw {
+        if let Some((pt, ev)) = best_feasible(&level, problem.pdr_min) {
+            if best.as_ref().is_none_or(|(_, b)| !improves(b, &ev)) {
                 p_min = ev.power_mw;
                 best = Some((pt, ev));
             }
@@ -208,7 +298,7 @@ pub fn explore_with_options(
         best,
         iterations,
         candidates_proposed,
-        simulations: evaluator.unique_evaluations() - sims_before,
+        simulations: oracle.unique_evaluations() - sims_before,
         stop_reason,
     })
 }

@@ -1,9 +1,11 @@
 //! Performance evaluation of design points (Algorithm 1's `RunSim`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hi_channel::ChannelParams;
 use hi_des::SimDuration;
+use hi_exec::EvalCache;
 use hi_net::simulate_averaged;
 
 use crate::point::DesignPoint;
@@ -31,14 +33,74 @@ pub trait Evaluator {
     fn unique_evaluations(&self) -> u64;
 }
 
+/// The full simulation protocol of an evaluator: channel, per-run
+/// duration, replication count and master seed.
+///
+/// Every evaluator in the workspace — the CLI's, the experiment
+/// binaries' and the parallel engines' — is built through this one type,
+/// so `--tsim`, `--runs`, `--seed` and `--threads` semantics cannot
+/// drift between entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimProtocol {
+    /// Channel model parameters.
+    pub channel: ChannelParams,
+    /// Per-run simulated duration.
+    pub t_sim: SimDuration,
+    /// Replications averaged per evaluation.
+    pub runs: u32,
+    /// Master seed (combined with each point's fingerprint).
+    pub seed: u64,
+}
+
+impl SimProtocol {
+    /// A protocol over the default channel.
+    pub fn new(t_sim: SimDuration, runs: u32, seed: u64) -> Self {
+        Self {
+            channel: ChannelParams::default(),
+            t_sim,
+            runs,
+            seed,
+        }
+    }
+
+    /// The paper's §4 protocol: `Tsim = 600 s`, 3 runs.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(SimDuration::from_secs(600.0), 3, seed)
+    }
+
+    /// A fresh single-threaded memoizing evaluator under this protocol.
+    pub fn evaluator(&self) -> SimEvaluator {
+        SimEvaluator::new(self.channel, self.t_sim, self.runs, self.seed)
+    }
+
+    /// A fresh thread-safe evaluator with a (shareable) evaluation cache.
+    pub fn shared_evaluator(&self) -> SharedSimEvaluator {
+        SharedSimEvaluator::new(*self)
+    }
+}
+
+/// The expensive part of an evaluation: `runs` averaged simulations of
+/// one design point, seeded purely from `(protocol seed, point)` so the
+/// result is independent of evaluation order, thread interleaving and
+/// which engine asked first.
+fn simulate_point(protocol: &SimProtocol, point: &DesignPoint) -> Evaluation {
+    let cfg = point.to_network_config();
+    let fingerprint = point.fingerprint();
+    let seed = protocol.seed ^ hi_des::rng::derive_seed(fingerprint >> 4, fingerprint & 0xF);
+    let out = simulate_averaged(&cfg, protocol.channel, protocol.t_sim, seed, protocol.runs)
+        .expect("design points lower to valid configs");
+    Evaluation {
+        pdr: out.pdr,
+        nlt_days: out.nlt_days,
+        power_mw: out.max_power_mw,
+    }
+}
+
 /// The production evaluator: runs the discrete-event simulator (averaged
 /// over `runs` seeds), memoizing results per design point.
 #[derive(Debug)]
 pub struct SimEvaluator {
-    channel: ChannelParams,
-    t_sim: SimDuration,
-    runs: u32,
-    base_seed: u64,
+    protocol: SimProtocol,
     cache: HashMap<DesignPoint, Evaluation>,
     unique: u64,
 }
@@ -48,10 +110,12 @@ impl SimEvaluator {
     /// `runs` simulations of `t_sim` averaged together.
     pub fn new(channel: ChannelParams, t_sim: SimDuration, runs: u32, base_seed: u64) -> Self {
         Self {
-            channel,
-            t_sim,
-            runs,
-            base_seed,
+            protocol: SimProtocol {
+                channel,
+                t_sim,
+                runs,
+                seed: base_seed,
+            },
             cache: HashMap::new(),
             unique: 0,
         }
@@ -73,18 +137,7 @@ impl Evaluator for SimEvaluator {
         if let Some(e) = self.cache.get(point) {
             return *e;
         }
-        let cfg = point.to_network_config();
-        // Derive the seed from the point so evaluation order cannot change
-        // results (full determinism regardless of search strategy).
-        let seed = self.base_seed
-            ^ hi_des::rng::derive_seed(u64::from(point.placement.mask()), point_tag(point));
-        let out = simulate_averaged(&cfg, self.channel, self.t_sim, seed, self.runs)
-            .expect("design points lower to valid configs");
-        let eval = Evaluation {
-            pdr: out.pdr,
-            nlt_days: out.nlt_days,
-            power_mw: out.max_power_mw,
-        };
+        let eval = simulate_point(&self.protocol, point);
         self.cache.insert(*point, eval);
         self.unique += 1;
         eval
@@ -95,23 +148,63 @@ impl Evaluator for SimEvaluator {
     }
 }
 
-fn point_tag(point: &DesignPoint) -> u64 {
-    use crate::point::{MacChoice, RouteChoice};
-    use hi_net::TxPower;
-    let p = match point.tx_power {
-        TxPower::Minus20Dbm => 0u64,
-        TxPower::Minus10Dbm => 1,
-        TxPower::ZeroDbm => 2,
-    };
-    let m = match point.mac {
-        MacChoice::Csma => 0u64,
-        MacChoice::Tdma => 1,
-    };
-    let r = match point.routing {
-        RouteChoice::Star => 0u64,
-        RouteChoice::Mesh => 1,
-    };
-    p | (m << 2) | (r << 3)
+/// A thread-safe simulation evaluator whose memo cache is *shared*
+/// between clones.
+///
+/// Clones are cheap (`Arc` bump) and hand the same [`EvalCache`] to every
+/// worker thread and every engine in the process, so a point simulated by
+/// the exhaustive sweep is a cache hit for Algorithm 1 and simulated
+/// annealing. The cache's exactly-once contract keeps
+/// [`unique_evaluations`](Evaluator::unique_evaluations) independent of
+/// the thread count, and the per-point seed derivation (certified by
+/// `sim_evaluator_is_order_independent`) keeps every `Evaluation`
+/// bit-identical to the sequential evaluator's.
+#[derive(Debug, Clone)]
+pub struct SharedSimEvaluator {
+    protocol: SimProtocol,
+    cache: Arc<EvalCache<DesignPoint, Evaluation>>,
+}
+
+impl SharedSimEvaluator {
+    /// A fresh evaluator (and cache) under `protocol`.
+    pub fn new(protocol: SimProtocol) -> Self {
+        Self {
+            protocol,
+            cache: Arc::new(EvalCache::new()),
+        }
+    }
+
+    /// Measures (or recalls) `point` through the shared cache. Takes
+    /// `&self`, so workers can evaluate concurrently.
+    pub fn eval_point(&self, point: &DesignPoint) -> Evaluation {
+        self.cache
+            .get_or_compute(*point, || simulate_point(&self.protocol, point))
+    }
+
+    /// The protocol this evaluator runs.
+    pub fn protocol(&self) -> &SimProtocol {
+        &self.protocol
+    }
+
+    /// Number of cached evaluations (shared across clones).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache lookups answered without simulating.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+}
+
+impl Evaluator for SharedSimEvaluator {
+    fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+        self.eval_point(point)
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.cache.misses()
+    }
 }
 
 /// A deterministic test/bench oracle backed by a closure.
@@ -200,6 +293,25 @@ mod tests {
         assert_eq!(ev.cache_len(), 1);
         assert!(a.pdr >= 0.0 && a.pdr <= 1.0);
         assert!(a.power_mw > 0.1);
+    }
+
+    #[test]
+    fn shared_evaluator_matches_sequential_and_shares_its_cache() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(3.0), 1, 99);
+        let shared = protocol.shared_evaluator();
+        let mut sequential = protocol.evaluator();
+        let p1 = pt();
+        let mut p2 = pt();
+        p2.tx_power = TxPower::Minus10Dbm;
+        assert_eq!(shared.eval_point(&p1), sequential.evaluate(&p1));
+        assert_eq!(shared.eval_point(&p2), sequential.evaluate(&p2));
+        // A clone sees the same cache: no new simulations, hits recorded.
+        let mut clone = shared.clone();
+        assert_eq!(clone.evaluate(&p1), shared.eval_point(&p1));
+        assert_eq!(shared.unique_evaluations(), 2);
+        assert_eq!(clone.unique_evaluations(), 2);
+        assert!(shared.cache_hits() >= 2);
+        assert_eq!(shared.cache_len(), 2);
     }
 
     #[test]

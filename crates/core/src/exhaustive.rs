@@ -4,8 +4,35 @@
 //! number of required simulations" against.
 
 use crate::algorithm1::Problem;
-use crate::evaluator::{Evaluation, Evaluator};
+use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::parallel::ExecContext;
 use crate::point::DesignPoint;
+
+/// Whether `candidate` strictly improves on the incumbent `best`.
+///
+/// The selection contract of every engine in this crate: **lowest
+/// simulated power wins; ties keep the earlier point in enumeration
+/// order** (strict `<`, first-wins). Because reductions always scan
+/// evaluations in input order, the reported optimum cannot depend on
+/// which worker finished first.
+pub(crate) fn improves(candidate: &Evaluation, best: &Evaluation) -> bool {
+    candidate.power_mw < best.power_mw
+}
+
+/// Folds `(point, evaluation)` pairs — in enumeration order — down to the
+/// best reliability-feasible one under the [`improves`] tie-break.
+pub(crate) fn best_feasible<'a>(
+    pairs: impl IntoIterator<Item = &'a (DesignPoint, Evaluation)>,
+    pdr_min: f64,
+) -> Option<(DesignPoint, Evaluation)> {
+    let mut best: Option<(DesignPoint, Evaluation)> = None;
+    for (point, eval) in pairs {
+        if eval.pdr >= pdr_min && best.as_ref().is_none_or(|(_, b)| improves(eval, b)) {
+            best = Some((*point, *eval));
+        }
+    }
+    best
+}
 
 /// Result of an exhaustive sweep.
 #[derive(Debug, Clone)]
@@ -21,24 +48,47 @@ pub struct ExhaustiveOutcome {
 
 /// Evaluates every point of the problem's design space and returns the
 /// best feasible one along with the full sweep.
+///
+/// Best-point selection follows the crate-wide tie-break: lowest
+/// `power_mw`, ties resolved to the first point in enumeration order.
 pub fn exhaustive_search(problem: &Problem, evaluator: &mut dyn Evaluator) -> ExhaustiveOutcome {
     let before = evaluator.unique_evaluations();
-    let mut best: Option<(DesignPoint, Evaluation)> = None;
     let mut evaluations = Vec::new();
     for point in problem.space.points() {
         let eval = evaluator.evaluate(&point);
-        if eval.pdr >= problem.pdr_min {
-            let better = best
-                .as_ref()
-                .is_none_or(|(_, b)| eval.power_mw < b.power_mw);
-            if better {
-                best = Some((point, eval));
-            }
-        }
         evaluations.push((point, eval));
     }
     ExhaustiveOutcome {
-        best,
+        best: best_feasible(&evaluations, problem.pdr_min),
+        evaluations,
+        simulations: evaluator.unique_evaluations() - before,
+    }
+}
+
+/// [`exhaustive_search`] on the execution engine: the sweep fans out over
+/// `exec`'s thread pool while the reduction stays sequential over
+/// enumeration order, so the outcome — points, evaluations, best point
+/// and simulation count — is bit-identical for every thread count
+/// (`threads == 1` runs the plain sequential loop).
+///
+/// If `exec` is cancelled mid-sweep, the outcome covers the evaluations
+/// that completed (a best-effort partial sweep, no longer guaranteed to
+/// be deterministic).
+pub fn exhaustive_search_par(
+    problem: &Problem,
+    evaluator: &SharedSimEvaluator,
+    exec: &ExecContext,
+) -> ExhaustiveOutcome {
+    let before = evaluator.unique_evaluations();
+    let points = problem.space.points();
+    let evals = exec.eval_points(evaluator, &points);
+    let evaluations: Vec<(DesignPoint, Evaluation)> = points
+        .into_iter()
+        .zip(evals)
+        .filter_map(|(point, eval)| eval.map(|e| (point, e)))
+        .collect();
+    ExhaustiveOutcome {
+        best: best_feasible(&evaluations, problem.pdr_min),
         evaluations,
         simulations: evaluator.unique_evaluations() - before,
     }
@@ -76,6 +126,21 @@ mod tests {
         // Cheapest feasible: 4-node star at 0 dBm.
         assert_eq!(pt.tx_power, hi_net::TxPower::ZeroDbm);
         assert_eq!(pt.num_nodes(), 4);
+    }
+
+    #[test]
+    fn tie_on_power_keeps_first_point_in_enumeration_order() {
+        // A constant oracle makes every point tie on power; the documented
+        // tie-break must pick the very first enumerated point, no matter
+        // what order evaluations complete in.
+        let problem = Problem::paper_default(0.0);
+        let mut ev = FnEvaluator::new(|_: &DesignPoint| Evaluation {
+            pdr: 1.0,
+            nlt_days: 1.0,
+            power_mw: 1.0,
+        });
+        let out = exhaustive_search(&problem, &mut ev);
+        assert_eq!(out.best.unwrap().0, problem.space.points()[0]);
     }
 
     #[test]

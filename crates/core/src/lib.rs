@@ -54,6 +54,7 @@ mod constraints;
 mod evaluator;
 mod exhaustive;
 mod milp_encode;
+mod parallel;
 mod point;
 pub mod power;
 mod profiles;
@@ -61,14 +62,18 @@ mod sa;
 mod tradeoff;
 
 pub use algorithm1::{
-    explore, explore_with_options, ExplorationOutcome, ExploreError, ExploreOptions, Problem,
-    StopReason,
+    explore, explore_par, explore_with_options, ExplorationOutcome, ExploreError, ExploreOptions,
+    Problem, StopReason,
 };
 pub use constraints::{DesignSpace, TopologyConstraints};
-pub use evaluator::{Evaluation, Evaluator, FnEvaluator, SimEvaluator};
-pub use exhaustive::{exhaustive_search, ExhaustiveOutcome};
+pub use evaluator::{
+    Evaluation, Evaluator, FnEvaluator, SharedSimEvaluator, SimEvaluator, SimProtocol,
+};
+pub use exhaustive::{exhaustive_search, exhaustive_search_par, ExhaustiveOutcome};
+pub use hi_exec::CancelToken;
 pub use milp_encode::MilpEncoding;
+pub use parallel::ExecContext;
 pub use point::{DesignPoint, MacChoice, Placement, RouteChoice};
 pub use profiles::AppProfile;
-pub use sa::{simulated_annealing, SaOutcome, SaParams};
-pub use tradeoff::{explore_tradeoff, TradeoffPoint};
+pub use sa::{simulated_annealing, simulated_annealing_restarts, SaOutcome, SaParams};
+pub use tradeoff::{explore_tradeoff, explore_tradeoff_par, TradeoffPoint};

@@ -1,0 +1,155 @@
+//! Parallel execution plumbing for the search engines.
+//!
+//! [`ExecContext`] bundles the three `hi-exec` pieces — thread pool,
+//! cancellation token and (through [`SharedSimEvaluator`]) the shared
+//! evaluation cache — behind one handle that every batch entry point
+//! (`exhaustive_search_par`, `explore_par`, `simulated_annealing_restarts`,
+//! `explore_tradeoff_par`) accepts. A context built with `threads <= 1`
+//! spawns no pool at all and runs the exact sequential code path, so the
+//! parallel entry points strictly generalize the sequential ones.
+
+use hi_exec::{CancelToken, ThreadPool};
+
+use crate::evaluator::{Evaluation, SharedSimEvaluator};
+use crate::point::DesignPoint;
+
+/// Execution resources for the batch search entry points.
+#[derive(Debug)]
+pub struct ExecContext {
+    pool: Option<ThreadPool>,
+    cancel: CancelToken,
+}
+
+impl ExecContext {
+    /// A context with `threads` workers. `threads <= 1` means strictly
+    /// sequential: no pool is spawned and evaluations run on the calling
+    /// thread in input order.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: (threads > 1).then(|| ThreadPool::new(threads)),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The strictly sequential context.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A context sized by [`hi_exec::default_threads`] (the
+    /// `HI_EXEC_THREADS` environment variable, else the machine's
+    /// available parallelism).
+    pub fn from_env() -> Self {
+        Self::new(hi_exec::default_threads())
+    }
+
+    /// Worker threads evaluations run on (1 for the sequential context).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ThreadPool::threads)
+    }
+
+    /// A clone of the context's cancellation token; cancelling it makes
+    /// every engine running under this context stop between evaluations
+    /// and report [`StopReason::Cancelled`](crate::StopReason::Cancelled)
+    /// (or return its current partial result).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether the context has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Applies `f` to every item — on the pool if there is one, else
+    /// sequentially in input order — returning results in input order.
+    /// `None` marks items skipped after cancellation; without
+    /// cancellation every slot is `Some` regardless of thread count.
+    pub(crate) fn map_cancellable<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        match &self.pool {
+            None => items
+                .into_iter()
+                .map(|item| (!self.cancel.is_cancelled()).then(|| f(item)))
+                .collect(),
+            Some(pool) => pool.par_map_cancellable(items, self.cancel.clone(), f),
+        }
+    }
+
+    /// Evaluates `points` against `evaluator`, returning evaluations in
+    /// input order. `None` marks points skipped after cancellation;
+    /// without cancellation every slot is `Some`, bit-identical for every
+    /// thread count.
+    pub fn eval_points(
+        &self,
+        evaluator: &SharedSimEvaluator,
+        points: &[DesignPoint],
+    ) -> Vec<Option<Evaluation>> {
+        let evaluator = evaluator.clone();
+        self.map_cancellable(points.to_vec(), move |p| evaluator.eval_point(&p))
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimProtocol;
+    use crate::point::{MacChoice, Placement, RouteChoice};
+    use hi_des::SimDuration;
+    use hi_net::TxPower;
+
+    fn points() -> Vec<DesignPoint> {
+        TxPower::ALL
+            .iter()
+            .map(|&tx_power| DesignPoint {
+                placement: Placement::from_indices([0, 1, 3, 5]),
+                tx_power,
+                mac: MacChoice::Tdma,
+                routing: RouteChoice::Star,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_context_has_no_pool() {
+        let ctx = ExecContext::sequential();
+        assert_eq!(ctx.threads(), 1);
+        let ctx = ExecContext::new(0);
+        assert_eq!(ctx.threads(), 1);
+    }
+
+    #[test]
+    fn eval_points_is_thread_count_invariant() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(2.0), 1, 17);
+        let run = |threads: usize| {
+            let ctx = ExecContext::new(threads);
+            let ev = protocol.shared_evaluator();
+            ctx.eval_points(&ev, &points())
+        };
+        let sequential = run(1);
+        assert!(sequential.iter().all(Option::is_some));
+        assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn cancelled_context_skips_sequential_work() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(2.0), 1, 17);
+        let ctx = ExecContext::sequential();
+        ctx.cancel_token().cancel();
+        assert!(ctx.is_cancelled());
+        let ev = protocol.shared_evaluator();
+        let out = ctx.eval_points(&ev, &points());
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(ev.cache_len(), 0);
+    }
+}

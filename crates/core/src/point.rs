@@ -177,6 +177,32 @@ impl DesignPoint {
         self.placement.len()
     }
 
+    /// A unique 64-bit fingerprint of the full design vector: the
+    /// placement bitmask in bits 4..14 and the stack configuration
+    /// (power level, MAC bit, routing bit) in bits 0..4.
+    ///
+    /// This is the key of the shared evaluation cache and (split into its
+    /// two halves) the input of the per-point simulation-seed derivation,
+    /// so a point's measured [`Evaluation`](crate::Evaluation) depends
+    /// only on the point itself — never on which engine, thread or
+    /// evaluation order reached it first.
+    pub fn fingerprint(&self) -> u64 {
+        let p = match self.tx_power {
+            TxPower::Minus20Dbm => 0u64,
+            TxPower::Minus10Dbm => 1,
+            TxPower::ZeroDbm => 2,
+        };
+        let m = match self.mac {
+            MacChoice::Csma => 0u64,
+            MacChoice::Tdma => 1,
+        };
+        let r = match self.routing {
+            RouteChoice::Star => 0u64,
+            RouteChoice::Mesh => 1,
+        };
+        (u64::from(self.placement.mask()) << 4) | p | (m << 2) | (r << 3)
+    }
+
     /// Lowers the design point into a simulatable [`NetworkConfig`] with
     /// the paper's §4.1 stack defaults (chest coordinator, 2-hop mesh,
     /// 1 ms TDMA slots, non-persistent CSMA).

@@ -11,7 +11,9 @@ use hi_des::rng;
 use hi_net::TxPower;
 
 use crate::algorithm1::Problem;
-use crate::evaluator::{Evaluation, Evaluator};
+use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::exhaustive::improves;
+use crate::parallel::ExecContext;
 use crate::point::{DesignPoint, MacChoice, Placement, RouteChoice};
 
 /// Annealing schedule parameters.
@@ -113,6 +115,63 @@ pub fn simulated_annealing(
     SaOutcome {
         best,
         steps: params.steps,
+        simulations: evaluator.unique_evaluations() - before,
+    }
+}
+
+/// Multi-restart simulated annealing on the execution engine: `restarts`
+/// independent chains (chain `i` is seeded `derive_seed(base_seed, i)`,
+/// so the chain set is fixed up front) run across `exec`'s thread pool
+/// against the shared evaluation cache, and the best feasible point over
+/// all chains is selected deterministically — lowest power first, ties
+/// resolved to the lowest chain index.
+///
+/// Each chain is internally sequential (annealing is a Markov chain), so
+/// `threads == 1` degenerates to running the chains back to back; any
+/// thread count returns bit-identical results. The shared cache means
+/// chains revisiting each other's states (or states another engine
+/// already simulated) pay nothing, and `simulations` counts unique
+/// simulations across the whole restart batch.
+///
+/// Cancelling `exec` skips chains that have not started; finished chains
+/// still contribute to `best`.
+///
+/// # Panics
+///
+/// Panics if `restarts == 0` or the problem's design space is empty.
+pub fn simulated_annealing_restarts(
+    problem: &Problem,
+    evaluator: &SharedSimEvaluator,
+    params: SaParams,
+    base_seed: u64,
+    restarts: u32,
+    exec: &ExecContext,
+) -> SaOutcome {
+    assert!(restarts > 0, "need at least one restart");
+    let before = evaluator.unique_evaluations();
+    let seeds: Vec<u64> = (0..restarts)
+        .map(|i| rng::derive_seed(base_seed, u64::from(i)))
+        .collect();
+    let chain_bests: Vec<Option<Option<(DesignPoint, Evaluation)>>> = {
+        let problem = problem.clone();
+        let evaluator = evaluator.clone();
+        exec.map_cancellable(seeds, move |seed| {
+            let mut ev = evaluator.clone();
+            simulated_annealing(&problem, &mut ev, params, seed).best
+        })
+    };
+    let mut best: Option<(DesignPoint, Evaluation)> = None;
+    for chain_best in chain_bests.into_iter().flatten().flatten() {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| improves(&chain_best.1, b))
+        {
+            best = Some(chain_best);
+        }
+    }
+    SaOutcome {
+        best,
+        steps: params.steps.saturating_mul(restarts),
         simulations: evaluator.unique_evaluations() - before,
     }
 }

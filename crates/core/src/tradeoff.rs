@@ -9,8 +9,9 @@
 //! memoizing evaluator, so the sweep costs barely more than its most
 //! demanding floor.
 
-use crate::algorithm1::{explore, ExploreError, Problem, StopReason};
-use crate::evaluator::{Evaluation, Evaluator};
+use crate::algorithm1::{explore, explore_par, ExploreError, ExploreOptions, Problem, StopReason};
+use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::parallel::ExecContext;
 use crate::point::DesignPoint;
 
 /// One floor of a trade-off sweep.
@@ -74,6 +75,52 @@ pub fn explore_tradeoff(
         };
         let before = evaluator.unique_evaluations();
         let outcome = explore(&problem, evaluator)?;
+        out.push(TradeoffPoint {
+            pdr_min: floor,
+            best: outcome.best,
+            new_simulations: evaluator.unique_evaluations() - before,
+            stop_reason: outcome.stop_reason,
+        });
+    }
+    Ok(out)
+}
+
+/// [`explore_tradeoff`] on the execution engine: floors run in the given
+/// order (each floor's candidate levels fan out over `exec`'s pool) and
+/// all floors share `evaluator`'s cache, exactly like the sequential
+/// sweep shares its memoized evaluator. Results are bit-identical for
+/// every thread count.
+///
+/// If `exec` is cancelled, the remaining floors are skipped and the sweep
+/// returns the floors finished so far (the cancelled floor reports
+/// [`StopReason::Cancelled`]).
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`].
+///
+/// # Panics
+///
+/// Panics if a floor lies outside `[0, 1]`.
+pub fn explore_tradeoff_par(
+    template: &Problem,
+    floors: &[f64],
+    evaluator: &SharedSimEvaluator,
+    exec: &ExecContext,
+) -> Result<Vec<TradeoffPoint>, ExploreError> {
+    let mut out = Vec::with_capacity(floors.len());
+    for &floor in floors {
+        assert!((0.0..=1.0).contains(&floor), "floor {floor} outside [0, 1]");
+        if exec.is_cancelled() {
+            break;
+        }
+        let problem = Problem {
+            space: template.space.clone(),
+            pdr_min: floor,
+            app: template.app,
+        };
+        let before = evaluator.unique_evaluations();
+        let outcome = explore_par(&problem, evaluator, ExploreOptions::default(), exec)?;
         out.push(TradeoffPoint {
             pdr_min: floor,
             best: outcome.best,

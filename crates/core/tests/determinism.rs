@@ -1,0 +1,204 @@
+//! Cross-thread determinism contract for the parallel search engines.
+//!
+//! The `hi-exec` integration promises that for any thread count the
+//! engines produce *bit-identical* results and the same unique-simulation
+//! accounting. These tests run the real discrete-event simulator (short
+//! protocol) through every parallel entry point at 1, 2 and 8 threads and
+//! compare outcomes field by field.
+
+use hi_core::{
+    exhaustive_search, exhaustive_search_par, explore_par, explore_tradeoff_par,
+    simulated_annealing_restarts, DesignPoint, Evaluation, Evaluator, ExecContext,
+    ExhaustiveOutcome, ExploreOptions, Problem, SaParams, SimProtocol,
+};
+use hi_des::SimDuration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn protocol() -> SimProtocol {
+    SimProtocol::new(SimDuration::from_secs(2.0), 1, 20_260_806)
+}
+
+fn assert_same_best(a: &Option<(DesignPoint, Evaluation)>, b: &Option<(DesignPoint, Evaluation)>) {
+    match (a, b) {
+        (None, None) => {}
+        (Some((pa, ea)), Some((pb, eb))) => {
+            assert_eq!(pa, pb, "chosen optimum differs");
+            assert_eq!(ea, eb, "optimum's evaluation differs");
+        }
+        _ => panic!("feasibility verdict differs: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn exhaustive_search_is_bit_identical_across_thread_counts() {
+    let problem = Problem::paper_default(0.7);
+    let run = |threads: usize| -> ExhaustiveOutcome {
+        let exec = ExecContext::new(threads);
+        let evaluator = protocol().shared_evaluator();
+        exhaustive_search_par(&problem, &evaluator, &exec)
+    };
+    let baseline = run(1);
+    assert!(baseline.best.is_some(), "70% floor must be feasible");
+    for threads in &THREAD_COUNTS[1..] {
+        let outcome = run(*threads);
+        assert_same_best(&baseline.best, &outcome.best);
+        assert_eq!(
+            baseline.evaluations, outcome.evaluations,
+            "{threads} threads evaluated a different number of points"
+        );
+        assert_eq!(
+            baseline.simulations, outcome.simulations,
+            "{threads} threads changed the unique-simulation count"
+        );
+    }
+}
+
+#[test]
+fn parallel_exhaustive_matches_the_sequential_engine() {
+    let problem = Problem::paper_default(0.7);
+    let mut sequential_eval = protocol().evaluator();
+    let sequential = exhaustive_search(&problem, &mut sequential_eval);
+
+    let exec = ExecContext::new(4);
+    let evaluator = protocol().shared_evaluator();
+    let parallel = exhaustive_search_par(&problem, &evaluator, &exec);
+
+    assert_same_best(&sequential.best, &parallel.best);
+    assert_eq!(sequential.evaluations, parallel.evaluations);
+    assert_eq!(sequential.simulations, parallel.simulations);
+}
+
+#[test]
+fn algorithm1_is_bit_identical_across_thread_counts() {
+    let problem = Problem::paper_default(0.7);
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = protocol().shared_evaluator();
+        explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+            .expect("exploration succeeds")
+    };
+    let baseline = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        let outcome = run(*threads);
+        assert_same_best(&baseline.best, &outcome.best);
+        assert_eq!(baseline.stop_reason, outcome.stop_reason);
+        assert_eq!(baseline.iterations, outcome.iterations);
+        assert_eq!(
+            baseline.simulations, outcome.simulations,
+            "{threads} threads changed Algorithm 1's simulation count"
+        );
+    }
+}
+
+#[test]
+fn sa_restarts_are_bit_identical_across_thread_counts() {
+    let problem = Problem::paper_default(0.7);
+    let params = SaParams {
+        steps: 40,
+        ..SaParams::default()
+    };
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = protocol().shared_evaluator();
+        simulated_annealing_restarts(&problem, &evaluator, params, 7, 4, &exec)
+    };
+    let baseline = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        let outcome = run(*threads);
+        assert_same_best(&baseline.best, &outcome.best);
+        assert_eq!(baseline.steps, outcome.steps);
+        assert_eq!(
+            baseline.simulations, outcome.simulations,
+            "{threads} threads changed the restart batch's simulation count"
+        );
+    }
+}
+
+#[test]
+fn tradeoff_sweep_is_bit_identical_across_thread_counts() {
+    let template = Problem::paper_default(0.5);
+    let floors = [0.5, 0.7];
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = protocol().shared_evaluator();
+        explore_tradeoff_par(&template, &floors, &evaluator, &exec).expect("sweep succeeds")
+    };
+    let baseline = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        let sweep = run(*threads);
+        assert_eq!(baseline.len(), sweep.len());
+        for (b, s) in baseline.iter().zip(&sweep) {
+            assert_eq!(b.pdr_min, s.pdr_min);
+            assert_same_best(&b.best, &s.best);
+            assert_eq!(b.new_simulations, s.new_simulations);
+            assert_eq!(b.stop_reason, s.stop_reason);
+        }
+    }
+}
+
+#[test]
+fn engines_share_one_cache_so_a_second_engine_is_free() {
+    // Exhaustive search visits every feasible point, so Algorithm 1 run
+    // against the same shared evaluator afterwards needs zero new
+    // simulations — the cross-engine cache-sharing the subsystem exists
+    // for.
+    let problem = Problem::paper_default(0.7);
+    let exec = ExecContext::new(2);
+    let evaluator = protocol().shared_evaluator();
+
+    let sweep = exhaustive_search_par(&problem, &evaluator, &exec);
+    assert!(sweep.simulations > 0);
+
+    let explored = explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+        .expect("exploration succeeds");
+    assert_eq!(
+        explored.simulations, 0,
+        "Algorithm 1 re-simulated points the sweep already covered"
+    );
+    assert_same_best(&sweep.best, &explored.best);
+}
+
+#[test]
+fn cache_hit_accounting_is_thread_count_invariant() {
+    let problem = Problem::paper_default(0.7);
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = protocol().shared_evaluator();
+        let _ = exhaustive_search_par(&problem, &evaluator, &exec);
+        let _ = exhaustive_search_par(&problem, &evaluator, &exec);
+        (
+            evaluator.unique_evaluations(),
+            evaluator.cache_hits(),
+            evaluator.cache_len(),
+        )
+    };
+    let baseline = run(1);
+    assert!(baseline.1 > 0, "second pass must hit the cache");
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            baseline,
+            run(*threads),
+            "{threads} threads changed accounting"
+        );
+    }
+}
+
+#[test]
+fn evaluator_panic_reaches_the_caller_through_the_pool() {
+    // A poisoned point must abort the batch with the worker's own panic
+    // message, not hang or return partial results silently.
+    let pool = hi_exec::ThreadPool::new(2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.par_map((0..8u32).collect::<Vec<_>>(), |x| {
+            assert!(x != 5, "simulator diverged on point {x}");
+            x
+        })
+    }));
+    let payload = result.expect_err("panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(message.contains("simulator diverged on point 5"));
+}

@@ -1,0 +1,222 @@
+//! A sharded concurrent memo cache with exactly-once compute semantics.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct ShardState<K, V> {
+    map: HashMap<K, V>,
+    /// Keys some thread is currently computing. Racing threads wait on the
+    /// shard's condvar instead of duplicating the (expensive) compute.
+    in_flight: HashSet<K>,
+}
+
+struct Shard<K, V> {
+    state: Mutex<ShardState<K, V>>,
+    settled: Condvar,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(ShardState {
+                map: HashMap::new(),
+                in_flight: HashSet::new(),
+            }),
+            settled: Condvar::new(),
+        }
+    }
+}
+
+/// Removes the in-flight marker even if the compute panics, so waiters
+/// wake up and retry (one of them becomes the new computer) instead of
+/// hanging forever.
+struct InFlightGuard<'a, K: Eq + Hash + Clone, V> {
+    shard: &'a Shard<K, V>,
+    key: &'a K,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for InFlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = self.shard.state.lock().expect("cache shard lock");
+            state.in_flight.remove(self.key);
+            drop(state);
+            self.shard.settled.notify_all();
+        }
+    }
+}
+
+/// A concurrent memoization cache keyed by cheap fingerprints.
+///
+/// The map is split over mutex-protected shards so lookups from different
+/// workers rarely contend, and no lock is ever held *during* a compute.
+/// When two workers miss the same key simultaneously, one computes while
+/// the other waits on the shard's condvar and then reads the cached value:
+/// every key is computed **exactly once** per process. That makes the
+/// miss counter — the workspace's "unique simulations" metric —
+/// independent of the thread count, which the cross-thread determinism
+/// suite asserts.
+///
+/// Values are returned by clone; keep them small and `Copy`-like (the
+/// workspace caches 24-byte `Evaluation` structs).
+pub struct EvalCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    /// Shard selection must be stable for the cache's lifetime, so one
+    /// hasher instance is fixed at construction (per-`HashMap` random
+    /// states would disagree with each other).
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> std::fmt::Debug for EvalCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl<K, V> EvalCache<K, V> {
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Unique computes performed — the workspace's "unique simulations"
+    /// count. Independent of thread count by the exactly-once contract.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for EvalCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
+    /// A cache with the default shard count (32).
+    pub fn new() -> Self {
+        Self::with_shards(32)
+    }
+
+    /// A cache with `shards` shards (rounded up to a power of two, at
+    /// least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..count).map(|_| Shard::new()).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let index = self.hasher.hash_one(key) as usize & (self.shards.len() - 1);
+        &self.shards[index]
+    }
+
+    /// Returns the cached value for `key`, or runs `compute` (without
+    /// holding any lock) and caches its result.
+    ///
+    /// Concurrent callers with the same key are coalesced: exactly one
+    /// runs `compute`, the rest block until the value lands. If the
+    /// compute panics, the panic propagates to its caller and one of the
+    /// waiters retries the computation.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        {
+            let mut state = shard.state.lock().expect("cache shard lock");
+            loop {
+                if let Some(value) = state.map.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return value.clone();
+                }
+                if state.in_flight.contains(&key) {
+                    state = shard.settled.wait(state).expect("cache shard wait");
+                    continue;
+                }
+                state.in_flight.insert(key.clone());
+                break;
+            }
+        }
+        let mut guard = InFlightGuard {
+            shard,
+            key: &key,
+            armed: true,
+        };
+        let value = compute();
+        {
+            let mut state = shard.state.lock().expect("cache shard lock");
+            state.map.insert(key.clone(), value.clone());
+            state.in_flight.remove(&key);
+        }
+        guard.armed = false;
+        shard.settled.notify_all();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let state = self.shard(key).state.lock().expect("cache shard lock");
+        state.map.get(key).cloned()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache: EvalCache<u64, u64> = EvalCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get_or_compute(3, || 30), 30);
+        assert_eq!(cache.get_or_compute(3, || unreachable!("cached")), 30);
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.get(&4), None);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache: EvalCache<u64, u64> = EvalCache::with_shards(3);
+        assert_eq!(cache.shards.len(), 4);
+        let cache: EvalCache<u64, u64> = EvalCache::with_shards(0);
+        assert_eq!(cache.shards.len(), 1);
+    }
+
+    #[test]
+    fn panicking_compute_unblocks_waiters() {
+        let cache: EvalCache<u64, u64> = EvalCache::with_shards(1);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(9, || panic!("compute failed"))
+        }));
+        assert!(boom.is_err());
+        // The in-flight marker was cleaned up; a retry computes normally.
+        assert_eq!(cache.get_or_compute(9, || 90), 90);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared flag for cooperative cancellation.
+///
+/// Clones observe the same flag. Cancellation is *cooperative*: nothing is
+/// interrupted preemptively — [`ThreadPool::par_map_cancellable`]
+/// (and any engine loop holding a token) checks the flag between tasks
+/// and skips work whose result can no longer matter. A task that already
+/// started always runs to completion, so data structures are never seen
+/// half-updated.
+///
+/// [`ThreadPool::par_map_cancellable`]: crate::ThreadPool::par_map_cancellable
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+}

@@ -1,0 +1,70 @@
+//! `hi-exec` — deterministic parallel execution for the `hi-opt` workspace.
+//!
+//! Every search engine in the workspace (exhaustive sweeps, Algorithm 1's
+//! candidate-pool evaluation, simulated-annealing restarts) spends almost
+//! all of its time inside independent per-point simulations. This crate
+//! provides the three pieces needed to run them on all cores **without
+//! changing any result**:
+//!
+//! * [`ThreadPool`] — a work-stealing pool (per-worker deques plus a
+//!   global injector, condvar-based parking) whose [`ThreadPool::par_map`]
+//!   always returns results in input order and re-raises worker panics on
+//!   the calling thread;
+//! * [`EvalCache`] — a sharded concurrent memo cache with exactly-once
+//!   compute semantics: when several workers race on the same key, one
+//!   simulates and the rest wait, so the unique-evaluation count is
+//!   independent of the thread count;
+//! * [`CancelToken`] — cooperative cancellation, checked between tasks so
+//!   a search can stop in-flight batches as soon as it knows their result
+//!   can no longer matter.
+//!
+//! # Determinism contract
+//!
+//! `par_map` assigns task *i* the *i*-th input and stores its result in
+//! slot *i*; scheduling only decides *when* a task runs, never *what* it
+//! computes or *where* its result lands. Combined with per-key
+//! exactly-once caching, any reduction over `par_map` output in input
+//! order is bit-identical for every thread count, including 1.
+//!
+//! The crate is `std`-only and contains no `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod cancel;
+mod pool;
+
+pub use cache::EvalCache;
+pub use cancel::CancelToken;
+pub use pool::ThreadPool;
+
+/// The default worker-thread count: the `HI_EXEC_THREADS` environment
+/// variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (falling back to 4 if even that
+/// is unknown).
+///
+/// CI runs the whole test suite twice — `HI_EXEC_THREADS=1` and unset —
+/// to prove results do not depend on this value.
+pub fn default_threads() -> usize {
+    match std::env::var("HI_EXEC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

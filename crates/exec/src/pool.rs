@@ -1,0 +1,374 @@
+//! The work-stealing thread pool and its order-preserving `par_map`.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cancel::CancelToken;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker. The owner pops from the front; thieves steal
+    /// from the back, so a stolen task is the one the owner would have
+    /// reached last.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue for work not pinned to any worker.
+    injector: Mutex<VecDeque<Job>>,
+    /// Wake-up generation: bumped (under the lock) on every submission so
+    /// a parked worker can tell "nothing new" from "new work arrived
+    /// between my scan and my sleep".
+    generation: Mutex<u64>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Finds the next runnable job for worker `id`: own deque first, then
+    /// the injector, then steal round-robin from the siblings.
+    fn next_job(&self, id: usize) -> Option<Job> {
+        if let Some(job) = self.queues[id].lock().expect("queue lock").pop_front() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let victim = (id + k) % n;
+            if let Some(job) = self.queues[victim].lock().expect("queue lock").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Bumps the generation and wakes every parked worker.
+    fn notify_new_work(&self) {
+        let mut generation = self.generation.lock().expect("generation lock");
+        *generation = generation.wrapping_add(1);
+        self.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(id: usize, shared: Arc<Shared>) {
+    loop {
+        // Remember the generation *before* scanning: if a submission lands
+        // after the scan, its bump makes the parking check below fail and
+        // we rescan instead of sleeping through the wake-up.
+        let observed = *shared.generation.lock().expect("generation lock");
+        if let Some(job) = shared.next_job(id) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut generation = shared.generation.lock().expect("generation lock");
+        while *generation == observed && !shared.shutdown.load(Ordering::Acquire) {
+            generation = shared.wakeup.wait(generation).expect("wakeup wait");
+        }
+    }
+}
+
+/// Completion tracking for one `par_map` call.
+struct MapState<R> {
+    /// Slot *i* receives the result of input *i*; order is therefore fixed
+    /// by construction, not by scheduling.
+    results: Vec<Mutex<Option<R>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload observed in any worker; re-raised by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<R> MapState<R> {
+    fn new(len: usize) -> Self {
+        Self {
+            results: (0..len).map(|_| Mutex::new(None)).collect(),
+            remaining: Mutex::new(len),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().expect("remaining lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Workers live as long as the pool; dropping the pool joins them. Tasks
+/// are distributed round-robin over per-worker deques and rebalance
+/// through stealing, so an unlucky distribution (a few expensive tasks on
+/// one worker) cannot serialize a batch.
+///
+/// # Panics in tasks
+///
+/// A panicking task does not kill its worker: the payload is captured and
+/// [`resume_unwind`]ed on the thread that called [`par_map`], after the
+/// whole batch has settled — exactly like the sequential loop it replaces.
+///
+/// # Nesting
+///
+/// `par_map` blocks the calling thread; calling it from *inside* a pool
+/// task would park a worker and can deadlock a single-threaded pool. The
+/// engines in this workspace never nest pools.
+///
+/// [`par_map`]: Self::par_map
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            generation: Mutex::new(0),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hi-exec-{id}"))
+                    .spawn(move || worker_loop(id, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized by [`crate::default_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Applies `f` to every item, in parallel, returning the results **in
+    /// input order**.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the first captured payload is re-raised here
+    /// after all tasks of the batch have settled.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.run_map(items, None, f)
+            .into_iter()
+            .map(|slot| slot.expect("no task was cancelled"))
+            .collect()
+    }
+
+    /// [`par_map`](Self::par_map) with cooperative cancellation: tasks
+    /// that have not *started* when `cancel` fires are skipped and yield
+    /// `None`; tasks already running complete normally. Completed slots
+    /// keep their input-order position.
+    pub fn par_map_cancellable<T, R, F>(
+        &self,
+        items: Vec<T>,
+        cancel: CancelToken,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.run_map(items, Some(cancel), f)
+    }
+
+    fn run_map<T, R, F>(&self, items: Vec<T>, cancel: Option<CancelToken>, f: F) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let state = Arc::new(MapState::new(n));
+        let f = Arc::new(f);
+        let threads = self.threads();
+        for (index, item) in items.into_iter().enumerate() {
+            let state = Arc::clone(&state);
+            let f = Arc::clone(&f);
+            let cancel = cancel.clone();
+            let job: Job = Box::new(move || {
+                let skipped = cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                if !skipped {
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(result) => {
+                            *state.results[index].lock().expect("result lock") = Some(result);
+                        }
+                        Err(payload) => {
+                            let mut first = state.panic.lock().expect("panic lock");
+                            if first.is_none() {
+                                *first = Some(payload);
+                            }
+                        }
+                    }
+                }
+                state.finish_one();
+            });
+            self.shared.queues[index % threads]
+                .lock()
+                .expect("queue lock")
+                .push_back(job);
+        }
+        self.shared.notify_new_work();
+
+        let mut remaining = state.remaining.lock().expect("remaining lock");
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).expect("done wait");
+        }
+        drop(remaining);
+
+        if let Some(payload) = state.panic.lock().expect("panic lock").take() {
+            resume_unwind(payload);
+        }
+        // Workers may still hold their `Arc` clones for an instant after
+        // the final `finish_one`, so take the slots through ours instead
+        // of unwrapping the `Arc`.
+        state
+            .results
+            .iter()
+            .map(|slot| slot.lock().expect("result lock").take())
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_new_work();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a task is a bug, but joining
+            // its corpse should not abort the caller's shutdown.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = pool.par_map(items.clone(), |x| x * 3 + 1);
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_thread_pool_completes() {
+        let pool = ThreadPool::new(1);
+        let out = pool.par_map(vec![1u32, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.par_map(vec![7u8], |x| x), vec![7]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u8> = pool.par_map(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_repeated_batches() {
+        let pool = ThreadPool::new(3);
+        for round in 0..10u64 {
+            let out = pool.par_map((0..50).collect::<Vec<u64>>(), move |x| x + round);
+            assert_eq!(out[49], 49 + round);
+        }
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map((0..16u32).collect::<Vec<_>>(), |x| {
+                assert!(x != 7, "task 7 exploded");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after a panicking batch.
+        assert_eq!(pool.par_map(vec![1u32], |x| x + 1), vec![2]);
+    }
+
+    #[test]
+    fn cancelled_tasks_are_skipped() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = pool.par_map_cancellable((0..8u32).collect::<Vec<_>>(), token, |x| x);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let pool = ThreadPool::new(2);
+        let out =
+            pool.par_map_cancellable((0..8u32).collect::<Vec<_>>(), CancelToken::new(), |x| x * 2);
+        let got: Vec<u32> = out.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_batches() {
+        // Worker 0 gets all the slow tasks by round-robin; the batch can
+        // only finish quickly if siblings steal them.
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..16).collect();
+        let out = pool.par_map(items, |x| {
+            if x % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+}

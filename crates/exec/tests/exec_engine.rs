@@ -1,0 +1,114 @@
+//! Integration tests for the execution engine: ordering, stealing,
+//! panic propagation, cancellation and exactly-once cache semantics
+//! under real cross-thread contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hi_exec::{CancelToken, EvalCache, ThreadPool};
+
+#[test]
+fn par_map_order_is_stable_across_thread_counts() {
+    let items: Vec<u64> = (0..500).collect();
+    let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+    for threads in [1, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let out = pool.par_map(items.clone(), |x| x.wrapping_mul(0x9E37_79B9));
+        assert_eq!(out, expected, "thread count {threads} changed the output");
+    }
+}
+
+#[test]
+fn worker_panic_reaches_the_caller_with_its_message() {
+    let pool = ThreadPool::new(4);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.par_map((0..64u32).collect::<Vec<_>>(), |x| {
+            assert!(x != 33, "evaluator rejected point {x}");
+            x
+        })
+    }))
+    .expect_err("the batch must panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("evaluator rejected point 33"),
+        "unexpected payload: {message:?}"
+    );
+}
+
+#[test]
+fn cancellation_mid_batch_keeps_completed_prefix_slots() {
+    let pool = ThreadPool::new(2);
+    let token = CancelToken::new();
+    let cancel_from_task = token.clone();
+    let observed_from_task = token.clone();
+    // Task 0 cancels the batch; every other in-flight task holds (bounded,
+    // so a pathological schedule cannot deadlock the test) until the
+    // cancel fires, guaranteeing most of the batch is still queued — and
+    // therefore skipped — when cancellation lands, on any scheduler.
+    let out = pool.par_map_cancellable((0..1000u64).collect::<Vec<_>>(), token, move |x| {
+        if x == 0 {
+            cancel_from_task.cancel();
+        } else {
+            let start = std::time::Instant::now();
+            while !observed_from_task.is_cancelled()
+                && start.elapsed() < std::time::Duration::from_millis(500)
+            {
+                std::thread::yield_now();
+            }
+        }
+        x + 1
+    });
+    assert_eq!(out.len(), 1000);
+    assert!(out.iter().any(Option::is_some));
+    assert!(
+        out.iter().any(Option::is_none),
+        "cancellation had no effect"
+    );
+    for (i, slot) in out.iter().enumerate() {
+        if let Some(v) = slot {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+}
+
+#[test]
+fn cache_computes_every_key_exactly_once_under_contention() {
+    let cache: Arc<EvalCache<u64, u64>> = Arc::new(EvalCache::with_shards(4));
+    let computes = Arc::new(AtomicU64::new(0));
+    let pool = ThreadPool::new(8);
+    // 800 tasks hammer 10 distinct keys.
+    let keys: Vec<u64> = (0..800).map(|i| i % 10).collect();
+    let (cache2, computes2) = (Arc::clone(&cache), Arc::clone(&computes));
+    let out = pool.par_map(keys.clone(), move |k| {
+        cache2.get_or_compute(k, || {
+            computes2.fetch_add(1, Ordering::Relaxed);
+            k * 100
+        })
+    });
+    assert_eq!(computes.load(Ordering::Relaxed), 10, "duplicated computes");
+    assert_eq!(cache.misses(), 10);
+    assert_eq!(cache.hits(), 790);
+    assert_eq!(cache.len(), 10);
+    for (k, v) in keys.iter().zip(&out) {
+        assert_eq!(*v, k * 100);
+    }
+}
+
+#[test]
+fn cache_values_agree_between_pool_sizes() {
+    // The same work done on different pool sizes must produce the same
+    // cache contents and the same miss count.
+    let run = |threads: usize| {
+        let cache: Arc<EvalCache<u64, u64>> = Arc::new(EvalCache::new());
+        let pool = ThreadPool::new(threads);
+        let cache2 = Arc::clone(&cache);
+        let out = pool.par_map((0..100u64).collect::<Vec<_>>(), move |k| {
+            cache2.get_or_compute(k % 7, || (k % 7) * 3)
+        });
+        (out, cache.misses())
+    };
+    assert_eq!(run(1), run(8));
+}

@@ -1,20 +1,26 @@
 //! `hi-opt` command-line interface.
 //!
 //! ```text
-//! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42]
+//! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42] [--threads 8]
 //! hi-opt simulate --sites 0,1,3,5 --power 0 --mac tdma --routing mesh
 //! hi-opt space
 //! hi-opt lint
 //! ```
+//!
+//! Every simulation-backed command takes `--threads <n>` and fans its
+//! evaluations over the `hi-exec` pool; results are bit-identical for
+//! every thread count.
 
 use std::process::ExitCode;
 
 use hi_opt::channel::{BodyLocation, ChannelParams};
 use hi_opt::des::SimDuration;
-use hi_opt::net::{simulate_averaged, MacKind, NetworkConfig, Routing, TxPower};
+use hi_opt::net::{
+    average_outcomes, simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower,
+};
 use hi_opt::{
-    explore, explore_tradeoff, DesignSpace, Evaluator, MilpEncoding, Problem, SimEvaluator,
-    TopologyConstraints,
+    explore_par, explore_tradeoff_par, DesignSpace, Evaluator, ExecContext, ExploreOptions,
+    MilpEncoding, Problem, SimProtocol, TopologyConstraints,
 };
 
 const USAGE: &str = "\
@@ -22,9 +28,12 @@ hi-opt — optimized design of a Human Intranet network (DAC 2017)
 
 USAGE:
     hi-opt explore  --pdr-min <0..1> [--tsim <secs>] [--runs <n>] [--seed <n>]
+                    [--threads <n>]
     hi-opt tradeoff [--floors <p1,p2,...>] [--tsim <secs>] [--runs <n>] [--seed <n>]
+                    [--threads <n>]
     hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
                     --routing <star|mesh> [--tsim <secs>] [--runs <n>] [--seed <n>]
+                    [--threads <n>]
     hi-opt space
     hi-opt lint     [--seed <n>]
 
@@ -40,6 +49,10 @@ COMMANDS:
                MILP encoding, the full Algorithm-1 cut ladder and a sample
                event schedule; exits 1 on error-severity findings
 
+`--threads <n>` sizes the deterministic evaluation pool (default: the
+HI_EXEC_THREADS environment variable, else all cores). Any value yields
+bit-identical results; 1 disables the pool entirely.
+
 SITES (index = paper's n_i):
     0 chest  1 l-hip  2 r-hip  3 l-ankle  4 r-ankle
     5 l-wrist  6 r-wrist  7 l-arm  8 head  9 back
@@ -49,6 +62,20 @@ struct Common {
     t_sim: SimDuration,
     runs: u32,
     seed: u64,
+    threads: usize,
+}
+
+impl Common {
+    /// The one simulation protocol every evaluator of this invocation is
+    /// built from, so `--tsim`/`--runs`/`--seed` cannot drift between the
+    /// sequential path and the pool workers.
+    fn protocol(&self) -> SimProtocol {
+        SimProtocol::new(self.t_sim, self.runs, self.seed)
+    }
+
+    fn exec_context(&self) -> ExecContext {
+        ExecContext::new(self.threads)
+    }
 }
 
 fn main() -> ExitCode {
@@ -84,6 +111,7 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), Stri
         t_sim: SimDuration::from_secs(60.0),
         runs: 3,
         seed: 0xDAC_2017,
+        threads: hi_opt::exec::default_threads(),
     };
     let mut rest = Vec::new();
     let mut i = 0;
@@ -100,12 +128,18 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), Stri
             }
             "--runs" => common.runs = value.parse().map_err(|_| "bad --runs".to_owned())?,
             "--seed" => common.seed = value.parse().map_err(|_| "bad --seed".to_owned())?,
+            "--threads" => {
+                common.threads = value.parse().map_err(|_| "bad --threads".to_owned())?
+            }
             _ => rest.push((key, value)),
         }
         i += 2;
     }
     if common.runs == 0 {
         return Err("--runs must be at least 1".into());
+    }
+    if common.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     if common.t_sim.is_zero() {
         return Err("--tsim must be positive".into());
@@ -129,13 +163,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         return Err("--pdr-min must be within [0, 1]".into());
     }
     let problem = Problem::paper_default(pdr_min);
-    let mut evaluator = SimEvaluator::new(
-        ChannelParams::default(),
-        common.t_sim,
-        common.runs,
-        common.seed,
-    );
-    let outcome = explore(&problem, &mut evaluator).map_err(|e| e.to_string())?;
+    let evaluator = common.protocol().shared_evaluator();
+    let exec = common.exec_context();
+    let outcome = explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+        .map_err(|e| e.to_string())?;
     match outcome.best {
         Some((point, eval)) => {
             println!("optimal design : {point}");
@@ -183,13 +214,10 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
         return Err("floors must be percentages within [0, 100]".into());
     }
     let template = Problem::paper_default(0.5);
-    let mut evaluator = SimEvaluator::new(
-        ChannelParams::default(),
-        common.t_sim,
-        common.runs,
-        common.seed,
-    );
-    let sweep = explore_tradeoff(&template, &floors, &mut evaluator).map_err(|e| e.to_string())?;
+    let evaluator = common.protocol().shared_evaluator();
+    let exec = common.exec_context();
+    let sweep =
+        explore_tradeoff_par(&template, &floors, &evaluator, &exec).map_err(|e| e.to_string())?;
     println!(
         "{:>7}  {:<34} {:>7} {:>10}",
         "PDRmin", "design", "PDR", "lifetime"
@@ -275,14 +303,25 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     };
     let cfg = NetworkConfig::new(placements, power, mac, routing);
     cfg.validate().map_err(|e| e.to_string())?;
-    let out = simulate_averaged(
-        &cfg,
-        ChannelParams::default(),
-        common.t_sim,
-        common.seed,
-        common.runs,
-    )
-    .map_err(|e| e.to_string())?;
+    // Replication r always gets seed `base + r` in input order, so the
+    // pooled average is bit-identical to `hi_net::simulate_averaged`.
+    let workers = common.threads.min(common.runs as usize);
+    let run_one = {
+        let cfg = cfg.clone();
+        let (t_sim, seed) = (common.t_sim, common.seed);
+        move |r: u32| {
+            simulate_stochastic(&cfg, ChannelParams::default(), t_sim, seed + u64::from(r))
+        }
+    };
+    let replications: Result<Vec<_>, _> = if workers > 1 {
+        let pool = hi_opt::exec::ThreadPool::new(workers);
+        pool.par_map((0..common.runs).collect(), run_one)
+            .into_iter()
+            .collect()
+    } else {
+        (0..common.runs).map(run_one).collect()
+    };
+    let out = average_outcomes(&replications.map_err(|e| e.to_string())?);
     println!("configuration  : {}", cfg.summary());
     println!("PDR            : {:.2}%", out.pdr_percent());
     println!("lifetime       : {:.1} days", out.nlt_days);

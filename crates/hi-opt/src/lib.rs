@@ -5,6 +5,8 @@
 //! Intranet Network"*, DAC 2017. It re-exports the workspace crates under
 //! one roof:
 //!
+//! * [`exec`] — the deterministic parallel execution engine (work-stealing
+//!   pool, shared evaluation cache, cancellation);
 //! * [`milp`] — the exact MILP solver (simplex + branch & bound + pools);
 //! * [`lint`] — the static analyzer over models, schedules and spaces;
 //! * [`des`] — the discrete-event simulation kernel;
@@ -36,14 +38,16 @@
 pub use hi_channel as channel;
 pub use hi_core as core;
 pub use hi_des as des;
+pub use hi_exec as exec;
 pub use hi_lint as lint;
 pub use hi_milp as milp;
 pub use hi_net as net;
 
 pub use hi_core::{
-    exhaustive_search, explore, explore_tradeoff, explore_with_options, simulated_annealing,
-    AppProfile, DesignPoint, DesignSpace, Evaluation, Evaluator, ExhaustiveOutcome,
-    ExplorationOutcome, ExploreError, ExploreOptions, FnEvaluator, MacChoice, MilpEncoding,
-    Placement, Problem, RouteChoice, SaOutcome, SaParams, SimEvaluator, StopReason,
-    TopologyConstraints, TradeoffPoint,
+    exhaustive_search, exhaustive_search_par, explore, explore_par, explore_tradeoff,
+    explore_tradeoff_par, explore_with_options, simulated_annealing, simulated_annealing_restarts,
+    AppProfile, CancelToken, DesignPoint, DesignSpace, Evaluation, Evaluator, ExecContext,
+    ExhaustiveOutcome, ExplorationOutcome, ExploreError, ExploreOptions, FnEvaluator, MacChoice,
+    MilpEncoding, Placement, Problem, RouteChoice, SaOutcome, SaParams, SharedSimEvaluator,
+    SimEvaluator, SimProtocol, StopReason, TopologyConstraints, TradeoffPoint,
 };

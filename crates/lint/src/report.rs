@@ -34,7 +34,10 @@ impl fmt::Display for Severity {
 }
 
 /// Stable identifier of a lint rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Variants are declared in ascending `HLxxx` code order, so the derived
+/// `Ord` sorts findings exactly as their codes read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum RuleId {
     /// A variable bound is NaN, or a lower bound of `+inf` / upper of `-inf`.
@@ -128,7 +131,7 @@ impl fmt::Display for RuleId {
 }
 
 /// What a finding points at.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Span {
     /// A decision variable, by model index and name.
     Variable {
@@ -271,6 +274,22 @@ impl Report {
     pub fn has_rule(&self, rule: RuleId) -> bool {
         self.findings.iter().any(|f| f.rule == rule)
     }
+
+    /// Puts the report in canonical form: findings sorted by rule code,
+    /// then span, then message, with exact duplicates removed. Analyses
+    /// that visit the same object from several directions (e.g. a cut
+    /// ladder re-linting the model after every cut) can fire the same
+    /// finding repeatedly; consumers that attach findings to a result
+    /// call this first so the list is deterministic and minimal.
+    pub fn normalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            a.rule
+                .cmp(&b.rule)
+                .then_with(|| a.span.cmp(&b.span))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        self.findings.dedup();
+    }
 }
 
 impl fmt::Display for Report {
@@ -358,6 +377,49 @@ mod tests {
         assert!(
             text.contains("1 error(s), 1 warning(s), 0 info(s)"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn normalize_sorts_by_code_then_span_and_dedupes() {
+        let mut r = Report::new();
+        let dup = Finding::new(
+            RuleId::DuplicateRow,
+            Span::Row {
+                index: 3,
+                name: "c3".into(),
+            },
+            "same as row `c1`",
+        );
+        r.push(dup.clone());
+        r.push(Finding::new(
+            RuleId::CrossedBounds,
+            Span::Variable {
+                index: 1,
+                name: "y".into(),
+            },
+            "lb 2 > ub 1",
+        ));
+        r.push(dup.clone());
+        r.push(Finding::new(
+            RuleId::CrossedBounds,
+            Span::Variable {
+                index: 0,
+                name: "x".into(),
+            },
+            "lb 3 > ub 2",
+        ));
+        r.normalize();
+        let rules: Vec<_> = r.findings().iter().map(|f| f.rule.code()).collect();
+        assert_eq!(rules, vec!["HL002", "HL002", "HL007"]);
+        assert_eq!(r.findings().len(), 3, "duplicate finding must collapse");
+        assert_eq!(
+            r.findings()[0].span,
+            Span::Variable {
+                index: 0,
+                name: "x".into()
+            },
+            "equal-rule findings sort by span"
         );
     }
 

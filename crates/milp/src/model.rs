@@ -319,7 +319,10 @@ impl Model {
     /// reported through [`Solution::status`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.validate()?;
-        let report = self.lint();
+        let mut report = self.lint();
+        // Canonical order + dedup, so the findings riding on the solution
+        // are deterministic however many passes produced them.
+        report.normalize();
         if report.has_errors() {
             let first = report
                 .with_severity(hi_lint::Severity::Error)
