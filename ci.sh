@@ -19,4 +19,27 @@ target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 1 > /tmp
 target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 > /tmp/hi_ci_t8.txt
 diff /tmp/hi_ci_t1.txt /tmp/hi_ci_t8.txt
 
+# Robust (fault-injected) exploration must be just as thread-invariant:
+# same suite, same floor, 1 vs 8 workers, byte-identical stdout.
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 1 \
+    --faults scenarios/demo.suite --robust worst > /tmp/hi_ci_rob_t1.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --robust worst > /tmp/hi_ci_rob_t8.txt
+diff /tmp/hi_ci_rob_t1.txt /tmp/hi_ci_rob_t8.txt
+
+# ...and must pick a more conservative optimum than the nominal run on
+# the demo suite (the whole point of Γ-robust feasibility).
+! diff -q /tmp/hi_ci_t1.txt /tmp/hi_ci_rob_t1.txt > /dev/null
+
+# Graceful-degradation gate: a run interrupted by --budget and resumed
+# from its --checkpoint must print byte-identical stdout to an
+# uninterrupted run of the same exploration.
+rm -f /tmp/hi_ci_cp.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --budget 20 --checkpoint /tmp/hi_ci_cp.txt > /tmp/hi_ci_partial.txt
+grep -q BudgetExhausted /tmp/hi_ci_partial.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --checkpoint /tmp/hi_ci_cp.txt --resume > /tmp/hi_ci_resumed.txt
+diff /tmp/hi_ci_t8.txt /tmp/hi_ci_resumed.txt
+
 HI_BENCH_QUICK=1 cargo bench

@@ -81,6 +81,7 @@ fn alpha_correction(opts: &ExpOptions) {
                 &mut ev,
                 ExploreOptions {
                     alpha_correction: alpha,
+                    ..ExploreOptions::default()
                 },
             )
             .expect("explore");

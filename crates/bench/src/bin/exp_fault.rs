@@ -11,7 +11,10 @@
 use hi_bench::ExpOptions;
 use hi_channel::{BodyLocation, ChannelParams};
 use hi_des::SimDuration;
-use hi_net::{simulate_averaged, MacKind, NetworkConfig, NodeFault, Routing, TxPower};
+use hi_net::{
+    simulate_averaged, FaultScenario, MacKind, NetworkConfig, NodeFault, Routing, SiteOutage,
+    TxPower, Window,
+};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -73,4 +76,47 @@ fn main() {
         }
     }
     println!("\n# the mesh loses a relay; the star can lose its spine.");
+
+    // Scenario-scripted crash/recover: unlike the permanent NodeFault
+    // above, a windowed outage lets the node rejoin — the bench shows how
+    // much of the loss a recovery claws back as the window shrinks.
+    let t = opts.t_sim.as_secs_f64();
+    println!("\n# E8b: wrist outage windows (crash at t/4, recover after a fraction of the run)");
+    println!("routing\twindow_pct\tpdr_pct\tdelta_vs_healthy_pp");
+    for routing in [Routing::Star { coordinator: 0 }, Routing::mesh()] {
+        let run = |scenario: FaultScenario| {
+            let mut cfg = NetworkConfig::new(
+                placements.clone(),
+                TxPower::ZeroDbm,
+                MacKind::tdma(),
+                routing,
+            );
+            cfg.scenario = scenario;
+            simulate_averaged(
+                &cfg,
+                ChannelParams::default(),
+                opts.t_sim,
+                opts.seed,
+                opts.runs,
+            )
+            .expect("valid config")
+        };
+        let healthy = run(FaultScenario::nominal());
+        for window_pct in [25.0, 50.0, 75.0] {
+            let mut scenario = FaultScenario::named("wrist window");
+            scenario.outages.push(SiteOutage {
+                site: 5, // l-wrist
+                window: Window::from_secs(t / 4.0, t / 4.0 + t * window_pct / 100.0),
+            });
+            let out = run(scenario);
+            println!(
+                "{}\t{:.0}\t{:.2}\t{:+.2}",
+                routing.label(),
+                window_pct,
+                out.pdr_percent(),
+                out.pdr_percent() - healthy.pdr_percent()
+            );
+        }
+    }
+    println!("\n# shorter windows recover more: crash/recover is strictly gentler than death.");
 }

@@ -10,8 +10,9 @@
 
 use hi_net::AppParams;
 
+use crate::checkpoint::ExploreCheckpoint;
 use crate::constraints::DesignSpace;
-use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::evaluator::{Evaluation, Evaluator, PointEvaluator};
 use crate::exhaustive::{best_feasible, improves};
 use crate::milp_encode::MilpEncoding;
 use crate::parallel::ExecContext;
@@ -62,6 +63,13 @@ pub enum StopReason {
     /// discarded so cancellation can never report a wrong optimum, only
     /// a premature one).
     Cancelled,
+    /// The simulation budget ([`ExploreOptions::budget`]) ran out: the
+    /// loop stopped before the next MILP query and `best` holds the
+    /// best-so-far incumbent. The exploration state can be checkpointed
+    /// (see [`ExplorationOutcome::cuts`] and
+    /// [`ExploreCheckpoint`](crate::ExploreCheckpoint)) and resumed
+    /// later with a bit-identical continuation.
+    BudgetExhausted,
 }
 
 /// The result of a design-space exploration.
@@ -77,6 +85,14 @@ pub struct ExplorationOutcome {
     pub candidates_proposed: u64,
     /// Unique simulations run (the evaluator's counter).
     pub simulations: u64,
+    /// Candidates whose evaluation failed (panicking simulation, broken
+    /// lowering). Failed candidates are excluded from their level and the
+    /// exploration carries on; a nonzero count flags degraded results.
+    pub eval_errors: u64,
+    /// The power-cut ladder applied to the MILP, in application order —
+    /// together with `best` and the counters, the full exploration state
+    /// (see [`ExploreCheckpoint`](crate::ExploreCheckpoint)).
+    pub cuts: Vec<f64>,
     /// Why the loop stopped.
     pub stop_reason: StopReason,
 }
@@ -94,12 +110,16 @@ impl ExplorationOutcome {
 pub enum ExploreError {
     /// The underlying MILP solver failed.
     Milp(hi_milp::SolveError),
+    /// A resume checkpoint is unusable (malformed, or recorded under a
+    /// different problem/options than the resuming run).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ExploreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExploreError::Milp(e) => write!(f, "milp solver failure: {e}"),
+            ExploreError::Checkpoint(msg) => write!(f, "bad checkpoint: {msg}"),
         }
     }
 }
@@ -108,6 +128,7 @@ impl std::error::Error for ExploreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExploreError::Milp(e) => Some(e),
+            ExploreError::Checkpoint(_) => None,
         }
     }
 }
@@ -128,12 +149,20 @@ pub struct ExploreOptions {
     /// the power of lossy configurations, so the naive test can stop one
     /// level early and return a false optimum.
     pub alpha_correction: bool,
+    /// Graceful-degradation budget: stop with
+    /// [`StopReason::BudgetExhausted`] (returning best-so-far) once this
+    /// many unique simulations have been spent. The check runs at the top
+    /// of each iteration, so a partially evaluated level is never
+    /// reported. `None` (the default) means unlimited. On a resumed run
+    /// the budget counts *total* simulations including the checkpoint's.
+    pub budget: Option<u64>,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
         Self {
             alpha_correction: true,
+            budget: None,
         }
     }
 }
@@ -161,7 +190,7 @@ pub fn explore_with_options(
     evaluator: &mut dyn Evaluator,
     options: ExploreOptions,
 ) -> Result<ExplorationOutcome, ExploreError> {
-    explore_impl(problem, options, &mut SeqOracle(evaluator))
+    explore_impl(problem, options, &mut SeqOracle(evaluator), None)
 }
 
 /// [`explore`] on the execution engine: each candidate level (the MILP's
@@ -178,13 +207,59 @@ pub fn explore_with_options(
 /// # Errors
 ///
 /// Returns [`ExploreError`] if the MILP solver fails.
-pub fn explore_par(
+pub fn explore_par<P: PointEvaluator>(
     problem: &Problem,
-    evaluator: &SharedSimEvaluator,
+    evaluator: &P,
     options: ExploreOptions,
     exec: &ExecContext,
 ) -> Result<ExplorationOutcome, ExploreError> {
-    explore_impl(problem, options, &mut ParOracle { evaluator, exec })
+    explore_par_from(problem, evaluator, options, exec, None)
+}
+
+/// [`explore_par`] resuming from a saved [`ExploreCheckpoint`]: the
+/// checkpoint's cut ladder is replayed into a fresh MILP encoding and its
+/// incumbent and effort counters are restored, so the continuation visits
+/// exactly the candidate levels the uninterrupted run would have visited
+/// next. Because levels are disjoint (each cut excludes the previous
+/// level), a checkpoint-and-resume pair performs the same total unique
+/// simulations — and reports the same outcome, bit for bit — as a single
+/// straight-through run.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Checkpoint`] if the checkpoint was recorded
+/// under a different `pdr_min` or `alpha_correction` than this call, and
+/// [`ExploreError::Milp`] if the MILP solver fails.
+pub fn explore_par_from<P: PointEvaluator>(
+    problem: &Problem,
+    evaluator: &P,
+    options: ExploreOptions,
+    exec: &ExecContext,
+    resume: Option<&ExploreCheckpoint>,
+) -> Result<ExplorationOutcome, ExploreError> {
+    if let Some(cp) = resume {
+        if cp.pdr_min.to_bits() != problem.pdr_min.to_bits() {
+            return Err(ExploreError::Checkpoint(format!(
+                "checkpoint was recorded at pdr_min = {}, this run uses {}",
+                cp.pdr_min, problem.pdr_min
+            )));
+        }
+        if cp.alpha_correction != options.alpha_correction {
+            return Err(ExploreError::Checkpoint(
+                "checkpoint and this run disagree on alpha_correction".into(),
+            ));
+        }
+    }
+    explore_impl(
+        problem,
+        options,
+        &mut ParOracle {
+            evaluator,
+            exec,
+            eval_errors: 0,
+        },
+        resume,
+    )
 }
 
 /// How `explore_impl` measures candidate levels: sequentially through a
@@ -197,6 +272,11 @@ trait CandidateOracle {
     fn unique_evaluations(&self) -> u64;
     /// Whether the search has been cancelled.
     fn cancelled(&self) -> bool;
+    /// Candidates whose evaluation failed so far (0 for oracles that
+    /// cannot observe failures).
+    fn eval_errors(&self) -> u64 {
+        0
+    }
 }
 
 struct SeqOracle<'a>(&'a mut dyn Evaluator);
@@ -215,14 +295,29 @@ impl CandidateOracle for SeqOracle<'_> {
     }
 }
 
-struct ParOracle<'a> {
-    evaluator: &'a SharedSimEvaluator,
+struct ParOracle<'a, P: PointEvaluator> {
+    evaluator: &'a P,
     exec: &'a ExecContext,
+    eval_errors: u64,
 }
 
-impl CandidateOracle for ParOracle<'_> {
+impl<P: PointEvaluator> CandidateOracle for ParOracle<'_, P> {
     fn eval_level(&mut self, pool: &[DesignPoint]) -> Vec<Option<Evaluation>> {
-        self.exec.eval_points(self.evaluator, pool)
+        // A failed candidate degrades to an empty slot: it is excluded
+        // from the level (it cannot be elected incumbent) and counted,
+        // while every healthy candidate still completes.
+        self.exec
+            .try_eval_points(self.evaluator, pool)
+            .into_iter()
+            .map(|slot| match slot {
+                Some(Ok(eval)) => Some(eval),
+                Some(Err(_)) => {
+                    self.eval_errors += 1;
+                    None
+                }
+                None => None,
+            })
+            .collect()
     }
 
     fn unique_evaluations(&self) -> u64 {
@@ -232,23 +327,51 @@ impl CandidateOracle for ParOracle<'_> {
     fn cancelled(&self) -> bool {
         self.exec.is_cancelled()
     }
+
+    fn eval_errors(&self) -> u64 {
+        self.eval_errors
+    }
 }
 
 fn explore_impl(
     problem: &Problem,
     options: ExploreOptions,
     oracle: &mut dyn CandidateOracle,
+    resume: Option<&ExploreCheckpoint>,
 ) -> Result<ExplorationOutcome, ExploreError> {
     let mut encoding = MilpEncoding::new(problem.space.constraints(), &problem.app);
+    let mut cuts: Vec<f64> = Vec::new();
     let mut best: Option<(DesignPoint, Evaluation)> = None;
     let mut p_min = f64::INFINITY; // P̄min: best simulated power so far
     let mut iterations = 0u32;
     let mut candidates_proposed = 0u64;
+    let mut prior_sims = 0u64;
+    if let Some(cp) = resume {
+        // Replay the saved state: the cut ladder reproduces the MILP's
+        // admissible region, the incumbent reproduces P̄min and the bound
+        // test, and the counters make reported totals cumulative.
+        for &cut in &cp.cuts {
+            encoding.add_power_cut(cut);
+            cuts.push(cut);
+        }
+        best = cp.best;
+        p_min = cp.best.map_or(f64::INFINITY, |(_, e)| e.power_mw);
+        iterations = cp.iterations;
+        candidates_proposed = cp.candidates_proposed;
+        prior_sims = cp.simulations;
+    }
     let sims_before = oracle.unique_evaluations();
+    let sims_spent =
+        |oracle: &dyn CandidateOracle| prior_sims + (oracle.unique_evaluations() - sims_before);
 
     let stop_reason = loop {
         if oracle.cancelled() {
             break StopReason::Cancelled;
+        }
+        // Graceful degradation: out of simulation budget means stop
+        // *before* starting another level, keeping best-so-far intact.
+        if options.budget.is_some_and(|b| sims_spent(oracle) >= b) {
+            break StopReason::BudgetExhausted;
         }
         // Line 3: (S, P̄*) <- RunMILP(P̃).
         let (pool, p_star) = encoding.solve_pool()?;
@@ -292,13 +415,16 @@ fn explore_impl(
         }
         // Line 11: prune the current analytic level.
         encoding.add_power_cut(p_star);
+        cuts.push(p_star);
     };
 
     Ok(ExplorationOutcome {
         best,
         iterations,
         candidates_proposed,
-        simulations: oracle.unique_evaluations() - sims_before,
+        simulations: sims_spent(oracle),
+        eval_errors: oracle.eval_errors(),
+        cuts,
         stop_reason,
     })
 }

@@ -1,0 +1,270 @@
+//! Checkpoint/resume for Algorithm 1.
+//!
+//! An [`ExploreCheckpoint`] captures the full exploration state after any
+//! completed iteration: the power-cut ladder (which determines the MILP's
+//! remaining admissible region), the incumbent, and the effort counters.
+//! Replaying the ladder into a fresh encoding visits exactly the levels a
+//! straight-through run would have visited next, so checkpoint-and-resume
+//! is bit-identical to never stopping (`resume_is_bit_identical` in
+//! `tests/determinism.rs` certifies this; CI byte-diffs the CLI
+//! transcripts).
+//!
+//! The on-disk format is a line-oriented text file. Every `f64` is
+//! round-tripped through [`f64::to_bits`] as 16 hex digits — decimal
+//! formatting would lose bits and silently break the bit-identity
+//! contract. The design point travels as its
+//! [`fingerprint`](DesignPoint::fingerprint). No external serialization
+//! crate is involved.
+
+use crate::evaluator::Evaluation;
+use crate::point::DesignPoint;
+
+/// The resumable state of an Algorithm 1 exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreCheckpoint {
+    /// The reliability floor the exploration ran at (resume validates it).
+    pub pdr_min: f64,
+    /// Whether the α-corrected bound was active (resume validates it).
+    pub alpha_correction: bool,
+    /// The power-cut ladder, in application order.
+    pub cuts: Vec<f64>,
+    /// MILP iterations completed.
+    pub iterations: u32,
+    /// Candidates proposed so far.
+    pub candidates_proposed: u64,
+    /// Unique simulations spent so far.
+    pub simulations: u64,
+    /// The incumbent, if any.
+    pub best: Option<(DesignPoint, Evaluation)>,
+}
+
+const HEADER: &str = "hi-opt explore checkpoint v1";
+
+fn f64_to_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("expected 16 hex digits, got {s:?}"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad float bits {s:?}"))
+}
+
+impl ExploreCheckpoint {
+    /// Captures the state of a finished (or budget-stopped) exploration.
+    pub fn from_outcome(
+        pdr_min: f64,
+        alpha_correction: bool,
+        outcome: &crate::ExplorationOutcome,
+    ) -> Self {
+        Self {
+            pdr_min,
+            alpha_correction,
+            cuts: outcome.cuts.clone(),
+            iterations: outcome.iterations,
+            candidates_proposed: outcome.candidates_proposed,
+            simulations: outcome.simulations,
+            best: outcome.best,
+        }
+    }
+
+    /// Renders the checkpoint as its text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("pdr_min {}\n", f64_to_hex(self.pdr_min)));
+        out.push_str(&format!(
+            "alpha_correction {}\n",
+            u8::from(self.alpha_correction)
+        ));
+        out.push_str(&format!("iterations {}\n", self.iterations));
+        out.push_str(&format!("candidates {}\n", self.candidates_proposed));
+        out.push_str(&format!("simulations {}\n", self.simulations));
+        for cut in &self.cuts {
+            out.push_str(&format!("cut {}\n", f64_to_hex(*cut)));
+        }
+        match &self.best {
+            None => out.push_str("best none\n"),
+            Some((point, eval)) => out.push_str(&format!(
+                "best {:x} {} {} {}\n",
+                point.fingerprint(),
+                f64_to_hex(eval.pdr),
+                f64_to_hex(eval.nlt_days),
+                f64_to_hex(eval.power_mw),
+            )),
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text format written by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-attributed message on any malformed content.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty checkpoint file")?;
+        if header.trim() != HEADER {
+            return Err(format!("line 1: expected {HEADER:?}, got {header:?}"));
+        }
+        let mut pdr_min = None;
+        let mut alpha_correction = None;
+        let mut iterations = None;
+        let mut candidates = None;
+        let mut simulations = None;
+        let mut cuts = Vec::new();
+        let mut best: Option<Option<(DesignPoint, Evaluation)>> = None;
+        let mut ended = false;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if ended {
+                return Err(format!("line {lineno}: content after \"end\""));
+            }
+            let bad = |what: &str| format!("line {lineno}: {what}");
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "pdr_min" => pdr_min = Some(f64_from_hex(rest).map_err(|e| bad(&e))?),
+                "alpha_correction" => {
+                    alpha_correction = Some(match rest {
+                        "0" => false,
+                        "1" => true,
+                        other => return Err(bad(&format!("bad alpha flag {other:?}"))),
+                    })
+                }
+                "iterations" => {
+                    iterations = Some(
+                        rest.parse::<u32>()
+                            .map_err(|_| bad("bad iteration count"))?,
+                    )
+                }
+                "candidates" => {
+                    candidates = Some(
+                        rest.parse::<u64>()
+                            .map_err(|_| bad("bad candidate count"))?,
+                    )
+                }
+                "simulations" => {
+                    simulations = Some(
+                        rest.parse::<u64>()
+                            .map_err(|_| bad("bad simulation count"))?,
+                    )
+                }
+                "cut" => cuts.push(f64_from_hex(rest).map_err(|e| bad(&e))?),
+                "best" if rest == "none" => best = Some(None),
+                "best" => {
+                    let fields: Vec<&str> = rest.split_whitespace().collect();
+                    if fields.len() != 4 {
+                        return Err(bad("best needs <fingerprint> <pdr> <nlt> <power>"));
+                    }
+                    let fp =
+                        u64::from_str_radix(fields[0], 16).map_err(|_| bad("bad fingerprint"))?;
+                    let point = DesignPoint::from_fingerprint(fp)
+                        .ok_or_else(|| bad("fingerprint decodes to no design point"))?;
+                    let eval = Evaluation {
+                        pdr: f64_from_hex(fields[1]).map_err(|e| bad(&e))?,
+                        nlt_days: f64_from_hex(fields[2]).map_err(|e| bad(&e))?,
+                        power_mw: f64_from_hex(fields[3]).map_err(|e| bad(&e))?,
+                    };
+                    best = Some(Some((point, eval)));
+                }
+                "end" => ended = true,
+                other => return Err(bad(&format!("unknown key {other:?}"))),
+            }
+        }
+        if !ended {
+            return Err("truncated checkpoint: missing \"end\" line".into());
+        }
+        Ok(Self {
+            pdr_min: pdr_min.ok_or("missing pdr_min")?,
+            alpha_correction: alpha_correction.ok_or("missing alpha_correction")?,
+            cuts,
+            iterations: iterations.ok_or("missing iterations")?,
+            candidates_proposed: candidates.ok_or("missing candidates")?,
+            simulations: simulations.ok_or("missing simulations")?,
+            best: best.ok_or("missing best")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{MacChoice, Placement, RouteChoice};
+    use hi_net::TxPower;
+
+    fn sample() -> ExploreCheckpoint {
+        ExploreCheckpoint {
+            pdr_min: 0.9,
+            alpha_correction: true,
+            cuts: vec![1.25, 1.5000000000000002, f64::MIN_POSITIVE],
+            iterations: 3,
+            candidates_proposed: 71,
+            simulations: 68,
+            best: Some((
+                DesignPoint {
+                    placement: Placement::from_indices([0, 2, 4, 7]),
+                    tx_power: TxPower::Minus10Dbm,
+                    mac: MacChoice::Csma,
+                    routing: RouteChoice::Mesh,
+                },
+                Evaluation {
+                    pdr: 0.9375,
+                    nlt_days: 181.2345678901234,
+                    power_mw: 1.0000000000000004,
+                },
+            )),
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_bit_exact() {
+        let cp = sample();
+        let parsed = ExploreCheckpoint::from_text(&cp.to_text()).unwrap();
+        assert_eq!(parsed, cp);
+        // PartialEq on f64 misses the -0.0/0.0 and NaN subtleties; check
+        // the actual bits of every float too.
+        let (_, e1) = cp.best.unwrap();
+        let (_, e2) = parsed.best.unwrap();
+        assert_eq!(e1.power_mw.to_bits(), e2.power_mw.to_bits());
+        for (a, b) in cp.cuts.iter().zip(&parsed.cuts) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn infeasible_checkpoint_roundtrips() {
+        let cp = ExploreCheckpoint {
+            best: None,
+            cuts: vec![],
+            ..sample()
+        };
+        assert_eq!(ExploreCheckpoint::from_text(&cp.to_text()).unwrap(), cp);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_line_numbers() {
+        assert!(ExploreCheckpoint::from_text("").is_err());
+        assert!(ExploreCheckpoint::from_text("not a checkpoint\n")
+            .unwrap_err()
+            .contains("line 1"));
+        let truncated = sample().to_text().replace("end\n", "");
+        assert!(ExploreCheckpoint::from_text(&truncated)
+            .unwrap_err()
+            .contains("truncated"));
+        let garbled = sample().to_text().replace("cut ", "cut zz");
+        assert!(ExploreCheckpoint::from_text(&garbled).is_err());
+        let bad_fp = sample().to_text();
+        let bad_fp = bad_fp.replace("best ", "best ffffffffffffffff ");
+        // Five fields after "best" — rejected before fingerprint decode.
+        assert!(ExploreCheckpoint::from_text(&bad_fp).is_err());
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use hi_channel::ChannelParams;
 use hi_des::SimDuration;
-use hi_exec::EvalCache;
+use hi_exec::{EvalCache, EvalError};
 use hi_net::simulate_averaged;
 
 use crate::point::DesignPoint;
@@ -30,6 +30,24 @@ pub trait Evaluator {
 
     /// Number of *unique* expensive evaluations performed so far — the
     /// simulation-count metric behind the paper's "87% fewer simulations".
+    fn unique_evaluations(&self) -> u64;
+}
+
+/// A thread-safe, cheaply clonable point evaluator: the interface the
+/// parallel engines fan out over worker threads.
+///
+/// Unlike [`Evaluator`], evaluation takes `&self` (workers share one
+/// instance) and is fallible: a broken point — or a panicking simulation
+/// — degrades to a typed [`EvalError`] for that slot instead of taking
+/// down the whole batch. Implementations must be deterministic: the same
+/// point must always produce the same `Result`, independent of thread
+/// count, evaluation order, and which clone asked.
+pub trait PointEvaluator: Clone + Send + Sync + 'static {
+    /// Measures (or recalls) the performance of `point`.
+    fn try_eval(&self, point: &DesignPoint) -> Result<Evaluation, EvalError>;
+
+    /// Number of unique expensive evaluations performed so far (failed
+    /// attempts count: they spent the compute budget too).
     fn unique_evaluations(&self) -> u64;
 }
 
@@ -162,7 +180,7 @@ impl Evaluator for SimEvaluator {
 #[derive(Debug, Clone)]
 pub struct SharedSimEvaluator {
     protocol: SimProtocol,
-    cache: Arc<EvalCache<DesignPoint, Evaluation>>,
+    cache: Arc<EvalCache<DesignPoint, Result<Evaluation, EvalError>>>,
 }
 
 impl SharedSimEvaluator {
@@ -175,10 +193,27 @@ impl SharedSimEvaluator {
     }
 
     /// Measures (or recalls) `point` through the shared cache. Takes
-    /// `&self`, so workers can evaluate concurrently.
+    /// `&self`, so workers can evaluate concurrently. Panics if the
+    /// simulation fails; use [`try_eval_point`](Self::try_eval_point)
+    /// on paths that must survive broken points.
     pub fn eval_point(&self, point: &DesignPoint) -> Evaluation {
-        self.cache
-            .get_or_compute(*point, || simulate_point(&self.protocol, point))
+        match self.try_eval_point(point) {
+            Ok(eval) => eval,
+            Err(e) => panic!("evaluation of {point} failed: {e}"),
+        }
+    }
+
+    /// Measures (or recalls) `point`, degrading a panicking simulation to
+    /// a typed [`EvalError`]. The failure is cached exactly once like a
+    /// success, so the unique-evaluation count stays thread-invariant
+    /// even when some points are broken.
+    pub fn try_eval_point(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
+        self.cache.get_or_compute(*point, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                simulate_point(&self.protocol, point)
+            }))
+            .map_err(|payload| EvalError::from_panic(payload.as_ref()))
+        })
     }
 
     /// The protocol this evaluator runs.
@@ -195,6 +230,14 @@ impl SharedSimEvaluator {
     pub fn cache_hits(&self) -> u64 {
         self.cache.hits()
     }
+
+    /// Number of unique expensive evaluations performed (shared across
+    /// clones; failed attempts count). Inherent so call sites never
+    /// have to disambiguate between the [`Evaluator`] and
+    /// [`PointEvaluator`] impls, which both delegate here.
+    pub fn unique_evaluations(&self) -> u64 {
+        self.cache.misses()
+    }
 }
 
 impl Evaluator for SharedSimEvaluator {
@@ -203,7 +246,17 @@ impl Evaluator for SharedSimEvaluator {
     }
 
     fn unique_evaluations(&self) -> u64 {
-        self.cache.misses()
+        SharedSimEvaluator::unique_evaluations(self)
+    }
+}
+
+impl PointEvaluator for SharedSimEvaluator {
+    fn try_eval(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
+        self.try_eval_point(point)
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        SharedSimEvaluator::unique_evaluations(self)
     }
 }
 
@@ -312,6 +365,29 @@ mod tests {
         assert_eq!(clone.unique_evaluations(), 2);
         assert!(shared.cache_hits() >= 2);
         assert_eq!(shared.cache_len(), 2);
+    }
+
+    #[test]
+    fn broken_point_degrades_to_a_cached_eval_error() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(1.0), 1, 5);
+        let shared = protocol.shared_evaluator();
+        // Star routing without the chest site: lowering to a network
+        // config panics, which must surface as a typed error.
+        let broken = DesignPoint {
+            placement: Placement::from_indices([1, 2, 3, 4]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let err = shared.try_eval_point(&broken).unwrap_err();
+        assert!(err.message().contains("chest"), "panic message lost: {err}");
+        // The failure is cached: asking again is a hit, not a recompute,
+        // and it still counts as one unique (attempted) evaluation.
+        assert_eq!(shared.try_eval_point(&broken).unwrap_err(), err);
+        assert_eq!(Evaluator::unique_evaluations(&shared.clone()), 1);
+        assert!(shared.cache_hits() >= 1);
+        // Healthy points are unaffected.
+        assert!(shared.try_eval_point(&pt()).is_ok());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! number of required simulations" against.
 
 use crate::algorithm1::Problem;
-use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::evaluator::{Evaluation, Evaluator, PointEvaluator};
 use crate::parallel::ExecContext;
 use crate::point::DesignPoint;
 
@@ -74,9 +74,9 @@ pub fn exhaustive_search(problem: &Problem, evaluator: &mut dyn Evaluator) -> Ex
 /// If `exec` is cancelled mid-sweep, the outcome covers the evaluations
 /// that completed (a best-effort partial sweep, no longer guaranteed to
 /// be deterministic).
-pub fn exhaustive_search_par(
+pub fn exhaustive_search_par<P: PointEvaluator>(
     problem: &Problem,
-    evaluator: &SharedSimEvaluator,
+    evaluator: &P,
     exec: &ExecContext,
 ) -> ExhaustiveOutcome {
     let before = evaluator.unique_evaluations();

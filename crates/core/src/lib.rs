@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod algorithm1;
+mod checkpoint;
 mod constraints;
 mod evaluator;
 mod exhaustive;
@@ -58,22 +59,26 @@ mod parallel;
 mod point;
 pub mod power;
 mod profiles;
+mod robust;
 mod sa;
 mod tradeoff;
 
 pub use algorithm1::{
-    explore, explore_par, explore_with_options, ExplorationOutcome, ExploreError, ExploreOptions,
-    Problem, StopReason,
+    explore, explore_par, explore_par_from, explore_with_options, ExplorationOutcome, ExploreError,
+    ExploreOptions, Problem, StopReason,
 };
+pub use checkpoint::ExploreCheckpoint;
 pub use constraints::{DesignSpace, TopologyConstraints};
 pub use evaluator::{
-    Evaluation, Evaluator, FnEvaluator, SharedSimEvaluator, SimEvaluator, SimProtocol,
+    Evaluation, Evaluator, FnEvaluator, PointEvaluator, SharedSimEvaluator, SimEvaluator,
+    SimProtocol,
 };
 pub use exhaustive::{exhaustive_search, exhaustive_search_par, ExhaustiveOutcome};
-pub use hi_exec::CancelToken;
+pub use hi_exec::{CancelToken, EvalError};
 pub use milp_encode::MilpEncoding;
 pub use parallel::ExecContext;
 pub use point::{DesignPoint, MacChoice, Placement, RouteChoice};
 pub use profiles::AppProfile;
+pub use robust::{FaultSuite, RobustEvaluation, RobustEvaluator, RobustMode};
 pub use sa::{simulated_annealing, simulated_annealing_restarts, SaOutcome, SaParams};
 pub use tradeoff::{explore_tradeoff, explore_tradeoff_par, TradeoffPoint};

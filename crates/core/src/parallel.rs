@@ -8,9 +8,9 @@
 //! spawns no pool at all and runs the exact sequential code path, so the
 //! parallel entry points strictly generalize the sequential ones.
 
-use hi_exec::{CancelToken, ThreadPool};
+use hi_exec::{CancelToken, EvalError, ThreadPool};
 
-use crate::evaluator::{Evaluation, SharedSimEvaluator};
+use crate::evaluator::{Evaluation, PointEvaluator};
 use crate::point::DesignPoint;
 
 /// Execution resources for the batch search entry points.
@@ -84,13 +84,55 @@ impl ExecContext {
     /// input order. `None` marks points skipped after cancellation;
     /// without cancellation every slot is `Some`, bit-identical for every
     /// thread count.
-    pub fn eval_points(
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first point whose evaluation fails; use
+    /// [`try_eval_points`](Self::try_eval_points) on paths that must
+    /// survive broken points.
+    pub fn eval_points<P: PointEvaluator>(
         &self,
-        evaluator: &SharedSimEvaluator,
+        evaluator: &P,
         points: &[DesignPoint],
     ) -> Vec<Option<Evaluation>> {
+        self.try_eval_points(evaluator, points)
+            .into_iter()
+            .zip(points)
+            .map(|(slot, point)| {
+                slot.map(|r| match r {
+                    Ok(eval) => eval,
+                    Err(e) => panic!("evaluation of {point} failed: {e}"),
+                })
+            })
+            .collect()
+    }
+
+    /// [`eval_points`](Self::eval_points), hardened: a failing (or
+    /// panicking) evaluation degrades to a per-slot [`EvalError`] instead
+    /// of aborting the batch. Both execution paths catch panics, so the
+    /// slot-level results are bit-identical for every thread count.
+    pub fn try_eval_points<P: PointEvaluator>(
+        &self,
+        evaluator: &P,
+        points: &[DesignPoint],
+    ) -> Vec<Option<Result<Evaluation, EvalError>>> {
         let evaluator = evaluator.clone();
-        self.map_cancellable(points.to_vec(), move |p| evaluator.eval_point(&p))
+        match &self.pool {
+            None => points
+                .iter()
+                .map(|p| {
+                    (!self.cancel.is_cancelled()).then(|| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            evaluator.try_eval(p)
+                        }))
+                        .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref())))
+                    })
+                })
+                .collect(),
+            Some(pool) => pool.par_map_catching(points.to_vec(), self.cancel.clone(), move |p| {
+                evaluator.try_eval(&p)
+            }),
+        }
     }
 }
 

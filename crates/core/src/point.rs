@@ -203,6 +203,39 @@ impl DesignPoint {
         (u64::from(self.placement.mask()) << 4) | p | (m << 2) | (r << 3)
     }
 
+    /// Inverts [`fingerprint`](Self::fingerprint): decodes a design point
+    /// from its 64-bit fingerprint. Returns `None` if `fp` is not a valid
+    /// fingerprint (power code 3, or mask bits beyond the 10 sites) —
+    /// which checkpoint files written by other tools could contain.
+    pub fn from_fingerprint(fp: u64) -> Option<Self> {
+        let mask = fp >> 4;
+        if mask >= (1 << BodyLocation::COUNT) {
+            return None;
+        }
+        let tx_power = match fp & 0x3 {
+            0 => TxPower::Minus20Dbm,
+            1 => TxPower::Minus10Dbm,
+            2 => TxPower::ZeroDbm,
+            _ => return None,
+        };
+        let mac = if fp & 0x4 == 0 {
+            MacChoice::Csma
+        } else {
+            MacChoice::Tdma
+        };
+        let routing = if fp & 0x8 == 0 {
+            RouteChoice::Star
+        } else {
+            RouteChoice::Mesh
+        };
+        Some(Self {
+            placement: Placement::from_mask(mask as u16),
+            tx_power,
+            mac,
+            routing,
+        })
+    }
+
     /// Lowers the design point into a simulatable [`NetworkConfig`] with
     /// the paper's §4.1 stack defaults (chest coordinator, 2-hop mesh,
     /// 1 ms TDMA slots, non-persistent CSMA).
@@ -334,6 +367,28 @@ mod tests {
             routing: RouteChoice::Star,
         };
         assert_eq!(pt.to_string(), "[0,1,3,6] Star CSMA -10dBm");
+    }
+
+    #[test]
+    fn fingerprint_roundtrips_through_from_fingerprint() {
+        for mask in [0b1u16, 0b10_1011, 0b11_1111_1111] {
+            for &tx_power in &TxPower::ALL {
+                for mac in [MacChoice::Csma, MacChoice::Tdma] {
+                    for routing in [RouteChoice::Star, RouteChoice::Mesh] {
+                        let pt = DesignPoint {
+                            placement: Placement::from_mask(mask),
+                            tx_power,
+                            mac,
+                            routing,
+                        };
+                        assert_eq!(DesignPoint::from_fingerprint(pt.fingerprint()), Some(pt));
+                    }
+                }
+            }
+        }
+        // Invalid encodings decode to nothing.
+        assert_eq!(DesignPoint::from_fingerprint(3), None); // power code 3
+        assert_eq!(DesignPoint::from_fingerprint(1 << 14), None); // mask bit 10
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Robust (fault-aware) evaluation of design points.
+//!
+//! The paper's Algorithm 1 scores each candidate under nominal
+//! conditions. This module rescores candidates across a suite of fault
+//! scenarios ([`FaultSuite`]) — node outages, link blackouts, battery
+//! depletions, interference bursts — and aggregates the per-scenario
+//! results into a single conservative [`Evaluation`] the exploration
+//! engines consume unchanged. Feasibility under
+//! [`RobustMode::WorstCase`] therefore means *the PDR floor holds in
+//! every scenario* (the Γ = all case of Γ-robustness: the optimum must
+//! survive every modeled disruption), and [`RobustMode::Quantile`]
+//! relaxes that to "holds in a fraction `q` of scenarios".
+//!
+//! Determinism: scenario `s` of point `p` is seeded purely from
+//! `(protocol seed, p, s)`, with `s = 0` (nominal) reproducing
+//! [`SharedSimEvaluator`](crate::SharedSimEvaluator)'s seed bit for bit —
+//! so an empty suite makes robust exploration identical, bit for bit, to
+//! nominal exploration, and a non-empty suite stays thread-invariant
+//! through the shared cache's exactly-once contract.
+
+use std::sync::Arc;
+
+use hi_exec::{EvalCache, EvalError};
+use hi_net::{simulate_averaged, FaultScenario};
+
+use crate::evaluator::{Evaluation, PointEvaluator, SimProtocol};
+use crate::point::DesignPoint;
+
+/// An ordered set of fault scenarios a design is scored against (the
+/// nominal, fault-free scenario is always implicitly included first).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSuite {
+    /// The fault scenarios, in evaluation (and seed-derivation) order.
+    pub scenarios: Vec<FaultScenario>,
+}
+
+impl FaultSuite {
+    /// A suite over the given scenarios.
+    pub fn new(scenarios: Vec<FaultScenario>) -> Self {
+        Self { scenarios }
+    }
+
+    /// The empty suite: robust evaluation degenerates to nominal.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of fault scenarios (not counting the implicit nominal one).
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True if the suite holds no fault scenario.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// How per-scenario results collapse into the one [`Evaluation`] the
+/// exploration engines rank and constrain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RobustMode {
+    /// Ignore the fault suite: report the nominal evaluation (useful as a
+    /// baseline against the robust modes on the same suite).
+    Nominal,
+    /// Field-wise worst case over nominal + all scenarios: lowest PDR,
+    /// lowest lifetime, highest power. The conservative envelope — each
+    /// field may come from a different scenario.
+    WorstCase,
+    /// The `q`-quantile (lower tail for PDR and lifetime, upper tail for
+    /// power) over nominal + all scenarios. `Quantile(0.0)` is
+    /// `WorstCase`; `Quantile(1.0)` is the most optimistic scenario.
+    Quantile(f64),
+}
+
+/// The full fault-suite scorecard of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustEvaluation {
+    /// The fault-free evaluation (scenario index 0).
+    pub nominal: Evaluation,
+    /// Per-fault-scenario evaluations, in suite order.
+    pub scenarios: Vec<Evaluation>,
+}
+
+/// `values` sorted ascending with a total order (all simulator outputs
+/// are finite, but `total_cmp` keeps even pathological values stable).
+fn sorted(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+impl RobustEvaluation {
+    /// All evaluations — nominal first, then suite order.
+    pub fn all(&self) -> impl Iterator<Item = &Evaluation> {
+        std::iter::once(&self.nominal).chain(self.scenarios.iter())
+    }
+
+    /// The field-wise worst case (see [`RobustMode::WorstCase`]).
+    pub fn worst_case(&self) -> Evaluation {
+        Evaluation {
+            pdr: self.all().map(|e| e.pdr).fold(f64::INFINITY, f64::min),
+            nlt_days: self.all().map(|e| e.nlt_days).fold(f64::INFINITY, f64::min),
+            power_mw: self
+                .all()
+                .map(|e| e.power_mw)
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The `q`-quantile evaluation (see [`RobustMode::Quantile`]): the
+    /// deterministic index `round(q * (n - 1))` into the sorted
+    /// per-scenario values, taken from the pessimistic end of each field.
+    pub fn quantile(&self, q: f64) -> Evaluation {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.scenarios.len() + 1;
+        let idx = (q * (n - 1) as f64).round() as usize;
+        let pdr = sorted(self.all().map(|e| e.pdr))[idx];
+        let nlt = sorted(self.all().map(|e| e.nlt_days))[idx];
+        // For power, pessimistic = high: index from the top.
+        let power = sorted(self.all().map(|e| e.power_mw))[n - 1 - idx];
+        Evaluation {
+            pdr,
+            nlt_days: nlt,
+            power_mw: power,
+        }
+    }
+
+    /// Collapses the scorecard under `mode`.
+    pub fn aggregate(&self, mode: RobustMode) -> Evaluation {
+        match mode {
+            RobustMode::Nominal => self.nominal,
+            RobustMode::WorstCase => self.worst_case(),
+            RobustMode::Quantile(q) => self.quantile(q),
+        }
+    }
+}
+
+/// A [`PointEvaluator`] scoring each point across a [`FaultSuite`].
+///
+/// Clones share one evaluation cache (keyed by design point, holding the
+/// full per-scenario scorecard), so the engines' exactly-once and
+/// thread-invariance guarantees carry over unchanged: a point costs
+/// `(1 + suite.len()) × runs` simulations exactly once, no matter how
+/// many threads or engines ask.
+#[derive(Debug, Clone)]
+pub struct RobustEvaluator {
+    protocol: SimProtocol,
+    suite: Arc<FaultSuite>,
+    mode: RobustMode,
+    cache: Arc<EvalCache<DesignPoint, Result<RobustEvaluation, EvalError>>>,
+}
+
+impl RobustEvaluator {
+    /// A fresh robust evaluator (and cache) under `protocol`.
+    pub fn new(protocol: SimProtocol, suite: FaultSuite, mode: RobustMode) -> Self {
+        Self {
+            protocol,
+            suite: Arc::new(suite),
+            mode,
+            cache: Arc::new(EvalCache::new()),
+        }
+    }
+
+    /// The simulation protocol.
+    pub fn protocol(&self) -> &SimProtocol {
+        &self.protocol
+    }
+
+    /// The fault suite this evaluator scores against.
+    pub fn suite(&self) -> &FaultSuite {
+        &self.suite
+    }
+
+    /// The aggregation mode.
+    pub fn mode(&self) -> RobustMode {
+        self.mode
+    }
+
+    /// Runs scenario `index` (0 = nominal) of `point`. Seed derivation
+    /// for index 0 matches the nominal evaluator's exactly; fault
+    /// scenarios mix the index into the low fingerprint half.
+    fn simulate_scenario(&self, point: &DesignPoint, index: u64) -> Evaluation {
+        let mut cfg = point.to_network_config();
+        if index > 0 {
+            cfg.scenario = self.suite.scenarios[index as usize - 1].clone();
+        }
+        let fingerprint = point.fingerprint();
+        let seed = self.protocol.seed
+            ^ hi_des::rng::derive_seed(fingerprint >> 4, (fingerprint & 0xF) | (index << 8));
+        let out = simulate_averaged(
+            &cfg,
+            self.protocol.channel,
+            self.protocol.t_sim,
+            seed,
+            self.protocol.runs,
+        )
+        .expect("design points lower to valid configs");
+        Evaluation {
+            pdr: out.pdr,
+            nlt_days: out.nlt_days,
+            power_mw: out.max_power_mw,
+        }
+    }
+
+    /// The full scorecard of `point` (cached; a panicking simulation
+    /// degrades to a cached [`EvalError`]).
+    pub fn try_robust_eval(&self, point: &DesignPoint) -> Result<RobustEvaluation, EvalError> {
+        self.cache.get_or_compute(*point, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| RobustEvaluation {
+                nominal: self.simulate_scenario(point, 0),
+                scenarios: (1..=self.suite.len() as u64)
+                    .map(|s| self.simulate_scenario(point, s))
+                    .collect(),
+            }))
+            .map_err(|payload| EvalError::from_panic(payload.as_ref()))
+        })
+    }
+
+    /// Number of unique points whose scorecard has been computed.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Unique simulations spent: each computed scorecard costs one
+    /// nominal plus one run per suite scenario.
+    pub fn unique_evaluations(&self) -> u64 {
+        self.cache.misses() * (self.suite.len() as u64 + 1)
+    }
+}
+
+impl PointEvaluator for RobustEvaluator {
+    fn try_eval(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
+        self.try_robust_eval(point).map(|r| r.aggregate(self.mode))
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        RobustEvaluator::unique_evaluations(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{MacChoice, Placement, RouteChoice};
+    use hi_des::SimDuration;
+    use hi_net::TxPower;
+
+    fn ev(pdr: f64, nlt: f64, power: f64) -> Evaluation {
+        Evaluation {
+            pdr,
+            nlt_days: nlt,
+            power_mw: power,
+        }
+    }
+
+    fn scorecard() -> RobustEvaluation {
+        RobustEvaluation {
+            nominal: ev(0.95, 100.0, 1.0),
+            scenarios: vec![ev(0.60, 80.0, 1.4), ev(0.85, 120.0, 1.2)],
+        }
+    }
+
+    #[test]
+    fn worst_case_is_the_fieldwise_envelope() {
+        let w = scorecard().worst_case();
+        assert_eq!(w.pdr, 0.60);
+        assert_eq!(w.nlt_days, 80.0);
+        assert_eq!(w.power_mw, 1.4);
+    }
+
+    #[test]
+    fn quantile_spans_worst_to_best() {
+        let card = scorecard();
+        assert_eq!(card.quantile(0.0), card.worst_case());
+        let median = card.quantile(0.5);
+        assert_eq!(median.pdr, 0.85);
+        assert_eq!(median.nlt_days, 100.0);
+        assert_eq!(median.power_mw, 1.2);
+        let best = card.quantile(1.0);
+        assert_eq!(best.pdr, 0.95);
+        assert_eq!(best.power_mw, 1.0);
+    }
+
+    #[test]
+    fn nominal_mode_ignores_the_suite() {
+        assert_eq!(
+            scorecard().aggregate(RobustMode::Nominal),
+            ev(0.95, 100.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn empty_suite_robust_eval_equals_nominal_eval_bitwise() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(2.0), 1, 314);
+        let robust = RobustEvaluator::new(protocol, FaultSuite::empty(), RobustMode::WorstCase);
+        let nominal = protocol.shared_evaluator();
+        let point = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let a = robust.try_eval(&point).unwrap();
+        let b = nominal.try_eval_point(&point).unwrap();
+        assert_eq!(a.pdr.to_bits(), b.pdr.to_bits());
+        assert_eq!(a.nlt_days.to_bits(), b.nlt_days.to_bits());
+        assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+        assert_eq!(robust.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn faulted_scenarios_change_the_scorecard() {
+        use hi_net::{SiteOutage, Window};
+        let protocol = SimProtocol::new(SimDuration::from_secs(2.0), 1, 314);
+        let mut scenario = FaultScenario::named("arm down");
+        scenario.outages.push(SiteOutage {
+            site: 5,
+            window: Window::open_ended(hi_des::SimTime::ZERO),
+        });
+        let robust = RobustEvaluator::new(
+            protocol,
+            FaultSuite::new(vec![scenario]),
+            RobustMode::WorstCase,
+        );
+        let point = DesignPoint {
+            placement: Placement::from_indices([0, 1, 3, 5]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        let card = robust.try_robust_eval(&point).unwrap();
+        assert_eq!(card.scenarios.len(), 1);
+        assert!(
+            card.scenarios[0].pdr < card.nominal.pdr,
+            "a dead node all run long must cost PDR ({} vs nominal {})",
+            card.scenarios[0].pdr,
+            card.nominal.pdr
+        );
+        assert_eq!(robust.unique_evaluations(), 2);
+        // Broken points degrade to typed errors, same as the nominal path.
+        let broken = DesignPoint {
+            placement: Placement::from_indices([1, 2, 3, 4]),
+            tx_power: TxPower::ZeroDbm,
+            mac: MacChoice::Tdma,
+            routing: RouteChoice::Star,
+        };
+        assert!(robust.try_eval(&broken).is_err());
+    }
+}

@@ -10,7 +10,7 @@
 //! demanding floor.
 
 use crate::algorithm1::{explore, explore_par, ExploreError, ExploreOptions, Problem, StopReason};
-use crate::evaluator::{Evaluation, Evaluator, SharedSimEvaluator};
+use crate::evaluator::{Evaluation, Evaluator, PointEvaluator};
 use crate::parallel::ExecContext;
 use crate::point::DesignPoint;
 
@@ -102,10 +102,10 @@ pub fn explore_tradeoff(
 /// # Panics
 ///
 /// Panics if a floor lies outside `[0, 1]`.
-pub fn explore_tradeoff_par(
+pub fn explore_tradeoff_par<P: PointEvaluator>(
     template: &Problem,
     floors: &[f64],
-    evaluator: &SharedSimEvaluator,
+    evaluator: &P,
     exec: &ExecContext,
 ) -> Result<Vec<TradeoffPoint>, ExploreError> {
     let mut out = Vec::with_capacity(floors.len());

@@ -7,9 +7,10 @@
 //! compare outcomes field by field.
 
 use hi_core::{
-    exhaustive_search, exhaustive_search_par, explore_par, explore_tradeoff_par,
-    simulated_annealing_restarts, DesignPoint, Evaluation, Evaluator, ExecContext,
-    ExhaustiveOutcome, ExploreOptions, Problem, SaParams, SimProtocol,
+    exhaustive_search, exhaustive_search_par, explore_par, explore_par_from, explore_tradeoff_par,
+    simulated_annealing_restarts, DesignPoint, EvalError, Evaluation, ExecContext,
+    ExhaustiveOutcome, ExploreCheckpoint, ExploreError, ExploreOptions, PointEvaluator, Problem,
+    SaParams, SimProtocol, StopReason,
 };
 use hi_des::SimDuration;
 
@@ -181,6 +182,257 @@ fn cache_hit_accounting_is_thread_count_invariant() {
             run(*threads),
             "{threads} threads changed accounting"
         );
+    }
+}
+
+/// Wraps the real evaluator and fires a cancel token after a fixed
+/// number of evaluation requests — deterministic at 1 thread, where the
+/// sequential path evaluates pool order one by one.
+#[derive(Clone)]
+struct CancellingEvaluator {
+    inner: hi_core::SharedSimEvaluator,
+    cancel_after: u64,
+    count: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    token: hi_core::CancelToken,
+}
+
+impl PointEvaluator for CancellingEvaluator {
+    fn try_eval(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
+        use std::sync::atomic::Ordering;
+        let n = self.count.fetch_add(1, Ordering::SeqCst) + 1;
+        let result = self.inner.try_eval_point(point);
+        if n >= self.cancel_after {
+            self.token.cancel();
+        }
+        result
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.inner.unique_evaluations()
+    }
+}
+
+#[test]
+fn mid_level_cancellation_discards_the_partial_level() {
+    let problem = Problem::paper_default(0.7);
+
+    // Reference: a budget of 1 simulation stops Algorithm 1 right after
+    // its first fully evaluated level, exposing the level-1 incumbent.
+    let exec = ExecContext::sequential();
+    let evaluator = protocol().shared_evaluator();
+    let options = ExploreOptions {
+        budget: Some(1),
+        ..ExploreOptions::default()
+    };
+    let after_level1 = explore_par(&problem, &evaluator, options, &exec).unwrap();
+    assert_eq!(after_level1.stop_reason, StopReason::BudgetExhausted);
+    assert_eq!(after_level1.iterations, 1);
+    let level1_sims = after_level1.simulations;
+    assert!(level1_sims > 0);
+
+    // Now cancel one evaluation *into* level 2: the partial level must be
+    // fully discarded and the reported incumbent must be exactly the
+    // level-1 incumbent — never a point from the half-evaluated level.
+    let exec = ExecContext::sequential();
+    let cancelling = CancellingEvaluator {
+        inner: protocol().shared_evaluator(),
+        cancel_after: level1_sims + 1,
+        count: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        token: exec.cancel_token(),
+    };
+    let cancelled = explore_par(&problem, &cancelling, ExploreOptions::default(), &exec).unwrap();
+    assert_eq!(cancelled.stop_reason, StopReason::Cancelled);
+    assert_eq!(cancelled.iterations, 2, "cancel fired during level 2");
+    assert_same_best(&after_level1.best, &cancelled.best);
+    assert_eq!(cancelled.cuts, after_level1.cuts);
+}
+
+#[test]
+fn budget_zero_stops_immediately_with_best_so_far_none() {
+    let problem = Problem::paper_default(0.7);
+    let exec = ExecContext::sequential();
+    let evaluator = protocol().shared_evaluator();
+    let options = ExploreOptions {
+        budget: Some(0),
+        ..ExploreOptions::default()
+    };
+    let out = explore_par(&problem, &evaluator, options, &exec).unwrap();
+    assert_eq!(out.stop_reason, StopReason::BudgetExhausted);
+    assert_eq!(out.iterations, 0);
+    assert_eq!(out.simulations, 0);
+    assert!(out.best.is_none());
+}
+
+#[test]
+fn ample_budget_changes_nothing() {
+    let problem = Problem::paper_default(0.7);
+    let run = |budget: Option<u64>| {
+        let exec = ExecContext::sequential();
+        let evaluator = protocol().shared_evaluator();
+        let options = ExploreOptions {
+            budget,
+            ..ExploreOptions::default()
+        };
+        explore_par(&problem, &evaluator, options, &exec).unwrap()
+    };
+    let unlimited = run(None);
+    let generous = run(Some(1_000_000));
+    assert_same_best(&unlimited.best, &generous.best);
+    assert_eq!(unlimited.stop_reason, generous.stop_reason);
+    assert_eq!(unlimited.iterations, generous.iterations);
+    assert_eq!(unlimited.simulations, generous.simulations);
+    assert_eq!(unlimited.cuts, generous.cuts);
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_to_a_straight_through_run() {
+    let problem = Problem::paper_default(0.7);
+
+    // The uninterrupted reference run.
+    let exec = ExecContext::new(2);
+    let evaluator = protocol().shared_evaluator();
+    let straight = explore_par(&problem, &evaluator, ExploreOptions::default(), &exec).unwrap();
+    assert!(
+        straight.iterations >= 2,
+        "need at least two levels to interrupt between"
+    );
+
+    // Interrupted run: stop after the first level on a 1-sim budget...
+    let exec = ExecContext::new(2);
+    let evaluator = protocol().shared_evaluator();
+    let options = ExploreOptions {
+        budget: Some(1),
+        ..ExploreOptions::default()
+    };
+    let partial = explore_par(&problem, &evaluator, options, &exec).unwrap();
+    assert_eq!(partial.stop_reason, StopReason::BudgetExhausted);
+
+    // ... serialize the exploration state through the text format ...
+    let saved = ExploreCheckpoint::from_outcome(problem.pdr_min, true, &partial).to_text();
+    let restored = ExploreCheckpoint::from_text(&saved).expect("own format parses");
+
+    // ... and resume with a *fresh* evaluator and cache, as a restarted
+    // process would. Every field of the final outcome must match the
+    // straight-through run bit for bit.
+    let exec = ExecContext::new(2);
+    let evaluator = protocol().shared_evaluator();
+    let resumed = explore_par_from(
+        &problem,
+        &evaluator,
+        ExploreOptions::default(),
+        &exec,
+        Some(&restored),
+    )
+    .unwrap();
+    assert_same_best(&straight.best, &resumed.best);
+    assert_eq!(straight.stop_reason, resumed.stop_reason);
+    assert_eq!(straight.iterations, resumed.iterations);
+    assert_eq!(straight.candidates_proposed, resumed.candidates_proposed);
+    assert_eq!(straight.simulations, resumed.simulations);
+    assert_eq!(straight.cuts, resumed.cuts);
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_a_different_problem() {
+    let partial = {
+        let problem = Problem::paper_default(0.7);
+        let exec = ExecContext::sequential();
+        let evaluator = protocol().shared_evaluator();
+        let options = ExploreOptions {
+            budget: Some(1),
+            ..ExploreOptions::default()
+        };
+        explore_par(&problem, &evaluator, options, &exec).unwrap()
+    };
+    let checkpoint = ExploreCheckpoint::from_outcome(0.7, true, &partial);
+    let other = Problem::paper_default(0.9);
+    let exec = ExecContext::sequential();
+    let evaluator = protocol().shared_evaluator();
+    let err = explore_par_from(
+        &other,
+        &evaluator,
+        ExploreOptions::default(),
+        &exec,
+        Some(&checkpoint),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::Checkpoint(_)), "got {err:?}");
+}
+
+/// Wraps the real evaluator and fails deterministically on a subset of
+/// points, exercising the per-point degradation path.
+#[derive(Clone)]
+struct FlakyEvaluator {
+    inner: hi_core::SharedSimEvaluator,
+}
+
+impl PointEvaluator for FlakyEvaluator {
+    fn try_eval(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
+        if point.fingerprint().is_multiple_of(5) {
+            return Err(EvalError::new(format!("injected failure for {point}")));
+        }
+        self.inner.try_eval_point(point)
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.inner.unique_evaluations()
+    }
+}
+
+#[test]
+fn failed_evaluations_degrade_per_point_and_stay_deterministic() {
+    let problem = Problem::paper_default(0.7);
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let flaky = FlakyEvaluator {
+            inner: protocol().shared_evaluator(),
+        };
+        explore_par(&problem, &flaky, ExploreOptions::default(), &exec)
+            .expect("errors must degrade, not abort")
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.eval_errors > 0,
+        "the injected failures must be observed"
+    );
+    assert!(
+        baseline.best.is_some(),
+        "healthy candidates must still elect an optimum"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let outcome = run(*threads);
+        assert_same_best(&baseline.best, &outcome.best);
+        assert_eq!(baseline.eval_errors, outcome.eval_errors);
+        assert_eq!(baseline.stop_reason, outcome.stop_reason);
+        assert_eq!(baseline.iterations, outcome.iterations);
+    }
+}
+
+#[test]
+fn robust_exploration_is_bit_identical_across_thread_counts() {
+    use hi_core::{FaultSuite, RobustEvaluator, RobustMode};
+    use hi_net::{FaultScenario, SiteOutage, Window};
+
+    let mut scenario = FaultScenario::named("sternum outage");
+    scenario.outages.push(SiteOutage {
+        site: 1,
+        window: Window::from_secs(0.5, 1.5),
+    });
+    let suite = FaultSuite::new(vec![scenario]);
+    let problem = Problem::paper_default(0.5);
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = RobustEvaluator::new(protocol(), suite.clone(), RobustMode::WorstCase);
+        explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+            .expect("robust exploration succeeds")
+    };
+    let baseline = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        let outcome = run(*threads);
+        assert_same_best(&baseline.best, &outcome.best);
+        assert_eq!(baseline.stop_reason, outcome.stop_reason);
+        assert_eq!(baseline.iterations, outcome.iterations);
+        assert_eq!(baseline.simulations, outcome.simulations);
     }
 }
 

@@ -1,0 +1,141 @@
+//! Fault windows: half-open intervals of simulated time during which
+//! some injected disturbance (a node outage, a link blackout, an
+//! interference burst) is active.
+//!
+//! This is the kernel half of the workspace's fault-injection layer: a
+//! [`Window`] knows nothing about networks, only about time, so the same
+//! primitive scripts node crashes in `hi-net` and could script sensor
+//! dropouts in any other model built on this crate. Windows are plain
+//! data — scenario scripts are deterministic by construction, which is
+//! what keeps fault-injected runs inside the `hi-exec` bit-identical
+//! determinism contract.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A half-open interval `[from, until)` of simulated time.
+///
+/// `until == SimTime::MAX` means the window never closes (a permanent
+/// fault). An *inverted* window (`until < from`) is representable so
+/// that loaded scenario files can be linted rather than rejected at
+/// parse time; [`is_inverted`](Window::is_inverted) flags it and an
+/// inverted window is never [`active`](Window::active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Window {
+    /// First instant the window is active.
+    pub from: SimTime,
+    /// First instant after the window (exclusive end).
+    pub until: SimTime,
+}
+
+impl Window {
+    /// The window `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        Self { from, until }
+    }
+
+    /// A window opening at `from` and never closing.
+    pub fn open_ended(from: SimTime) -> Self {
+        Self {
+            from,
+            until: SimTime::MAX,
+        }
+    }
+
+    /// The window `[from, from + length)` measured from the origin.
+    pub fn from_secs(from_s: f64, until_s: f64) -> Self {
+        let from = SimTime::ZERO + SimDuration::from_secs(from_s);
+        let until = if until_s.is_infinite() {
+            SimTime::MAX
+        } else {
+            SimTime::ZERO + SimDuration::from_secs(until_s)
+        };
+        Self { from, until }
+    }
+
+    /// True if `t` lies inside the window.
+    pub fn active(&self, t: SimTime) -> bool {
+        !self.is_inverted() && self.from <= t && t < self.until
+    }
+
+    /// True if the end precedes the start — a malformed script entry.
+    pub fn is_inverted(&self) -> bool {
+        self.until < self.from
+    }
+
+    /// True if the window never closes.
+    pub fn is_open_ended(&self) -> bool {
+        self.until == SimTime::MAX
+    }
+
+    /// True if the two windows share at least one instant.
+    pub fn overlaps(&self, other: &Window) -> bool {
+        !self.is_inverted()
+            && !other.is_inverted()
+            && self.from < other.until
+            && other.from < self.until
+    }
+
+    /// True if the window opens at or after `horizon` — it can never
+    /// fire in a simulation of that length.
+    pub fn past_horizon(&self, horizon: SimTime) -> bool {
+        self.from >= horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: f64, b: f64) -> Window {
+        Window::from_secs(a, b)
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn activity_is_half_open() {
+        let win = w(1.0, 2.0);
+        assert!(!win.active(t(0.999_999)));
+        assert!(win.active(t(1.0)));
+        assert!(win.active(t(1.999_999)));
+        assert!(!win.active(t(2.0)));
+    }
+
+    #[test]
+    fn open_ended_never_closes() {
+        let win = Window::open_ended(t(3.0));
+        assert!(win.is_open_ended());
+        // The exclusive end is SimTime::MAX, an instant no run reaches:
+        // any representable event time is inside the window.
+        assert!(win.active(t(1e9)));
+        assert!(!win.active(t(2.9)));
+        assert!(Window::from_secs(3.0, f64::INFINITY).is_open_ended());
+    }
+
+    #[test]
+    fn inverted_windows_are_flagged_and_inert() {
+        let win = w(5.0, 1.0);
+        assert!(win.is_inverted());
+        assert!(!win.active(t(3.0)));
+        assert!(!win.overlaps(&w(0.0, 10.0)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_half_open() {
+        assert!(w(0.0, 2.0).overlaps(&w(1.0, 3.0)));
+        assert!(w(1.0, 3.0).overlaps(&w(0.0, 2.0)));
+        assert!(
+            !w(0.0, 1.0).overlaps(&w(1.0, 2.0)),
+            "touching is not overlap"
+        );
+        assert!(w(0.0, 10.0).overlaps(&w(2.0, 3.0)), "containment overlaps");
+    }
+
+    #[test]
+    fn past_horizon_detection() {
+        assert!(w(10.0, 20.0).past_horizon(t(10.0)));
+        assert!(!w(9.9, 20.0).past_horizon(t(10.0)));
+    }
+}

@@ -49,9 +49,11 @@
 
 pub mod check;
 mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 mod time;
 
 pub use engine::{Engine, EventHandle};
+pub use fault::Window;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,67 @@
+//! The typed per-point evaluation failure.
+
+use std::any::Any;
+use std::fmt;
+
+/// A single evaluation failed (typically: the evaluator panicked).
+///
+/// The hardened execution paths degrade a panicking task to one of these
+/// instead of poisoning the pool or aborting the whole batch: the point
+/// is reported broken, every other point completes, and — because a
+/// failed compute is cached like a successful one — racing threads agree
+/// on the failure without recomputing it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvalError {
+    message: String,
+}
+
+impl EvalError {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Converts a caught panic payload into a typed error, preserving
+    /// `panic!`/`assert!` messages where they are recoverable.
+    pub fn from_panic(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else {
+            "evaluation panicked (non-string payload)".to_owned()
+        };
+        Self::new(format!("evaluation panicked: {message}"))
+    }
+
+    /// The human-readable failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_panic_preserves_string_payloads() {
+        let payload = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        let err = EvalError::from_panic(payload.as_ref());
+        assert_eq!(err.message(), "evaluation panicked: boom 7");
+
+        let payload = std::panic::catch_unwind(|| panic!("static")).unwrap_err();
+        let err = EvalError::from_panic(payload.as_ref());
+        assert!(err.to_string().contains("static"));
+    }
+}

@@ -34,10 +34,12 @@
 
 mod cache;
 mod cancel;
+mod error;
 mod pool;
 
 pub use cache::EvalCache;
 pub use cancel::CancelToken;
+pub use error::EvalError;
 pub use pool::ThreadPool;
 
 /// The default worker-thread count: the `HI_EXEC_THREADS` environment

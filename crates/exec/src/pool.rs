@@ -208,6 +208,30 @@ impl ThreadPool {
         self.run_map(items, Some(cancel), f)
     }
 
+    /// [`par_map_cancellable`](Self::par_map_cancellable) hardened for
+    /// untrusted tasks: a panicking task degrades to a per-slot
+    /// [`EvalError`] instead of aborting the batch, so one broken point
+    /// cannot take down a whole exploration level. `None` still marks
+    /// slots skipped after cancellation.
+    pub fn par_map_catching<T, R, F>(
+        &self,
+        items: Vec<T>,
+        cancel: CancelToken,
+        f: F,
+    ) -> Vec<Option<Result<R, crate::EvalError>>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> Result<R, crate::EvalError> + Send + Sync + 'static,
+    {
+        self.run_map(items, Some(cancel), move |item| {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(result) => result,
+                Err(payload) => Err(crate::EvalError::from_panic(payload.as_ref())),
+            }
+        })
+    }
+
     fn run_map<T, R, F>(&self, items: Vec<T>, cancel: Option<CancelToken>, f: F) -> Vec<Option<R>>
     where
         T: Send + 'static,

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use hi_exec::{CancelToken, EvalCache, ThreadPool};
+use hi_exec::{CancelToken, EvalCache, EvalError, ThreadPool};
 
 #[test]
 fn par_map_order_is_stable_across_thread_counts() {
@@ -95,6 +95,86 @@ fn cache_computes_every_key_exactly_once_under_contention() {
     for (k, v) in keys.iter().zip(&out) {
         assert_eq!(*v, k * 100);
     }
+}
+
+#[test]
+fn par_map_catching_degrades_panics_to_per_slot_errors() {
+    for threads in [1, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let out = pool.par_map_catching((0..64u32).collect::<Vec<_>>(), CancelToken::new(), |x| {
+            assert!(x % 10 != 3, "evaluator rejected point {x}");
+            if x == 40 {
+                return Err(EvalError::new("typed failure for point 40"));
+            }
+            Ok(x * 2)
+        });
+        assert_eq!(out.len(), 64, "thread count {threads} lost slots");
+        for (i, slot) in out.iter().enumerate() {
+            let result = slot.as_ref().expect("nothing was cancelled");
+            match result {
+                Ok(v) if i as u32 % 10 != 3 && i != 40 => assert_eq!(*v, i as u32 * 2),
+                Ok(v) => panic!("slot {i} should have failed, got {v}"),
+                Err(e) if i as u32 % 10 == 3 => {
+                    assert!(
+                        e.message().contains(&format!("rejected point {i}")),
+                        "slot {i}: panic message lost: {e}"
+                    );
+                }
+                Err(e) => {
+                    assert_eq!(i, 40);
+                    assert_eq!(e.message(), "typed failure for point 40");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_waiters_survive_a_computing_thread_panic() {
+    // Regression test for the in-flight slot protocol: thread A starts
+    // computing a key and panics mid-compute while other threads are
+    // parked on the condvar waiting for that key. The InFlightGuard must
+    // clear the marker and wake the waiters, one of which then retries
+    // the compute — nobody hangs, and the key is still computed (attempted
+    // twice: the panicking attempt plus the successful retry).
+    let cache: Arc<EvalCache<u64, u64>> = Arc::new(EvalCache::with_shards(1));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let pool = ThreadPool::new(4);
+    let (cache2, attempts2) = (Arc::clone(&cache), Arc::clone(&attempts));
+    let out = pool.par_map_catching(
+        (0..16u64).collect::<Vec<_>>(),
+        CancelToken::new(),
+        move |_| {
+            Ok(cache2.get_or_compute(7, || {
+                // First attempt panics after the others have had ample time
+                // to queue up behind the in-flight marker.
+                if attempts2.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("compute died mid-flight");
+                }
+                700
+            }))
+        },
+    );
+    assert_eq!(out.len(), 16);
+    let mut ok = 0;
+    let mut failed = 0;
+    for slot in &out {
+        match slot.as_ref().expect("nothing was cancelled") {
+            Ok(v) => {
+                assert_eq!(*v, 700);
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(e.message().contains("compute died mid-flight"));
+                failed += 1;
+            }
+        }
+    }
+    assert_eq!(failed, 1, "exactly the panicking task fails");
+    assert_eq!(ok, 15, "every waiter must be woken and get the value");
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry, no more");
+    assert_eq!(cache.len(), 1);
 }
 
 #[test]

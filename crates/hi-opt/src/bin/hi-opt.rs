@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42] [--threads 8]
+//! hi-opt explore  --pdr-min 0.9 --faults scenarios/demo.suite --robust worst
 //! hi-opt simulate --sites 0,1,3,5 --power 0 --mac tdma --routing mesh
 //! hi-opt space
 //! hi-opt lint
@@ -9,18 +10,23 @@
 //!
 //! Every simulation-backed command takes `--threads <n>` and fans its
 //! evaluations over the `hi-exec` pool; results are bit-identical for
-//! every thread count.
+//! every thread count. Failures on user-supplied inputs are typed
+//! ([`CliError`]) and map to distinct exit codes so scripts can tell a
+//! typo (2) from an unreadable file (3) from a malformed spec (4).
 
 use std::process::ExitCode;
 
 use hi_opt::channel::{BodyLocation, ChannelParams};
 use hi_opt::des::SimDuration;
+use hi_opt::lint::{lint_faults, FaultEntity, FaultWindowSpec};
 use hi_opt::net::{
-    average_outcomes, simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower,
+    average_outcomes, simulate_stochastic, BatteryDepletion, FaultScenario, InterferenceBurst,
+    LinkBlackout, MacKind, NetworkConfig, Routing, SiteOutage, TxPower, Window,
 };
 use hi_opt::{
-    explore_par, explore_tradeoff_par, DesignSpace, Evaluator, ExecContext, ExploreOptions,
-    MilpEncoding, Problem, SimProtocol, TopologyConstraints,
+    explore_par_from, explore_tradeoff_par, DesignSpace, ExecContext, ExplorationOutcome,
+    ExploreCheckpoint, ExploreError, ExploreOptions, FaultSuite, MilpEncoding, Problem,
+    RobustEvaluator, RobustMode, SimProtocol, TopologyConstraints,
 };
 
 const USAGE: &str = "\
@@ -28,7 +34,8 @@ hi-opt — optimized design of a Human Intranet network (DAC 2017)
 
 USAGE:
     hi-opt explore  --pdr-min <0..1> [--tsim <secs>] [--runs <n>] [--seed <n>]
-                    [--threads <n>]
+                    [--threads <n>] [--faults <file> [--robust <mode>]]
+                    [--budget <sims>] [--checkpoint <file> [--resume]]
     hi-opt tradeoff [--floors <p1,p2,...>] [--tsim <secs>] [--runs <n>] [--seed <n>]
                     [--threads <n>]
     hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
@@ -49,6 +56,37 @@ COMMANDS:
                MILP encoding, the full Algorithm-1 cut ladder and a sample
                event schedule; exits 1 on error-severity findings
 
+EXPLORE OPTIONS:
+    --faults <file>      score every candidate across a fault-scenario
+                         suite; feasibility means the PDR floor holds
+                         under the chosen aggregation
+    --robust <mode>      aggregation over nominal + scenarios: `nominal`,
+                         `worst` (default with --faults) or `qNN`
+                         (e.g. q25: the 25th-percentile scenario)
+    --budget <sims>      stop after ~<sims> unique simulations and report
+                         the best design found so far
+    --checkpoint <file>  write the exploration state to <file> on exit
+    --resume             load --checkpoint <file> first and continue; the
+                         resumed run is bit-identical to an uninterrupted
+                         one
+
+FAULT SUITE FILES (`#` starts a comment; times in seconds):
+    scenario <name>                       start a named scenario
+    outage <site> <from> <until|inf>      node crash/recover window
+    blackout <a> <b> <from> <until|inf>   link blackout between two sites
+    deplete <site> <at>                   battery death, never recovers
+    interfere <from> <until|inf> <dB>     wideband interference burst
+Loaded suites are linted (HL033+) before any simulation runs: windows
+that never activate are errors; overlaps, past-horizon windows and
+hub-disabling scenarios are warnings printed to stderr.
+
+EXIT CODES:
+    0  success
+    1  lint findings of error severity (`hi-opt lint`)
+    2  usage error (unknown/missing/ill-formed flags)
+    3  I/O error (unreadable --faults or --checkpoint file)
+    4  malformed spec (suite/checkpoint contents, suite lint errors)
+
 `--threads <n>` sizes the deterministic evaluation pool (default: the
 HI_EXEC_THREADS environment variable, else all cores). Any value yields
 bit-identical results; 1 disables the pool entirely.
@@ -57,6 +95,33 @@ SITES (index = paper's n_i):
     0 chest  1 l-hip  2 r-hip  3 l-ankle  4 r-ankle
     5 l-wrist  6 r-wrist  7 l-arm  8 head  9 back
 ";
+
+/// A failure on a user-supplied input, typed by what the user got wrong
+/// so the process can exit with a distinct code for each.
+enum CliError {
+    /// Flag-level mistake: unknown command/option, missing or ill-formed
+    /// value. Exits 2 and prints the usage banner.
+    Usage(String),
+    /// The OS refused an input file (missing, unreadable, unwritable).
+    /// Exits 3.
+    Io(String),
+    /// An input file was read but its contents are malformed — a bad
+    /// fault-suite line, a corrupt checkpoint, an error-severity suite
+    /// lint finding. Exits 4.
+    Spec(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_owned())
+    }
+}
 
 struct Common {
     t_sim: SimDuration,
@@ -94,19 +159,27 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n");
             eprint!("{USAGE}");
             ExitCode::from(2)
         }
+        Err(CliError::Io(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Spec(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(4)
+        }
     }
 }
 
-fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), String> {
+fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), CliError> {
     let mut common = Common {
         t_sim: SimDuration::from_secs(60.0),
         runs: 3,
@@ -117,6 +190,12 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), Stri
     let mut i = 0;
     while i < args.len() {
         let key = args[i].clone();
+        // Valueless flags pass through with an empty value.
+        if key == "--resume" {
+            rest.push((key, String::new()));
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .cloned()
@@ -147,27 +226,235 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), Stri
     Ok((common, rest))
 }
 
-fn cmd_explore(args: &[String]) -> Result<(), String> {
-    let (common, rest) = parse_common(args)?;
-    let mut pdr_min = None;
-    for (k, v) in rest {
-        match k.as_str() {
-            "--pdr-min" => {
-                pdr_min = Some(v.parse::<f64>().map_err(|_| "bad --pdr-min".to_owned())?)
+fn parse_robust(value: &str) -> Result<RobustMode, CliError> {
+    match value {
+        "nominal" => Ok(RobustMode::Nominal),
+        "worst" => Ok(RobustMode::WorstCase),
+        q => {
+            let bad = || format!("bad --robust `{value}` (use nominal, worst or qNN, e.g. q25)");
+            let pct: f64 = q
+                .strip_prefix('q')
+                .ok_or_else(bad)?
+                .parse()
+                .map_err(|_| bad())?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(CliError::Usage(bad()));
             }
-            other => return Err(format!("unknown option `{other}`")),
+            Ok(RobustMode::Quantile(pct / 100.0))
         }
     }
-    let pdr_min = pdr_min.ok_or("explore requires --pdr-min")?;
-    if !(0.0..=1.0).contains(&pdr_min) {
-        return Err("--pdr-min must be within [0, 1]".into());
+}
+
+fn robust_name(mode: RobustMode) -> String {
+    match mode {
+        RobustMode::Nominal => "nominal".into(),
+        RobustMode::WorstCase => "worst-case".into(),
+        RobustMode::Quantile(q) => format!("q{:.0}", q * 100.0),
     }
-    let problem = Problem::paper_default(pdr_min);
-    let evaluator = common.protocol().shared_evaluator();
-    let exec = common.exec_context();
-    let outcome = explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
-        .map_err(|e| e.to_string())?;
-    match outcome.best {
+}
+
+fn load_checkpoint(path: &str) -> Result<ExploreCheckpoint, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read checkpoint `{path}`: {e}")))?;
+    ExploreCheckpoint::from_text(&text).map_err(|e| CliError::Spec(format!("{path}: {e}")))
+}
+
+/// One field off a suite line, or a message naming what was missing.
+fn field<'a>(fields: &mut std::str::SplitWhitespace<'a>, what: &str) -> Result<&'a str, String> {
+    fields.next().ok_or_else(|| format!("missing {what}"))
+}
+
+fn site_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<usize, String> {
+    let v = field(fields, what)?;
+    let site: usize = v
+        .parse()
+        .map_err(|_| format!("bad {what} `{v}` (expected a site index)"))?;
+    if site >= BodyLocation::COUNT {
+        return Err(format!(
+            "{what} {site} is out of range (sites are 0..={})",
+            BodyLocation::COUNT - 1
+        ));
+    }
+    Ok(site)
+}
+
+fn secs_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
+    let v = field(fields, what)?;
+    let x: f64 = v.parse().map_err(|_| format!("bad {what} `{v}`"))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("{what} must be finite and non-negative"));
+    }
+    Ok(x)
+}
+
+fn until_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
+    let v = field(fields, what)?;
+    if v == "inf" {
+        return Ok(f64::INFINITY);
+    }
+    let x: f64 = v
+        .parse()
+        .map_err(|_| format!("bad {what} `{v}` (expected seconds or `inf`)"))?;
+    // An inverted window (until < from) is representable on purpose: the
+    // lint pass explains it (HL033) instead of the parser rejecting it.
+    if x.is_nan() || x < 0.0 {
+        return Err(format!("{what} must be non-negative (or `inf`)"));
+    }
+    Ok(x)
+}
+
+fn parse_suite_line(
+    line: &str,
+    scenarios: &mut Vec<FaultScenario>,
+    windows: &mut Vec<FaultWindowSpec>,
+) -> Result<(), String> {
+    let mut fields = line.split_whitespace();
+    let Some(keyword) = fields.next() else {
+        return Ok(());
+    };
+    if keyword == "scenario" {
+        let name = line[keyword.len()..].trim();
+        if name.is_empty() {
+            return Err("`scenario` needs a name".into());
+        }
+        scenarios.push(FaultScenario::named(name));
+        return Ok(());
+    }
+    let Some(scenario) = scenarios.last_mut() else {
+        return Err(format!("`{keyword}` entry before any `scenario` line"));
+    };
+    let name = scenario.name.clone();
+    match keyword {
+        "outage" => {
+            let site = site_field(&mut fields, "outage site")?;
+            let from_s = secs_field(&mut fields, "outage start")?;
+            let until_s = until_field(&mut fields, "outage end")?;
+            scenario.outages.push(SiteOutage {
+                site,
+                window: Window::from_secs(from_s, until_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/outage"),
+                entity: FaultEntity::Node(site),
+                from_s,
+                until_s,
+            });
+        }
+        "blackout" => {
+            let site_a = site_field(&mut fields, "blackout site")?;
+            let site_b = site_field(&mut fields, "blackout site")?;
+            let from_s = secs_field(&mut fields, "blackout start")?;
+            let until_s = until_field(&mut fields, "blackout end")?;
+            scenario.blackouts.push(LinkBlackout {
+                site_a,
+                site_b,
+                window: Window::from_secs(from_s, until_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/blackout"),
+                entity: FaultEntity::Link(site_a, site_b),
+                from_s,
+                until_s,
+            });
+        }
+        "deplete" => {
+            let site = site_field(&mut fields, "depletion site")?;
+            let at_s = secs_field(&mut fields, "depletion time")?;
+            scenario.depletions.push(BatteryDepletion {
+                site,
+                at: SimDuration::from_secs(at_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/deplete"),
+                entity: FaultEntity::Node(site),
+                from_s: at_s,
+                until_s: f64::INFINITY,
+            });
+        }
+        "interfere" => {
+            let from_s = secs_field(&mut fields, "interference start")?;
+            let until_s = until_field(&mut fields, "interference end")?;
+            let extra_loss_db = secs_field(&mut fields, "interference loss (dB)")?;
+            scenario.bursts.push(InterferenceBurst {
+                window: Window::from_secs(from_s, until_s),
+                extra_loss_db,
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/interfere"),
+                entity: FaultEntity::Medium,
+                from_s,
+                until_s,
+            });
+        }
+        other => {
+            return Err(format!(
+                "unknown entry `{other}` (expected scenario, outage, blackout, \
+                 deplete or interfere)"
+            ));
+        }
+    }
+    if let Some(extra) = fields.next() {
+        return Err(format!("trailing field `{extra}`"));
+    }
+    Ok(())
+}
+
+/// Parses a fault-suite file into the scenarios the simulator runs and
+/// the lowered window specs the lint pass checks.
+fn parse_fault_suite(
+    path: &str,
+    text: &str,
+) -> Result<(FaultSuite, Vec<FaultWindowSpec>), CliError> {
+    let mut scenarios: Vec<FaultScenario> = Vec::new();
+    let mut windows: Vec<FaultWindowSpec> = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_suite_line(line, &mut scenarios, &mut windows)
+            .map_err(|msg| CliError::Spec(format!("{path}:{line_no}: {msg}")))?;
+    }
+    if scenarios.is_empty() {
+        return Err(CliError::Spec(format!(
+            "fault suite `{path}` declares no scenario"
+        )));
+    }
+    Ok((FaultSuite::new(scenarios), windows))
+}
+
+/// Reads, parses and lints a fault-suite file. Lint findings go to
+/// stderr (stdout stays byte-stable for determinism diffing); findings
+/// of error severity reject the suite before any simulation runs.
+fn load_fault_suite(path: &str, t_sim: SimDuration) -> Result<FaultSuite, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read fault suite `{path}`: {e}")))?;
+    let (suite, windows) = parse_fault_suite(path, &text)?;
+    // Site 0 (chest) is the hub of every star candidate the exploration
+    // proposes, so HL036 warns whenever a scenario takes it down.
+    let report = lint_faults(&windows, t_sim.as_secs_f64(), Some(0));
+    for finding in report.findings() {
+        eprintln!("{path}: {finding}");
+    }
+    if report.has_errors() {
+        return Err(CliError::Spec(format!(
+            "fault suite `{path}` has {} error-severity lint finding(s)",
+            report.error_count()
+        )));
+    }
+    Ok(suite)
+}
+
+fn explore_err(e: ExploreError) -> CliError {
+    match e {
+        ExploreError::Checkpoint(_) => CliError::Spec(e.to_string()),
+        other => CliError::Usage(other.to_string()),
+    }
+}
+
+fn print_best(outcome: &ExplorationOutcome, pdr_min: f64) {
+    match &outcome.best {
         Some((point, eval)) => {
             println!("optimal design : {point}");
             println!(
@@ -188,14 +475,121 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
             pdr_min * 100.0
         ),
     }
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), CliError> {
+    let (common, rest) = parse_common(args)?;
+    let mut pdr_min = None;
+    let mut faults: Option<String> = None;
+    let mut robust: Option<RobustMode> = None;
+    let mut budget: Option<u64> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    for (k, v) in rest {
+        match k.as_str() {
+            "--pdr-min" => {
+                pdr_min = Some(v.parse::<f64>().map_err(|_| "bad --pdr-min".to_owned())?)
+            }
+            "--faults" => faults = Some(v),
+            "--robust" => robust = Some(parse_robust(&v)?),
+            "--budget" => {
+                budget = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| "bad --budget (expected a simulation count)".to_owned())?,
+                )
+            }
+            "--checkpoint" => checkpoint = Some(v),
+            "--resume" => resume = true,
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let pdr_min = pdr_min.ok_or("explore requires --pdr-min")?;
+    if !(0.0..=1.0).contains(&pdr_min) {
+        return Err("--pdr-min must be within [0, 1]".into());
+    }
+    if robust.is_some() && faults.is_none() {
+        return Err("--robust needs --faults <file> (nothing to be robust against)".into());
+    }
+    if resume && checkpoint.is_none() {
+        return Err("--resume needs --checkpoint <file> to resume from".into());
+    }
+    let prior = match (&checkpoint, resume) {
+        (Some(path), true) => Some(load_checkpoint(path)?),
+        _ => None,
+    };
+    let options = ExploreOptions {
+        budget,
+        ..ExploreOptions::default()
+    };
+    let problem = Problem::paper_default(pdr_min);
+    let exec = common.exec_context();
+
+    let outcome = match &faults {
+        Some(path) => {
+            let suite = load_fault_suite(path, common.t_sim)?;
+            let mode = robust.unwrap_or(RobustMode::WorstCase);
+            println!(
+                "fault suite    : {} scenario(s), {} aggregation",
+                suite.len(),
+                robust_name(mode)
+            );
+            let evaluator = RobustEvaluator::new(common.protocol(), suite, mode);
+            let outcome = explore_par_from(&problem, &evaluator, options, &exec, prior.as_ref())
+                .map_err(explore_err)?;
+            print_best(&outcome, pdr_min);
+            if let Some((point, _)) = &outcome.best {
+                // Cached from the exploration: reprinting the scorecard
+                // costs no extra simulations.
+                let card = evaluator.try_robust_eval(point).map_err(|e| {
+                    CliError::Spec(format!("robust evaluation of the optimum failed: {e}"))
+                })?;
+                let mut worst_name = "nominal";
+                let mut worst_pdr = card.nominal.pdr;
+                for (sc, ev) in evaluator.suite().scenarios.iter().zip(&card.scenarios) {
+                    if ev.pdr < worst_pdr {
+                        worst_pdr = ev.pdr;
+                        worst_name = &sc.name;
+                    }
+                }
+                println!("nominal PDR    : {:.2}%", card.nominal.pdr * 100.0);
+                println!("worst PDR      : {:.2}% ({worst_name})", worst_pdr * 100.0);
+                println!("median PDR     : {:.2}%", card.quantile(0.5).pdr * 100.0);
+            }
+            outcome
+        }
+        None => {
+            let evaluator = common.protocol().shared_evaluator();
+            let outcome = explore_par_from(&problem, &evaluator, options, &exec, prior.as_ref())
+                .map_err(explore_err)?;
+            print_best(&outcome, pdr_min);
+            outcome
+        }
+    };
+    if outcome.eval_errors > 0 {
+        println!(
+            "eval errors    : {} design point(s) failed evaluation and were skipped",
+            outcome.eval_errors
+        );
+    }
     println!(
         "effort         : {} simulations, {} MILP iterations ({:?})",
         outcome.simulations, outcome.iterations, outcome.stop_reason
     );
+    if let Some(path) = &checkpoint {
+        let cp = ExploreCheckpoint::from_outcome(pdr_min, options.alpha_correction, &outcome);
+        std::fs::write(path, cp.to_text())
+            .map_err(|e| CliError::Io(format!("cannot write checkpoint `{path}`: {e}")))?;
+        // Stderr, so a resumed run's stdout stays byte-identical to an
+        // uninterrupted one.
+        eprintln!(
+            "checkpoint: saved {} iteration(s), {} simulation(s) to `{path}`",
+            outcome.iterations, outcome.simulations
+        );
+    }
     Ok(())
 }
 
-fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
+fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
     let (common, rest) = parse_common(args)?;
     let mut floors: Vec<f64> = vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99];
     for (k, v) in rest {
@@ -207,7 +601,7 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
                     .collect::<Result<_, _>>()
                     .map_err(|_| "bad --floors (expected e.g. 50,80,95)".to_owned())?;
             }
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}`").into()),
         }
     }
     if floors.iter().any(|f| !(0.0..=1.0).contains(f)) {
@@ -241,7 +635,7 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let (common, rest) = parse_common(args)?;
     let mut sites: Option<Vec<usize>> = None;
     let mut power = None;
@@ -279,7 +673,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     _ => return Err("bad --routing (use star or mesh)".into()),
                 })
             }
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}`").into()),
         }
     }
     let sites = sites.ok_or("simulate requires --sites")?;
@@ -340,7 +734,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_space() -> Result<(), String> {
+fn cmd_space() -> Result<(), CliError> {
     let space = DesignSpace::paper_default();
     let constraints = space.constraints();
     println!("design space (paper §4.1 defaults)");
@@ -377,7 +771,7 @@ fn print_lint_section(title: &str, report: &hi_opt::lint::Report) {
     }
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     use hi_opt::lint::{lint_schedule, lint_space, Report, SpaceDim};
 
     let mut seed: u64 = 0xDAC_2017;
@@ -391,7 +785,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                     .ok_or("bad --seed")?;
                 i += 2;
             }
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}`").into()),
         }
     }
 

@@ -44,10 +44,12 @@ pub use hi_milp as milp;
 pub use hi_net as net;
 
 pub use hi_core::{
-    exhaustive_search, exhaustive_search_par, explore, explore_par, explore_tradeoff,
-    explore_tradeoff_par, explore_with_options, simulated_annealing, simulated_annealing_restarts,
-    AppProfile, CancelToken, DesignPoint, DesignSpace, Evaluation, Evaluator, ExecContext,
-    ExhaustiveOutcome, ExplorationOutcome, ExploreError, ExploreOptions, FnEvaluator, MacChoice,
-    MilpEncoding, Placement, Problem, RouteChoice, SaOutcome, SaParams, SharedSimEvaluator,
-    SimEvaluator, SimProtocol, StopReason, TopologyConstraints, TradeoffPoint,
+    exhaustive_search, exhaustive_search_par, explore, explore_par, explore_par_from,
+    explore_tradeoff, explore_tradeoff_par, explore_with_options, simulated_annealing,
+    simulated_annealing_restarts, AppProfile, CancelToken, DesignPoint, DesignSpace, EvalError,
+    Evaluation, Evaluator, ExecContext, ExhaustiveOutcome, ExplorationOutcome, ExploreCheckpoint,
+    ExploreError, ExploreOptions, FaultSuite, FnEvaluator, MacChoice, MilpEncoding, Placement,
+    PointEvaluator, Problem, RobustEvaluation, RobustEvaluator, RobustMode, RouteChoice, SaOutcome,
+    SaParams, SharedSimEvaluator, SimEvaluator, SimProtocol, StopReason, TopologyConstraints,
+    TradeoffPoint,
 };

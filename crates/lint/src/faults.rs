@@ -1,0 +1,240 @@
+//! Static validation of fault-scenario specifications.
+//!
+//! The simulator deliberately accepts degenerate fault windows (an
+//! inverted window is simply inert, a window past the horizon never
+//! fires) so that scenario files stay replayable across tools. This pass
+//! is where those specs get *explained* before a run spends hours
+//! simulating them:
+//!
+//! * **HL033** — a window that closes before it opens (or has a NaN/−∞
+//!   edge) is inert; the scenario does not do what it reads as (error);
+//! * **HL034** — two windows on the same entity overlap, so the first
+//!   recovery revives the node mid-outage (warning);
+//! * **HL035** — a window opening at/after the simulation horizon can
+//!   never take effect (warning);
+//! * **HL036** — the scenario disables the hub node, taking the entire
+//!   star network down for the window (warning — legal, but usually a
+//!   site-index typo rather than an intended doomsday case).
+//!
+//! Like the rest of the crate this module is dependency-free: callers
+//! lower their scenario types into [`FaultWindowSpec`]s (plain seconds).
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// What a fault window acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEntity {
+    /// One node/site (outages, depletions).
+    Node(usize),
+    /// One link between two sites, unordered (blackouts).
+    Link(usize, usize),
+    /// The shared medium (interference bursts).
+    Medium,
+}
+
+impl FaultEntity {
+    /// Canonical form: link endpoints sorted, so `Link(2, 5)` and
+    /// `Link(5, 2)` denote the same entity.
+    fn canonical(self) -> Self {
+        match self {
+            FaultEntity::Link(a, b) if a > b => FaultEntity::Link(b, a),
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultEntity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.canonical() {
+            FaultEntity::Node(site) => write!(f, "site {site}"),
+            FaultEntity::Link(a, b) => write!(f, "link {a}-{b}"),
+            FaultEntity::Medium => f.write_str("medium"),
+        }
+    }
+}
+
+/// One fault window, lowered to plain seconds for analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindowSpec {
+    /// Where the window came from (scenario name, fault kind) — quoted in
+    /// findings so reports stay actionable across multi-scenario files.
+    pub label: String,
+    /// What the window acts on.
+    pub entity: FaultEntity,
+    /// Window start in seconds.
+    pub from_s: f64,
+    /// Window end in seconds; `f64::INFINITY` means open-ended.
+    pub until_s: f64,
+}
+
+impl FaultWindowSpec {
+    fn is_inverted(&self) -> bool {
+        !self.from_s.is_finite() || self.until_s.is_nan() || self.until_s < self.from_s
+    }
+
+    fn overlaps(&self, other: &Self) -> bool {
+        // Half-open [from, until): touching windows don't overlap.
+        self.from_s < other.until_s && other.from_s < self.until_s
+    }
+}
+
+/// Lints fault windows against a simulation horizon (seconds) and, when
+/// the analyzed design is a star, its hub site.
+pub fn lint_faults(windows: &[FaultWindowSpec], horizon_s: f64, hub: Option<usize>) -> Report {
+    let mut report = Report::new();
+    for (index, w) in windows.iter().enumerate() {
+        let span = Span::Event { index };
+        if w.is_inverted() {
+            report.push(Finding::new(
+                RuleId::InvertedFaultWindow,
+                span.clone(),
+                format!(
+                    "{}: window [{}, {}) on {} never activates — it is inert, \
+                     not a fault",
+                    w.label, w.from_s, w.until_s, w.entity
+                ),
+            ));
+            continue; // downstream rules would only repeat the confusion
+        }
+        if w.from_s >= horizon_s {
+            report.push(Finding::new(
+                RuleId::FaultPastHorizon,
+                span.clone(),
+                format!(
+                    "{}: window opens at {} s but the simulation ends at {} s \
+                     — it can never take effect",
+                    w.label, w.from_s, horizon_s
+                ),
+            ));
+        }
+        if let (FaultEntity::Node(site), Some(hub_site)) = (w.entity, hub) {
+            if site == hub_site {
+                report.push(Finding::new(
+                    RuleId::HubDisabled,
+                    span.clone(),
+                    format!(
+                        "{}: site {site} is the star hub — this window takes \
+                         the whole network down",
+                        w.label
+                    ),
+                ));
+            }
+        }
+        for (earlier_index, earlier) in windows[..index].iter().enumerate() {
+            if earlier.is_inverted()
+                || earlier.entity.canonical() != w.entity.canonical()
+                || !earlier.overlaps(w)
+            {
+                continue;
+            }
+            report.push(Finding::new(
+                RuleId::OverlappingFaultWindows,
+                span.clone(),
+                format!(
+                    "{}: window [{}, {}) on {} overlaps window #{earlier_index} \
+                     [{}, {}) — the first recovery revives it mid-outage",
+                    w.label, w.from_s, w.until_s, w.entity, earlier.from_s, earlier.until_s
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(entity: FaultEntity, from_s: f64, until_s: f64) -> FaultWindowSpec {
+        FaultWindowSpec {
+            label: "test/outage".into(),
+            entity,
+            from_s,
+            until_s,
+        }
+    }
+
+    #[test]
+    fn clean_scenario_is_clean() {
+        let windows = [
+            spec(FaultEntity::Node(3), 1.0, 2.0),
+            spec(FaultEntity::Node(3), 2.0, 3.0), // touching, not overlapping
+            spec(FaultEntity::Link(1, 4), 0.0, f64::INFINITY),
+            spec(FaultEntity::Medium, 5.0, 6.0),
+        ];
+        let report = lint_faults(&windows, 600.0, Some(0));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn inverted_and_nan_windows_are_errors() {
+        for w in [
+            spec(FaultEntity::Node(1), 5.0, 2.0),
+            spec(FaultEntity::Node(1), f64::NAN, 2.0),
+            spec(FaultEntity::Node(1), 1.0, f64::NAN),
+            spec(FaultEntity::Node(1), f64::INFINITY, f64::INFINITY),
+        ] {
+            let report = lint_faults(std::slice::from_ref(&w), 600.0, None);
+            assert!(report.has_rule(RuleId::InvertedFaultWindow), "{w:?}");
+            assert!(report.has_errors());
+        }
+    }
+
+    #[test]
+    fn overlap_detects_unordered_link_pairs() {
+        let windows = [
+            spec(FaultEntity::Link(5, 2), 0.0, 10.0),
+            spec(FaultEntity::Link(2, 5), 4.0, 6.0),
+        ];
+        let report = lint_faults(&windows, 600.0, None);
+        assert!(report.has_rule(RuleId::OverlappingFaultWindows));
+        // Different entities never overlap.
+        let windows = [
+            spec(FaultEntity::Node(1), 0.0, 10.0),
+            spec(FaultEntity::Node(2), 0.0, 10.0),
+            spec(FaultEntity::Link(1, 2), 0.0, 10.0),
+            spec(FaultEntity::Medium, 0.0, 10.0),
+        ];
+        assert!(lint_faults(&windows, 600.0, None).is_clean());
+    }
+
+    #[test]
+    fn inverted_windows_do_not_double_report_as_overlapping() {
+        let windows = [
+            spec(FaultEntity::Node(1), 0.0, 10.0),
+            spec(FaultEntity::Node(1), 8.0, 2.0), // inverted
+        ];
+        let report = lint_faults(&windows, 600.0, None);
+        assert!(report.has_rule(RuleId::InvertedFaultWindow));
+        assert!(!report.has_rule(RuleId::OverlappingFaultWindows));
+    }
+
+    #[test]
+    fn windows_past_the_horizon_warn() {
+        let report = lint_faults(&[spec(FaultEntity::Node(1), 600.0, 700.0)], 600.0, None);
+        assert!(report.has_rule(RuleId::FaultPastHorizon));
+        let report = lint_faults(&[spec(FaultEntity::Node(1), 599.9, 700.0)], 600.0, None);
+        assert!(
+            !report.has_rule(RuleId::FaultPastHorizon),
+            "overhang is fine"
+        );
+    }
+
+    #[test]
+    fn disabling_the_hub_warns_only_on_the_hub() {
+        let windows = [
+            spec(FaultEntity::Node(0), 1.0, 2.0),
+            spec(FaultEntity::Node(3), 1.0, 2.0),
+        ];
+        let report = lint_faults(&windows, 600.0, Some(0));
+        let hub_findings: Vec<_> = report
+            .findings()
+            .iter()
+            .filter(|f| f.rule == RuleId::HubDisabled)
+            .collect();
+        assert_eq!(hub_findings.len(), 1);
+        assert_eq!(hub_findings[0].span, Span::Event { index: 0 });
+        // Mesh designs have no hub: the rule never fires.
+        assert!(lint_faults(&windows, 600.0, None).is_clean());
+    }
+}

@@ -16,9 +16,13 @@
 //! * [`CutTracker`] watches the cuts an Algorithm-1 style loop adds across
 //!   iterations and flags ones that are identical to or weaker than cuts
 //!   already present.
-//! * [`lint_schedule`] and [`lint_space`] cover the two other inputs of the
+//! * [`lint_schedule`] and [`lint_space`] cover two other inputs of the
 //!   loop: event schedules (monotone, finite times) and configuration
 //!   spaces (no empty dimensions).
+//! * [`lint_faults`] validates fault-scenario specifications before the
+//!   robust-evaluation engine spends simulations on them: inverted or
+//!   overlapping windows, faults past the horizon, hub-disabling
+//!   scenarios.
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -52,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cuts;
+mod faults;
 mod model;
 mod propagate;
 mod report;
@@ -60,6 +65,7 @@ mod schedule;
 mod space;
 
 pub use cuts::CutTracker;
+pub use faults::{lint_faults, FaultEntity, FaultWindowSpec};
 pub use model::{LintModel, LintRow, LintVar, RowSense};
 pub use propagate::{propagate, Propagation};
 pub use report::{Finding, Report, RuleId, Severity, Span};

@@ -74,6 +74,18 @@ pub enum RuleId {
     DegenerateDimension,
     /// The configuration space is too large to enumerate exhaustively.
     SpaceExplosion,
+    /// A fault window closes before it opens (or has a NaN/absurd edge);
+    /// such a window is inert — the scenario does not do what it reads as.
+    InvertedFaultWindow,
+    /// Two fault windows on the same entity overlap, so recovery/outage
+    /// events interleave (first recovery revives the node mid-outage).
+    OverlappingFaultWindows,
+    /// A fault window opens at or after the simulation horizon and can
+    /// never take effect.
+    FaultPastHorizon,
+    /// A fault scenario disables the hub/coordinator node, taking the
+    /// whole star network down for the window.
+    HubDisabled,
 }
 
 impl RuleId {
@@ -97,6 +109,10 @@ impl RuleId {
             RuleId::EmptyDimension => "HL030",
             RuleId::DegenerateDimension => "HL031",
             RuleId::SpaceExplosion => "HL032",
+            RuleId::InvertedFaultWindow => "HL033",
+            RuleId::OverlappingFaultWindows => "HL034",
+            RuleId::FaultPastHorizon => "HL035",
+            RuleId::HubDisabled => "HL036",
         }
     }
 
@@ -109,14 +125,18 @@ impl RuleId {
             | RuleId::DanglingVariable
             | RuleId::NonFiniteTime
             | RuleId::NonMonotoneSchedule
-            | RuleId::EmptyDimension => Severity::Error,
+            | RuleId::EmptyDimension
+            | RuleId::InvertedFaultWindow => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
             | RuleId::DominatedRow
             | RuleId::BoundInfeasible
             | RuleId::Conditioning
-            | RuleId::RedundantCut => Severity::Warning,
+            | RuleId::RedundantCut
+            | RuleId::OverlappingFaultWindows
+            | RuleId::FaultPastHorizon
+            | RuleId::HubDisabled => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -341,6 +361,10 @@ mod tests {
             RuleId::EmptyDimension,
             RuleId::DegenerateDimension,
             RuleId::SpaceExplosion,
+            RuleId::InvertedFaultWindow,
+            RuleId::OverlappingFaultWindows,
+            RuleId::FaultPastHorizon,
+            RuleId::HubDisabled,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -1,0 +1,251 @@
+//! Scenario-scripted fault injection for the WBAN simulator.
+//!
+//! A [`FaultScenario`] is a deterministic script of disturbances applied
+//! to one simulation run: node crash/recover windows, link blackout
+//! intervals, battery-depletion events and wideband interference bursts.
+//! Every entry references a **body site index** (the paper's `n_i`,
+//! 0–9), not a node index into one configuration's placement vector, so
+//! the same scenario applies uniformly across every design point the
+//! exploration proposes — a fault on an unoccupied site is simply a
+//! no-op. That property is what lets the robust evaluator in `hi-core`
+//! score wildly different placements against one common fault suite.
+//!
+//! Scenarios are plain data and carry no randomness of their own; a
+//! fault-injected run is exactly as reproducible as a nominal one, which
+//! keeps the whole robustness layer inside the `hi-exec` bit-identical
+//! determinism contract.
+
+use hi_channel::BodyLocation;
+use hi_des::{SimDuration, SimTime, Window};
+
+/// Path-loss penalty (dB) that no link budget survives: an active
+/// blackout adds this to the channel's loss, so the link never closes.
+pub const BLACKOUT_LOSS_DB: f64 = 1e9;
+
+/// A node crash/recover window: the node at `site` is down for the
+/// whole window and comes back (with an empty queue and a restarted
+/// application) when it closes. An open-ended window is a permanent
+/// crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteOutage {
+    /// Body site index (0–9) of the affected node.
+    pub site: usize,
+    /// When the node is down.
+    pub window: Window,
+}
+
+/// A bidirectional link blackout between two body sites (e.g. a posture
+/// shadowing the torso–ankle path): while active, no frame crosses the
+/// link in either direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBlackout {
+    /// One endpoint's body site index.
+    pub site_a: usize,
+    /// The other endpoint's body site index.
+    pub site_b: usize,
+    /// When the link is dark.
+    pub window: Window,
+}
+
+/// A battery-depletion event: the node at `site` dies at `at` and never
+/// recovers (unlike a crash window, there is nothing to come back to).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryDepletion {
+    /// Body site index (0–9) of the depleted node.
+    pub site: usize,
+    /// Depletion instant, relative to simulation start.
+    pub at: SimDuration,
+}
+
+/// A wideband interference burst: while active, every link in the
+/// network suffers `extra_loss_db` of additional path loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceBurst {
+    /// When the interferer is on.
+    pub window: Window,
+    /// Additional path loss applied to every link, dB.
+    pub extra_loss_db: f64,
+}
+
+/// One deterministic fault script, applied to a single simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultScenario {
+    /// Human-readable label (shown in reports and lint findings).
+    pub name: String,
+    /// Node crash/recover windows.
+    pub outages: Vec<SiteOutage>,
+    /// Link blackout intervals.
+    pub blackouts: Vec<LinkBlackout>,
+    /// Battery-depletion events.
+    pub depletions: Vec<BatteryDepletion>,
+    /// Interference bursts.
+    pub bursts: Vec<InterferenceBurst>,
+}
+
+impl FaultScenario {
+    /// The empty scenario: no faults at all (the paper's setting).
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// A named, empty scenario to be filled in.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// True if the scenario injects nothing.
+    pub fn is_nominal(&self) -> bool {
+        self.outages.is_empty()
+            && self.blackouts.is_empty()
+            && self.depletions.is_empty()
+            && self.bursts.is_empty()
+    }
+
+    /// True if any entry references `site`.
+    pub fn touches_site(&self, site: usize) -> bool {
+        self.outages.iter().any(|o| o.site == site)
+            || self.depletions.iter().any(|d| d.site == site)
+            || self
+                .blackouts
+                .iter()
+                .any(|b| b.site_a == site || b.site_b == site)
+    }
+
+    /// The extra path loss (dB) injected on the link between body sites
+    /// `a` and `b` at time `t`: [`BLACKOUT_LOSS_DB`] while a blackout of
+    /// that (unordered) pair is active, plus the loss of every active
+    /// interference burst.
+    pub fn link_extra_loss_db(&self, a: usize, b: usize, t: SimTime) -> f64 {
+        let mut loss = 0.0;
+        for blackout in &self.blackouts {
+            let hits = (blackout.site_a == a && blackout.site_b == b)
+                || (blackout.site_a == b && blackout.site_b == a);
+            if hits && blackout.window.active(t) {
+                loss += BLACKOUT_LOSS_DB;
+            }
+        }
+        for burst in &self.bursts {
+            if burst.window.active(t) {
+                loss += burst.extra_loss_db;
+            }
+        }
+        loss
+    }
+
+    /// Structural validity: every referenced site exists and every
+    /// injected loss is finite and non-negative. Inverted or overlapping
+    /// windows are *not* errors here — they are the lint layer's
+    /// business (`hi-lint` HL033+), because a malformed script should be
+    /// explained, not silently rejected.
+    pub(crate) fn validate(&self) -> Result<(), crate::params::ConfigError> {
+        use crate::params::ConfigError;
+        let bad_site = |s: usize| s >= BodyLocation::COUNT;
+        for o in &self.outages {
+            if bad_site(o.site) {
+                return Err(ConfigError::BadScenarioSite(o.site));
+            }
+        }
+        for d in &self.depletions {
+            if bad_site(d.site) {
+                return Err(ConfigError::BadScenarioSite(d.site));
+            }
+        }
+        for b in &self.blackouts {
+            if bad_site(b.site_a) {
+                return Err(ConfigError::BadScenarioSite(b.site_a));
+            }
+            if bad_site(b.site_b) {
+                return Err(ConfigError::BadScenarioSite(b.site_b));
+            }
+        }
+        for burst in &self.bursts {
+            if !burst.extra_loss_db.is_finite() || burst.extra_loss_db < 0.0 {
+                return Err(ConfigError::BadScenarioLoss);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn nominal_scenario_injects_nothing() {
+        let s = FaultScenario::nominal();
+        assert!(s.is_nominal());
+        assert_eq!(s.link_extra_loss_db(0, 3, t(1.0)), 0.0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn blackout_is_bidirectional_and_windowed() {
+        let mut s = FaultScenario::named("blackout");
+        s.blackouts.push(LinkBlackout {
+            site_a: 0,
+            site_b: 3,
+            window: Window::from_secs(1.0, 2.0),
+        });
+        assert!(s.link_extra_loss_db(0, 3, t(1.5)) >= BLACKOUT_LOSS_DB);
+        assert!(s.link_extra_loss_db(3, 0, t(1.5)) >= BLACKOUT_LOSS_DB);
+        assert_eq!(s.link_extra_loss_db(0, 3, t(2.5)), 0.0);
+        assert_eq!(s.link_extra_loss_db(0, 5, t(1.5)), 0.0, "other links clear");
+    }
+
+    #[test]
+    fn bursts_hit_every_link_and_stack() {
+        let mut s = FaultScenario::named("interference");
+        s.bursts.push(InterferenceBurst {
+            window: Window::from_secs(0.0, 5.0),
+            extra_loss_db: 20.0,
+        });
+        s.bursts.push(InterferenceBurst {
+            window: Window::from_secs(1.0, 2.0),
+            extra_loss_db: 10.0,
+        });
+        assert_eq!(s.link_extra_loss_db(4, 7, t(1.5)), 30.0);
+        assert_eq!(s.link_extra_loss_db(4, 7, t(3.0)), 20.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sites_and_losses() {
+        let mut s = FaultScenario::named("bad");
+        s.outages.push(SiteOutage {
+            site: 10,
+            window: Window::from_secs(0.0, 1.0),
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = FaultScenario::named("bad-loss");
+        s.bursts.push(InterferenceBurst {
+            window: Window::from_secs(0.0, 1.0),
+            extra_loss_db: f64::NAN,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn touches_site_sees_all_entry_kinds() {
+        let mut s = FaultScenario::named("x");
+        s.depletions.push(BatteryDepletion {
+            site: 2,
+            at: SimDuration::from_secs(1.0),
+        });
+        s.blackouts.push(LinkBlackout {
+            site_a: 0,
+            site_b: 5,
+            window: Window::from_secs(0.0, 1.0),
+        });
+        assert!(s.touches_site(2));
+        assert!(s.touches_site(5));
+        assert!(!s.touches_site(3));
+    }
+}

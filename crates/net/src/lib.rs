@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod medium;
 mod metrics;
 mod packet;
@@ -57,6 +58,10 @@ mod runner;
 mod sim;
 pub mod trace;
 
+pub use fault::{
+    BatteryDepletion, FaultScenario, InterferenceBurst, LinkBlackout, SiteOutage, BLACKOUT_LOSS_DB,
+};
+pub use hi_des::fault::Window;
 pub use metrics::{
     average_outcomes, network_lifetime_days, LatencyStats, SimOutcome, TrafficCounts,
 };

@@ -386,6 +386,10 @@ pub struct NetworkConfig {
     pub mac_buffer: usize,
     /// Scheduled node failures (empty for the paper's experiments).
     pub faults: Vec<NodeFault>,
+    /// Scripted fault scenario (nominal — empty — for the paper's
+    /// experiments). Entries reference body *site* indices, so the same
+    /// scenario value can be attached to any placement.
+    pub scenario: crate::fault::FaultScenario,
     /// Per-node packet-rate overrides in packets/second, dense over the
     /// placement vector. `None` (the paper's setting) gives every node
     /// the shared `app.packets_per_second`.
@@ -409,6 +413,10 @@ pub enum ConfigError {
     BadCoordinator(usize),
     /// A scheduled fault names a node index out of range.
     BadFaultNode(usize),
+    /// A fault-scenario entry names a body site index out of range.
+    BadScenarioSite(usize),
+    /// A fault-scenario interference loss is negative or not finite.
+    BadScenarioLoss,
     /// A packet does not fit in a TDMA slot.
     PacketExceedsSlot,
     /// The MAC buffer capacity is zero.
@@ -431,6 +439,15 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadFaultNode(i) => {
                 write!(f, "fault names node index {i}, which is out of range")
+            }
+            ConfigError::BadScenarioSite(i) => {
+                write!(f, "fault scenario names body site {i}, beyond the 10 sites")
+            }
+            ConfigError::BadScenarioLoss => {
+                write!(
+                    f,
+                    "interference loss must be a finite non-negative dB value"
+                )
             }
             ConfigError::PacketExceedsSlot => {
                 write!(f, "packet airtime exceeds the TDMA slot duration")
@@ -467,6 +484,7 @@ impl NetworkConfig {
             battery_j: CR2032_ENERGY_J,
             mac_buffer: 16,
             faults: Vec::new(),
+            scenario: crate::fault::FaultScenario::nominal(),
             per_node_rates: None,
             harvest_power_w: 0.0,
         }
@@ -542,6 +560,7 @@ impl NetworkConfig {
                 return Err(ConfigError::BadFaultNode(f.node));
             }
         }
+        self.scenario.validate()?;
         if let Some(rates) = &self.per_node_rates {
             if rates.len() != self.placements.len()
                 || rates.iter().any(|&r| r <= 0.0 || !r.is_finite())

@@ -17,8 +17,12 @@ use crate::trace::TraceEvent;
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// Node's application layer emits its next periodic packet.
-    Generate { node: usize },
+    /// Node's application layer emits its next periodic packet. `epoch`
+    /// ties the event to one generation chain: a crash/recover cycle
+    /// bumps the node's epoch, so a stale chain scheduled before the
+    /// crash dies instead of double-scheduling alongside the restarted
+    /// one.
+    Generate { node: usize, epoch: u32 },
     /// CSMA: node wakes up to sense the channel and maybe transmit.
     MacAttempt { node: usize },
     /// Node's in-flight transmission completes.
@@ -32,8 +36,13 @@ enum Event {
     AlohaSlot { index: u64 },
     /// Hybrid superframe: mini-slot boundary (scheduled or contention).
     HybridSlot { index: u64 },
-    /// A scheduled node failure fires.
-    NodeFail { node: usize },
+    /// A scheduled node failure fires. `permanent` failures (legacy
+    /// [`NodeFault`](crate::NodeFault) entries, battery depletions) can
+    /// never be undone by a later `NodeUp`.
+    NodeDown { node: usize, permanent: bool },
+    /// A crash/recover window closes: the node reboots with an empty
+    /// queue and a restarted application chain.
+    NodeUp { node: usize },
 }
 
 /// Per-node protocol state.
@@ -54,8 +63,14 @@ struct NodeState {
     relayed: HashSet<(usize, u32)>,
     tx_energy_j: f64,
     rx_energy_j: f64,
-    /// Cleared by a scheduled [`NodeFault`](crate::NodeFault).
+    /// Cleared by a scheduled [`NodeFault`](crate::NodeFault) or an
+    /// active [`SiteOutage`](crate::SiteOutage) window.
     alive: bool,
+    /// Set by a permanent failure; a `NodeUp` cannot revive the node.
+    retired: bool,
+    /// Generation-chain epoch; bumped on every recovery so stale
+    /// `Generate` events are ignored.
+    epoch: u32,
 }
 
 impl NodeState {
@@ -73,6 +88,8 @@ impl NodeState {
             tx_energy_j: 0.0,
             rx_energy_j: 0.0,
             alive: true,
+            retired: false,
+            epoch: 0,
         }
     }
 }
@@ -188,7 +205,7 @@ impl<C: ChannelModel> NetworkSim<C> {
             let phase =
                 SimDuration::from_secs(self.rngs[i].gen_f64() * self.node_period(i).as_secs_f64());
             self.engine
-                .schedule_at(SimTime::ZERO + phase, Event::Generate { node: i });
+                .schedule_at(SimTime::ZERO + phase, Event::Generate { node: i, epoch: 0 });
         }
         match self.cfg.mac {
             MacKind::Tdma(_) => {
@@ -208,23 +225,25 @@ impl<C: ChannelModel> NetworkSim<C> {
         for fault in self.cfg.faults.clone() {
             self.engine.schedule_at(
                 SimTime::ZERO + fault.at,
-                Event::NodeFail { node: fault.node },
+                Event::NodeDown {
+                    node: fault.node,
+                    permanent: true,
+                },
             );
         }
+        self.schedule_scenario();
 
         while let Some((now, event)) = self.engine.pop() {
             match event {
-                Event::Generate { node } => self.on_generate(now, node),
+                Event::Generate { node, epoch } => self.on_generate(now, node, epoch),
                 Event::MacAttempt { node } => self.on_mac_attempt(now, node),
                 Event::TxCommit { node } => self.on_tx_commit(now, node),
                 Event::TxEnd { node } => self.on_tx_end(now, node),
                 Event::TdmaSlot { index } => self.on_tdma_slot(now, index),
                 Event::AlohaSlot { index } => self.on_aloha_slot(now, index),
                 Event::HybridSlot { index } => self.on_hybrid_slot(now, index),
-                Event::NodeFail { node } => {
-                    self.nodes[node].alive = false;
-                    self.record(TraceEvent::NodeFailed { t: now, node });
-                }
+                Event::NodeDown { node, permanent } => self.on_node_down(now, node, permanent),
+                Event::NodeUp { node } => self.on_node_up(now, node),
             }
         }
         if let Some(tr) = self.trace.take() {
@@ -240,6 +259,96 @@ impl<C: ChannelModel> NetworkSim<C> {
         }
     }
 
+    // --- fault injection -----------------------------------------------------
+
+    /// Schedules the scripted fault scenario. Entries reference body
+    /// *sites*; a site not occupied by this configuration is a no-op, so
+    /// one scenario value applies uniformly across every design point.
+    fn schedule_scenario(&mut self) {
+        let scenario = self.cfg.scenario.clone();
+        let node_at = |site: usize| self.nodes.iter().position(|n| n.loc.index() == site);
+        for outage in &scenario.outages {
+            let Some(node) = node_at(outage.site) else {
+                continue;
+            };
+            if outage.window.is_inverted() {
+                continue; // lint flags these; the sim treats them as inert
+            }
+            self.engine.schedule_at(
+                outage.window.from,
+                Event::NodeDown {
+                    node,
+                    permanent: false,
+                },
+            );
+            if !outage.window.is_open_ended() {
+                self.engine
+                    .schedule_at(outage.window.until, Event::NodeUp { node });
+            }
+        }
+        for depletion in &scenario.depletions {
+            let Some(node) = node_at(depletion.site) else {
+                continue;
+            };
+            self.engine.schedule_at(
+                SimTime::ZERO + depletion.at,
+                Event::NodeDown {
+                    node,
+                    permanent: true,
+                },
+            );
+        }
+        // Blackouts and interference bursts need no events: they are
+        // evaluated lazily inside `link_loss_db` at every channel query.
+    }
+
+    fn on_node_down(&mut self, now: SimTime, node: usize, permanent: bool) {
+        let st = &mut self.nodes[node];
+        st.retired |= permanent;
+        if !st.alive {
+            return;
+        }
+        st.alive = false;
+        // A crash loses volatile state: the MAC queue empties. Any
+        // transmission already on the air completes (the radio front-end
+        // drains), matching the legacy `NodeFault` semantics.
+        st.queue.clear();
+        st.attempts = 0;
+        self.record(TraceEvent::NodeFailed { t: now, node });
+    }
+
+    fn on_node_up(&mut self, now: SimTime, node: usize) {
+        let st = &mut self.nodes[node];
+        if st.retired || st.alive {
+            // A permanently failed node never reboots; overlapping
+            // outage windows can also produce an `Up` for a node that a
+            // later window already revived.
+            return;
+        }
+        st.alive = true;
+        st.epoch += 1;
+        let epoch = st.epoch;
+        self.record(TraceEvent::NodeRecovered { t: now, node });
+        // Restart the application with a fresh random phase, exactly as
+        // at boot.
+        let phase = SimDuration::from_secs(
+            self.rngs[node].gen_f64() * self.node_period(node).as_secs_f64(),
+        );
+        self.engine
+            .schedule_at(now + phase, Event::Generate { node, epoch });
+    }
+
+    /// The effective path loss between two sites right now: the channel
+    /// model's loss plus whatever the fault scenario injects (an active
+    /// link blackout, interference bursts).
+    fn link_loss_db(&mut self, from: BodyLocation, to: BodyLocation, now: SimTime) -> f64 {
+        self.channel.path_loss_db(from, to, now)
+            + self
+                .cfg
+                .scenario
+                .link_extra_loss_db(from.index(), to.index(), now)
+    }
+
     /// The generation period of `node` (honours per-node rate overrides).
     fn node_period(&self, node: usize) -> SimDuration {
         match &self.cfg.per_node_rates {
@@ -250,9 +359,11 @@ impl<C: ChannelModel> NetworkSim<C> {
 
     // --- application layer -------------------------------------------------
 
-    fn on_generate(&mut self, now: SimTime, node: usize) {
-        if !self.nodes[node].alive {
-            return; // dead nodes stop generating (and rescheduling)
+    fn on_generate(&mut self, now: SimTime, node: usize, epoch: u32) {
+        if !self.nodes[node].alive || epoch != self.nodes[node].epoch {
+            // Dead nodes stop generating; a stale epoch is a chain the
+            // node's last crash already severed.
+            return;
         }
         let seq = self.nodes[node].next_seq;
         self.nodes[node].next_seq += 1;
@@ -264,7 +375,7 @@ impl<C: ChannelModel> NetworkSim<C> {
         let period = self.node_period(node);
         // Horizon cuts generation off automatically.
         self.engine
-            .schedule_at(now + period, Event::Generate { node });
+            .schedule_at(now + period, Event::Generate { node, epoch });
     }
 
     // --- MAC layer ----------------------------------------------------------
@@ -443,7 +554,7 @@ impl<C: ChannelModel> NetworkSim<C> {
         let loc = self.nodes[node].loc;
         let mut until = now;
         for (tx, start) in transmissions {
-            let pl = self.channel.path_loss_db(self.nodes[tx].loc, loc, now);
+            let pl = self.link_loss_db(self.nodes[tx].loc, loc, now);
             if self.cfg.radio.link_closes(pl) {
                 until = until.max(start + self.tpkt);
             }
@@ -457,7 +568,7 @@ impl<C: ChannelModel> NetworkSim<C> {
         let transmitters: Vec<usize> = self.medium.active_transmitters().collect();
         let loc = self.nodes[node].loc;
         transmitters.into_iter().any(|tx| {
-            let pl = self.channel.path_loss_db(self.nodes[tx].loc, loc, now);
+            let pl = self.link_loss_db(self.nodes[tx].loc, loc, now);
             self.cfg.radio.link_closes(pl)
         })
     }
@@ -478,7 +589,7 @@ impl<C: ChannelModel> NetworkSim<C> {
             if r == node || self.nodes[r].transmitting || !self.nodes[r].alive {
                 continue;
             }
-            let pl = self.channel.path_loss_db(tx_loc, self.nodes[r].loc, now);
+            let pl = self.link_loss_db(tx_loc, self.nodes[r].loc, now);
             if self.cfg.radio.link_closes(pl) {
                 audible.push(r);
             }

@@ -75,6 +75,13 @@ pub enum TraceEvent {
         /// The failed node.
         node: usize,
     },
+    /// A crash/recover window closed and the node rebooted.
+    NodeRecovered {
+        /// Timestamp.
+        t: SimTime,
+        /// The recovered node.
+        node: usize,
+    },
 }
 
 impl TraceEvent {
@@ -87,7 +94,8 @@ impl TraceEvent {
             | TraceEvent::Corrupted { t, .. }
             | TraceEvent::BufferDrop { t, .. }
             | TraceEvent::MacDrop { t, .. }
-            | TraceEvent::NodeFailed { t, .. } => t,
+            | TraceEvent::NodeFailed { t, .. }
+            | TraceEvent::NodeRecovered { t, .. } => t,
         }
     }
 }
@@ -118,6 +126,7 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::BufferDrop { t, node } => write!(f, "{t} DROP-Q n{node}"),
             TraceEvent::MacDrop { t, node } => write!(f, "{t} DROP-M n{node}"),
             TraceEvent::NodeFailed { t, node } => write!(f, "{t} FAIL   n{node}"),
+            TraceEvent::NodeRecovered { t, node } => write!(f, "{t} RECOV  n{node}"),
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Scenario-scripted fault injection: crash/recover windows, link
+//! blackouts, battery depletions and interference bursts, all addressed
+//! by body *site* so one scenario applies across every placement.
+
+use hi_channel::StaticChannel;
+use hi_des::{SimDuration, SimTime};
+use hi_net::{
+    simulate, simulate_stochastic, BatteryDepletion, FaultScenario, InterferenceBurst,
+    LinkBlackout, MacKind, NetworkConfig, Routing, SiteOutage, TxPower, Window,
+};
+
+fn t_sim() -> SimDuration {
+    SimDuration::from_secs(60.0)
+}
+
+fn base() -> NetworkConfig {
+    NetworkConfig::new(
+        vec![
+            hi_channel::BodyLocation::Chest,     // site 0
+            hi_channel::BodyLocation::LeftHip,   // site 1
+            hi_channel::BodyLocation::LeftAnkle, // site 3
+            hi_channel::BodyLocation::LeftWrist, // site 5
+        ],
+        TxPower::ZeroDbm,
+        MacKind::tdma(),
+        Routing::Star { coordinator: 0 },
+    )
+}
+
+fn run(cfg: &NetworkConfig) -> hi_net::SimOutcome {
+    simulate(cfg, StaticChannel::uniform(50.0), t_sim(), 1).unwrap()
+}
+
+#[test]
+fn crash_recover_window_sits_between_nominal_and_permanent() {
+    let nominal = run(&base());
+    assert_eq!(nominal.pdr, 1.0);
+
+    let mut windowed = base();
+    windowed.scenario = FaultScenario::named("mid-run reboot");
+    windowed.scenario.outages.push(SiteOutage {
+        site: 5,
+        window: Window::from_secs(20.0, 40.0),
+    });
+    let windowed = run(&windowed);
+
+    let mut permanent = base();
+    permanent.scenario = FaultScenario::named("never comes back");
+    permanent.scenario.outages.push(SiteOutage {
+        site: 5,
+        window: Window::open_ended(SimTime::ZERO),
+    });
+    let permanent = run(&permanent);
+
+    assert!(
+        windowed.pdr < nominal.pdr,
+        "a 20 s outage must cost PDR ({} vs {})",
+        windowed.pdr,
+        nominal.pdr
+    );
+    assert!(
+        windowed.pdr > permanent.pdr,
+        "recovering must beat staying down ({} vs {})",
+        windowed.pdr,
+        permanent.pdr
+    );
+}
+
+#[test]
+fn blackout_suppresses_the_link_but_only_while_active() {
+    let nominal = run(&base());
+
+    let mut dark = base();
+    dark.scenario = FaultScenario::named("chest-wrist dark");
+    dark.scenario.blackouts.push(LinkBlackout {
+        site_a: 0,
+        site_b: 5,
+        window: Window::open_ended(SimTime::ZERO),
+    });
+    let dark = run(&dark);
+    assert!(
+        dark.pdr < nominal.pdr,
+        "an always-dark hub link must cost PDR ({} vs {})",
+        dark.pdr,
+        nominal.pdr
+    );
+
+    let mut brief = base();
+    brief.scenario = FaultScenario::named("brief shadowing");
+    brief.scenario.blackouts.push(LinkBlackout {
+        site_a: 0,
+        site_b: 5,
+        window: Window::from_secs(10.0, 20.0),
+    });
+    let brief = run(&brief);
+    assert!(
+        brief.pdr > dark.pdr,
+        "a 10 s blackout must beat a permanent one ({} vs {})",
+        brief.pdr,
+        dark.pdr
+    );
+}
+
+#[test]
+fn interference_burst_degrades_every_link() {
+    let nominal = run(&base());
+    let mut jammed = base();
+    jammed.scenario = FaultScenario::named("wideband jammer");
+    jammed.scenario.bursts.push(InterferenceBurst {
+        window: Window::from_secs(10.0, 50.0),
+        extra_loss_db: 100.0, // 50 dB channel + 100 dB: no budget closes
+    });
+    let jammed = run(&jammed);
+    assert!(
+        jammed.pdr < nominal.pdr,
+        "a 40 s jammer must cost PDR ({} vs {})",
+        jammed.pdr,
+        nominal.pdr
+    );
+}
+
+#[test]
+fn battery_depletion_is_permanent() {
+    let nominal = run(&base());
+    let mut depleted = base();
+    depleted.scenario = FaultScenario::named("wrist battery dies");
+    depleted.scenario.depletions.push(BatteryDepletion {
+        site: 5,
+        at: SimDuration::from_secs(30.0),
+    });
+    let depleted = run(&depleted);
+    assert!(
+        depleted.pdr < nominal.pdr,
+        "a dead node must cost PDR ({} vs {})",
+        depleted.pdr,
+        nominal.pdr
+    );
+    assert!(
+        depleted.counts.generated < nominal.counts.generated,
+        "a dead source stops generating"
+    );
+}
+
+#[test]
+fn faults_on_unoccupied_sites_are_no_ops() {
+    let mut cfg = base();
+    cfg.scenario = FaultScenario::named("elsewhere");
+    // Sites 8 (head) and 9 (back) are not in this placement.
+    cfg.scenario.outages.push(SiteOutage {
+        site: 8,
+        window: Window::open_ended(SimTime::ZERO),
+    });
+    cfg.scenario.depletions.push(BatteryDepletion {
+        site: 9,
+        at: SimDuration::from_secs(1.0),
+    });
+    cfg.scenario.blackouts.push(LinkBlackout {
+        site_a: 8,
+        site_b: 9,
+        window: Window::open_ended(SimTime::ZERO),
+    });
+    assert_eq!(run(&cfg), run(&base()), "unoccupied sites must not matter");
+}
+
+#[test]
+fn fault_injected_runs_are_deterministic() {
+    let mut cfg = base();
+    cfg.scenario = FaultScenario::named("everything at once");
+    cfg.scenario.outages.push(SiteOutage {
+        site: 3,
+        window: Window::from_secs(5.0, 25.0),
+    });
+    cfg.scenario.bursts.push(InterferenceBurst {
+        window: Window::from_secs(30.0, 45.0),
+        extra_loss_db: 30.0,
+    });
+    let channel = hi_channel::ChannelParams::default();
+    let a = simulate_stochastic(&cfg, channel, t_sim(), 77).unwrap();
+    let b = simulate_stochastic(&cfg, channel, t_sim(), 77).unwrap();
+    assert_eq!(a, b, "same seed, same scenario, same bits");
+    let nominal = simulate_stochastic(&base(), channel, t_sim(), 77).unwrap();
+    assert_ne!(a, nominal, "the scenario must actually bite");
+}

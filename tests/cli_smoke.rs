@@ -128,4 +128,139 @@ fn explore_validates_pdr_min() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}
+
+#[test]
+fn robust_without_faults_is_a_usage_error() {
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.6", "--robust", "worst"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--faults"));
+}
+
+#[test]
+fn missing_fault_suite_is_an_io_error() {
+    let out = hi_opt()
+        .args([
+            "explore",
+            "--pdr-min",
+            "0.6",
+            "--faults",
+            "/definitely/not/here.suite",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "unreadable files exit 3");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn malformed_fault_suite_is_a_spec_error_with_line_numbers() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hi_opt_smoke_bad.suite");
+    std::fs::write(&path, "scenario bad\noutage 5 nine 2\n").expect("tmp write");
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.6"])
+        .arg("--faults")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "malformed specs exit 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":2:"));
+}
+
+#[test]
+fn inverted_fault_window_fails_suite_lint() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hi_opt_smoke_inverted.suite");
+    std::fs::write(&path, "scenario inverted\noutage 5 9 2\n").expect("tmp write");
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.6", "--tsim", "5", "--runs", "1"])
+        .arg("--faults")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("HL033"));
+}
+
+#[test]
+fn robust_explore_reports_the_fault_scorecard() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hi_opt_smoke_ok.suite");
+    std::fs::write(&path, "scenario wrist nap\noutage 5 1 3\n").expect("tmp write");
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.5", "--tsim", "2", "--runs", "1"])
+        .arg("--faults")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fault suite    : 1 scenario(s), worst-case aggregation"));
+    assert!(text.contains("nominal PDR"));
+    assert!(text.contains("worst PDR"));
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_spec_error() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hi_opt_smoke_corrupt.ckpt");
+    std::fs::write(&path, "not a checkpoint\n").expect("tmp write");
+    let out = hi_opt()
+        .args(["explore", "--pdr-min", "0.6", "--resume"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4));
+}
+
+#[test]
+fn budget_checkpoint_resume_matches_a_straight_run() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hi_opt_smoke_resume.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let common = ["--pdr-min", "0.6", "--tsim", "2", "--runs", "1"];
+    let straight = hi_opt()
+        .arg("explore")
+        .args(common)
+        .output()
+        .expect("binary runs");
+    assert!(straight.status.success());
+    let partial = hi_opt()
+        .arg("explore")
+        .args(common)
+        .args(["--budget", "10"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(partial.status.success());
+    assert!(String::from_utf8_lossy(&partial.stdout).contains("BudgetExhausted"));
+    let resumed = hi_opt()
+        .arg("explore")
+        .args(common)
+        .arg("--resume")
+        .arg("--checkpoint")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&straight.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "a resumed run must print byte-identical stdout"
+    );
 }
