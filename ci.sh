@@ -42,4 +42,65 @@ target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
     --checkpoint /tmp/hi_ci_cp.txt --resume > /tmp/hi_ci_resumed.txt
 diff /tmp/hi_ci_t8.txt /tmp/hi_ci_resumed.txt
 
+# Observability gates (hi-trace). Tracing must never perturb the search:
+# the same exploration with --trace and --metrics prints byte-identical
+# stdout (all trace output goes to the file / stderr) at 1 and 8 workers.
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 1 \
+    --trace /tmp/hi_ci_trace_t1.jsonl --metrics \
+    > /tmp/hi_ci_traced_t1.txt 2> /dev/null
+diff /tmp/hi_ci_t1.txt /tmp/hi_ci_traced_t1.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --trace /tmp/hi_ci_trace_t8.jsonl --metrics \
+    > /tmp/hi_ci_traced_t8.txt 2> /dev/null
+diff /tmp/hi_ci_t8.txt /tmp/hi_ci_traced_t8.txt
+
+# The JSONL stream must validate line by line, and the deterministic
+# (epoch, lane) layout means the 1- and 8-worker traces differ only in
+# timestamps and the self-describing "threads" span argument: after
+# normalizing those two, the streams are byte-identical.
+target/release/trace-check /tmp/hi_ci_trace_t1.jsonl --format jsonl
+target/release/trace-check /tmp/hi_ci_trace_t8.jsonl --format jsonl
+sed 's/"ts_ns":[0-9]*//; s/"threads":[0-9]*/"threads":N/' \
+    /tmp/hi_ci_trace_t1.jsonl > /tmp/hi_ci_layout_t1.txt
+sed 's/"ts_ns":[0-9]*//; s/"threads":[0-9]*/"threads":N/' \
+    /tmp/hi_ci_trace_t8.jsonl > /tmp/hi_ci_layout_t8.txt
+diff /tmp/hi_ci_layout_t1.txt /tmp/hi_ci_layout_t8.txt
+
+# Chrome export on the fault suite must be Perfetto-loadable and contain
+# spans from every instrumented layer (milp, des/net, exec, algorithm1).
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --robust worst \
+    --trace /tmp/hi_ci_trace.chrome --trace-format chrome \
+    > /tmp/hi_ci_traced_rob.txt 2> /dev/null
+diff /tmp/hi_ci_rob_t8.txt /tmp/hi_ci_traced_rob.txt
+target/release/trace-check /tmp/hi_ci_trace.chrome --format chrome
+for layer in milp net exec algo1; do
+    grep -q "\"name\":\"$layer\." /tmp/hi_ci_trace.chrome
+done
+
+# Overhead budget: --trace must cost < 10% wall time on the demo suite.
+# Interleaved best-of-5 pairs after a warmup, so scheduler noise and
+# cache warmth hit both modes alike instead of biasing one.
+python3 - <<'EOF'
+import subprocess, time
+CMD = ["target/release/hi-opt", "explore", "--pdr-min", "0.9",
+       "--tsim", "10", "--runs", "1", "--threads", "8",
+       "--faults", "scenarios/demo.suite", "--robust", "worst"]
+TRACE = ["--trace", "/tmp/hi_ci_overhead.jsonl", "--metrics"]
+def run(extra):
+    t0 = time.perf_counter()
+    subprocess.run(CMD + extra, check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.perf_counter() - t0
+run([])  # warmup
+base, traced = [], []
+for _ in range(5):
+    base.append(run([]))
+    traced.append(run(TRACE))
+base, traced = min(base), min(traced)
+overhead = (traced - base) / base
+print(f"trace overhead: {overhead:+.1%} (base {base:.3f}s, traced {traced:.3f}s)")
+assert overhead < 0.10, "tracing overhead exceeds the 10% budget"
+EOF
+
 HI_BENCH_QUICK=1 cargo bench

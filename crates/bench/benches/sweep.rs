@@ -8,13 +8,54 @@
 //! value there is determinism + shared caching, not speedup); on
 //! multi-core hosts it should approach the worker count for this
 //! embarrassingly parallel workload.
+//!
+//! Besides the human-readable stats it writes `BENCH_explore.json` in the
+//! invocation directory: one machine-readable [`EngineRun`] per engine
+//! variant (wall time, simulation count and cache hit rate pulled from a
+//! metrics-only `hi-trace` collector), so the perf trajectory across PRs
+//! has data points.
 
 use std::time::Instant;
 
 use hi_bench::micro::Runner;
+use hi_bench::report::{BenchReport, EngineRun};
 use hi_bench::{parallel_sweep, ExpOptions};
-use hi_core::DesignSpace;
+use hi_core::{explore_par, DesignSpace, ExecContext, ExploreOptions, Problem, SharedSimEvaluator};
 use hi_des::SimDuration;
+use hi_trace::{wellknown as wk, Collector};
+
+/// Runs `body` under a metrics-only collector and packages the wall time
+/// plus the registry's simulation count and the evaluator's cache totals
+/// as one report row.
+fn instrumented(
+    engine: &str,
+    threads: usize,
+    opts: &ExpOptions,
+    body: impl FnOnce(&ExecContext, &SharedSimEvaluator),
+) -> EngineRun {
+    let collector = Collector::metrics_only();
+    let registry = collector
+        .registry()
+        .expect("a metrics-only collector has a registry");
+    wk::register_all(registry);
+    let exec = ExecContext::new(threads).with_collector(collector.clone());
+    let evaluator = opts.shared_evaluator();
+    let t0 = Instant::now();
+    {
+        let _main = collector.install(0, 0);
+        body(&exec, &evaluator);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    exec.flush_pool_stats();
+    EngineRun {
+        engine: engine.to_string(),
+        threads,
+        wall_s,
+        simulations: registry.counter_value(wk::NET_REPLICATIONS),
+        cache_hits: evaluator.cache_hits(),
+        cache_misses: evaluator.unique_evaluations(),
+    }
+}
 
 fn main() {
     let quick = std::env::var_os("HI_BENCH_QUICK").is_some();
@@ -55,4 +96,47 @@ fn main() {
         sequential,
         pooled
     );
+
+    // Machine-readable rows: the exhaustive sweep and Algorithm 1, each
+    // sequential and pooled, instrumented through the metrics registry.
+    let mut bench_report = BenchReport::new("explore");
+    let problem = Problem::paper_default(0.7);
+    for t in [1, threads] {
+        bench_report.push(instrumented(
+            "exhaustive_sweep",
+            t,
+            &opts(t),
+            |exec, evaluator| {
+                for slot in exec.eval_points(evaluator, &points) {
+                    slot.expect("sweep is never cancelled");
+                }
+            },
+        ));
+        bench_report.push(instrumented(
+            "algorithm1",
+            t,
+            &opts(t),
+            |exec, evaluator| {
+                explore_par(&problem, evaluator, ExploreOptions::default(), exec)
+                    .expect("exploration succeeds");
+            },
+        ));
+        if threads == 1 {
+            break; // single-core host: the two variants coincide
+        }
+    }
+    // Land the report at the workspace root (cargo runs benches with the
+    // package directory as cwd); HI_BENCH_REPORT_DIR overrides.
+    let dir = std::env::var_os("HI_BENCH_REPORT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .to_path_buf()
+        });
+    let out = dir.join(bench_report.file_name());
+    match bench_report.write_to(&out) {
+        Ok(()) => println!("  sweep/report written to {}", out.display()),
+        Err(e) => eprintln!("  sweep/report FAILED to write {}: {e}", out.display()),
+    }
 }

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod micro;
+pub mod report;
 
 use hi_core::{DesignPoint, Evaluation, ExecContext, SimEvaluator, SimProtocol};
 use hi_des::SimDuration;

@@ -1,0 +1,213 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! The microbenchmark runner in [`crate::micro`] prints human-oriented
+//! per-iteration stats; this module is the machine-readable counterpart.
+//! A [`BenchReport`] accumulates one [`EngineRun`] per engine variant —
+//! wall time plus whatever the `hi-trace` metrics registry observed
+//! (simulation count, cache hit/miss totals) — and serializes to a small
+//! hand-written JSON document so the perf trajectory across PRs can be
+//! diffed without any parsing dependency.
+//!
+//! Field order in the output is fixed and floats are printed with a fixed
+//! precision, so two reports of the same run are byte-comparable.
+
+use std::path::Path;
+
+/// One engine variant's measurements within a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// Engine variant label, e.g. `exhaustive_sequential`.
+    pub engine: String,
+    /// Worker threads the variant ran with.
+    pub threads: usize,
+    /// Wall-clock seconds for the measured run.
+    pub wall_s: f64,
+    /// Simulation replications executed (the `net.replications` counter).
+    pub simulations: u64,
+    /// Evaluation-cache hits during the run.
+    pub cache_hits: u64,
+    /// Evaluation-cache misses (unique evaluations) during the run.
+    pub cache_misses: u64,
+}
+
+impl EngineRun {
+    /// Hits over total lookups, `0.0` when the cache was never consulted.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A named collection of [`EngineRun`]s, serializable as `BENCH_<name>.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (`explore` writes `BENCH_explore.json`).
+    pub bench: String,
+    /// Engine variants, in the order they were pushed.
+    pub engines: Vec<EngineRun>,
+}
+
+impl BenchReport {
+    /// An empty report named `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            engines: Vec::new(),
+        }
+    }
+
+    /// Appends one engine variant's measurements.
+    pub fn push(&mut self, run: EngineRun) {
+        self.engines.push(run);
+    }
+
+    /// The file name this report conventionally lands in.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.bench)
+    }
+
+    /// Serializes the report as pretty-printed JSON with a stable field
+    /// order and fixed float precision.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str("  \"engines\": [");
+        for (i, run) in self.engines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"engine\": \"{}\",\n", escape(&run.engine)));
+            out.push_str(&format!("      \"threads\": {},\n", run.threads));
+            out.push_str(&format!("      \"wall_s\": {:.6},\n", run.wall_s));
+            out.push_str(&format!("      \"simulations\": {},\n", run.simulations));
+            out.push_str(&format!("      \"cache_hits\": {},\n", run.cache_hits));
+            out.push_str(&format!("      \"cache_misses\": {},\n", run.cache_misses));
+            out.push_str(&format!(
+                "      \"cache_hit_rate\": {:.4}\n",
+                run.cache_hit_rate()
+            ));
+            out.push_str("    }");
+        }
+        if !self.engines.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Minimal JSON string escaping: backslash, quote and control characters.
+/// Engine and bench names are workspace-chosen identifiers, but escaping
+/// keeps the document well-formed even if one ever carries punctuation.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut report = BenchReport::new("explore");
+        report.push(EngineRun {
+            engine: "exhaustive_sequential".into(),
+            threads: 1,
+            wall_s: 1.25,
+            simulations: 96,
+            cache_hits: 0,
+            cache_misses: 96,
+        });
+        report.push(EngineRun {
+            engine: "algorithm1_pool".into(),
+            threads: 8,
+            wall_s: 0.5,
+            simulations: 24,
+            cache_hits: 8,
+            cache_misses: 24,
+        });
+        report
+    }
+
+    #[test]
+    fn hit_rate_handles_an_untouched_cache() {
+        let run = EngineRun {
+            engine: "idle".into(),
+            threads: 1,
+            wall_s: 0.0,
+            simulations: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(run.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_has_stable_shape_and_all_fields() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"explore\""));
+        assert!(json.ends_with("]\n}\n"));
+        for field in [
+            "\"engine\": \"exhaustive_sequential\"",
+            "\"threads\": 8",
+            "\"wall_s\": 1.250000",
+            "\"simulations\": 96",
+            "\"cache_hits\": 8",
+            "\"cache_misses\": 24",
+            "\"cache_hit_rate\": 0.2500",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        // Exactly two engine objects.
+        assert_eq!(json.matches("\"engine\":").count(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json() {
+        let json = BenchReport::new("explore").to_json();
+        assert!(json.contains("\"engines\": []"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut report = BenchReport::new("a\"b\\c");
+        report.push(EngineRun {
+            engine: "tab\there\nnewline\u{1}ctl".into(),
+            threads: 1,
+            wall_s: 0.0,
+            simulations: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        let json = report.to_json();
+        assert!(json.contains("a\\\"b\\\\c"));
+        assert!(json.contains("tab\\there\\nnewline\\u0001ctl"));
+    }
+
+    #[test]
+    fn file_name_follows_the_bench_convention() {
+        assert_eq!(sample().file_name(), "BENCH_explore.json");
+    }
+}

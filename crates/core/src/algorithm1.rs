@@ -9,6 +9,7 @@
 //! incumbent: `P̄*/α(S*, PDRmin) > P̄min`.
 
 use hi_net::AppParams;
+use hi_trace::wellknown as wk;
 
 use crate::checkpoint::ExploreCheckpoint;
 use crate::constraints::DesignSpace;
@@ -73,7 +74,7 @@ pub enum StopReason {
 }
 
 /// The result of a design-space exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplorationOutcome {
     /// The optimal design and its measured performance, or `None` if no
     /// configuration satisfies the reliability constraint.
@@ -283,6 +284,7 @@ struct SeqOracle<'a>(&'a mut dyn Evaluator);
 
 impl CandidateOracle for SeqOracle<'_> {
     fn eval_level(&mut self, pool: &[DesignPoint]) -> Vec<Option<Evaluation>> {
+        hi_trace::counter(wk::CORE_EVALS, pool.len() as u64);
         pool.iter().map(|p| Some(self.0.evaluate(p))).collect()
     }
 
@@ -306,7 +308,10 @@ impl<P: PointEvaluator> CandidateOracle for ParOracle<'_, P> {
         // A failed candidate degrades to an empty slot: it is excluded
         // from the level (it cannot be elected incumbent) and counted,
         // while every healthy candidate still completes.
-        self.exec
+        hi_trace::counter(wk::CORE_EVALS, pool.len() as u64);
+        let errors_before = self.eval_errors;
+        let level: Vec<Option<Evaluation>> = self
+            .exec
             .try_eval_points(self.evaluator, pool)
             .into_iter()
             .map(|slot| match slot {
@@ -317,7 +322,9 @@ impl<P: PointEvaluator> CandidateOracle for ParOracle<'_, P> {
                 }
                 None => None,
             })
-            .collect()
+            .collect();
+        hi_trace::counter(wk::CORE_EVAL_ERRORS, self.eval_errors - errors_before);
+        level
     }
 
     fn unique_evaluations(&self) -> u64 {
@@ -373,9 +380,18 @@ fn explore_impl(
         if options.budget.is_some_and(|b| sims_spent(oracle) >= b) {
             break StopReason::BudgetExhausted;
         }
+        let mut iter_span = hi_trace::span("algo1.iteration");
+        if iter_span.is_recording() {
+            iter_span.arg("iteration", u64::from(iterations) + 1);
+        }
         // Line 3: (S, P̄*) <- RunMILP(P̃).
-        let (pool, p_star) = encoding.solve_pool()?;
+        let (pool, p_star) = {
+            let _s = hi_trace::span("algo1.milp_query");
+            encoding.solve_pool()?
+        };
         iterations += 1;
+        hi_trace::counter(wk::ALGO1_ITERATIONS, 1);
+        hi_trace::histogram(wk::MILP_POOL_SIZE, pool.len() as u64);
         let Some(p_star) = p_star else {
             break StopReason::MilpExhausted; // lines 4 & 5 (S = {})
         };
@@ -391,11 +407,18 @@ fn explore_impl(
             }
         }
         candidates_proposed += pool.len() as u64;
+        hi_trace::counter(wk::ALGO1_CANDIDATES, pool.len() as u64);
 
         // Line 7: RunSim(S); line 8: Sort. The reduction walks pool order,
         // so the level best (ties: lowest power, then first in pool order)
         // is independent of evaluation scheduling.
-        let evals = oracle.eval_level(&pool);
+        let evals = {
+            let mut s = hi_trace::span("algo1.eval_level");
+            if s.is_recording() {
+                s.arg("candidates", pool.len() as u64);
+            }
+            oracle.eval_level(&pool)
+        };
         if oracle.cancelled() {
             // A partially evaluated level could elect a wrong level-best;
             // discard it and report the incumbent so far.
@@ -411,11 +434,26 @@ fn explore_impl(
             if best.as_ref().is_none_or(|(_, b)| !improves(b, &ev)) {
                 p_min = ev.power_mw;
                 best = Some((pt, ev));
+                hi_trace::counter(wk::ALGO1_INCUMBENTS, 1);
+                hi_trace::instant_with("algo1.incumbent", || {
+                    vec![
+                        ("point", pt.to_string().into()),
+                        ("power_mw", ev.power_mw.into()),
+                        ("pdr", ev.pdr.into()),
+                    ]
+                });
             }
         }
         // Line 11: prune the current analytic level.
-        encoding.add_power_cut(p_star);
+        {
+            let mut s = hi_trace::span("algo1.prune");
+            if s.is_recording() {
+                s.arg("p_star_mw", p_star);
+            }
+            encoding.add_power_cut(p_star);
+        }
         cuts.push(p_star);
+        hi_trace::counter(wk::ALGO1_CUTS_ADDED, 1);
     };
 
     Ok(ExplorationOutcome {

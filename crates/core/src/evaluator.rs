@@ -209,10 +209,16 @@ impl SharedSimEvaluator {
     /// even when some points are broken.
     pub fn try_eval_point(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
         self.cache.get_or_compute(*point, || {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 simulate_point(&self.protocol, point)
             }))
-            .map_err(|payload| EvalError::from_panic(payload.as_ref()))
+            .map_err(|payload| EvalError::from_panic(payload.as_ref()));
+            if result.is_err() {
+                // A fresh compute whose memoized value is a failure: every
+                // later lookup of this point is a hit on the cached error.
+                hi_trace::counter(hi_trace::wellknown::EXEC_CACHE_PANIC_MEMO, 1);
+            }
+            result
         })
     }
 

@@ -9,6 +9,7 @@
 //! parallel entry points strictly generalize the sequential ones.
 
 use hi_exec::{CancelToken, EvalError, ThreadPool};
+use hi_trace::{wellknown as wk, Collector};
 
 use crate::evaluator::{Evaluation, PointEvaluator};
 use crate::point::DesignPoint;
@@ -18,6 +19,7 @@ use crate::point::DesignPoint;
 pub struct ExecContext {
     pool: Option<ThreadPool>,
     cancel: CancelToken,
+    collector: Collector,
 }
 
 impl ExecContext {
@@ -28,6 +30,7 @@ impl ExecContext {
         Self {
             pool: (threads > 1).then(|| ThreadPool::new(threads)),
             cancel: CancelToken::new(),
+            collector: Collector::disabled(),
         }
     }
 
@@ -61,6 +64,39 @@ impl ExecContext {
         self.cancel.is_cancelled()
     }
 
+    /// Attaches a tracing/metrics collector. Every batch fanned out
+    /// through this context opens a fresh collector epoch and records
+    /// work item `i` on lane `i + 1`, so trace layout is identical for
+    /// every thread count (see `hi-trace`'s module docs).
+    #[must_use]
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// The context's collector (disabled unless set via
+    /// [`with_collector`](Self::with_collector)).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Folds the thread pool's lifetime statistics (tasks run, steals,
+    /// park/unpark episodes) into the collector's metrics registry.
+    ///
+    /// The pool counts are cumulative totals, so call this once, when the
+    /// run is over. No-op for disabled collectors and for sequential
+    /// contexts (which have no pool).
+    pub fn flush_pool_stats(&self) {
+        let (Some(registry), Some(pool)) = (self.collector.registry(), &self.pool) else {
+            return;
+        };
+        let stats = pool.stats();
+        registry.add(wk::EXEC_TASKS_RUN, stats.tasks_run);
+        registry.add(wk::EXEC_STEALS, stats.steals);
+        registry.add(wk::EXEC_PARKS, stats.parks);
+        registry.add(wk::EXEC_UNPARKS, stats.unparks);
+    }
+
     /// Applies `f` to every item — on the pool if there is one, else
     /// sequentially in input order — returning results in input order.
     /// `None` marks items skipped after cancellation; without
@@ -71,12 +107,25 @@ impl ExecContext {
         R: Send + 'static,
         F: Fn(T) -> R + Send + Sync + 'static,
     {
+        let mut batch_span = hi_trace::span("exec.batch");
+        if batch_span.is_recording() {
+            batch_span.arg("items", items.len() as u64);
+            batch_span.arg("threads", self.threads() as u64);
+        }
+        let batch = self.collector.open_batch();
+        let epoch = batch.as_ref().map(hi_trace::BatchToken::epoch);
+        let collector = self.collector.clone();
+        let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        let run_one = move |(i, item): (usize, T)| {
+            let _lane = epoch.map(|e| collector.install(e, lane_for(i)));
+            f(item)
+        };
         match &self.pool {
-            None => items
+            None => indexed
                 .into_iter()
-                .map(|item| (!self.cancel.is_cancelled()).then(|| f(item)))
+                .map(|it| (!self.cancel.is_cancelled()).then(|| run_one(it)))
                 .collect(),
-            Some(pool) => pool.par_map_cancellable(items, self.cancel.clone(), f),
+            Some(pool) => pool.par_map_cancellable(indexed, self.cancel.clone(), run_one),
         }
     }
 
@@ -117,23 +166,36 @@ impl ExecContext {
         points: &[DesignPoint],
     ) -> Vec<Option<Result<Evaluation, EvalError>>> {
         let evaluator = evaluator.clone();
+        let mut batch_span = hi_trace::span("exec.batch");
+        if batch_span.is_recording() {
+            batch_span.arg("items", points.len() as u64);
+            batch_span.arg("threads", self.threads() as u64);
+        }
+        let batch = self.collector.open_batch();
+        let epoch = batch.as_ref().map(hi_trace::BatchToken::epoch);
+        let collector = self.collector.clone();
+        let eval_one = move |(i, p): (usize, DesignPoint)| {
+            let _lane = epoch.map(|e| collector.install(e, lane_for(i)));
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluator.try_eval(&p)))
+                .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref())))
+        };
+        let indexed: Vec<(usize, DesignPoint)> = points.iter().copied().enumerate().collect();
         match &self.pool {
-            None => points
-                .iter()
-                .map(|p| {
-                    (!self.cancel.is_cancelled()).then(|| {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            evaluator.try_eval(p)
-                        }))
-                        .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref())))
-                    })
-                })
+            None => indexed
+                .into_iter()
+                .map(|it| (!self.cancel.is_cancelled()).then(|| eval_one(it)))
                 .collect(),
-            Some(pool) => pool.par_map_catching(points.to_vec(), self.cancel.clone(), move |p| {
-                evaluator.try_eval(&p)
-            }),
+            Some(pool) => pool.par_map_catching(indexed, self.cancel.clone(), eval_one),
         }
     }
+}
+
+/// Trace lane for work item `i` of a batch: lane 0 belongs to the driving
+/// thread, so items start at 1. Lanes saturate rather than wrap — batches
+/// anywhere near `u32::MAX` items are far beyond this workspace's sizes,
+/// and saturation keeps the key order monotone even then.
+fn lane_for(i: usize) -> u32 {
+    u32::try_from(i.saturating_add(1)).unwrap_or(u32::MAX)
 }
 
 impl Default for ExecContext {

@@ -181,6 +181,19 @@ impl RobustEvaluator {
     /// for index 0 matches the nominal evaluator's exactly; fault
     /// scenarios mix the index into the low fingerprint half.
     fn simulate_scenario(&self, point: &DesignPoint, index: u64) -> Evaluation {
+        let mut span = hi_trace::span("robust.scenario");
+        if span.is_recording() {
+            // Scenario labels are user-supplied strings (quotes, control
+            // characters, non-ASCII all possible): the sinks escape them.
+            let label = if index == 0 {
+                "nominal".to_string()
+            } else {
+                self.suite.scenarios[index as usize - 1].name.clone()
+            };
+            span.arg("scenario", label);
+            span.arg("index", index);
+        }
+        let t_begin = hi_trace::now_ns();
         let mut cfg = point.to_network_config();
         if index > 0 {
             cfg.scenario = self.suite.scenarios[index as usize - 1].clone();
@@ -196,6 +209,13 @@ impl RobustEvaluator {
             self.protocol.runs,
         )
         .expect("design points lower to valid configs");
+        hi_trace::counter(hi_trace::wellknown::ROBUST_SCENARIOS, 1);
+        if let (Some(t0), Some(t1)) = (t_begin, hi_trace::now_ns()) {
+            hi_trace::histogram(
+                hi_trace::wellknown::ROBUST_SCENARIO_NS,
+                t1.saturating_sub(t0),
+            );
+        }
         Evaluation {
             pdr: out.pdr,
             nlt_days: out.nlt_days,
@@ -207,19 +227,36 @@ impl RobustEvaluator {
     /// degrades to a cached [`EvalError`]).
     pub fn try_robust_eval(&self, point: &DesignPoint) -> Result<RobustEvaluation, EvalError> {
         self.cache.get_or_compute(*point, || {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| RobustEvaluation {
-                nominal: self.simulate_scenario(point, 0),
-                scenarios: (1..=self.suite.len() as u64)
-                    .map(|s| self.simulate_scenario(point, s))
-                    .collect(),
-            }))
-            .map_err(|payload| EvalError::from_panic(payload.as_ref()))
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| RobustEvaluation {
+                    nominal: self.simulate_scenario(point, 0),
+                    scenarios: (1..=self.suite.len() as u64)
+                        .map(|s| self.simulate_scenario(point, s))
+                        .collect(),
+                }))
+                .map_err(|payload| EvalError::from_panic(payload.as_ref()));
+            if result.is_err() {
+                hi_trace::counter(hi_trace::wellknown::EXEC_CACHE_PANIC_MEMO, 1);
+            }
+            result
         })
     }
 
     /// Number of unique points whose scorecard has been computed.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Cache lookups answered without simulating.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Raw cache misses: scorecards actually computed (each one costs
+    /// `1 + suite.len()` simulations — see
+    /// [`unique_evaluations`](Self::unique_evaluations)).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
     }
 
     /// Unique simulations spent: each computed scorecard costs one

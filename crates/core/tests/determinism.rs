@@ -437,6 +437,70 @@ fn robust_exploration_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn tracing_never_perturbs_exploration_results() {
+    // The observability contract: a traced run returns the *same
+    // `ExplorationOutcome`, field for field*, as an untraced one, at any
+    // thread count — recording must observe the search, never steer it.
+    let problem = Problem::paper_default(0.7);
+    let run = |threads: usize, collector: hi_trace::Collector| {
+        let exec = ExecContext::new(threads).with_collector(collector.clone());
+        let _main = collector.install(0, 0);
+        let evaluator = protocol().shared_evaluator();
+        explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+            .expect("exploration succeeds")
+    };
+    let untraced = run(1, hi_trace::Collector::disabled());
+    for &threads in &[1usize, 8] {
+        let collector = hi_trace::Collector::enabled();
+        let traced = run(threads, collector.clone());
+        assert_eq!(
+            untraced, traced,
+            "tracing at {threads} thread(s) changed the outcome"
+        );
+        assert!(
+            !collector.drain_events().is_empty(),
+            "the traced run must actually have recorded events"
+        );
+        let metrics_only = run(threads, hi_trace::Collector::metrics_only());
+        assert_eq!(
+            untraced, metrics_only,
+            "metrics-only at {threads} thread(s) changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn traced_event_layout_is_thread_count_invariant() {
+    // Event *structure* — (epoch, lane, name, kind) in drain order — must
+    // be identical for every pool size; only timestamps may differ.
+    let problem = Problem::paper_default(0.7);
+    let layout = |threads: usize| {
+        let collector = hi_trace::Collector::enabled();
+        let exec = ExecContext::new(threads).with_collector(collector.clone());
+        {
+            let _main = collector.install(0, 0);
+            let evaluator = protocol().shared_evaluator();
+            explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+                .expect("exploration succeeds");
+        }
+        collector
+            .drain_events()
+            .into_iter()
+            .map(|e| (e.epoch, e.lane, e.event.name, e.event.kind))
+            .collect::<Vec<_>>()
+    };
+    let baseline = layout(1);
+    assert!(!baseline.is_empty());
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            baseline,
+            layout(*threads),
+            "{threads} threads changed the trace layout"
+        );
+    }
+}
+
+#[test]
 fn evaluator_panic_reaches_the_caller_through_the_pool() {
     // A poisoned point must abort the batch with the worker's own panic
     // message, not hang or return partial results silently.

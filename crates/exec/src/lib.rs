@@ -40,7 +40,7 @@ mod pool;
 pub use cache::EvalCache;
 pub use cancel::CancelToken;
 pub use error::EvalError;
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 
 /// The default worker-thread count: the `HI_EXEC_THREADS` environment
 /// variable if set to a positive integer, otherwise

@@ -3,7 +3,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -25,6 +25,34 @@ struct Shared {
     generation: Mutex<u64>,
     wakeup: Condvar,
     shutdown: AtomicBool,
+    /// Scheduling counters. Always on: four relaxed atomic increments per
+    /// task/park are noise next to a queue-lock round trip, and keeping
+    /// them unconditional means observability can never perturb results.
+    stats: StatCells,
+}
+
+#[derive(Default)]
+struct StatCells {
+    tasks_run: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+}
+
+/// A point-in-time copy of the pool's scheduling counters.
+///
+/// `steals` counts jobs a worker took from a sibling's deque; `parks` and
+/// `unparks` count condvar sleep/wake episodes of idle workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed across all workers.
+    pub tasks_run: u64,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker went to sleep on the wakeup condvar.
+    pub parks: u64,
+    /// Times a parked worker was woken and resumed scanning.
+    pub unparks: u64,
 }
 
 impl Shared {
@@ -41,6 +69,7 @@ impl Shared {
         for k in 1..n {
             let victim = (id + k) % n;
             if let Some(job) = self.queues[victim].lock().expect("queue lock").pop_back() {
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -63,14 +92,23 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
         let observed = *shared.generation.lock().expect("generation lock");
         if let Some(job) = shared.next_job(id) {
             job();
+            shared.stats.tasks_run.fetch_add(1, Ordering::Relaxed);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
         let mut generation = shared.generation.lock().expect("generation lock");
+        let mut parked = false;
         while *generation == observed && !shared.shutdown.load(Ordering::Acquire) {
+            if !parked {
+                parked = true;
+                shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            }
             generation = shared.wakeup.wait(generation).expect("wakeup wait");
+        }
+        if parked {
+            shared.stats.unparks.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -148,6 +186,7 @@ impl ThreadPool {
             generation: Mutex::new(0),
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            stats: StatCells::default(),
         });
         let workers = (0..threads)
             .map(|id| {
@@ -169,6 +208,16 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A snapshot of the scheduling counters accumulated so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_run: self.shared.stats.tasks_run.load(Ordering::Relaxed),
+            steals: self.shared.stats.steals.load(Ordering::Relaxed),
+            parks: self.shared.stats.parks.load(Ordering::Relaxed),
+            unparks: self.shared.stats.unparks.load(Ordering::Relaxed),
+        }
     }
 
     /// Applies `f` to every item, in parallel, returning the results **in
@@ -379,6 +428,27 @@ mod tests {
             pool.par_map_cancellable((0..8u32).collect::<Vec<_>>(), CancelToken::new(), |x| x * 2);
         let got: Vec<u32> = out.into_iter().map(Option::unwrap).collect();
         assert_eq!(got, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_tasks_and_idle_episodes() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        assert_eq!(before.tasks_run, 0);
+        let _ = pool.par_map((0..64u32).collect::<Vec<_>>(), |x| x);
+        // Let workers drain their queues and park again.
+        let mut after = pool.stats();
+        for _ in 0..200 {
+            if after.tasks_run == 64 && after.parks >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            after = pool.stats();
+        }
+        assert_eq!(after.tasks_run, 64);
+        // Two workers were spawned with no work: both parked at least once.
+        assert!(after.parks >= 2, "parks = {}", after.parks);
+        assert!(after.unparks <= after.parks);
     }
 
     #[test]

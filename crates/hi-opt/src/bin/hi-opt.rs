@@ -17,6 +17,7 @@
 use std::process::ExitCode;
 
 use hi_opt::channel::{BodyLocation, ChannelParams};
+use hi_opt::cli::{stop_notice, TraceFormat, TraceSession};
 use hi_opt::des::SimDuration;
 use hi_opt::lint::{lint_faults, FaultEntity, FaultWindowSpec};
 use hi_opt::net::{
@@ -53,8 +54,9 @@ COMMANDS:
     simulate   evaluate one explicit configuration
     space      describe the design space and its constraints
     lint       statically analyze the paper scenario: configuration space,
-               MILP encoding, the full Algorithm-1 cut ladder and a sample
-               event schedule; exits 1 on error-severity findings
+               MILP encoding, the full Algorithm-1 cut ladder, a sample
+               event schedule and the workspace metric catalog (HL037);
+               exits 1 on error-severity findings
 
 EXPLORE OPTIONS:
     --faults <file>      score every candidate across a fault-scenario
@@ -69,6 +71,17 @@ EXPLORE OPTIONS:
     --resume             load --checkpoint <file> first and continue; the
                          resumed run is bit-identical to an uninterrupted
                          one
+
+OBSERVABILITY OPTIONS (explore, tradeoff, simulate):
+    --trace <file>        record a structured event trace (every engine:
+                          milp, des/net, exec, algorithm1) and write it on
+                          exit; stdout results stay byte-identical with
+                          and without tracing, at any --threads
+    --trace-format <fmt>  `jsonl` (default: one JSON event per line) or
+                          `chrome` (a Chrome trace-event array, loadable
+                          in Perfetto / chrome://tracing)
+    --metrics             print a metrics summary table to stderr on exit
+                          (also on budget/cancel stops)
 
 FAULT SUITE FILES (`#` starts a comment; times in seconds):
     scenario <name>                       start a named scenario
@@ -128,6 +141,9 @@ struct Common {
     runs: u32,
     seed: u64,
     threads: usize,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+    metrics: bool,
 }
 
 impl Common {
@@ -138,9 +154,31 @@ impl Common {
         SimProtocol::new(self.t_sim, self.runs, self.seed)
     }
 
-    fn exec_context(&self) -> ExecContext {
-        ExecContext::new(self.threads)
+    /// The invocation's trace/metrics session, built from
+    /// `--trace`/`--trace-format`/`--metrics`.
+    fn trace_session(&self) -> TraceSession {
+        TraceSession::new(self.trace.clone(), self.trace_format, self.metrics)
     }
+
+    fn exec_context(&self, session: &TraceSession) -> ExecContext {
+        ExecContext::new(self.threads).with_collector(session.collector().clone())
+    }
+}
+
+/// Flushes end-of-run statistics (pool activity, evaluation-cache hit
+/// rates) into the session's registry and finishes the session: writes
+/// the `--trace` file and prints the `--metrics` summary, all on stderr.
+fn finish_session(
+    session: &TraceSession,
+    exec: &ExecContext,
+    cache: Option<(u64, u64)>,
+) -> Result<(), CliError> {
+    exec.flush_pool_stats();
+    if let (Some(registry), Some((hits, misses))) = (session.collector().registry(), cache) {
+        registry.add(hi_opt::trace::wellknown::EXEC_CACHE_HITS, hits);
+        registry.add(hi_opt::trace::wellknown::EXEC_CACHE_MISSES, misses);
+    }
+    session.finish().map_err(CliError::Io)
 }
 
 fn main() -> ExitCode {
@@ -185,6 +223,9 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), CliE
         runs: 3,
         seed: 0xDAC_2017,
         threads: hi_opt::exec::default_threads(),
+        trace: None,
+        trace_format: TraceFormat::default(),
+        metrics: false,
     };
     let mut rest = Vec::new();
     let mut i = 0;
@@ -193,6 +234,11 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), CliE
         // Valueless flags pass through with an empty value.
         if key == "--resume" {
             rest.push((key, String::new()));
+            i += 1;
+            continue;
+        }
+        if key == "--metrics" {
+            common.metrics = true;
             i += 1;
             continue;
         }
@@ -209,6 +255,11 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), CliE
             "--seed" => common.seed = value.parse().map_err(|_| "bad --seed".to_owned())?,
             "--threads" => {
                 common.threads = value.parse().map_err(|_| "bad --threads".to_owned())?
+            }
+            "--trace" => common.trace = Some(value),
+            "--trace-format" => {
+                common.trace_format = TraceFormat::parse(&value)
+                    .ok_or_else(|| format!("bad --trace-format `{value}` (use jsonl or chrome)"))?
             }
             _ => rest.push((key, value)),
         }
@@ -522,9 +573,11 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
         ..ExploreOptions::default()
     };
     let problem = Problem::paper_default(pdr_min);
-    let exec = common.exec_context();
+    let session = common.trace_session();
+    let trace_main = session.install_main();
+    let exec = common.exec_context(&session);
 
-    let outcome = match &faults {
+    let (outcome, cache) = match &faults {
         Some(path) => {
             let suite = load_fault_suite(path, common.t_sim)?;
             let mode = robust.unwrap_or(RobustMode::WorstCase);
@@ -555,14 +608,17 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
                 println!("worst PDR      : {:.2}% ({worst_name})", worst_pdr * 100.0);
                 println!("median PDR     : {:.2}%", card.quantile(0.5).pdr * 100.0);
             }
-            outcome
+            (outcome, (evaluator.cache_hits(), evaluator.cache_misses()))
         }
         None => {
             let evaluator = common.protocol().shared_evaluator();
             let outcome = explore_par_from(&problem, &evaluator, options, &exec, prior.as_ref())
                 .map_err(explore_err)?;
             print_best(&outcome, pdr_min);
-            outcome
+            (
+                outcome,
+                (evaluator.cache_hits(), evaluator.unique_evaluations()),
+            )
         }
     };
     if outcome.eval_errors > 0 {
@@ -586,6 +642,13 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             outcome.iterations, outcome.simulations
         );
     }
+    // Stderr: stdout must stay byte-identical whether or not the run was
+    // traced, budgeted or resumed.
+    if let Some(notice) = stop_notice(&outcome) {
+        eprintln!("{notice}");
+    }
+    drop(trace_main);
+    finish_session(&session, &exec, Some(cache))?;
     Ok(())
 }
 
@@ -609,7 +672,9 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
     }
     let template = Problem::paper_default(0.5);
     let evaluator = common.protocol().shared_evaluator();
-    let exec = common.exec_context();
+    let session = common.trace_session();
+    let trace_main = session.install_main();
+    let exec = common.exec_context(&session);
     let sweep =
         explore_tradeoff_par(&template, &floors, &evaluator, &exec).map_err(|e| e.to_string())?;
     println!(
@@ -632,6 +697,12 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
         "total unique simulations: {}",
         evaluator.unique_evaluations()
     );
+    drop(trace_main);
+    finish_session(
+        &session,
+        &exec,
+        Some((evaluator.cache_hits(), evaluator.unique_evaluations())),
+    )?;
     Ok(())
 }
 
@@ -700,10 +771,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     // Replication r always gets seed `base + r` in input order, so the
     // pooled average is bit-identical to `hi_net::simulate_averaged`.
     let workers = common.threads.min(common.runs as usize);
+    let session = common.trace_session();
+    let trace_main = session.install_main();
+    // Replication r records on lane r + 1 of one batch epoch (the same
+    // convention ExecContext uses), so the trace layout is identical for
+    // every worker count.
+    let batch = session.collector().open_batch();
     let run_one = {
         let cfg = cfg.clone();
         let (t_sim, seed) = (common.t_sim, common.seed);
+        let collector = session.collector().clone();
+        let epoch = batch.as_ref().map(hi_opt::trace::BatchToken::epoch);
         move |r: u32| {
+            let _lane = epoch.map(|e| collector.install(e, r + 1));
             simulate_stochastic(&cfg, ChannelParams::default(), t_sim, seed + u64::from(r))
         }
     };
@@ -715,6 +795,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     } else {
         (0..common.runs).map(run_one).collect()
     };
+    drop(batch);
     let out = average_outcomes(&replications.map_err(|e| e.to_string())?);
     println!("configuration  : {}", cfg.summary());
     println!("PDR            : {:.2}%", out.pdr_percent());
@@ -731,6 +812,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         out.counts.collisions,
         out.counts.buffer_drops + out.counts.mac_drops
     );
+    drop(trace_main);
+    session.finish().map_err(CliError::Io)?;
     Ok(())
 }
 
@@ -844,6 +927,22 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     }
     let report = lint_schedule(&times);
     print_lint_section("event schedule sample (64 events)", &report);
+    total.merge(report);
+
+    // 5. The workspace metric catalog: every name the tracing subsystem
+    //    registers, checked for duplicate declarations (HL037).
+    let registry = hi_opt::trace::MetricsRegistry::new();
+    hi_opt::trace::wellknown::register_all(&registry);
+    let defs: Vec<hi_opt::lint::MetricDefSpec> = registry
+        .specs()
+        .into_iter()
+        .map(|spec| hi_opt::lint::MetricDefSpec {
+            name: spec.name,
+            kind: spec.kind.label().to_string(),
+        })
+        .collect();
+    let report = hi_opt::lint::lint_metrics(&defs);
+    print_lint_section(&format!("metric catalog ({} metrics)", defs.len()), &report);
     total.merge(report);
 
     println!();

@@ -1,0 +1,227 @@
+//! Shared command-line plumbing for the `hi-opt` binary: the trace/metrics
+//! session behind `--trace`/`--trace-format`/`--metrics`, and the stderr
+//! notices for budget/cancel stops.
+//!
+//! Everything here writes to **stderr** (or to the `--trace` file): stdout
+//! is byte-stable across thread counts and tracing modes, and ci.sh diffs
+//! it to prove tracing never perturbs results.
+
+use std::io::Write;
+
+use hi_core::{ExplorationOutcome, StopReason};
+use hi_trace::{sink, wellknown, Collector, InstallGuard};
+
+/// Serialization format for the `--trace` output file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One JSON object per line (`{"epoch":..,"lane":..,"name":..,...}`).
+    #[default]
+    Jsonl,
+    /// A Chrome trace-event array, loadable in Perfetto / `chrome://tracing`.
+    Chrome,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` value.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "chrome" => Some(TraceFormat::Chrome),
+            _ => None,
+        }
+    }
+}
+
+/// One invocation's observability state: the collector handed to the
+/// engines, where (and how) to serialize the event stream, and whether to
+/// print the metrics summary on exit.
+#[derive(Debug)]
+pub struct TraceSession {
+    collector: Collector,
+    trace_path: Option<String>,
+    format: TraceFormat,
+    metrics: bool,
+}
+
+impl TraceSession {
+    /// Builds the session implied by the CLI flags: `--trace` enables full
+    /// event recording, `--metrics` alone enables counters only, neither
+    /// yields a disabled collector whose recording calls short-circuit.
+    pub fn new(trace_path: Option<String>, format: TraceFormat, metrics: bool) -> Self {
+        let collector = match (&trace_path, metrics) {
+            (Some(_), _) => Collector::enabled(),
+            (None, true) => Collector::metrics_only(),
+            (None, false) => Collector::disabled(),
+        };
+        if let Some(registry) = collector.registry() {
+            wellknown::register_all(registry);
+        }
+        Self {
+            collector,
+            trace_path,
+            format,
+            metrics,
+        }
+    }
+
+    /// The collector to thread through `ExecContext` and install on the
+    /// driving thread.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Installs the driving thread as epoch 0, lane 0. Drop the guard
+    /// before [`finish`](Self::finish) so the main thread's buffer is
+    /// flushed into the drain.
+    pub fn install_main(&self) -> InstallGuard {
+        self.collector.install(0, 0)
+    }
+
+    /// Whether a metrics summary should be printed even on early stops.
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics
+    }
+
+    /// Finishes the session: serializes the event stream to the `--trace`
+    /// file (if any) and prints the metrics summary table. All output
+    /// beyond the trace file itself goes to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error message if the trace file cannot
+    /// be written.
+    pub fn finish(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace_path {
+            let events = self.collector.drain_events();
+            let mut buf = Vec::new();
+            let io = match self.format {
+                TraceFormat::Jsonl => sink::write_jsonl(&mut buf, &events),
+                TraceFormat::Chrome => sink::write_chrome(&mut buf, &events),
+            };
+            io.and_then(|()| std::fs::write(path, &buf))
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+            eprintln!(
+                "trace: wrote {} event(s) to `{path}` ({})",
+                events.len(),
+                match self.format {
+                    TraceFormat::Jsonl => "jsonl",
+                    TraceFormat::Chrome => "chrome trace format",
+                }
+            );
+        }
+        if self.metrics {
+            if let Some(registry) = self.collector.registry() {
+                let mut err = std::io::stderr().lock();
+                let _ = err.write_all(sink::render_metrics(&registry.snapshot()).as_bytes());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The stderr notice for explorations that stopped before their natural
+/// end (`--budget` ran dry, or the run was cancelled), naming the stop
+/// and where the best-so-far result came from. `None` for natural stops:
+/// those already explain themselves through the printed optimum.
+pub fn stop_notice(outcome: &ExplorationOutcome) -> Option<String> {
+    let stop = match outcome.stop_reason {
+        StopReason::BudgetExhausted => "simulation budget exhausted",
+        StopReason::Cancelled => "cancelled",
+        StopReason::MilpExhausted | StopReason::BoundProven => return None,
+    };
+    let provenance = match &outcome.best {
+        Some((point, eval)) => format!(
+            "best so far: {point} ({:.2}% PDR, {:.1} days), found within {} iteration(s) and {} simulation(s)",
+            eval.pdr * 100.0,
+            eval.nlt_days,
+            outcome.iterations,
+            outcome.simulations,
+        ),
+        None => format!(
+            "no feasible design found in {} iteration(s) and {} simulation(s)",
+            outcome.iterations, outcome.simulations,
+        ),
+    };
+    Some(format!("stopped early: {stop} — {provenance}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::{DesignPoint, Evaluation, MacChoice, Placement, RouteChoice};
+    use hi_net::TxPower;
+
+    fn outcome(
+        stop_reason: StopReason,
+        best: Option<(DesignPoint, Evaluation)>,
+    ) -> ExplorationOutcome {
+        ExplorationOutcome {
+            best,
+            iterations: 7,
+            candidates_proposed: 21,
+            simulations: 19,
+            eval_errors: 0,
+            cuts: vec![1.0, 2.0],
+            stop_reason,
+        }
+    }
+
+    fn best() -> (DesignPoint, Evaluation) {
+        (
+            DesignPoint {
+                placement: Placement::from_indices([0, 1, 3, 5]),
+                tx_power: TxPower::ZeroDbm,
+                mac: MacChoice::Tdma,
+                routing: RouteChoice::Star,
+            },
+            Evaluation {
+                pdr: 0.9137,
+                nlt_days: 41.6,
+                power_mw: 1.2,
+            },
+        )
+    }
+
+    #[test]
+    fn natural_stops_print_nothing() {
+        assert_eq!(
+            stop_notice(&outcome(StopReason::MilpExhausted, Some(best()))),
+            None
+        );
+        assert_eq!(stop_notice(&outcome(StopReason::BoundProven, None)), None);
+    }
+
+    #[test]
+    fn budget_stop_names_the_reason_and_the_incumbent() {
+        let notice = stop_notice(&outcome(StopReason::BudgetExhausted, Some(best()))).unwrap();
+        assert!(notice.contains("simulation budget exhausted"), "{notice}");
+        assert!(notice.contains("best so far"), "{notice}");
+        assert!(notice.contains("91.37% PDR"), "{notice}");
+        assert!(notice.contains("41.6 days"), "{notice}");
+        assert!(notice.contains("7 iteration(s)"), "{notice}");
+        assert!(notice.contains("19 simulation(s)"), "{notice}");
+    }
+
+    #[test]
+    fn cancelled_stop_without_incumbent_says_so() {
+        let notice = stop_notice(&outcome(StopReason::Cancelled, None)).unwrap();
+        assert!(notice.contains("cancelled"), "{notice}");
+        assert!(notice.contains("no feasible design found"), "{notice}");
+        assert!(notice.contains("19 simulation(s)"), "{notice}");
+    }
+
+    #[test]
+    fn trace_format_parses_only_known_names() {
+        assert_eq!(TraceFormat::parse("jsonl"), Some(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::parse("chrome"), Some(TraceFormat::Chrome));
+        assert_eq!(TraceFormat::parse("json"), None);
+    }
+
+    #[test]
+    fn disabled_session_finishes_without_output() {
+        let session = TraceSession::new(None, TraceFormat::Jsonl, false);
+        assert!(!session.collector().is_enabled());
+        assert!(!session.wants_metrics());
+        session.finish().unwrap();
+    }
+}

@@ -12,8 +12,13 @@
 //! * [`des`] — the discrete-event simulation kernel;
 //! * [`channel`] — the time-varying on-body wireless channel;
 //! * [`net`] — the WBAN stack simulator (radio / MAC / routing / app);
+//! * [`trace`] — the observability subsystem (structured tracing, metrics
+//!   registry, JSONL / Chrome-trace export);
 //! * [`core`] — the design-space explorer (Algorithm 1 and baselines),
 //!   whose items are also re-exported at the top level.
+//!
+//! The [`cli`] module carries the `hi-opt` binary's shared plumbing
+//! (trace sessions, stop notices) so it stays unit-testable.
 //!
 //! # Example
 //!
@@ -42,6 +47,9 @@ pub use hi_exec as exec;
 pub use hi_lint as lint;
 pub use hi_milp as milp;
 pub use hi_net as net;
+pub use hi_trace as trace;
+
+pub mod cli;
 
 pub use hi_core::{
     exhaustive_search, exhaustive_search_par, explore, explore_par, explore_par_from,

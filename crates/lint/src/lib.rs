@@ -23,6 +23,8 @@
 //!   robust-evaluation engine spends simulations on them: inverted or
 //!   overlapping windows, faults past the horizon, hub-disabling
 //!   scenarios.
+//! * [`lint_metrics`] checks a metrics registry's declaration log for
+//!   duplicate metric names (two subsystems claiming one counter).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -57,6 +59,7 @@
 
 mod cuts;
 mod faults;
+mod metrics;
 mod model;
 mod propagate;
 mod report;
@@ -66,6 +69,7 @@ mod space;
 
 pub use cuts::CutTracker;
 pub use faults::{lint_faults, FaultEntity, FaultWindowSpec};
+pub use metrics::{lint_metrics, MetricDefSpec};
 pub use model::{LintModel, LintRow, LintVar, RowSense};
 pub use propagate::{propagate, Propagation};
 pub use report::{Finding, Report, RuleId, Severity, Span};

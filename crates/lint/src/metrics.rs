@@ -1,0 +1,119 @@
+//! Static validation of metrics-registry declarations.
+//!
+//! A metrics registry keyed by string names has one classic failure mode:
+//! two subsystems (or one subsystem, registered twice) claiming the same
+//! name, silently folding unrelated counts into one number. The registry
+//! itself tolerates duplicates — re-registration must stay cheap and
+//! panic-free on hot paths — so this pass is where they get *reported*:
+//!
+//! * **HL037** — the same metric name is declared more than once
+//!   (warning). If the duplicate declarations also disagree on kind
+//!   (counter vs gauge vs histogram), the finding says so: that variant is
+//!   almost always a real bug rather than a benign double-registration.
+//!
+//! Like the rest of the crate this module is dependency-free: callers
+//! lower their registry's declaration log into [`MetricDefSpec`]s (the
+//! tracing crate's registry exposes exactly that via its introspection
+//! iterator).
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// One metric declaration, lowered for analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDefSpec {
+    /// The metric's registered name.
+    pub name: String,
+    /// The declared kind, as a plain label (`"counter"`, `"gauge"`,
+    /// `"histogram"` — any stable vocabulary works; the rule only
+    /// compares labels for equality).
+    pub kind: String,
+}
+
+/// Lints a registry's declaration log (in registration order) for
+/// duplicate metric names (HL037).
+pub fn lint_metrics(defs: &[MetricDefSpec]) -> Report {
+    let mut report = Report::new();
+    for (index, def) in defs.iter().enumerate() {
+        let Some(earlier) = defs[..index].iter().find(|d| d.name == def.name) else {
+            continue;
+        };
+        let message = if earlier.kind == def.kind {
+            format!(
+                "declared again as a {} — double registration folds \
+                 unrelated counts into one series",
+                def.kind
+            )
+        } else {
+            format!(
+                "declared as a {} but already registered as a {} — two \
+                 subsystems are fighting over one name",
+                def.kind, earlier.kind
+            )
+        };
+        report.push(Finding::new(
+            RuleId::DuplicateMetric,
+            Span::Metric {
+                name: def.name.clone(),
+            },
+            message,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, kind: &str) -> MetricDefSpec {
+        MetricDefSpec {
+            name: name.into(),
+            kind: kind.into(),
+        }
+    }
+
+    #[test]
+    fn unique_names_are_clean() {
+        let defs = [
+            spec("exec.tasks_run", "counter"),
+            spec("milp.pool_size", "histogram"),
+            spec("net.drops.mac", "counter"),
+        ];
+        assert!(lint_metrics(&defs).is_clean());
+        assert!(lint_metrics(&[]).is_clean());
+    }
+
+    #[test]
+    fn duplicate_name_warns_once_per_redeclaration() {
+        let defs = [
+            spec("core.evals", "counter"),
+            spec("core.evals", "counter"),
+            spec("core.evals", "counter"),
+        ];
+        let report = lint_metrics(&defs);
+        assert!(report.has_rule(RuleId::DuplicateMetric));
+        assert!(!report.has_errors(), "HL037 is a warning");
+        assert_eq!(report.warning_count(), 2, "first declaration is fine");
+        assert_eq!(
+            report.findings()[0].span,
+            Span::Metric {
+                name: "core.evals".into()
+            }
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_called_out() {
+        let defs = [
+            spec("milp.solve_ns", "histogram"),
+            spec("milp.solve_ns", "counter"),
+        ];
+        let report = lint_metrics(&defs);
+        assert_eq!(report.warning_count(), 1);
+        let message = &report.findings()[0].message;
+        assert!(
+            message.contains("counter") && message.contains("histogram"),
+            "{message}"
+        );
+    }
+}

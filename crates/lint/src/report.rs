@@ -86,6 +86,10 @@ pub enum RuleId {
     /// A fault scenario disables the hub/coordinator node, taking the
     /// whole star network down for the window.
     HubDisabled,
+    /// The same metric name is declared more than once in a metrics
+    /// registry (typically two subsystems claiming one counter, or one
+    /// subsystem registering its catalog twice).
+    DuplicateMetric,
 }
 
 impl RuleId {
@@ -113,6 +117,7 @@ impl RuleId {
             RuleId::OverlappingFaultWindows => "HL034",
             RuleId::FaultPastHorizon => "HL035",
             RuleId::HubDisabled => "HL036",
+            RuleId::DuplicateMetric => "HL037",
         }
     }
 
@@ -136,7 +141,8 @@ impl RuleId {
             | RuleId::RedundantCut
             | RuleId::OverlappingFaultWindows
             | RuleId::FaultPastHorizon
-            | RuleId::HubDisabled => Severity::Warning,
+            | RuleId::HubDisabled
+            | RuleId::DuplicateMetric => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -177,6 +183,11 @@ pub enum Span {
         /// The dimension's name.
         name: String,
     },
+    /// A metric in a metrics registry, by name.
+    Metric {
+        /// The metric's name.
+        name: String,
+    },
     /// The model (or schedule/space) as a whole.
     Model,
 }
@@ -188,6 +199,7 @@ impl fmt::Display for Span {
             Span::Row { index, name } => write!(f, "row `{name}` (#{index})"),
             Span::Event { index } => write!(f, "event #{index}"),
             Span::Dimension { name } => write!(f, "dimension `{name}`"),
+            Span::Metric { name } => write!(f, "metric `{name}`"),
             Span::Model => f.write_str("model"),
         }
     }
@@ -365,6 +377,7 @@ mod tests {
             RuleId::OverlappingFaultWindows,
             RuleId::FaultPastHorizon,
             RuleId::HubDisabled,
+            RuleId::DuplicateMetric,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

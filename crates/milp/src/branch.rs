@@ -62,6 +62,7 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (norm objective, values)
     let mut scratch = model.clone();
     let mut nodes = 0usize;
+    let mut fathomed = 0u64;
     let mut root_unbounded = false;
 
     while let Some(node) = stack.pop() {
@@ -72,6 +73,7 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
         // Bound-based pruning against the incumbent.
         if let Some((best, _)) = &incumbent {
             if node.bound >= *best - TOL {
+                fathomed += 1;
                 continue;
             }
         }
@@ -80,7 +82,10 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
         }
         let lp = simplex::solve_lp(&scratch)?;
         match lp.status {
-            LpStatus::Infeasible => continue,
+            LpStatus::Infeasible => {
+                fathomed += 1;
+                continue;
+            }
             LpStatus::Unbounded => {
                 // An unbounded relaxation at the root means the MILP is
                 // unbounded or infeasible; report unbounded (standard
@@ -89,6 +94,7 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
                     root_unbounded = true;
                     break;
                 }
+                fathomed += 1;
                 continue;
             }
             LpStatus::Optimal => {}
@@ -96,6 +102,7 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
         let norm = sign * lp.objective;
         if let Some((best, _)) = &incumbent {
             if norm >= *best - TOL {
+                fathomed += 1;
                 continue; // cannot improve
             }
         }
@@ -154,6 +161,9 @@ pub fn solve(model: &Model) -> Result<Solution, SolveError> {
             }
         }
     }
+
+    hi_trace::counter(hi_trace::wellknown::MILP_BB_NODES, nodes as u64);
+    hi_trace::counter(hi_trace::wellknown::MILP_BB_FATHOMED, fathomed);
 
     if root_unbounded {
         return Ok(Solution::unbounded());

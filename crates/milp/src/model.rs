@@ -318,6 +318,8 @@ impl Model {
     /// hit. Infeasibility and unboundedness are *not* errors: they are
     /// reported through [`Solution::status`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        let mut solve_span = hi_trace::span("milp.solve");
+        let t_begin = hi_trace::now_ns();
         self.validate()?;
         let mut report = self.lint();
         // Canonical order + dedup, so the findings riding on the solution
@@ -336,6 +338,13 @@ impl Model {
         }
         let mut solution = branch::solve(self)?;
         solution.set_lint_findings(report.into_findings());
+        hi_trace::counter(hi_trace::wellknown::MILP_SOLVES, 1);
+        if let (Some(t0), Some(t1)) = (t_begin, hi_trace::now_ns()) {
+            hi_trace::histogram(hi_trace::wellknown::MILP_SOLVE_NS, t1.saturating_sub(t0));
+        }
+        if solve_span.is_recording() {
+            solve_span.arg("status", format!("{:?}", solution.status()));
+        }
         Ok(solution)
     }
 }

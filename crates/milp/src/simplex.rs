@@ -175,8 +175,9 @@ pub fn solve_lp(model: &Model) -> Result<LpResult, SolveError> {
     }
 
     // --- 3. Run the tableau method. ---------------------------------------
-    let tableau = Tableau::new(ncols, &rows, &obj_coeffs)?;
+    let mut tableau = Tableau::new(ncols, &rows, &obj_coeffs)?;
     let outcome = tableau.optimize()?;
+    hi_trace::counter(hi_trace::wellknown::MILP_PIVOTS, tableau.pivots);
 
     match outcome {
         TableauOutcome::Infeasible => Ok(LpResult {
@@ -229,6 +230,9 @@ struct Tableau {
     artificials: Vec<usize>,
     /// Phase-2 cost of every column (artificials get 0; they are banned).
     costs: Vec<f64>,
+    /// Pivot operations performed (both phases + artificial purge);
+    /// flushed to the `milp.pivots` metric once per `solve_lp`.
+    pivots: u64,
 }
 
 impl Tableau {
@@ -306,10 +310,11 @@ impl Tableau {
             ncols,
             artificials,
             costs,
+            pivots: 0,
         })
     }
 
-    fn optimize(mut self) -> Result<TableauOutcome, SolveError> {
+    fn optimize(&mut self) -> Result<TableauOutcome, SolveError> {
         // ---- Phase 1 ----
         if !self.artificials.is_empty() {
             let mut phase1 = vec![0.0; self.ncols];
@@ -470,6 +475,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let piv = self.t[row][col];
         debug_assert!(piv.abs() > 1e-12, "pivot on (near-)zero element");
         let inv = 1.0 / piv;

@@ -18,7 +18,25 @@ pub fn simulate<C: ChannelModel>(
     t_sim: SimDuration,
     seed: u64,
 ) -> Result<SimOutcome, ConfigError> {
-    Ok(NetworkSim::new(cfg.clone(), channel, t_sim, seed)?.run())
+    use hi_trace::wellknown as wk;
+    let mut span = hi_trace::span("net.replication");
+    let t_begin = hi_trace::now_ns();
+    let outcome = NetworkSim::new(cfg.clone(), channel, t_sim, seed)?.run();
+    hi_trace::counter(wk::NET_REPLICATIONS, 1);
+    hi_trace::counter(wk::NET_PACKETS_GENERATED, outcome.counts.generated);
+    hi_trace::counter(wk::NET_PACKETS_DELIVERED, outcome.counts.deliveries);
+    hi_trace::counter(wk::NET_TRANSMISSIONS, outcome.counts.transmissions);
+    hi_trace::counter(wk::NET_DROPS_COLLISION, outcome.counts.collisions);
+    hi_trace::counter(wk::NET_DROPS_BUFFER, outcome.counts.buffer_drops);
+    hi_trace::counter(wk::NET_DROPS_MAC, outcome.counts.mac_drops);
+    if let (Some(t0), Some(t1)) = (t_begin, hi_trace::now_ns()) {
+        hi_trace::histogram(wk::NET_REPLICATION_NS, t1.saturating_sub(t0));
+    }
+    if span.is_recording() {
+        span.arg("seed", seed);
+        span.arg("pdr", outcome.pdr);
+    }
+    Ok(outcome)
 }
 
 /// Runs one simulation with the stochastic body channel built from

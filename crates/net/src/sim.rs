@@ -249,6 +249,10 @@ impl<C: ChannelModel> NetworkSim<C> {
         if let Some(tr) = self.trace.take() {
             *trace_out = tr;
         }
+        hi_trace::counter(
+            hi_trace::wellknown::DES_EVENTS_DISPATCHED,
+            self.engine.delivered(),
+        );
         self.finish()
     }
 

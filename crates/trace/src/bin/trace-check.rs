@@ -1,0 +1,117 @@
+//! `trace-check` — validates hi-trace output files.
+//!
+//! Usage: `trace-check <file> [--format jsonl|chrome]`
+//!
+//! * `jsonl`: every line must be a standalone JSON object carrying the
+//!   `epoch`, `lane`, `name`, `ph` and `ts_ns` fields.
+//! * `chrome`: the whole file must be one JSON array whose elements carry
+//!   the Chrome trace `name`, `ph`, `ts`, `pid` and `tid` fields.
+//!
+//! Exit codes: 0 valid, 1 invalid content, 2 usage/I/O error. Used by
+//! ci.sh to gate trace output line by line.
+
+use std::process::ExitCode;
+
+use hi_trace::json::{self, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(CheckError::Usage(msg)) => {
+            eprintln!("trace-check: {msg}");
+            eprintln!("usage: trace-check <file> [--format jsonl|chrome]");
+            ExitCode::from(2)
+        }
+        Err(CheckError::Invalid(msg)) => {
+            eprintln!("trace-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CheckError {
+    Usage(String),
+    Invalid(String),
+}
+
+fn run(args: &[String]) -> Result<String, CheckError> {
+    let mut file = None;
+    let mut format = "jsonl".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                format = it
+                    .next()
+                    .ok_or_else(|| CheckError::Usage("--format needs a value".into()))?
+                    .clone();
+            }
+            "--help" | "-h" => return Err(CheckError::Usage("help".into())),
+            _ if file.is_none() => file = Some(a.clone()),
+            other => return Err(CheckError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = file.ok_or_else(|| CheckError::Usage("missing input file".into()))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CheckError::Usage(format!("cannot read {path}: {e}")))?;
+    match format.as_str() {
+        "jsonl" => check_jsonl(&path, &text),
+        "chrome" => check_chrome(&path, &text),
+        other => Err(CheckError::Usage(format!("unknown format `{other}`"))),
+    }
+}
+
+fn require_fields(v: &Value, fields: &[&str], what: &str) -> Result<(), CheckError> {
+    let Value::Obj(_) = v else {
+        return Err(CheckError::Invalid(format!("{what}: not a JSON object")));
+    };
+    for f in fields {
+        if v.get(f).is_none() {
+            return Err(CheckError::Invalid(format!("{what}: missing field `{f}`")));
+        }
+    }
+    Ok(())
+}
+
+fn check_jsonl(path: &str, text: &str) -> Result<String, CheckError> {
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| CheckError::Invalid(format!("{path}:{}: invalid JSON ({e})", i + 1)))?;
+        require_fields(
+            &v,
+            &["epoch", "lane", "name", "ph", "ts_ns"],
+            &format!("{path}:{}", i + 1),
+        )?;
+        n += 1;
+    }
+    Ok(format!("{path}: valid jsonl, {n} events"))
+}
+
+fn check_chrome(path: &str, text: &str) -> Result<String, CheckError> {
+    let v = json::parse(text)
+        .map_err(|e| CheckError::Invalid(format!("{path}: invalid JSON ({e})")))?;
+    let Value::Arr(items) = v else {
+        return Err(CheckError::Invalid(format!(
+            "{path}: chrome trace must be a top-level array"
+        )));
+    };
+    for (i, item) in items.iter().enumerate() {
+        require_fields(
+            item,
+            &["name", "ph", "ts", "pid", "tid"],
+            &format!("{path}: event {i}"),
+        )?;
+    }
+    Ok(format!(
+        "{path}: valid chrome trace, {} events",
+        items.len()
+    ))
+}

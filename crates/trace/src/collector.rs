@@ -1,0 +1,555 @@
+//! Lock-cheap event collector with deterministic per-lane buffers.
+//!
+//! # Model
+//!
+//! A [`Collector`] is a cloneable handle; a disabled handle carries no
+//! allocation at all, and every recording call short-circuits on a
+//! thread-local `None` check *before* touching the clock or formatting
+//! anything — that is the "free-ish when disabled" contract.
+//!
+//! Recording goes through a thread-local context installed with
+//! [`Collector::install`]: events are pushed into a plain `Vec` owned by the
+//! current thread (no lock, no atomic per event) and submitted to the
+//! collector's pending map when the install guard drops.
+//!
+//! # Determinism
+//!
+//! The pending map is keyed by `(epoch, lane)`:
+//!
+//! * the driving thread records on lane 0;
+//! * each parallel batch (one `ExecContext` fan-out) opens a fresh *epoch*
+//!   via [`Collector::open_batch`], and work item `i` of the batch records
+//!   on lane `i + 1` of that epoch — the **item index**, not the worker
+//!   thread id.
+//!
+//! Draining walks the map in key order, so the serialized event stream has
+//! the same layout for any pool size (timestamps still differ run to run,
+//! but structure and order do not). This is the determinism contract that
+//! DESIGN.md §10 documents and ci.sh gates.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{ArgValue, Event, EventKind, LanedEvent};
+use crate::metrics::MetricsRegistry;
+
+struct Inner {
+    t0: Instant,
+    record_events: bool,
+    registry: MetricsRegistry,
+    pending: Mutex<std::collections::BTreeMap<(u64, u32), Vec<Event>>>,
+    epoch: AtomicU64,
+}
+
+/// Cloneable tracing handle. See the [module docs](crate::collector).
+#[derive(Clone, Default)]
+pub struct Collector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.is_enabled())
+            .field("record_events", &self.records_events())
+            .finish()
+    }
+}
+
+struct ThreadCtx {
+    inner: Arc<Inner>,
+    epoch: u64,
+    lane: u32,
+    record_events: bool,
+    buf: Vec<Event>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+impl Collector {
+    /// A disabled collector: every operation is a no-op and recording calls
+    /// short-circuit before taking timestamps or formatting.
+    pub fn disabled() -> Self {
+        Collector { inner: None }
+    }
+
+    /// An enabled collector recording both events and metrics.
+    pub fn enabled() -> Self {
+        Self::with_mode(true)
+    }
+
+    /// An enabled collector recording metrics only (`--metrics` without
+    /// `--trace`): counters/gauges/histograms work, span and instant
+    /// recording is skipped entirely.
+    pub fn metrics_only() -> Self {
+        Self::with_mode(false)
+    }
+
+    fn with_mode(record_events: bool) -> Self {
+        Collector {
+            inner: Some(Arc::new(Inner {
+                t0: Instant::now(),
+                record_events,
+                registry: MetricsRegistry::new(),
+                pending: Mutex::new(std::collections::BTreeMap::new()),
+                epoch: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True unless this is [`Collector::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when span/instant events are recorded (not metrics-only).
+    pub fn records_events(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.record_events)
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Installs this collector as the current thread's recording context.
+    ///
+    /// Events record into a thread-local buffer tagged `(epoch, lane)`;
+    /// the buffer is submitted when the returned guard drops, and the
+    /// previously installed context (if any) is restored. Disabled
+    /// collectors install nothing and return an inert guard.
+    ///
+    /// The driving thread conventionally installs `(0, 0)`; parallel work
+    /// item `i` of a batch installs `(batch_epoch, i + 1)`.
+    pub fn install(&self, epoch: u64, lane: u32) -> InstallGuard {
+        let Some(inner) = &self.inner else {
+            return InstallGuard {
+                active: false,
+                prev: None,
+            };
+        };
+        let ctx = ThreadCtx {
+            inner: Arc::clone(inner),
+            epoch,
+            lane,
+            record_events: inner.record_events,
+            buf: Vec::new(),
+        };
+        let prev = CTX.with(|c| c.borrow_mut().replace(ctx));
+        InstallGuard { active: true, prev }
+    }
+
+    /// Opens a new batch epoch for a parallel fan-out.
+    ///
+    /// Flushes the calling thread's buffer under its current key (so events
+    /// recorded *before* the batch sort before the batch), then bumps the
+    /// epoch counter. The returned token's epoch is what work items pass to
+    /// [`Collector::install`] as their epoch (with lane `i + 1`); dropping
+    /// the token bumps the epoch again and re-keys the calling thread after
+    /// the batch. Returns `None` when disabled.
+    pub fn open_batch(&self) -> Option<BatchToken> {
+        let inner = self.inner.as_ref()?;
+        flush_current();
+        let epoch = inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        Some(BatchToken {
+            collector: self.clone(),
+            epoch,
+        })
+    }
+
+    /// Drains all buffered events in deterministic `(epoch, lane)` order.
+    ///
+    /// The calling thread's live buffer is flushed first, so a drain at the
+    /// end of a run sees everything recorded on this thread even while its
+    /// install guard is still alive.
+    pub fn drain_events(&self) -> Vec<LanedEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        flush_current();
+        let mut pending = inner.pending.lock().unwrap();
+        let map = std::mem::take(&mut *pending);
+        drop(pending);
+        let mut out = Vec::new();
+        for ((epoch, lane), events) in map {
+            for event in events {
+                out.push(LanedEvent { epoch, lane, event });
+            }
+        }
+        out
+    }
+}
+
+impl ThreadCtx {
+    fn submit(self) {
+        if !self.buf.is_empty() {
+            let mut pending = self.inner.pending.lock().unwrap();
+            pending
+                .entry((self.epoch, self.lane))
+                .or_default()
+                .extend(self.buf);
+        }
+    }
+}
+
+/// Flushes the calling thread's buffer to the pending map without
+/// uninstalling the context.
+fn flush_current() {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            if !ctx.buf.is_empty() {
+                let buf = std::mem::take(&mut ctx.buf);
+                let mut pending = ctx.inner.pending.lock().unwrap();
+                pending
+                    .entry((ctx.epoch, ctx.lane))
+                    .or_default()
+                    .extend(buf);
+            }
+        }
+    });
+}
+
+/// RAII guard for an installed recording context; see
+/// [`Collector::install`].
+///
+/// Dropping the guard submits the thread's buffer and restores whatever
+/// context (if any) was installed before.
+#[must_use = "dropping the guard immediately uninstalls the collector"]
+pub struct InstallGuard {
+    active: bool,
+    prev: Option<ThreadCtx>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let prev = self.prev.take();
+            CTX.with(|c| {
+                let cur = std::mem::replace(&mut *c.borrow_mut(), prev);
+                if let Some(ctx) = cur {
+                    ctx.submit();
+                }
+            });
+        }
+    }
+}
+
+/// Token for an open batch epoch; see [`Collector::open_batch`].
+#[must_use = "dropping the token closes the batch epoch"]
+pub struct BatchToken {
+    collector: Collector,
+    epoch: u64,
+}
+
+impl BatchToken {
+    /// The epoch work items of this batch install under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for BatchToken {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.collector.inner {
+            let after = inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            // Re-key the calling thread so post-batch events sort after the
+            // batch while staying on lane 0.
+            CTX.with(|c| {
+                if let Some(ctx) = c.borrow_mut().as_mut() {
+                    if Arc::ptr_eq(&ctx.inner, inner) {
+                        if !ctx.buf.is_empty() {
+                            let buf = std::mem::take(&mut ctx.buf);
+                            let mut pending = ctx.inner.pending.lock().unwrap();
+                            pending
+                                .entry((ctx.epoch, ctx.lane))
+                                .or_default()
+                                .extend(buf);
+                        }
+                        ctx.epoch = after;
+                    }
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording API (free functions; no-ops without an installed context)
+// ---------------------------------------------------------------------------
+
+fn with_ctx<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+fn push_event(name: &'static str, kind: EventKind, args: Vec<(&'static str, ArgValue)>) -> bool {
+    with_ctx(|ctx| {
+        if !ctx.record_events {
+            return false;
+        }
+        let ts_ns = ctx.inner.t0.elapsed().as_nanos() as u64;
+        ctx.buf.push(Event {
+            name,
+            kind,
+            ts_ns,
+            args,
+        });
+        true
+    })
+    .unwrap_or(false)
+}
+
+/// Opens a duration span; the span closes when the returned guard drops.
+/// Attach result data to the closing edge with [`SpanGuard::arg`].
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = push_event(name, EventKind::SpanBegin, Vec::new());
+    SpanGuard {
+        name: active.then_some(name),
+        args: Vec::new(),
+    }
+}
+
+/// Records a point-in-time marker with no payload.
+pub fn instant(name: &'static str) {
+    let _ = push_event(name, EventKind::Instant, Vec::new());
+}
+
+/// Records a point-in-time marker with a payload.
+///
+/// The payload is built through a closure so disabled runs never allocate
+/// or format the argument vector.
+pub fn instant_with(name: &'static str, make_args: impl FnOnce() -> Vec<(&'static str, ArgValue)>) {
+    with_ctx(|ctx| {
+        if !ctx.record_events {
+            return;
+        }
+        let ts_ns = ctx.inner.t0.elapsed().as_nanos() as u64;
+        let args = make_args();
+        ctx.buf.push(Event {
+            name,
+            kind: EventKind::Instant,
+            ts_ns,
+            args,
+        });
+    });
+}
+
+/// Records a sampled counter value as a `ph: "C"` event (for the Chrome
+/// timeline) — distinct from [`counter`], which feeds the registry.
+pub fn counter_sample(name: &'static str, value: u64) {
+    with_ctx(|ctx| {
+        if !ctx.record_events {
+            return;
+        }
+        let ts_ns = ctx.inner.t0.elapsed().as_nanos() as u64;
+        ctx.buf.push(Event {
+            name,
+            kind: EventKind::Counter,
+            ts_ns,
+            args: vec![("value", ArgValue::U64(value))],
+        });
+    });
+}
+
+/// Adds `delta` to the registry counter `name` (no event is emitted).
+pub fn counter(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    with_ctx(|ctx| ctx.inner.registry.add(name, delta));
+}
+
+/// Sets the registry gauge `name` (no event is emitted).
+pub fn gauge(name: &str, value: i64) {
+    with_ctx(|ctx| ctx.inner.registry.set_gauge(name, value));
+}
+
+/// Records `value` into the registry histogram `name`.
+pub fn histogram(name: &str, value: u64) {
+    with_ctx(|ctx| ctx.inner.registry.record(name, value));
+}
+
+/// Nanoseconds elapsed since the installed collector started, or `None`
+/// when no enabled collector is installed. Use to time a region cheaply:
+/// only runs the clock when tracing is on.
+pub fn now_ns() -> Option<u64> {
+    with_ctx(|ctx| ctx.inner.t0.elapsed().as_nanos() as u64)
+}
+
+/// Guard closing a span opened by [`span`].
+pub struct SpanGuard {
+    name: Option<&'static str>,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value pair to the span's closing edge.
+    ///
+    /// The conversion only runs when the span is live, so computing an
+    /// argument for a disabled collector costs one branch.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.name.is_some() {
+            self.args.push((key, value.into()));
+        }
+    }
+
+    /// True when the span will actually be emitted. Lets callers skip
+    /// building expensive argument values (e.g. `format!`) when tracing is
+    /// off.
+    pub fn is_recording(&self) -> bool {
+        self.name.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            let _ = push_event(name, EventKind::SpanEnd, std::mem::take(&mut self.args));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        assert!(!c.is_enabled());
+        let _g = c.install(0, 0);
+        {
+            let mut s = span("never");
+            s.arg("k", 1u64);
+        }
+        instant("never");
+        counter("never", 1);
+        assert!(c.drain_events().is_empty());
+        assert!(c.registry().is_none());
+        assert!(c.open_batch().is_none());
+    }
+
+    #[test]
+    fn recording_without_install_is_a_noop() {
+        let c = Collector::enabled();
+        // No install: the free functions find no context.
+        instant("orphan");
+        counter("orphan", 3);
+        assert!(c.drain_events().is_empty());
+        assert_eq!(c.registry().unwrap().counter_value("orphan"), 0);
+    }
+
+    #[test]
+    fn span_nesting_and_args() {
+        let c = Collector::enabled();
+        {
+            let _g = c.install(0, 0);
+            let _outer = span("outer");
+            {
+                let mut inner = span("inner");
+                inner.arg("n", 42u64);
+                inner.arg("label", "café");
+            }
+            instant("mark");
+        }
+        let events = c.drain_events();
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| (e.event.name, e.event.kind))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", EventKind::SpanBegin),
+                ("inner", EventKind::SpanBegin),
+                ("inner", EventKind::SpanEnd),
+                ("mark", EventKind::Instant),
+                ("outer", EventKind::SpanEnd),
+            ]
+        );
+        let inner_end = &events[2].event;
+        assert_eq!(inner_end.args[0], ("n", ArgValue::U64(42)));
+        assert_eq!(inner_end.args[1], ("label", ArgValue::Str("café".into())));
+        // Timestamps are monotone within the lane.
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].event.ts_ns <= w[1].event.ts_ns));
+    }
+
+    #[test]
+    fn metrics_only_skips_events_but_keeps_registry() {
+        let c = Collector::metrics_only();
+        let _g = c.install(0, 0);
+        let _s = span("skipped");
+        instant("skipped");
+        counter_sample("skipped", 7);
+        counter("kept", 7);
+        histogram("kept.h", 3);
+        drop(_s);
+        assert!(c.drain_events().is_empty());
+        assert_eq!(c.registry().unwrap().counter_value("kept"), 7);
+        let snap = c.registry().unwrap().snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+    }
+
+    #[test]
+    fn batch_epochs_order_lanes_deterministically() {
+        let c = Collector::enabled();
+        let _g = c.install(0, 0);
+        instant("before");
+        let token = c.open_batch().unwrap();
+        let epoch = token.epoch();
+        // Simulate two work items finishing in "wrong" order on other
+        // threads: submit lane 2 before lane 1.
+        let c2 = c.clone();
+        std::thread::spawn(move || {
+            let _w = c2.install(epoch, 2);
+            instant("item1");
+        })
+        .join()
+        .unwrap();
+        let c1 = c.clone();
+        std::thread::spawn(move || {
+            let _w = c1.install(epoch, 1);
+            instant("item0");
+        })
+        .join()
+        .unwrap();
+        drop(token);
+        instant("after");
+        let order: Vec<_> = c
+            .drain_events()
+            .iter()
+            .map(|e| (e.epoch, e.lane, e.event.name))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 0, "before"),
+                (1, 1, "item0"),
+                (1, 2, "item1"),
+                (2, 0, "after"),
+            ]
+        );
+    }
+
+    #[test]
+    fn install_guard_restores_previous_context() {
+        let outer = Collector::enabled();
+        let inner = Collector::enabled();
+        let _g = outer.install(0, 0);
+        instant("outer1");
+        {
+            let _h = inner.install(0, 0);
+            instant("inner");
+        }
+        instant("outer2");
+        let outer_names: Vec<_> = outer.drain_events().iter().map(|e| e.event.name).collect();
+        assert_eq!(outer_names, vec!["outer1", "outer2"]);
+        let inner_names: Vec<_> = inner.drain_events().iter().map(|e| e.event.name).collect();
+        assert_eq!(inner_names, vec!["inner"]);
+    }
+}

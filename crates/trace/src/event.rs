@@ -1,0 +1,108 @@
+//! Trace event model: typed spans, instants and counter samples.
+//!
+//! Events are recorded into per-lane buffers (see [`crate::collector`]) and
+//! serialized by the sinks in [`crate::sink`]. Timestamps are nanoseconds
+//! relative to the collector's start instant, so two runs of the same
+//! workload produce events with identical *structure and order* even though
+//! the timestamp values differ.
+
+/// A dynamically typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer payload (counts, sizes, fingerprints).
+    U64(u64),
+    /// Signed integer payload (gauge levels, deltas).
+    I64(i64),
+    /// Floating-point payload (objective values, rates).
+    F64(f64),
+    /// String payload (scenario names, stop reasons). May contain arbitrary
+    /// UTF-8 including control characters; sinks escape it.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// The phase of an event, mirroring the Chrome trace event phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Opens a duration span (`ph: "B"`).
+    SpanBegin,
+    /// Closes the innermost open span with the same name (`ph: "E"`).
+    SpanEnd,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`); the sample rides in `args`.
+    Counter,
+}
+
+impl EventKind {
+    /// The Chrome trace `ph` character for this kind.
+    pub fn chrome_phase(self) -> char {
+        match self {
+            EventKind::SpanBegin => 'B',
+            EventKind::SpanEnd => 'E',
+            EventKind::Instant => 'i',
+            EventKind::Counter => 'C',
+        }
+    }
+}
+
+/// One recorded trace event.
+///
+/// `name` is a `&'static str` on purpose: event names are a closed,
+/// code-defined vocabulary (see [`crate::wellknown`]), which keeps recording
+/// allocation-free for the common case. Dynamic data goes in `args`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (static vocabulary; see [`crate::wellknown`]).
+    pub name: &'static str,
+    /// Span/instant/counter phase.
+    pub kind: EventKind,
+    /// Nanoseconds since the collector was created.
+    pub ts_ns: u64,
+    /// Key/value payload; keys are static, values are typed.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A drained event tagged with the deterministic lane it was recorded on.
+///
+/// Lane 0 is the driving thread; lanes `i + 1` correspond to work item `i`
+/// of a parallel batch (item index, *not* worker thread id, so the layout is
+/// invariant under thread count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanedEvent {
+    /// Batch epoch the event belongs to (monotonic per collector).
+    pub epoch: u64,
+    /// Deterministic lane within the epoch.
+    pub lane: u32,
+    /// The event itself.
+    pub event: Event,
+}

@@ -1,0 +1,56 @@
+//! `hi-trace` — zero-dependency observability for the hi-opt workspace.
+//!
+//! Structured tracing (typed spans, instants, counter samples), a metrics
+//! registry (monotonic counters, gauges, log₂-bucket histograms) and three
+//! sinks: a human summary table, a JSONL event stream and the Chrome trace
+//! format (loadable in `chrome://tracing` / Perfetto). Std-only, like the
+//! rest of the workspace.
+//!
+//! # Design constraints
+//!
+//! * **Free-ish when disabled.** [`Collector::disabled`] carries no
+//!   allocation; every recording call checks a thread-local and returns
+//!   before touching the clock or formatting anything.
+//! * **Non-perturbing when enabled.** Instrumentation only observes —
+//!   engine results must be bit-identical with tracing on and off (gated in
+//!   ci.sh).
+//! * **Deterministic output order.** Events buffer per thread and merge by
+//!   `(epoch, lane)` where the lane is the *work item index* of a parallel
+//!   batch, so the serialized stream has the same layout at any thread
+//!   count.
+//!
+//! # Example
+//!
+//! ```
+//! use hi_trace::{Collector, span, counter, wellknown};
+//!
+//! let collector = Collector::enabled();
+//! {
+//!     let _guard = collector.install(0, 0);
+//!     let mut s = span("milp.solve");
+//!     counter(wellknown::MILP_SOLVES, 1);
+//!     s.arg("status", "optimal");
+//! }
+//! let events = collector.drain_events();
+//! assert_eq!(events.len(), 2); // span begin + end
+//! let summary = hi_trace::sink::render_metrics(
+//!     &collector.registry().unwrap().snapshot());
+//! assert!(summary.contains("milp.solves"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod wellknown;
+
+pub use collector::{
+    counter, counter_sample, gauge, histogram, instant, instant_with, now_ns, span, BatchToken,
+    Collector, InstallGuard, SpanGuard,
+};
+pub use event::{ArgValue, Event, EventKind, LanedEvent};
+pub use metrics::{Histogram, MetricKind, MetricSpec, MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,364 @@
+//! Metrics registry: monotonic counters, gauges and log-scale histograms.
+//!
+//! The registry is deliberately simple: one mutex around a set of
+//! `BTreeMap`s. Instrumentation sites are expected to *batch* locally (e.g.
+//! the simplex counts pivots in a stack variable and adds once per solve),
+//! so the lock is taken a handful of times per engine call, not per inner
+//! loop iteration.
+//!
+//! Registration keeps a duplicate-preserving definition log, exposed via
+//! [`MetricsRegistry::specs`], so static analysis (hi-lint rule HL037) can
+//! flag metrics registered twice — usually a copy/paste error that silently
+//! merges two unrelated series. In debug builds the registry itself warns on
+//! stderr when it sees a duplicate explicit registration.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter (`add`).
+    Counter,
+    /// Last-write-wins signed level (`set_gauge`).
+    Gauge,
+    /// Log₂-bucketed value distribution (`record`).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lower-case label, used by sinks and the lint bridge.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One entry in the registry's definition log.
+///
+/// The log retains duplicates by design: it is the introspection surface
+/// that `hi_lint::lint_metrics` (HL037) inspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSpec {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered kind.
+    pub kind: MetricKind,
+}
+
+/// Fixed log₂-scale histogram over `u64` values.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`, so 65 buckets cover the full `u64` range
+/// (`u64::MAX` lands in bucket 64). The mapping is branch-light:
+/// `64 - v.leading_zeros()` for nonzero `v`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; 65]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; 65]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `index`.
+    ///
+    /// # Panics
+    /// Panics if `index > 64`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "histogram has 65 buckets (0..=64)");
+        if index == 0 {
+            (0, 0)
+        } else if index == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (index - 1), (1 << index) - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (u128 so `u64::MAX` samples cannot overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Per-bucket observation counts (65 entries).
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    defs: Vec<MetricSpec>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A point-in-time copy of every metric, sorted by name within each kind.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → cumulative value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → last value.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → full histogram.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+///
+/// All methods take `&self`; interior mutability is a single `Mutex`.
+/// Updates auto-register the metric on first use, so instrumentation sites
+/// never have to pre-declare — but pre-declaring through
+/// [`MetricsRegistry::register`] (see [`crate::wellknown::register_all`])
+/// feeds the HL037 duplicate-name check and pins the kind.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicitly registers `name` with the given kind.
+    ///
+    /// The definition log retains duplicates so they stay visible to
+    /// introspection ([`MetricsRegistry::specs`]) and to hi-lint's HL037
+    /// rule. In debug builds a duplicate registration additionally warns on
+    /// stderr — it is a warning, not a panic, because a duplicate merges
+    /// series rather than corrupting them.
+    pub fn register(&self, name: &str, kind: MetricKind) {
+        let mut st = self.state.lock().unwrap();
+        #[cfg(debug_assertions)]
+        if st.defs.iter().any(|d| d.name == name) {
+            eprintln!("hi-trace: metric `{name}` registered more than once (HL037)");
+        }
+        st.defs.push(MetricSpec {
+            name: name.to_string(),
+            kind,
+        });
+        match kind {
+            MetricKind::Counter => {
+                st.counters.entry(name.to_string()).or_insert(0);
+            }
+            MetricKind::Gauge => {
+                st.gauges.entry(name.to_string()).or_insert(0);
+            }
+            MetricKind::Histogram => {
+                st.histograms.entry(name.to_string()).or_default();
+            }
+        }
+    }
+
+    /// Adds `delta` to the counter `name`, creating it if needed.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut st = self.state.lock().unwrap();
+        match st.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                st.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value`, creating it if needed.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        let mut st = self.state.lock().unwrap();
+        st.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `name`, creating it if needed.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let st = self.state.lock().unwrap();
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The duplicate-preserving definition log, in registration order.
+    ///
+    /// This is the introspection iterator consumed by the HL037 lint bridge.
+    pub fn specs(&self) -> Vec<MetricSpec> {
+        self.state.lock().unwrap().defs.clone()
+    }
+
+    /// A sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock().unwrap();
+        MetricsSnapshot {
+            counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: st
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_zero_one_max() {
+        // The three boundary values the bucket map must get exactly right.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Powers of two open a new bucket; one less stays in the previous.
+        for i in 1..64 {
+            let p = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(p), i as usize + 1, "2^{i}");
+            assert_eq!(Histogram::bucket_index(p - 1), i as usize, "2^{i}-1");
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_partition_u64() {
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+        // Ranges tile the axis with no gaps or overlaps.
+        for i in 1..=64 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            let (_, prev_hi) = Histogram::bucket_range(i - 1);
+            assert_eq!(
+                lo,
+                prev_hi + 1,
+                "bucket {i} must start after bucket {}",
+                i - 1
+            );
+            assert!(lo <= hi);
+            // Every value in the range maps back to this bucket.
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes_without_overflow() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), 1 + 2 * u128::from(u64::MAX));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[64], 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_duplicate_log() {
+        let reg = MetricsRegistry::new();
+        reg.register("a.count", MetricKind::Counter);
+        reg.register("a.count", MetricKind::Counter); // duplicate retained
+        reg.register("b.level", MetricKind::Gauge);
+        reg.add("a.count", 2);
+        reg.add("a.count", 3);
+        reg.add("implicit", 1);
+        reg.set_gauge("b.level", -7);
+        reg.record("c.hist", 5);
+
+        assert_eq!(reg.counter_value("a.count"), 5);
+        assert_eq!(reg.counter_value("absent"), 0);
+        let specs = reg.specs();
+        assert_eq!(specs.len(), 3, "definition log retains the duplicate");
+        assert_eq!(specs[0], specs[1]);
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.count".into(), 5), ("implicit".into(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("b.level".into(), -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Output sinks: JSONL event stream, Chrome trace format and a human
+//! metrics summary table.
+//!
+//! * **JSONL** — one self-contained JSON object per line:
+//!   `{"epoch":E,"lane":L,"name":"...","ph":"B","ts_ns":N,"args":{...}}`.
+//!   Line-oriented so it can be streamed, grepped and validated line by
+//!   line (`trace-check --format jsonl`).
+//! * **Chrome trace** — a JSON array of trace events loadable by
+//!   `chrome://tracing` and Perfetto: `name`/`cat`/`ph`/`ts` (microseconds,
+//!   fractional)/`pid` (always 1)/`tid` (the deterministic lane). Instants
+//!   carry `"s":"t"` (thread scope).
+//! * **Metrics table** — counters, gauges and histogram summaries aligned
+//!   for stderr.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::{ArgValue, EventKind, LanedEvent};
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+
+fn arg_value_into(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(n) => json::number_into(out, *n),
+        ArgValue::Str(s) => json::escape_into(out, s),
+    }
+}
+
+fn args_into(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, k);
+        out.push(':');
+        arg_value_into(out, v);
+    }
+    out.push('}');
+}
+
+/// Renders one event as a JSONL line (no trailing newline).
+pub fn jsonl_line(e: &LanedEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"epoch\":{},\"lane\":{},\"name\":", e.epoch, e.lane);
+    json::escape_into(&mut s, e.event.name);
+    let _ = write!(
+        s,
+        ",\"ph\":\"{}\",\"ts_ns\":{}",
+        e.event.kind.chrome_phase(),
+        e.event.ts_ns
+    );
+    if !e.event.args.is_empty() {
+        s.push_str(",\"args\":");
+        args_into(&mut s, &e.event.args);
+    }
+    s.push('}');
+    s
+}
+
+/// Writes the full event stream as JSONL.
+pub fn write_jsonl<W: Write>(w: &mut W, events: &[LanedEvent]) -> io::Result<()> {
+    for e in events {
+        writeln!(w, "{}", jsonl_line(e))?;
+    }
+    Ok(())
+}
+
+fn chrome_event_into(out: &mut String, e: &LanedEvent) {
+    out.push_str("{\"name\":");
+    json::escape_into(out, e.event.name);
+    let ts_us = e.event.ts_ns as f64 / 1000.0;
+    let _ = write!(
+        out,
+        ",\"cat\":\"hi\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+        e.event.kind.chrome_phase(),
+        ts_us,
+        e.lane
+    );
+    if e.event.kind == EventKind::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !e.event.args.is_empty() {
+        out.push_str(",\"args\":");
+        args_into(out, &e.event.args);
+    }
+    out.push('}');
+}
+
+/// Writes the event stream as a Chrome trace JSON array (Perfetto-loadable).
+pub fn write_chrome<W: Write>(w: &mut W, events: &[LanedEvent]) -> io::Result<()> {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        chrome_event_into(&mut out, e);
+    }
+    out.push_str("\n]\n");
+    w.write_all(out.as_bytes())
+}
+
+/// Renders the metrics snapshot as an aligned human-readable table.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("metrics: (empty)\n");
+        return out;
+    }
+    let width = snapshot
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snapshot.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snapshot.histograms.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0)
+        .max("metric".len());
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v:>14}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v:>14}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms (count / min / mean / max):\n");
+        for (name, h) in &snapshot.histograms {
+            if h.count() == 0 {
+                let _ = writeln!(out, "  {name:<width$}  {:>14}", "(empty)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>14} / {} / {:.1} / {}",
+                    h.count(),
+                    h.min().unwrap(),
+                    h.mean().unwrap(),
+                    h.max().unwrap()
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::metrics::MetricsRegistry;
+
+    fn ev(
+        name: &'static str,
+        kind: EventKind,
+        lane: u32,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> LanedEvent {
+        LanedEvent {
+            epoch: 1,
+            lane,
+            event: Event {
+                name,
+                kind,
+                ts_ns: 1_234_567,
+                args,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json_with_required_fields() {
+        let events = vec![
+            ev("milp.solve", EventKind::SpanBegin, 0, vec![]),
+            ev(
+                "robust.scenario",
+                EventKind::SpanEnd,
+                3,
+                vec![
+                    ("name", ArgValue::Str("outage \"hüfte\"\n".into())),
+                    ("pdr", ArgValue::F64(0.925)),
+                    ("drops", ArgValue::I64(-1)),
+                ],
+            ),
+            ev(
+                "algo1.pool",
+                EventKind::Counter,
+                0,
+                vec![("value", ArgValue::U64(9))],
+            ),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            for key in ["epoch", "lane", "name", "ph", "ts_ns"] {
+                assert!(v.get(key).is_some(), "missing {key} in {line}");
+            }
+        }
+        let v = json::parse(lines[1]).unwrap();
+        assert_eq!(
+            v.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|s| s.as_str()),
+            Some("outage \"hüfte\"\n")
+        );
+    }
+
+    #[test]
+    fn chrome_output_is_a_valid_trace_array() {
+        let events = vec![
+            ev("a", EventKind::SpanBegin, 0, vec![]),
+            ev(
+                "mark",
+                EventKind::Instant,
+                2,
+                vec![("site", ArgValue::Str("Ωhip".into()))],
+            ),
+            ev("a", EventKind::SpanEnd, 0, vec![]),
+        ];
+        let mut buf = Vec::new();
+        write_chrome(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = json::parse(&text).unwrap();
+        let json::Value::Arr(items) = v else {
+            panic!("chrome trace must be an array")
+        };
+        assert_eq!(items.len(), 3);
+        for item in &items {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(item.get(key).is_some(), "missing {key}");
+            }
+        }
+        assert_eq!(items[0].get("ph").and_then(|p| p.as_str()), Some("B"));
+        assert_eq!(items[1].get("s").and_then(|p| p.as_str()), Some("t"));
+        assert_eq!(items[1].get("tid").and_then(|t| t.as_num()), Some(2.0));
+        assert_eq!(items[0].get("ts").and_then(|t| t.as_num()), Some(1234.567));
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_still_valid() {
+        let mut buf = Vec::new();
+        write_chrome(&mut buf, &[]).unwrap();
+        let v = json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(v, json::Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn metrics_table_lists_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.add("exec.tasks_run", 128);
+        reg.set_gauge("algo1.pool_size", 4);
+        reg.record("milp.solve_ns", 1500);
+        reg.record("milp.solve_ns", 2500);
+        let table = render_metrics(&reg.snapshot());
+        assert!(table.contains("counters:"));
+        assert!(table.contains("exec.tasks_run"));
+        assert!(table.contains("128"));
+        assert!(table.contains("gauges:"));
+        assert!(table.contains("histograms"));
+        assert!(table.contains("milp.solve_ns"));
+        let empty = render_metrics(&MetricsSnapshot::default());
+        assert!(empty.contains("(empty)"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The closed vocabulary of metric names used across the workspace.
+//!
+//! Centralizing the names here (a) keeps instrumentation sites typo-free,
+//! (b) lets [`register_all`] pre-declare every metric so summaries have a
+//! stable shape even when a counter never fires, and (c) gives the HL037
+//! duplicate-metric lint one catalog to check.
+
+use crate::metrics::{MetricKind, MetricsRegistry};
+
+/// Tasks executed by the `hi-exec` thread pool.
+pub const EXEC_TASKS_RUN: &str = "exec.tasks_run";
+/// Jobs stolen from another worker's deque.
+pub const EXEC_STEALS: &str = "exec.steals";
+/// Times a worker parked on the wakeup condvar.
+pub const EXEC_PARKS: &str = "exec.parks";
+/// Times the pool signalled parked workers.
+pub const EXEC_UNPARKS: &str = "exec.unparks";
+/// Evaluation-cache hits (existing or in-flight entry found).
+pub const EXEC_CACHE_HITS: &str = "exec.cache.hits";
+/// Evaluation-cache misses (fresh computations).
+pub const EXEC_CACHE_MISSES: &str = "exec.cache.misses";
+/// Fresh computations whose memoized result was an error (panic demoted to
+/// a cached per-point failure).
+pub const EXEC_CACHE_PANIC_MEMO: &str = "exec.cache.panic_memo";
+
+/// Complete MILP solves (`Model::solve`).
+pub const MILP_SOLVES: &str = "milp.solves";
+/// Simplex pivot operations across all LP relaxations.
+pub const MILP_PIVOTS: &str = "milp.pivots";
+/// Branch-and-bound nodes explored.
+pub const MILP_BB_NODES: &str = "milp.bb_nodes";
+/// Branch-and-bound nodes fathomed (bound-pruned, LP-infeasible, or
+/// integral-but-not-improving).
+pub const MILP_BB_FATHOMED: &str = "milp.bb_fathomed";
+/// Wall time of each `Model::solve`, nanoseconds.
+pub const MILP_SOLVE_NS: &str = "milp.solve_ns";
+/// Size of each solution pool returned by `solve_pool`.
+pub const MILP_POOL_SIZE: &str = "milp.pool_size";
+
+/// DES events dispatched (all replications).
+pub const DES_EVENTS_DISPATCHED: &str = "des.events_dispatched";
+/// Simulated replications (stochastic runs).
+pub const NET_REPLICATIONS: &str = "net.replications";
+/// Application packets generated.
+pub const NET_PACKETS_GENERATED: &str = "net.packets_generated";
+/// Application packets delivered to the hub.
+pub const NET_PACKETS_DELIVERED: &str = "net.packets_delivered";
+/// Link-layer transmissions (including retries).
+pub const NET_TRANSMISSIONS: &str = "net.transmissions";
+/// Packets lost to collisions.
+pub const NET_DROPS_COLLISION: &str = "net.drops.collision";
+/// Packets lost to buffer overflow.
+pub const NET_DROPS_BUFFER: &str = "net.drops.buffer";
+/// Packets lost to MAC retry exhaustion.
+pub const NET_DROPS_MAC: &str = "net.drops.mac";
+/// Wall time of each stochastic replication, nanoseconds.
+pub const NET_REPLICATION_NS: &str = "net.replication_ns";
+
+/// Algorithm 1 live iterations (resume replay excluded).
+pub const ALGO1_ITERATIONS: &str = "algo1.iterations";
+/// Power cuts added by the live loop (resume replay excluded).
+pub const ALGO1_CUTS_ADDED: &str = "algo1.cuts_added";
+/// Candidate points proposed by MILP solution pools.
+pub const ALGO1_CANDIDATES: &str = "algo1.candidates";
+/// Incumbent improvements accepted.
+pub const ALGO1_INCUMBENTS: &str = "algo1.incumbents";
+/// Design-point evaluations requested (cache hits included).
+pub const CORE_EVALS: &str = "core.evals";
+/// Design-point evaluations that returned an error.
+pub const CORE_EVAL_ERRORS: &str = "core.eval_errors";
+/// Robust-suite scenario simulations.
+pub const ROBUST_SCENARIOS: &str = "robust.scenarios";
+/// Wall time of each robust scenario simulation, nanoseconds.
+pub const ROBUST_SCENARIO_NS: &str = "robust.scenario_ns";
+
+/// Every metric in the catalog with its kind.
+pub const CATALOG: &[(&str, MetricKind)] = &[
+    (EXEC_TASKS_RUN, MetricKind::Counter),
+    (EXEC_STEALS, MetricKind::Counter),
+    (EXEC_PARKS, MetricKind::Counter),
+    (EXEC_UNPARKS, MetricKind::Counter),
+    (EXEC_CACHE_HITS, MetricKind::Counter),
+    (EXEC_CACHE_MISSES, MetricKind::Counter),
+    (EXEC_CACHE_PANIC_MEMO, MetricKind::Counter),
+    (MILP_SOLVES, MetricKind::Counter),
+    (MILP_PIVOTS, MetricKind::Counter),
+    (MILP_BB_NODES, MetricKind::Counter),
+    (MILP_BB_FATHOMED, MetricKind::Counter),
+    (MILP_SOLVE_NS, MetricKind::Histogram),
+    (MILP_POOL_SIZE, MetricKind::Histogram),
+    (DES_EVENTS_DISPATCHED, MetricKind::Counter),
+    (NET_REPLICATIONS, MetricKind::Counter),
+    (NET_PACKETS_GENERATED, MetricKind::Counter),
+    (NET_PACKETS_DELIVERED, MetricKind::Counter),
+    (NET_TRANSMISSIONS, MetricKind::Counter),
+    (NET_DROPS_COLLISION, MetricKind::Counter),
+    (NET_DROPS_BUFFER, MetricKind::Counter),
+    (NET_DROPS_MAC, MetricKind::Counter),
+    (NET_REPLICATION_NS, MetricKind::Histogram),
+    (ALGO1_ITERATIONS, MetricKind::Counter),
+    (ALGO1_CUTS_ADDED, MetricKind::Counter),
+    (ALGO1_CANDIDATES, MetricKind::Counter),
+    (ALGO1_INCUMBENTS, MetricKind::Counter),
+    (CORE_EVALS, MetricKind::Counter),
+    (CORE_EVAL_ERRORS, MetricKind::Counter),
+    (ROBUST_SCENARIOS, MetricKind::Counter),
+    (ROBUST_SCENARIO_NS, MetricKind::Histogram),
+];
+
+/// Pre-registers the whole catalog on `registry`.
+pub fn register_all(registry: &MetricsRegistry) {
+    for &(name, kind) in CATALOG {
+        registry.register(name, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_no_duplicate_names() {
+        let mut names: Vec<_> = CATALOG.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate metric name in catalog");
+    }
+
+    #[test]
+    fn register_all_declares_every_entry_once() {
+        let reg = MetricsRegistry::new();
+        register_all(&reg);
+        let specs = reg.specs();
+        assert_eq!(specs.len(), CATALOG.len());
+        for (spec, (name, kind)) in specs.iter().zip(CATALOG) {
+            assert_eq!(spec.name, *name);
+            assert_eq!(spec.kind, *kind);
+        }
+    }
+}
