@@ -42,6 +42,63 @@ target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
     --checkpoint /tmp/hi_ci_cp.txt --resume > /tmp/hi_ci_resumed.txt
 diff /tmp/hi_ci_t8.txt /tmp/hi_ci_resumed.txt
 
+# Chaos-soak gate: deterministic engine-fault injection (worker panics,
+# spurious transients, cache drops keyed by (point, attempt)) must be
+# thread-count invariant — byte-identical stdout at 1 and 8 workers —
+# must actually observe injected failures, and must still elect the
+# nominal optimum (retries ride out the transients).
+CHAOS="seed=1,panic=13,transient=3,drop=8"
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 1 \
+    --chaos "$CHAOS" > /tmp/hi_ci_chaos_t1.txt 2> /dev/null
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --chaos "$CHAOS" > /tmp/hi_ci_chaos_t8.txt 2> /dev/null
+diff /tmp/hi_ci_chaos_t1.txt /tmp/hi_ci_chaos_t8.txt
+grep -q "failed evaluation" /tmp/hi_ci_chaos_t1.txt
+# The design block (everything above the eval-errors/effort lines) must
+# match the chaos-free run exactly.
+head -5 /tmp/hi_ci_t1.txt > /tmp/hi_ci_design_nominal.txt
+head -5 /tmp/hi_ci_chaos_t1.txt > /tmp/hi_ci_design_chaos.txt
+diff /tmp/hi_ci_design_nominal.txt /tmp/hi_ci_design_chaos.txt
+
+# SIGKILL crash gate: a paper-protocol run auto-checkpointing every
+# iteration is killed -9 as soon as the first auto-checkpoint lands,
+# then resumed; the resumed run's stdout must be byte-identical to a
+# straight-through run. (Checkpoint traffic is stderr-only, so the
+# reference run needs no checkpoint flags.)
+rm -f /tmp/hi_ci_kill.ck /tmp/hi_ci_kill.ck.prev /tmp/hi_ci_kill.ck.tmp
+target/release/hi-opt explore --pdr-min 0.9 --tsim 600 --runs 3 --threads 8 \
+    > /tmp/hi_ci_straight.txt
+target/release/hi-opt explore --pdr-min 0.9 --tsim 600 --runs 3 --threads 8 \
+    --checkpoint /tmp/hi_ci_kill.ck --checkpoint-every 1 \
+    > /tmp/hi_ci_killed.txt 2> /dev/null &
+VICTIM=$!
+while [ ! -f /tmp/hi_ci_kill.ck ]; do sleep 0.05; done
+kill -9 "$VICTIM"
+RC=0; wait "$VICTIM" || RC=$?
+[ "$RC" -eq 137 ]
+target/release/hi-opt explore --pdr-min 0.9 --tsim 600 --runs 3 --threads 8 \
+    --checkpoint /tmp/hi_ci_kill.ck --resume \
+    > /tmp/hi_ci_recovered.txt 2> /tmp/hi_ci_recovered.err
+diff /tmp/hi_ci_straight.txt /tmp/hi_ci_recovered.txt
+
+# A torn primary checkpoint with an intact .prev rotation must recover
+# (with a diagnostic on stderr), and a checkpoint corrupted beyond both
+# copies must be refused with exit 4 — never silently resumed.
+cp /tmp/hi_ci_kill.ck /tmp/hi_ci_torn.ck.prev
+head -c 40 /tmp/hi_ci_kill.ck > /tmp/hi_ci_torn.ck
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --checkpoint /tmp/hi_ci_torn.ck --resume \
+    > /dev/null 2> /tmp/hi_ci_torn.err
+grep -q "recovered from" /tmp/hi_ci_torn.err
+printf 'hi-opt explore checkpoint v2\ngarbage\n' > /tmp/hi_ci_bad.ck
+printf 'garbage\n' > /tmp/hi_ci_bad.ck.prev
+RC=0
+target/release/hi-opt explore --pdr-min 0.9 --tsim 5 --runs 1 --threads 8 \
+    --checkpoint /tmp/hi_ci_bad.ck --resume \
+    > /dev/null 2> /tmp/hi_ci_bad.err || RC=$?
+[ "$RC" -eq 4 ]
+grep -q "crc32 trailer" /tmp/hi_ci_bad.err
+
 # Observability gates (hi-trace). Tracing must never perturb the search:
 # the same exploration with --trace and --metrics prints byte-identical
 # stdout (all trace output goes to the file / stderr) at 1 and 8 workers.
@@ -104,3 +161,9 @@ assert overhead < 0.10, "tracing overhead exceeds the 10% budget"
 EOF
 
 HI_BENCH_QUICK=1 cargo bench
+
+# Refresh the committed perf-trajectory report with explicit 1- and
+# 8-worker rows (HI_EXEC_THREADS pins the pool size even on a
+# single-core host).
+HI_BENCH_QUICK=1 HI_EXEC_THREADS=8 HI_BENCH_REPORT_DIR="$PWD" \
+    cargo bench --bench sweep

@@ -157,6 +157,14 @@ pub struct ExploreOptions {
     /// reported. `None` (the default) means unlimited. On a resumed run
     /// the budget counts *total* simulations including the checkpoint's.
     pub budget: Option<u64>,
+    /// Auto-checkpoint cadence: snapshot the exploration state every `k`
+    /// completed iterations and hand it to the observer (see
+    /// [`explore_par_observed`]). The snapshot is taken after the level's
+    /// power cut lands, so resuming from it replays exactly the levels an
+    /// uninterrupted run would visit next. `None` (the default) and
+    /// `Some(0)` disable periodic snapshots; entry points without an
+    /// observer ignore the cadence entirely.
+    pub checkpoint_every: Option<u32>,
 }
 
 impl Default for ExploreOptions {
@@ -164,6 +172,7 @@ impl Default for ExploreOptions {
         Self {
             alpha_correction: true,
             budget: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -191,7 +200,13 @@ pub fn explore_with_options(
     evaluator: &mut dyn Evaluator,
     options: ExploreOptions,
 ) -> Result<ExplorationOutcome, ExploreError> {
-    explore_impl(problem, options, &mut SeqOracle(evaluator), None)
+    explore_impl(
+        problem,
+        options,
+        &mut SeqOracle(evaluator),
+        None,
+        &mut |_| (),
+    )
 }
 
 /// [`explore`] on the execution engine: each candidate level (the MILP's
@@ -238,6 +253,31 @@ pub fn explore_par_from<P: PointEvaluator>(
     exec: &ExecContext,
     resume: Option<&ExploreCheckpoint>,
 ) -> Result<ExplorationOutcome, ExploreError> {
+    explore_par_observed(problem, evaluator, options, exec, resume, &mut |_| ())
+}
+
+/// [`explore_par_from`] with an auto-checkpoint observer: every
+/// [`ExploreOptions::checkpoint_every`] completed iterations, `observer`
+/// receives a snapshot of the full exploration state (taken after that
+/// level's power cut, so it resumes bit-identically). The observer is the
+/// persistence policy — the CLI writes each snapshot crash-safely via
+/// [`ExploreCheckpoint::write_atomic`](crate::ExploreCheckpoint::write_atomic);
+/// tests collect them in memory. Observer calls happen on the driving
+/// thread, between iterations, so they never perturb evaluation order.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Checkpoint`] if the checkpoint was recorded
+/// under a different `pdr_min` or `alpha_correction` than this call, and
+/// [`ExploreError::Milp`] if the MILP solver fails.
+pub fn explore_par_observed<P: PointEvaluator>(
+    problem: &Problem,
+    evaluator: &P,
+    options: ExploreOptions,
+    exec: &ExecContext,
+    resume: Option<&ExploreCheckpoint>,
+    observer: &mut dyn FnMut(&ExploreCheckpoint),
+) -> Result<ExplorationOutcome, ExploreError> {
     if let Some(cp) = resume {
         if cp.pdr_min.to_bits() != problem.pdr_min.to_bits() {
             return Err(ExploreError::Checkpoint(format!(
@@ -260,6 +300,7 @@ pub fn explore_par_from<P: PointEvaluator>(
             eval_errors: 0,
         },
         resume,
+        observer,
     )
 }
 
@@ -345,6 +386,7 @@ fn explore_impl(
     options: ExploreOptions,
     oracle: &mut dyn CandidateOracle,
     resume: Option<&ExploreCheckpoint>,
+    observer: &mut dyn FnMut(&ExploreCheckpoint),
 ) -> Result<ExplorationOutcome, ExploreError> {
     let mut encoding = MilpEncoding::new(problem.space.constraints(), &problem.app);
     let mut cuts: Vec<f64> = Vec::new();
@@ -454,6 +496,20 @@ fn explore_impl(
         }
         cuts.push(p_star);
         hi_trace::counter(wk::ALGO1_CUTS_ADDED, 1);
+        if options
+            .checkpoint_every
+            .is_some_and(|k| k > 0 && iterations.is_multiple_of(k))
+        {
+            observer(&ExploreCheckpoint {
+                pdr_min: problem.pdr_min,
+                alpha_correction: options.alpha_correction,
+                cuts: cuts.clone(),
+                iterations,
+                candidates_proposed,
+                simulations: sims_spent(oracle),
+                best,
+            });
+        }
     };
 
     Ok(ExplorationOutcome {

@@ -15,7 +15,32 @@
 //! contract. The design point travels as its
 //! [`fingerprint`](DesignPoint::fingerprint). No external serialization
 //! crate is involved.
+//!
+//! # Crash safety (format v2)
+//!
+//! Version 2 arms the format against the failure this file exists for —
+//! the process dying mid-write:
+//!
+//! * [`to_text`](ExploreCheckpoint::to_text) ends the file with a
+//!   `crc32 <8 hex digits>` trailer over every byte through the `end`
+//!   line, so truncation and bit rot are *detected*, never resumed from;
+//! * [`write_atomic`](ExploreCheckpoint::write_atomic) stages the bytes
+//!   in a `.tmp` sibling, fsyncs, rotates any previous checkpoint to
+//!   `.prev`, then renames into place — a reader observes either the old
+//!   intact file or the new intact file, never a torn one;
+//! * [`load_recovering`] falls back to the `.prev` rotation when the
+//!   primary file is unusable, reporting exactly what was wrong with the
+//!   primary ([`CheckpointRecovery::fallback`]); when both are unusable
+//!   the error keeps the primary's line-precise diagnostic and is typed
+//!   ([`CheckpointLoadError`]) so the CLI can tell an unreadable file
+//!   (exit 3) from a corrupt one (exit 4).
+//!
+//! Version 1 files (no trailer) still parse, so pre-v2 checkpoints
+//! remain resumable.
 
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32_ieee;
 use crate::evaluator::Evaluation;
 use crate::point::DesignPoint;
 
@@ -38,7 +63,8 @@ pub struct ExploreCheckpoint {
     pub best: Option<(DesignPoint, Evaluation)>,
 }
 
-const HEADER: &str = "hi-opt explore checkpoint v1";
+const HEADER_V1: &str = "hi-opt explore checkpoint v1";
+const HEADER_V2: &str = "hi-opt explore checkpoint v2";
 
 fn f64_to_hex(x: f64) -> String {
     format!("{:016x}", x.to_bits())
@@ -51,6 +77,41 @@ fn f64_from_hex(s: &str) -> Result<f64, String> {
     u64::from_str_radix(s, 16)
         .map(f64::from_bits)
         .map_err(|_| format!("bad float bits {s:?}"))
+}
+
+/// `<path><suffix>` in the same directory (`x.ck` → `x.ck.prev`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// Splits a v2 file into the CRC-covered body and the recorded CRC.
+/// Returns `(body, recorded_crc, trailer_line_number)`.
+fn split_crc_trailer(text: &str) -> Result<(&str, u32, usize), String> {
+    // The trailer is the last non-empty line; everything before its first
+    // byte (including the newline that ends the `end` line) is covered.
+    let mut trailer: Option<(usize, usize, &str)> = None;
+    let mut offset = 0;
+    for (index, line) in text.split_inclusive('\n').enumerate() {
+        if !line.trim().is_empty() {
+            trailer = Some((index + 1, offset, line.trim()));
+        }
+        offset += line.len();
+    }
+    let Some((lineno, start, line)) = trailer else {
+        return Err("truncated checkpoint: missing crc32 trailer".into());
+    };
+    let Some(rest) = line.strip_prefix("crc32 ") else {
+        return Err("truncated checkpoint: missing crc32 trailer".into());
+    };
+    let rest = rest.trim();
+    if rest.len() != 8 {
+        return Err(format!("line {lineno}: bad crc32 trailer {rest:?}"));
+    }
+    let recorded = u32::from_str_radix(rest, 16)
+        .map_err(|_| format!("line {lineno}: bad crc32 trailer {rest:?}"))?;
+    Ok((&text[..start], recorded, lineno))
 }
 
 impl ExploreCheckpoint {
@@ -71,10 +132,11 @@ impl ExploreCheckpoint {
         }
     }
 
-    /// Renders the checkpoint as its text format.
+    /// Renders the checkpoint as its text format (v2: body + CRC-32
+    /// trailer).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(HEADER);
+        out.push_str(HEADER_V2);
         out.push('\n');
         out.push_str(&format!("pdr_min {}\n", f64_to_hex(self.pdr_min)));
         out.push_str(&format!(
@@ -98,19 +160,48 @@ impl ExploreCheckpoint {
             )),
         }
         out.push_str("end\n");
+        out.push_str(&format!("crc32 {:08x}\n", crc32_ieee(out.as_bytes())));
         out
     }
 
-    /// Parses the text format written by [`to_text`](Self::to_text).
+    /// Parses the text format written by [`to_text`](Self::to_text), or
+    /// the legacy v1 format (no CRC trailer).
     ///
     /// # Errors
     ///
-    /// Returns a line-attributed message on any malformed content.
+    /// Returns a line-attributed message on any malformed content; for v2
+    /// files the CRC trailer is verified before any field is trusted, so
+    /// a torn or bit-rotted file is named as corrupt rather than parsed
+    /// partially.
     pub fn from_text(text: &str) -> Result<Self, String> {
+        let header = text.lines().next().ok_or("empty checkpoint file")?.trim();
+        if header == HEADER_V1 {
+            return Self::parse_body(text, HEADER_V1);
+        }
+        if header != HEADER_V2 {
+            return Err(format!(
+                "line 1: expected {HEADER_V2:?} (or legacy {HEADER_V1:?}), got {header:?}"
+            ));
+        }
+        let (body, recorded, lineno) = split_crc_trailer(text)?;
+        let computed = crc32_ieee(body.as_bytes());
+        if computed != recorded {
+            return Err(format!(
+                "line {lineno}: crc32 mismatch (recorded {recorded:08x}, computed \
+                 {computed:08x}) — the checkpoint is corrupt or truncated"
+            ));
+        }
+        Self::parse_body(body, HEADER_V2)
+    }
+
+    /// Parses the line-oriented body shared by both format versions.
+    fn parse_body(text: &str, expected_header: &str) -> Result<Self, String> {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or("empty checkpoint file")?;
-        if header.trim() != HEADER {
-            return Err(format!("line 1: expected {HEADER:?}, got {header:?}"));
+        if header.trim() != expected_header {
+            return Err(format!(
+                "line 1: expected {expected_header:?}, got {header:?}"
+            ));
         }
         let mut pdr_min = None;
         let mut alpha_correction = None;
@@ -193,6 +284,103 @@ impl ExploreCheckpoint {
             best: best.ok_or("missing best")?,
         })
     }
+
+    /// Writes the checkpoint to `path` crash-safely: the bytes are staged
+    /// in `<path>.tmp` and fsynced, any existing checkpoint rotates to
+    /// `<path>.prev`, and the stage renames into place. A crash at any
+    /// point leaves either the previous intact file, the new intact file,
+    /// or an intact `.prev` that [`load_recovering`] falls back to —
+    /// never a torn checkpoint under the primary name.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let tmp = sibling(path, ".tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_text().as_bytes())?;
+            file.sync_all()?;
+        }
+        if path.exists() {
+            // A failed rotation only costs the fallback copy; the rename
+            // below still lands the new checkpoint atomically.
+            let _ = std::fs::rename(path, sibling(path, ".prev"));
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Why a checkpoint could not be loaded, typed by whose fault it is so
+/// the CLI can exit 3 (the OS refused the file) or 4 (the file is
+/// malformed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointLoadError {
+    /// The file (and any `.prev` rotation) could not be read at all.
+    Io(String),
+    /// The file was read but is corrupt, truncated or malformed — the
+    /// message carries the offending line.
+    Spec(String),
+}
+
+impl std::fmt::Display for CheckpointLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(msg) | Self::Spec(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointLoadError {}
+
+/// A successfully loaded checkpoint, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecovery {
+    /// The loaded state.
+    pub checkpoint: ExploreCheckpoint,
+    /// `Some(diagnostic)` when the primary file was unusable and the
+    /// `.prev` rotation was loaded instead; the diagnostic says exactly
+    /// what was wrong with the primary. `None` for a clean load.
+    pub fallback: Option<String>,
+}
+
+/// Reads and parses the checkpoint at `path` (either format version).
+pub fn load_checkpoint_file(path: &Path) -> Result<ExploreCheckpoint, CheckpointLoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CheckpointLoadError::Io(format!("cannot read checkpoint `{}`: {e}", path.display()))
+    })?;
+    ExploreCheckpoint::from_text(&text)
+        .map_err(|e| CheckpointLoadError::Spec(format!("{}: {e}", path.display())))
+}
+
+/// Loads `path`, falling back to the `<path>.prev` rotation
+/// [`write_atomic`](ExploreCheckpoint::write_atomic) maintains when the
+/// primary is unreadable or corrupt.
+///
+/// # Errors
+///
+/// When both files are unusable, the primary's diagnostic wins (it is the
+/// file the user named, and its message is line-precise); the error kind
+/// is the primary's too, so a corrupt checkpoint stays a spec error even
+/// if no rotation exists.
+pub fn load_recovering(path: &Path) -> Result<CheckpointRecovery, CheckpointLoadError> {
+    let primary_err = match load_checkpoint_file(path) {
+        Ok(checkpoint) => {
+            return Ok(CheckpointRecovery {
+                checkpoint,
+                fallback: None,
+            })
+        }
+        Err(e) => e,
+    };
+    let prev = sibling(path, ".prev");
+    match load_checkpoint_file(&prev) {
+        Ok(checkpoint) => Ok(CheckpointRecovery {
+            checkpoint,
+            fallback: Some(format!(
+                "{primary_err}; recovered from the previous auto-checkpoint `{}`",
+                prev.display()
+            )),
+        }),
+        Err(_) => Err(primary_err),
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +413,16 @@ mod tests {
         }
     }
 
+    /// Re-signs a (possibly tampered) v2 body so parse errors in the body
+    /// itself are reachable past the CRC gate.
+    fn resign(body_and_old_trailer: &str) -> String {
+        let end = body_and_old_trailer
+            .rfind("crc32 ")
+            .expect("v2 text has a trailer");
+        let body = &body_and_old_trailer[..end];
+        format!("{body}crc32 {:08x}\n", crc32_ieee(body.as_bytes()))
+    }
+
     #[test]
     fn text_roundtrip_is_bit_exact() {
         let cp = sample();
@@ -251,6 +449,19 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_files_still_parse() {
+        let cp = sample();
+        let v1 = cp
+            .to_text()
+            .replace("checkpoint v2", "checkpoint v1")
+            .lines()
+            .filter(|l| !l.starts_with("crc32 "))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert_eq!(ExploreCheckpoint::from_text(&v1).unwrap(), cp);
+    }
+
+    #[test]
     fn malformed_files_are_rejected_with_line_numbers() {
         assert!(ExploreCheckpoint::from_text("").is_err());
         assert!(ExploreCheckpoint::from_text("not a checkpoint\n")
@@ -262,9 +473,89 @@ mod tests {
             .contains("truncated"));
         let garbled = sample().to_text().replace("cut ", "cut zz");
         assert!(ExploreCheckpoint::from_text(&garbled).is_err());
-        let bad_fp = sample().to_text();
-        let bad_fp = bad_fp.replace("best ", "best ffffffffffffffff ");
+        // Past the CRC gate, body errors stay line-attributed (the first
+        // cut line is line 7: header + five counters precede it).
+        let garbled = resign(&garbled);
+        assert!(ExploreCheckpoint::from_text(&garbled)
+            .unwrap_err()
+            .contains("line 7"));
+        let bad_fp = resign(
+            &sample()
+                .to_text()
+                .replace("best ", "best ffffffffffffffff "),
+        );
         // Five fields after "best" — rejected before fingerprint decode.
         assert!(ExploreCheckpoint::from_text(&bad_fp).is_err());
+    }
+
+    #[test]
+    fn bit_rot_is_named_corrupt_not_parsed() {
+        let text = sample().to_text();
+        // Flip one content bit without touching the trailer.
+        let mut bytes = text.clone().into_bytes();
+        let flip_at = text.find("pdr_min ").unwrap() + 9;
+        bytes[flip_at] ^= 0x01;
+        let tampered = String::from_utf8(bytes).unwrap();
+        let err = ExploreCheckpoint::from_text(&tampered).unwrap_err();
+        assert!(err.contains("crc32 mismatch"), "{err}");
+        assert!(err.contains("corrupt or truncated"), "{err}");
+        // Truncating just before the trailer is caught as a missing one.
+        let cut = &text[..text.rfind("crc32").unwrap() - 1];
+        assert!(ExploreCheckpoint::from_text(cut)
+            .unwrap_err()
+            .contains("missing crc32 trailer"));
+    }
+
+    #[test]
+    fn atomic_writes_rotate_and_recovery_prefers_the_primary() {
+        let dir = std::env::temp_dir().join(format!("hi-opt-ck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ck");
+
+        let first = ExploreCheckpoint {
+            iterations: 1,
+            ..sample()
+        };
+        let second = ExploreCheckpoint {
+            iterations: 2,
+            ..sample()
+        };
+        first.write_atomic(&path).unwrap();
+        let clean = load_recovering(&path).unwrap();
+        assert_eq!(clean.checkpoint, first);
+        assert!(clean.fallback.is_none());
+
+        second.write_atomic(&path).unwrap();
+        assert_eq!(load_recovering(&path).unwrap().checkpoint, second);
+        // The rotation holds the previous state...
+        assert_eq!(
+            load_checkpoint_file(&sibling(&path, ".prev")).unwrap(),
+            first
+        );
+
+        // ...and a torn primary falls back to it with a diagnostic.
+        let torn = &second.to_text()[..40];
+        std::fs::write(&path, torn).unwrap();
+        let recovered = load_recovering(&path).unwrap();
+        assert_eq!(recovered.checkpoint, first);
+        let note = recovered.fallback.unwrap();
+        assert!(note.contains("state.ck"), "{note}");
+        assert!(note.contains("recovered from"), "{note}");
+
+        // Both gone bad: the primary's line-precise spec error survives.
+        std::fs::write(sibling(&path, ".prev"), "not a checkpoint\n").unwrap();
+        match load_recovering(&path).unwrap_err() {
+            CheckpointLoadError::Spec(msg) => {
+                assert!(msg.contains("state.ck"), "{msg}")
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Primary missing entirely, rotation bad: an I/O error.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            load_recovering(&path).unwrap_err(),
+            CheckpointLoadError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) for the
+//! checkpoint trailer.
+//!
+//! The checkpoint format needs a detector, not a cryptographic digest: a
+//! torn write, a truncated file or a flipped bit must be *noticed*, and
+//! the workspace builds offline with no hashing crates. This is the
+//! standard byte-at-a-time table implementation (init and final XOR
+//! `0xFFFF_FFFF`), bit-compatible with `cksum -o3`, zlib and
+//! `zip`: `crc32_ieee(b"123456789") == 0xCBF4_3926`.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut crc = n as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[n] = crc;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The IEEE CRC-32 of `bytes`.
+pub fn crc32_ieee(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_check_value() {
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_ieee(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"hi-opt explore checkpoint v2\nend\n".to_vec();
+        let crc = crc32_ieee(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32_ieee(&flipped), crc, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use hi_channel::ChannelParams;
 use hi_des::SimDuration;
 use hi_exec::{EvalCache, EvalError};
-use hi_net::simulate_averaged;
+use hi_net::{simulate_averaged_budgeted, SimError};
 
 use crate::point::DesignPoint;
 
@@ -49,6 +49,16 @@ pub trait PointEvaluator: Clone + Send + Sync + 'static {
     /// Number of unique expensive evaluations performed so far (failed
     /// attempts count: they spent the compute budget too).
     fn unique_evaluations(&self) -> u64;
+
+    /// Forgets the memoized result of `point`, if any, so the next
+    /// request recomputes it; returns whether an entry was dropped.
+    /// Deterministic evaluators recompute the same value bit for bit, so
+    /// a drop is observable only in effort counters — which is exactly
+    /// what chaos testing needs. The default (for evaluators without a
+    /// cache) drops nothing.
+    fn drop_cached(&self, _point: &DesignPoint) -> bool {
+        false
+    }
 }
 
 /// The full simulation protocol of an evaluator: channel, per-run
@@ -68,6 +78,13 @@ pub struct SimProtocol {
     pub runs: u32,
     /// Master seed (combined with each point's fingerprint).
     pub seed: u64,
+    /// Logical deadline: the DES-event budget of each *replication* (not
+    /// cumulative across the `runs` replications of one evaluation).
+    /// A replication dispatching more events than this fails the whole
+    /// evaluation with [`hi_exec::ErrorKind::DeadlineExceeded`] — a pure
+    /// function of `(config, seed, budget)`, never wall clock. `None`
+    /// means unbudgeted.
+    pub max_events: Option<u64>,
 }
 
 impl SimProtocol {
@@ -78,7 +95,15 @@ impl SimProtocol {
             t_sim,
             runs,
             seed,
+            max_events: None,
         }
+    }
+
+    /// The same protocol under a per-replication DES-event budget
+    /// (`None` removes the budget).
+    pub fn with_max_events(mut self, max_events: Option<u64>) -> Self {
+        self.max_events = max_events;
+        self
     }
 
     /// The paper's §4 protocol: `Tsim = 600 s`, 3 runs.
@@ -102,16 +127,43 @@ impl SimProtocol {
 /// result is independent of evaluation order, thread interleaving and
 /// which engine asked first.
 fn simulate_point(protocol: &SimProtocol, point: &DesignPoint) -> Evaluation {
+    try_simulate_point(protocol, point)
+        .unwrap_or_else(|e| panic!("evaluation of {point} failed: {e}"))
+}
+
+/// [`simulate_point`] with the protocol's logical deadline surfaced as a
+/// typed error: a replication exceeding [`SimProtocol::max_events`] fails
+/// the evaluation with [`hi_exec::ErrorKind::DeadlineExceeded`] (and an
+/// `exec.deadline` trace tick) instead of panicking. Invalid lowerings
+/// still panic — the design space guarantees valid configs, so that path
+/// is an engine bug, not an input condition.
+fn try_simulate_point(
+    protocol: &SimProtocol,
+    point: &DesignPoint,
+) -> Result<Evaluation, EvalError> {
     let cfg = point.to_network_config();
     let fingerprint = point.fingerprint();
     let seed = protocol.seed ^ hi_des::rng::derive_seed(fingerprint >> 4, fingerprint & 0xF);
-    let out = simulate_averaged(&cfg, protocol.channel, protocol.t_sim, seed, protocol.runs)
-        .expect("design points lower to valid configs");
-    Evaluation {
+    let out = simulate_averaged_budgeted(
+        &cfg,
+        protocol.channel,
+        protocol.t_sim,
+        seed,
+        protocol.runs,
+        protocol.max_events,
+    )
+    .map_err(|e| match e {
+        SimError::Config(c) => panic!("design points lower to valid configs: {c}"),
+        deadline @ SimError::DeadlineExceeded { .. } => {
+            hi_trace::counter(hi_trace::wellknown::EXEC_DEADLINES, 1);
+            EvalError::deadline(format!("evaluation of {point}: {deadline}"))
+        }
+    })?;
+    Ok(Evaluation {
         pdr: out.pdr,
         nlt_days: out.nlt_days,
         power_mw: out.max_power_mw,
-    }
+    })
 }
 
 /// The production evaluator: runs the discrete-event simulator (averaged
@@ -133,6 +185,7 @@ impl SimEvaluator {
                 t_sim,
                 runs,
                 seed: base_seed,
+                max_events: None,
             },
             cache: HashMap::new(),
             unique: 0,
@@ -204,15 +257,16 @@ impl SharedSimEvaluator {
     }
 
     /// Measures (or recalls) `point`, degrading a panicking simulation to
-    /// a typed [`EvalError`]. The failure is cached exactly once like a
-    /// success, so the unique-evaluation count stays thread-invariant
-    /// even when some points are broken.
+    /// a typed [`EvalError`] (and a logical-deadline trip to a typed
+    /// [`hi_exec::ErrorKind::DeadlineExceeded`] error). The failure is
+    /// cached exactly once like a success, so the unique-evaluation count
+    /// stays thread-invariant even when some points are broken.
     pub fn try_eval_point(&self, point: &DesignPoint) -> Result<Evaluation, EvalError> {
         self.cache.get_or_compute(*point, || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                simulate_point(&self.protocol, point)
+                try_simulate_point(&self.protocol, point)
             }))
-            .map_err(|payload| EvalError::from_panic(payload.as_ref()));
+            .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref())));
             if result.is_err() {
                 // A fresh compute whose memoized value is a failure: every
                 // later lookup of this point is a hit on the cached error.
@@ -263,6 +317,10 @@ impl PointEvaluator for SharedSimEvaluator {
 
     fn unique_evaluations(&self) -> u64 {
         SharedSimEvaluator::unique_evaluations(self)
+    }
+
+    fn drop_cached(&self, point: &DesignPoint) -> bool {
+        self.cache.remove(point)
     }
 }
 
@@ -394,6 +452,45 @@ mod tests {
         assert!(shared.cache_hits() >= 1);
         // Healthy points are unaffected.
         assert!(shared.try_eval_point(&pt()).is_ok());
+    }
+
+    #[test]
+    fn tiny_event_budget_is_a_typed_deadline_error() {
+        let protocol =
+            SimProtocol::new(SimDuration::from_secs(5.0), 2, 11).with_max_events(Some(3));
+        let shared = protocol.shared_evaluator();
+        let err = shared.try_eval_point(&pt()).unwrap_err();
+        assert_eq!(err.kind(), hi_exec::ErrorKind::DeadlineExceeded);
+        assert!(err.message().contains("event budget"), "{err}");
+        // Deterministic: the cached error equals a fresh recompute's.
+        let again = protocol
+            .shared_evaluator()
+            .try_eval_point(&pt())
+            .unwrap_err();
+        assert_eq!(err, again);
+    }
+
+    #[test]
+    fn generous_event_budget_is_bit_identical_to_unbudgeted() {
+        let plain = SimProtocol::new(SimDuration::from_secs(3.0), 1, 23);
+        let budgeted = plain.with_max_events(Some(u64::MAX));
+        let a = plain.shared_evaluator().try_eval_point(&pt()).unwrap();
+        let b = budgeted.shared_evaluator().try_eval_point(&pt()).unwrap();
+        assert_eq!(a.pdr.to_bits(), b.pdr.to_bits());
+        assert_eq!(a.nlt_days.to_bits(), b.nlt_days.to_bits());
+        assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+    }
+
+    #[test]
+    fn drop_cached_forces_a_deterministic_recompute() {
+        let protocol = SimProtocol::new(SimDuration::from_secs(2.0), 1, 77);
+        let shared = protocol.shared_evaluator();
+        let first = shared.try_eval_point(&pt()).unwrap();
+        assert!(shared.drop_cached(&pt()), "entry was cached");
+        assert!(!shared.drop_cached(&pt()), "second drop finds nothing");
+        let second = shared.try_eval_point(&pt()).unwrap();
+        assert_eq!(first.pdr.to_bits(), second.pdr.to_bits());
+        assert_eq!(shared.unique_evaluations(), 2, "the recompute is a miss");
     }
 
     #[test]

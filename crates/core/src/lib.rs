@@ -52,6 +52,7 @@
 mod algorithm1;
 mod checkpoint;
 mod constraints;
+mod crc32;
 mod evaluator;
 mod exhaustive;
 mod milp_encode;
@@ -61,24 +62,32 @@ pub mod power;
 mod profiles;
 mod robust;
 mod sa;
+mod suitefile;
+mod supervised;
 mod tradeoff;
 
 pub use algorithm1::{
-    explore, explore_par, explore_par_from, explore_with_options, ExplorationOutcome, ExploreError,
-    ExploreOptions, Problem, StopReason,
+    explore, explore_par, explore_par_from, explore_par_observed, explore_with_options,
+    ExplorationOutcome, ExploreError, ExploreOptions, Problem, StopReason,
 };
-pub use checkpoint::ExploreCheckpoint;
+pub use checkpoint::{
+    load_checkpoint_file, load_recovering, CheckpointLoadError, CheckpointRecovery,
+    ExploreCheckpoint,
+};
 pub use constraints::{DesignSpace, TopologyConstraints};
+pub use crc32::crc32_ieee;
 pub use evaluator::{
     Evaluation, Evaluator, FnEvaluator, PointEvaluator, SharedSimEvaluator, SimEvaluator,
     SimProtocol,
 };
 pub use exhaustive::{exhaustive_search, exhaustive_search_par, ExhaustiveOutcome};
-pub use hi_exec::{CancelToken, EvalError};
+pub use hi_exec::{CancelToken, ChaosPolicy, EvalError, RetryPolicy, Supervisor};
 pub use milp_encode::MilpEncoding;
 pub use parallel::ExecContext;
 pub use point::{DesignPoint, MacChoice, Placement, RouteChoice};
 pub use profiles::AppProfile;
 pub use robust::{FaultSuite, RobustEvaluation, RobustEvaluator, RobustMode};
 pub use sa::{simulated_annealing, simulated_annealing_restarts, SaOutcome, SaParams};
+pub use suitefile::{parse_fault_suite, SuiteParseError};
+pub use supervised::{supervision_spec, warmup_events_floor, SupervisedEvaluator};
 pub use tradeoff::{explore_tradeoff, explore_tradeoff_par, TradeoffPoint};

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use hi_exec::{EvalCache, EvalError};
-use hi_net::{simulate_averaged, FaultScenario};
+use hi_net::{simulate_averaged_budgeted, FaultScenario, SimError};
 
 use crate::evaluator::{Evaluation, PointEvaluator, SimProtocol};
 use crate::point::DesignPoint;
@@ -111,6 +111,21 @@ impl RobustEvaluation {
     /// The `q`-quantile evaluation (see [`RobustMode::Quantile`]): the
     /// deterministic index `round(q * (n - 1))` into the sorted
     /// per-scenario values, taken from the pessimistic end of each field.
+    ///
+    /// Pinned semantics (certified by `quantile_edge_semantics_are_pinned`):
+    ///
+    /// * `q` is clamped to `[0, 1]`; `q = 0` equals [`worst_case`]
+    ///   field-wise and `q = 1` is the most optimistic value of each
+    ///   field (lowest power, highest PDR/lifetime);
+    /// * the index rounds half away from zero, so with one fault
+    ///   scenario (`n = 2`) the median `q = 0.5` resolves to the
+    ///   *optimistic* end;
+    /// * an empty suite (`n = 1`) returns the nominal evaluation for
+    ///   every `q`, bit for bit;
+    /// * fields are ranked independently, so the quantile evaluation —
+    ///   like the worst case — may mix fields from different scenarios.
+    ///
+    /// [`worst_case`]: Self::worst_case
     pub fn quantile(&self, q: f64) -> Evaluation {
         let q = q.clamp(0.0, 1.0);
         let n = self.scenarios.len() + 1;
@@ -179,8 +194,11 @@ impl RobustEvaluator {
 
     /// Runs scenario `index` (0 = nominal) of `point`. Seed derivation
     /// for index 0 matches the nominal evaluator's exactly; fault
-    /// scenarios mix the index into the low fingerprint half.
-    fn simulate_scenario(&self, point: &DesignPoint, index: u64) -> Evaluation {
+    /// scenarios mix the index into the low fingerprint half. A
+    /// replication exceeding the protocol's [`SimProtocol::max_events`]
+    /// budget fails the scenario — and through it the whole scorecard —
+    /// with a typed deadline error.
+    fn simulate_scenario(&self, point: &DesignPoint, index: u64) -> Result<Evaluation, EvalError> {
         let mut span = hi_trace::span("robust.scenario");
         if span.is_recording() {
             // Scenario labels are user-supplied strings (quotes, control
@@ -201,14 +219,23 @@ impl RobustEvaluator {
         let fingerprint = point.fingerprint();
         let seed = self.protocol.seed
             ^ hi_des::rng::derive_seed(fingerprint >> 4, (fingerprint & 0xF) | (index << 8));
-        let out = simulate_averaged(
+        let out = simulate_averaged_budgeted(
             &cfg,
             self.protocol.channel,
             self.protocol.t_sim,
             seed,
             self.protocol.runs,
+            self.protocol.max_events,
         )
-        .expect("design points lower to valid configs");
+        .map_err(|e| match e {
+            SimError::Config(c) => panic!("design points lower to valid configs: {c}"),
+            deadline @ SimError::DeadlineExceeded { .. } => {
+                hi_trace::counter(hi_trace::wellknown::EXEC_DEADLINES, 1);
+                EvalError::deadline(format!(
+                    "robust evaluation of {point} (scenario {index}): {deadline}"
+                ))
+            }
+        })?;
         hi_trace::counter(hi_trace::wellknown::ROBUST_SCENARIOS, 1);
         if let (Some(t0), Some(t1)) = (t_begin, hi_trace::now_ns()) {
             hi_trace::histogram(
@@ -216,30 +243,40 @@ impl RobustEvaluator {
                 t1.saturating_sub(t0),
             );
         }
-        Evaluation {
+        Ok(Evaluation {
             pdr: out.pdr,
             nlt_days: out.nlt_days,
             power_mw: out.max_power_mw,
-        }
+        })
     }
 
-    /// The full scorecard of `point` (cached; a panicking simulation
-    /// degrades to a cached [`EvalError`]).
+    /// The full scorecard of `point` (cached; a panicking simulation —
+    /// or a deadline trip in any scenario — degrades to a cached
+    /// [`EvalError`]).
     pub fn try_robust_eval(&self, point: &DesignPoint) -> Result<RobustEvaluation, EvalError> {
         self.cache.get_or_compute(*point, || {
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| RobustEvaluation {
-                    nominal: self.simulate_scenario(point, 0),
-                    scenarios: (1..=self.suite.len() as u64)
-                        .map(|s| self.simulate_scenario(point, s))
-                        .collect(),
-                }))
-                .map_err(|payload| EvalError::from_panic(payload.as_ref()));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<RobustEvaluation, EvalError> {
+                    Ok(RobustEvaluation {
+                        nominal: self.simulate_scenario(point, 0)?,
+                        scenarios: (1..=self.suite.len() as u64)
+                            .map(|s| self.simulate_scenario(point, s))
+                            .collect::<Result<_, _>>()?,
+                    })
+                },
+            ))
+            .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref())));
             if result.is_err() {
                 hi_trace::counter(hi_trace::wellknown::EXEC_CACHE_PANIC_MEMO, 1);
             }
             result
         })
+    }
+
+    /// Forgets the cached scorecard of `point`, if any (see
+    /// [`PointEvaluator::drop_cached`]).
+    pub fn drop_cached(&self, point: &DesignPoint) -> bool {
+        self.cache.remove(point)
     }
 
     /// Number of unique points whose scorecard has been computed.
@@ -273,6 +310,10 @@ impl PointEvaluator for RobustEvaluator {
 
     fn unique_evaluations(&self) -> u64 {
         RobustEvaluator::unique_evaluations(self)
+    }
+
+    fn drop_cached(&self, point: &DesignPoint) -> bool {
+        RobustEvaluator::drop_cached(self, point)
     }
 }
 
@@ -325,6 +366,56 @@ mod tests {
             scorecard().aggregate(RobustMode::Nominal),
             ev(0.95, 100.0, 1.0)
         );
+    }
+
+    #[test]
+    fn quantile_edge_semantics_are_pinned() {
+        // Empty suite (n = 1): every quantile is the nominal evaluation.
+        let lone = RobustEvaluation {
+            nominal: ev(0.95, 100.0, 1.0),
+            scenarios: vec![],
+        };
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            let e = lone.quantile(q);
+            assert_eq!(e.pdr.to_bits(), lone.nominal.pdr.to_bits(), "q = {q}");
+            assert_eq!(e.nlt_days.to_bits(), lone.nominal.nlt_days.to_bits());
+            assert_eq!(e.power_mw.to_bits(), lone.nominal.power_mw.to_bits());
+        }
+        // Single-scenario suite (n = 2): q = 0 is the worst case, q = 1
+        // the best, and the median rounds half away from zero — to the
+        // optimistic end.
+        let pair = RobustEvaluation {
+            nominal: ev(0.95, 100.0, 1.0),
+            scenarios: vec![ev(0.60, 80.0, 1.4)],
+        };
+        assert_eq!(pair.quantile(0.0), pair.worst_case());
+        assert_eq!(pair.quantile(1.0), ev(0.95, 100.0, 1.0));
+        assert_eq!(pair.quantile(0.5), ev(0.95, 100.0, 1.0));
+        // q = 0 / q = 100 percent pin to the ends on a wider card too,
+        // and out-of-range q clamps instead of panicking or indexing out.
+        let card = scorecard();
+        assert_eq!(card.quantile(0.0), card.worst_case());
+        assert_eq!(card.quantile(1.0), ev(0.95, 120.0, 1.0));
+        assert_eq!(card.quantile(-3.0), card.quantile(0.0));
+        assert_eq!(card.quantile(7.0), card.quantile(1.0));
+    }
+
+    #[test]
+    fn all_scenarios_infeasible_still_aggregates() {
+        // Every scenario floored at PDR 0 (total outage): the worst case
+        // is infeasible for any positive floor, the nominal untouched,
+        // and nothing panics or divides by zero.
+        let card = RobustEvaluation {
+            nominal: ev(0.95, 100.0, 1.0),
+            scenarios: vec![ev(0.0, 0.0, 2.0), ev(0.0, 0.0, 1.8)],
+        };
+        let worst = card.aggregate(RobustMode::WorstCase);
+        assert_eq!(worst.pdr, 0.0);
+        assert_eq!(worst.nlt_days, 0.0);
+        assert_eq!(worst.power_mw, 2.0);
+        assert_eq!(card.aggregate(RobustMode::Nominal), ev(0.95, 100.0, 1.0));
+        // The median of {0, 0, 0.95} is the middle order statistic.
+        assert_eq!(card.aggregate(RobustMode::Quantile(0.5)).pdr, 0.0);
     }
 
     #[test]

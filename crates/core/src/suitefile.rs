@@ -1,0 +1,301 @@
+//! The fault-suite file format: parsing `scenario`/`outage`/`blackout`/
+//! `deplete`/`interfere` lines into the [`FaultSuite`] the robust
+//! evaluator scores against, plus the lowered [`FaultWindowSpec`]s the
+//! lint pass (HL033+) checks.
+//!
+//! The grammar is line-oriented (`#` starts a comment; times in
+//! seconds):
+//!
+//! ```text
+//! scenario <name>                       start a named scenario
+//! outage <site> <from> <until|inf>      node crash/recover window
+//! blackout <a> <b> <from> <until|inf>   link blackout between two sites
+//! deplete <site> <at>                   battery death, never recovers
+//! interfere <from> <until|inf> <dB>     wideband interference burst
+//! ```
+//!
+//! Parsing is total: malformed input of any shape — truncation mid-file,
+//! bit-flipped numbers, overlong lines, CRLF endings — yields a typed
+//! [`SuiteParseError`] carrying the 1-based offending line, never a
+//! panic and never a silently-partial suite. Semantic oddities that are
+//! *representable* (inverted windows, past-horizon faults) parse
+//! successfully on purpose: the lint pass explains them instead of the
+//! parser rejecting them.
+
+use std::fmt;
+
+use hi_channel::BodyLocation;
+use hi_des::SimDuration;
+use hi_lint::{FaultEntity, FaultWindowSpec};
+use hi_net::{
+    BatteryDepletion, FaultScenario, InterferenceBurst, LinkBlackout, SiteOutage, Window,
+};
+
+use crate::robust::FaultSuite;
+
+/// Why a fault-suite file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteParseError {
+    /// One line is malformed. `line` is 1-based; `message` names the
+    /// field that was missing or bad.
+    Line {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What was wrong on that line.
+        message: String,
+    },
+    /// The file parsed but declares no scenario at all (an empty suite
+    /// would silently score nominal-only, so it is rejected here).
+    NoScenario,
+}
+
+impl fmt::Display for SuiteParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Line { line, message } => write!(f, "line {line}: {message}"),
+            Self::NoScenario => write!(f, "declares no scenario"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteParseError {}
+
+/// One field off a suite line, or a message naming what was missing.
+fn field<'a>(fields: &mut std::str::SplitWhitespace<'a>, what: &str) -> Result<&'a str, String> {
+    fields.next().ok_or_else(|| format!("missing {what}"))
+}
+
+fn site_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<usize, String> {
+    let v = field(fields, what)?;
+    let site: usize = v
+        .parse()
+        .map_err(|_| format!("bad {what} `{v}` (expected a site index)"))?;
+    if site >= BodyLocation::COUNT {
+        return Err(format!(
+            "{what} {site} is out of range (sites are 0..={})",
+            BodyLocation::COUNT - 1
+        ));
+    }
+    Ok(site)
+}
+
+fn secs_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
+    let v = field(fields, what)?;
+    let x: f64 = v.parse().map_err(|_| format!("bad {what} `{v}`"))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("{what} must be finite and non-negative"));
+    }
+    Ok(x)
+}
+
+fn until_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
+    let v = field(fields, what)?;
+    if v == "inf" {
+        return Ok(f64::INFINITY);
+    }
+    let x: f64 = v
+        .parse()
+        .map_err(|_| format!("bad {what} `{v}` (expected seconds or `inf`)"))?;
+    // An inverted window (until < from) is representable on purpose: the
+    // lint pass explains it (HL033) instead of the parser rejecting it.
+    if x.is_nan() || x < 0.0 {
+        return Err(format!("{what} must be non-negative (or `inf`)"));
+    }
+    Ok(x)
+}
+
+fn parse_suite_line(
+    line: &str,
+    scenarios: &mut Vec<FaultScenario>,
+    windows: &mut Vec<FaultWindowSpec>,
+) -> Result<(), String> {
+    let mut fields = line.split_whitespace();
+    let Some(keyword) = fields.next() else {
+        return Ok(());
+    };
+    if keyword == "scenario" {
+        let name = line[keyword.len()..].trim();
+        if name.is_empty() {
+            return Err("`scenario` needs a name".into());
+        }
+        scenarios.push(FaultScenario::named(name));
+        return Ok(());
+    }
+    let Some(scenario) = scenarios.last_mut() else {
+        return Err(format!("`{keyword}` entry before any `scenario` line"));
+    };
+    let name = scenario.name.clone();
+    match keyword {
+        "outage" => {
+            let site = site_field(&mut fields, "outage site")?;
+            let from_s = secs_field(&mut fields, "outage start")?;
+            let until_s = until_field(&mut fields, "outage end")?;
+            scenario.outages.push(SiteOutage {
+                site,
+                window: Window::from_secs(from_s, until_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/outage"),
+                entity: FaultEntity::Node(site),
+                from_s,
+                until_s,
+            });
+        }
+        "blackout" => {
+            let site_a = site_field(&mut fields, "blackout site")?;
+            let site_b = site_field(&mut fields, "blackout site")?;
+            let from_s = secs_field(&mut fields, "blackout start")?;
+            let until_s = until_field(&mut fields, "blackout end")?;
+            scenario.blackouts.push(LinkBlackout {
+                site_a,
+                site_b,
+                window: Window::from_secs(from_s, until_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/blackout"),
+                entity: FaultEntity::Link(site_a, site_b),
+                from_s,
+                until_s,
+            });
+        }
+        "deplete" => {
+            let site = site_field(&mut fields, "depletion site")?;
+            let at_s = secs_field(&mut fields, "depletion time")?;
+            scenario.depletions.push(BatteryDepletion {
+                site,
+                at: SimDuration::from_secs(at_s),
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/deplete"),
+                entity: FaultEntity::Node(site),
+                from_s: at_s,
+                until_s: f64::INFINITY,
+            });
+        }
+        "interfere" => {
+            let from_s = secs_field(&mut fields, "interference start")?;
+            let until_s = until_field(&mut fields, "interference end")?;
+            let extra_loss_db = secs_field(&mut fields, "interference loss (dB)")?;
+            scenario.bursts.push(InterferenceBurst {
+                window: Window::from_secs(from_s, until_s),
+                extra_loss_db,
+            });
+            windows.push(FaultWindowSpec {
+                label: format!("{name}/interfere"),
+                entity: FaultEntity::Medium,
+                from_s,
+                until_s,
+            });
+        }
+        other => {
+            return Err(format!(
+                "unknown entry `{other}` (expected scenario, outage, blackout, \
+                 deplete or interfere)"
+            ));
+        }
+    }
+    if let Some(extra) = fields.next() {
+        return Err(format!("trailing field `{extra}`"));
+    }
+    Ok(())
+}
+
+/// Parses a fault-suite file into the scenarios the simulator runs and
+/// the lowered window specs the lint pass checks.
+///
+/// # Errors
+///
+/// [`SuiteParseError::Line`] (with the 1-based line) on any malformed
+/// entry; [`SuiteParseError::NoScenario`] when the text declares no
+/// scenario at all.
+pub fn parse_fault_suite(
+    text: &str,
+) -> Result<(FaultSuite, Vec<FaultWindowSpec>), SuiteParseError> {
+    let mut scenarios: Vec<FaultScenario> = Vec::new();
+    let mut windows: Vec<FaultWindowSpec> = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_suite_line(line, &mut scenarios, &mut windows).map_err(|message| {
+            SuiteParseError::Line {
+                line: line_no,
+                message,
+            }
+        })?;
+    }
+    if scenarios.is_empty() {
+        return Err(SuiteParseError::NoScenario);
+    }
+    Ok((FaultSuite::new(scenarios), windows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+# a demo suite
+scenario hip outage
+outage 1 10 60        # l-hip down for 50 s
+blackout 0 5 20 inf
+scenario noisy room
+interfere 0 300 6.0
+deplete 4 120
+";
+
+    #[test]
+    fn a_wellformed_suite_parses_fully() {
+        let (suite, windows) = parse_fault_suite(DEMO).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].label, "hip outage/outage");
+        assert_eq!(windows[3].entity, FaultEntity::Node(4));
+    }
+
+    #[test]
+    fn errors_carry_the_one_based_line() {
+        let err = parse_fault_suite("scenario a\n\noutage 99 0 inf\n").unwrap_err();
+        assert_eq!(
+            err,
+            SuiteParseError::Line {
+                line: 3,
+                message: "outage site 99 is out of range (sites are 0..=9)".into()
+            }
+        );
+        assert!(err.to_string().starts_with("line 3: "));
+    }
+
+    #[test]
+    fn an_empty_or_commented_file_is_no_scenario() {
+        assert_eq!(
+            parse_fault_suite("").unwrap_err(),
+            SuiteParseError::NoScenario
+        );
+        assert_eq!(
+            parse_fault_suite("# nothing\n\n   \n").unwrap_err(),
+            SuiteParseError::NoScenario
+        );
+    }
+
+    #[test]
+    fn crlf_endings_parse_like_lf() {
+        let crlf = DEMO.replace('\n', "\r\n");
+        let (suite, windows) = parse_fault_suite(&crlf).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(windows.len(), 4);
+    }
+
+    #[test]
+    fn entries_before_any_scenario_are_rejected() {
+        let err = parse_fault_suite("outage 1 0 inf\n").unwrap_err();
+        match err {
+            SuiteParseError::Line { line: 1, message } => {
+                assert!(message.contains("before any `scenario`"), "{message}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

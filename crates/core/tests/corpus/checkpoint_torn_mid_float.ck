@@ -1,0 +1,3 @@
+hi-opt explore checkpoint v2
+pdr_min 3fe6666666666666
+alpha_corr

@@ -1,0 +1,9 @@
+hi-opt explore checkpoint v2
+pdr_min 3fefae147ae147ae
+alpha_correction 0
+iterations 2
+candidates 31
+simulations 31
+best none
+end
+crc32 b1916d85

@@ -1,0 +1,4 @@
+hi-opt explore checkpoint v9
+pdr_min 3fe6666666666666
+end
+crc32 00000000

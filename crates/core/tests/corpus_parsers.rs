@@ -1,0 +1,245 @@
+//! Corpus fuzz tests for the two on-disk text formats hi-opt parses:
+//! explore checkpoints (`ExploreCheckpoint::from_text`) and fault suites
+//! (`parse_fault_suite`).
+//!
+//! Both parsers promise to be *total*: any byte soup — truncation at any
+//! boundary, bit-flipped hex floats, overlong lines, CRLF endings, one
+//! format fed to the other's parser — yields a typed error, never a
+//! panic and never a silently-partial result. The corpus under
+//! `tests/corpus/` pins real-world shapes (files a crashed writer or a
+//! flaky disk actually produces); the tests below additionally mutate
+//! the well-formed seeds systematically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use hi_core::{parse_fault_suite, ExploreCheckpoint, SuiteParseError};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_file(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("corpus file {} unreadable: {e}", path.display()))
+}
+
+fn corpus_files() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|entry| entry.expect("corpus entry readable").file_name())
+        .map(|name| name.to_string_lossy().into_owned())
+        .map(|name| (corpus_file(&name), name))
+        .map(|(text, name)| (name, text))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 10, "corpus went missing: {files:?}");
+    files
+}
+
+/// Runs both parsers on `text` and asserts neither panics; returns the
+/// checkpoint parser's verdict for callers that care.
+fn both_parsers_survive(context: &str, text: &str) -> Result<ExploreCheckpoint, String> {
+    let checkpoint = catch_unwind(AssertUnwindSafe(|| ExploreCheckpoint::from_text(text)))
+        .unwrap_or_else(|_| panic!("checkpoint parser panicked on {context}"));
+    let _ = catch_unwind(AssertUnwindSafe(|| parse_fault_suite(text)))
+        .unwrap_or_else(|_| panic!("suite parser panicked on {context}"));
+    checkpoint
+}
+
+#[test]
+fn every_corpus_file_feeds_both_parsers_without_panicking() {
+    // Cross-feeding is deliberate: a user pointing --resume at a fault
+    // suite (or --faults at a checkpoint) must get a diagnostic, not a
+    // crash.
+    for (name, text) in corpus_files() {
+        let _ = both_parsers_survive(&name, &text);
+    }
+}
+
+#[test]
+fn wellformed_corpus_checkpoints_parse() {
+    let feasible = ExploreCheckpoint::from_text(&corpus_file("checkpoint_v2_feasible.ck"))
+        .expect("the committed v2 checkpoint is valid");
+    assert!(feasible.best.is_some());
+    assert_eq!(feasible.cuts.len(), 3);
+
+    let infeasible = ExploreCheckpoint::from_text(&corpus_file("checkpoint_v2_infeasible.ck"))
+        .expect("the committed infeasible checkpoint is valid");
+    assert!(infeasible.best.is_none());
+
+    // v1 (pre-CRC) files remain loadable, with and without CRLF endings:
+    // they carry no trailer, so line endings are free to vary.
+    let legacy = ExploreCheckpoint::from_text(&corpus_file("checkpoint_v1_legacy.ck"))
+        .expect("the legacy v1 checkpoint still parses");
+    let legacy_crlf = ExploreCheckpoint::from_text(&corpus_file("checkpoint_v1_crlf.ck"))
+        .expect("a CRLF-rewritten v1 checkpoint still parses");
+    assert_eq!(legacy, legacy_crlf);
+    assert_eq!(legacy.best, feasible.best);
+}
+
+#[test]
+fn wellformed_corpus_suites_parse() {
+    let (suite, windows) = parse_fault_suite(&corpus_file("suite_demo.suite"))
+        .expect("the committed demo suite is valid");
+    assert_eq!(suite.len(), 3);
+    assert_eq!(windows.len(), 4);
+
+    let (crlf, crlf_windows) = parse_fault_suite(&corpus_file("suite_crlf.suite"))
+        .expect("a CRLF-rewritten suite parses identically");
+    assert_eq!(crlf.len(), suite.len());
+    assert_eq!(crlf_windows, windows);
+}
+
+#[test]
+fn malformed_corpus_checkpoints_yield_typed_errors() {
+    let check = |name: &str, needle: &str| {
+        let err = ExploreCheckpoint::from_text(&corpus_file(name))
+            .expect_err("the corpus file is malformed on purpose");
+        assert!(err.contains(needle), "{name}: {err:?} lacks {needle:?}");
+    };
+    check("checkpoint_torn_mid_float.ck", "missing crc32 trailer");
+    check("checkpoint_bit_rot.ck", "crc32 mismatch");
+    check("checkpoint_wrong_header.ck", "line 1");
+    // An overlong (64 KiB) hex field is named with its line, not OOM'd or
+    // panicked over.
+    check("checkpoint_overlong_line.ck", "line 7");
+    // CRLF inside a *v2* file corrupts the CRC-covered body, so it is
+    // named corrupt — resuming from it would not be bit-identical.
+    check("checkpoint_v2_crlf.ck", "crc32 mismatch");
+}
+
+#[test]
+fn malformed_corpus_suites_yield_typed_errors() {
+    match parse_fault_suite(&corpus_file("suite_comments_only.suite")) {
+        Err(SuiteParseError::NoScenario) => {}
+        other => panic!("comments-only suite: {other:?}"),
+    }
+    match parse_fault_suite(&corpus_file("suite_entry_before_scenario.suite")) {
+        Err(SuiteParseError::Line { line: 1, message }) => {
+            assert!(message.contains("before any `scenario`"), "{message}");
+        }
+        other => panic!("entry-before-scenario suite: {other:?}"),
+    }
+    // The first bad line wins, 1-based.
+    match parse_fault_suite(&corpus_file("suite_bad_fields.suite")) {
+        Err(SuiteParseError::Line { line: 2, message }) => {
+            assert!(message.contains("out of range"), "{message}");
+        }
+        other => panic!("bad-fields suite: {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_never_panics_and_never_silently_resumes() {
+    let text = corpus_file("checkpoint_v2_feasible.ck");
+    // Dropping only the final newline loses no protected byte, so the
+    // file is still whole; any shorter prefix must be rejected.
+    let whole = text.trim_end().len();
+    for cut in 0..text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &text[..cut];
+        let result =
+            both_parsers_survive(&format!("v2 checkpoint truncated at byte {cut}"), prefix);
+        assert_eq!(
+            result.is_err(),
+            cut < whole,
+            "truncation at byte {cut} parsed as a valid checkpoint"
+        );
+    }
+
+    // Suites have no trailer, so a prefix ending on a line boundary may
+    // legitimately parse (it is a shorter well-formed suite) — but no
+    // truncation point may panic.
+    let suite = corpus_file("suite_demo.suite");
+    for cut in 0..suite.len() {
+        if suite.is_char_boundary(cut) {
+            let _ = both_parsers_survive(&format!("suite truncated at byte {cut}"), &suite[..cut]);
+        }
+    }
+}
+
+#[test]
+fn bit_flips_in_v2_hex_floats_are_always_caught() {
+    // CRC-32 detects every single-bit error, so any flip inside the
+    // CRC-covered body must surface as *some* error — usually the CRC
+    // mismatch, occasionally a trailer/heading error when the flip lands
+    // on structure. Never Ok, never a panic.
+    let text = corpus_file("checkpoint_v2_feasible.ck");
+    let body_len = text.rfind("crc32 ").expect("v2 file has a trailer");
+    let bytes = text.as_bytes();
+    for at in 0..body_len {
+        for bit in 0..8 {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= 1 << bit;
+            let Ok(mutated) = String::from_utf8(mutated) else {
+                continue; // the parsers take &str; invalid UTF-8 can't reach them
+            };
+            let result =
+                both_parsers_survive(&format!("v2 checkpoint bit {bit} of byte {at}"), &mutated);
+            assert!(
+                result.is_err(),
+                "flipping bit {bit} of byte {at} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_in_v1_hex_floats_never_panic() {
+    // v1 has no CRC: a flipped hex digit may even parse to a different
+    // float (exactly the silent-corruption window v2 closes). The
+    // contract v1 still owes is totality — no flip may panic.
+    let text = corpus_file("checkpoint_v1_legacy.ck");
+    let bytes = text.as_bytes();
+    for at in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= 1 << bit;
+            if let Ok(mutated) = String::from_utf8(mutated) {
+                let _ = both_parsers_survive(
+                    &format!("v1 checkpoint bit {bit} of byte {at}"),
+                    &mutated,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlong_lines_are_rejected_or_ignored_but_never_panic() {
+    // Synthetic monsters beyond the committed corpus: megabyte lines in
+    // every structural position of both formats.
+    let long = "x".repeat(1 << 20);
+    let checkpoint = corpus_file("checkpoint_v2_feasible.ck");
+    let suite = corpus_file("suite_demo.suite");
+    let cases = [
+        format!("{long}\n"),
+        format!("hi-opt explore checkpoint v2\npdr_min {long}\n"),
+        checkpoint.replace("cut ", &format!("cut {long}")),
+        format!("{checkpoint}{long}"),
+        format!("scenario {long}\noutage 5 1 3\n"),
+        suite.replace("outage 5", &format!("outage {long}")),
+        format!("# {long}\n{suite}"),
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let _ = both_parsers_survive(&format!("overlong case {i}"), case);
+    }
+}
+
+#[test]
+fn suite_overlong_numerals_degrade_to_typed_results() {
+    // A 4096-digit literal overflows f64 to +inf, which the grammar
+    // accepts only where `inf` is legal (window ends). The committed
+    // corpus file exercises that path; whichever way it lands, it must
+    // be a typed Result.
+    let text = corpus_file("suite_overlong_line.suite");
+    let result = catch_unwind(AssertUnwindSafe(|| parse_fault_suite(&text)))
+        .expect("suite parser panicked on overlong numerals");
+    if let Ok((suite, _)) = result {
+        assert_eq!(suite.len(), 1);
+    }
+}

@@ -501,6 +501,152 @@ fn traced_event_layout_is_thread_count_invariant() {
 }
 
 #[test]
+fn supervised_chaos_free_exploration_is_bit_identical_to_unsupervised() {
+    // Wrapping the evaluator in a Supervisor with no chaos policy must be
+    // invisible: same outcome, same unique-simulation accounting, at any
+    // thread count. This is the "supervision is free" half of the
+    // robustness contract — CI byte-diffs the CLI transcripts for the
+    // same property end to end.
+    use hi_core::{RetryPolicy, SupervisedEvaluator, Supervisor};
+
+    let problem = Problem::paper_default(0.7);
+    let plain = {
+        let exec = ExecContext::new(2);
+        let evaluator = protocol().shared_evaluator();
+        explore_par(&problem, &evaluator, ExploreOptions::default(), &exec).unwrap()
+    };
+    for threads in THREAD_COUNTS {
+        let exec = ExecContext::new(threads);
+        let supervised =
+            SupervisedEvaluator::new(protocol().shared_evaluator(), Supervisor::default());
+        let outcome = explore_par(&problem, &supervised, ExploreOptions::default(), &exec).unwrap();
+        assert_eq!(
+            plain, outcome,
+            "{threads} threads diverged under supervision"
+        );
+        assert_eq!(
+            supervised.inner().unique_evaluations(),
+            plain.simulations,
+            "{threads} threads re-simulated under supervision"
+        );
+
+        let retried = SupervisedEvaluator::new(
+            protocol().shared_evaluator(),
+            Supervisor::new(RetryPolicy::new(5), None),
+        );
+        let outcome = explore_par(&problem, &retried, ExploreOptions::default(), &exec).unwrap();
+        assert_eq!(
+            plain, outcome,
+            "a bigger retry budget changed a healthy run"
+        );
+    }
+}
+
+#[test]
+fn chaos_injected_exploration_is_thread_count_invariant() {
+    // Chaos injection is keyed by (fingerprint, attempt), so the same
+    // spec must fault the same evaluations regardless of which worker
+    // picks them up — the whole outcome, including the eval-error count,
+    // is a pure function of the spec.
+    use hi_core::{ChaosPolicy, RetryPolicy, SupervisedEvaluator, Supervisor};
+
+    let problem = Problem::paper_default(0.7);
+    let chaos = ChaosPolicy::parse("seed=1,panic=13,transient=3,drop=8").unwrap();
+    let run = |threads: usize| {
+        let exec = ExecContext::new(threads);
+        let evaluator = SupervisedEvaluator::new(
+            protocol().shared_evaluator(),
+            Supervisor::new(RetryPolicy::new(3), Some(chaos)),
+        );
+        explore_par(&problem, &evaluator, ExploreOptions::default(), &exec)
+            .expect("chaos degrades per point, never aborts")
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.best.is_some(),
+        "this spec must leave the optimum electable"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            baseline,
+            run(*threads),
+            "{threads} threads diverged under chaos"
+        );
+    }
+
+    // And the chaos-free optimum survives: retries ride out the injected
+    // transients, so only unlucky points (transient on every attempt) are
+    // lost, and this spec spares the winner.
+    let exec = ExecContext::new(2);
+    let plain = explore_par(
+        &problem,
+        &protocol().shared_evaluator(),
+        ExploreOptions::default(),
+        &exec,
+    )
+    .unwrap();
+    assert_same_best(&plain.best, &baseline.best);
+}
+
+#[test]
+fn resume_from_a_mid_run_auto_checkpoint_is_bit_identical() {
+    // The observer fires after every completed iteration (checkpoint_every
+    // = 1); resuming from any of those snapshots with a fresh process's
+    // evaluator must land on the straight-through outcome bit for bit.
+    let problem = Problem::paper_default(0.7);
+    let options = ExploreOptions {
+        checkpoint_every: Some(1),
+        ..ExploreOptions::default()
+    };
+    let mut snapshots: Vec<ExploreCheckpoint> = Vec::new();
+    let exec = ExecContext::new(2);
+    let evaluator = protocol().shared_evaluator();
+    let straight = hi_core::explore_par_observed(
+        &problem,
+        &evaluator,
+        options,
+        &exec,
+        None,
+        &mut |cp: &ExploreCheckpoint| snapshots.push(cp.clone()),
+    )
+    .unwrap();
+    // Every iteration that *continued* (pushed a cut) snapshotted; the
+    // final iteration proves the bound and stops instead of cutting.
+    assert_eq!(
+        snapshots.len() as u32,
+        straight.iterations - 1,
+        "every continuing iteration must have produced a snapshot"
+    );
+    assert!(
+        snapshots.len() >= 2,
+        "need a mid-run snapshot to resume from"
+    );
+
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        // Round-trip through the on-disk text format, like a real resume.
+        let restored = ExploreCheckpoint::from_text(&snapshot.to_text()).unwrap();
+        let exec = ExecContext::new(2);
+        let evaluator = protocol().shared_evaluator();
+        let resumed = explore_par_from(
+            &problem,
+            &evaluator,
+            ExploreOptions::default(),
+            &exec,
+            Some(&restored),
+        )
+        .unwrap();
+        assert_same_best(&straight.best, &resumed.best);
+        assert_eq!(straight.stop_reason, resumed.stop_reason, "snapshot {i}");
+        assert_eq!(straight.iterations, resumed.iterations, "snapshot {i}");
+        assert_eq!(straight.cuts, resumed.cuts, "snapshot {i}");
+        assert_eq!(
+            straight.candidates_proposed, resumed.candidates_proposed,
+            "snapshot {i}"
+        );
+    }
+}
+
+#[test]
 fn evaluator_panic_reaches_the_caller_through_the_pool() {
     // A poisoned point must abort the batch with the worker's own panic
     // message, not hang or return partial results silently.

@@ -171,6 +171,19 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
         state.map.get(key).cloned()
     }
 
+    /// Drops the cached entry for `key`, returning whether one existed.
+    ///
+    /// The next [`get_or_compute`](Self::get_or_compute) for the key runs
+    /// its compute again (and counts another miss). A concurrent in-flight
+    /// compute for the key is unaffected: its result lands after the
+    /// removal, exactly as if the removal had happened first. This exists
+    /// for the chaos-injection layer, which drops entries to prove the
+    /// exactly-once machinery recomputes identical values.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut state = self.shard(key).state.lock().expect("cache shard lock");
+        state.map.remove(key).is_some()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.shards
@@ -207,6 +220,17 @@ mod tests {
         assert_eq!(cache.shards.len(), 4);
         let cache: EvalCache<u64, u64> = EvalCache::with_shards(0);
         assert_eq!(cache.shards.len(), 1);
+    }
+
+    #[test]
+    fn remove_forces_a_recompute() {
+        let cache: EvalCache<u64, u64> = EvalCache::new();
+        assert_eq!(cache.get_or_compute(5, || 50), 50);
+        assert!(cache.remove(&5));
+        assert!(!cache.remove(&5));
+        assert_eq!(cache.get(&5), None);
+        assert_eq!(cache.get_or_compute(5, || 50), 50);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
     }
 
     #[test]

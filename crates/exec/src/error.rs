@@ -3,6 +3,39 @@
 use std::any::Any;
 use std::fmt;
 
+/// How a failed evaluation should be treated by supervision.
+///
+/// The classification drives the retry decision in
+/// [`Supervisor::run`](crate::Supervisor::run) and nothing else: two
+/// errors with the same message but different kinds produce the same
+/// cached value, printed diagnostics and exit codes — they only differ in
+/// whether a bounded retry is worth attempting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ErrorKind {
+    /// The failure is not expected to repeat on an identical retry
+    /// (injected chaos, a lost worker). Eligible for bounded retries.
+    Transient,
+    /// The failure is deterministic: retrying the same inputs would fail
+    /// the same way (a panic in the evaluator, an invalid design point).
+    /// Never retried.
+    #[default]
+    Permanent,
+    /// A *logical* deadline tripped — the evaluation exceeded its
+    /// DES-event or simplex-pivot budget. Deterministic by construction
+    /// (budgets count events, never wall clock), therefore never retried.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+        })
+    }
+}
+
 /// A single evaluation failed (typically: the evaluator panicked).
 ///
 /// The hardened execution paths degrade a panicking task to one of these
@@ -10,21 +43,47 @@ use std::fmt;
 /// is reported broken, every other point completes, and — because a
 /// failed compute is cached like a successful one — racing threads agree
 /// on the failure without recomputing it.
+///
+/// Every error carries an [`ErrorKind`] so the supervision layer can tell
+/// a retriable hiccup from a deterministic failure. The plain
+/// constructors ([`new`](Self::new), [`from_panic`](Self::from_panic))
+/// produce [`ErrorKind::Permanent`], matching the pre-supervision
+/// behaviour where no failure was ever retried.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EvalError {
     message: String,
+    kind: ErrorKind,
 }
 
 impl EvalError {
-    /// An error with the given message.
+    /// A permanent error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            kind: ErrorKind::Permanent,
+        }
+    }
+
+    /// A transient error: eligible for bounded, deterministic retries.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            kind: ErrorKind::Transient,
+        }
+    }
+
+    /// A logical-deadline trip ([`ErrorKind::DeadlineExceeded`]).
+    pub fn deadline(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            kind: ErrorKind::DeadlineExceeded,
         }
     }
 
     /// Converts a caught panic payload into a typed error, preserving
-    /// `panic!`/`assert!` messages where they are recoverable.
+    /// `panic!`/`assert!` messages where they are recoverable. Panics are
+    /// classified permanent: the evaluator is deterministic, so the same
+    /// inputs would panic again.
     pub fn from_panic(payload: &(dyn Any + Send)) -> Self {
         let message = if let Some(s) = payload.downcast_ref::<String>() {
             s.clone()
@@ -39,6 +98,17 @@ impl EvalError {
     /// The human-readable failure description.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The supervision classification of this failure.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// True for failures a bounded retry may clear
+    /// ([`ErrorKind::Transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Transient
     }
 }
 
@@ -59,9 +129,33 @@ mod tests {
         let payload = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
         let err = EvalError::from_panic(payload.as_ref());
         assert_eq!(err.message(), "evaluation panicked: boom 7");
+        assert_eq!(err.kind(), ErrorKind::Permanent);
 
         let payload = std::panic::catch_unwind(|| panic!("static")).unwrap_err();
         let err = EvalError::from_panic(payload.as_ref());
         assert!(err.to_string().contains("static"));
+    }
+
+    #[test]
+    fn constructors_classify() {
+        assert_eq!(EvalError::new("x").kind(), ErrorKind::Permanent);
+        assert!(!EvalError::new("x").is_transient());
+        assert_eq!(EvalError::transient("x").kind(), ErrorKind::Transient);
+        assert!(EvalError::transient("x").is_transient());
+        assert_eq!(EvalError::deadline("x").kind(), ErrorKind::DeadlineExceeded);
+        assert!(!EvalError::deadline("x").is_transient());
+    }
+
+    #[test]
+    fn display_is_the_message_alone() {
+        // stdout stability: the kind never leaks into printed diagnostics.
+        assert_eq!(EvalError::transient("flaky link").to_string(), "flaky link");
+        assert_eq!(ErrorKind::DeadlineExceeded.to_string(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn kind_participates_in_equality() {
+        assert_ne!(EvalError::new("x"), EvalError::transient("x"));
+        assert_eq!(EvalError::transient("x"), EvalError::transient("x"));
     }
 }

@@ -16,7 +16,12 @@
 //!   independent of the thread count;
 //! * [`CancelToken`] — cooperative cancellation, checked between tasks so
 //!   a search can stop in-flight batches as soon as it knows their result
-//!   can no longer matter.
+//!   can no longer matter;
+//! * [`Supervisor`] — deterministic retry supervision over a transient /
+//!   permanent / deadline [`ErrorKind`] taxonomy, with an optional
+//!   [`ChaosPolicy`] that injects worker panics, spurious transient
+//!   errors and cache-entry drops keyed by `(fingerprint, attempt)` so
+//!   the recovery machinery itself is testable and reproducible.
 //!
 //! # Determinism contract
 //!
@@ -36,11 +41,13 @@ mod cache;
 mod cancel;
 mod error;
 mod pool;
+mod supervise;
 
 pub use cache::EvalCache;
 pub use cancel::CancelToken;
-pub use error::EvalError;
+pub use error::{ErrorKind, EvalError};
 pub use pool::{PoolStats, ThreadPool};
+pub use supervise::{ChaosPolicy, RetryPolicy, SupervisionReport, Supervisor};
 
 /// The default worker-thread count: the `HI_EXEC_THREADS` environment
 /// variable if set to a positive integer, otherwise

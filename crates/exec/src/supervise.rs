@@ -1,0 +1,479 @@
+//! Deterministic supervision: bounded retries and chaos injection.
+//!
+//! The pool and cache make a batch *survive* a failing task; this module
+//! decides what to do about the failure. A [`Supervisor`] drives one
+//! evaluation through up to [`RetryPolicy::max_attempts`] attempts,
+//! retrying only failures classified [`ErrorKind::Transient`] — panics
+//! and logical-deadline trips are deterministic, so retrying them would
+//! only burn budget reproducing the same failure.
+//!
+//! Everything here is deterministic by construction. Retry decisions
+//! depend only on the error's kind and the attempt counter; chaos
+//! decisions hash `(fingerprint, attempt)` with a fixed seed, so the same
+//! evaluation misbehaves identically at every thread count and on every
+//! rerun ("seed-mixed per attempt"). No wall clocks, no global state.
+//!
+//! [`ChaosPolicy`] is the fault-injection mirror of the fault *suites*
+//! that stress the simulated body network: instead of breaking links, it
+//! breaks the machinery that runs the search — injected worker panics,
+//! spurious transient errors, and cache-entry drops — to prove the
+//! supervision layer actually recovers. It is a test instrument; release
+//! runs with chaos enabled are flagged by lint rule HL039.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::{ErrorKind, EvalError};
+
+/// How many times one evaluation may be attempted, and which failures
+/// qualify for another attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Total attempts per evaluation, including the first (so `1` means
+    /// "never retry"). `0` is a misconfiguration — lint rule HL038 flags
+    /// it — and is treated as `1` at run time rather than evaluating
+    /// nothing.
+    pub max_attempts: u32,
+    /// Also retry [`ErrorKind::Permanent`] failures. Deterministic
+    /// evaluators fail permanently the same way every time, so this only
+    /// wastes attempts; it exists as an explicit misconfiguration knob
+    /// for HL038 and for tests. Deadline trips are never retried.
+    pub retry_permanent: bool,
+}
+
+impl RetryPolicy {
+    /// Retry transients up to `max_attempts` total attempts.
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            retry_permanent: false,
+        }
+    }
+
+    /// The effective attempt bound (the `0` misconfiguration clamps to 1).
+    pub fn attempt_bound(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, transients only — enough to ride out injected
+    /// chaos without masking real failures.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+/// Deterministic fault injection for the execution engine itself.
+///
+/// Each knob is a 1-in-N odds (`0` disables the knob). Whether a given
+/// `(fingerprint, attempt)` pair is hit is decided by a splitmix64 hash
+/// of the pair, the policy seed and a per-knob salt — never by timing or
+/// thread identity — so a chaos run is exactly reproducible and
+/// thread-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChaosPolicy {
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// 1-in-N odds that an attempt *panics* (a real unwinding `panic!`,
+    /// caught and degraded like any worker panic). `0` = never.
+    pub panic_in: u32,
+    /// 1-in-N odds that an attempt fails with a spurious
+    /// [`ErrorKind::Transient`] error before the evaluator runs. `0` =
+    /// never.
+    pub transient_in: u32,
+    /// 1-in-N odds that, after a *successful* attempt, the cached result
+    /// is dropped again so a later lookup must recompute it. `0` = never.
+    pub drop_in: u32,
+}
+
+/// Per-knob salts keep the three decision streams independent: a point
+/// unlucky with panics is not automatically unlucky with drops.
+const SALT_PANIC: u64 = 0x0070_616e_6963; // "panic"
+const SALT_TRANSIENT: u64 = 0x0074_7261_6e73; // "trans"
+const SALT_DROP: u64 = 0x6472_6f70; // "drop"
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ChaosPolicy {
+    /// Parses a `--chaos` spec string.
+    ///
+    /// Grammar: `field ("," field)*` where `field` is one of
+    /// `seed=<u64>`, `panic=<N>`, `transient=<N>`, `drop=<N>`; the three
+    /// odds are 1-in-N (`0` disables). Unset fields default to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field for empty specs,
+    /// unknown keys, missing `=`, or unparsable values.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec.trim().is_empty() {
+            return Err("empty chaos spec (expected e.g. `seed=1,transient=4`)".into());
+        }
+        let mut policy = ChaosPolicy::default();
+        for field in spec.split(',') {
+            let field = field.trim();
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("chaos field `{field}` is missing `=<value>`"))?;
+            let parse_u32 = |v: &str| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("chaos field `{key}` has invalid value `{v}`"))
+            };
+            match key.trim() {
+                "seed" => {
+                    policy.seed = value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("chaos field `seed` has invalid value `{value}`"))?;
+                }
+                "panic" => policy.panic_in = parse_u32(value.trim())?,
+                "transient" => policy.transient_in = parse_u32(value.trim())?,
+                "drop" => policy.drop_in = parse_u32(value.trim())?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos field `{other}` (expected seed/panic/transient/drop)"
+                    ))
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// True when every injection knob is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.panic_in == 0 && self.transient_in == 0 && self.drop_in == 0
+    }
+
+    fn roll(&self, salt: u64, fingerprint: u64, attempt: u32, one_in: u32) -> bool {
+        if one_in == 0 {
+            return false;
+        }
+        let h = mix(mix(self.seed ^ salt) ^ fingerprint ^ (u64::from(attempt) << 48));
+        h.is_multiple_of(u64::from(one_in))
+    }
+
+    /// Whether this `(fingerprint, attempt)` pair panics.
+    pub fn injects_panic(&self, fingerprint: u64, attempt: u32) -> bool {
+        self.roll(SALT_PANIC, fingerprint, attempt, self.panic_in)
+    }
+
+    /// Whether this pair fails with a spurious transient error.
+    pub fn injects_transient(&self, fingerprint: u64, attempt: u32) -> bool {
+        self.roll(SALT_TRANSIENT, fingerprint, attempt, self.transient_in)
+    }
+
+    /// Whether the cached result of a success at this pair is dropped.
+    pub fn drops_entry(&self, fingerprint: u64, attempt: u32) -> bool {
+        self.roll(SALT_DROP, fingerprint, attempt, self.drop_in)
+    }
+}
+
+/// What one supervised evaluation went through, for observability
+/// counters (`exec.retry`, `exec.chaos`) and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SupervisionReport {
+    /// Attempts consumed (at least 1).
+    pub attempts: u32,
+    /// Retries performed (`attempts - 1`).
+    pub retries: u32,
+    /// Chaos-injected panics among those attempts.
+    pub chaos_panics: u32,
+    /// Chaos-injected spurious transient failures among those attempts.
+    pub chaos_transients: u32,
+    /// Chaos asked the caller to drop the cached entry after success.
+    pub drop_requested: bool,
+}
+
+impl SupervisionReport {
+    /// Total chaos injections recorded in this report (the drop request
+    /// counts once when present).
+    pub fn chaos_events(&self) -> u32 {
+        self.chaos_panics + self.chaos_transients + u32::from(self.drop_requested)
+    }
+}
+
+/// Drives one evaluation through bounded, deterministic attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Supervisor {
+    /// The retry budget and classification policy.
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injection.
+    pub chaos: Option<ChaosPolicy>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policies.
+    pub fn new(retry: RetryPolicy, chaos: Option<ChaosPolicy>) -> Self {
+        Self { retry, chaos }
+    }
+
+    /// Runs `attempt_fn` until it succeeds, fails unretriably, or the
+    /// attempt bound is exhausted. The closure receives the attempt index
+    /// (0-based) so callers can mix it into per-attempt seeds.
+    ///
+    /// Panics inside `attempt_fn` are caught and degraded to permanent
+    /// [`EvalError`]s, exactly like the pool's catching paths. Chaos (if
+    /// any) may replace an attempt with an injected panic or transient
+    /// failure *before* `attempt_fn` runs, and may request a cache drop
+    /// after a success; all decisions are keyed by `(fingerprint,
+    /// attempt)` only.
+    pub fn run<V>(
+        &self,
+        fingerprint: u64,
+        mut attempt_fn: impl FnMut(u32) -> Result<V, EvalError>,
+    ) -> (Result<V, EvalError>, SupervisionReport) {
+        let bound = self.retry.attempt_bound();
+        let mut report = SupervisionReport::default();
+        let mut last_err: Option<EvalError> = None;
+        for attempt in 0..bound {
+            report.attempts = attempt + 1;
+            if attempt > 0 {
+                report.retries += 1;
+            }
+            let chaos_hit = self.chaos.as_ref().and_then(|chaos| {
+                if chaos.injects_panic(fingerprint, attempt) {
+                    report.chaos_panics += 1;
+                    // A real unwinding panic, so the recovery path under
+                    // test is the one production panics take.
+                    let payload = catch_unwind(|| -> () {
+                        panic!("chaos: injected worker panic (attempt {attempt})")
+                    })
+                    .expect_err("the injected panic always unwinds");
+                    let degraded = EvalError::from_panic(payload.as_ref());
+                    Some(EvalError::transient(degraded.message().to_owned()))
+                } else if chaos.injects_transient(fingerprint, attempt) {
+                    report.chaos_transients += 1;
+                    Some(EvalError::transient(format!(
+                        "chaos: injected transient failure (attempt {attempt})"
+                    )))
+                } else {
+                    None
+                }
+            });
+            let result = match chaos_hit {
+                Some(err) => Err(err),
+                None => catch_unwind(AssertUnwindSafe(|| attempt_fn(attempt)))
+                    .unwrap_or_else(|payload| Err(EvalError::from_panic(payload.as_ref()))),
+            };
+            match result {
+                Ok(value) => {
+                    if let Some(chaos) = &self.chaos {
+                        report.drop_requested = chaos.drops_entry(fingerprint, attempt);
+                    }
+                    return (Ok(value), report);
+                }
+                Err(err) => {
+                    let retriable = match err.kind() {
+                        ErrorKind::Transient => true,
+                        ErrorKind::Permanent => self.retry.retry_permanent,
+                        // Deadlines are logical budgets: identical on
+                        // retry, so never worth another attempt.
+                        ErrorKind::DeadlineExceeded => false,
+                    };
+                    last_err = Some(err);
+                    if !retriable {
+                        break;
+                    }
+                }
+            }
+        }
+        (
+            Err(last_err.expect("the attempt loop ran at least once")),
+            report,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_full_and_partial_specs() {
+        let policy = ChaosPolicy::parse("seed=7,panic=13,transient=3,drop=8").unwrap();
+        assert_eq!(
+            policy,
+            ChaosPolicy {
+                seed: 7,
+                panic_in: 13,
+                transient_in: 3,
+                drop_in: 8
+            }
+        );
+        let policy = ChaosPolicy::parse(" transient=2 ").unwrap();
+        assert_eq!(policy.transient_in, 2);
+        assert_eq!(policy.seed, 0);
+        assert!(!policy.is_noop());
+        assert!(ChaosPolicy::parse("seed=9").unwrap().is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "", "  ", "panic", "panic=x", "seed=-1", "mayhem=3", "panic=3,",
+        ] {
+            let err = ChaosPolicy::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "no message for `{bad}`");
+        }
+        assert!(ChaosPolicy::parse("boom=1").unwrap_err().contains("boom"));
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_respect_odds() {
+        let policy = ChaosPolicy::parse("seed=42,panic=1,transient=0,drop=4").unwrap();
+        // 1-in-1 always fires; 1-in-0 never does.
+        for fp in 0..64u64 {
+            assert!(policy.injects_panic(fp, 0));
+            assert!(!policy.injects_transient(fp, 0));
+        }
+        // Decisions are pure functions of (fingerprint, attempt).
+        for fp in 0..64u64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    policy.drops_entry(fp, attempt),
+                    policy.drops_entry(fp, attempt)
+                );
+            }
+        }
+        // 1-in-4 fires sometimes, not always.
+        let fired = (0..256u64).filter(|&fp| policy.drops_entry(fp, 0)).count();
+        assert!(fired > 0 && fired < 256, "1-in-4 odds fired {fired}/256");
+        // The streams are independent: a different salt, a different set.
+        let policy = ChaosPolicy::parse("seed=42,panic=4,transient=4,drop=4").unwrap();
+        let panics: Vec<u64> = (0..256).filter(|&fp| policy.injects_panic(fp, 0)).collect();
+        let drops: Vec<u64> = (0..256).filter(|&fp| policy.drops_entry(fp, 0)).collect();
+        assert_ne!(panics, drops);
+    }
+
+    #[test]
+    fn success_first_try_uses_one_attempt() {
+        let supervisor = Supervisor::default();
+        let (result, report) = supervisor.run(1, |_| Ok::<_, EvalError>(11));
+        assert_eq!(result.unwrap(), 11);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.retries, 0);
+        assert!(!report.drop_requested);
+        assert_eq!(report.chaos_events(), 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_the_bound() {
+        let supervisor = Supervisor::new(RetryPolicy::new(3), None);
+        let mut calls = 0u32;
+        let (result, report) = supervisor.run(1, |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls - 1, "attempt index tracks the loop");
+            Err::<u32, _>(EvalError::transient("flaky"))
+        });
+        assert!(result.unwrap_err().is_transient());
+        assert_eq!((calls, report.attempts, report.retries), (3, 3, 2));
+
+        // Success on a later attempt stops retrying.
+        let mut calls = 0u32;
+        let (result, report) = supervisor.run(1, |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(EvalError::transient("flaky"))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(result.unwrap(), 99);
+        assert_eq!((calls, report.retries), (3, 2));
+    }
+
+    #[test]
+    fn permanent_and_deadline_failures_are_not_retried() {
+        let supervisor = Supervisor::new(RetryPolicy::new(5), None);
+        let mut calls = 0u32;
+        let (result, _) = supervisor.run(1, |_| {
+            calls += 1;
+            Err::<u32, _>(EvalError::new("broken point"))
+        });
+        assert_eq!(result.unwrap_err().kind(), ErrorKind::Permanent);
+        assert_eq!(calls, 1);
+
+        // Even the retry_permanent misconfiguration never retries
+        // deadline trips: the budget is logical, the trip deterministic.
+        let supervisor = Supervisor::new(
+            RetryPolicy {
+                max_attempts: 5,
+                retry_permanent: true,
+            },
+            None,
+        );
+        let mut calls = 0u32;
+        let (result, _) = supervisor.run(1, |_| {
+            calls += 1;
+            Err::<u32, _>(EvalError::deadline("event budget exceeded"))
+        });
+        assert_eq!(result.unwrap_err().kind(), ErrorKind::DeadlineExceeded);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn panics_in_the_attempt_are_degraded_not_propagated() {
+        let supervisor = Supervisor::default();
+        let (result, report) = supervisor.run(1, |_| -> Result<u32, EvalError> {
+            panic!("evaluator bug");
+        });
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Permanent);
+        assert!(err.message().contains("evaluator bug"));
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn zero_attempts_misconfiguration_still_evaluates_once() {
+        let supervisor = Supervisor::new(RetryPolicy::new(0), None);
+        let (result, report) = supervisor.run(1, |_| Ok::<_, EvalError>(5));
+        assert_eq!(result.unwrap(), 5);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn chaos_injections_are_reported_and_retried() {
+        // 1-in-1 transient odds: every attempt fails injected, so the
+        // whole budget is consumed and the final error is transient.
+        let chaos = ChaosPolicy::parse("seed=1,transient=1").unwrap();
+        let supervisor = Supervisor::new(RetryPolicy::new(3), Some(chaos));
+        let mut calls = 0u32;
+        let (result, report) = supervisor.run(77, |_| {
+            calls += 1;
+            Ok::<_, EvalError>(1)
+        });
+        let err = result.unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.message().contains("chaos"));
+        assert_eq!(calls, 0, "the evaluator never ran");
+        assert_eq!(report.chaos_transients, 3);
+        assert_eq!(report.attempts, 3);
+
+        // Injected panics unwind for real and are degraded to transient.
+        let chaos = ChaosPolicy::parse("seed=1,panic=1").unwrap();
+        let supervisor = Supervisor::new(RetryPolicy::new(2), Some(chaos));
+        let (result, report) = supervisor.run(77, |_| Ok::<_, EvalError>(1));
+        let err = result.unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.message().contains("injected worker panic"));
+        assert_eq!(report.chaos_panics, 2);
+    }
+
+    #[test]
+    fn chaos_runs_are_reproducible_per_fingerprint() {
+        let chaos = ChaosPolicy::parse("seed=9,panic=3,transient=3,drop=2").unwrap();
+        let supervisor = Supervisor::new(RetryPolicy::new(4), Some(chaos));
+        for fp in 0..32u64 {
+            let (r1, report1) = supervisor.run(fp, |_| Ok::<_, EvalError>(fp));
+            let (r2, report2) = supervisor.run(fp, |_| Ok::<_, EvalError>(fp));
+            assert_eq!(r1.is_ok(), r2.is_ok(), "fingerprint {fp}");
+            assert_eq!(report1, report2, "fingerprint {fp}");
+        }
+    }
+}

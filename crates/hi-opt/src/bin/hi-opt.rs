@@ -14,20 +14,21 @@
 //! ([`CliError`]) and map to distinct exit codes so scripts can tell a
 //! typo (2) from an unreadable file (3) from a malformed spec (4).
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use hi_opt::channel::{BodyLocation, ChannelParams};
 use hi_opt::cli::{stop_notice, TraceFormat, TraceSession};
 use hi_opt::des::SimDuration;
-use hi_opt::lint::{lint_faults, FaultEntity, FaultWindowSpec};
+use hi_opt::lint::lint_faults;
 use hi_opt::net::{
-    average_outcomes, simulate_stochastic, BatteryDepletion, FaultScenario, InterferenceBurst,
-    LinkBlackout, MacKind, NetworkConfig, Routing, SiteOutage, TxPower, Window,
+    average_outcomes, simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower,
 };
 use hi_opt::{
-    explore_par_from, explore_tradeoff_par, DesignSpace, ExecContext, ExplorationOutcome,
-    ExploreCheckpoint, ExploreError, ExploreOptions, FaultSuite, MilpEncoding, Problem,
-    RobustEvaluator, RobustMode, SimProtocol, TopologyConstraints,
+    explore_par_observed, explore_tradeoff_par, parse_fault_suite, supervision_spec, ChaosPolicy,
+    CheckpointLoadError, DesignSpace, ExecContext, ExplorationOutcome, ExploreCheckpoint,
+    ExploreError, ExploreOptions, FaultSuite, MilpEncoding, Problem, RetryPolicy, RobustEvaluator,
+    RobustMode, SimProtocol, SuiteParseError, SupervisedEvaluator, Supervisor, TopologyConstraints,
 };
 
 const USAGE: &str = "\
@@ -36,7 +37,9 @@ hi-opt — optimized design of a Human Intranet network (DAC 2017)
 USAGE:
     hi-opt explore  --pdr-min <0..1> [--tsim <secs>] [--runs <n>] [--seed <n>]
                     [--threads <n>] [--faults <file> [--robust <mode>]]
-                    [--budget <sims>] [--checkpoint <file> [--resume]]
+                    [--budget <sims>] [--retries <n>] [--max-events <n>]
+                    [--chaos <spec>]
+                    [--checkpoint <file> [--resume] [--checkpoint-every <k>]]
     hi-opt tradeoff [--floors <p1,p2,...>] [--tsim <secs>] [--runs <n>] [--seed <n>]
                     [--threads <n>]
     hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
@@ -55,8 +58,9 @@ COMMANDS:
     space      describe the design space and its constraints
     lint       statically analyze the paper scenario: configuration space,
                MILP encoding, the full Algorithm-1 cut ladder, a sample
-               event schedule and the workspace metric catalog (HL037);
-               exits 1 on error-severity findings
+               event schedule, the workspace metric catalog (HL037) and
+               the execution supervision policy (HL038/HL039); exits 1 on
+               error-severity findings
 
 EXPLORE OPTIONS:
     --faults <file>      score every candidate across a fault-scenario
@@ -67,10 +71,25 @@ EXPLORE OPTIONS:
                          (e.g. q25: the 25th-percentile scenario)
     --budget <sims>      stop after ~<sims> unique simulations and report
                          the best design found so far
+    --retries <n>        attempts per evaluation (default 3); transient
+                         failures are retried deterministically, permanent
+                         failures and deadline trips are not
+    --max-events <n>     logical deadline: fail any evaluation whose
+                         replication dispatches more than <n> DES events
+                         (a pure function of the seed — never wall clock)
+    --chaos <spec>       inject deterministic engine faults, e.g.
+                         `seed=1,panic=13,transient=3,drop=8` (1-in-N odds
+                         keyed by (point, attempt)); a debug/test
+                         instrument — lint rule HL039 warns elsewhere
     --checkpoint <file>  write the exploration state to <file> on exit
-    --resume             load --checkpoint <file> first and continue; the
-                         resumed run is bit-identical to an uninterrupted
-                         one
+                         (crash-safely: staged, fsynced, renamed; the
+                         previous state rotates to <file>.prev)
+    --checkpoint-every <k>  also auto-checkpoint every <k> iterations, so
+                         a crashed run loses at most <k> levels
+    --resume             load --checkpoint <file> first and continue,
+                         falling back to <file>.prev if the file is torn;
+                         the resumed run is bit-identical to an
+                         uninterrupted one
 
 OBSERVABILITY OPTIONS (explore, tradeoff, simulate):
     --trace <file>        record a structured event trace (every engine:
@@ -304,175 +323,18 @@ fn robust_name(mode: RobustMode) -> String {
     }
 }
 
+/// Loads a resume checkpoint, falling back to the `.prev` rotation when
+/// the primary file is torn or corrupt. The fallback diagnostic goes to
+/// stderr so resumed stdout stays byte-identical.
 fn load_checkpoint(path: &str) -> Result<ExploreCheckpoint, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("cannot read checkpoint `{path}`: {e}")))?;
-    ExploreCheckpoint::from_text(&text).map_err(|e| CliError::Spec(format!("{path}: {e}")))
-}
-
-/// One field off a suite line, or a message naming what was missing.
-fn field<'a>(fields: &mut std::str::SplitWhitespace<'a>, what: &str) -> Result<&'a str, String> {
-    fields.next().ok_or_else(|| format!("missing {what}"))
-}
-
-fn site_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<usize, String> {
-    let v = field(fields, what)?;
-    let site: usize = v
-        .parse()
-        .map_err(|_| format!("bad {what} `{v}` (expected a site index)"))?;
-    if site >= BodyLocation::COUNT {
-        return Err(format!(
-            "{what} {site} is out of range (sites are 0..={})",
-            BodyLocation::COUNT - 1
-        ));
+    let recovery = hi_opt::load_recovering(Path::new(path)).map_err(|e| match e {
+        CheckpointLoadError::Io(msg) => CliError::Io(msg),
+        CheckpointLoadError::Spec(msg) => CliError::Spec(msg),
+    })?;
+    if let Some(diagnostic) = recovery.fallback {
+        eprintln!("checkpoint: {diagnostic}");
     }
-    Ok(site)
-}
-
-fn secs_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
-    let v = field(fields, what)?;
-    let x: f64 = v.parse().map_err(|_| format!("bad {what} `{v}`"))?;
-    if !x.is_finite() || x < 0.0 {
-        return Err(format!("{what} must be finite and non-negative"));
-    }
-    Ok(x)
-}
-
-fn until_field(fields: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
-    let v = field(fields, what)?;
-    if v == "inf" {
-        return Ok(f64::INFINITY);
-    }
-    let x: f64 = v
-        .parse()
-        .map_err(|_| format!("bad {what} `{v}` (expected seconds or `inf`)"))?;
-    // An inverted window (until < from) is representable on purpose: the
-    // lint pass explains it (HL033) instead of the parser rejecting it.
-    if x.is_nan() || x < 0.0 {
-        return Err(format!("{what} must be non-negative (or `inf`)"));
-    }
-    Ok(x)
-}
-
-fn parse_suite_line(
-    line: &str,
-    scenarios: &mut Vec<FaultScenario>,
-    windows: &mut Vec<FaultWindowSpec>,
-) -> Result<(), String> {
-    let mut fields = line.split_whitespace();
-    let Some(keyword) = fields.next() else {
-        return Ok(());
-    };
-    if keyword == "scenario" {
-        let name = line[keyword.len()..].trim();
-        if name.is_empty() {
-            return Err("`scenario` needs a name".into());
-        }
-        scenarios.push(FaultScenario::named(name));
-        return Ok(());
-    }
-    let Some(scenario) = scenarios.last_mut() else {
-        return Err(format!("`{keyword}` entry before any `scenario` line"));
-    };
-    let name = scenario.name.clone();
-    match keyword {
-        "outage" => {
-            let site = site_field(&mut fields, "outage site")?;
-            let from_s = secs_field(&mut fields, "outage start")?;
-            let until_s = until_field(&mut fields, "outage end")?;
-            scenario.outages.push(SiteOutage {
-                site,
-                window: Window::from_secs(from_s, until_s),
-            });
-            windows.push(FaultWindowSpec {
-                label: format!("{name}/outage"),
-                entity: FaultEntity::Node(site),
-                from_s,
-                until_s,
-            });
-        }
-        "blackout" => {
-            let site_a = site_field(&mut fields, "blackout site")?;
-            let site_b = site_field(&mut fields, "blackout site")?;
-            let from_s = secs_field(&mut fields, "blackout start")?;
-            let until_s = until_field(&mut fields, "blackout end")?;
-            scenario.blackouts.push(LinkBlackout {
-                site_a,
-                site_b,
-                window: Window::from_secs(from_s, until_s),
-            });
-            windows.push(FaultWindowSpec {
-                label: format!("{name}/blackout"),
-                entity: FaultEntity::Link(site_a, site_b),
-                from_s,
-                until_s,
-            });
-        }
-        "deplete" => {
-            let site = site_field(&mut fields, "depletion site")?;
-            let at_s = secs_field(&mut fields, "depletion time")?;
-            scenario.depletions.push(BatteryDepletion {
-                site,
-                at: SimDuration::from_secs(at_s),
-            });
-            windows.push(FaultWindowSpec {
-                label: format!("{name}/deplete"),
-                entity: FaultEntity::Node(site),
-                from_s: at_s,
-                until_s: f64::INFINITY,
-            });
-        }
-        "interfere" => {
-            let from_s = secs_field(&mut fields, "interference start")?;
-            let until_s = until_field(&mut fields, "interference end")?;
-            let extra_loss_db = secs_field(&mut fields, "interference loss (dB)")?;
-            scenario.bursts.push(InterferenceBurst {
-                window: Window::from_secs(from_s, until_s),
-                extra_loss_db,
-            });
-            windows.push(FaultWindowSpec {
-                label: format!("{name}/interfere"),
-                entity: FaultEntity::Medium,
-                from_s,
-                until_s,
-            });
-        }
-        other => {
-            return Err(format!(
-                "unknown entry `{other}` (expected scenario, outage, blackout, \
-                 deplete or interfere)"
-            ));
-        }
-    }
-    if let Some(extra) = fields.next() {
-        return Err(format!("trailing field `{extra}`"));
-    }
-    Ok(())
-}
-
-/// Parses a fault-suite file into the scenarios the simulator runs and
-/// the lowered window specs the lint pass checks.
-fn parse_fault_suite(
-    path: &str,
-    text: &str,
-) -> Result<(FaultSuite, Vec<FaultWindowSpec>), CliError> {
-    let mut scenarios: Vec<FaultScenario> = Vec::new();
-    let mut windows: Vec<FaultWindowSpec> = Vec::new();
-    for (index, raw) in text.lines().enumerate() {
-        let line_no = index + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        parse_suite_line(line, &mut scenarios, &mut windows)
-            .map_err(|msg| CliError::Spec(format!("{path}:{line_no}: {msg}")))?;
-    }
-    if scenarios.is_empty() {
-        return Err(CliError::Spec(format!(
-            "fault suite `{path}` declares no scenario"
-        )));
-    }
-    Ok((FaultSuite::new(scenarios), windows))
+    Ok(recovery.checkpoint)
 }
 
 /// Reads, parses and lints a fault-suite file. Lint findings go to
@@ -481,7 +343,14 @@ fn parse_fault_suite(
 fn load_fault_suite(path: &str, t_sim: SimDuration) -> Result<FaultSuite, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read fault suite `{path}`: {e}")))?;
-    let (suite, windows) = parse_fault_suite(path, &text)?;
+    let (suite, windows) = parse_fault_suite(&text).map_err(|e| match e {
+        SuiteParseError::Line { line, message } => {
+            CliError::Spec(format!("{path}:{line}: {message}"))
+        }
+        SuiteParseError::NoScenario => {
+            CliError::Spec(format!("fault suite `{path}` declares no scenario"))
+        }
+    })?;
     // Site 0 (chest) is the hub of every star candidate the exploration
     // proposes, so HL036 warns whenever a scenario takes it down.
     let report = lint_faults(&windows, t_sim.as_secs_f64(), Some(0));
@@ -535,7 +404,11 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let mut robust: Option<RobustMode> = None;
     let mut budget: Option<u64> = None;
     let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: Option<u32> = None;
     let mut resume = false;
+    let mut retries: u32 = 3;
+    let mut max_events: Option<u64> = None;
+    let mut chaos: Option<ChaosPolicy> = None;
     for (k, v) in rest {
         match k.as_str() {
             "--pdr-min" => {
@@ -549,7 +422,29 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
                         .map_err(|_| "bad --budget (expected a simulation count)".to_owned())?,
                 )
             }
+            "--retries" => {
+                retries = v
+                    .parse::<u32>()
+                    .map_err(|_| "bad --retries (expected an attempt count)".to_owned())?
+            }
+            "--max-events" => {
+                max_events = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| "bad --max-events (expected a DES event count)".to_owned())?,
+                )
+            }
+            "--chaos" => {
+                chaos = Some(
+                    ChaosPolicy::parse(&v)
+                        .map_err(|e| CliError::Usage(format!("bad --chaos: {e}")))?,
+                )
+            }
             "--checkpoint" => checkpoint = Some(v),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(v.parse::<u32>().map_err(|_| {
+                    "bad --checkpoint-every (expected an iteration count)".to_owned()
+                })?)
+            }
             "--resume" => resume = true,
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -564,13 +459,52 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if resume && checkpoint.is_none() {
         return Err("--resume needs --checkpoint <file> to resume from".into());
     }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint <file> to write to".into());
+    }
+    // Lint the run's actual supervision policy (HL038/HL039): warnings —
+    // like chaos in a release build — go to stderr and the run proceeds;
+    // error-severity misconfigurations reject the flags before any
+    // simulation spends budget discovering them.
+    let supervisor = Supervisor::new(RetryPolicy::new(retries), chaos);
+    // A --faults run is a robust run even without an explicit --robust
+    // (the aggregation then defaults to worst-case).
+    let report = hi_opt::lint::lint_supervision(&supervision_spec(
+        &supervisor,
+        max_events,
+        faults.is_some(),
+    ));
+    for finding in report.findings() {
+        eprintln!("supervision: {finding}");
+    }
+    if report.has_errors() {
+        return Err(CliError::Usage(format!(
+            "supervision policy has {} error-severity lint finding(s)",
+            report.error_count()
+        )));
+    }
     let prior = match (&checkpoint, resume) {
         (Some(path), true) => Some(load_checkpoint(path)?),
         _ => None,
     };
     let options = ExploreOptions {
         budget,
+        checkpoint_every,
         ..ExploreOptions::default()
+    };
+    // Auto-saves are best-effort: a full disk must not kill a run that
+    // can still finish and print its result. Notices stay on stderr so
+    // checkpointed stdout is byte-identical to a plain run's.
+    let autosave_path = checkpoint.clone();
+    let mut observer = move |cp: &ExploreCheckpoint| {
+        let Some(path) = &autosave_path else { return };
+        match cp.write_atomic(Path::new(path)) {
+            Ok(()) => eprintln!(
+                "checkpoint: auto-saved {} iteration(s), {} simulation(s) to `{path}`",
+                cp.iterations, cp.simulations
+            ),
+            Err(e) => eprintln!("checkpoint: auto-save to `{path}` failed: {e}"),
+        }
     };
     let problem = Problem::paper_default(pdr_min);
     let session = common.trace_session();
@@ -586,19 +520,35 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
                 suite.len(),
                 robust_name(mode)
             );
-            let evaluator = RobustEvaluator::new(common.protocol(), suite, mode);
-            let outcome = explore_par_from(&problem, &evaluator, options, &exec, prior.as_ref())
-                .map_err(explore_err)?;
+            let evaluator = SupervisedEvaluator::new(
+                RobustEvaluator::new(common.protocol().with_max_events(max_events), suite, mode),
+                supervisor,
+            );
+            let outcome = explore_par_observed(
+                &problem,
+                &evaluator,
+                options,
+                &exec,
+                prior.as_ref(),
+                &mut observer,
+            )
+            .map_err(explore_err)?;
             print_best(&outcome, pdr_min);
             if let Some((point, _)) = &outcome.best {
                 // Cached from the exploration: reprinting the scorecard
                 // costs no extra simulations.
-                let card = evaluator.try_robust_eval(point).map_err(|e| {
+                let card = evaluator.inner().try_robust_eval(point).map_err(|e| {
                     CliError::Spec(format!("robust evaluation of the optimum failed: {e}"))
                 })?;
                 let mut worst_name = "nominal";
                 let mut worst_pdr = card.nominal.pdr;
-                for (sc, ev) in evaluator.suite().scenarios.iter().zip(&card.scenarios) {
+                for (sc, ev) in evaluator
+                    .inner()
+                    .suite()
+                    .scenarios
+                    .iter()
+                    .zip(&card.scenarios)
+                {
                     if ev.pdr < worst_pdr {
                         worst_pdr = ev.pdr;
                         worst_name = &sc.name;
@@ -608,16 +558,38 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
                 println!("worst PDR      : {:.2}% ({worst_name})", worst_pdr * 100.0);
                 println!("median PDR     : {:.2}%", card.quantile(0.5).pdr * 100.0);
             }
-            (outcome, (evaluator.cache_hits(), evaluator.cache_misses()))
+            (
+                outcome,
+                (
+                    evaluator.inner().cache_hits(),
+                    evaluator.inner().cache_misses(),
+                ),
+            )
         }
         None => {
-            let evaluator = common.protocol().shared_evaluator();
-            let outcome = explore_par_from(&problem, &evaluator, options, &exec, prior.as_ref())
-                .map_err(explore_err)?;
+            let evaluator = SupervisedEvaluator::new(
+                common
+                    .protocol()
+                    .with_max_events(max_events)
+                    .shared_evaluator(),
+                supervisor,
+            );
+            let outcome = explore_par_observed(
+                &problem,
+                &evaluator,
+                options,
+                &exec,
+                prior.as_ref(),
+                &mut observer,
+            )
+            .map_err(explore_err)?;
             print_best(&outcome, pdr_min);
             (
                 outcome,
-                (evaluator.cache_hits(), evaluator.unique_evaluations()),
+                (
+                    evaluator.inner().cache_hits(),
+                    evaluator.inner().unique_evaluations(),
+                ),
             )
         }
     };
@@ -633,7 +605,7 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     );
     if let Some(path) = &checkpoint {
         let cp = ExploreCheckpoint::from_outcome(pdr_min, options.alpha_correction, &outcome);
-        std::fs::write(path, cp.to_text())
+        cp.write_atomic(Path::new(path))
             .map_err(|e| CliError::Io(format!("cannot write checkpoint `{path}`: {e}")))?;
         // Stderr, so a resumed run's stdout stays byte-identical to an
         // uninterrupted one.
@@ -943,6 +915,13 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
         .collect();
     let report = hi_opt::lint::lint_metrics(&defs);
     print_lint_section(&format!("metric catalog ({} metrics)", defs.len()), &report);
+    total.merge(report);
+
+    // 6. The execution supervision policy `hi-opt explore` runs under by
+    //    default (HL038/HL039): retry bounds, deadline floor, no chaos.
+    let report =
+        hi_opt::lint::lint_supervision(&supervision_spec(&Supervisor::default(), None, false));
+    print_lint_section("supervision policy (explore defaults)", &report);
     total.merge(report);
 
     println!();

@@ -53,11 +53,13 @@ pub mod cli;
 
 pub use hi_core::{
     exhaustive_search, exhaustive_search_par, explore, explore_par, explore_par_from,
-    explore_tradeoff, explore_tradeoff_par, explore_with_options, simulated_annealing,
-    simulated_annealing_restarts, AppProfile, CancelToken, DesignPoint, DesignSpace, EvalError,
+    explore_par_observed, explore_tradeoff, explore_tradeoff_par, explore_with_options,
+    load_checkpoint_file, load_recovering, parse_fault_suite, simulated_annealing,
+    simulated_annealing_restarts, supervision_spec, warmup_events_floor, AppProfile, CancelToken,
+    ChaosPolicy, CheckpointLoadError, CheckpointRecovery, DesignPoint, DesignSpace, EvalError,
     Evaluation, Evaluator, ExecContext, ExhaustiveOutcome, ExplorationOutcome, ExploreCheckpoint,
     ExploreError, ExploreOptions, FaultSuite, FnEvaluator, MacChoice, MilpEncoding, Placement,
-    PointEvaluator, Problem, RobustEvaluation, RobustEvaluator, RobustMode, RouteChoice, SaOutcome,
-    SaParams, SharedSimEvaluator, SimEvaluator, SimProtocol, StopReason, TopologyConstraints,
-    TradeoffPoint,
+    PointEvaluator, Problem, RetryPolicy, RobustEvaluation, RobustEvaluator, RobustMode,
+    RouteChoice, SaOutcome, SaParams, SharedSimEvaluator, SimEvaluator, SimProtocol, StopReason,
+    SuiteParseError, SupervisedEvaluator, Supervisor, TopologyConstraints, TradeoffPoint,
 };

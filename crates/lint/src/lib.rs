@@ -25,6 +25,10 @@
 //!   scenarios.
 //! * [`lint_metrics`] checks a metrics registry's declaration log for
 //!   duplicate metric names (two subsystems claiming one counter).
+//! * [`lint_supervision`] validates execution-supervision policies:
+//!   retry/deadline misconfigurations that would waste the whole run
+//!   (HL038) and chaos injection left enabled in release or robust runs
+//!   (HL039).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -66,6 +70,7 @@ mod report;
 mod rules;
 mod schedule;
 mod space;
+mod supervision;
 
 pub use cuts::CutTracker;
 pub use faults::{lint_faults, FaultEntity, FaultWindowSpec};
@@ -76,3 +81,4 @@ pub use report::{Finding, Report, RuleId, Severity, Span};
 pub use rules::analyze;
 pub use schedule::lint_schedule;
 pub use space::{lint_space, SpaceDim};
+pub use supervision::{lint_supervision, SupervisionSpec};

@@ -90,6 +90,13 @@ pub enum RuleId {
     /// registry (typically two subsystems claiming one counter, or one
     /// subsystem registering its catalog twice).
     DuplicateMetric,
+    /// A retry/deadline supervision misconfiguration: zero attempts, an
+    /// event budget below the DES warm-up horizon, or retrying
+    /// permanently-classified failures.
+    RetryMisconfigured,
+    /// A chaos (fault-injection) policy is active in a release build or
+    /// a robust run; chaos is a debug/test instrument.
+    ChaosInRelease,
 }
 
 impl RuleId {
@@ -118,6 +125,8 @@ impl RuleId {
             RuleId::FaultPastHorizon => "HL035",
             RuleId::HubDisabled => "HL036",
             RuleId::DuplicateMetric => "HL037",
+            RuleId::RetryMisconfigured => "HL038",
+            RuleId::ChaosInRelease => "HL039",
         }
     }
 
@@ -131,7 +140,8 @@ impl RuleId {
             | RuleId::NonFiniteTime
             | RuleId::NonMonotoneSchedule
             | RuleId::EmptyDimension
-            | RuleId::InvertedFaultWindow => Severity::Error,
+            | RuleId::InvertedFaultWindow
+            | RuleId::RetryMisconfigured => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -142,7 +152,8 @@ impl RuleId {
             | RuleId::OverlappingFaultWindows
             | RuleId::FaultPastHorizon
             | RuleId::HubDisabled
-            | RuleId::DuplicateMetric => Severity::Warning,
+            | RuleId::DuplicateMetric
+            | RuleId::ChaosInRelease => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -378,6 +389,8 @@ mod tests {
             RuleId::FaultPastHorizon,
             RuleId::HubDisabled,
             RuleId::DuplicateMetric,
+            RuleId::RetryMisconfigured,
+            RuleId::ChaosInRelease,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

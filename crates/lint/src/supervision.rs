@@ -1,0 +1,190 @@
+//! Static validation of execution-supervision policies.
+//!
+//! The supervised execution layer (retries, logical deadlines, chaos
+//! injection) is deliberately permissive at run time: a zero attempt
+//! bound clamps to one, a hopeless event budget simply fails every
+//! evaluation, chaos runs wherever it is enabled. This pass is where
+//! those configurations get *explained* before a run wastes its budget
+//! discovering them:
+//!
+//! * **HL038** — a retry/deadline misconfiguration: an attempt bound of
+//!   zero (the run would evaluate nothing as written), a DES-event budget
+//!   below the warm-up horizon (every replication schedules its initial
+//!   events before delivering any payload, so such a budget trips on
+//!   *every* evaluation), or retrying permanently-classified failures
+//!   (deterministic evaluators fail permanently the same way every time,
+//!   so the retries only multiply the cost of each broken point) — all
+//!   errors;
+//! * **HL039** — a chaos policy present in a release build or a robust
+//!   (`--robust`) run (warning): chaos is a test instrument for the
+//!   engine, and fault-aware scoring under injected engine faults
+//!   conflates the two fault models.
+//!
+//! Like the rest of the crate this module is dependency-free: callers
+//! lower their policy types into a [`SupervisionSpec`].
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// One supervision configuration, lowered to plain numbers for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionSpec {
+    /// Total attempts per evaluation, including the first.
+    pub max_attempts: u32,
+    /// Whether permanently-classified failures are retried.
+    pub retry_permanent: bool,
+    /// The per-replication DES-event budget, if any.
+    pub event_budget: Option<u64>,
+    /// The minimum events a replication dispatches before any payload
+    /// can move (one initial application event per node plus the
+    /// end-of-run event); budgets below this floor trip on every
+    /// evaluation.
+    pub warmup_events: u64,
+    /// Whether a chaos (fault-injection) policy is active.
+    pub chaos_enabled: bool,
+    /// Whether this is a release (optimized) build.
+    pub release_build: bool,
+    /// Whether the run scores candidates against a fault suite
+    /// (`--robust`).
+    pub robust_run: bool,
+}
+
+/// Lints a supervision policy (see the module docs for the rules).
+pub fn lint_supervision(spec: &SupervisionSpec) -> Report {
+    let mut report = Report::new();
+    if spec.max_attempts == 0 {
+        report.push(Finding::new(
+            RuleId::RetryMisconfigured,
+            Span::Model,
+            "retry policy allows 0 attempts — as written the run would \
+             evaluate nothing (the engine clamps to 1)",
+        ));
+    }
+    if spec.retry_permanent {
+        report.push(Finding::new(
+            RuleId::RetryMisconfigured,
+            Span::Model,
+            "retry policy retries permanent failures — deterministic \
+             evaluations fail permanently the same way every time, so the \
+             retries only multiply the cost of each broken point",
+        ));
+    }
+    if let Some(budget) = spec.event_budget {
+        if budget < spec.warmup_events {
+            report.push(Finding::new(
+                RuleId::RetryMisconfigured,
+                Span::Model,
+                format!(
+                    "event budget {budget} is below the DES warm-up horizon \
+                     ({} events) — every evaluation trips the deadline before \
+                     a single packet moves",
+                    spec.warmup_events
+                ),
+            ));
+        }
+    }
+    if spec.chaos_enabled && (spec.release_build || spec.robust_run) {
+        let where_ = match (spec.release_build, spec.robust_run) {
+            (true, true) => "a release build and a --robust run",
+            (true, false) => "a release build",
+            _ => "a --robust run",
+        };
+        report.push(Finding::new(
+            RuleId::ChaosInRelease,
+            Span::Model,
+            format!(
+                "chaos injection is enabled in {where_} — chaos is a \
+                 debug/test instrument for the engine, not a production or \
+                 fault-suite scoring mode"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> SupervisionSpec {
+        SupervisionSpec {
+            max_attempts: 3,
+            retry_permanent: false,
+            event_budget: None,
+            warmup_events: 7,
+            chaos_enabled: false,
+            release_build: false,
+            robust_run: false,
+        }
+    }
+
+    #[test]
+    fn a_sane_policy_is_clean() {
+        assert!(lint_supervision(&clean()).is_clean());
+        // A generous budget is fine too.
+        let spec = SupervisionSpec {
+            event_budget: Some(1_000_000),
+            ..clean()
+        };
+        assert!(lint_supervision(&spec).is_clean());
+        // Chaos in a debug nominal run is what chaos is for.
+        let spec = SupervisionSpec {
+            chaos_enabled: true,
+            ..clean()
+        };
+        assert!(lint_supervision(&spec).is_clean());
+    }
+
+    #[test]
+    fn hl038_fires_on_each_misconfiguration() {
+        let spec = SupervisionSpec {
+            max_attempts: 0,
+            ..clean()
+        };
+        let report = lint_supervision(&spec);
+        assert!(report.has_rule(RuleId::RetryMisconfigured));
+        assert!(report.has_errors());
+
+        let spec = SupervisionSpec {
+            retry_permanent: true,
+            ..clean()
+        };
+        assert!(lint_supervision(&spec).has_errors());
+
+        let spec = SupervisionSpec {
+            event_budget: Some(6),
+            warmup_events: 7,
+            ..clean()
+        };
+        let report = lint_supervision(&spec);
+        assert!(report.has_rule(RuleId::RetryMisconfigured), "{report}");
+        // At exactly the floor the budget is legal (tight, not broken).
+        let spec = SupervisionSpec {
+            event_budget: Some(7),
+            warmup_events: 7,
+            ..clean()
+        };
+        assert!(lint_supervision(&spec).is_clean());
+    }
+
+    #[test]
+    fn hl039_warns_on_chaos_in_release_or_robust() {
+        for (release, robust) in [(true, false), (false, true), (true, true)] {
+            let spec = SupervisionSpec {
+                chaos_enabled: true,
+                release_build: release,
+                robust_run: robust,
+                ..clean()
+            };
+            let report = lint_supervision(&spec);
+            assert!(report.has_rule(RuleId::ChaosInRelease));
+            assert!(!report.has_errors(), "HL039 is a warning");
+        }
+        // No chaos, no finding — even in release robust runs.
+        let spec = SupervisionSpec {
+            release_build: true,
+            robust_run: true,
+            ..clean()
+        };
+        assert!(lint_supervision(&spec).is_clean());
+    }
+}

@@ -70,5 +70,8 @@ pub use params::{
     AlohaParams, AppParams, ConfigError, CsmaAccessMode, CsmaParams, FloodMode, HybridParams,
     MacKind, NetworkConfig, NodeFault, RadioParams, Routing, TdmaParams, TxPower, CR2032_ENERGY_J,
 };
-pub use runner::{simulate, simulate_averaged, simulate_stochastic};
-pub use sim::NetworkSim;
+pub use runner::{
+    simulate, simulate_averaged, simulate_averaged_budgeted, simulate_stochastic,
+    simulate_stochastic_budgeted, SimError,
+};
+pub use sim::{DeadlineExceeded, NetworkSim};

@@ -1,5 +1,7 @@
 //! Convenience entry points for running simulations.
 
+use std::fmt;
+
 use hi_channel::{Channel, ChannelModel, ChannelParams};
 use hi_des::SimDuration;
 
@@ -7,21 +9,76 @@ use crate::metrics::{average_outcomes, SimOutcome};
 use crate::params::{ConfigError, NetworkConfig};
 use crate::sim::NetworkSim;
 
-/// Runs one simulation of `cfg` over an arbitrary channel model.
-///
-/// # Errors
-///
-/// Returns [`ConfigError`] for structurally invalid configurations.
-pub fn simulate<C: ChannelModel>(
+/// Why a (budgeted) simulation run produced no outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration is structurally invalid.
+    Config(ConfigError),
+    /// The run tripped its logical deadline: more DES events were
+    /// dispatched than the per-replication budget allows. Deterministic —
+    /// the budget counts events, never wall clock.
+    DeadlineExceeded {
+        /// Events dispatched when the budget was found exceeded.
+        events: u64,
+        /// The configured per-replication event budget.
+        budget: u64,
+        /// Simulated seconds reached when the trip happened.
+        at_secs: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::DeadlineExceeded {
+                events,
+                budget,
+                at_secs,
+            } => write!(
+                f,
+                "event budget exceeded: {events} events dispatched (budget {budget}) at t={at_secs:.3}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// The shared replication body: every public entry point funnels here so
+/// the trace counters are emitted identically whether or not a budget is
+/// set (a budget that never trips changes nothing).
+fn replicate<C: ChannelModel>(
     cfg: &NetworkConfig,
     channel: C,
     t_sim: SimDuration,
     seed: u64,
-) -> Result<SimOutcome, ConfigError> {
+    max_events: Option<u64>,
+) -> Result<SimOutcome, SimError> {
     use hi_trace::wellknown as wk;
     let mut span = hi_trace::span("net.replication");
     let t_begin = hi_trace::now_ns();
-    let outcome = NetworkSim::new(cfg.clone(), channel, t_sim, seed)?.run();
+    let sim = NetworkSim::new(cfg.clone(), channel, t_sim, seed)?;
+    let outcome = match max_events {
+        None => sim.run(),
+        Some(budget) => sim.run_budgeted(budget).map_err(|d| {
+            if span.is_recording() {
+                span.arg("seed", seed);
+                span.arg("deadline_events", d.events);
+            }
+            SimError::DeadlineExceeded {
+                events: d.events,
+                budget: d.budget,
+                at_secs: d.at.as_secs_f64(),
+            }
+        })?,
+    };
     hi_trace::counter(wk::NET_REPLICATIONS, 1);
     hi_trace::counter(wk::NET_PACKETS_GENERATED, outcome.counts.generated);
     hi_trace::counter(wk::NET_PACKETS_DELIVERED, outcome.counts.deliveries);
@@ -37,6 +94,23 @@ pub fn simulate<C: ChannelModel>(
         span.arg("pdr", outcome.pdr);
     }
     Ok(outcome)
+}
+
+/// Runs one simulation of `cfg` over an arbitrary channel model.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for structurally invalid configurations.
+pub fn simulate<C: ChannelModel>(
+    cfg: &NetworkConfig,
+    channel: C,
+    t_sim: SimDuration,
+    seed: u64,
+) -> Result<SimOutcome, ConfigError> {
+    replicate(cfg, channel, t_sim, seed, None).map_err(|e| match e {
+        SimError::Config(c) => c,
+        SimError::DeadlineExceeded { .. } => unreachable!("no budget was set"),
+    })
 }
 
 /// Runs one simulation with the stochastic body channel built from
@@ -59,6 +133,27 @@ pub fn simulate_stochastic(
     simulate(cfg, channel, t_sim, seed)
 }
 
+/// [`simulate_stochastic`] under a per-replication DES-event budget
+/// (`None` = unbudgeted, identical to `simulate_stochastic`).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations and
+/// [`SimError::DeadlineExceeded`] when the budget trips.
+pub fn simulate_stochastic_budgeted(
+    cfg: &NetworkConfig,
+    channel_params: ChannelParams,
+    t_sim: SimDuration,
+    seed: u64,
+    max_events: Option<u64>,
+) -> Result<SimOutcome, SimError> {
+    let channel = Channel::new(
+        channel_params,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+    );
+    replicate(cfg, channel, t_sim, seed, max_events)
+}
+
 /// Runs `runs` independent replications (seeds `base_seed..base_seed+runs`)
 /// and averages the outcomes — the paper's "averaged over 3 runs" protocol.
 ///
@@ -76,9 +171,95 @@ pub fn simulate_averaged(
     base_seed: u64,
     runs: u32,
 ) -> Result<SimOutcome, ConfigError> {
+    simulate_averaged_budgeted(cfg, channel_params, t_sim, base_seed, runs, None).map_err(|e| {
+        match e {
+            SimError::Config(c) => c,
+            SimError::DeadlineExceeded { .. } => unreachable!("no budget was set"),
+        }
+    })
+}
+
+/// [`simulate_averaged`] under a per-replication DES-event budget: the
+/// evaluation fails as soon as any of its replications trips the budget
+/// (a partial average would silently bias the metrics).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations and
+/// [`SimError::DeadlineExceeded`] when any replication trips the budget.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn simulate_averaged_budgeted(
+    cfg: &NetworkConfig,
+    channel_params: ChannelParams,
+    t_sim: SimDuration,
+    base_seed: u64,
+    runs: u32,
+    max_events: Option<u64>,
+) -> Result<SimOutcome, SimError> {
     assert!(runs > 0, "need at least one run");
     let outcomes: Result<Vec<_>, _> = (0..runs)
-        .map(|r| simulate_stochastic(cfg, channel_params, t_sim, base_seed + u64::from(r)))
+        .map(|r| {
+            simulate_stochastic_budgeted(
+                cfg,
+                channel_params,
+                t_sim,
+                base_seed + u64::from(r),
+                max_events,
+            )
+        })
         .collect();
     Ok(average_outcomes(&outcomes?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MacKind, Routing, TxPower};
+    use hi_channel::BodyLocation;
+
+    fn star() -> NetworkConfig {
+        NetworkConfig::new(
+            vec![
+                BodyLocation::Chest,
+                BodyLocation::LeftHip,
+                BodyLocation::LeftWrist,
+            ],
+            TxPower::ZeroDbm,
+            MacKind::csma(),
+            Routing::Star { coordinator: 0 },
+        )
+    }
+
+    #[test]
+    fn tiny_budget_trips_the_deadline_deterministically() {
+        let cfg = star();
+        let t = SimDuration::from_secs(10.0);
+        let err = simulate_stochastic_budgeted(&cfg, ChannelParams::default(), t, 7, Some(5))
+            .unwrap_err();
+        let SimError::DeadlineExceeded { events, budget, .. } = &err else {
+            panic!("expected a deadline trip, got {err}");
+        };
+        assert_eq!(*budget, 5);
+        assert!(*events > 5);
+        // The trip is a pure function of (config, seed, budget).
+        let again = simulate_stochastic_budgeted(&cfg, ChannelParams::default(), t, 7, Some(5))
+            .unwrap_err();
+        assert_eq!(err, again);
+    }
+
+    #[test]
+    fn generous_budget_matches_the_unbudgeted_run_bitwise() {
+        let cfg = star();
+        let t = SimDuration::from_secs(10.0);
+        let plain = simulate_averaged(&cfg, ChannelParams::default(), t, 3, 2).unwrap();
+        let budgeted =
+            simulate_averaged_budgeted(&cfg, ChannelParams::default(), t, 3, 2, Some(u64::MAX))
+                .unwrap();
+        assert_eq!(plain.pdr.to_bits(), budgeted.pdr.to_bits());
+        assert_eq!(plain.nlt_days.to_bits(), budgeted.nlt_days.to_bits());
+        assert_eq!(plain.counts, budgeted.counts);
+    }
 }

@@ -94,6 +94,36 @@ impl NodeState {
     }
 }
 
+/// A *logical* deadline trip: the simulation dispatched more DES events
+/// than its budget allows.
+///
+/// Budgets count dispatched events — never wall clock — so whether a
+/// given configuration trips is a pure function of the configuration and
+/// seed, identical on every host and at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineExceeded {
+    /// Events dispatched when the budget was found exceeded.
+    pub events: u64,
+    /// The configured event budget.
+    pub budget: u64,
+    /// Simulated time reached when the trip happened.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event budget exceeded: {} events dispatched (budget {}) at t={:.3}s",
+            self.events,
+            self.budget,
+            self.at.as_secs_f64()
+        )
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
 /// One full network simulation.
 ///
 /// Construct with [`NetworkSim::new`], drive to completion with
@@ -117,6 +147,8 @@ pub struct NetworkSim<C: ChannelModel> {
     latency: Tally,
     /// Event trace, populated only by [`run_traced`](NetworkSim::run_traced).
     trace: Option<Vec<TraceEvent>>,
+    /// Logical deadline: maximum DES events this run may dispatch.
+    event_budget: Option<u64>,
 }
 
 impl<C: ChannelModel> std::fmt::Debug for NetworkSim<C> {
@@ -177,6 +209,7 @@ impl<C: ChannelModel> NetworkSim<C> {
             gen_times: std::collections::HashMap::new(),
             latency: Tally::new(),
             trace: None,
+            event_budget: None,
         })
     }
 
@@ -198,7 +231,30 @@ impl<C: ChannelModel> NetworkSim<C> {
         self.run_inner(&mut ignored)
     }
 
-    fn run_inner(mut self, trace_out: &mut Vec<TraceEvent>) -> SimOutcome {
+    /// Runs the simulation under a logical deadline of `budget` dispatched
+    /// DES events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] if the run dispatches more than
+    /// `budget` events before reaching the horizon; the partial outcome is
+    /// discarded (a truncated run would bias every rate metric).
+    pub fn run_budgeted(mut self, budget: u64) -> Result<SimOutcome, DeadlineExceeded> {
+        self.event_budget = Some(budget);
+        let mut ignored = Vec::new();
+        self.run_checked(&mut ignored)
+    }
+
+    fn run_inner(self, trace_out: &mut Vec<TraceEvent>) -> SimOutcome {
+        debug_assert!(self.event_budget.is_none());
+        self.run_checked(trace_out)
+            .expect("unbudgeted runs cannot trip a deadline")
+    }
+
+    fn run_checked(
+        mut self,
+        trace_out: &mut Vec<TraceEvent>,
+    ) -> Result<SimOutcome, DeadlineExceeded> {
         // Application phases: uniform random offset within one period so
         // nodes do not generate in lock-step.
         for i in 0..self.nodes.len() {
@@ -234,6 +290,18 @@ impl<C: ChannelModel> NetworkSim<C> {
         self.schedule_scenario();
 
         while let Some((now, event)) = self.engine.pop() {
+            if let Some(budget) = self.event_budget {
+                // `pop` just counted this event as dispatched.
+                let events = self.engine.delivered();
+                if events > budget {
+                    hi_trace::counter(hi_trace::wellknown::DES_EVENTS_DISPATCHED, events);
+                    return Err(DeadlineExceeded {
+                        events,
+                        budget,
+                        at: now,
+                    });
+                }
+            }
             match event {
                 Event::Generate { node, epoch } => self.on_generate(now, node, epoch),
                 Event::MacAttempt { node } => self.on_mac_attempt(now, node),
@@ -253,7 +321,7 @@ impl<C: ChannelModel> NetworkSim<C> {
             hi_trace::wellknown::DES_EVENTS_DISPATCHED,
             self.engine.delivered(),
         );
-        self.finish()
+        Ok(self.finish())
     }
 
     #[inline]

@@ -22,6 +22,12 @@ pub const EXEC_CACHE_MISSES: &str = "exec.cache.misses";
 /// Fresh computations whose memoized result was an error (panic demoted to
 /// a cached per-point failure).
 pub const EXEC_CACHE_PANIC_MEMO: &str = "exec.cache.panic_memo";
+/// Supervised-evaluation retries (extra attempts beyond the first).
+pub const EXEC_RETRIES: &str = "exec.retry";
+/// Evaluations that tripped their logical deadline (DES-event budget).
+pub const EXEC_DEADLINES: &str = "exec.deadline";
+/// Chaos injections (panics, transients, cache drops) applied.
+pub const EXEC_CHAOS_EVENTS: &str = "exec.chaos";
 
 /// Complete MILP solves (`Model::solve`).
 pub const MILP_SOLVES: &str = "milp.solves";
@@ -82,6 +88,9 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     (EXEC_CACHE_HITS, MetricKind::Counter),
     (EXEC_CACHE_MISSES, MetricKind::Counter),
     (EXEC_CACHE_PANIC_MEMO, MetricKind::Counter),
+    (EXEC_RETRIES, MetricKind::Counter),
+    (EXEC_DEADLINES, MetricKind::Counter),
+    (EXEC_CHAOS_EVENTS, MetricKind::Counter),
     (MILP_SOLVES, MetricKind::Counter),
     (MILP_PIVOTS, MetricKind::Counter),
     (MILP_BB_NODES, MetricKind::Counter),
