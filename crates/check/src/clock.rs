@@ -1,0 +1,97 @@
+//! Vector clocks for happens-before tracking.
+
+/// A vector clock: component `i` counts the visible operations thread `i`
+/// has performed that the clock's owner knows about.
+///
+/// The happens-before partial order is the component-wise `<=` on clocks:
+/// event A happens before event B iff A's clock is `<=` B's clock in every
+/// component. Two accesses to the same plain data cell that are not
+/// ordered either way — and at least one of which is a write — are a data
+/// race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (knows about nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for thread `tid` (0 if never set).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increments this thread's own component: a new epoch begins.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` knows everything `other`
+    /// knows. This is the "synchronizes-with" edge of a Release store
+    /// observed by an Acquire load, or a mutex unlock observed by the
+    /// next lock.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is `<=` the matching component of
+    /// `other` — i.e. the events summarized by `self` all happen before
+    /// (or are) the point summarized by `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &component)| component <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        c.tick(0);
+        assert_eq!((c.get(0), c.get(3)), (1, 2));
+    }
+
+    #[test]
+    fn join_is_component_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1)), (2, 1));
+    }
+
+    #[test]
+    fn leq_is_the_happens_before_order() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        // Concurrent clocks: unordered both ways.
+        let mut c = VClock::new();
+        c.tick(2);
+        assert!(!b.leq(&c) && !c.leq(&b));
+        // The zero clock precedes everything.
+        assert!(VClock::new().leq(&c));
+    }
+}

@@ -1,0 +1,412 @@
+//! Model programs for `hi-exec`'s core protocols, with seeded mutants.
+//!
+//! Each model distills one protocol from `crates/exec` — the injector/
+//! deque steal path, generation-counter parking, the cache settle/waiter
+//! handoff, cancellation mid-batch with the completion latch, and the
+//! supervisor retrying over a chaos-dropped cache entry — into a few
+//! dozen visible operations, small enough for exhaustive bounded-
+//! preemption exploration but faithful to the synchronization structure.
+//!
+//! Every model takes a [`Mutation`]: [`Mutation::None`] is the faithful
+//! protocol (must check clean); every other variant seeds one realistic
+//! bug. The self-test harness (`tests/mutants.rs`) asserts the checker
+//! catches each mutant with a replayable schedule, which is what makes a
+//! clean report on the real protocols *evidence* rather than silence.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sync::{AtomicBool, Condvar, Data, Mutex};
+use crate::thread;
+use crate::Config;
+
+/// A seeded bug, or [`Mutation::None`] for the faithful protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// The faithful protocol; must check clean.
+    None,
+    /// [`cancel`]: the cancel flag is stored with `Relaxed` instead of
+    /// `Release`, so the store publishes nothing — racing the reason
+    /// payload it was meant to order. Caught as a data race.
+    RelaxedPublish,
+    /// [`cancel`]: the worker loads the cancel flag with `Relaxed`
+    /// instead of `Acquire`; symmetric to [`Mutation::RelaxedPublish`].
+    RelaxedConsume,
+    /// [`parking`]: generation bumps never notify the wakeup condvar.
+    /// Caught as a lost wakeup (parked workers, nobody left to notify).
+    SkipNotify,
+    /// [`parking`]: workers park with a bare wait instead of a predicate
+    /// loop, missing updates that land between the scan and the park.
+    BareWait,
+    /// [`cache`]: the computing thread settles with `notify_one`; with
+    /// two waiters parked, one wakeup is never delivered.
+    NotifyOne,
+    /// [`cache`]: the settle path forgets the shard guard, so the lock
+    /// is never released. Caught at thread exit (and feeds HL041's
+    /// acquire/release accounting).
+    LeakLock,
+    /// [`steal`]: workers steal while still holding their own deque
+    /// lock, nesting the two deques in opposite orders — a lock-order
+    /// inversion.
+    LockOrderSwap,
+    /// [`cancel`]: a cancelled task skips the completion latch, so the
+    /// batch count never reaches zero and the waiter parks forever.
+    MissedFinish,
+}
+
+// ---------------------------------------------------------------------------
+// Model 1: injector/deque steal path
+
+/// Two workers scan own deque → injector → victim's deque back, exactly
+/// as `hi-exec`'s pool does. The exactly-once property is asserted at the
+/// end: processed totals plus leftovers account for every item.
+pub fn steal(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let injector = Arc::new(Mutex::named(VecDeque::from([10u64]), "injector"));
+        let queues = Arc::new([
+            Mutex::named(VecDeque::<u64>::new(), "deque0"),
+            Mutex::named(VecDeque::<u64>::new(), "deque1"),
+        ]);
+        let total = Arc::new(Mutex::named(0u64, "total"));
+        let workers: Vec<_> = (0..2)
+            .map(|id: usize| {
+                let injector = Arc::clone(&injector);
+                let queues = Arc::clone(&queues);
+                let total = Arc::clone(&total);
+                thread::spawn(move || {
+                    for _ in 0..2 {
+                        let mut item = queues[id].lock().pop_front();
+                        if item.is_none() {
+                            item = injector.lock().pop_front();
+                        }
+                        if item.is_none() {
+                            let victim = 1 - id;
+                            if mutation == Mutation::LockOrderSwap {
+                                // Mutant: hold our own deque across the
+                                // steal; the two workers nest the deque
+                                // locks in opposite orders.
+                                let own = queues[id].lock();
+                                item = queues[victim].lock().pop_back();
+                                drop(own);
+                            } else {
+                                item = queues[victim].lock().pop_back();
+                            }
+                        }
+                        if let Some(value) = item {
+                            *total.lock() += value;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let mut sum = *total.lock();
+        sum += injector.lock().iter().sum::<u64>();
+        for queue in queues.iter() {
+            sum += queue.lock().iter().sum::<u64>();
+        }
+        assert_eq!(sum, 10, "work items lost or duplicated by the steal path");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: generation-counter parking
+
+/// Two workers and a producer (three threads) over the pool's parking
+/// protocol: observe the generation, scan for work, and park only while
+/// the generation is unchanged and shutdown is not signalled.
+pub fn parking(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let generation = Arc::new(Mutex::named(0u64, "generation"));
+        let wakeup = Arc::new(Condvar::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Mutex::named(VecDeque::<u64>::new(), "queue"));
+        let total = Arc::new(Mutex::named(0u64, "total"));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let generation = Arc::clone(&generation);
+                let wakeup = Arc::clone(&wakeup);
+                let shutdown = Arc::clone(&shutdown);
+                let queue = Arc::clone(&queue);
+                let total = Arc::clone(&total);
+                thread::spawn(move || loop {
+                    let observed = *generation.lock();
+                    if let Some(value) = queue.lock().pop_front() {
+                        *total.lock() += value;
+                        continue;
+                    }
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let guard = generation.lock();
+                    if mutation == Mutation::BareWait {
+                        // Mutant: park unconditionally — an update that
+                        // landed between the scan and this park is missed
+                        // forever.
+                        let _guard = wakeup.wait(guard);
+                    } else {
+                        let shutdown = &shutdown;
+                        let _guard = wakeup.wait_while(guard, |current| {
+                            *current == observed && !shutdown.load(Ordering::Acquire)
+                        });
+                    }
+                })
+            })
+            .collect();
+        // Publish one item, then shut down; each state change bumps the
+        // generation under the lock and (unless mutated away) notifies.
+        queue.lock().push_back(7);
+        {
+            let mut generation = generation.lock();
+            *generation += 1;
+            if mutation != Mutation::SkipNotify {
+                wakeup.notify_all();
+            }
+        }
+        shutdown.store(true, Ordering::Release);
+        {
+            let mut generation = generation.lock();
+            *generation += 1;
+            if mutation != Mutation::SkipNotify {
+                wakeup.notify_all();
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // The item was either processed or is still queued — never lost.
+        let processed = *total.lock();
+        assert!(
+            processed == 7 || !queue.lock().is_empty(),
+            "work item vanished: processed total {processed}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: cache settle/waiter handoff
+
+/// One shard of the exactly-once cache.
+struct Shard {
+    value: Option<u64>,
+    in_flight: bool,
+}
+
+/// The cache's get-or-compute protocol: hit, wait-for-settle, or become
+/// the computing thread.
+fn get_or_compute(state: &Mutex<Shard>, settled: &Condvar, mutation: Mutation) -> u64 {
+    let mut shard = state.lock();
+    loop {
+        if let Some(value) = shard.value {
+            return value;
+        }
+        if shard.in_flight {
+            shard = settled.wait_while(shard, |shard| shard.in_flight);
+            continue;
+        }
+        shard.in_flight = true;
+        drop(shard);
+        let value = 42; // the "compute", off-lock
+        thread::yield_now(); // a schedule point standing in for real work
+        shard = state.lock();
+        shard.value = Some(value);
+        shard.in_flight = false;
+        match mutation {
+            // Mutant: only one of several parked waiters is woken.
+            Mutation::NotifyOne => settled.notify_one(),
+            // Mutant: the guard is forgotten — the shard lock is never
+            // released and this thread exits still holding it.
+            Mutation::LeakLock => {
+                settled.notify_all();
+                std::mem::forget(shard);
+                return value;
+            }
+            _ => settled.notify_all(),
+        }
+        return value;
+    }
+}
+
+/// Three getters (four threads) race one cold cache key: one computes,
+/// the others park on `settled` and must all be handed the value.
+pub fn cache(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let state = Arc::new(Mutex::named(
+            Shard {
+                value: None,
+                in_flight: false,
+            },
+            "shard",
+        ));
+        let settled = Arc::new(Condvar::new());
+        let getters: Vec<_> = (0..3)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let settled = Arc::clone(&settled);
+                thread::spawn(move || get_or_compute(&state, &settled, mutation))
+            })
+            .collect();
+        for getter in getters {
+            assert_eq!(getter.join().unwrap(), 42);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 4: cancellation mid-batch
+
+/// A two-task batch with a completion latch, cancelled mid-flight: the
+/// producer publishes a cancel reason, flips the token with `Release`,
+/// and waits on the latch; workers observe the token with `Acquire`,
+/// read the reason, and still count down the latch for skipped tasks.
+pub fn cancel(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let reason = Arc::new(Data::named(0u64, "cancel-reason"));
+        let results = Arc::new([Data::named(0u64, "result0"), Data::named(0u64, "result1")]);
+        let remaining = Arc::new(Mutex::named(2usize, "remaining"));
+        let done = Arc::new(Condvar::new());
+        let workers: Vec<_> = (0..2)
+            .map(|id: usize| {
+                let cancelled = Arc::clone(&cancelled);
+                let reason = Arc::clone(&reason);
+                let results = Arc::clone(&results);
+                let remaining = Arc::clone(&remaining);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let load_order = if mutation == Mutation::RelaxedConsume {
+                        Ordering::Relaxed
+                    } else {
+                        Ordering::Acquire
+                    };
+                    if cancelled.load(load_order) {
+                        // Reading the reason is only safe if the token
+                        // load synchronized with the token store.
+                        let _why = reason.get();
+                        results[id].set(u64::MAX);
+                    } else {
+                        results[id].set(10 + id as u64);
+                    }
+                    // Cancelled tasks still count down — the latch counts
+                    // dispatched tasks, not successful ones.
+                    if !(mutation == Mutation::MissedFinish && id == 1) {
+                        let mut left = remaining.lock();
+                        *left -= 1;
+                        if *left == 0 {
+                            done.notify_all();
+                        }
+                    }
+                })
+            })
+            .collect();
+        reason.set(99);
+        let store_order = if mutation == Mutation::RelaxedPublish {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        cancelled.store(true, store_order);
+        let guard = remaining.lock();
+        drop(done.wait_while(guard, |left| *left > 0));
+        for (id, cell) in results.iter().enumerate() {
+            let value = cell.get();
+            assert!(
+                value == u64::MAX || value == 10 + id as u64,
+                "task {id} produced {value}"
+            );
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 5: supervised retry over a chaos-dropped cache entry
+
+/// A supervisor computes through the cache while a chaos thread drops the
+/// settled entry at an arbitrary point (as `hi-exec`'s fault injection
+/// does); one bounded retry must always land a value.
+pub fn supervisor(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let state = Arc::new(Mutex::named(
+            Shard {
+                value: None,
+                in_flight: false,
+            },
+            "shard",
+        ));
+        let settled = Arc::new(Condvar::new());
+        let chaos = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                state.lock().value = None;
+            })
+        };
+        let mut attempts = 0;
+        let value = loop {
+            attempts += 1;
+            let value = get_or_compute(&state, &settled, mutation);
+            if state.lock().value.is_some() || attempts >= 2 {
+                break value;
+            }
+        };
+        assert_eq!(value, 42, "supervised retry lost the computed value");
+        let _ = chaos.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+
+/// One clean protocol model with its exploration budget.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Model name (stable; used by CI and `hi-opt lint`).
+    pub name: &'static str,
+    /// Exploration limits appropriate for the model's size.
+    pub config: Config,
+    /// The unmutated model.
+    pub model: fn(),
+}
+
+/// Every protocol model in its faithful ([`Mutation::None`]) form, for
+/// clean-pass sweeps in CI and lock-usage lowering into `hi-lint`'s
+/// HL041.
+pub fn catalog() -> Vec<CatalogEntry> {
+    let budget = |max_executions| Config {
+        max_executions,
+        ..Config::default()
+    };
+    vec![
+        CatalogEntry {
+            name: "steal-path",
+            config: budget(4_000),
+            model: || (steal(Mutation::None))(),
+        },
+        CatalogEntry {
+            name: "generation-parking",
+            config: budget(4_000),
+            model: || (parking(Mutation::None))(),
+        },
+        CatalogEntry {
+            name: "cache-settle",
+            config: budget(3_000),
+            model: || (cache(Mutation::None))(),
+        },
+        CatalogEntry {
+            name: "cancel-mid-batch",
+            config: budget(4_000),
+            model: || (cancel(Mutation::None))(),
+        },
+        CatalogEntry {
+            name: "supervised-retry",
+            config: budget(2_000),
+            model: || (supervisor(Mutation::None))(),
+        },
+    ]
+}

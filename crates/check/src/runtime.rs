@@ -1,0 +1,1135 @@
+//! The lockstep execution runtime and bounded-preemption DFS explorer.
+//!
+//! # How an execution runs
+//!
+//! Every model thread is a real OS thread, but only one ever runs at a
+//! time: each visible operation (lock, unlock, condvar park/notify,
+//! atomic access, [`Data`](crate::sync::Data) access, spawn, join, exit)
+//! first parks the thread and hands control to the scheduler, which picks
+//! which thread performs its next operation. The pick is a *decision*;
+//! the sequence of decisions is the schedule. Exploration is a DFS over
+//! decision alternatives: run an execution taking first choices, then
+//! backtrack to the deepest decision with an untried alternative and
+//! replay up to it. A preemption bound (switching away from a thread
+//! that could have continued) keeps the space tractable — most
+//! concurrency bugs need very few preemptions.
+//!
+//! Because the chosen thread performs its operation while every other
+//! thread is parked, operations are serialized: shadow state needs no
+//! synchronization subtlety of its own, and an execution is exactly
+//! reproducible from its decision list (the replay string).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::sync::{MutexGuard, PoisonError};
+
+use crate::clock::VClock;
+use crate::report::{CheckReport, LockUsage, Violation, ViolationKind};
+
+/// Exploration limits and options.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many executions even if schedules remain
+    /// (the report is then marked incomplete).
+    pub max_executions: u64,
+    /// Per-execution visible-operation budget; exceeding it reports a
+    /// [`ViolationKind::StepBudget`] violation (livelock suspicion).
+    pub max_steps: u64,
+    /// Maximum context switches away from a thread that could have
+    /// continued. `None` removes the bound (full DFS — feasible only for
+    /// tiny models).
+    pub preemption_bound: Option<u32>,
+    /// Also explore spurious condvar wakeups: a parked waiter may be
+    /// scheduled without a notify, exactly as `std` permits. Predicate
+    /// (`wait_while`) loops are immune; bare waits are not.
+    pub spurious_wakeups: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_executions: 4_000,
+            max_steps: 20_000,
+            preemption_bound: Some(2),
+            spurious_wakeups: false,
+        }
+    }
+}
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (violation found). Never escapes the checker.
+pub(crate) struct Abort;
+
+/// Whose turn it is to mutate shadow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Active {
+    Scheduler,
+    Thread(usize),
+}
+
+/// Scheduling state of one model thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    /// Can perform its next operation when granted a turn.
+    Runnable,
+    /// Waiting for a lock held by someone else.
+    BlockedLock(u64),
+    /// Parked on a condvar; `notified` marks it schedulable again.
+    WaitingCv { cv: u64, notified: bool, seq: u64 },
+    /// Waiting for another thread to finish.
+    BlockedJoin(usize),
+    /// Exited.
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    state: TState,
+    clock: VClock,
+    /// Locks currently held, in acquisition order.
+    held: Vec<u64>,
+}
+
+impl ThreadSlot {
+    fn new(clock: VClock) -> Self {
+        Self {
+            state: TState::Runnable,
+            clock,
+            held: Vec::new(),
+        }
+    }
+}
+
+/// One scheduling decision: the candidate threads in try-order and which
+/// one was taken. The DFS backtracks over `taken`.
+#[derive(Debug, Clone)]
+struct Decision {
+    options: Vec<usize>,
+    taken: usize,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    owner: Option<usize>,
+    clock: VClock,
+    acquires: u64,
+    releases: u64,
+    name: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicState {
+    value: u64,
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<(usize, VClock)>,
+    /// Most recent read clock per reader thread.
+    reads: Vec<(usize, VClock)>,
+    name: Option<String>,
+}
+
+/// All mutable checker state for one execution. Guarded by the monitor
+/// mutex; mutated only by the thread whose turn it is (or the scheduler).
+struct Mon {
+    active: Active,
+    aborting: bool,
+    threads: Vec<ThreadSlot>,
+    /// OS threads that have not yet returned from their wrapper.
+    live_os: usize,
+    decisions: Vec<Decision>,
+    /// Decision prefix to force (DFS backtracking / replay).
+    forced: Vec<usize>,
+    step: u64,
+    park_counter: u64,
+    last_scheduled: Option<usize>,
+    preemptions: u32,
+    violation: Option<(ViolationKind, String)>,
+    locks: Vec<(u64, LockState)>,
+    atomics: Vec<(u64, AtomicState)>,
+    cells: Vec<(u64, CellState)>,
+    /// Lock-order edges: (held, acquired).
+    lock_edges: Vec<(u64, u64)>,
+}
+
+impl Mon {
+    fn new(forced: Vec<usize>) -> Self {
+        Self {
+            active: Active::Scheduler,
+            aborting: false,
+            threads: Vec::new(),
+            live_os: 0,
+            decisions: Vec::new(),
+            forced,
+            step: 0,
+            park_counter: 0,
+            last_scheduled: None,
+            preemptions: 0,
+            violation: None,
+            locks: Vec::new(),
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            lock_edges: Vec::new(),
+        }
+    }
+
+    fn report(&mut self, kind: ViolationKind, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some((kind, message));
+        }
+    }
+
+    fn lock_state(&mut self, uid: u64, name: &Option<String>) -> &mut LockState {
+        if let Some(index) = self.locks.iter().position(|(u, _)| *u == uid) {
+            return &mut self.locks[index].1;
+        }
+        self.locks.push((
+            uid,
+            LockState {
+                name: name.clone(),
+                ..LockState::default()
+            },
+        ));
+        &mut self.locks.last_mut().expect("just pushed").1
+    }
+
+    fn lock_name(&self, uid: u64) -> String {
+        self.locks
+            .iter()
+            .find(|(u, _)| *u == uid)
+            .and_then(|(_, s)| s.name.clone())
+            .unwrap_or_else(|| format!("lock#{}", uid & 0xffff_ffff))
+    }
+
+    fn atomic_state(&mut self, uid: u64, init: u64) -> &mut AtomicState {
+        if let Some(index) = self.atomics.iter().position(|(u, _)| *u == uid) {
+            return &mut self.atomics[index].1;
+        }
+        self.atomics.push((
+            uid,
+            AtomicState {
+                value: init,
+                clock: VClock::new(),
+            },
+        ));
+        &mut self.atomics.last_mut().expect("just pushed").1
+    }
+
+    fn cell_state(&mut self, uid: u64, name: &Option<String>) -> &mut CellState {
+        if let Some(index) = self.cells.iter().position(|(u, _)| *u == uid) {
+            return &mut self.cells[index].1;
+        }
+        self.cells.push((
+            uid,
+            CellState {
+                name: name.clone(),
+                ..CellState::default()
+            },
+        ));
+        &mut self.cells.last_mut().expect("just pushed").1
+    }
+
+    /// Releases `uid` on behalf of `tid`: transfers the thread's clock to
+    /// the lock and wakes lock-blocked threads. Shared by unlock and
+    /// condvar park.
+    fn do_release(&mut self, tid: usize, uid: u64, name: &Option<String>) {
+        let clock = self.threads[tid].clock.clone();
+        let lock = self.lock_state(uid, name);
+        lock.owner = None;
+        lock.releases += 1;
+        lock.clock.join(&clock);
+        self.threads[tid].held.retain(|&h| h != uid);
+        for slot in &mut self.threads {
+            if slot.state == TState::BlockedLock(uid) {
+                slot.state = TState::Runnable;
+            }
+        }
+    }
+
+    /// Adds a lock-order edge and reports a cycle if one forms.
+    fn add_lock_edge(&mut self, held: u64, acquired: u64) {
+        if held == acquired || self.lock_edges.contains(&(held, acquired)) {
+            return;
+        }
+        self.lock_edges.push((held, acquired));
+        // Is `held` reachable from `acquired`? Then the new edge closes a
+        // cycle: some code path nests the two locks in the other order.
+        let mut stack = vec![acquired];
+        let mut seen = vec![acquired];
+        while let Some(node) = stack.pop() {
+            if node == held {
+                self.report(
+                    ViolationKind::LockOrderInversion,
+                    format!(
+                        "{} is acquired while holding {}, but elsewhere {} is \
+                         acquired while holding {} — a deadlock waiting for the \
+                         right interleaving",
+                        self.lock_name(acquired),
+                        self.lock_name(held),
+                        self.lock_name(held),
+                        self.lock_name(acquired),
+                    ),
+                );
+                return;
+            }
+            for &(a, b) in &self.lock_edges {
+                if a == node && !seen.contains(&b) {
+                    seen.push(b);
+                    stack.push(b);
+                }
+            }
+        }
+    }
+}
+
+/// One exploration context: the monitor, its condvar and the limits.
+pub(crate) struct Exec {
+    mon: StdMutex<Mon>,
+    cv: StdCondvar,
+    cfg: Config,
+}
+
+fn relock<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread context
+
+struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+    obj_seq: Cell<u32>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's execution handle and thread id. Panics (with an
+/// actionable message) when called outside a checker run.
+pub(crate) fn cur() -> (Arc<Exec>, usize) {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        let ctx = ctx
+            .as_ref()
+            .expect("hi-check shadow primitive used outside a checker run (explore/replay)");
+        (Arc::clone(&ctx.exec), ctx.tid)
+    })
+}
+
+/// Allocates a deterministic object id: `(creating thread) << 32 | seq`.
+/// Ids depend only on each thread's own creation order, never on how
+/// creations from different threads interleave, so replays see identical
+/// ids without making object creation a schedule point.
+pub(crate) fn alloc_uid() -> u64 {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        let ctx = ctx
+            .as_ref()
+            .expect("hi-check shadow object created outside a checker run (explore/replay)");
+        let seq = ctx.obj_seq.get();
+        ctx.obj_seq.set(seq + 1);
+        ((ctx.tid as u64) << 32) | u64::from(seq)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The turn protocol
+
+enum Attempt<R> {
+    Done(R),
+    Block,
+}
+
+/// Runs one visible operation when the scheduler grants this thread a
+/// turn. Returns `None` when the execution is aborting — the caller
+/// either unwinds (normal ops) or degrades to a quiet no-op (ops that can
+/// run inside `Drop` during a panic, where a second panic would abort the
+/// process).
+fn try_with_turn<R>(
+    exec: &Exec,
+    tid: usize,
+    mut attempt: impl FnMut(&mut Mon) -> Attempt<R>,
+) -> Option<R> {
+    let mut mon = relock(exec.mon.lock());
+    loop {
+        loop {
+            if mon.aborting {
+                return None;
+            }
+            if mon.active == Active::Thread(tid) {
+                break;
+            }
+            mon = relock(exec.cv.wait(mon));
+        }
+        mon.step += 1;
+        if mon.step > exec.cfg.max_steps {
+            mon.report(
+                ViolationKind::StepBudget,
+                format!(
+                    "execution exceeded {} visible operations — livelock or an \
+                     unbounded loop in the model",
+                    exec.cfg.max_steps
+                ),
+            );
+            mon.active = Active::Scheduler;
+            exec.cv.notify_all();
+            return None;
+        }
+        // Tick first so the operation's own epoch is part of every clock
+        // it snapshots or publishes: an access event must carry its own
+        // position, not its thread's position as of the previous op.
+        mon.threads[tid].clock.tick(tid);
+        let outcome = attempt(&mut mon);
+        mon.active = Active::Scheduler;
+        exec.cv.notify_all();
+        match outcome {
+            Attempt::Done(value) => return Some(value),
+            Attempt::Block => continue,
+        }
+    }
+}
+
+/// [`try_with_turn`] for ordinary (non-`Drop`) call sites: unwinds the
+/// model thread with the [`Abort`] sentinel when the execution is over.
+fn with_turn<R>(exec: &Exec, tid: usize, attempt: impl FnMut(&mut Mon) -> Attempt<R>) -> R {
+    match try_with_turn(exec, tid, attempt) {
+        Some(value) => value,
+        None => std::panic::panic_any(Abort),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operations (called from crate::sync / crate::thread)
+
+pub(crate) fn op_lock(exec: &Exec, uid: u64, name: &Option<String>) {
+    let tid = cur_tid(exec);
+    let granted = try_with_turn(exec, tid, |mon| {
+        let owner = mon.lock_state(uid, name).owner;
+        match owner {
+            None => {
+                let held = mon.threads[tid].held.clone();
+                for &h in &held {
+                    mon.add_lock_edge(h, uid);
+                }
+                let lock_clock = {
+                    let lock = mon.lock_state(uid, name);
+                    lock.owner = Some(tid);
+                    lock.acquires += 1;
+                    lock.clock.clone()
+                };
+                mon.threads[tid].clock.join(&lock_clock);
+                mon.threads[tid].held.push(uid);
+                Attempt::Done(())
+            }
+            Some(owner) if owner == tid => {
+                let message = format!(
+                    "thread t{tid} re-locked {} which it already holds \
+                     (std::sync::Mutex self-deadlock)",
+                    mon.lock_name(uid)
+                );
+                mon.report(ViolationKind::RecursiveLock, message);
+                // Block rather than grant: the violation aborts the
+                // execution, unwinding this thread before it can deadlock
+                // on the real inner mutex it already holds.
+                Attempt::Block
+            }
+            Some(_) => {
+                mon.threads[tid].state = TState::BlockedLock(uid);
+                Attempt::Block
+            }
+        }
+    });
+    if granted.is_none() && !std::thread::panicking() {
+        std::panic::panic_any(Abort);
+    }
+}
+
+/// Unlock is callable from guard `Drop` during a panic, so it must never
+/// panic itself: when the execution is aborting it silently no-ops.
+pub(crate) fn op_unlock(exec: &Exec, uid: u64, name: &Option<String>) {
+    let tid = cur_tid(exec);
+    let _ = try_with_turn(exec, tid, |mon| {
+        if mon.lock_state(uid, name).owner == Some(tid) {
+            mon.do_release(tid, uid, name);
+        }
+        Attempt::Done(())
+    });
+}
+
+/// Releases `lock_uid` and parks on condvar `cv_uid` in one atomic
+/// operation; returns once notified (or spuriously woken) *and*
+/// scheduled. The caller reacquires the lock afterwards.
+pub(crate) fn op_cv_park(exec: &Exec, cv_uid: u64, lock_uid: u64, lock_name: &Option<String>) {
+    let tid = cur_tid(exec);
+    let mut parked = false;
+    with_turn(exec, tid, |mon| {
+        if !parked {
+            parked = true;
+            mon.do_release(tid, lock_uid, lock_name);
+            let seq = mon.park_counter;
+            mon.park_counter += 1;
+            mon.threads[tid].state = TState::WaitingCv {
+                cv: cv_uid,
+                notified: false,
+                seq,
+            };
+            Attempt::Block
+        } else {
+            // The scheduler set us Runnable when it picked us: we are
+            // awake, holding nothing.
+            Attempt::Done(())
+        }
+    });
+}
+
+pub(crate) fn op_notify(exec: &Exec, cv_uid: u64, all: bool) {
+    let tid = cur_tid(exec);
+    with_turn(exec, tid, |mon| {
+        // notify_one wakes the earliest-parked waiter (FIFO); notify_all
+        // wakes everyone. A notify with no waiters is lost, exactly like
+        // the real primitive.
+        let mut target: Option<(usize, u64)> = None;
+        for (index, slot) in mon.threads.iter_mut().enumerate() {
+            if let TState::WaitingCv {
+                cv,
+                notified: notified @ false,
+                seq,
+            } = &mut slot.state
+            {
+                if *cv != cv_uid {
+                    continue;
+                }
+                if all {
+                    *notified = true;
+                } else if target.is_none_or(|(_, best)| *seq < best) {
+                    target = Some((index, *seq));
+                }
+            }
+        }
+        if let Some((index, _)) = target {
+            if let TState::WaitingCv { notified, .. } = &mut mon.threads[index].state {
+                *notified = true;
+            }
+        }
+        Attempt::Done(())
+    });
+}
+
+/// Memory orderings that publish (store side) or observe (load side) the
+/// thread's history through an atomic.
+fn is_release(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_acquire(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+pub(crate) fn op_atomic_load(exec: &Exec, uid: u64, init: u64, ordering: Ordering) -> u64 {
+    let tid = cur_tid(exec);
+    let loaded = try_with_turn(exec, tid, |mon| {
+        let (value, clock) = {
+            let atomic = mon.atomic_state(uid, init);
+            (atomic.value, atomic.clock.clone())
+        };
+        if is_acquire(ordering) {
+            mon.threads[tid].clock.join(&clock);
+        }
+        Attempt::Done(value)
+    });
+    match loaded {
+        Some(value) => value,
+        // Aborting: report the raw value with no ordering bookkeeping so
+        // `Drop`-path loads during a panic cannot double-panic.
+        None if std::thread::panicking() => {
+            let mut mon = relock(exec.mon.lock());
+            mon.atomic_state(uid, init).value
+        }
+        None => std::panic::panic_any(Abort),
+    }
+}
+
+pub(crate) fn op_atomic_store(exec: &Exec, uid: u64, init: u64, value: u64, ordering: Ordering) {
+    let tid = cur_tid(exec);
+    let done = try_with_turn(exec, tid, |mon| {
+        let clock = mon.threads[tid].clock.clone();
+        let atomic = mon.atomic_state(uid, init);
+        atomic.value = value;
+        // A release store publishes the storing thread's history; a
+        // relaxed store publishes *nothing* — an acquire load of this
+        // value learns nothing, which is exactly how relaxed bugs escape.
+        atomic.clock = if is_release(ordering) {
+            clock
+        } else {
+            VClock::new()
+        };
+        Attempt::Done(())
+    });
+    if done.is_none() && !std::thread::panicking() {
+        std::panic::panic_any(Abort);
+    }
+}
+
+pub(crate) fn op_atomic_rmw(
+    exec: &Exec,
+    uid: u64,
+    init: u64,
+    ordering: Ordering,
+    f: impl Fn(u64) -> u64,
+) -> u64 {
+    let tid = cur_tid(exec);
+    let old = try_with_turn(exec, tid, |mon| {
+        let clock = mon.threads[tid].clock.clone();
+        let (old, atomic_clock) = {
+            let atomic = mon.atomic_state(uid, init);
+            let old = atomic.value;
+            atomic.value = f(old);
+            // RMWs extend the release sequence: even a relaxed RMW keeps
+            // the clock published by an earlier release store.
+            if is_release(ordering) {
+                atomic.clock.join(&clock);
+            }
+            (old, atomic.clock.clone())
+        };
+        if is_acquire(ordering) {
+            mon.threads[tid].clock.join(&atomic_clock);
+        }
+        Attempt::Done(old)
+    });
+    match old {
+        Some(value) => value,
+        None if std::thread::panicking() => {
+            let mut mon = relock(exec.mon.lock());
+            mon.atomic_state(uid, init).value
+        }
+        None => std::panic::panic_any(Abort),
+    }
+}
+
+/// The happens-before race check for one [`Data`](crate::sync::Data)
+/// access. Returns while the turn is still held, so the caller's actual
+/// data read/write (done immediately after) cannot interleave with
+/// another thread — `access` runs inside the turn.
+pub(crate) fn op_cell_access<R>(
+    exec: &Exec,
+    uid: u64,
+    name: &Option<String>,
+    is_write: bool,
+    access: impl FnOnce() -> R,
+) -> R {
+    let tid = cur_tid(exec);
+    let mut access = Some(access);
+    with_turn(exec, tid, move |mon| {
+        let clock = mon.threads[tid].clock.clone();
+        let mut race: Option<String> = None;
+        let cell = mon.cell_state(uid, name);
+        let label = cell
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("cell#{}", uid & 0xffff_ffff));
+        let kind = if is_write { "write" } else { "read" };
+        if let Some((w_tid, w_clock)) = &cell.last_write {
+            if *w_tid != tid && !w_clock.leq(&clock) {
+                race = Some(format!(
+                    "{kind} of {label} by t{tid} is unordered with the write by \
+                     t{w_tid} — no happens-before edge connects them; if an \
+                     atomic flag publishes this data it needs \
+                     Ordering::Release on the store and Ordering::Acquire on \
+                     the load (Relaxed creates no edge)"
+                ));
+            }
+        }
+        if is_write {
+            for (r_tid, r_clock) in &cell.reads {
+                if *r_tid != tid && !r_clock.leq(&clock) {
+                    race = Some(format!(
+                        "write of {label} by t{tid} is unordered with a read by \
+                         t{r_tid} — no happens-before edge connects them; if an \
+                         atomic flag publishes this data it needs \
+                         Ordering::Release on the store and Ordering::Acquire \
+                         on the load (Relaxed creates no edge)"
+                    ));
+                }
+            }
+            cell.last_write = Some((tid, clock));
+            cell.reads.clear();
+        } else {
+            cell.reads.retain(|(r_tid, _)| *r_tid != tid);
+            cell.reads.push((tid, clock));
+        }
+        if let Some(message) = race {
+            mon.report(ViolationKind::DataRace, message);
+        }
+        let access = access.take().expect("cell access attempted once");
+        Attempt::Done(access())
+    })
+}
+
+/// Registers a new model thread; returns its tid. The OS thread itself is
+/// spawned by the caller after the operation completes.
+pub(crate) fn op_spawn(exec: &Exec) -> usize {
+    let tid = cur_tid(exec);
+    with_turn(exec, tid, |mon| {
+        if mon.threads.len() >= 32 {
+            mon.report(
+                ViolationKind::StepBudget,
+                "model spawned more than 32 threads".to_owned(),
+            );
+            return Attempt::Done(usize::MAX);
+        }
+        let new_tid = mon.threads.len();
+        // Spawn is a happens-before edge: the child starts knowing
+        // everything the parent knew.
+        let clock = mon.threads[tid].clock.clone();
+        mon.threads.push(ThreadSlot::new(clock));
+        mon.live_os += 1;
+        Attempt::Done(new_tid)
+    })
+}
+
+/// Rolls back a registration from [`op_spawn`] when the OS-level spawn
+/// itself failed (resource exhaustion): the slot finishes unstarted so
+/// the scheduler's live-thread accounting stays balanced.
+pub(crate) fn undo_spawn(exec: &Exec, tid: usize, error: &str) {
+    let mut mon = relock(exec.mon.lock());
+    mon.report(
+        ViolationKind::Panic,
+        format!("OS thread spawn failed for model thread t{tid}: {error}"),
+    );
+    mon.threads[tid].state = TState::Finished;
+    mon.live_os -= 1;
+    mon.aborting = true;
+    exec.cv.notify_all();
+}
+
+pub(crate) fn op_join(exec: &Exec, target: usize) {
+    let tid = cur_tid(exec);
+    with_turn(exec, tid, |mon| {
+        if mon.threads[target].state == TState::Finished {
+            // Join is the converse edge: the parent learns everything the
+            // child did.
+            let clock = mon.threads[target].clock.clone();
+            mon.threads[tid].clock.join(&clock);
+            Attempt::Done(())
+        } else {
+            mon.threads[tid].state = TState::BlockedJoin(target);
+            Attempt::Block
+        }
+    });
+}
+
+pub(crate) fn op_yield(exec: &Exec) {
+    let tid = cur_tid(exec);
+    with_turn(exec, tid, |_mon| Attempt::Done(()));
+}
+
+fn op_exit(exec: &Exec, tid: usize) {
+    with_turn(exec, tid, |mon| {
+        if let Some(&held) = mon.threads[tid].held.first() {
+            let message = format!(
+                "thread t{tid} finished while still holding {} — the lock is \
+                 never released",
+                mon.lock_name(held)
+            );
+            mon.report(ViolationKind::LockLeak, message);
+        }
+        mon.threads[tid].state = TState::Finished;
+        for slot in &mut mon.threads {
+            if slot.state == TState::BlockedJoin(tid) {
+                slot.state = TState::Runnable;
+            }
+        }
+        Attempt::Done(())
+    });
+}
+
+fn cur_tid(exec: &Exec) -> usize {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        let ctx = ctx
+            .as_ref()
+            .expect("hi-check shadow primitive used outside a checker run (explore/replay)");
+        debug_assert!(std::ptr::eq(&*ctx.exec, exec));
+        ctx.tid
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Thread wrapper
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Body of every model OS thread: installs the thread-local context, runs
+/// the user closure, and reports the outcome to the monitor. Returns
+/// `None` when the closure was unwound by an execution abort.
+pub(crate) fn wrapper<T>(exec: Arc<Exec>, tid: usize, f: impl FnOnce() -> T) -> Option<T> {
+    CTX.with(|ctx| {
+        *ctx.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+            obj_seq: Cell::new(0),
+        });
+    });
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CTX.with(|ctx| ctx.borrow_mut().take());
+    let value = match result {
+        Ok(value) => {
+            op_exit(&exec, tid);
+            Some(value)
+        }
+        Err(payload) => {
+            let mut mon = relock(exec.mon.lock());
+            if !payload.is::<Abort>() {
+                let message = format!(
+                    "thread t{tid} panicked: {}",
+                    payload_message(payload.as_ref())
+                );
+                mon.report(ViolationKind::Panic, message);
+            }
+            mon.aborting = true;
+            mon.threads[tid].state = TState::Finished;
+            for slot in &mut mon.threads {
+                if slot.state == TState::BlockedJoin(tid) {
+                    slot.state = TState::Runnable;
+                }
+            }
+            if mon.active == Active::Thread(tid) {
+                mon.active = Active::Scheduler;
+            }
+            exec.cv.notify_all();
+            None
+        }
+    };
+    let mut mon = relock(exec.mon.lock());
+    mon.live_os -= 1;
+    exec.cv.notify_all();
+    drop(mon);
+    value
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler
+
+struct ExecOutcome {
+    decisions: Vec<Decision>,
+    violation: Option<(ViolationKind, String)>,
+    locks: Vec<LockUsage>,
+}
+
+fn schedule_string(decisions: &[Decision]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.options[d.taken].to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Runs one execution of `model` under the decision prefix `forced`.
+fn run_once<F>(cfg: &Config, forced: Vec<usize>, model: &Arc<F>) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Exec {
+        mon: StdMutex::new(Mon::new(forced)),
+        cv: StdCondvar::new(),
+        cfg: cfg.clone(),
+    });
+    {
+        let mut mon = relock(exec.mon.lock());
+        mon.threads.push(ThreadSlot::new(VClock::new()));
+        mon.live_os = 1;
+    }
+    let handle = {
+        let exec = Arc::clone(&exec);
+        let model = Arc::clone(model);
+        std::thread::Builder::new()
+            .name("hi-check-t0".to_owned())
+            .spawn(move || wrapper(exec, 0, move || (*model)()))
+            .expect("spawn model thread 0")
+    };
+    scheduler_loop(&exec);
+    let _ = handle.join();
+    let mut mon = relock(exec.mon.lock());
+    let mut locks: Vec<LockUsage> = mon
+        .locks
+        .iter()
+        .map(|(uid, state)| LockUsage {
+            name: state
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("lock#{}", uid & 0xffff_ffff)),
+            acquires: state.acquires,
+            releases: state.releases,
+        })
+        .collect();
+    locks.sort_by(|a, b| a.name.cmp(&b.name));
+    ExecOutcome {
+        decisions: std::mem::take(&mut mon.decisions),
+        violation: mon.violation.clone(),
+        locks,
+    }
+}
+
+fn scheduler_loop(exec: &Exec) {
+    let mut mon: MutexGuard<'_, Mon> = relock(exec.mon.lock());
+    loop {
+        while mon.active != Active::Scheduler {
+            mon = relock(exec.cv.wait(mon));
+        }
+        if mon.violation.is_some() {
+            break;
+        }
+        if mon
+            .threads
+            .iter()
+            .all(|slot| slot.state == TState::Finished)
+        {
+            break;
+        }
+        // Threads that can make real progress: runnable, or parked
+        // waiters someone has notified.
+        let progress: Vec<usize> = mon
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                matches!(
+                    slot.state,
+                    TState::Runnable | TState::WaitingCv { notified: true, .. }
+                )
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        // Waiters only a spurious wakeup could revive.
+        let spurious: Vec<usize> = if exec.cfg.spurious_wakeups {
+            mon.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| {
+                    matches!(
+                        slot.state,
+                        TState::WaitingCv {
+                            notified: false,
+                            ..
+                        }
+                    )
+                })
+                .map(|(tid, _)| tid)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if progress.is_empty() {
+            let (kind, message) = classify_stuck(&mon);
+            mon.report(kind, message);
+            break;
+        }
+        // Candidate order: continue the last-scheduled thread first (no
+        // preemption), then the rest ascending, then spurious wakeups.
+        // A reached preemption bound forces continuation.
+        let cont = mon
+            .last_scheduled
+            .filter(|l| progress.contains(l) && mon.threads[*l].state == TState::Runnable);
+        let bound_hit = exec
+            .cfg
+            .preemption_bound
+            .is_some_and(|bound| mon.preemptions >= bound);
+        let mut options: Vec<usize> = Vec::new();
+        if let Some(l) = cont {
+            options.push(l);
+        }
+        if !(bound_hit && cont.is_some()) {
+            for &tid in progress.iter().chain(spurious.iter()) {
+                if !options.contains(&tid) {
+                    options.push(tid);
+                }
+            }
+        }
+        let index = mon.decisions.len();
+        let taken = match mon.forced.get(index) {
+            Some(&forced_tid) => match options.iter().position(|&t| t == forced_tid) {
+                Some(position) => position,
+                None => {
+                    let message = format!(
+                        "replayed schedule chose t{forced_tid} at decision {index}, but the \
+                         candidates are {options:?} — the model is not deterministic \
+                         under a fixed schedule"
+                    );
+                    mon.report(ViolationKind::ReplayDivergence, message);
+                    break;
+                }
+            },
+            None => 0,
+        };
+        let choice = options[taken];
+        mon.decisions.push(Decision { options, taken });
+        if let Some(l) = cont {
+            if choice != l {
+                mon.preemptions += 1;
+            }
+        }
+        if let TState::WaitingCv { .. } = mon.threads[choice].state {
+            mon.threads[choice].state = TState::Runnable;
+        }
+        mon.last_scheduled = Some(choice);
+        mon.active = Active::Thread(choice);
+        exec.cv.notify_all();
+    }
+    mon.aborting = true;
+    exec.cv.notify_all();
+    while mon.live_os > 0 {
+        mon = relock(exec.cv.wait(mon));
+    }
+}
+
+/// No thread can make progress: name the culprits.
+fn classify_stuck(mon: &Mon) -> (ViolationKind, String) {
+    let mut waiters = Vec::new();
+    let mut blocked = Vec::new();
+    for (tid, slot) in mon.threads.iter().enumerate() {
+        match &slot.state {
+            TState::WaitingCv { cv, .. } => {
+                waiters.push(format!("t{tid} parked on cv#{}", cv & 0xffff_ffff));
+            }
+            TState::BlockedLock(uid) => {
+                blocked.push(format!("t{tid} waiting for {}", mon.lock_name(*uid)));
+            }
+            TState::BlockedJoin(target) => {
+                blocked.push(format!("t{tid} joining t{target}"));
+            }
+            TState::Runnable | TState::Finished => {}
+        }
+    }
+    if waiters.is_empty() {
+        (
+            ViolationKind::Deadlock,
+            format!("all unfinished threads are blocked: {}", blocked.join(", ")),
+        )
+    } else {
+        let mut parts = waiters;
+        parts.extend(blocked);
+        (
+            ViolationKind::LostWakeup,
+            format!(
+                "{} — no runnable thread remains to notify, so the wakeup is \
+                 lost (progress must not depend on a spurious wakeup)",
+                parts.join(", ")
+            ),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration drivers
+
+/// Explores interleavings of `model` under `cfg`, stopping at the first
+/// violation or when the (preemption-bounded) schedule space or the
+/// execution budget is exhausted.
+pub fn explore<F>(cfg: &Config, model: F) -> CheckReport
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model = Arc::new(model);
+    let mut forced: Vec<usize> = Vec::new();
+    let mut executions = 0u64;
+    loop {
+        let outcome = run_once(cfg, forced.clone(), &model);
+        executions += 1;
+        if let Some((kind, message)) = outcome.violation {
+            return CheckReport {
+                executions,
+                complete: false,
+                violation: Some(Violation {
+                    kind,
+                    schedule: schedule_string(&outcome.decisions),
+                    message,
+                }),
+                locks: outcome.locks,
+            };
+        }
+        if executions >= cfg.max_executions {
+            return CheckReport {
+                executions,
+                complete: false,
+                violation: None,
+                locks: outcome.locks,
+            };
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        let mut decisions = outcome.decisions;
+        let exhausted = loop {
+            match decisions.pop() {
+                None => break true,
+                Some(decision) => {
+                    if decision.taken + 1 < decision.options.len() {
+                        forced = decisions
+                            .iter()
+                            .map(|d| d.options[d.taken])
+                            .collect::<Vec<_>>();
+                        forced.push(decision.options[decision.taken + 1]);
+                        break false;
+                    }
+                }
+            }
+        };
+        if exhausted {
+            return CheckReport {
+                executions,
+                complete: true,
+                violation: None,
+                locks: outcome.locks,
+            };
+        }
+    }
+}
+
+/// Replays one execution from a schedule string produced by a
+/// [`Violation`]; decisions beyond the recorded prefix take first
+/// choices. Returns that single execution's report.
+pub fn replay<F>(cfg: &Config, schedule: &str, model: F) -> CheckReport
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let forced: Vec<usize> = schedule
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("malformed schedule entry `{part}`"))
+        })
+        .collect();
+    let model = Arc::new(model);
+    let outcome = run_once(cfg, forced, &model);
+    CheckReport {
+        executions: 1,
+        complete: false,
+        violation: outcome.violation.map(|(kind, message)| Violation {
+            kind,
+            schedule: schedule_string(&outcome.decisions),
+            message,
+        }),
+        locks: outcome.locks,
+    }
+}

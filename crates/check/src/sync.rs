@@ -1,0 +1,324 @@
+//! Shadow synchronization primitives: checker-instrumented analogues of
+//! `std::sync` with the same surface `hi-exec`'s facade exposes.
+//!
+//! Each object carries a deterministic id; every visible operation hands
+//! control to the scheduler (a *schedule point*) and updates the shadow
+//! state — lock ownership, vector clocks, lock-order edges — under the
+//! checker's monitor. The protected data itself lives in an ordinary
+//! `std::sync::Mutex`, which is uncontended by construction because the
+//! shadow protocol already serializes access.
+//!
+//! Extras over the real facade: [`Condvar::wait`] (a bare, predicate-less
+//! wait, so mutant models can demonstrate why `wait_while` is required),
+//! [`Data`] (a plain-data cell whose accesses are race-checked), and
+//! `named` constructors that make reports readable.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use crate::runtime::{self, alloc_uid, cur};
+
+/// A shadow mutex. Lock acquisition is a schedule point; ownership,
+/// happens-before transfer and lock-order edges are tracked by the
+/// checker.
+pub struct Mutex<T> {
+    uid: u64,
+    name: Option<String>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// An anonymous mutex (reported as `lock#<uid>`).
+    pub fn new(value: T) -> Self {
+        Self {
+            uid: alloc_uid(),
+            name: None,
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// A named mutex; the name appears in violations and lock usage.
+    pub fn named(value: T, name: &str) -> Self {
+        Self {
+            uid: alloc_uid(),
+            name: Some(name.to_owned()),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking (in model time) until it is free.
+    /// Unlike `std`, poisoning is transparent: the facade recovers the
+    /// inner value, matching `hi-exec`'s panic-tolerant usage.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (exec, _) = cur();
+        runtime::op_lock(&exec, self.uid, &self.name);
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("uid", &self.uid).finish()
+    }
+}
+
+/// RAII guard for a [`Mutex`]; releasing it is a schedule point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the inner lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the inner lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real mutex first, then the shadow ownership; in
+        // between, no other thread can reach the data because the shadow
+        // protocol still names us as owner. A guard consumed by
+        // `Condvar::wait` has `inner == None` and releases nothing here —
+        // the park operation transferred ownership atomically.
+        if self.inner.take().is_some() {
+            let (exec, _) = cur();
+            runtime::op_unlock(&exec, self.lock.uid, &self.lock.name);
+        }
+    }
+}
+
+impl<T> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexGuard")
+            .field("uid", &self.lock.uid)
+            .finish()
+    }
+}
+
+/// A shadow condition variable.
+///
+/// The checker models notifications exactly as `std` documents them: a
+/// notify with no parked waiter is lost, `notify_one` wakes the earliest
+/// parked waiter, and (optionally) spurious wakeups may occur. Lost
+/// wakeups — a parked waiter with no runnable thread left to notify it —
+/// are reported as violations.
+#[derive(Debug)]
+pub struct Condvar {
+    uid: u64,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Self { uid: alloc_uid() }
+    }
+
+    /// Parks until notified (or spuriously woken, when the checker's
+    /// [`Config`](crate::Config) explores those). The real facade does
+    /// not expose this — `hi-exec` must use [`Condvar::wait_while`] — but
+    /// mutant models use it to demonstrate why bare waits are bugs.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        // Drop the real inner lock, then let the park operation release
+        // the shadow ownership and park in one atomic step — the window
+        // where a notifier could slip between unlock and park is exactly
+        // what the operation models.
+        guard.inner = None;
+        drop(guard);
+        let (exec, _) = cur();
+        runtime::op_cv_park(&exec, self.uid, lock.uid, &lock.name);
+        lock.lock()
+    }
+
+    /// Parks while `condition` holds, rechecking after every wakeup —
+    /// the spurious-wakeup-safe wait the `hi-exec` facade standardizes
+    /// on.
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes the earliest-parked waiter, if any.
+    pub fn notify_one(&self) {
+        let (exec, _) = cur();
+        runtime::op_notify(&exec, self.uid, false);
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        let (exec, _) = cur();
+        runtime::op_notify(&exec, self.uid, true);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A shadow `AtomicBool`. Accesses are schedule points; the `Ordering`
+/// governs happens-before transfer exactly as on hardware: `Release`
+/// stores publish the writer's history, `Acquire` loads adopt it,
+/// `Relaxed` transfers nothing (which is how too-weak orderings surface
+/// as data races on the [`Data`] the atomic was meant to publish).
+#[derive(Debug)]
+pub struct AtomicBool {
+    uid: u64,
+    init: u64,
+}
+
+impl AtomicBool {
+    /// A new flag with the given initial value.
+    pub fn new(value: bool) -> Self {
+        Self {
+            uid: alloc_uid(),
+            init: u64::from(value),
+        }
+    }
+
+    /// Loads the flag.
+    pub fn load(&self, ordering: Ordering) -> bool {
+        let (exec, _) = cur();
+        runtime::op_atomic_load(&exec, self.uid, self.init, ordering) != 0
+    }
+
+    /// Stores the flag.
+    pub fn store(&self, value: bool, ordering: Ordering) {
+        let (exec, _) = cur();
+        runtime::op_atomic_store(&exec, self.uid, self.init, u64::from(value), ordering);
+    }
+
+    /// Stores and returns the previous value.
+    pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+        let (exec, _) = cur();
+        runtime::op_atomic_rmw(&exec, self.uid, self.init, ordering, |_| u64::from(value)) != 0
+    }
+}
+
+/// A shadow `AtomicU64`; see [`AtomicBool`] for the ordering semantics.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    uid: u64,
+    init: u64,
+}
+
+impl AtomicU64 {
+    /// A new counter with the given initial value.
+    pub fn new(value: u64) -> Self {
+        Self {
+            uid: alloc_uid(),
+            init: value,
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, ordering: Ordering) -> u64 {
+        let (exec, _) = cur();
+        runtime::op_atomic_load(&exec, self.uid, self.init, ordering)
+    }
+
+    /// Stores the value.
+    pub fn store(&self, value: u64, ordering: Ordering) {
+        let (exec, _) = cur();
+        runtime::op_atomic_store(&exec, self.uid, self.init, value, ordering);
+    }
+
+    /// Adds, wrapping, and returns the previous value.
+    pub fn fetch_add(&self, delta: u64, ordering: Ordering) -> u64 {
+        let (exec, _) = cur();
+        runtime::op_atomic_rmw(&exec, self.uid, self.init, ordering, |old| {
+            old.wrapping_add(delta)
+        })
+    }
+
+    /// Subtracts, wrapping, and returns the previous value.
+    pub fn fetch_sub(&self, delta: u64, ordering: Ordering) -> u64 {
+        let (exec, _) = cur();
+        runtime::op_atomic_rmw(&exec, self.uid, self.init, ordering, |old| {
+            old.wrapping_sub(delta)
+        })
+    }
+}
+
+/// A plain-data cell with race-checked accesses — the checker's stand-in
+/// for any non-atomic value two threads might share (a result slot, a
+/// cache entry). Every access is checked against the happens-before
+/// order; unordered access pairs (at least one a write) are
+/// [`DataRace`](crate::ViolationKind::DataRace) violations.
+pub struct Data<T> {
+    uid: u64,
+    name: Option<String>,
+    value: StdMutex<T>,
+}
+
+impl<T> Data<T> {
+    /// An anonymous cell (reported as `cell#<uid>`).
+    pub fn new(value: T) -> Self {
+        Self {
+            uid: alloc_uid(),
+            name: None,
+            value: StdMutex::new(value),
+        }
+    }
+
+    /// A named cell; the name appears in race reports.
+    pub fn named(value: T, name: &str) -> Self {
+        Self {
+            uid: alloc_uid(),
+            name: Some(name.to_owned()),
+            value: StdMutex::new(value),
+        }
+    }
+
+    /// Race-checked write.
+    pub fn set(&self, value: T) {
+        let (exec, _) = cur();
+        runtime::op_cell_access(&exec, self.uid, &self.name, true, || {
+            *self.value.lock().unwrap_or_else(PoisonError::into_inner) = value;
+        });
+    }
+}
+
+impl<T: Clone> Data<T> {
+    /// Race-checked read.
+    pub fn get(&self) -> T {
+        let (exec, _) = cur();
+        runtime::op_cell_access(&exec, self.uid, &self.name, false, || {
+            self.value
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        })
+    }
+}
+
+impl<T> fmt::Debug for Data<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Data").field("uid", &self.uid).finish()
+    }
+}

@@ -1,0 +1,66 @@
+//! Shadow threads: model-thread spawning and joining under the checker.
+
+use std::sync::Arc;
+
+use crate::runtime::{self, cur, Abort};
+
+/// Handle to a spawned model thread; joining is a schedule point and a
+/// happens-before edge (the joiner adopts everything the child did).
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish and returns its
+    /// result. The `Result` mirrors `std`'s signature; under the checker
+    /// a panicking thread aborts the whole execution instead, so `Err` is
+    /// never actually produced.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, _) = cur();
+        runtime::op_join(&exec, self.tid);
+        match self.inner.join() {
+            Ok(Some(value)) => Ok(value),
+            // The child was unwound by an execution abort; propagate.
+            _ => std::panic::panic_any(Abort),
+        }
+    }
+}
+
+/// Spawns a model thread. A schedule point and a happens-before edge
+/// (the child starts knowing everything the parent knew).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _) = cur();
+    let tid = runtime::op_spawn(&exec);
+    if tid == usize::MAX {
+        // The thread cap violation was already reported.
+        std::panic::panic_any(Abort);
+    }
+    let spawned = std::thread::Builder::new()
+        .name(format!("hi-check-t{tid}"))
+        .spawn({
+            let exec = Arc::clone(&exec);
+            move || runtime::wrapper(exec, tid, f)
+        });
+    match spawned {
+        Ok(inner) => JoinHandle { tid, inner },
+        Err(error) => {
+            // Roll back the registration so the scheduler's live-thread
+            // accounting stays balanced, then abort the execution.
+            runtime::undo_spawn(&exec, tid, &error.to_string());
+            std::panic::panic_any(Abort);
+        }
+    }
+}
+
+/// A pure schedule point: lets the scheduler switch threads with no state
+/// change, widening the explored interleavings around it.
+pub fn yield_now() {
+    let (exec, _) = cur();
+    runtime::op_yield(&exec);
+}

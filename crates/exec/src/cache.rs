@@ -2,8 +2,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::Ordering;
+
+use crate::sync::{AtomicU64, Condvar, Mutex};
 
 struct ShardState<K, V> {
     map: HashMap<K, V>,
@@ -18,12 +19,15 @@ struct Shard<K, V> {
 }
 
 impl<K, V> Shard<K, V> {
-    fn new() -> Self {
+    fn new(index: usize) -> Self {
         Self {
-            state: Mutex::new(ShardState {
-                map: HashMap::new(),
-                in_flight: HashSet::new(),
-            }),
+            state: Mutex::named(
+                ShardState {
+                    map: HashMap::new(),
+                    in_flight: HashSet::new(),
+                },
+                &format!("cache.shard{index}"),
+            ),
             settled: Condvar::new(),
         }
     }
@@ -41,7 +45,7 @@ struct InFlightGuard<'a, K: Eq + Hash + Clone, V> {
 impl<K: Eq + Hash + Clone, V> Drop for InFlightGuard<'_, K, V> {
     fn drop(&mut self) {
         if self.armed {
-            let mut state = self.shard.state.lock().expect("cache shard lock");
+            let mut state = self.shard.state.lock();
             state.in_flight.remove(self.key);
             drop(state);
             self.shard.settled.notify_all();
@@ -112,7 +116,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
     pub fn with_shards(shards: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
         Self {
-            shards: (0..count).map(|_| Shard::new()).collect(),
+            shards: (0..count).map(Shard::new).collect(),
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -134,14 +138,19 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
         let shard = self.shard(&key);
         {
-            let mut state = shard.state.lock().expect("cache shard lock");
+            let mut state = shard.state.lock();
             loop {
                 if let Some(value) = state.map.get(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return value.clone();
                 }
                 if state.in_flight.contains(&key) {
-                    state = shard.settled.wait(state).expect("cache shard wait");
+                    // Predicate wait: immune to spurious wakeups, and the
+                    // in-flight set (not a boolean) is the predicate, so a
+                    // wakeup for a *different* key on this shard loops too.
+                    state = shard
+                        .settled
+                        .wait_while(state, |s| s.in_flight.contains(&key));
                     continue;
                 }
                 state.in_flight.insert(key.clone());
@@ -155,7 +164,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
         };
         let value = compute();
         {
-            let mut state = shard.state.lock().expect("cache shard lock");
+            let mut state = shard.state.lock();
             state.map.insert(key.clone(), value.clone());
             state.in_flight.remove(&key);
         }
@@ -167,7 +176,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
 
     /// The cached value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
-        let state = self.shard(key).state.lock().expect("cache shard lock");
+        let state = self.shard(key).state.lock();
         state.map.get(key).cloned()
     }
 
@@ -180,16 +189,13 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
     /// for the chaos-injection layer, which drops entries to prove the
     /// exactly-once machinery recomputes identical values.
     pub fn remove(&self, key: &K) -> bool {
-        let mut state = self.shard(key).state.lock().expect("cache shard lock");
+        let mut state = self.shard(key).state.lock();
         state.map.remove(key).is_some()
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.state.lock().expect("cache shard lock").map.len())
-            .sum()
+        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
     }
 
     /// True if nothing has been cached yet.
@@ -198,7 +204,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "shadow")))]
 mod tests {
     use super::*;
 

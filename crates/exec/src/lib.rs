@@ -42,6 +42,10 @@ mod cancel;
 mod error;
 mod pool;
 mod supervise;
+mod sync;
+
+#[cfg(all(test, feature = "shadow"))]
+mod model_tests;
 
 pub use cache::EvalCache;
 pub use cancel::CancelToken;

@@ -1,0 +1,138 @@
+//! Model-checking tests: the *real* `hi-exec` protocols under `hi-check`.
+//!
+//! Compiled only with `--features shadow`, where [`crate::sync`] resolves
+//! to the checker's instrumented primitives. Each test hands a closure
+//! over genuine `ThreadPool` / `EvalCache` / `CancelToken` code to
+//! [`hi_check::explore`], which runs it across bounded-preemption thread
+//! interleavings and verifies vector-clock, lock-order and wakeup
+//! invariants on every one. These are the checks the mutant suite in
+//! `crates/check/tests/mutants.rs` proves have teeth.
+//!
+//! Budgets are deliberately modest: the pool model already interleaves
+//! three OS-visible threads (two workers plus the submitter), and a few
+//! thousand schedules with preemption bound 2 is the loom-style sweet
+//! spot — exhaustive for the bug classes we seed, minutes not hours.
+
+use hi_check::{explore, Config};
+
+use crate::{CancelToken, EvalCache, ThreadPool};
+
+fn budget(max_executions: u64) -> Config {
+    Config {
+        max_executions,
+        ..Config::default()
+    }
+}
+
+/// Asserts a clean sweep and that exploration actually branched.
+fn assert_clean(name: &str, config: &Config, model: impl Fn() + Send + Sync + 'static) {
+    let report = explore(config, model);
+    assert!(
+        report.is_clean(),
+        "{name}: checker found {}",
+        report.violation.expect("violation present")
+    );
+    assert!(
+        report.executions > 1,
+        "{name}: only one interleaving explored"
+    );
+}
+
+#[test]
+fn pool_park_unpark_and_steal_check_clean() {
+    // Two workers and the submitting thread: covers the generation-counter
+    // park/unpark protocol, the injector/deque scan and the completion
+    // latch of `par_map`, with results asserted in input order.
+    assert_clean("pool.par_map", &budget(3_000), || {
+        let pool = ThreadPool::new(2);
+        let out = pool.par_map(vec![1u64, 2], |x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+        drop(pool);
+    });
+}
+
+#[test]
+fn pool_empty_batch_and_shutdown_check_clean() {
+    // Shutdown racing workers that never received work: the pure
+    // park/unpark handshake, no tasks to hide a lost wakeup behind.
+    assert_clean("pool.shutdown", &budget(3_000), || {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u64> = pool.par_map(Vec::new(), |x: u64| x);
+        assert!(out.is_empty());
+        drop(pool);
+    });
+}
+
+#[test]
+fn cache_settle_waiter_handoff_checks_clean() {
+    // Three getters race one cold key; exactly one computes, the others
+    // take the condvar waiter path and must observe the settled value.
+    // One shard keeps shard selection deterministic under the checker.
+    assert_clean("cache.get_or_compute", &budget(3_000), || {
+        let cache = std::sync::Arc::new(EvalCache::<u64, u64>::with_shards(1));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                crate::sync::thread::spawn_named("getter".into(), move || {
+                    assert_eq!(cache.get_or_compute(7, || 42), 42);
+                })
+            })
+            .collect();
+        assert_eq!(cache.get_or_compute(7, || 42), 42);
+        for h in handles {
+            h.join().expect("getter panicked");
+        }
+        assert_eq!(cache.misses(), 1, "key computed more than once");
+    });
+}
+
+#[test]
+fn cancel_mid_batch_checks_clean() {
+    // Cancellation raced against a two-task batch: whatever the schedule,
+    // a slot is either a real result or `None`, the latch always settles,
+    // and the cancel flag's Release/Acquire pairing publishes cleanly.
+    assert_clean("pool.cancel", &budget(3_000), || {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            crate::sync::thread::spawn_named("canceller".into(), move || token.cancel())
+        };
+        let out = pool.par_map_cancellable(vec![1u64, 2], token, |x| x + 1);
+        for (i, slot) in out.iter().enumerate() {
+            assert!(
+                slot.is_none() || *slot == Some(i as u64 + 2),
+                "slot {i} corrupted: {slot:?}"
+            );
+        }
+        canceller.join().expect("canceller panicked");
+        drop(pool);
+    });
+}
+
+#[test]
+fn cancellation_observed_inside_cache_waiter_checks_clean() {
+    // A waiter parked on the cache's `settled` condvar wakes into a
+    // cancelled world: the wait itself must still hand over the value
+    // (exactly-once), with cancellation only deciding what the caller
+    // does *next* — the protocol hi-sup's retry loop relies on.
+    assert_clean("cache.cancelled_waiter", &budget(3_000), || {
+        let cache = std::sync::Arc::new(EvalCache::<u64, u64>::with_shards(1));
+        let token = CancelToken::new();
+        let getter = {
+            let cache = std::sync::Arc::clone(&cache);
+            let token = token.clone();
+            crate::sync::thread::spawn_named("waiter".into(), move || {
+                let value = cache.get_or_compute(3, || 30);
+                // The value is authoritative even if cancel already fired.
+                assert_eq!(value, 30);
+                token.is_cancelled()
+            })
+        };
+        let value = cache.get_or_compute(3, || 30);
+        token.cancel();
+        assert_eq!(value, 30);
+        let _saw_cancel = getter.join().expect("waiter panicked");
+        assert_eq!(cache.misses(), 1);
+    });
+}

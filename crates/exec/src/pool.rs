@@ -1,13 +1,18 @@
 //! The work-stealing thread pool and its order-preserving `par_map`.
+//!
+//! All synchronization goes through [`crate::sync`], so this exact source
+//! also runs under `hi-check`'s model checker (`--features shadow`),
+//! which explores its park/unpark, steal and completion-latch protocols
+//! across thread interleavings.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use crate::cancel::CancelToken;
+use crate::sync::{thread::JoinHandle, AtomicBool, AtomicU64, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -31,12 +36,22 @@ struct Shared {
     stats: StatCells,
 }
 
-#[derive(Default)]
 struct StatCells {
     tasks_run: AtomicU64,
     steals: AtomicU64,
     parks: AtomicU64,
     unparks: AtomicU64,
+}
+
+impl StatCells {
+    fn new() -> Self {
+        Self {
+            tasks_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A point-in-time copy of the pool's scheduling counters.
@@ -56,19 +71,32 @@ pub struct PoolStats {
 }
 
 impl Shared {
+    fn new(threads: usize) -> Self {
+        Self {
+            queues: (0..threads)
+                .map(|id| Mutex::named(VecDeque::new(), &format!("pool.deque{id}")))
+                .collect(),
+            injector: Mutex::named(VecDeque::new(), "pool.injector"),
+            generation: Mutex::named(0, "pool.generation"),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatCells::new(),
+        }
+    }
+
     /// Finds the next runnable job for worker `id`: own deque first, then
     /// the injector, then steal round-robin from the siblings.
     fn next_job(&self, id: usize) -> Option<Job> {
-        if let Some(job) = self.queues[id].lock().expect("queue lock").pop_front() {
+        if let Some(job) = self.queues[id].lock().pop_front() {
             return Some(job);
         }
-        if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
+        if let Some(job) = self.injector.lock().pop_front() {
             return Some(job);
         }
         let n = self.queues.len();
         for k in 1..n {
             let victim = (id + k) % n;
-            if let Some(job) = self.queues[victim].lock().expect("queue lock").pop_back() {
+            if let Some(job) = self.queues[victim].lock().pop_back() {
                 self.stats.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
@@ -78,7 +106,7 @@ impl Shared {
 
     /// Bumps the generation and wakes every parked worker.
     fn notify_new_work(&self) {
-        let mut generation = self.generation.lock().expect("generation lock");
+        let mut generation = self.generation.lock();
         *generation = generation.wrapping_add(1);
         self.wakeup.notify_all();
     }
@@ -87,9 +115,9 @@ impl Shared {
 fn worker_loop(id: usize, shared: Arc<Shared>) {
     loop {
         // Remember the generation *before* scanning: if a submission lands
-        // after the scan, its bump makes the parking check below fail and
-        // we rescan instead of sleeping through the wake-up.
-        let observed = *shared.generation.lock().expect("generation lock");
+        // after the scan, its bump makes the parking predicate below fail
+        // and we rescan instead of sleeping through the wake-up.
+        let observed = *shared.generation.lock();
         if let Some(job) = shared.next_job(id) {
             job();
             shared.stats.tasks_run.fetch_add(1, Ordering::Relaxed);
@@ -98,15 +126,19 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let mut generation = shared.generation.lock().expect("generation lock");
+        // Park while nothing has changed. The predicate re-runs on every
+        // wakeup — including spurious ones — so waking early can only
+        // cost a rescan, never correctness.
         let mut parked = false;
-        while *generation == observed && !shared.shutdown.load(Ordering::Acquire) {
-            if !parked {
+        let guard = shared.generation.lock();
+        drop(shared.wakeup.wait_while(guard, |generation| {
+            let stay = *generation == observed && !shared.shutdown.load(Ordering::Acquire);
+            if stay && !parked {
                 parked = true;
                 shared.stats.parks.fetch_add(1, Ordering::Relaxed);
             }
-            generation = shared.wakeup.wait(generation).expect("wakeup wait");
-        }
+            stay
+        }));
         if parked {
             shared.stats.unparks.fetch_add(1, Ordering::Relaxed);
         }
@@ -128,14 +160,14 @@ impl<R> MapState<R> {
     fn new(len: usize) -> Self {
         Self {
             results: (0..len).map(|_| Mutex::new(None)).collect(),
-            remaining: Mutex::new(len),
+            remaining: Mutex::named(len, "map.remaining"),
             done: Condvar::new(),
-            panic: Mutex::new(None),
+            panic: Mutex::named(None, "map.panic"),
         }
     }
 
     fn finish_one(&self) {
-        let mut remaining = self.remaining.lock().expect("remaining lock");
+        let mut remaining = self.remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             self.done.notify_all();
@@ -180,21 +212,13 @@ impl ThreadPool {
     /// Spawns a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let shared = Arc::new(Shared {
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            injector: Mutex::new(VecDeque::new()),
-            generation: Mutex::new(0),
-            wakeup: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            stats: StatCells::default(),
-        });
+        let shared = Arc::new(Shared::new(threads));
         let workers = (0..threads)
             .map(|id| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hi-exec-{id}"))
-                    .spawn(move || worker_loop(id, shared))
-                    .expect("spawn pool worker")
+                crate::sync::thread::spawn_named(format!("hi-exec-{id}"), move || {
+                    worker_loop(id, shared)
+                })
             })
             .collect();
         Self { shared, workers }
@@ -259,9 +283,9 @@ impl ThreadPool {
 
     /// [`par_map_cancellable`](Self::par_map_cancellable) hardened for
     /// untrusted tasks: a panicking task degrades to a per-slot
-    /// [`EvalError`] instead of aborting the batch, so one broken point
-    /// cannot take down a whole exploration level. `None` still marks
-    /// slots skipped after cancellation.
+    /// [`EvalError`](crate::EvalError) instead of aborting the batch, so
+    /// one broken point cannot take down a whole exploration level.
+    /// `None` still marks slots skipped after cancellation.
     pub fn par_map_catching<T, R, F>(
         &self,
         items: Vec<T>,
@@ -303,32 +327,28 @@ impl ThreadPool {
                 if !skipped {
                     match catch_unwind(AssertUnwindSafe(|| f(item))) {
                         Ok(result) => {
-                            *state.results[index].lock().expect("result lock") = Some(result);
+                            *state.results[index].lock() = Some(result);
                         }
                         Err(payload) => {
-                            let mut first = state.panic.lock().expect("panic lock");
+                            let mut first = state.panic.lock();
                             if first.is_none() {
                                 *first = Some(payload);
                             }
                         }
                     }
                 }
+                // Cancelled and panicked tasks still count down: the latch
+                // counts dispatched tasks, not successful ones.
                 state.finish_one();
             });
-            self.shared.queues[index % threads]
-                .lock()
-                .expect("queue lock")
-                .push_back(job);
+            self.shared.queues[index % threads].lock().push_back(job);
         }
         self.shared.notify_new_work();
 
-        let mut remaining = state.remaining.lock().expect("remaining lock");
-        while *remaining > 0 {
-            remaining = state.done.wait(remaining).expect("done wait");
-        }
-        drop(remaining);
+        let remaining = state.remaining.lock();
+        drop(state.done.wait_while(remaining, |remaining| *remaining > 0));
 
-        if let Some(payload) = state.panic.lock().expect("panic lock").take() {
+        if let Some(payload) = state.panic.lock().take() {
             resume_unwind(payload);
         }
         // Workers may still hold their `Arc` clones for an instant after
@@ -337,7 +357,7 @@ impl ThreadPool {
         state
             .results
             .iter()
-            .map(|slot| slot.lock().expect("result lock").take())
+            .map(|slot| slot.lock().take())
             .collect()
     }
 }
@@ -354,7 +374,7 @@ impl Drop for ThreadPool {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "shadow")))]
 mod tests {
     use super::*;
 

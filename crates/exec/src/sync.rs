@@ -1,0 +1,143 @@
+//! The synchronization facade: one API, two engines.
+//!
+//! All of `hi-exec`'s pool/cache/cancel code is written against this
+//! module instead of `std::sync`. In a normal build it compiles to thin
+//! zero-logic wrappers over the real primitives. With the `shadow`
+//! feature (enabled only by `cargo test -p hi-exec --features shadow`)
+//! the same source compiles against `hi-check`'s instrumented shadow
+//! primitives, so the model checker explores schedules, vector clocks and
+//! lock orders of the *actual* protocol code, not a transcription of it.
+//!
+//! The facade is deliberately narrower than `std::sync`:
+//!
+//! - [`Mutex::lock`] returns the guard directly. Poisoning is recovered
+//!   via [`PoisonError::into_inner`]: `hi-exec` survives panicking user
+//!   tasks by design, and no internal invariant is guard-scoped in a way
+//!   poisoning would protect.
+//! - [`Condvar`] exposes **only** [`Condvar::wait_while`] plus
+//!   `notify_all`. A bare `wait` is not available on purpose — every wait
+//!   in this crate must state its predicate, which is what makes it
+//!   immune to spurious wakeups and checkable by `hi-check`. `notify_one`
+//!   is omitted for the dual reason: waking a single waiter is only
+//!   correct when *any* waiter can make progress, and both protocols here
+//!   (generation parking, cache settle) have heterogeneous waiters.
+//! - [`thread::spawn_named`] is the only way to start a thread.
+
+#[cfg(not(feature = "shadow"))]
+mod real {
+    use std::sync::PoisonError;
+
+    pub use std::sync::atomic::{AtomicBool, AtomicU64};
+
+    /// `std::sync::Mutex` with direct (poison-recovering) lock.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard for the facade [`Mutex`].
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Same as [`Mutex::new`]; the name only matters to the shadow
+        /// build, where it labels the lock in checker reports.
+        pub fn named(value: T, _name: &str) -> Self {
+            Self::new(value)
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// `std::sync::Condvar` narrowed to predicate waits.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Self(std::sync::Condvar::new())
+        }
+
+        /// Waits while `condition` returns true, rechecking on every
+        /// wakeup — spurious or not.
+        pub fn wait_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            MutexGuard(
+                self.0
+                    .wait_while(guard.0, condition)
+                    .unwrap_or_else(PoisonError::into_inner),
+            )
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Thread spawning/joining for the facade.
+    pub mod thread {
+        pub use std::thread::JoinHandle;
+
+        /// Spawns an OS thread with the given name.
+        pub fn spawn_named<F, T>(name: String, f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(f)
+                .expect("spawn named thread")
+        }
+    }
+}
+
+#[cfg(not(feature = "shadow"))]
+pub(crate) use real::*;
+
+#[cfg(feature = "shadow")]
+mod shadow {
+    pub use hi_check::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
+
+    /// Shadow thread spawning/joining: model threads under the checker.
+    pub mod thread {
+        pub use hi_check::thread::JoinHandle;
+
+        /// Spawns a model thread; the name is recorded by the checker's
+        /// own numbering, so the argument is unused here.
+        pub fn spawn_named<F, T>(_name: String, f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            hi_check::thread::spawn(f)
+        }
+    }
+}
+
+#[cfg(feature = "shadow")]
+pub(crate) use shadow::*;

@@ -1,0 +1,152 @@
+//! Cancellation edge cases under real threads: the moments where a
+//! `CancelToken` changes state exactly as the pool or cache is making a
+//! decision based on it. The same protocols run under the model checker
+//! in `src/model_tests.rs`; these tests pin the behavioral contract on
+//! the real primitives.
+
+#![cfg(not(feature = "shadow"))]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use hi_exec::{CancelToken, EvalCache, ThreadPool};
+
+/// Cancelling before the pool has started anything skips every task:
+/// all slots come back `None` and no user code runs.
+#[test]
+fn cancel_before_first_task_skips_everything() {
+    let pool = ThreadPool::new(4);
+    let token = CancelToken::new();
+    token.cancel();
+    let ran = Arc::new(AtomicU64::new(0));
+    let out = {
+        let ran = Arc::clone(&ran);
+        pool.par_map_cancellable((0..64u64).collect::<Vec<_>>(), token, move |x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        })
+    };
+    assert_eq!(out.len(), 64, "every slot must still be accounted for");
+    assert!(out.iter().all(Option::is_none));
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "no task may have started");
+}
+
+/// `cancel` is idempotent: a second (or concurrent) cancel is a no-op,
+/// not a toggle, and every clone observes the final state.
+#[test]
+fn double_cancel_is_idempotent() {
+    let token = CancelToken::new();
+    token.cancel();
+    token.cancel();
+    assert!(token.is_cancelled());
+
+    // Concurrent cancels from many clones race benignly.
+    let token = CancelToken::new();
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let token = token.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                token.cancel();
+                assert!(token.is_cancelled());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("canceller panicked");
+    }
+    assert!(token.is_cancelled());
+}
+
+/// Cancellation racing the final task of a batch: whatever side wins,
+/// the batch settles, started tasks produce their real results, and a
+/// slot is never half-written. The cancel fires while the last task is
+/// provably in flight, so this exercises the exact boundary.
+#[test]
+fn cancel_raced_against_final_task_completing() {
+    let pool = ThreadPool::new(2);
+    for _ in 0..50 {
+        let token = CancelToken::new();
+        let last_started = Arc::new(Barrier::new(2));
+        let out = {
+            let token_inner = token.clone();
+            let last_started = Arc::clone(&last_started);
+            let canceller = {
+                let last_started = Arc::clone(&last_started);
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    last_started.wait();
+                    token.cancel();
+                })
+            };
+            let out =
+                pool.par_map_cancellable((0..4u64).collect::<Vec<_>>(), token_inner, move |x| {
+                    if x == 3 {
+                        // Signal the canceller only once the final task is
+                        // running, then give it a moment to land mid-task.
+                        last_started.wait();
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    x * 2
+                });
+            canceller.join().expect("canceller panicked");
+            out
+        };
+        assert_eq!(out.len(), 4);
+        // The final task started, so it must have completed with its
+        // real value — cancellation never interrupts a running task.
+        assert_eq!(out[3], Some(6));
+        for (i, slot) in out.iter().enumerate() {
+            assert!(
+                slot.is_none() || *slot == Some(i as u64 * 2),
+                "slot {i} corrupted: {slot:?}"
+            );
+        }
+    }
+}
+
+/// A thread parked in the cache's settled-wait observes cancellation
+/// only *after* the wait hands it the value: cancellation decides what
+/// the caller does next, never whether an in-flight compute publishes.
+#[test]
+fn cancellation_observed_inside_cache_waiter() {
+    for _ in 0..50 {
+        let cache: Arc<EvalCache<u64, u64>> = Arc::new(EvalCache::with_shards(1));
+        let token = CancelToken::new();
+        let compute_entered = Arc::new(Barrier::new(2));
+
+        let computer = {
+            let cache = Arc::clone(&cache);
+            let compute_entered = Arc::clone(&compute_entered);
+            std::thread::spawn(move || {
+                cache.get_or_compute(1, || {
+                    compute_entered.wait();
+                    // Hold the compute open so the waiter below actually
+                    // parks on the shard condvar.
+                    std::thread::sleep(Duration::from_micros(100));
+                    77
+                })
+            })
+        };
+
+        compute_entered.wait();
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let token = token.clone();
+            std::thread::spawn(move || {
+                let value = cache.get_or_compute(1, || unreachable!("key is in flight"));
+                (value, token.is_cancelled())
+            })
+        };
+        // Cancel while the waiter is (very likely) parked.
+        token.cancel();
+
+        assert_eq!(computer.join().expect("computer panicked"), 77);
+        let (value, _saw_cancel) = waiter.join().expect("waiter panicked");
+        assert_eq!(value, 77, "waiter must receive the settled value");
+        assert_eq!(cache.misses(), 1, "exactly one compute despite cancel");
+    }
+}

@@ -1,6 +1,12 @@
 //! Integration tests for the execution engine: ordering, stealing,
 //! panic propagation, cancellation and exactly-once cache semantics
 //! under real cross-thread contention.
+//!
+//! Real-thread tests only: under `--features shadow` the crate's sync
+//! facade routes to hi-check's model-checked primitives, which require a
+//! checker context (see `src/model_tests.rs` instead).
+
+#![cfg(not(feature = "shadow"))]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

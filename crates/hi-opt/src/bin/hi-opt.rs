@@ -58,9 +58,10 @@ COMMANDS:
     space      describe the design space and its constraints
     lint       statically analyze the paper scenario: configuration space,
                MILP encoding, the full Algorithm-1 cut ladder, a sample
-               event schedule, the workspace metric catalog (HL037) and
-               the execution supervision policy (HL038/HL039); exits 1 on
-               error-severity findings
+               event schedule, the workspace metric catalog (HL037), the
+               execution supervision policy (HL038/HL039), the execution
+               configuration (HL040) and hi-check model lock accounting
+               (HL041); exits 1 on error-severity findings
 
 EXPLORE OPTIONS:
     --faults <file>      score every candidate across a fault-scenario
@@ -293,7 +294,27 @@ fn parse_common(args: &[String]) -> Result<(Common, Vec<(String, String)>), CliE
     if common.t_sim.is_zero() {
         return Err("--tsim must be positive".into());
     }
+    // Lint the execution configuration (HL040): the engine clamps and
+    // rounds these silently, so e.g. `--threads 4096` on 8 cores runs —
+    // it just context-switches its budget away. Warnings only; the run
+    // proceeds.
+    let report = hi_opt::lint::lint_exec(&exec_spec(common.threads));
+    for finding in report.findings() {
+        eprintln!("exec: {finding}");
+    }
     Ok((common, rest))
+}
+
+/// Lowers the run's execution configuration for HL040. The shard count
+/// is [`EvalCache::new`]'s default — the cache every evaluator builds.
+///
+/// [`EvalCache::new`]: hi_opt::exec::EvalCache::new
+fn exec_spec(threads: usize) -> hi_opt::lint::ExecSpec {
+    hi_opt::lint::ExecSpec {
+        threads,
+        available_parallelism: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        cache_shards: 32,
+    }
 }
 
 fn parse_robust(value: &str) -> Result<RobustMode, CliError> {
@@ -922,6 +943,44 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     let report =
         hi_opt::lint::lint_supervision(&supervision_spec(&Supervisor::default(), None, false));
     print_lint_section("supervision policy (explore defaults)", &report);
+    total.merge(report);
+
+    // 7. The parallel-execution configuration explore defaults to
+    //    (HL040): worker count against this machine's cores, cache
+    //    sharding against the power-of-two mask.
+    let report = hi_opt::lint::lint_exec(&exec_spec(hi_opt::exec::default_threads()));
+    print_lint_section("execution configuration (explore defaults)", &report);
+    total.merge(report);
+
+    // 8. Lock accounting of the hi-check protocol models (HL041): a
+    //    brief exploration of each model in the catalog, with its
+    //    per-lock acquire/release counts lowered into lint specs. The
+    //    full-budget sweep lives in `cargo test -p hi-check`; 64
+    //    executions here are enough to exercise every lock.
+    let config = hi_opt::check::Config {
+        max_executions: 64,
+        ..hi_opt::check::Config::default()
+    };
+    let mut lock_total = 0usize;
+    let mut report = hi_opt::lint::Report::new();
+    for entry in hi_opt::check::models::catalog() {
+        let checked = hi_opt::check::explore(&config, entry.model);
+        let specs: Vec<hi_opt::lint::ModelLockSpec> = checked
+            .locks
+            .iter()
+            .map(|lock| hi_opt::lint::ModelLockSpec {
+                name: format!("{}/{}", entry.name, lock.name),
+                acquires: lock.acquires,
+                releases: lock.releases,
+            })
+            .collect();
+        lock_total += specs.len();
+        report.merge(hi_opt::lint::lint_model_locks(&specs));
+    }
+    print_lint_section(
+        &format!("checker model lock accounting ({lock_total} locks)"),
+        &report,
+    );
     total.merge(report);
 
     println!();

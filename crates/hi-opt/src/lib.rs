@@ -7,6 +7,8 @@
 //!
 //! * [`exec`] — the deterministic parallel execution engine (work-stealing
 //!   pool, shared evaluation cache, cancellation);
+//! * [`check`] — the loom-style model checker that verifies [`exec`]'s
+//!   concurrency protocols across thread interleavings;
 //! * [`milp`] — the exact MILP solver (simplex + branch & bound + pools);
 //! * [`lint`] — the static analyzer over models, schedules and spaces;
 //! * [`des`] — the discrete-event simulation kernel;
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use hi_channel as channel;
+pub use hi_check as check;
 pub use hi_core as core;
 pub use hi_des as des;
 pub use hi_exec as exec;

@@ -1,0 +1,230 @@
+//! Static validation of the parallel-execution configuration and of
+//! checker lock accounting.
+//!
+//! The execution substrate is permissive at run time — `ThreadPool::new`
+//! clamps a zero thread count to one, `EvalCache::with_shards` rounds any
+//! shard count up to a power of two — so misconfigurations do not crash,
+//! they silently waste a run (a 4096-thread pool on 8 cores spends its
+//! life context-switching; a "17-shard" cache silently becomes 32). This
+//! pass explains them up front:
+//!
+//! * **HL040** — an execution misconfiguration (warning, because the
+//!   engine survives all of them): a requested worker count of zero, a
+//!   worker count wildly above the machine's available parallelism, or a
+//!   cache shard count that is zero or not a power of two (the
+//!   constructor rounds, so the configured number is not the number you
+//!   get);
+//! * **HL041** — a model program handed to the `hi-check` model checker
+//!   finished an execution with more lock acquisitions than releases
+//!   (error): a leaked guard means every later acquirer of that lock
+//!   deadlocks, and a checker report built on top of it is meaningless.
+//!   The specs are lowered from `hi-check`'s per-lock `LockUsage`
+//!   accounting.
+//!
+//! Like the rest of the crate this module is dependency-free: callers
+//! lower their pool/cache configuration into an [`ExecSpec`] and checker
+//! lock usage into [`ModelLockSpec`]s.
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// One parallel-execution configuration, lowered to plain numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// Requested worker-thread count (before the engine's clamp to 1).
+    pub threads: usize,
+    /// The machine's available parallelism
+    /// ([`std::thread::available_parallelism`]), or 0 if unknown.
+    pub available_parallelism: usize,
+    /// Requested evaluation-cache shard count (before rounding up to a
+    /// power of two).
+    pub cache_shards: usize,
+}
+
+/// Ratio of requested threads to available cores beyond which HL040
+/// calls the pool oversubscribed. Modest oversubscription (2–4×) can
+/// paper over blocking; 8× and up is pure scheduler churn for CPU-bound
+/// simulation work.
+const OVERSUBSCRIPTION_RATIO: usize = 8;
+
+/// Lints a parallel-execution configuration (rule HL040).
+pub fn lint_exec(spec: &ExecSpec) -> Report {
+    let mut report = Report::new();
+    if spec.threads == 0 {
+        report.push(Finding::new(
+            RuleId::ExecMisconfigured,
+            Span::Model,
+            "thread pool configured with 0 workers — as written the run \
+             would execute nothing (the engine clamps to 1)",
+        ));
+    } else if spec.available_parallelism > 0
+        && spec.threads
+            > spec
+                .available_parallelism
+                .saturating_mul(OVERSUBSCRIPTION_RATIO)
+    {
+        report.push(Finding::new(
+            RuleId::ExecMisconfigured,
+            Span::Model,
+            format!(
+                "thread pool configured with {} workers on {} available \
+                 core(s) — CPU-bound simulations gain nothing past the \
+                 core count; this only adds scheduler churn",
+                spec.threads, spec.available_parallelism
+            ),
+        ));
+    }
+    if spec.cache_shards == 0 {
+        report.push(Finding::new(
+            RuleId::ExecMisconfigured,
+            Span::Model,
+            "evaluation cache configured with 0 shards — the engine \
+             rounds this up to 1, i.e. a single global lock",
+        ));
+    } else if !spec.cache_shards.is_power_of_two() {
+        report.push(Finding::new(
+            RuleId::ExecMisconfigured,
+            Span::Model,
+            format!(
+                "evaluation cache configured with {} shards — shard \
+                 selection masks a hash, so the engine silently rounds \
+                 this up to {}",
+                spec.cache_shards,
+                spec.cache_shards.next_power_of_two()
+            ),
+        ));
+    }
+    report
+}
+
+/// Per-lock acquire/release accounting from one checker execution,
+/// lowered from `hi-check`'s `LockUsage`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelLockSpec {
+    /// The lock's name as the checker reports it.
+    pub name: String,
+    /// Successful acquisitions across the execution.
+    pub acquires: u64,
+    /// Releases (guard drops and condvar parks) across the execution.
+    pub releases: u64,
+}
+
+/// Lints checker lock accounting (rule HL041).
+///
+/// `releases > acquires` is impossible by construction in `hi-check` (a
+/// release is only counted against a held lock), so only the leak
+/// direction fires.
+pub fn lint_model_locks(specs: &[ModelLockSpec]) -> Report {
+    let mut report = Report::new();
+    for spec in specs {
+        if spec.releases < spec.acquires {
+            report.push(Finding::new(
+                RuleId::ModelLockLeak,
+                Span::Lock {
+                    name: spec.name.clone(),
+                },
+                format!(
+                    "model acquired this lock {} time(s) but released it \
+                     only {} — a leaked guard deadlocks every later \
+                     acquirer, and checker verdicts past that point are \
+                     meaningless",
+                    spec.acquires, spec.releases
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane() -> ExecSpec {
+        ExecSpec {
+            threads: 8,
+            available_parallelism: 8,
+            cache_shards: 32,
+        }
+    }
+
+    #[test]
+    fn a_sane_exec_config_is_clean() {
+        assert!(lint_exec(&sane()).is_clean());
+        // Unknown parallelism disables the oversubscription check rather
+        // than guessing.
+        let spec = ExecSpec {
+            threads: 512,
+            available_parallelism: 0,
+            ..sane()
+        };
+        assert!(lint_exec(&spec).is_clean());
+        // Modest oversubscription is tolerated.
+        let spec = ExecSpec {
+            threads: 64,
+            available_parallelism: 8,
+            ..sane()
+        };
+        assert!(lint_exec(&spec).is_clean());
+    }
+
+    #[test]
+    fn hl040_fires_on_each_misconfiguration() {
+        let report = lint_exec(&ExecSpec {
+            threads: 0,
+            ..sane()
+        });
+        assert!(report.has_rule(RuleId::ExecMisconfigured));
+        assert!(!report.has_errors(), "HL040 is a warning");
+
+        let report = lint_exec(&ExecSpec {
+            threads: 65,
+            available_parallelism: 8,
+            ..sane()
+        });
+        assert!(report.has_rule(RuleId::ExecMisconfigured), "{report}");
+
+        let report = lint_exec(&ExecSpec {
+            cache_shards: 0,
+            ..sane()
+        });
+        assert_eq!(report.warning_count(), 1);
+
+        let report = lint_exec(&ExecSpec {
+            cache_shards: 17,
+            ..sane()
+        });
+        assert!(report.to_string().contains("rounds this up to 32"));
+    }
+
+    #[test]
+    fn hl040_findings_accumulate() {
+        let report = lint_exec(&ExecSpec {
+            threads: 0,
+            available_parallelism: 8,
+            cache_shards: 3,
+        });
+        assert_eq!(report.warning_count(), 2);
+    }
+
+    #[test]
+    fn hl041_fires_only_on_leaks() {
+        let specs = vec![
+            ModelLockSpec {
+                name: "pool.generation".into(),
+                acquires: 12,
+                releases: 12,
+            },
+            ModelLockSpec {
+                name: "cache.shard0".into(),
+                acquires: 5,
+                releases: 4,
+            },
+        ];
+        let report = lint_model_locks(&specs);
+        assert!(report.has_rule(RuleId::ModelLockLeak));
+        assert!(report.has_errors(), "HL041 is an error");
+        assert_eq!(report.error_count(), 1, "balanced lock must not fire");
+        assert!(report.to_string().contains("cache.shard0"), "{report}");
+        assert!(lint_model_locks(&[]).is_clean());
+    }
+}

@@ -29,6 +29,10 @@
 //!   retry/deadline misconfigurations that would waste the whole run
 //!   (HL038) and chaos injection left enabled in release or robust runs
 //!   (HL039).
+//! * [`lint_exec`] validates the parallel-execution configuration —
+//!   thread counts and cache sharding the engine would silently clamp or
+//!   round (HL040) — and [`lint_model_locks`] checks `hi-check` model
+//!   programs for lock acquire/release imbalance (HL041).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod concurrency;
 mod cuts;
 mod faults;
 mod metrics;
@@ -72,6 +77,7 @@ mod schedule;
 mod space;
 mod supervision;
 
+pub use concurrency::{lint_exec, lint_model_locks, ExecSpec, ModelLockSpec};
 pub use cuts::CutTracker;
 pub use faults::{lint_faults, FaultEntity, FaultWindowSpec};
 pub use metrics::{lint_metrics, MetricDefSpec};

@@ -97,6 +97,17 @@ pub enum RuleId {
     /// A chaos (fault-injection) policy is active in a release build or
     /// a robust run; chaos is a debug/test instrument.
     ChaosInRelease,
+    /// A parallel-execution misconfiguration: zero worker threads, a
+    /// worker count wildly above the machine's available parallelism, or
+    /// a cache shard count of zero / not a power of two. The engine
+    /// clamps or rounds all of these, so the run survives — configured
+    /// numbers just aren't the effective ones.
+    ExecMisconfigured,
+    /// A model program under the `hi-check` model checker finished an
+    /// execution with more lock acquisitions than releases: a leaked
+    /// guard deadlocks every later acquirer, so checker verdicts built
+    /// past that point are meaningless.
+    ModelLockLeak,
 }
 
 impl RuleId {
@@ -127,6 +138,8 @@ impl RuleId {
             RuleId::DuplicateMetric => "HL037",
             RuleId::RetryMisconfigured => "HL038",
             RuleId::ChaosInRelease => "HL039",
+            RuleId::ExecMisconfigured => "HL040",
+            RuleId::ModelLockLeak => "HL041",
         }
     }
 
@@ -141,7 +154,8 @@ impl RuleId {
             | RuleId::NonMonotoneSchedule
             | RuleId::EmptyDimension
             | RuleId::InvertedFaultWindow
-            | RuleId::RetryMisconfigured => Severity::Error,
+            | RuleId::RetryMisconfigured
+            | RuleId::ModelLockLeak => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -153,7 +167,8 @@ impl RuleId {
             | RuleId::FaultPastHorizon
             | RuleId::HubDisabled
             | RuleId::DuplicateMetric
-            | RuleId::ChaosInRelease => Severity::Warning,
+            | RuleId::ChaosInRelease
+            | RuleId::ExecMisconfigured => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -199,6 +214,11 @@ pub enum Span {
         /// The metric's name.
         name: String,
     },
+    /// A lock in a checker model program, by name.
+    Lock {
+        /// The lock's name as the checker reports it.
+        name: String,
+    },
     /// The model (or schedule/space) as a whole.
     Model,
 }
@@ -211,6 +231,7 @@ impl fmt::Display for Span {
             Span::Event { index } => write!(f, "event #{index}"),
             Span::Dimension { name } => write!(f, "dimension `{name}`"),
             Span::Metric { name } => write!(f, "metric `{name}`"),
+            Span::Lock { name } => write!(f, "lock `{name}`"),
             Span::Model => f.write_str("model"),
         }
     }
@@ -391,6 +412,8 @@ mod tests {
             RuleId::DuplicateMetric,
             RuleId::RetryMisconfigured,
             RuleId::ChaosInRelease,
+            RuleId::ExecMisconfigured,
+            RuleId::ModelLockLeak,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();
