@@ -180,6 +180,82 @@ print(f"trace overhead: {overhead:+.1%} (base {base:.3f}s, traced {traced:.3f}s)
 assert overhead < 0.10, "tracing overhead exceeds the 10% budget"
 EOF
 
+# Fleet-service gates (hi-serve). A daemon is started on a loopback
+# port; the wire protocol is driven end-to-end by hi-serve-client.
+# First: cross-user dedup. Two identical profiles and one with different
+# physics — the duplicate's result block must report zero simulations
+# (it runs entirely from the first user's cache) and the daemon's fleet
+# counters must agree.
+rm -rf /tmp/hi_ci_serve
+printf 'profile alice\ntsim 5\nruns 1\npdrmin 0.9\n' > /tmp/hi_ci_serve_a.profile
+printf 'profile alice-twin\ntsim 5\nruns 1\npdrmin 0.9\n' > /tmp/hi_ci_serve_b.profile
+printf 'profile dave\ntsim 5\nruns 1\npdrmin 0.9\ngeometry 1.15\n' > /tmp/hi_ci_serve_c.profile
+target/release/hi-opt serve --state /tmp/hi_ci_serve --listen 127.0.0.1:0 \
+    --threads 8 2> /tmp/hi_ci_serve.err &
+DAEMON=$!
+while [ ! -f /tmp/hi_ci_serve/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_serve/addr run /tmp/hi_ci_serve_a.profile \
+    > /tmp/hi_ci_serve_r1.txt 2> /dev/null
+target/release/hi-serve-client /tmp/hi_ci_serve/addr run /tmp/hi_ci_serve_b.profile \
+    > /tmp/hi_ci_serve_r2.txt 2> /dev/null
+target/release/hi-serve-client /tmp/hi_ci_serve/addr run /tmp/hi_ci_serve_c.profile \
+    > /tmp/hi_ci_serve_r3.txt 2> /dev/null
+grep -q '^status feasible$' /tmp/hi_ci_serve_r1.txt
+grep -q '^simulations 0$' /tmp/hi_ci_serve_r2.txt      # the twin paid nothing
+! grep -q '^simulations 0$' /tmp/hi_ci_serve_r3.txt    # different physics paid
+target/release/hi-serve-client /tmp/hi_ci_serve/addr stats > /tmp/hi_ci_serve_stats.txt
+grep '^serve.fleet.cache_hits ' /tmp/hi_ci_serve_stats.txt | awk '{exit !($2 > 0)}'
+grep -q '^serve.jobs.completed 3$' /tmp/hi_ci_serve_stats.txt
+# A malformed submission must bounce with ERR (client exit 4), not kill
+# the daemon.
+printf 'profile broken\npdrmin 2\n' > /tmp/hi_ci_serve_bad.profile
+RC=0
+target/release/hi-serve-client /tmp/hi_ci_serve/addr submit /tmp/hi_ci_serve_bad.profile \
+    2> /tmp/hi_ci_serve_bad.err || RC=$?
+[ "$RC" -eq 4 ]
+grep -q HL042 /tmp/hi_ci_serve_bad.err
+target/release/hi-serve-client /tmp/hi_ci_serve/addr shutdown > /dev/null
+wait "$DAEMON"
+
+# Second: crash recovery. A daemon running a long job is SIGKILLed as
+# soon as the job's first auto-checkpoint lands, restarted on the same
+# state dir, and must resume the job to a result byte-identical to a
+# straight-through run of the same profile in a fresh daemon.
+rm -rf /tmp/hi_ci_serve_kill /tmp/hi_ci_serve_ref
+printf 'profile crashdummy\ntsim 600\nruns 3\npdrmin 0.9\n' > /tmp/hi_ci_serve_kill.profile
+target/release/hi-opt serve --state /tmp/hi_ci_serve_kill --listen 127.0.0.1:0 \
+    --threads 8 2> /dev/null &
+VICTIM=$!
+while [ ! -f /tmp/hi_ci_serve_kill/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr submit /tmp/hi_ci_serve_kill.profile \
+    > /dev/null
+while [ ! -f /tmp/hi_ci_serve_kill/job-1.ck ]; do sleep 0.05; done
+kill -9 "$VICTIM"
+RC=0; wait "$VICTIM" || RC=$?
+[ "$RC" -eq 137 ]
+rm -f /tmp/hi_ci_serve_kill/addr
+target/release/hi-opt serve --state /tmp/hi_ci_serve_kill --listen 127.0.0.1:0 \
+    --threads 8 2> /tmp/hi_ci_serve_kill.err &
+PHOENIX=$!
+while [ ! -f /tmp/hi_ci_serve_kill/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr wait 1 > /dev/null 2>&1
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr result 1 \
+    > /tmp/hi_ci_serve_resumed.txt
+grep -q "resuming" /tmp/hi_ci_serve_kill.err
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr shutdown > /dev/null
+wait "$PHOENIX"
+target/release/hi-opt serve --state /tmp/hi_ci_serve_ref --listen 127.0.0.1:0 \
+    --threads 8 2> /dev/null &
+REF=$!
+while [ ! -f /tmp/hi_ci_serve_ref/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr run /tmp/hi_ci_serve_kill.profile \
+    > /dev/null 2>&1
+target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr result 1 \
+    > /tmp/hi_ci_serve_straight.txt
+target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr shutdown > /dev/null
+wait "$REF"
+diff /tmp/hi_ci_serve_straight.txt /tmp/hi_ci_serve_resumed.txt
+
 HI_BENCH_QUICK=1 cargo bench
 
 # Refresh the committed perf-trajectory report with explicit 1- and

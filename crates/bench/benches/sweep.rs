@@ -125,6 +125,69 @@ fn main() {
             break; // single-core host: the two variants coincide
         }
     }
+    // Fleet mode: a batch of user profiles through one shared,
+    // fingerprint-keyed evaluator pool (`hi-serve`'s cross-user dedup).
+    // Three of the four profiles share their lowered physics, so after
+    // the first user pays for the simulations the other two run almost
+    // entirely from cache — the row's cache_hit_rate is the measured
+    // dedup factor, not a synthetic one.
+    let fleet_text = "\
+profile alice\ntsim 2\nruns 1\nseed 7\npdrmin 0.9\n\
+profile bob\ntsim 2\nruns 1\nseed 7\npdrmin 0.85\n\
+profile carol\ntsim 2\nruns 1\nseed 7\npdrmin 0.7\n\
+profile dave\ntsim 2\nruns 1\nseed 7\npdrmin 0.9\ngeometry 1.15\ntraffic 25 64\n";
+    let profiles = hi_serve::parse_profiles(fleet_text).expect("bench fleet parses");
+    for t in [1, threads] {
+        let collector = Collector::metrics_only();
+        let registry = collector
+            .registry()
+            .expect("a metrics-only collector has a registry");
+        wk::register_all(registry);
+        let exec = ExecContext::new(t).with_collector(collector.clone());
+        let fleet = hi_serve::FleetCache::new();
+        let policy = hi_serve::RunPolicy {
+            max_events: None,
+            retry_attempts: 3,
+            checkpoint_every: None,
+        };
+        let t0 = Instant::now();
+        {
+            let _main = collector.install(0, 0);
+            for profile in &profiles {
+                let protocol = profile.protocol();
+                let key = profile.eval_fingerprint(None);
+                let evaluator = fleet.evaluator(key, || {
+                    hi_serve::FleetEvaluator::Nominal(protocol.shared_evaluator())
+                });
+                hi_serve::run_profile(profile, &evaluator, &exec, policy, None, &mut |_| {})
+                    .expect("fleet profile runs");
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        exec.flush_pool_stats();
+        let stats = fleet.stats();
+        println!(
+            "  sweep/fleet_dedup_{}profiles_{}threads   {:.3}s, {} evaluator(s), {} hits / {} misses",
+            profiles.len(),
+            t,
+            wall_s,
+            stats.evaluators,
+            stats.hits,
+            stats.misses
+        );
+        bench_report.push(EngineRun {
+            engine: "fleet_dedup".to_string(),
+            threads: t,
+            wall_s,
+            simulations: registry.counter_value(wk::NET_REPLICATIONS),
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+        });
+        if threads == 1 {
+            break;
+        }
+    }
+
     // Land the report at the workspace root (cargo runs benches with the
     // package directory as cwd); HI_BENCH_REPORT_DIR overrides.
     let dir = std::env::var_os("HI_BENCH_REPORT_DIR")

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use hi_channel::ChannelParams;
 use hi_des::SimDuration;
 use hi_exec::{EvalCache, EvalError};
-use hi_net::{simulate_averaged_budgeted, SimError};
+use hi_net::{simulate_averaged_budgeted, AppParams, SimError};
 
 use crate::point::DesignPoint;
 
@@ -85,6 +85,11 @@ pub struct SimProtocol {
     /// function of `(config, seed, budget)`, never wall clock. `None`
     /// means unbudgeted.
     pub max_events: Option<u64>,
+    /// Application-layer traffic parameters (`χapp`): baseline power,
+    /// packet length and generation rate. Defaults to the paper's §4.1
+    /// values; fleet user profiles override this to model per-user
+    /// traffic mixes.
+    pub app: AppParams,
 }
 
 impl SimProtocol {
@@ -96,6 +101,7 @@ impl SimProtocol {
             runs,
             seed,
             max_events: None,
+            app: AppParams::default(),
         }
     }
 
@@ -103,6 +109,13 @@ impl SimProtocol {
     /// (`None` removes the budget).
     pub fn with_max_events(mut self, max_events: Option<u64>) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// The same protocol under different application-layer traffic
+    /// parameters.
+    pub fn with_app(mut self, app: AppParams) -> Self {
+        self.app = app;
         self
     }
 
@@ -141,7 +154,8 @@ fn try_simulate_point(
     protocol: &SimProtocol,
     point: &DesignPoint,
 ) -> Result<Evaluation, EvalError> {
-    let cfg = point.to_network_config();
+    let mut cfg = point.to_network_config();
+    cfg.app = protocol.app;
     let fingerprint = point.fingerprint();
     let seed = protocol.seed ^ hi_des::rng::derive_seed(fingerprint >> 4, fingerprint & 0xF);
     let out = simulate_averaged_budgeted(
@@ -186,6 +200,7 @@ impl SimEvaluator {
                 runs,
                 seed: base_seed,
                 max_events: None,
+                app: AppParams::default(),
             },
             cache: HashMap::new(),
             unique: 0,
@@ -289,6 +304,14 @@ impl SharedSimEvaluator {
     /// Cache lookups answered without simulating.
     pub fn cache_hits(&self) -> u64 {
         self.cache.hits()
+    }
+
+    /// Cache lookups that had to simulate (equals
+    /// [`unique_evaluations`](Self::unique_evaluations); named for
+    /// symmetry with [`cache_hits`](Self::cache_hits) at fleet
+    /// accounting sites).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
     }
 
     /// Number of unique expensive evaluations performed (shared across

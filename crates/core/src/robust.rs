@@ -213,6 +213,7 @@ impl RobustEvaluator {
         }
         let t_begin = hi_trace::now_ns();
         let mut cfg = point.to_network_config();
+        cfg.app = self.protocol.app;
         if index > 0 {
             cfg.scenario = self.suite.scenarios[index as usize - 1].clone();
         }

@@ -47,6 +47,9 @@ USAGE:
                     [--threads <n>]
     hi-opt space
     hi-opt lint     [--seed <n>]
+    hi-opt serve    --state <dir> [--listen <host:port>] [--stdio]
+                    [--threads <n>] [--queue-cap <n>] [--retries <n>]
+                    [--max-events <n>]
 
 COMMANDS:
     explore    run Algorithm 1: MILP-proposed candidates verified by
@@ -60,8 +63,15 @@ COMMANDS:
                MILP encoding, the full Algorithm-1 cut ladder, a sample
                event schedule, the workspace metric catalog (HL037), the
                execution supervision policy (HL038/HL039), the execution
-               configuration (HL040) and hi-check model lock accounting
-               (HL041); exits 1 on error-severity findings
+               configuration (HL040), hi-check model lock accounting
+               (HL041), the fleet demo profiles (HL042) and the serve
+               daemon defaults (HL043); exits 1 on error-severity findings
+    serve      run the fleet-optimization daemon: a job queue behind a
+               line-oriented wire protocol (SUBMIT/STATUS/RESULT/WAIT/
+               CANCEL/STATS/SHUTDOWN) on TCP and/or stdin/stdout; jobs
+               persist crash-safely under --state and identical design
+               points dedup across users through one shared evaluation
+               cache (drive it with the `hi-serve-client` binary)
 
 EXPLORE OPTIONS:
     --faults <file>      score every candidate across a fault-scenario
@@ -102,6 +112,28 @@ OBSERVABILITY OPTIONS (explore, tradeoff, simulate):
                           in Perfetto / chrome://tracing)
     --metrics             print a metrics summary table to stderr on exit
                           (also on budget/cancel stops)
+
+SERVE OPTIONS:
+    --state <dir>        job records, checkpoints and the bound-address
+                         file live here; a restarted daemon resumes the
+                         queue it finds (required)
+    --listen <addr>      accept TCP connections on <addr> (`host:port`;
+                         port 0 picks a free port); the actual address is
+                         written to <dir>/addr
+    --stdio              speak the protocol on stdin/stdout too; with no
+                         --listen, EOF on stdin shuts the daemon down
+    --queue-cap <n>      refuse submissions past <n> queued-or-running
+                         jobs (default 64)
+    --retries/--max-events  as for explore, applied to every job
+Profile files submitted over the protocol (`#` starts a comment):
+    profile <id>                     start a user profile
+    geometry <scale>                 body-geometry scale factor
+    channel <dB>                     channel-matrix path-loss offset
+    traffic <pkts/s> [bytes]         application traffic mix
+    pdrmin <0..1>                    reliability floor
+    engine <algorithm1|exhaustive>   search engine
+    tsim/runs/seed <n>               simulation protocol knobs
+    faults <file> [worst|nominal|qNN]  robust scoring over a fault suite
 
 FAULT SUITE FILES (`#` starts a comment; times in seconds):
     scenario <name>                       start a named scenario
@@ -213,6 +245,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args[1..]),
         "space" => cmd_space(),
         "lint" => cmd_lint(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -983,6 +1016,23 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     );
     total.merge(report);
 
+    // 9. The fleet service: the demo profiles shipped in the crate
+    //    (HL042) and the daemon's default configuration (HL043) — the
+    //    same checks `hi-opt serve` runs at startup and per submission.
+    let profiles = hi_opt::serve::parse_profiles(hi_opt::serve::DEMO_FLEET)
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let report = hi_opt::serve::lint_profiles(&profiles);
+    print_lint_section(
+        &format!("fleet demo profiles ({} profiles)", profiles.len()),
+        &report,
+    );
+    total.merge(report);
+
+    let defaults = hi_opt::serve::ServeConfig::new("hi-serve-state");
+    let report = hi_opt::lint::lint_server(&defaults.lint_spec());
+    print_lint_section("serve daemon configuration (defaults)", &report);
+    total.merge(report);
+
     println!();
     println!(
         "summary: {} error(s), {} warning(s), {} info(s)",
@@ -996,4 +1046,74 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
         std::process::exit(1);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut state: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut threads = hi_opt::exec::default_threads();
+    let mut queue_cap: usize = 64;
+    let mut retries: u32 = 3;
+    let mut max_events: Option<u64> = None;
+    let mut i = 0;
+    let take = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--state" => {
+                state = Some(take(args, i, "--state")?);
+                i += 2;
+            }
+            "--listen" => {
+                listen = Some(take(args, i, "--listen")?);
+                i += 2;
+            }
+            "--stdio" => {
+                stdio = true;
+                i += 1;
+            }
+            "--threads" => {
+                threads = take(args, i, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads")?;
+                i += 2;
+            }
+            "--queue-cap" => {
+                queue_cap = take(args, i, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "bad --queue-cap")?;
+                i += 2;
+            }
+            "--retries" => {
+                retries = take(args, i, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries")?;
+                i += 2;
+            }
+            "--max-events" => {
+                max_events = Some(
+                    take(args, i, "--max-events")?
+                        .parse()
+                        .map_err(|_| "bad --max-events")?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let state = state.ok_or("serve needs --state <dir>")?;
+    let mut config = hi_opt::serve::ServeConfig::new(state);
+    config.listen = listen;
+    config.stdio = stdio;
+    config.threads = threads;
+    config.queue_capacity = queue_cap;
+    config.retry_attempts = retries;
+    config.max_events = max_events;
+    // Startup failures are misconfigurations or unusable state files —
+    // closest to a malformed spec; scripts see exit 4.
+    hi_opt::serve::run(config).map_err(CliError::Spec)
 }

@@ -16,6 +16,8 @@
 //! * [`net`] — the WBAN stack simulator (radio / MAC / routing / app);
 //! * [`trace`] — the observability subsystem (structured tracing, metrics
 //!   registry, JSONL / Chrome-trace export);
+//! * [`serve`] — the fleet-optimization job service (wire protocol,
+//!   per-user profiles, cross-user evaluation-cache dedup);
 //! * [`core`] — the design-space explorer (Algorithm 1 and baselines),
 //!   whose items are also re-exported at the top level.
 //!
@@ -50,6 +52,7 @@ pub use hi_exec as exec;
 pub use hi_lint as lint;
 pub use hi_milp as milp;
 pub use hi_net as net;
+pub use hi_serve as serve;
 pub use hi_trace as trace;
 
 pub mod cli;

@@ -33,6 +33,11 @@
 //!   thread counts and cache sharding the engine would silently clamp or
 //!   round (HL040) — and [`lint_model_locks`] checks `hi-check` model
 //!   programs for lock acquire/release imbalance (HL041).
+//! * [`lint_profile`] validates fleet user profiles before the `hi-serve`
+//!   daemon spends simulations on them — empty/duplicate ids, zero
+//!   traffic, PDRmin outside `[0, 1]` (HL042) — and [`lint_server`]
+//!   checks the daemon's own queue capacity and per-job deadline against
+//!   the DES warm-up floor (HL043).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -74,6 +79,7 @@ mod propagate;
 mod report;
 mod rules;
 mod schedule;
+mod serve;
 mod space;
 mod supervision;
 
@@ -86,5 +92,6 @@ pub use propagate::{propagate, Propagation};
 pub use report::{Finding, Report, RuleId, Severity, Span};
 pub use rules::analyze;
 pub use schedule::lint_schedule;
+pub use serve::{lint_profile, lint_server, ProfileSpec, ServerSpec};
 pub use space::{lint_space, SpaceDim};
 pub use supervision::{lint_supervision, SupervisionSpec};

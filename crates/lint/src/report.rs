@@ -108,6 +108,18 @@ pub enum RuleId {
     /// guard deadlocks every later acquirer, so checker verdicts built
     /// past that point are meaningless.
     ModelLockLeak,
+    /// A fleet user profile is structurally broken: an empty or
+    /// duplicated profile id, a zero/negative traffic rate, a PDRmin
+    /// outside `[0, 1]`, a non-positive body-geometry scale, or zero
+    /// replications. Running such a profile would answer a question
+    /// nobody asked (or no question at all), so the daemon rejects the
+    /// submission.
+    ProfileInvalid,
+    /// The serving daemon itself is misconfigured: a job queue with
+    /// capacity zero (every submission would bounce) or a per-job DES
+    /// event budget below the warm-up floor (every job would trip its
+    /// deadline before simulating a single packet).
+    ServeMisconfigured,
 }
 
 impl RuleId {
@@ -140,6 +152,8 @@ impl RuleId {
             RuleId::ChaosInRelease => "HL039",
             RuleId::ExecMisconfigured => "HL040",
             RuleId::ModelLockLeak => "HL041",
+            RuleId::ProfileInvalid => "HL042",
+            RuleId::ServeMisconfigured => "HL043",
         }
     }
 
@@ -155,7 +169,9 @@ impl RuleId {
             | RuleId::EmptyDimension
             | RuleId::InvertedFaultWindow
             | RuleId::RetryMisconfigured
-            | RuleId::ModelLockLeak => Severity::Error,
+            | RuleId::ModelLockLeak
+            | RuleId::ProfileInvalid
+            | RuleId::ServeMisconfigured => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -219,6 +235,11 @@ pub enum Span {
         /// The lock's name as the checker reports it.
         name: String,
     },
+    /// A fleet user profile, by id.
+    Profile {
+        /// The profile's id (possibly empty — that itself is a finding).
+        id: String,
+    },
     /// The model (or schedule/space) as a whole.
     Model,
 }
@@ -232,6 +253,7 @@ impl fmt::Display for Span {
             Span::Dimension { name } => write!(f, "dimension `{name}`"),
             Span::Metric { name } => write!(f, "metric `{name}`"),
             Span::Lock { name } => write!(f, "lock `{name}`"),
+            Span::Profile { id } => write!(f, "profile `{id}`"),
             Span::Model => f.write_str("model"),
         }
     }
@@ -414,6 +436,8 @@ mod tests {
             RuleId::ChaosInRelease,
             RuleId::ExecMisconfigured,
             RuleId::ModelLockLeak,
+            RuleId::ProfileInvalid,
+            RuleId::ServeMisconfigured,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

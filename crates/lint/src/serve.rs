@@ -1,0 +1,271 @@
+//! Static validation of fleet user profiles and of the serving daemon's
+//! own configuration.
+//!
+//! The `hi-serve` profile parser is deliberately *total over semantics*:
+//! it rejects malformed text (non-numeric fields, unknown keywords,
+//! trailing junk) but accepts any finite number, because a profile that
+//! *parses* and a profile that *makes sense* are different questions —
+//! and the second one belongs here, where every front end (daemon
+//! startup, `hi-opt lint`, tests) gets the same answer:
+//!
+//! * **HL042** — a user profile is structurally broken (error): an empty
+//!   or duplicated profile id, a traffic mix that generates nothing
+//!   (rate ≤ 0), a reliability floor outside `[0, 1]`, a non-positive
+//!   body-geometry scale, or zero replications. Running such a profile
+//!   would compute garbage, so the daemon bounces the submission with
+//!   the findings instead of a job id.
+//! * **HL043** — the daemon configuration is broken (error): a job
+//!   queue with capacity zero (every submission would bounce), or a
+//!   per-job DES event budget below the warm-up floor (every job would
+//!   trip its logical deadline before a single packet crosses the
+//!   network — same floor as HL038's supervision check).
+//!
+//! Like the rest of the crate this module is dependency-free: `hi-serve`
+//! lowers parsed profiles into [`ProfileSpec`]s and its configuration
+//! into a [`ServerSpec`].
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// One fleet user profile, lowered to the numbers the rules need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpec {
+    /// The profile's id (empty ids are representable and a finding).
+    pub id: String,
+    /// Application packet generation rate, packets per second.
+    pub packets_per_second: f64,
+    /// Reliability floor `PDRmin` the exploration runs against.
+    pub pdr_min: f64,
+    /// Body-geometry scale factor applied to every link distance.
+    pub geometry_scale: f64,
+    /// Simulation replications averaged per evaluation.
+    pub runs: u32,
+}
+
+/// The serving daemon's configuration, lowered to plain numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerSpec {
+    /// Maximum number of queued-or-running jobs admitted at once.
+    pub queue_capacity: usize,
+    /// Per-replication DES event budget applied to every job, if any.
+    pub job_max_events: Option<u64>,
+    /// The DES warm-up floor (`hi_core::warmup_events_floor()`): below
+    /// this many events not even the largest topology's node-powerup
+    /// events have all dispatched.
+    pub warmup_events_floor: u64,
+}
+
+/// Lints a batch of fleet user profiles (rule HL042).
+pub fn lint_profile(specs: &[ProfileSpec]) -> Report {
+    let mut report = Report::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let span = || Span::Profile {
+            id: spec.id.clone(),
+        };
+        if spec.id.is_empty() {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                format!(
+                    "profile #{index} has an empty id — results could \
+                     never be routed back to a user"
+                ),
+            ));
+        } else if let Some(first) = specs[..index].iter().position(|p| p.id == spec.id) {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                format!(
+                    "duplicate profile id (also profile #{first}) — \
+                     results for the two submissions would be \
+                     indistinguishable"
+                ),
+            ));
+        }
+        if spec.packets_per_second <= 0.0 || spec.packets_per_second.is_nan() {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                format!(
+                    "traffic mix generates nothing ({} packet(s)/s) — \
+                     PDR over zero packets is undefined",
+                    spec.packets_per_second
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&spec.pdr_min) || spec.pdr_min.is_nan() {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                format!(
+                    "PDRmin {} outside [0, 1] — a delivery ratio can \
+                     never satisfy it (or always does, vacuously)",
+                    spec.pdr_min
+                ),
+            ));
+        }
+        if spec.geometry_scale <= 0.0 || !spec.geometry_scale.is_finite() {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                format!(
+                    "body-geometry scale {} is not a positive finite \
+                     number — link distances would be zero or negative",
+                    spec.geometry_scale
+                ),
+            ));
+        }
+        if spec.runs == 0 {
+            report.push(Finding::new(
+                RuleId::ProfileInvalid,
+                span(),
+                "0 simulation replications — every evaluation would \
+                 average an empty sample",
+            ));
+        }
+    }
+    report
+}
+
+/// Lints the serving daemon's configuration (rule HL043).
+pub fn lint_server(spec: &ServerSpec) -> Report {
+    let mut report = Report::new();
+    if spec.queue_capacity == 0 {
+        report.push(Finding::new(
+            RuleId::ServeMisconfigured,
+            Span::Model,
+            "job queue configured with capacity 0 — every submission \
+             would be bounced before a single job runs",
+        ));
+    }
+    if let Some(budget) = spec.job_max_events {
+        if budget < spec.warmup_events_floor {
+            report.push(Finding::new(
+                RuleId::ServeMisconfigured,
+                Span::Model,
+                format!(
+                    "per-job event budget {budget} is below the DES \
+                     warm-up floor {} — every job would trip its \
+                     deadline before simulating a single packet",
+                    spec.warmup_events_floor
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane() -> ProfileSpec {
+        ProfileSpec {
+            id: "alice".into(),
+            packets_per_second: 10.0,
+            pdr_min: 0.9,
+            geometry_scale: 1.0,
+            runs: 3,
+        }
+    }
+
+    #[test]
+    fn a_sane_profile_batch_is_clean() {
+        let specs = vec![
+            sane(),
+            ProfileSpec {
+                id: "bob".into(),
+                ..sane()
+            },
+        ];
+        assert!(lint_profile(&specs).is_clean());
+        assert!(lint_profile(&[]).is_clean());
+    }
+
+    #[test]
+    fn hl042_fires_on_each_broken_field() {
+        let report = lint_profile(&[ProfileSpec {
+            id: String::new(),
+            ..sane()
+        }]);
+        assert!(report.has_rule(RuleId::ProfileInvalid));
+        assert!(report.has_errors(), "HL042 is an error");
+        assert!(report.to_string().contains("empty id"), "{report}");
+
+        let report = lint_profile(&[sane(), sane()]);
+        assert_eq!(report.error_count(), 1, "only the later copy fires");
+        assert!(report.to_string().contains("duplicate profile id"));
+
+        let report = lint_profile(&[ProfileSpec {
+            packets_per_second: 0.0,
+            ..sane()
+        }]);
+        assert!(report.to_string().contains("generates nothing"));
+
+        let report = lint_profile(&[ProfileSpec {
+            pdr_min: 1.5,
+            ..sane()
+        }]);
+        assert!(report.to_string().contains("outside [0, 1]"));
+        assert!(!lint_profile(&[ProfileSpec {
+            pdr_min: f64::NAN,
+            ..sane()
+        }])
+        .is_clean());
+
+        let report = lint_profile(&[ProfileSpec {
+            geometry_scale: 0.0,
+            ..sane()
+        }]);
+        assert!(report.to_string().contains("geometry"), "{report}");
+
+        let report = lint_profile(&[ProfileSpec { runs: 0, ..sane() }]);
+        assert!(report.to_string().contains("replications"));
+    }
+
+    #[test]
+    fn hl042_findings_accumulate_per_profile() {
+        let report = lint_profile(&[ProfileSpec {
+            id: String::new(),
+            packets_per_second: -1.0,
+            pdr_min: 2.0,
+            geometry_scale: f64::INFINITY,
+            runs: 0,
+        }]);
+        assert_eq!(report.error_count(), 5);
+    }
+
+    #[test]
+    fn hl043_fires_on_server_misconfiguration() {
+        let sane = ServerSpec {
+            queue_capacity: 64,
+            job_max_events: Some(1_000_000),
+            warmup_events_floor: 11,
+        };
+        assert!(lint_server(&sane).is_clean());
+        assert!(lint_server(&ServerSpec {
+            job_max_events: None,
+            ..sane
+        })
+        .is_clean());
+
+        let report = lint_server(&ServerSpec {
+            queue_capacity: 0,
+            ..sane
+        });
+        assert!(report.has_rule(RuleId::ServeMisconfigured));
+        assert!(report.has_errors(), "HL043 is an error");
+
+        let report = lint_server(&ServerSpec {
+            job_max_events: Some(10),
+            ..sane
+        });
+        assert!(report.to_string().contains("warm-up floor 11"), "{report}");
+
+        let report = lint_server(&ServerSpec {
+            queue_capacity: 0,
+            job_max_events: Some(3),
+            ..sane
+        });
+        assert_eq!(report.error_count(), 2);
+    }
+}

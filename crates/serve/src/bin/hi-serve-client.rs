@@ -1,0 +1,229 @@
+//! `hi-serve-client` — a tiny protocol driver for a running `hi-opt
+//! serve` daemon. Exists so tests and the CI gate can speak the wire
+//! protocol without depending on `nc`; it is deliberately dumb — one
+//! TCP connection, request in, response out, exit code mirrors the
+//! server's verdict.
+//!
+//! ```text
+//! hi-serve-client <addr> submit <profile-file>
+//! hi-serve-client <addr> status|result|wait|cancel <job-id>
+//! hi-serve-client <addr> stats
+//! hi-serve-client <addr> shutdown
+//! hi-serve-client <addr> run <profile-file>   # submit + wait + result, all jobs
+//! ```
+//!
+//! `<addr>` is `host:port` or a path to a file whose first line is the
+//! address (the daemon writes `<state_dir>/addr`). Counted `OK` blocks
+//! go to stdout; `EVENT` streams go to stderr; exit codes: 0 success,
+//! 2 usage, 3 I/O failure, 4 the server answered `ERR`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hi-serve-client <addr> <command>\n\
+         commands:\n\
+         \x20 submit <profile-file>      submit every profile in the file, print job ids\n\
+         \x20 status <job-id>            one-line lifecycle state\n\
+         \x20 result <job-id>            print the terminal result block\n\
+         \x20 wait <job-id>              stream progress events until terminal\n\
+         \x20 cancel <job-id>            cancel a queued or running job\n\
+         \x20 stats                      print the daemon's metric snapshot\n\
+         \x20 shutdown                   drain the current job and exit\n\
+         \x20 run <profile-file>         submit, wait for and print every result\n\
+         <addr> is host:port, or a file whose first line is host:port"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr_spec, command) = match args.split_first() {
+        Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
+        _ => return usage(),
+    };
+    let addr = match resolve_addr(&addr_spec) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("hi-serve-client: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let outcome = match (command[0].as_str(), command.len()) {
+        ("submit", 2) => with_profile(&command[1], |text| {
+            run_session(&addr, &[Step::Submit(text)])
+        }),
+        ("status", 2) => run_session(&addr, &[Step::Line(format!("STATUS {}", command[1]))]),
+        ("result", 2) => run_session(&addr, &[Step::Line(format!("RESULT {}", command[1]))]),
+        ("wait", 2) => run_session(&addr, &[Step::Line(format!("WAIT {}", command[1]))]),
+        ("cancel", 2) => run_session(&addr, &[Step::Line(format!("CANCEL {}", command[1]))]),
+        ("stats", 1) => run_session(&addr, &[Step::Line("STATS".into())]),
+        ("shutdown", 1) => run_session(&addr, &[Step::Line("SHUTDOWN".into())]),
+        ("run", 2) => with_profile(&command[1], |text| run_fleet(&addr, text)),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(ClientError::Io(e)) => {
+            eprintln!("hi-serve-client: {e}");
+            ExitCode::from(3)
+        }
+        Err(ClientError::Server(line)) => {
+            eprintln!("{line}");
+            ExitCode::from(4)
+        }
+    }
+}
+
+enum ClientError {
+    Io(String),
+    Server(String),
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+enum Step {
+    /// One request line, no payload.
+    Line(String),
+    /// `SUBMIT <n>` framing around a profile file's text.
+    Submit(String),
+}
+
+fn resolve_addr(spec: &str) -> Result<String, String> {
+    if std::path::Path::new(spec).is_file() {
+        let text =
+            std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))?;
+        let addr = text.lines().next().unwrap_or("").trim();
+        if addr.is_empty() {
+            return Err(format!("`{spec}` holds no address"));
+        }
+        return Ok(addr.to_string());
+    }
+    Ok(spec.to_string())
+}
+
+fn with_profile(
+    path: &str,
+    go: impl FnOnce(String) -> Result<(), ClientError>,
+) -> Result<(), ClientError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ClientError::Io(format!("cannot read `{path}`: {e}")))?;
+    go(text)
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Io(format!("cannot connect to `{addr}`: {e}")))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, step: &Step) -> Result<(), ClientError> {
+        match step {
+            Step::Line(line) => self.writer.write_all(format!("{line}\n").as_bytes())?,
+            Step::Submit(text) => {
+                let count = text.lines().count();
+                self.writer
+                    .write_all(format!("SUBMIT {count}\n").as_bytes())?;
+                for line in text.lines() {
+                    self.writer.write_all(line.as_bytes())?;
+                    self.writer.write_all(b"\n")?;
+                }
+            }
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one full response: `EVENT` lines stream to stderr, a
+    /// counted `OK ... <n>` block prints its `n` lines to stdout, and
+    /// the terminal `OK`/`ERR` line decides the outcome. Returns the
+    /// final `OK` line's tail words.
+    fn read_response(&mut self) -> Result<String, ClientError> {
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io("connection closed mid-response".into()));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if let Some(event) = line.strip_prefix("EVENT ") {
+                eprintln!("{event}");
+                continue;
+            }
+            if line.starts_with("ERR ") || line == "ERR" {
+                return Err(ClientError::Server(line.to_string()));
+            }
+            let Some(tail) = line.strip_prefix("OK ") else {
+                return Err(ClientError::Io(format!("unparseable response `{line}`")));
+            };
+            // Counted block: the verb decides whether the last field is
+            // a line count (result/stats blocks) or payload (job ids).
+            let mut words: Vec<&str> = tail.split_whitespace().collect();
+            let counted = matches!(words.first(), Some(&"result") | Some(&"stats"));
+            if counted {
+                let count: usize = words
+                    .pop()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| ClientError::Io(format!("bad block header `{line}`")))?;
+                for _ in 0..count {
+                    let mut body = String::new();
+                    if self.reader.read_line(&mut body)? == 0 {
+                        return Err(ClientError::Io("connection closed mid-block".into()));
+                    }
+                    print!("{body}");
+                }
+                return Ok(words.join(" "));
+            }
+            println!("{tail}");
+            return Ok(tail.to_string());
+        }
+    }
+}
+
+fn run_session(addr: &str, steps: &[Step]) -> Result<(), ClientError> {
+    let mut conn = Connection::open(addr)?;
+    for step in steps {
+        conn.send(step)?;
+        conn.read_response()?;
+    }
+    Ok(())
+}
+
+/// `run`: submit the whole file, then wait for and print every job's
+/// result block in id order — the one-command fleet driver.
+fn run_fleet(addr: &str, text: String) -> Result<(), ClientError> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Step::Submit(text))?;
+    let tail = conn.read_response()?;
+    let ids: Vec<String> = tail
+        .split_whitespace()
+        .skip(1) // the literal word `job`
+        .map(str::to_string)
+        .collect();
+    if ids.is_empty() {
+        return Err(ClientError::Io(format!("no job ids in `{tail}`")));
+    }
+    for id in &ids {
+        conn.send(&Step::Line(format!("WAIT {id}")))?;
+        conn.read_response()?;
+        conn.send(&Step::Line(format!("RESULT {id}")))?;
+        conn.read_response()?;
+        println!();
+    }
+    Ok(())
+}

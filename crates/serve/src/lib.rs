@@ -1,0 +1,54 @@
+//! `hi-serve` — a fleet-optimization job service for the `hi-opt`
+//! workspace: a wire protocol, per-user profiles, and cross-user
+//! evaluation-cache dedup.
+//!
+//! The paper's pipeline (channel → DES → constrained search) optimizes
+//! one Human Intranet wearer at a time. A deployment has a *fleet* of
+//! wearers whose design problems differ only in a few knobs — body
+//! geometry, traffic mix, reliability floor — while the expensive part,
+//! the per-design-point network simulation, is identical whenever the
+//! lowered physics coincide. This crate turns the workspace into a
+//! long-running service that exploits exactly that overlap:
+//!
+//! * [`profile`](UserProfile) — a per-user profile file format (body
+//!   [`geometry`](UserProfile::geometry_scale) scaling, channel-matrix
+//!   offset, traffic mix, PDRmin, engine choice, optional fault suite)
+//!   with a total, fuzz-tested parser and a canonical
+//!   [`to_text`](UserProfile::to_text) rendering;
+//! * [`proto`](Request) — a line-oriented wire protocol (`SUBMIT`,
+//!   `STATUS`, `RESULT`, `WAIT`, `CANCEL`, `STATS`, `SHUTDOWN`) served
+//!   over stdin/stdout and TCP by the same transport-generic loop;
+//! * [`fleet`](FleetCache) — one shared, fingerprint-keyed evaluator
+//!   pool: profiles whose lowered physics agree share a memo cache, so
+//!   identical design points simulate once per fleet, not once per user;
+//! * [`server`](Server) — the daemon: a persistent job queue over
+//!   `hi-exec` (per-job cancel tokens, supervised retries), CRC-checked
+//!   crash-safe job records and per-iteration checkpoints (a SIGKILLed
+//!   daemon resumes in-flight jobs on restart, byte-identically), and
+//!   `hi-trace` metrics behind `STATS`.
+//!
+//! Everything is std-only and deterministic: jobs run serially in id
+//! order, so the cache state any job observes is a pure function of the
+//! submission history, independent of thread count or crashes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod persist;
+mod profile;
+mod proto;
+mod server;
+
+pub use fleet::{
+    render_result, run_profile, FleetCache, FleetEvaluator, FleetStats, ProfileOutcome, RunPolicy,
+};
+pub use persist::{
+    checkpoint_path, load_job_recovering, record_path, scan_records, JobRecord, JobState,
+};
+pub use profile::{
+    lint_profiles, parse_profiles, EngineChoice, FaultsRef, ProfileParseError, UserProfile,
+    DEMO_FLEET,
+};
+pub use proto::{err_line, ok_block, ok_line, Request, MAX_SUBMIT_LINES};
+pub use server::{run, serve_connection, ServeConfig, Server};

@@ -1,0 +1,218 @@
+//! The wire protocol: one request per line, length-framed payloads,
+//! deterministic single-line or counted-block responses.
+//!
+//! Designed for `printf | nc` debuggability and byte-exact testing:
+//!
+//! ```text
+//! client                          server
+//! ------                          ------
+//! SUBMIT 2
+//! profile alice
+//! pdrmin 0.9
+//!                                 OK job 1
+//! STATUS 1                        OK status 1 running
+//! WAIT 1                          EVENT 1 iteration 1 simulations 24
+//!                                 EVENT 1 iteration 2 simulations 32
+//!                                 OK status 1 done
+//! RESULT 1                        OK result 1 11
+//!                                 profile alice
+//!                                 ...           (11 counted lines)
+//! CANCEL 2                        OK cancel 2 cancelled
+//! STATS                           OK stats 9
+//!                                 serve.jobs.accepted 2
+//!                                 ...           (9 counted lines)
+//! SHUTDOWN                        OK shutdown
+//! anything malformed              ERR <one-line diagnostic>
+//! ```
+//!
+//! `SUBMIT <n>` is followed by exactly `n` raw profile-file lines (line
+//! count framing, like the record format: any legal profile byte
+//! sequence round-trips). One submission may carry a whole fleet —
+//! every `profile` block becomes a job and the response lists every id.
+//!
+//! This module is pure parse/render — no sockets, no locks — so the
+//! grammar is unit-testable byte for byte; `server` owns the I/O loop.
+
+use std::fmt;
+
+/// Upper bound on `SUBMIT` payload lines: fleet files are big, attack
+/// payloads are bigger; past this the request is refused before any
+/// buffering happens.
+pub const MAX_SUBMIT_LINES: usize = 1 << 20;
+
+/// One parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `SUBMIT <n>`: `n` profile-file lines follow.
+    Submit {
+        /// Number of payload lines that follow this request line.
+        lines: usize,
+    },
+    /// `STATUS <id>`: one-line lifecycle state.
+    Status {
+        /// The job id.
+        id: u64,
+    },
+    /// `RESULT <id>`: the terminal result block, counted.
+    Result {
+        /// The job id.
+        id: u64,
+    },
+    /// `WAIT <id>`: stream progress events until the job is terminal.
+    Wait {
+        /// The job id.
+        id: u64,
+    },
+    /// `CANCEL <id>`: stop a queued or running job.
+    Cancel {
+        /// The job id.
+        id: u64,
+    },
+    /// `STATS`: the daemon's metric snapshot, counted.
+    Stats,
+    /// `SHUTDOWN`: finish the current job, persist, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Total: any line yields a request or a
+    /// one-line diagnostic (which the server echoes as `ERR ...`).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut fields = line.split_whitespace();
+        let verb = fields.next().ok_or("empty request".to_string())?;
+        let parsed = match verb {
+            "SUBMIT" => {
+                let raw = fields.next().ok_or("SUBMIT needs a line count")?;
+                let lines: usize = raw
+                    .parse()
+                    .map_err(|_| format!("bad SUBMIT line count `{raw}`"))?;
+                if lines > MAX_SUBMIT_LINES {
+                    return Err(format!(
+                        "SUBMIT of {lines} lines exceeds the {MAX_SUBMIT_LINES}-line cap"
+                    ));
+                }
+                Request::Submit { lines }
+            }
+            "STATUS" => Request::Status {
+                id: job_id(&mut fields, "STATUS")?,
+            },
+            "RESULT" => Request::Result {
+                id: job_id(&mut fields, "RESULT")?,
+            },
+            "WAIT" => Request::Wait {
+                id: job_id(&mut fields, "WAIT")?,
+            },
+            "CANCEL" => Request::Cancel {
+                id: job_id(&mut fields, "CANCEL")?,
+            },
+            "STATS" => Request::Stats,
+            "SHUTDOWN" => Request::Shutdown,
+            other => return Err(format!("unknown request `{other}`")),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(format!("unexpected trailing field `{extra}`"));
+        }
+        Ok(parsed)
+    }
+}
+
+fn job_id(fields: &mut std::str::SplitWhitespace<'_>, verb: &str) -> Result<u64, String> {
+    let raw = fields.next().ok_or(format!("{verb} needs a job id"))?;
+    raw.parse()
+        .map_err(|_| format!("bad job id `{raw}` for {verb}"))
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Submit { lines } => write!(f, "SUBMIT {lines}"),
+            Request::Status { id } => write!(f, "STATUS {id}"),
+            Request::Result { id } => write!(f, "RESULT {id}"),
+            Request::Wait { id } => write!(f, "WAIT {id}"),
+            Request::Cancel { id } => write!(f, "CANCEL {id}"),
+            Request::Stats => f.write_str("STATS"),
+            Request::Shutdown => f.write_str("SHUTDOWN"),
+        }
+    }
+}
+
+/// Renders an `ERR` line: diagnostics are flattened to one line (the
+/// protocol is line-oriented; a multi-line lint report becomes
+/// `; `-joined clauses).
+pub fn err_line(message: &str) -> String {
+    let flat: Vec<&str> = message
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty())
+        .collect();
+    format!("ERR {}\n", flat.join("; "))
+}
+
+/// Renders an `OK <verb> ...` line from pre-rendered tail words.
+pub fn ok_line(tail: &str) -> String {
+    format!("OK {tail}\n")
+}
+
+/// Renders a counted block response: the `OK <tail> <n>` line followed
+/// by exactly `n` lines of `body`.
+pub fn ok_block(tail: &str, body: &str) -> String {
+    let count = body.lines().count();
+    let mut out = format!("OK {tail} {count}\n");
+    for line in body.lines() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grammar_roundtrips() {
+        for line in [
+            "SUBMIT 3", "STATUS 1", "RESULT 7", "WAIT 2", "CANCEL 9", "STATS", "SHUTDOWN",
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(req.to_string(), line);
+        }
+        // Whitespace-tolerant, like every parser in the workspace.
+        assert_eq!(
+            Request::parse("  STATUS\t5  "),
+            Ok(Request::Status { id: 5 })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_yield_one_line_diagnostics() {
+        for line in [
+            "",
+            "submit 3",
+            "SUBMIT",
+            "SUBMIT x",
+            "SUBMIT -1",
+            "STATUS",
+            "STATUS abc",
+            "RESULT 1 2",
+            "FETCH 1",
+            "SHUTDOWN now",
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(!err.contains('\n'), "{line:?} -> {err:?}");
+        }
+        let err = Request::parse(&format!("SUBMIT {}", MAX_SUBMIT_LINES + 1)).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn responses_are_framed_and_flattened() {
+        assert_eq!(ok_line("job 1 2"), "OK job 1 2\n");
+        assert_eq!(ok_block("result 1", "a\nb\n"), "OK result 1 2\na\nb\n");
+        assert_eq!(ok_block("stats", ""), "OK stats 0\n");
+        assert_eq!(
+            err_line("profile file line 2: bad geometry\n\nsecond issue\n"),
+            "ERR profile file line 2: bad geometry; second issue\n"
+        );
+    }
+}

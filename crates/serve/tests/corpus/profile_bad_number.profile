@@ -1,0 +1,3 @@
+profile a
+# line 2 comment
+geometry tall

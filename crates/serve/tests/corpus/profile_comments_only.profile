@@ -1,0 +1,3 @@
+# a profile file with nothing in it
+
+# still nothing

@@ -1,0 +1,3 @@
+profile crlf-user
+geometry 1.15
+pdrmin 0.9

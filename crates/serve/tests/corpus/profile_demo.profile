@@ -1,0 +1,18 @@
+# Three office workers with identical radios and bodies: their jobs
+# share every simulation through the fleet cache.
+profile alice
+pdrmin 0.9
+
+profile bob
+pdrmin 0.85
+
+profile carol
+pdrmin 0.9
+engine exhaustive
+
+# A taller user with a lossier environment and chattier sensors.
+profile dave
+geometry 1.15
+channel 2.0
+traffic 25 64
+pdrmin 0.9

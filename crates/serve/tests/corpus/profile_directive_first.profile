@@ -1,0 +1,2 @@
+pdrmin 0.9
+profile late

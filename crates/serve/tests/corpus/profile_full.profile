@@ -1,0 +1,11 @@
+# Every directive the grammar knows, in one block.
+profile full monty   # ids may contain spaces
+geometry 1.05
+channel -1.5
+traffic 12.5 128
+pdrmin 0.95
+engine algorithm1
+tsim 120
+runs 5
+seed 42
+faults scenarios/demo.suite q25

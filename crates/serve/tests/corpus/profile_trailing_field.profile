@@ -1,0 +1,2 @@
+profile a
+pdrmin 0.9 strict

@@ -1,0 +1,2 @@
+profile a
+antenna 3

@@ -1,0 +1,12 @@
+hi-opt explore checkpoint v2
+pdr_min 3fe6666666666666
+alpha_correction 1
+iterations 4
+candidates 48
+simulations 48
+cut 3ff0119999999997
+cut 3ff051eb851eb855
+cut 3ff129999999999e
+best 331 3fe6888888888889 404128f6e2751296 3fea3947ae147ad7
+end
+crc32 eb75f633

@@ -1,0 +1,258 @@
+//! Corpus fuzz tests for the serve crate's two on-disk text formats:
+//! profile files (`parse_profiles`) and job records
+//! (`JobRecord::from_text`), in the `hi-core` corpus idiom
+//! (`crates/core/tests/corpus_parsers.rs`).
+//!
+//! Both parsers promise to be *total*: any byte soup — truncation at
+//! any boundary, bit flips, CRLF endings, megabyte lines, a fault suite
+//! or checkpoint fed to the profile parser, a profile fed to the suite
+//! parser — yields a typed error (1-based line numbers where a line is
+//! at fault), never a panic and never a silently-partial result. The
+//! corpus under `tests/corpus/` pins real-world shapes; the tests below
+//! additionally mutate the well-formed seeds systematically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use hi_core::parse_fault_suite;
+use hi_serve::{parse_profiles, JobRecord, ProfileParseError, Request};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_file(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("corpus file {} unreadable: {e}", path.display()))
+}
+
+fn corpus_files() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|entry| entry.expect("corpus entry readable").file_name())
+        .map(|name| name.to_string_lossy().into_owned())
+        .map(|name| {
+            let text = corpus_file(&name);
+            (name, text)
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 12, "corpus went missing: {files:?}");
+    files
+}
+
+/// Runs every serve-crate parser (and the suite parser, for
+/// cross-feeding) on `text` and asserts none panics. Returns the
+/// profile parser's verdict for callers that care.
+fn all_parsers_survive(
+    context: &str,
+    text: &str,
+) -> Result<Vec<hi_serve::UserProfile>, ProfileParseError> {
+    let profiles = catch_unwind(AssertUnwindSafe(|| parse_profiles(text)))
+        .unwrap_or_else(|_| panic!("profile parser panicked on {context}"));
+    let _ = catch_unwind(AssertUnwindSafe(|| JobRecord::from_text(text)))
+        .unwrap_or_else(|_| panic!("job-record parser panicked on {context}"));
+    let _ = catch_unwind(AssertUnwindSafe(|| parse_fault_suite(text)))
+        .unwrap_or_else(|_| panic!("suite parser panicked on {context}"));
+    // The wire-protocol request parser is line-oriented; feed it every
+    // line of the file.
+    for line in text.lines() {
+        let _ = catch_unwind(AssertUnwindSafe(|| Request::parse(line)))
+            .unwrap_or_else(|_| panic!("request parser panicked on a line of {context}"));
+    }
+    profiles
+}
+
+#[test]
+fn every_corpus_file_feeds_every_parser_without_panicking() {
+    // Cross-feeding is deliberate: a user submitting a fault suite (or a
+    // job record, or a checkpoint) as a profile file must get a
+    // diagnostic, not a crash — and vice versa.
+    for (name, text) in corpus_files() {
+        let _ = all_parsers_survive(&name, &text);
+    }
+}
+
+#[test]
+fn wellformed_corpus_profiles_parse_and_roundtrip() {
+    let fleet = parse_profiles(&corpus_file("profile_demo.profile"))
+        .expect("the committed demo fleet is valid");
+    assert_eq!(fleet.len(), 4);
+    assert!(hi_serve::lint_profiles(&fleet).is_clean());
+
+    let full = parse_profiles(&corpus_file("profile_full.profile"))
+        .expect("the every-directive profile is valid");
+    assert_eq!(full.len(), 1);
+    assert_eq!(full[0].id, "full monty");
+    assert_eq!(full[0].packet_len_bytes, 128);
+    assert!(full[0].faults.is_some());
+
+    let minimal = parse_profiles(&corpus_file("profile_minimal.profile"))
+        .expect("a bare `profile` line is a valid (default) profile");
+    assert_eq!(minimal.len(), 1);
+
+    // Canonical text is a fixed point: parse → render → parse is
+    // identity for every well-formed corpus profile.
+    for profile in fleet.iter().chain(&full).chain(&minimal) {
+        let reparsed = parse_profiles(&profile.to_text()).expect("canonical text parses");
+        assert_eq!(reparsed, vec![profile.clone()], "{}", profile.to_text());
+    }
+}
+
+#[test]
+fn crlf_profiles_parse_identically_to_lf() {
+    let crlf = corpus_file("profile_crlf.profile");
+    assert!(crlf.contains("\r\n"), "the CRLF seed lost its CRLFs");
+    let with = parse_profiles(&crlf).expect("CRLF profile parses");
+    let without = parse_profiles(&crlf.replace("\r\n", "\n")).expect("LF rewrite parses");
+    assert_eq!(with, without);
+}
+
+#[test]
+fn malformed_corpus_profiles_yield_typed_line_errors() {
+    let check =
+        |name: &str, want_line: usize, needle: &str| match parse_profiles(&corpus_file(name)) {
+            Err(ProfileParseError::Line { line, message }) => {
+                assert_eq!(line, want_line, "{name}: wrong line in {message:?}");
+                assert!(
+                    message.contains(needle),
+                    "{name}: {message:?} lacks {needle:?}"
+                );
+            }
+            other => panic!("{name}: expected a line error, got {other:?}"),
+        };
+    check("profile_bad_number.profile", 3, "geometry scale");
+    check("profile_directive_first.profile", 1, "before any `profile`");
+    check("profile_unknown_keyword.profile", 2, "unknown keyword");
+    check("profile_trailing_field.profile", 2, "trailing field");
+    assert_eq!(
+        parse_profiles(&corpus_file("profile_comments_only.profile")),
+        Err(ProfileParseError::NoProfile)
+    );
+}
+
+#[test]
+fn wellformed_and_malformed_corpus_records_behave() {
+    let record = JobRecord::from_text(&corpus_file("record_done.rec"))
+        .expect("the committed record is valid");
+    assert_eq!(record.id, 3);
+    assert!(record.state.is_terminal());
+    // The embedded profile block is itself parseable — the invariant the
+    // daemon relies on when it restores a queue.
+    let fleet = parse_profiles(&record.profile_text).expect("embedded profile parses");
+    assert_eq!(fleet[0].id, "alice");
+
+    let err = JobRecord::from_text(&corpus_file("record_torn.rec")).unwrap_err();
+    assert!(err.contains("crc32"), "{err}");
+    let err = JobRecord::from_text(&corpus_file("record_bit_rot.rec")).unwrap_err();
+    assert!(err.contains("mismatch"), "{err}");
+}
+
+#[test]
+fn truncation_at_every_byte_never_panics() {
+    // Profiles are line-oriented with no trailer: a prefix ending on a
+    // line boundary may legitimately parse as a shorter fleet, but no
+    // truncation point may panic, and a cut *inside* a directive line
+    // must not silently extend the fleet beyond the whole lines seen.
+    let text = corpus_file("profile_demo.profile");
+    for cut in 0..text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &text[..cut];
+        if let Ok(fleet) = all_parsers_survive(&format!("demo profile cut at {cut}"), prefix) {
+            let whole_profiles =
+                prefix.matches("\nprofile ").count() + usize::from(prefix.starts_with("profile "));
+            assert!(
+                fleet.len() <= whole_profiles + 1,
+                "cut at {cut} invented profiles: {} from {whole_profiles}",
+                fleet.len()
+            );
+        }
+    }
+
+    // Records carry a CRC trailer: any cut short of the whole file must
+    // be rejected (the final newline itself is outside the CRC'd body).
+    let text = corpus_file("record_done.rec");
+    let whole = text.trim_end().len();
+    for cut in 0..text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let verdict = JobRecord::from_text(&text[..cut]);
+        assert_eq!(
+            verdict.is_err(),
+            cut < whole,
+            "record cut at byte {cut}: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_records_are_always_caught() {
+    let text = corpus_file("record_done.rec");
+    let body_len = text.rfind("crc32 ").expect("record has a trailer");
+    let bytes = text.as_bytes();
+    for at in 0..body_len {
+        for bit in 0..8 {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= 1 << bit;
+            let Ok(mutated) = String::from_utf8(mutated) else {
+                continue; // the parser takes &str; invalid UTF-8 can't reach it
+            };
+            let verdict = JobRecord::from_text(&mutated);
+            assert!(
+                verdict.is_err(),
+                "flipping bit {bit} of byte {at} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn megabyte_lines_error_without_panicking() {
+    // A 1 MiB id is *legal* (the id is the rest of the line) — it must
+    // parse, not OOM or panic, and lint must still work over it.
+    let huge_id = format!("profile {}\n", "x".repeat(1 << 20));
+    let fleet = all_parsers_survive("megabyte id", &huge_id).expect("a huge id is representable");
+    assert_eq!(fleet[0].id.len(), 1 << 20);
+
+    // A 1 MiB *number* is not: every numeric directive must reject it
+    // with its line named, whether it overflows to inf or just fails.
+    for directive in ["geometry", "channel", "pdrmin", "tsim", "runs", "seed"] {
+        let huge = format!("profile a\n{directive} {}\n", "9".repeat(1 << 20));
+        let err = all_parsers_survive(&format!("megabyte {directive}"), &huge)
+            .expect_err("a megabyte numeral is rejected");
+        match err {
+            ProfileParseError::Line { line, .. } => assert_eq!(line, 2, "{directive}"),
+            other => panic!("{directive}: {other:?}"),
+        }
+    }
+
+    // And a megabyte of request line must bounce, not buffer.
+    let huge_request = format!("SUBMIT {}", "9".repeat(1 << 20));
+    assert!(Request::parse(&huge_request).is_err());
+}
+
+#[test]
+fn cross_fed_formats_are_rejected_with_diagnostics() {
+    // A fault suite as a profile file: `scenario` is not a profile
+    // keyword, and it appears before any `profile` line.
+    let suite = corpus_file("xfeed_suite_demo.suite");
+    let err = parse_profiles(&suite).expect_err("a suite is not a profile file");
+    assert!(matches!(err, ProfileParseError::Line { .. }), "{err}");
+
+    // A checkpoint as a profile file: same story, its header line loses.
+    let ck = corpus_file("xfeed_checkpoint_v2.ck");
+    assert!(parse_profiles(&ck).is_err());
+
+    // A profile file as a fault suite / job record: typed errors.
+    let profile = corpus_file("profile_demo.profile");
+    assert!(parse_fault_suite(&profile).is_err());
+    assert!(JobRecord::from_text(&profile).is_err());
+
+    // A job record as a fault suite: its header is not a suite entry.
+    let record = corpus_file("record_done.rec");
+    assert!(parse_fault_suite(&record).is_err());
+}

@@ -1,0 +1,164 @@
+//! Fleet-level determinism: the service inherits the workspace's core
+//! guarantee — bit-identical results at any thread count — and adds its
+//! own: a duplicate profile re-submitted to a warm fleet runs entirely
+//! from cache, spending zero new simulations.
+//!
+//! The batch runs through the real [`Server`] (queue, persistence,
+//! scheduler), not a shortcut harness, so what is proven is what the
+//! daemon actually does.
+
+use std::sync::Arc;
+
+use hi_serve::{JobState, ServeConfig, Server};
+
+/// A 4-profile fleet: three users sharing one evaluation protocol (two
+/// engines among them) plus one with different physics. Deliberately
+/// small simulations — determinism does not need long horizons.
+const FLEET: &str = "\
+profile alice
+tsim 2
+runs 1
+pdrmin 0.9
+
+profile bob
+tsim 2
+runs 1
+pdrmin 0.85
+
+profile carol
+tsim 2
+runs 1
+pdrmin 0.9
+engine exhaustive
+
+profile dave
+tsim 2
+runs 1
+pdrmin 0.9
+geometry 1.15
+traffic 25 64
+";
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hi-serve-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Submits `fleet`, runs the scheduler to completion, returns every
+/// result block in job-id order.
+fn run_fleet(threads: usize, tag: &str, fleet: &str) -> Vec<String> {
+    let dir = state_dir(tag);
+    let mut config = ServeConfig::new(&dir);
+    config.threads = threads;
+    let server = Arc::new(Server::new(config).unwrap());
+    let ids = server.submit(fleet).unwrap();
+    let scheduler = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.scheduler_loop())
+    };
+    let mut results = Vec::new();
+    for &id in &ids {
+        let state = server.wait(id, &mut |_| true).unwrap();
+        assert_eq!(state, JobState::Done, "job {id} failed");
+        results.push(server.result(id).unwrap());
+    }
+    server.request_shutdown();
+    scheduler.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    results
+}
+
+#[test]
+fn a_fleet_batch_is_bit_identical_across_thread_counts() {
+    let sequential = run_fleet(1, "t1", FLEET);
+    let pooled = run_fleet(8, "t8", FLEET);
+    assert_eq!(sequential.len(), 4);
+    // Bit-identical result blocks — including the hex-exact metric
+    // fields AND the simulation counts: the fleet cache's dedup pattern
+    // is part of the deterministic contract, not an optimization that
+    // may vary with scheduling.
+    assert_eq!(sequential, pooled);
+    // And the dedup pattern is the designed one: alice (first on her
+    // evaluator) simulates, bob shares her protocol so spends nothing
+    // new only where points overlap; dave's physics differ, so he pays
+    // full freight. Pin alice and dave as strictly positive.
+    let sims = |block: &str| -> u64 {
+        block
+            .lines()
+            .find_map(|l| l.strip_prefix("simulations "))
+            .expect("result block carries a simulations line")
+            .parse()
+            .expect("simulation count parses")
+    };
+    assert!(sims(&sequential[0]) > 0, "{}", sequential[0]);
+    assert!(sims(&sequential[3]) > 0, "{}", sequential[3]);
+}
+
+#[test]
+fn a_resubmitted_duplicate_profile_costs_zero_simulations() {
+    let dir = state_dir("dup");
+    let mut config = ServeConfig::new(&dir);
+    config.threads = 2;
+    let server = Arc::new(Server::new(config).unwrap());
+    let scheduler = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.scheduler_loop())
+    };
+    let one_user = "profile alice\ntsim 2\nruns 1\npdrmin 0.9\n";
+    let first = server.submit(one_user).unwrap();
+    assert_eq!(
+        server.wait(first[0], &mut |_| true).unwrap(),
+        JobState::Done
+    );
+    let warm_misses = {
+        let stats_block = server.stats_block();
+        stats_block
+            .lines()
+            .find_map(|l| l.strip_prefix("serve.fleet.cache_misses "))
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert!(warm_misses > 0, "the first job simulated something");
+
+    // Same profile again — different user id, same physics: the search
+    // replays over a warm cache and every evaluation is a hit.
+    let dup = server
+        .submit("profile alice-again\ntsim 2\nruns 1\npdrmin 0.9\n")
+        .unwrap();
+    assert_eq!(server.wait(dup[0], &mut |_| true).unwrap(), JobState::Done);
+    let block = server.result(dup[0]).unwrap();
+    let sims: Vec<&str> = block
+        .lines()
+        .filter(|l| l.starts_with("simulations "))
+        .collect();
+    assert_eq!(sims, vec!["simulations 0"], "{block}");
+
+    // The fleet counters agree: no new misses, only hits.
+    let stats_block = server.stats_block();
+    let misses_after: u64 = stats_block
+        .lines()
+        .find_map(|l| l.strip_prefix("serve.fleet.cache_misses "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(misses_after, warm_misses, "{stats_block}");
+
+    // Apart from the id line (and id-derived text), the duplicate's
+    // result block matches the original byte for byte.
+    let original = server.result(first[0]).unwrap();
+    let strip_id = |block: &str| -> String {
+        block
+            .lines()
+            .filter(|l| !l.starts_with("profile ") && !l.starts_with("simulations "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_id(&original), strip_id(&block));
+
+    server.request_shutdown();
+    scheduler.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,6 +79,25 @@ pub const ROBUST_SCENARIOS: &str = "robust.scenarios";
 /// Wall time of each robust scenario simulation, nanoseconds.
 pub const ROBUST_SCENARIO_NS: &str = "robust.scenario_ns";
 
+/// Jobs accepted by the `hi-serve` daemon (across restarts of one state
+/// directory, freshly counted per process).
+pub const SERVE_JOBS_ACCEPTED: &str = "serve.jobs.accepted";
+/// Jobs that ran to a terminal `done` state.
+pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs.completed";
+/// Jobs that ended in a terminal `failed` state.
+pub const SERVE_JOBS_FAILED: &str = "serve.jobs.failed";
+/// Jobs cancelled before or during execution.
+pub const SERVE_JOBS_CANCELLED: &str = "serve.jobs.cancelled";
+/// Jobs currently queued or running (gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Wall time from job acceptance to its terminal state, nanoseconds.
+pub const SERVE_JOB_LATENCY_NS: &str = "serve.job_latency_ns";
+/// Fleet evaluation-cache hits: design points recalled from another
+/// user's (or an earlier job's) simulations.
+pub const SERVE_FLEET_HITS: &str = "serve.fleet.cache_hits";
+/// Fleet evaluation-cache misses: design points simulated fresh.
+pub const SERVE_FLEET_MISSES: &str = "serve.fleet.cache_misses";
+
 /// Every metric in the catalog with its kind.
 pub const CATALOG: &[(&str, MetricKind)] = &[
     (EXEC_TASKS_RUN, MetricKind::Counter),
@@ -114,6 +133,14 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     (CORE_EVAL_ERRORS, MetricKind::Counter),
     (ROBUST_SCENARIOS, MetricKind::Counter),
     (ROBUST_SCENARIO_NS, MetricKind::Histogram),
+    (SERVE_JOBS_ACCEPTED, MetricKind::Counter),
+    (SERVE_JOBS_COMPLETED, MetricKind::Counter),
+    (SERVE_JOBS_FAILED, MetricKind::Counter),
+    (SERVE_JOBS_CANCELLED, MetricKind::Counter),
+    (SERVE_QUEUE_DEPTH, MetricKind::Gauge),
+    (SERVE_JOB_LATENCY_NS, MetricKind::Histogram),
+    (SERVE_FLEET_HITS, MetricKind::Counter),
+    (SERVE_FLEET_MISSES, MetricKind::Counter),
 ];
 
 /// Pre-registers the whole catalog on `registry`.

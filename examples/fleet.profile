@@ -1,0 +1,24 @@
+# A demo fleet for `hi-opt serve`: four wearers of the paper's WBAN.
+#
+# alice, bob and carol share identical physics (default body geometry,
+# channel and traffic), so the daemon's fleet cache runs their three
+# jobs on ONE evaluation stream — every design point simulates once.
+# Their different floors and engines are free: those are search knobs,
+# not simulation knobs. dave's body and traffic differ, so he gets his
+# own stream.
+
+profile alice
+pdrmin 0.9
+
+profile bob
+pdrmin 0.85
+
+profile carol
+pdrmin 0.9
+engine exhaustive
+
+profile dave
+geometry 1.15              # 15% taller: every link distance scales
+channel 2.0                # lossier environment: +2 dB path loss
+traffic 25 64              # chattier sensors: 25 pkt/s of 64 bytes
+pdrmin 0.9
