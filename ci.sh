@@ -217,12 +217,15 @@ grep -q HL042 /tmp/hi_ci_serve_bad.err
 target/release/hi-serve-client /tmp/hi_ci_serve/addr shutdown > /dev/null
 wait "$DAEMON"
 
-# Second: crash recovery. A daemon running a long job is SIGKILLed as
-# soon as the job's first auto-checkpoint lands, restarted on the same
-# state dir, and must resume the job to a result byte-identical to a
-# straight-through run of the same profile in a fresh daemon.
+# Second: multi-job crash recovery. A daemon running a two-job fleet is
+# SIGKILLed as soon as job 1's first auto-checkpoint lands, restarted on
+# the same state dir, and must finish BOTH jobs to results
+# byte-identical to a straight-through run of the same fleet in a fresh
+# daemon.
 rm -rf /tmp/hi_ci_serve_kill /tmp/hi_ci_serve_ref
-printf 'profile crashdummy\ntsim 600\nruns 3\npdrmin 0.9\n' > /tmp/hi_ci_serve_kill.profile
+rm -f /tmp/hi_ci_serve_resumed.txt /tmp/hi_ci_serve_straight.txt
+printf 'profile crashdummy\ntsim 600\nruns 3\npdrmin 0.9\nprofile crashmate\ntsim 600\nruns 3\npdrmin 0.9\ngeometry 1.15\n' \
+    > /tmp/hi_ci_serve_kill.profile
 target/release/hi-opt serve --state /tmp/hi_ci_serve_kill --listen 127.0.0.1:0 \
     --threads 8 2> /dev/null &
 VICTIM=$!
@@ -238,9 +241,11 @@ target/release/hi-opt serve --state /tmp/hi_ci_serve_kill --listen 127.0.0.1:0 \
     --threads 8 2> /tmp/hi_ci_serve_kill.err &
 PHOENIX=$!
 while [ ! -f /tmp/hi_ci_serve_kill/addr ]; do sleep 0.05; done
-target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr wait 1 > /dev/null 2>&1
-target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr result 1 \
-    > /tmp/hi_ci_serve_resumed.txt
+for J in 1 2; do
+    target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr wait "$J" > /dev/null 2>&1
+    target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr result "$J" \
+        >> /tmp/hi_ci_serve_resumed.txt
+done
 grep -q "resuming" /tmp/hi_ci_serve_kill.err
 target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr shutdown > /dev/null
 wait "$PHOENIX"
@@ -250,11 +255,72 @@ REF=$!
 while [ ! -f /tmp/hi_ci_serve_ref/addr ]; do sleep 0.05; done
 target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr run /tmp/hi_ci_serve_kill.profile \
     > /dev/null 2>&1
-target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr result 1 \
-    > /tmp/hi_ci_serve_straight.txt
+for J in 1 2; do
+    target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr result "$J" \
+        >> /tmp/hi_ci_serve_straight.txt
+done
 target/release/hi-serve-client /tmp/hi_ci_serve_ref/addr shutdown > /dev/null
 wait "$REF"
 diff /tmp/hi_ci_serve_straight.txt /tmp/hi_ci_serve_resumed.txt
+
+# Third: durable-cache warm restart. The phoenix daemon above drained
+# and flushed its evaluation cache to segment files on SHUTDOWN; a
+# fresh daemon on the same state dir must re-serve the same fleet with
+# ZERO fresh simulations (an explicit --token forces new jobs rather
+# than an idempotent replay of the old ones).
+rm -f /tmp/hi_ci_serve_kill/addr
+target/release/hi-opt serve --state /tmp/hi_ci_serve_kill --listen 127.0.0.1:0 \
+    --threads 8 2> /dev/null &
+WARM=$!
+while [ ! -f /tmp/hi_ci_serve_kill/addr ]; do sleep 0.05; done
+target/release/hi-serve-client --token warm-pass /tmp/hi_ci_serve_kill/addr \
+    run /tmp/hi_ci_serve_kill.profile > /tmp/hi_ci_serve_warm.txt 2> /dev/null
+SIMS=$(grep -c '^simulations 0$' /tmp/hi_ci_serve_warm.txt)
+[ "$SIMS" -eq 2 ]    # both warm jobs replayed entirely from segments
+# Idempotency: the same SUBMIT with the same token must return the same
+# job ids, not enqueue duplicates.
+target/release/hi-serve-client --token idem-1 /tmp/hi_ci_serve_kill/addr \
+    submit /tmp/hi_ci_serve_kill.profile > /tmp/hi_ci_serve_idem1.txt
+target/release/hi-serve-client --token idem-1 /tmp/hi_ci_serve_kill/addr \
+    submit /tmp/hi_ci_serve_kill.profile > /tmp/hi_ci_serve_idem2.txt
+diff /tmp/hi_ci_serve_idem1.txt /tmp/hi_ci_serve_idem2.txt
+grep -q '^job ' /tmp/hi_ci_serve_idem1.txt
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr shutdown > /dev/null
+wait "$WARM"
+
+# Fourth: chaos soak. A daemon with deterministic segment-drop and
+# torn-write injection must still converge to the nominal answers — the
+# cache may lose entries (repaid with simulations), but never serves a
+# wrong one. The torn tails it leaves behind must be repaired on the
+# next start, not quarantined.
+rm -rf /tmp/hi_ci_serve_chaos
+target/release/hi-opt serve --state /tmp/hi_ci_serve_chaos --listen 127.0.0.1:0 \
+    --threads 8 --chaos "seed=1,segdrop=2,torn=2" 2> /dev/null &
+GREMLIN=$!
+while [ ! -f /tmp/hi_ci_serve_chaos/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_serve_chaos/addr run /tmp/hi_ci_serve_kill.profile \
+    > /tmp/hi_ci_serve_chaos1.txt 2> /dev/null
+target/release/hi-serve-client /tmp/hi_ci_serve_chaos/addr shutdown > /dev/null
+wait "$GREMLIN"
+rm -f /tmp/hi_ci_serve_chaos/addr
+target/release/hi-opt serve --state /tmp/hi_ci_serve_chaos --listen 127.0.0.1:0 \
+    --threads 8 --chaos "seed=2,segdrop=2,torn=2" 2> /tmp/hi_ci_serve_chaos.err &
+GREMLIN=$!
+while [ ! -f /tmp/hi_ci_serve_chaos/addr ]; do sleep 0.05; done
+target/release/hi-serve-client --token chaos-2 /tmp/hi_ci_serve_chaos/addr \
+    run /tmp/hi_ci_serve_kill.profile > /tmp/hi_ci_serve_chaos2.txt 2> /dev/null
+target/release/hi-serve-client /tmp/hi_ci_serve_chaos/addr shutdown > /dev/null
+wait "$GREMLIN"
+! grep -q quarantine /tmp/hi_ci_serve_chaos.err   # torn tails repair, not quarantine
+# Design answers under chaos match the nominal straight-through run.
+grep '^status feasible\|^design \|^pdr \|^nlt_days \|^power_mw ' /tmp/hi_ci_serve_straight.txt \
+    > /tmp/hi_ci_serve_expect.txt
+grep '^status feasible\|^design \|^pdr \|^nlt_days \|^power_mw ' /tmp/hi_ci_serve_chaos1.txt \
+    > /tmp/hi_ci_serve_got1.txt
+grep '^status feasible\|^design \|^pdr \|^nlt_days \|^power_mw ' /tmp/hi_ci_serve_chaos2.txt \
+    > /tmp/hi_ci_serve_got2.txt
+diff /tmp/hi_ci_serve_expect.txt /tmp/hi_ci_serve_got1.txt
+diff /tmp/hi_ci_serve_expect.txt /tmp/hi_ci_serve_got2.txt
 
 HI_BENCH_QUICK=1 cargo bench
 

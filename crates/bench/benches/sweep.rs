@@ -188,6 +188,97 @@ profile dave\ntsim 2\nruns 1\nseed 7\npdrmin 0.9\ngeometry 1.15\ntraffic 25 64\n
         }
     }
 
+    // Warm restart: the same fleet, served by a daemon that was killed
+    // and restarted between the cold run and the re-submission. Pass 1
+    // runs cold and spills every evaluator's outcomes to CRC-checked
+    // segment files; pass 2 starts from empty in-memory state, hydrates
+    // the segments, and re-runs the whole fleet. Its hit rate is the
+    // measured durability payoff — close to 1.0, far above the
+    // cold-fleet dedup rate — and its simulation count should be 0.
+    let cache_dir =
+        std::env::temp_dir().join(format!("hi-bench-warm-{}-{}", threads, std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run_fleet = |fleet: &hi_serve::FleetCache,
+                     exec: &ExecContext,
+                     store: Option<&hi_serve::SegmentStore>| {
+        let policy = hi_serve::RunPolicy {
+            max_events: None,
+            retry_attempts: 3,
+            checkpoint_every: None,
+        };
+        for profile in &profiles {
+            let protocol = profile.protocol();
+            let key = profile.eval_fingerprint(None);
+            let evaluator = fleet.evaluator(key, || {
+                let built = hi_serve::FleetEvaluator::Nominal(protocol.shared_evaluator());
+                if let Some(store) = store {
+                    for outcome in store.hydrate(key) {
+                        built.import_entry(outcome);
+                    }
+                }
+                built
+            });
+            hi_serve::run_profile(profile, &evaluator, exec, policy, None, &mut |_| {})
+                .expect("fleet profile runs");
+        }
+    };
+    {
+        // Pass 1 (cold, spilled): equivalent to a daemon run + SHUTDOWN.
+        let collector = Collector::metrics_only();
+        wk::register_all(collector.registry().expect("registry"));
+        let exec = ExecContext::new(threads).with_collector(collector.clone());
+        let fleet = hi_serve::FleetCache::new();
+        let (store, _) = hi_serve::SegmentStore::open(cache_dir.clone(), 256, None)
+            .expect("bench cache dir is writable");
+        {
+            let _main = collector.install(0, 0);
+            run_fleet(&fleet, &exec, None);
+        }
+        for (key, evaluator) in fleet.streams() {
+            store
+                .flush(key, &evaluator.export_entries())
+                .expect("segments flush");
+        }
+        exec.flush_pool_stats();
+    }
+    {
+        // Pass 2 (warm restart): fresh in-memory state, warm disk.
+        let collector = Collector::metrics_only();
+        let registry = collector.registry().expect("registry");
+        wk::register_all(registry);
+        let exec = ExecContext::new(threads).with_collector(collector.clone());
+        let fleet = hi_serve::FleetCache::new();
+        let (store, notes) = hi_serve::SegmentStore::open(cache_dir.clone(), 256, None)
+            .expect("bench cache dir reloads");
+        assert!(notes.is_empty(), "clean segments reload clean: {notes:?}");
+        let t0 = Instant::now();
+        {
+            let _main = collector.install(0, 0);
+            run_fleet(&fleet, &exec, Some(&store));
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        exec.flush_pool_stats();
+        let stats = fleet.stats();
+        let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+        println!(
+            "  sweep/fleet_warm_restart_{}profiles     {:.3}s, {} hits / {} misses ({:.0}% warm)",
+            profiles.len(),
+            wall_s,
+            stats.hits,
+            stats.misses,
+            hit_rate * 100.0
+        );
+        bench_report.push(EngineRun {
+            engine: "fleet_warm_restart".to_string(),
+            threads,
+            wall_s,
+            simulations: registry.counter_value(wk::NET_REPLICATIONS),
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     // Land the report at the workspace root (cargo runs benches with the
     // package directory as cwd); HI_BENCH_REPORT_DIR overrides.
     let dir = std::env::var_os("HI_BENCH_REPORT_DIR")

@@ -296,6 +296,31 @@ impl SharedSimEvaluator {
         &self.protocol
     }
 
+    /// Seeds the shared cache with a previously simulated outcome —
+    /// the import half of cache persistence. Seeded points answer later
+    /// lookups as ordinary hits without counting a miss, so a restarted
+    /// process reports `simulations 0` for work a previous process paid
+    /// for. An existing entry wins; returns whether the seed landed.
+    pub fn seed_eval(&self, point: DesignPoint, eval: Evaluation) -> bool {
+        self.cache.seed(point, Ok(eval))
+    }
+
+    /// Every successfully settled `(point, evaluation)` pair, sorted by
+    /// point fingerprint — the export half of cache persistence. Cached
+    /// *errors* are deliberately excluded: failures are deterministic
+    /// and cheap to rediscover, and persisting them would resurrect
+    /// stale diagnostics across configuration changes.
+    pub fn cached_ok(&self) -> Vec<(DesignPoint, Evaluation)> {
+        let mut out: Vec<(DesignPoint, Evaluation)> = self
+            .cache
+            .snapshot()
+            .into_iter()
+            .filter_map(|(point, outcome)| outcome.ok().map(|eval| (point, eval)))
+            .collect();
+        out.sort_by_key(|(point, _)| point.fingerprint());
+        out
+    }
+
     /// Number of cached evaluations (shared across clones).
     pub fn cache_len(&self) -> usize {
         self.cache.len()

@@ -274,6 +274,29 @@ impl RobustEvaluator {
         })
     }
 
+    /// Seeds the scorecard cache with a previously computed outcome —
+    /// the import half of cache persistence (see
+    /// [`SharedSimEvaluator::seed_eval`](crate::SharedSimEvaluator::seed_eval)).
+    /// An existing entry wins; returns whether the seed landed.
+    pub fn seed_scorecard(&self, point: DesignPoint, card: RobustEvaluation) -> bool {
+        self.cache.seed(point, Ok(card))
+    }
+
+    /// Every successfully settled `(point, scorecard)` pair, sorted by
+    /// point fingerprint — the export half of cache persistence. Cached
+    /// errors are excluded, mirroring
+    /// [`SharedSimEvaluator::cached_ok`](crate::SharedSimEvaluator::cached_ok).
+    pub fn cached_scorecards(&self) -> Vec<(DesignPoint, RobustEvaluation)> {
+        let mut out: Vec<(DesignPoint, RobustEvaluation)> = self
+            .cache
+            .snapshot()
+            .into_iter()
+            .filter_map(|(point, outcome)| outcome.ok().map(|card| (point, card)))
+            .collect();
+        out.sort_by_key(|(point, _)| point.fingerprint());
+        out
+    }
+
     /// Forgets the cached scorecard of `point`, if any (see
     /// [`PointEvaluator::drop_cached`]).
     pub fn drop_cached(&self, point: &DesignPoint) -> bool {

@@ -180,6 +180,35 @@ impl<K: Eq + Hash + Clone, V: Clone> EvalCache<K, V> {
         state.map.get(key).cloned()
     }
 
+    /// Inserts `value` for `key` if nothing is cached yet, *without*
+    /// counting a miss — the import half of cache persistence. A seeded
+    /// entry is indistinguishable from a computed one to later lookups
+    /// (they count hits as usual), so a daemon restarted over a spilled
+    /// segment reports the same hit/miss arithmetic as one that never
+    /// died. Returns whether the value was inserted; an existing entry
+    /// (or an in-flight compute, whose result is authoritative) wins.
+    pub fn seed(&self, key: K, value: V) -> bool {
+        let mut state = self.shard(&key).state.lock();
+        if state.map.contains_key(&key) || state.in_flight.contains(&key) {
+            return false;
+        }
+        state.map.insert(key, value);
+        true
+    }
+
+    /// Clones out every settled entry — the export half of cache
+    /// persistence. In-flight computes are not included (they have no
+    /// value yet). Iteration order is unspecified (per-shard `HashMap`
+    /// order); callers that need determinism sort by key.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let state = shard.state.lock();
+            out.extend(state.map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
     /// Drops the cached entry for `key`, returning whether one existed.
     ///
     /// The next [`get_or_compute`](Self::get_or_compute) for the key runs
@@ -237,6 +266,20 @@ mod tests {
         assert_eq!(cache.get(&5), None);
         assert_eq!(cache.get_or_compute(5, || 50), 50);
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn seed_and_snapshot_bypass_the_miss_counter() {
+        let cache: EvalCache<u64, u64> = EvalCache::new();
+        assert!(cache.seed(7, 70));
+        assert!(!cache.seed(7, 71), "an existing entry wins");
+        assert_eq!(cache.get_or_compute(7, || unreachable!("seeded")), 70);
+        // The seed cost no miss; the lookup was an ordinary hit.
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        cache.get_or_compute(8, || 80);
+        let mut snap = cache.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap, vec![(7, 70), (8, 80)]);
     }
 
     #[test]

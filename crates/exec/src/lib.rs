@@ -51,7 +51,7 @@ pub use cache::EvalCache;
 pub use cancel::CancelToken;
 pub use error::{ErrorKind, EvalError};
 pub use pool::{PoolStats, ThreadPool};
-pub use supervise::{ChaosPolicy, RetryPolicy, SupervisionReport, Supervisor};
+pub use supervise::{backoff_delay_ms, ChaosPolicy, RetryPolicy, SupervisionReport, Supervisor};
 
 /// The default worker-thread count: the `HI_EXEC_THREADS` environment
 /// variable if set to a positive integer, otherwise

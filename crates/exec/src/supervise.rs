@@ -84,6 +84,15 @@ pub struct ChaosPolicy {
     /// 1-in-N odds that, after a *successful* attempt, the cached result
     /// is dropped again so a later lookup must recompute it. `0` = never.
     pub drop_in: u32,
+    /// 1-in-N odds that a persistence-layer segment append is silently
+    /// dropped (never written), so a restart must re-simulate the lost
+    /// points. `0` = never. Consumed by `hi-serve`'s segment store.
+    pub segdrop_in: u32,
+    /// 1-in-N odds that a persistence-layer segment append is torn
+    /// mid-entry (only a prefix of the framed bytes lands), so a restart
+    /// must truncate the tail and recover. `0` = never. Consumed by
+    /// `hi-serve`'s segment store.
+    pub torn_in: u32,
 }
 
 /// Per-knob salts keep the three decision streams independent: a point
@@ -91,6 +100,8 @@ pub struct ChaosPolicy {
 const SALT_PANIC: u64 = 0x0070_616e_6963; // "panic"
 const SALT_TRANSIENT: u64 = 0x0074_7261_6e73; // "trans"
 const SALT_DROP: u64 = 0x6472_6f70; // "drop"
+const SALT_SEGDROP: u64 = 0x0073_6567_6472; // "segdr"
+const SALT_TORN: u64 = 0x746f_726e; // "torn"
 
 /// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
 fn mix(mut x: u64) -> u64 {
@@ -104,8 +115,9 @@ impl ChaosPolicy {
     /// Parses a `--chaos` spec string.
     ///
     /// Grammar: `field ("," field)*` where `field` is one of
-    /// `seed=<u64>`, `panic=<N>`, `transient=<N>`, `drop=<N>`; the three
-    /// odds are 1-in-N (`0` disables). Unset fields default to 0.
+    /// `seed=<u64>`, `panic=<N>`, `transient=<N>`, `drop=<N>`,
+    /// `segdrop=<N>`, `torn=<N>`; the odds are 1-in-N (`0` disables).
+    /// Unset fields default to 0.
     ///
     /// # Errors
     ///
@@ -135,9 +147,12 @@ impl ChaosPolicy {
                 "panic" => policy.panic_in = parse_u32(value.trim())?,
                 "transient" => policy.transient_in = parse_u32(value.trim())?,
                 "drop" => policy.drop_in = parse_u32(value.trim())?,
+                "segdrop" => policy.segdrop_in = parse_u32(value.trim())?,
+                "torn" => policy.torn_in = parse_u32(value.trim())?,
                 other => {
                     return Err(format!(
-                        "unknown chaos field `{other}` (expected seed/panic/transient/drop)"
+                        "unknown chaos field `{other}` \
+                         (expected seed/panic/transient/drop/segdrop/torn)"
                     ))
                 }
             }
@@ -147,7 +162,11 @@ impl ChaosPolicy {
 
     /// True when every injection knob is disabled.
     pub fn is_noop(&self) -> bool {
-        self.panic_in == 0 && self.transient_in == 0 && self.drop_in == 0
+        self.panic_in == 0
+            && self.transient_in == 0
+            && self.drop_in == 0
+            && self.segdrop_in == 0
+            && self.torn_in == 0
     }
 
     fn roll(&self, salt: u64, fingerprint: u64, attempt: u32, one_in: u32) -> bool {
@@ -172,6 +191,33 @@ impl ChaosPolicy {
     pub fn drops_entry(&self, fingerprint: u64, attempt: u32) -> bool {
         self.roll(SALT_DROP, fingerprint, attempt, self.drop_in)
     }
+
+    /// Whether the persistence layer silently drops the segment append
+    /// numbered `sequence` for stream `fingerprint` (the fleet key).
+    pub fn drops_segment(&self, fingerprint: u64, sequence: u32) -> bool {
+        self.roll(SALT_SEGDROP, fingerprint, sequence, self.segdrop_in)
+    }
+
+    /// Whether the persistence layer tears the segment append numbered
+    /// `sequence` for stream `fingerprint`, landing only a byte prefix.
+    pub fn tears_segment(&self, fingerprint: u64, sequence: u32) -> bool {
+        self.roll(SALT_TORN, fingerprint, sequence, self.torn_in)
+    }
+}
+
+///// The deterministic reconnect backoff: `base_ms << attempt`, capped at
+/// 30 s, plus a seed-indexed jitter of up to 25% so a fleet of clients
+/// retrying the same outage doesn't stampede in lockstep. Attempt 0 is
+/// the first *re*try; decisions are pure functions of `(seed, attempt)`,
+/// in the same splitmix idiom as [`ChaosPolicy`]'s injection rolls.
+pub fn backoff_delay_ms(seed: u64, attempt: u32, base_ms: u64) -> u64 {
+    const CAP_MS: u64 = 30_000;
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(20)).min(CAP_MS);
+    let jitter_span = exp / 4;
+    if jitter_span == 0 {
+        return exp;
+    }
+    exp + mix(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)) % jitter_span
 }
 
 /// What one supervised evaluation went through, for observability
@@ -296,14 +342,17 @@ mod tests {
 
     #[test]
     fn parse_accepts_full_and_partial_specs() {
-        let policy = ChaosPolicy::parse("seed=7,panic=13,transient=3,drop=8").unwrap();
+        let policy =
+            ChaosPolicy::parse("seed=7,panic=13,transient=3,drop=8,segdrop=5,torn=6").unwrap();
         assert_eq!(
             policy,
             ChaosPolicy {
                 seed: 7,
                 panic_in: 13,
                 transient_in: 3,
-                drop_in: 8
+                drop_in: 8,
+                segdrop_in: 5,
+                torn_in: 6,
             }
         );
         let policy = ChaosPolicy::parse(" transient=2 ").unwrap();
@@ -311,6 +360,54 @@ mod tests {
         assert_eq!(policy.seed, 0);
         assert!(!policy.is_noop());
         assert!(ChaosPolicy::parse("seed=9").unwrap().is_noop());
+        assert!(!ChaosPolicy::parse("segdrop=2").unwrap().is_noop());
+        assert!(!ChaosPolicy::parse("torn=2").unwrap().is_noop());
+    }
+
+    #[test]
+    fn segment_chaos_rolls_are_deterministic_and_independent() {
+        let policy = ChaosPolicy::parse("seed=42,segdrop=3,torn=3").unwrap();
+        for key in 0..64u64 {
+            for seq in 0..4 {
+                assert_eq!(
+                    policy.drops_segment(key, seq),
+                    policy.drops_segment(key, seq)
+                );
+                assert_eq!(
+                    policy.tears_segment(key, seq),
+                    policy.tears_segment(key, seq)
+                );
+            }
+        }
+        let drops: Vec<u64> = (0..256).filter(|&k| policy.drops_segment(k, 0)).collect();
+        let tears: Vec<u64> = (0..256).filter(|&k| policy.tears_segment(k, 0)).collect();
+        assert!(!drops.is_empty() && drops.len() < 256, "{}", drops.len());
+        assert_ne!(drops, tears, "the streams share a salt");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_stays_bounded() {
+        let base = backoff_delay_ms(9, 0, 50);
+        assert!((50..63).contains(&base), "{base}");
+        // Doubling per attempt, up to the cap (+25% jitter headroom).
+        let mut prev = base;
+        for attempt in 1..8 {
+            let next = backoff_delay_ms(9, attempt, 50);
+            assert!(next > prev, "attempt {attempt}: {next} <= {prev}");
+            prev = next;
+        }
+        for attempt in 0..40 {
+            assert!(backoff_delay_ms(9, attempt, 50) <= 37_500);
+            // Deterministic per (seed, attempt).
+            assert_eq!(
+                backoff_delay_ms(9, attempt, 50),
+                backoff_delay_ms(9, attempt, 50)
+            );
+        }
+        // Different seeds de-synchronize the jitter somewhere.
+        assert!((0..16).any(|s| backoff_delay_ms(s, 3, 50) != backoff_delay_ms(s + 16, 3, 50)));
+        // A degenerate base still terminates at zero delay.
+        assert_eq!(backoff_delay_ms(1, 5, 0), 0);
     }
 
     #[test]

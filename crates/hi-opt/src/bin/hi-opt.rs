@@ -49,7 +49,9 @@ USAGE:
     hi-opt lint     [--seed <n>]
     hi-opt serve    --state <dir> [--listen <host:port>] [--stdio]
                     [--threads <n>] [--queue-cap <n>] [--retries <n>]
-                    [--max-events <n>]
+                    [--max-events <n>] [--cache-dir <dir>]
+                    [--compact-every <n>] [--conn-timeout <secs>]
+                    [--chaos <spec>]
 
 COMMANDS:
     explore    run Algorithm 1: MILP-proposed candidates verified by
@@ -123,8 +125,20 @@ SERVE OPTIONS:
     --stdio              speak the protocol on stdin/stdout too; with no
                          --listen, EOF on stdin shuts the daemon down
     --queue-cap <n>      refuse submissions past <n> queued-or-running
-                         jobs (default 64)
+                         jobs with `ERR busy` (default 64)
     --retries/--max-events  as for explore, applied to every job
+    --cache-dir <dir>    durable evaluation-cache segment directory
+                         (default <state>/cache); a restarted daemon
+                         re-serves persisted evaluations with 0 fresh
+                         simulations
+    --compact-every <n>  appends tolerated per segment before it is
+                         compacted in place (default 256; linted, HL044)
+    --conn-timeout <s>   per-connection read/write timeout in seconds
+                         (default 600; 0 disables)
+    --chaos <spec>       deterministic fault injection, e.g.
+                         `seed=1,segdrop=2,torn=2` (adds segment-drop
+                         and torn-write injection to the panic/transient
+                         knobs; debug instrument, linted HL039)
 Profile files submitted over the protocol (`#` starts a comment):
     profile <id>                     start a user profile
     geometry <scale>                 body-geometry scale factor
@@ -1033,6 +1047,21 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     print_lint_section("serve daemon configuration (defaults)", &report);
     total.merge(report);
 
+    // 10. Durable-cache persistence (HL044) and the reconnecting
+    //     client's retry policy (HL045) — the same checks `hi-opt
+    //     serve` and `hi-serve-client` run at startup, here against
+    //     their defaults.
+    let report = hi_opt::lint::lint_cache_persist(&defaults.cache_lint_spec());
+    print_lint_section("serve cache persistence (defaults)", &report);
+    total.merge(report);
+
+    let report = hi_opt::lint::lint_client_retry(&hi_opt::lint::ClientRetrySpec {
+        max_attempts: 5,
+        backoff_base_ms: 50.0,
+    });
+    print_lint_section("serve client retry policy (defaults)", &report);
+    total.merge(report);
+
     println!();
     println!(
         "summary: {} error(s), {} warning(s), {} info(s)",
@@ -1056,6 +1085,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut queue_cap: usize = 64;
     let mut retries: u32 = 3;
     let mut max_events: Option<u64> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut compact_threshold: u32 = 256;
+    let mut conn_timeout: u64 = 600;
+    let mut chaos: Option<hi_opt::exec::ChaosPolicy> = None;
     let mut i = 0;
     let take = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
         args.get(i + 1)
@@ -1102,6 +1135,30 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 );
                 i += 2;
             }
+            "--cache-dir" => {
+                cache_dir = Some(take(args, i, "--cache-dir")?.into());
+                i += 2;
+            }
+            "--compact-every" => {
+                compact_threshold = take(args, i, "--compact-every")?
+                    .parse()
+                    .map_err(|_| "bad --compact-every")?;
+                i += 2;
+            }
+            "--conn-timeout" => {
+                conn_timeout = take(args, i, "--conn-timeout")?
+                    .parse()
+                    .map_err(|_| "bad --conn-timeout")?;
+                i += 2;
+            }
+            "--chaos" => {
+                let spec = take(args, i, "--chaos")?;
+                chaos = Some(
+                    hi_opt::exec::ChaosPolicy::parse(&spec)
+                        .map_err(|e| CliError::Usage(format!("bad --chaos: {e}")))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -1113,6 +1170,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     config.queue_capacity = queue_cap;
     config.retry_attempts = retries;
     config.max_events = max_events;
+    config.cache_dir = cache_dir;
+    config.compact_threshold = compact_threshold;
+    config.conn_timeout_secs = conn_timeout;
+    config.chaos = chaos;
     // Startup failures are misconfigurations or unusable state files —
     // closest to a malformed spec; scripts see exit 4.
     hi_opt::serve::run(config).map_err(CliError::Spec)

@@ -37,7 +37,11 @@
 //!   daemon spends simulations on them — empty/duplicate ids, zero
 //!   traffic, PDRmin outside `[0, 1]` (HL042) — and [`lint_server`]
 //!   checks the daemon's own queue capacity and per-job deadline against
-//!   the DES warm-up floor (HL043).
+//!   the DES warm-up floor (HL043). [`lint_cache_persist`] validates the
+//!   daemon's durable-cache persistence (zero/absurd compaction
+//!   threshold, segment/record directory collision — HL044) and
+//!   [`lint_client_retry`] a reconnecting client's retry policy
+//!   (unbounded attempts, non-positive backoff base — HL045).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -92,6 +96,9 @@ pub use propagate::{propagate, Propagation};
 pub use report::{Finding, Report, RuleId, Severity, Span};
 pub use rules::analyze;
 pub use schedule::lint_schedule;
-pub use serve::{lint_profile, lint_server, ProfileSpec, ServerSpec};
+pub use serve::{
+    lint_cache_persist, lint_client_retry, lint_profile, lint_server, CachePersistSpec,
+    ClientRetrySpec, ProfileSpec, ServerSpec, COMPACT_THRESHOLD_CEILING,
+};
 pub use space::{lint_space, SpaceDim};
 pub use supervision::{lint_supervision, SupervisionSpec};

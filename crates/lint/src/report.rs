@@ -120,6 +120,18 @@ pub enum RuleId {
     /// event budget below the warm-up floor (every job would trip its
     /// deadline before simulating a single packet).
     ServeMisconfigured,
+    /// The daemon's durable-cache persistence is misconfigured: a
+    /// compaction threshold of zero (every settle rewrites every
+    /// segment — quadratic I/O) or absurdly large (segments never
+    /// compact and grow without bound), or the segment directory
+    /// collides with the job-record directory (compaction's atomic
+    /// rewrites and record scans then race over the same namespace).
+    CachePersistMisconfigured,
+    /// A reconnecting client's retry policy is broken: zero maximum
+    /// attempts reads as "retry forever" against a daemon that may be
+    /// gone, and a non-positive backoff base collapses the exponential
+    /// schedule into a busy-loop hammering the listener.
+    ClientRetryMisconfigured,
 }
 
 impl RuleId {
@@ -154,6 +166,8 @@ impl RuleId {
             RuleId::ModelLockLeak => "HL041",
             RuleId::ProfileInvalid => "HL042",
             RuleId::ServeMisconfigured => "HL043",
+            RuleId::CachePersistMisconfigured => "HL044",
+            RuleId::ClientRetryMisconfigured => "HL045",
         }
     }
 
@@ -171,7 +185,9 @@ impl RuleId {
             | RuleId::RetryMisconfigured
             | RuleId::ModelLockLeak
             | RuleId::ProfileInvalid
-            | RuleId::ServeMisconfigured => Severity::Error,
+            | RuleId::ServeMisconfigured
+            | RuleId::CachePersistMisconfigured
+            | RuleId::ClientRetryMisconfigured => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -438,6 +454,8 @@ mod tests {
             RuleId::ModelLockLeak,
             RuleId::ProfileInvalid,
             RuleId::ServeMisconfigured,
+            RuleId::CachePersistMisconfigured,
+            RuleId::ClientRetryMisconfigured,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

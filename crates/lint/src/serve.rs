@@ -19,12 +19,34 @@
 //!   per-job DES event budget below the warm-up floor (every job would
 //!   trip its logical deadline before a single packet crosses the
 //!   network — same floor as HL038's supervision check).
+//! * **HL044** — the durable-cache persistence is broken (error): a
+//!   compaction threshold of zero (every settle rewrites every segment,
+//!   turning append-mostly persistence into quadratic I/O) or absurdly
+//!   large (segments never compact, so quarantine-recovered garbage and
+//!   dead appends accumulate without bound), or a segment directory
+//!   that collides with the job-record directory (both subsystems use
+//!   `.tmp`/`.prev` atomic-rename discipline; sharing one namespace
+//!   means a record scan can pick up segment temporaries and vice
+//!   versa).
+//! * **HL045** — a reconnecting client's retry policy is broken
+//!   (error): zero maximum attempts reads as "retry forever" against a
+//!   daemon that may be gone for good, and a backoff base of zero
+//!   collapses the exponential schedule (`base << attempt`) into a
+//!   zero-delay busy-loop hammering the listener it is supposed to be
+//!   backing off from.
 //!
 //! Like the rest of the crate this module is dependency-free: `hi-serve`
 //! lowers parsed profiles into [`ProfileSpec`]s and its configuration
-//! into a [`ServerSpec`].
+//! into a [`ServerSpec`] / [`CachePersistSpec`]; `hi-serve-client`
+//! lowers its flags into a [`ClientRetrySpec`].
 
 use crate::report::{Finding, Report, RuleId, Span};
+use std::path::PathBuf;
+
+/// Ceiling above which a compaction threshold is considered "never":
+/// at 2^20 appends per compaction a segment has long since stopped
+/// being a cache file and become a log the daemon rereads on start.
+pub const COMPACT_THRESHOLD_CEILING: u32 = 1 << 20;
 
 /// One fleet user profile, lowered to the numbers the rules need.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +74,91 @@ pub struct ServerSpec {
     /// this many events not even the largest topology's node-powerup
     /// events have all dispatched.
     pub warmup_events_floor: u64,
+}
+
+/// The daemon's durable-cache persistence knobs, lowered to plain
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachePersistSpec {
+    /// Appends tolerated on one segment before it is compacted.
+    pub compact_threshold: u32,
+    /// Directory holding the cache segment files.
+    pub cache_dir: PathBuf,
+    /// Directory holding the daemon's job records and checkpoints.
+    pub record_dir: PathBuf,
+}
+
+/// A reconnecting client's retry policy, lowered to plain numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientRetrySpec {
+    /// Maximum connection attempts before the client gives up.
+    pub max_attempts: u32,
+    /// Base delay of the exponential backoff schedule, milliseconds.
+    pub backoff_base_ms: f64,
+}
+
+/// Lints the daemon's durable-cache persistence (rule HL044).
+pub fn lint_cache_persist(spec: &CachePersistSpec) -> Report {
+    let mut report = Report::new();
+    if spec.compact_threshold == 0 {
+        report.push(Finding::new(
+            RuleId::CachePersistMisconfigured,
+            Span::Model,
+            "compaction threshold 0 — every settle would rewrite every \
+             segment in full, turning append-mostly persistence into \
+             quadratic I/O",
+        ));
+    } else if spec.compact_threshold > COMPACT_THRESHOLD_CEILING {
+        report.push(Finding::new(
+            RuleId::CachePersistMisconfigured,
+            Span::Model,
+            format!(
+                "compaction threshold {} exceeds {} — segments would \
+                 effectively never compact and grow without bound",
+                spec.compact_threshold, COMPACT_THRESHOLD_CEILING
+            ),
+        ));
+    }
+    if spec.cache_dir == spec.record_dir {
+        report.push(Finding::new(
+            RuleId::CachePersistMisconfigured,
+            Span::Model,
+            format!(
+                "cache segment directory collides with the job-record \
+                 directory ({}) — both use `.tmp`/`.prev` atomic-rename \
+                 discipline, so record scans and segment compactions \
+                 would race over one namespace",
+                spec.cache_dir.display()
+            ),
+        ));
+    }
+    report
+}
+
+/// Lints a reconnecting client's retry policy (rule HL045).
+pub fn lint_client_retry(spec: &ClientRetrySpec) -> Report {
+    let mut report = Report::new();
+    if spec.max_attempts == 0 {
+        report.push(Finding::new(
+            RuleId::ClientRetryMisconfigured,
+            Span::Model,
+            "0 maximum connection attempts — an unbounded retry loop \
+             against a daemon that may be gone for good",
+        ));
+    }
+    if spec.backoff_base_ms <= 0.0 || spec.backoff_base_ms.is_nan() {
+        report.push(Finding::new(
+            RuleId::ClientRetryMisconfigured,
+            Span::Model,
+            format!(
+                "backoff base {} ms is not positive — the exponential \
+                 schedule collapses into a zero-delay busy-loop against \
+                 the listener it should back off from",
+                spec.backoff_base_ms
+            ),
+        ));
+    }
+    report
 }
 
 /// Lints a batch of fleet user profiles (rule HL042).
@@ -265,6 +372,72 @@ mod tests {
             queue_capacity: 0,
             job_max_events: Some(3),
             ..sane
+        });
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn hl044_fires_on_cache_persistence_misconfiguration() {
+        let sane = CachePersistSpec {
+            compact_threshold: 256,
+            cache_dir: PathBuf::from("/state/cache"),
+            record_dir: PathBuf::from("/state"),
+        };
+        assert!(lint_cache_persist(&sane).is_clean());
+
+        let report = lint_cache_persist(&CachePersistSpec {
+            compact_threshold: 0,
+            ..sane.clone()
+        });
+        assert!(report.has_rule(RuleId::CachePersistMisconfigured));
+        assert!(report.has_errors(), "HL044 is an error");
+        assert!(report.to_string().contains("quadratic I/O"), "{report}");
+
+        let report = lint_cache_persist(&CachePersistSpec {
+            compact_threshold: COMPACT_THRESHOLD_CEILING + 1,
+            ..sane.clone()
+        });
+        assert!(report.to_string().contains("never compact"), "{report}");
+        assert!(lint_cache_persist(&CachePersistSpec {
+            compact_threshold: COMPACT_THRESHOLD_CEILING,
+            ..sane.clone()
+        })
+        .is_clean());
+
+        let report = lint_cache_persist(&CachePersistSpec {
+            cache_dir: PathBuf::from("/state"),
+            ..sane
+        });
+        assert!(report.to_string().contains("collides"), "{report}");
+    }
+
+    #[test]
+    fn hl045_fires_on_broken_client_retry_policy() {
+        let sane = ClientRetrySpec {
+            max_attempts: 5,
+            backoff_base_ms: 50.0,
+        };
+        assert!(lint_client_retry(&sane).is_clean());
+
+        let report = lint_client_retry(&ClientRetrySpec {
+            max_attempts: 0,
+            ..sane
+        });
+        assert!(report.has_rule(RuleId::ClientRetryMisconfigured));
+        assert!(report.has_errors(), "HL045 is an error");
+        assert!(report.to_string().contains("unbounded"), "{report}");
+
+        for base in [0.0, -1.0, f64::NAN] {
+            let report = lint_client_retry(&ClientRetrySpec {
+                backoff_base_ms: base,
+                ..sane
+            });
+            assert!(report.to_string().contains("busy-loop"), "{report}");
+        }
+
+        let report = lint_client_retry(&ClientRetrySpec {
+            max_attempts: 0,
+            backoff_base_ms: 0.0,
         });
         assert_eq!(report.error_count(), 2);
     }

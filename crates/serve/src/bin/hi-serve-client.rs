@@ -1,10 +1,15 @@
-//! `hi-serve-client` — a tiny protocol driver for a running `hi-opt
-//! serve` daemon. Exists so tests and the CI gate can speak the wire
-//! protocol without depending on `nc`; it is deliberately dumb — one
-//! TCP connection, request in, response out, exit code mirrors the
-//! server's verdict.
+//! `hi-serve-client` — a protocol driver for a running `hi-opt serve`
+//! daemon. Exists so tests and the CI gate can speak the wire protocol
+//! without depending on `nc`; it is deliberately small — request in,
+//! response out, exit code mirrors the server's verdict — but it is
+//! *not* naive about failure: every command runs under a bounded,
+//! deterministic reconnect loop, and every submit carries an
+//! idempotency token, so a retried submit resolves to the job the
+//! first attempt created instead of a duplicate.
 //!
 //! ```text
+//! hi-serve-client [--retries N] [--backoff-ms B] [--token T] <addr> <command>
+//!
 //! hi-serve-client <addr> submit <profile-file>
 //! hi-serve-client <addr> status|result|wait|cancel <job-id>
 //! hi-serve-client <addr> stats
@@ -15,15 +20,27 @@
 //! `<addr>` is `host:port` or a path to a file whose first line is the
 //! address (the daemon writes `<state_dir>/addr`). Counted `OK` blocks
 //! go to stdout; `EVENT` streams go to stderr; exit codes: 0 success,
-//! 2 usage, 3 I/O failure, 4 the server answered `ERR`.
+//! 2 usage or a policy rejected by lint, 3 I/O failure after the last
+//! reconnect attempt, 4 the server answered `ERR`.
+//!
+//! Reconnects are `--retries` attempts with seed-indexed exponential
+//! backoff (`hi_exec::backoff_delay_ms`, base `--backoff-ms`); each
+//! attempt is logged to stderr and mirrors the daemon-side counter
+//! `serve.reconnect.attempts` semantics. The retry policy is linted at
+//! startup (rule HL045): zero retries (unbounded) or a zero backoff
+//! base (busy-loop) are refused before the first connect. When no
+//! `--token` is given, submits derive one from the payload
+//! (`hi_serve::derive_token`), so re-running the same submit against
+//! the same daemon state replays instead of duplicating.
 
+use hi_serve::derive_token;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: hi-serve-client <addr> <command>\n\
+        "usage: hi-serve-client [--retries N] [--backoff-ms B] [--token T] <addr> <command>\n\
          commands:\n\
          \x20 submit <profile-file>      submit every profile in the file, print job ids\n\
          \x20 status <job-id>            one-line lifecycle state\n\
@@ -31,19 +48,79 @@ fn usage() -> ExitCode {
          \x20 wait <job-id>              stream progress events until terminal\n\
          \x20 cancel <job-id>            cancel a queued or running job\n\
          \x20 stats                      print the daemon's metric snapshot\n\
-         \x20 shutdown                   drain the current job and exit\n\
+         \x20 shutdown                   drain running jobs, flush segments and exit\n\
          \x20 run <profile-file>         submit, wait for and print every result\n\
+         flags:\n\
+         \x20 --retries N      connection attempts before giving up (default 5)\n\
+         \x20 --backoff-ms B   exponential backoff base in ms (default 50)\n\
+         \x20 --token T        idempotency token for submit/run (default: derived\n\
+         \x20                  from the payload, so retried submits replay)\n\
          <addr> is host:port, or a file whose first line is host:port"
     );
     ExitCode::from(2)
 }
 
+/// Bounded-reconnect policy, linted at startup (HL045).
+#[derive(Clone)]
+struct Policy {
+    retries: u32,
+    backoff_ms: u64,
+    token: Option<String>,
+    /// Backoff jitter seed, derived from the address + command words so
+    /// two different invocations do not march in lockstep while one
+    /// invocation stays reproducible.
+    seed: u64,
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (addr_spec, command) = match args.split_first() {
-        Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
+    let mut retries: u32 = 5;
+    let mut backoff_ms: u64 = 50;
+    let mut token: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let flag_value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--retries" => match flag_value(&mut args).map(|v| v.parse::<u32>()) {
+                Ok(Ok(n)) => retries = n,
+                _ => return usage(),
+            },
+            "--backoff-ms" => match flag_value(&mut args).map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => backoff_ms = n,
+                _ => return usage(),
+            },
+            "--token" => match flag_value(&mut args) {
+                Ok(t) => token = Some(t),
+                _ => return usage(),
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let (addr_spec, command) = match rest.split_first() {
+        Some((addr, tail)) if !tail.is_empty() => (addr.clone(), tail.to_vec()),
         _ => return usage(),
     };
+
+    // Self-lint the retry policy before touching the network (HL045):
+    // an unbounded loop or a zero-delay backoff is a configuration bug,
+    // not a transport condition, so it gets the usage exit code.
+    let report = hi_lint::lint_client_retry(&hi_lint::ClientRetrySpec {
+        max_attempts: retries,
+        backoff_base_ms: backoff_ms as f64,
+    });
+    if report.has_errors() {
+        eprintln!("hi-serve-client: retry policy rejected:\n{report}");
+        return ExitCode::from(2);
+    }
+    if let Some(t) = &token {
+        if let Err(e) = hi_serve::validate_token(t) {
+            eprintln!("hi-serve-client: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     let addr = match resolve_addr(&addr_spec) {
         Ok(addr) => addr,
         Err(e) => {
@@ -51,17 +128,30 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
     };
+    let policy = Policy {
+        retries,
+        backoff_ms,
+        token,
+        seed: token_seed(&format!("{addr_spec} {}", command.join(" "))),
+    };
+
     let outcome = match (command[0].as_str(), command.len()) {
         ("submit", 2) => with_profile(&command[1], |text| {
-            run_session(&addr, &[Step::Submit(text)])
+            let token = policy.token_for(&text);
+            with_reconnect(&policy, &addr, |conn| {
+                session(conn, &[Step::Submit(text.clone(), token.clone())])
+            })
         }),
-        ("status", 2) => run_session(&addr, &[Step::Line(format!("STATUS {}", command[1]))]),
-        ("result", 2) => run_session(&addr, &[Step::Line(format!("RESULT {}", command[1]))]),
-        ("wait", 2) => run_session(&addr, &[Step::Line(format!("WAIT {}", command[1]))]),
-        ("cancel", 2) => run_session(&addr, &[Step::Line(format!("CANCEL {}", command[1]))]),
-        ("stats", 1) => run_session(&addr, &[Step::Line("STATS".into())]),
-        ("shutdown", 1) => run_session(&addr, &[Step::Line("SHUTDOWN".into())]),
-        ("run", 2) => with_profile(&command[1], |text| run_fleet(&addr, text)),
+        ("status", 2) => run_line(&policy, &addr, format!("STATUS {}", command[1])),
+        ("result", 2) => run_line(&policy, &addr, format!("RESULT {}", command[1])),
+        ("wait", 2) => run_line(&policy, &addr, format!("WAIT {}", command[1])),
+        ("cancel", 2) => run_line(&policy, &addr, format!("CANCEL {}", command[1])),
+        ("stats", 1) => run_line(&policy, &addr, "STATS".into()),
+        ("shutdown", 1) => run_line(&policy, &addr, "SHUTDOWN".into()),
+        ("run", 2) => with_profile(&command[1], |text| {
+            let token = policy.token_for(&text);
+            with_reconnect(&policy, &addr, |conn| run_fleet(conn, &text, &token))
+        }),
         _ => return usage(),
     };
     match outcome {
@@ -75,6 +165,22 @@ fn main() -> ExitCode {
             ExitCode::from(4)
         }
     }
+}
+
+impl Policy {
+    /// The token a submit of `payload` carries: the explicit `--token`
+    /// if given, else one derived from the payload bytes.
+    fn token_for(&self, payload: &str) -> String {
+        self.token.clone().unwrap_or_else(|| derive_token(payload))
+    }
+}
+
+/// Lowers a string to a backoff seed by reusing the token-derivation
+/// hash (`auto-<16 hex digits>`), so there is exactly one FNV in the
+/// workspace.
+fn token_seed(text: &str) -> u64 {
+    let hex = derive_token(text);
+    u64::from_str_radix(hex.trim_start_matches("auto-"), 16).unwrap_or(0)
 }
 
 enum ClientError {
@@ -91,8 +197,8 @@ impl From<std::io::Error> for ClientError {
 enum Step {
     /// One request line, no payload.
     Line(String),
-    /// `SUBMIT <n>` framing around a profile file's text.
-    Submit(String),
+    /// `SUBMIT <n> <token>` framing around a profile file's text.
+    Submit(String, String),
 }
 
 fn resolve_addr(spec: &str) -> Result<String, String> {
@@ -117,6 +223,42 @@ fn with_profile(
     go(text)
 }
 
+/// Runs `go` against a fresh connection, reconnecting on I/O failure
+/// with seed-indexed exponential backoff until the attempt budget is
+/// spent. Server-side `ERR` verdicts are *answers*, not failures — they
+/// never retry. Safe to wrap whole sessions because every submit
+/// carries an idempotency token: a replayed submit resolves to the
+/// already-created job ids.
+fn with_reconnect(
+    policy: &Policy,
+    addr: &str,
+    mut go: impl FnMut(&mut Connection) -> Result<(), ClientError>,
+) -> Result<(), ClientError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = Connection::open(addr).and_then(|mut conn| go(&mut conn));
+        match result {
+            Err(ClientError::Io(e)) if attempt + 1 < policy.retries => {
+                let delay = hi_exec::backoff_delay_ms(policy.seed, attempt, policy.backoff_ms);
+                attempt += 1;
+                eprintln!(
+                    "hi-serve-client: {e}; reconnect attempt {attempt}/{} in {delay}ms \
+                     (serve.reconnect.attempts)",
+                    policy.retries - 1
+                );
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn run_line(policy: &Policy, addr: &str, line: String) -> Result<(), ClientError> {
+    with_reconnect(policy, addr, |conn| {
+        session(conn, &[Step::Line(line.clone())])
+    })
+}
+
 struct Connection {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -136,10 +278,10 @@ impl Connection {
     fn send(&mut self, step: &Step) -> Result<(), ClientError> {
         match step {
             Step::Line(line) => self.writer.write_all(format!("{line}\n").as_bytes())?,
-            Step::Submit(text) => {
+            Step::Submit(text, token) => {
                 let count = text.lines().count();
                 self.writer
-                    .write_all(format!("SUBMIT {count}\n").as_bytes())?;
+                    .write_all(format!("SUBMIT {count} {token}\n").as_bytes())?;
                 for line in text.lines() {
                     self.writer.write_all(line.as_bytes())?;
                     self.writer.write_all(b"\n")?;
@@ -195,8 +337,7 @@ impl Connection {
     }
 }
 
-fn run_session(addr: &str, steps: &[Step]) -> Result<(), ClientError> {
-    let mut conn = Connection::open(addr)?;
+fn session(conn: &mut Connection, steps: &[Step]) -> Result<(), ClientError> {
     for step in steps {
         conn.send(step)?;
         conn.read_response()?;
@@ -205,10 +346,11 @@ fn run_session(addr: &str, steps: &[Step]) -> Result<(), ClientError> {
 }
 
 /// `run`: submit the whole file, then wait for and print every job's
-/// result block in id order — the one-command fleet driver.
-fn run_fleet(addr: &str, text: String) -> Result<(), ClientError> {
-    let mut conn = Connection::open(addr)?;
-    conn.send(&Step::Submit(text))?;
+/// result block in id order — the one-command fleet driver. Replay-safe
+/// under [`with_reconnect`]: the idempotency token makes a re-submitted
+/// file resolve to the same ids, and WAIT/RESULT are read-only.
+fn run_fleet(conn: &mut Connection, text: &str, token: &str) -> Result<(), ClientError> {
+    conn.send(&Step::Submit(text.to_string(), token.to_string()))?;
     let tail = conn.read_response()?;
     let ids: Vec<String> = tail
         .split_whitespace()

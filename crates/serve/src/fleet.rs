@@ -27,6 +27,7 @@ use hi_core::{
 };
 
 use crate::profile::{EngineChoice, UserProfile};
+use crate::segment::CachedOutcome;
 
 /// One entry of the fleet pool: a nominal or robust shared evaluator.
 ///
@@ -55,6 +56,40 @@ impl FleetEvaluator {
         match self {
             FleetEvaluator::Nominal(e) => e.cache_misses(),
             FleetEvaluator::Robust(e) => e.cache_misses(),
+        }
+    }
+
+    /// Every `Ok` outcome this stream has settled, sorted by point
+    /// fingerprint — what the segment store spills to disk.
+    pub fn export_entries(&self) -> Vec<CachedOutcome> {
+        match self {
+            FleetEvaluator::Nominal(e) => e
+                .cached_ok()
+                .into_iter()
+                .map(|(point, eval)| CachedOutcome::Nominal { point, eval })
+                .collect(),
+            FleetEvaluator::Robust(e) => e
+                .cached_scorecards()
+                .into_iter()
+                .map(|(point, card)| CachedOutcome::Robust { point, card })
+                .collect(),
+        }
+    }
+
+    /// Seeds one recovered outcome into this stream's cache. Returns
+    /// false (and changes nothing) if the entry's kind does not match
+    /// the stream — a robust scorecard can't answer a nominal stream —
+    /// or if the point already has an entry; both mean the recovered
+    /// value is simply not used, never that it overrides live data.
+    pub fn import_entry(&self, outcome: CachedOutcome) -> bool {
+        match (self, outcome) {
+            (FleetEvaluator::Nominal(e), CachedOutcome::Nominal { point, eval }) => {
+                e.seed_eval(point, eval)
+            }
+            (FleetEvaluator::Robust(e), CachedOutcome::Robust { point, card }) => {
+                e.seed_scorecard(point, card)
+            }
+            _ => false,
         }
     }
 }
@@ -111,6 +146,13 @@ impl FleetCache {
     pub fn evaluator(&self, key: u64, build: impl FnOnce() -> FleetEvaluator) -> FleetEvaluator {
         let mut map = self.evaluators.lock().expect("fleet pool poisoned");
         map.entry(key).or_insert_with(build).clone()
+    }
+
+    /// Every stream in the pool with its key — cheap clones sharing the
+    /// live caches — for the drain-time segment flush.
+    pub fn streams(&self) -> Vec<(u64, FleetEvaluator)> {
+        let map = self.evaluators.lock().expect("fleet pool poisoned");
+        map.iter().map(|(key, ev)| (*key, ev.clone())).collect()
     }
 
     /// Aggregate hit/miss counts over every stream in the pool.

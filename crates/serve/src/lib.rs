@@ -38,6 +38,7 @@ mod fleet;
 mod persist;
 mod profile;
 mod proto;
+mod segment;
 mod server;
 
 pub use fleet::{
@@ -50,5 +51,12 @@ pub use profile::{
     lint_profiles, parse_profiles, EngineChoice, FaultsRef, ProfileParseError, UserProfile,
     DEMO_FLEET,
 };
-pub use proto::{err_line, ok_block, ok_line, Request, MAX_SUBMIT_LINES};
+pub use proto::{
+    derive_token, err_line, ok_block, ok_line, validate_token, Request, MAX_SUBMIT_LINES,
+    MAX_TOKEN_LEN,
+};
+pub use segment::{
+    frame_entry, parse_entry, parse_segment, render_entry, render_segment, segment_path,
+    CachedOutcome, SegmentLoad, SegmentStats, SegmentStore, SettleOutcome,
+};
 pub use server::{run, serve_connection, ServeConfig, Server};

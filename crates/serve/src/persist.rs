@@ -94,6 +94,10 @@ pub struct JobRecord {
     pub id: u64,
     /// Lifecycle state at the last persist.
     pub state: JobState,
+    /// The idempotency token the submission carried, if any — persisted
+    /// so a restarted daemon still answers a retried `SUBMIT` with the
+    /// existing job id instead of double-scheduling.
+    pub token: Option<String>,
     /// The profile's canonical text ([`UserProfile::to_text`]
     /// [crate::profile::UserProfile::to_text]).
     pub profile_text: String,
@@ -113,6 +117,9 @@ impl JobRecord {
         let mut body = format!("{HEADER}\n");
         body.push_str(&format!("id {}\n", self.id));
         body.push_str(&format!("state {}\n", self.state));
+        if let Some(token) = &self.token {
+            body.push_str(&format!("token {token}\n"));
+        }
         body.push_str(&format!(
             "profile-lines {}\n",
             count_lines(&self.profile_text)
@@ -167,7 +174,25 @@ impl JobRecord {
             .parse()
             .map_err(|_| "bad job id".to_string())?;
         let state = JobState::parse(&take_kv(&mut lines, "state")?)?;
-        let profile_count: usize = take_kv(&mut lines, "profile-lines")?
+        // The token line is optional (pre-idempotency records omit it).
+        let next = lines
+            .next()
+            .ok_or("truncated before `profile-lines`".to_string())?;
+        let (token, count_line) = match next.strip_prefix("token ") {
+            Some(token) => (
+                Some(token.to_string()),
+                lines
+                    .next()
+                    .ok_or("truncated before `profile-lines`".to_string())?,
+            ),
+            None => (None, next),
+        };
+        let profile_count: usize = count_line
+            .strip_prefix("profile-lines")
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or(format!(
+                "expected `profile-lines ...`, found `{count_line}`"
+            ))?
             .parse()
             .map_err(|_| "bad profile-lines count".to_string())?;
         let mut profile_text = String::new();
@@ -191,6 +216,7 @@ impl JobRecord {
         Ok(JobRecord {
             id,
             state,
+            token,
             profile_text,
             result: (result_count > 0).then_some(result_text),
         })
@@ -298,9 +324,34 @@ mod tests {
         JobRecord {
             id: 3,
             state: JobState::Done,
+            token: None,
             profile_text: "profile alice\npdrmin 0.9\n".into(),
             result: Some("profile alice\nstatus feasible\nend end end\n".into()),
         }
+    }
+
+    #[test]
+    fn token_line_roundtrips_and_stays_optional() {
+        let tokened = JobRecord {
+            token: Some("deploy-42".into()),
+            ..sample()
+        };
+        let text = tokened.to_text();
+        assert!(text.contains("\ntoken deploy-42\n"), "{text}");
+        assert_eq!(JobRecord::from_text(&text), Ok(tokened));
+        // Tokenless records render no token line at all, so pre-token
+        // records parse unchanged.
+        let bare = sample();
+        assert!(!bare.to_text().contains("token"), "{}", bare.to_text());
+        assert_eq!(JobRecord::from_text(&bare.to_text()), Ok(bare));
+        // A profile whose first line *looks* like a token line must not
+        // be mistaken for one (the real token line sits before the
+        // profile-lines frame; payload lines are counted).
+        let tricky = JobRecord {
+            profile_text: "token not-a-token\npdrmin 0.9\n".into(),
+            ..sample()
+        };
+        assert_eq!(JobRecord::from_text(&tricky.to_text()), Ok(tricky));
     }
 
     #[test]

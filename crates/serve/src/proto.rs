@@ -6,10 +6,14 @@
 //! ```text
 //! client                          server
 //! ------                          ------
-//! SUBMIT 2
+//! SUBMIT 2 deploy-42
 //! profile alice
 //! pdrmin 0.9
 //!                                 OK job 1
+//! SUBMIT 2 deploy-42
+//! profile alice
+//! pdrmin 0.9
+//!                                 OK job 1       (idempotent replay)
 //! STATUS 1                        OK status 1 running
 //! WAIT 1                          EVENT 1 iteration 1 simulations 24
 //!                                 EVENT 1 iteration 2 simulations 32
@@ -18,17 +22,29 @@
 //!                                 profile alice
 //!                                 ...           (11 counted lines)
 //! CANCEL 2                        OK cancel 2 cancelled
-//! STATS                           OK stats 9
+//! STATS                           OK stats 13
 //!                                 serve.jobs.accepted 2
-//!                                 ...           (9 counted lines)
+//!                                 ...           (13 counted lines)
 //! SHUTDOWN                        OK shutdown
 //! anything malformed              ERR <one-line diagnostic>
 //! ```
 //!
-//! `SUBMIT <n>` is followed by exactly `n` raw profile-file lines (line
-//! count framing, like the record format: any legal profile byte
-//! sequence round-trips). One submission may carry a whole fleet —
+//! `SUBMIT <n> [token]` is followed by exactly `n` raw profile-file
+//! lines (line count framing, like the record format: any legal profile
+//! byte sequence round-trips). One submission may carry a whole fleet —
 //! every `profile` block becomes a job and the response lists every id.
+//!
+//! The optional **idempotency token** makes retries safe over a lossy
+//! transport: a client that never saw the `OK job ...` response resends
+//! the same `SUBMIT` with the same token and gets the *existing* job
+//! ids back instead of double-scheduling. Reusing a token with a
+//! *different* payload is refused with `ERR token-reuse`, so a buggy
+//! client can't silently alias two distinct jobs.
+//!
+//! `ERR` responses put a machine-readable reason as the first word when
+//! the client is expected to branch on it: `ERR busy ...` (overload —
+//! back off and retry), `ERR too-large ...` (protocol misuse — do not
+//! retry), `ERR token-reuse ...` (client bug).
 //!
 //! This module is pure parse/render — no sockets, no locks — so the
 //! grammar is unit-testable byte for byte; `server` owns the I/O loop.
@@ -40,13 +56,21 @@ use std::fmt;
 /// buffering happens.
 pub const MAX_SUBMIT_LINES: usize = 1 << 20;
 
+/// Upper bound on idempotency-token length. Tokens are identifiers, not
+/// payloads; a bound keeps the server's token map small and the wire
+/// grammar single-line.
+pub const MAX_TOKEN_LEN: usize = 64;
+
 /// One parsed request line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `SUBMIT <n>`: `n` profile-file lines follow.
+    /// `SUBMIT <n> [token]`: `n` profile-file lines follow; the
+    /// optional token makes the submit idempotent under retry.
     Submit {
         /// Number of payload lines that follow this request line.
         lines: usize,
+        /// Client-supplied idempotency token, if any.
+        token: Option<String>,
     },
     /// `STATUS <id>`: one-line lifecycle state.
     Status {
@@ -74,9 +98,49 @@ pub enum Request {
     Shutdown,
 }
 
+/// Checks a client-supplied idempotency token: 1–[`MAX_TOKEN_LEN`]
+/// characters from `[A-Za-z0-9._-]`. The restricted charset keeps
+/// tokens safe to embed in record files and log lines verbatim.
+pub fn validate_token(token: &str) -> Result<(), String> {
+    if token.is_empty() {
+        return Err("empty idempotency token".to_string());
+    }
+    if token.len() > MAX_TOKEN_LEN {
+        return Err(format!(
+            "idempotency token of {} bytes exceeds the {MAX_TOKEN_LEN}-byte cap",
+            token.len()
+        ));
+    }
+    if let Some(bad) = token
+        .chars()
+        .find(|c| !c.is_ascii_alphanumeric() && !matches!(c, '.' | '_' | '-'))
+    {
+        return Err(format!(
+            "idempotency token contains `{bad}` (allowed: A-Za-z0-9 . _ -)"
+        ));
+    }
+    Ok(())
+}
+
+/// Derives a deterministic idempotency token from a submit payload:
+/// `auto-<16 hex>` of the payload's FNV-1a-64 hash. The client uses
+/// this when the caller supplies no explicit token, so *every* submit
+/// is retry-safe by default — and two identical payloads submitted
+/// through the auto path intentionally dedup to one job set.
+pub fn derive_token(payload: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in payload.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("auto-{hash:016x}")
+}
+
 impl Request {
     /// Parses one request line. Total: any line yields a request or a
     /// one-line diagnostic (which the server echoes as `ERR ...`).
+    /// Refusals the client should branch on carry a machine-readable
+    /// first word (`too-large`).
     pub fn parse(line: &str) -> Result<Request, String> {
         let mut fields = line.split_whitespace();
         let verb = fields.next().ok_or("empty request".to_string())?;
@@ -88,10 +152,17 @@ impl Request {
                     .map_err(|_| format!("bad SUBMIT line count `{raw}`"))?;
                 if lines > MAX_SUBMIT_LINES {
                     return Err(format!(
-                        "SUBMIT of {lines} lines exceeds the {MAX_SUBMIT_LINES}-line cap"
+                        "too-large {MAX_SUBMIT_LINES}: SUBMIT of {lines} lines exceeds the cap"
                     ));
                 }
-                Request::Submit { lines }
+                let token = match fields.next() {
+                    Some(raw) => {
+                        validate_token(raw)?;
+                        Some(raw.to_string())
+                    }
+                    None => None,
+                };
+                Request::Submit { lines, token }
             }
             "STATUS" => Request::Status {
                 id: job_id(&mut fields, "STATUS")?,
@@ -125,7 +196,10 @@ fn job_id(fields: &mut std::str::SplitWhitespace<'_>, verb: &str) -> Result<u64,
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Request::Submit { lines } => write!(f, "SUBMIT {lines}"),
+            Request::Submit { lines, token } => match token {
+                Some(token) => write!(f, "SUBMIT {lines} {token}"),
+                None => write!(f, "SUBMIT {lines}"),
+            },
             Request::Status { id } => write!(f, "STATUS {id}"),
             Request::Result { id } => write!(f, "RESULT {id}"),
             Request::Wait { id } => write!(f, "WAIT {id}"),
@@ -172,7 +246,15 @@ mod tests {
     #[test]
     fn the_grammar_roundtrips() {
         for line in [
-            "SUBMIT 3", "STATUS 1", "RESULT 7", "WAIT 2", "CANCEL 9", "STATS", "SHUTDOWN",
+            "SUBMIT 3",
+            "SUBMIT 3 deploy-42",
+            "SUBMIT 3 auto-00c0ffee00c0ffee",
+            "STATUS 1",
+            "RESULT 7",
+            "WAIT 2",
+            "CANCEL 9",
+            "STATS",
+            "SHUTDOWN",
         ] {
             let req = Request::parse(line).unwrap();
             assert_eq!(req.to_string(), line);
@@ -192,6 +274,8 @@ mod tests {
             "SUBMIT",
             "SUBMIT x",
             "SUBMIT -1",
+            "SUBMIT 3 tok~en",
+            "SUBMIT 3 a b",
             "STATUS",
             "STATUS abc",
             "RESULT 1 2",
@@ -201,8 +285,35 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert!(!err.contains('\n'), "{line:?} -> {err:?}");
         }
+    }
+
+    #[test]
+    fn oversized_submit_is_a_typed_too_large_refusal() {
         let err = Request::parse(&format!("SUBMIT {}", MAX_SUBMIT_LINES + 1)).unwrap_err();
-        assert!(err.contains("cap"), "{err}");
+        // The machine-readable reason leads, with the limit right after,
+        // so `ERR too-large 1048576: ...` is branchable by first word.
+        assert!(
+            err.starts_with(&format!("too-large {MAX_SUBMIT_LINES}")),
+            "{err}"
+        );
+        // Exactly at the cap is still accepted.
+        assert!(Request::parse(&format!("SUBMIT {MAX_SUBMIT_LINES}")).is_ok());
+    }
+
+    #[test]
+    fn tokens_are_validated_and_derived_deterministically() {
+        assert!(validate_token("deploy-42.v1_final").is_ok());
+        assert!(validate_token("").is_err());
+        assert!(validate_token(&"x".repeat(MAX_TOKEN_LEN + 1)).is_err());
+        assert!(validate_token("has space").is_err());
+        assert!(validate_token("quote\"").is_err());
+        let a = derive_token("profile alice\npdrmin 0.9\n");
+        let b = derive_token("profile alice\npdrmin 0.9\n");
+        let c = derive_token("profile alice\npdrmin 0.8\n");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("auto-") && a.len() == 21, "{a}");
+        validate_token(&a).unwrap();
     }
 
     #[test]

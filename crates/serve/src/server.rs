@@ -28,8 +28,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use hi_core::{
-    load_recovering, parse_fault_suite, warmup_events_floor, CancelToken, ExecContext, FaultSuite,
-    RobustEvaluator, RobustMode, StopReason, SuiteParseError,
+    load_recovering, parse_fault_suite, warmup_events_floor, CancelToken, ChaosPolicy, ExecContext,
+    FaultSuite, RobustEvaluator, RobustMode, StopReason, SuiteParseError,
 };
 use hi_trace::{wellknown as wk, Collector, MetricsRegistry};
 
@@ -37,6 +37,7 @@ use crate::fleet::{render_result, run_profile, FleetCache, FleetEvaluator, RunPo
 use crate::persist::{checkpoint_path, record_path, scan_records, JobRecord, JobState};
 use crate::profile::{lint_profiles, parse_profiles, EngineChoice, UserProfile};
 use crate::proto::{err_line, ok_block, ok_line, Request};
+use crate::segment::SegmentStore;
 
 /// Everything the daemon is configured with.
 #[derive(Debug, Clone)]
@@ -58,6 +59,18 @@ pub struct ServeConfig {
     /// Per-replication DES event budget applied to every job, if any
     /// (HL043 checks it against the warm-up floor).
     pub max_events: Option<u64>,
+    /// Directory cache segments live in (`None` = `<state_dir>/cache`).
+    /// HL044 refuses a collision with the job-record directory.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Segment appends per stream before the file is compacted (full
+    /// atomic rewrite). HL044 refuses 0 and absurd values.
+    pub compact_threshold: u32,
+    /// Per-connection TCP read/write timeout in seconds (0 = none), so
+    /// a stalled peer's thread is reaped instead of pinned forever.
+    pub conn_timeout_secs: u64,
+    /// Fault injection for the persistence layer (segment drops, torn
+    /// appends) on top of the evaluator-level chaos knobs.
+    pub chaos: Option<ChaosPolicy>,
 }
 
 impl ServeConfig {
@@ -72,7 +85,19 @@ impl ServeConfig {
             queue_capacity: 64,
             retry_attempts: 3,
             max_events: None,
+            cache_dir: None,
+            compact_threshold: 256,
+            conn_timeout_secs: 600,
+            chaos: None,
         }
+    }
+
+    /// The effective segment directory: `cache_dir`, defaulting to
+    /// `<state_dir>/cache`.
+    pub fn resolved_cache_dir(&self) -> std::path::PathBuf {
+        self.cache_dir
+            .clone()
+            .unwrap_or_else(|| self.state_dir.join("cache"))
     }
 
     /// Lowers this config for `hi_lint::lint_server` (HL043).
@@ -81,6 +106,15 @@ impl ServeConfig {
             queue_capacity: self.queue_capacity,
             job_max_events: self.max_events,
             warmup_events_floor: warmup_events_floor(),
+        }
+    }
+
+    /// Lowers this config for `hi_lint::lint_cache_persist` (HL044).
+    pub fn cache_lint_spec(&self) -> hi_lint::CachePersistSpec {
+        hi_lint::CachePersistSpec {
+            compact_threshold: self.compact_threshold,
+            cache_dir: self.resolved_cache_dir(),
+            record_dir: self.state_dir.clone(),
         }
     }
 }
@@ -100,6 +134,9 @@ struct State {
     running: Option<u64>,
     next_id: u64,
     shutdown: bool,
+    /// Idempotency tokens → the job ids they minted, in submit order.
+    /// Rebuilt from records on restart, so replay works across crashes.
+    tokens: BTreeMap<String, Vec<u64>>,
 }
 
 /// The daemon. See the [module docs](self) for the contracts.
@@ -108,6 +145,7 @@ pub struct Server {
     state: Mutex<State>,
     cv: Condvar,
     fleet: FleetCache,
+    segments: SegmentStore,
     collector: Collector,
 }
 
@@ -131,6 +169,10 @@ impl Server {
         if report.has_errors() {
             return Err(format!("server configuration rejected:\n{report}"));
         }
+        let report = hi_lint::lint_cache_persist(&config.cache_lint_spec());
+        if report.has_errors() {
+            return Err(format!("cache persistence rejected:\n{report}"));
+        }
         std::fs::create_dir_all(&config.state_dir).map_err(|e| {
             format!(
                 "cannot create state dir `{}`: {e}",
@@ -145,8 +187,23 @@ impl Server {
                 errors.join("; ")
             ));
         }
+        let (segments, notes) = SegmentStore::open(
+            config.resolved_cache_dir(),
+            config.compact_threshold,
+            config.chaos,
+        )
+        .map_err(|e| {
+            format!(
+                "cannot open cache dir `{}`: {e}",
+                config.resolved_cache_dir().display()
+            )
+        })?;
+        for note in notes {
+            eprintln!("note: cache segment: {note}");
+        }
         let mut jobs = BTreeMap::new();
         let mut queue = VecDeque::new();
+        let mut tokens: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         let mut next_id = 1;
         for (record, fallback) in records {
             if fallback {
@@ -167,6 +224,11 @@ impl Server {
             next_id = next_id.max(record.id + 1);
             if !record.state.is_terminal() {
                 queue.push_back(record.id);
+            }
+            if let Some(token) = &record.token {
+                // Records scan in id order, so replayed id lists match
+                // the original submission order.
+                tokens.entry(token.clone()).or_default().push(record.id);
             }
             jobs.insert(
                 record.id,
@@ -192,9 +254,11 @@ impl Server {
                 running: None,
                 next_id,
                 shutdown: false,
+                tokens,
             }),
             cv: Condvar::new(),
             fleet: FleetCache::new(),
+            segments,
             collector,
         })
     }
@@ -222,6 +286,20 @@ impl Server {
     /// references, persists one queued record per profile and wakes the
     /// scheduler. Returns the new job ids in profile order.
     pub fn submit(&self, profile_text: &str) -> Result<Vec<u64>, String> {
+        self.submit_with_token(profile_text, None)
+    }
+
+    /// [`submit`](Self::submit) with an idempotency token. A token seen
+    /// before with a byte-identical canonical payload replays the
+    /// existing job ids (same `OK job ...` bytes, nothing scheduled) —
+    /// that is what makes a client-side retry after a dropped connection
+    /// safe. The same token with a *different* payload is a client bug
+    /// and is refused with a typed `token-reuse` error.
+    pub fn submit_with_token(
+        &self,
+        profile_text: &str,
+        token: Option<&str>,
+    ) -> Result<Vec<u64>, String> {
         let profiles = parse_profiles(profile_text).map_err(|e| e.to_string())?;
         let report = lint_profiles(&profiles);
         if report.has_errors() {
@@ -234,14 +312,35 @@ impl Server {
                 load_suite(profile)?;
             }
         }
+        let canonical: String = profiles.iter().map(UserProfile::to_text).collect();
         let mut state = self.state.lock().expect("server state poisoned");
+        if let Some(token) = token {
+            if let Some(ids) = state.tokens.get(token) {
+                let existing: String = ids
+                    .iter()
+                    .filter_map(|id| state.jobs.get(id))
+                    .map(|entry| entry.record.profile_text.clone())
+                    .collect();
+                if existing == canonical {
+                    // Retried submit: answer exactly as the first did.
+                    return Ok(ids.clone());
+                }
+                return Err(format!(
+                    "token-reuse {token}: already bound to job(s) {} with a different payload",
+                    ids.iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
         if state.shutdown {
             return Err("daemon is shutting down".into());
         }
         let admitted = state.queue.len() + usize::from(state.running.is_some());
         if admitted + profiles.len() > self.config.queue_capacity {
             return Err(format!(
-                "queue full: {admitted} admitted + {} submitted exceeds capacity {}",
+                "busy: {admitted} admitted + {} submitted exceeds capacity {} (retry later)",
                 profiles.len(),
                 self.config.queue_capacity
             ));
@@ -253,6 +352,7 @@ impl Server {
             let record = JobRecord {
                 id,
                 state: JobState::Queued,
+                token: token.map(str::to_string),
                 profile_text: profile.to_text(),
                 result: None,
             };
@@ -272,6 +372,9 @@ impl Server {
             );
             state.queue.push_back(id);
             ids.push(id);
+        }
+        if let Some(token) = token {
+            state.tokens.insert(token.to_string(), ids.clone());
         }
         self.registry()
             .add(wk::SERVE_JOBS_ACCEPTED, ids.len() as u64);
@@ -391,6 +494,23 @@ impl Server {
         out.push_str(&format!("serve.fleet.evaluators {}\n", fleet.evaluators));
         out.push_str(&format!("{} {}\n", wk::SERVE_FLEET_HITS, fleet.hits));
         out.push_str(&format!("{} {}\n", wk::SERVE_FLEET_MISSES, fleet.misses));
+        let segs = self.segments.stats();
+        out.push_str(&format!("{} {}\n", wk::SERVE_CACHE_LOADED, segs.loaded));
+        out.push_str(&format!(
+            "{} {}\n",
+            wk::SERVE_CACHE_PERSISTED,
+            segs.persisted
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            wk::SERVE_CACHE_COMPACTIONS,
+            segs.compactions
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            wk::SERVE_CACHE_QUARANTINED,
+            segs.quarantined
+        ));
         out.push_str(&format!(
             "{} {}\n",
             wk::NET_REPLICATIONS,
@@ -486,11 +606,29 @@ impl Server {
         };
         let protocol = profile.protocol().with_max_events(self.config.max_events);
         let key = profile.eval_fingerprint(suite.as_ref().map(|(text, _, _)| text.as_str()));
-        let evaluator = self.fleet.evaluator(key, || match suite {
-            None => FleetEvaluator::Nominal(protocol.shared_evaluator()),
-            Some((_, parsed, mode)) => {
-                FleetEvaluator::Robust(RobustEvaluator::new(protocol, parsed, mode))
+        let evaluator = self.fleet.evaluator(key, || {
+            let built = match suite {
+                None => FleetEvaluator::Nominal(protocol.shared_evaluator()),
+                Some((_, parsed, mode)) => {
+                    FleetEvaluator::Robust(RobustEvaluator::new(protocol, parsed, mode))
+                }
+            };
+            // First touch of this stream this lifetime: seed everything
+            // a previous process already simulated, *before* any job
+            // runs on it — that is what turns a restart into a warm
+            // start (`simulations 0` on already-settled points).
+            let recovered = self.segments.hydrate(key);
+            if !recovered.is_empty() {
+                let total = recovered.len();
+                let seeded = recovered
+                    .into_iter()
+                    .filter(|outcome| built.import_entry(outcome.clone()))
+                    .count();
+                eprintln!(
+                    "note: stream {key:016x} warmed with {seeded}/{total} persisted evaluations"
+                );
             }
+            built
         });
         let exec = ExecContext::new(self.config.threads).with_collector(self.collector.clone());
         {
@@ -531,6 +669,14 @@ impl Server {
             if let Err(e) = cp.write_atomic(&ck_path) {
                 eprintln!("warning: job {id} checkpoint write failed: {e}");
             }
+            // Settle alongside every checkpoint: the checkpoint makes the
+            // iteration's simulations logically spent (a resumed engine
+            // will not redo them), so they must be durable too — or a
+            // SIGKILL between checkpoint and job end would strand them
+            // in neither the segment nor the resumed evaluator.
+            if let Err(e) = self.segments.settle(key, &evaluator.export_entries()) {
+                eprintln!("warning: cannot settle stream {key:016x} segment: {e}");
+            }
             let mut state = self.state.lock().expect("server state poisoned");
             if let Some(entry) = state.jobs.get_mut(&id) {
                 entry.progress.push(format!(
@@ -549,6 +695,20 @@ impl Server {
             resume.as_ref(),
             &mut observer,
         );
+        // Settle the stream's new simulations to its segment *before*
+        // the result becomes observable: once a client can read `done`,
+        // a crash no longer costs the simulations behind it.
+        match self.segments.settle(key, &evaluator.export_entries()) {
+            Ok(settled) => {
+                if settled.chaos_dropped || settled.chaos_torn {
+                    eprintln!(
+                        "note: chaos injected into stream {key:016x} segment (dropped {}, torn {})",
+                        settled.chaos_dropped, settled.chaos_torn
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot settle stream {key:016x} segment: {e}"),
+        }
         match outcome {
             Ok(outcome) => {
                 let registry = self.registry();
@@ -581,8 +741,10 @@ impl Server {
     }
 
     /// Runs jobs serially in id order until shutdown is requested (the
-    /// in-flight job always completes and persists first). Call on a
-    /// dedicated thread — typically the process's main thread.
+    /// in-flight job always completes and persists first), then flushes
+    /// every evaluator stream to its segment — SHUTDOWN drains, settles
+    /// and leaves one clean file per stream for the next process. Call
+    /// on a dedicated thread — typically the process's main thread.
     pub fn scheduler_loop(&self) {
         let _guard = self.collector.install(0, 0);
         while let Some((id, profile)) = self.next_job() {
@@ -591,6 +753,11 @@ impl Server {
                 span.arg("job", id);
             }
             self.run_job(id, profile);
+        }
+        for (key, evaluator) in self.fleet.streams() {
+            if let Err(e) = self.segments.flush(key, &evaluator.export_entries()) {
+                eprintln!("warning: cannot flush stream {key:016x} segment: {e}");
+            }
         }
     }
 }
@@ -647,7 +814,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
             }
         };
         match request {
-            Request::Submit { lines } => {
+            Request::Submit { lines, token } => {
                 let mut payload = String::new();
                 let mut truncated = false;
                 for _ in 0..lines {
@@ -661,7 +828,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
                 let response = if truncated {
                     err_line("connection closed inside SUBMIT payload")
                 } else {
-                    match server.submit(&payload) {
+                    match server.submit_with_token(&payload, token.as_deref()) {
                         Ok(ids) => {
                             let ids: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
                             ok_line(&format!("job {}", ids.join(" ")))
@@ -755,9 +922,18 @@ pub fn run(config: ServeConfig) -> Result<(), String> {
             .map_err(|e| format!("cannot write `{}`: {e}", addr_path.display()))?;
         eprintln!("hi-serve: listening on {actual}");
         let accept_server = Arc::clone(&server);
+        let conn_timeout = match server.config.conn_timeout_secs {
+            0 => None,
+            secs => Some(std::time::Duration::from_secs(secs)),
+        };
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 let Ok(stream) = stream else { continue };
+                // A peer that stalls mid-request (or vanishes without a
+                // FIN) trips the timeout and the connection thread is
+                // reaped, instead of holding its WAIT stream forever.
+                let _ = stream.set_read_timeout(conn_timeout);
+                let _ = stream.set_write_timeout(conn_timeout);
                 let conn_server = Arc::clone(&accept_server);
                 std::thread::spawn(move || {
                     let Ok(read_half) = stream.try_clone() else {
@@ -930,5 +1106,138 @@ mod tests {
         config.max_events = Some(1);
         let err = Server::new(config).unwrap_err();
         assert!(err.contains("warm-up floor"), "{err}");
+    }
+
+    #[test]
+    fn hl044_rejects_broken_cache_persistence() {
+        let mut config = quick_config("hl044");
+        config.compact_threshold = 0;
+        let err = Server::new(config).unwrap_err();
+        assert!(err.contains("HL044"), "{err}");
+        let mut config = quick_config("hl044b");
+        config.cache_dir = Some(config.state_dir.clone());
+        let err = Server::new(config).unwrap_err();
+        assert!(err.contains("collides"), "{err}");
+    }
+
+    #[test]
+    fn a_restarted_daemon_serves_persisted_evaluations_warm() {
+        let config = quick_config("warm");
+        {
+            let server = Arc::new(Server::new(config.clone()).unwrap());
+            let scheduler = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.scheduler_loop())
+            };
+            let submit = format!("SUBMIT 4\n{QUICK_PROFILE}WAIT 1\nSHUTDOWN\n");
+            let out = drive(&server, &submit);
+            assert!(out.contains("OK status 1 done"), "{out}");
+            scheduler.join().unwrap();
+            let first = server.result(1).unwrap();
+            assert!(first.contains("status feasible"), "{first}");
+            let stats = server.segments.stats();
+            assert!(stats.persisted > 0, "settle must persist evaluations");
+        }
+        // Cold process, warm disk: a twin submission replays entirely
+        // from the hydrated segment — zero fresh simulations.
+        let server = Arc::new(Server::new(config.clone()).unwrap());
+        assert!(server.segments.stats().loaded > 0, "segments must reload");
+        let scheduler = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.scheduler_loop())
+        };
+        let submit = format!("SUBMIT 4\n{QUICK_PROFILE}WAIT 2\nSHUTDOWN\n");
+        let out = drive(&server, &submit);
+        assert!(out.contains("OK status 2 done"), "{out}");
+        scheduler.join().unwrap();
+        let warm = server.result(2).unwrap();
+        let sims: Vec<&str> = warm
+            .lines()
+            .filter(|l| l.starts_with("simulations "))
+            .collect();
+        assert_eq!(sims, vec!["simulations 0"], "{warm}");
+        // And the answer is identical to the cold run's, modulo the
+        // job id and the simulation count (32 cold, 0 warm) — exactly
+        // the two lines that are *supposed* to differ.
+        let cold_body = server.result(1).unwrap();
+        let strip = |block: &str| {
+            block
+                .lines()
+                .filter(|l| !l.starts_with("job ") && !l.starts_with("simulations "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold_body), strip(&warm));
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn idempotency_tokens_replay_instead_of_duplicating() {
+        let config = quick_config("token");
+        let server = Server::new(config.clone()).unwrap();
+        let ids = server
+            .submit_with_token(QUICK_PROFILE, Some("retry-1"))
+            .unwrap();
+        assert_eq!(ids, vec![1]);
+        // The retried submit returns the same id without queueing again.
+        let replay = server
+            .submit_with_token(QUICK_PROFILE, Some("retry-1"))
+            .unwrap();
+        assert_eq!(replay, vec![1]);
+        assert_eq!(server.submit(QUICK_PROFILE).unwrap(), vec![2]);
+        // Same token, different payload: a typed refusal, not a job.
+        let twin = QUICK_PROFILE.replace("alice", "mallory");
+        let err = server
+            .submit_with_token(&twin, Some("retry-1"))
+            .unwrap_err();
+        assert!(err.starts_with("token-reuse retry-1"), "{err}");
+        // Tokens survive a restart via the job records.
+        drop(server);
+        let server = Server::new(config.clone()).unwrap();
+        let replay = server
+            .submit_with_token(QUICK_PROFILE, Some("retry-1"))
+            .unwrap();
+        assert_eq!(replay, vec![1], "token bindings rebuild from records");
+        // Wire-level: the same SUBMIT line twice yields the same id.
+        let submit = format!("SUBMIT 4 tok-A\n{QUICK_PROFILE}SUBMIT 4 tok-A\n{QUICK_PROFILE}");
+        let out = drive(&server, &submit);
+        assert_eq!(out, "OK job 3\nOK job 3\n");
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn overload_is_a_typed_busy_refusal() {
+        let mut config = quick_config("busy");
+        config.queue_capacity = 1;
+        let server = Server::new(config.clone()).unwrap();
+        assert_eq!(server.submit(QUICK_PROFILE).unwrap(), vec![1]);
+        let err = server.submit(QUICK_PROFILE).unwrap_err();
+        assert!(err.starts_with("busy: "), "{err}");
+        assert!(err.contains("retry later"), "{err}");
+        // Wire level: the refusal surfaces as `ERR busy ...`.
+        let submit = format!("SUBMIT 4\n{QUICK_PROFILE}");
+        let out = drive(&server, &submit);
+        assert!(out.starts_with("ERR busy: "), "{out}");
+        // A token replay still resolves while the queue is full.
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn stats_block_reports_cache_persistence_counters() {
+        let config = quick_config("stats13");
+        let server = Server::new(config.clone()).unwrap();
+        let block = server.stats_block();
+        assert_eq!(block.lines().count(), 13, "{block}");
+        for counter in [
+            "serve.cache.entries_persisted ",
+            "serve.cache.entries_loaded ",
+            "serve.cache.compactions ",
+            "serve.cache.segments_quarantined ",
+        ] {
+            assert!(block.contains(counter), "{block}");
+        }
+        let out = drive(&server, "STATS\n");
+        assert!(out.starts_with("OK stats 13\n"), "{out}");
+        let _ = std::fs::remove_dir_all(&config.state_dir);
     }
 }

@@ -97,6 +97,18 @@ pub const SERVE_JOB_LATENCY_NS: &str = "serve.job_latency_ns";
 pub const SERVE_FLEET_HITS: &str = "serve.fleet.cache_hits";
 /// Fleet evaluation-cache misses: design points simulated fresh.
 pub const SERVE_FLEET_MISSES: &str = "serve.fleet.cache_misses";
+/// Cache entries appended to (or rewritten into) durable segment files.
+pub const SERVE_CACHE_PERSISTED: &str = "serve.cache.entries_persisted";
+/// Cache entries loaded back from segment files at daemon start.
+pub const SERVE_CACHE_LOADED: &str = "serve.cache.entries_loaded";
+/// Segment compactions (full atomic rewrites folding the append tail).
+pub const SERVE_CACHE_COMPACTIONS: &str = "serve.cache.compactions";
+/// Segment files quarantined at load (structural bit rot, not a torn
+/// tail — torn tails are truncated and recovered instead).
+pub const SERVE_CACHE_QUARANTINED: &str = "serve.cache.segments_quarantined";
+/// Client reconnect attempts (each retried session after a transport
+/// failure, across all `hi-serve-client` invocations in-process).
+pub const SERVE_RECONNECTS: &str = "serve.reconnect.attempts";
 
 /// Every metric in the catalog with its kind.
 pub const CATALOG: &[(&str, MetricKind)] = &[
@@ -141,6 +153,11 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     (SERVE_JOB_LATENCY_NS, MetricKind::Histogram),
     (SERVE_FLEET_HITS, MetricKind::Counter),
     (SERVE_FLEET_MISSES, MetricKind::Counter),
+    (SERVE_CACHE_PERSISTED, MetricKind::Counter),
+    (SERVE_CACHE_LOADED, MetricKind::Counter),
+    (SERVE_CACHE_COMPACTIONS, MetricKind::Counter),
+    (SERVE_CACHE_QUARANTINED, MetricKind::Counter),
+    (SERVE_RECONNECTS, MetricKind::Counter),
 ];
 
 /// Pre-registers the whole catalog on `registry`.
