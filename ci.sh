@@ -214,6 +214,12 @@ target/release/hi-serve-client /tmp/hi_ci_serve/addr submit /tmp/hi_ci_serve_bad
     2> /tmp/hi_ci_serve_bad.err || RC=$?
 [ "$RC" -eq 4 ]
 grep -q HL042 /tmp/hi_ci_serve_bad.err
+# The three-user fleet populated one shared Pareto archive: the twin's
+# FRONT query answers from alice's stream, byte-identically.
+target/release/hi-serve-client /tmp/hi_ci_serve/addr front 1 > /tmp/hi_ci_serve_f1.txt
+target/release/hi-serve-client /tmp/hi_ci_serve/addr front 2 > /tmp/hi_ci_serve_f2.txt
+grep -q '^point ' /tmp/hi_ci_serve_f1.txt
+diff /tmp/hi_ci_serve_f1.txt /tmp/hi_ci_serve_f2.txt
 target/release/hi-serve-client /tmp/hi_ci_serve/addr shutdown > /dev/null
 wait "$DAEMON"
 
@@ -247,6 +253,11 @@ for J in 1 2; do
         >> /tmp/hi_ci_serve_resumed.txt
 done
 grep -q "resuming" /tmp/hi_ci_serve_kill.err
+# The archive survived the SIGKILL mid-insert: FRONT streams rows and
+# the restart repaired — never quarantined — the front segments.
+target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr front 1 > /tmp/hi_ci_front_kill.txt
+grep -q '^point ' /tmp/hi_ci_front_kill.txt
+[ -z "$(find /tmp/hi_ci_serve_kill/cache -name '*.quarantine' 2>/dev/null)" ]
 target/release/hi-serve-client /tmp/hi_ci_serve_kill/addr shutdown > /dev/null
 wait "$PHOENIX"
 target/release/hi-opt serve --state /tmp/hi_ci_serve_ref --listen 127.0.0.1:0 \
@@ -321,6 +332,51 @@ grep '^status feasible\|^design \|^pdr \|^nlt_days \|^power_mw ' /tmp/hi_ci_serv
     > /tmp/hi_ci_serve_got2.txt
 diff /tmp/hi_ci_serve_expect.txt /tmp/hi_ci_serve_got1.txt
 diff /tmp/hi_ci_serve_expect.txt /tmp/hi_ci_serve_got2.txt
+
+# Fifth: warm Pareto front. A daemon that simulated a fleet is shut
+# down; a fresh daemon on the same state dir must answer FRONT for the
+# recovered job with `simulations 0` and point rows byte-identical to
+# the hot daemon's — the frontier is served from disk, never re-swept.
+rm -rf /tmp/hi_ci_front
+target/release/hi-opt serve --state /tmp/hi_ci_front --listen 127.0.0.1:0 \
+    --threads 8 2> /dev/null &
+FRONTD=$!
+while [ ! -f /tmp/hi_ci_front/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_front/addr run /tmp/hi_ci_serve_kill.profile \
+    > /dev/null 2>&1
+target/release/hi-serve-client /tmp/hi_ci_front/addr front 1 > /tmp/hi_ci_front_hot.txt
+grep -q '^point ' /tmp/hi_ci_front_hot.txt
+! grep -q '^simulations 0$' /tmp/hi_ci_front_hot.txt   # the hot daemon paid
+target/release/hi-serve-client /tmp/hi_ci_front/addr shutdown > /dev/null
+wait "$FRONTD"
+rm -f /tmp/hi_ci_front/addr
+target/release/hi-opt serve --state /tmp/hi_ci_front --listen 127.0.0.1:0 \
+    --threads 8 2> /dev/null &
+FRONTD=$!
+while [ ! -f /tmp/hi_ci_front/addr ]; do sleep 0.05; done
+target/release/hi-serve-client /tmp/hi_ci_front/addr front 1 > /tmp/hi_ci_front_warm.txt
+target/release/hi-serve-client /tmp/hi_ci_front/addr shutdown > /dev/null
+wait "$FRONTD"
+grep -q '^simulations 0$' /tmp/hi_ci_front_warm.txt    # warm: zero fresh sims
+grep -v '^simulations ' /tmp/hi_ci_front_hot.txt > /tmp/hi_ci_front_hot_rows.txt
+grep -v '^simulations ' /tmp/hi_ci_front_warm.txt > /tmp/hi_ci_front_warm_rows.txt
+diff /tmp/hi_ci_front_hot_rows.txt /tmp/hi_ci_front_warm_rows.txt
+
+# And the standalone CLI's memoized sweep: a cold `tradeoff --archive`
+# persists its front; the warm rerun answers the identical front from
+# the file with zero simulations.
+rm -rf /tmp/hi_ci_tradearch
+target/release/hi-opt tradeoff --tsim 2 --runs 1 --archive /tmp/hi_ci_tradearch \
+    > /tmp/hi_ci_trade_cold.txt
+! grep -q '^total unique simulations: 0$' /tmp/hi_ci_trade_cold.txt
+target/release/hi-opt tradeoff --tsim 2 --runs 1 --archive /tmp/hi_ci_tradearch \
+    > /tmp/hi_ci_trade_warm.txt
+grep -q '^total unique simulations: 0$' /tmp/hi_ci_trade_warm.txt
+sed -n '/^pareto front/,/^total/p' /tmp/hi_ci_trade_cold.txt | grep -v '^total' \
+    > /tmp/hi_ci_trade_cold_front.txt
+sed -n '/^pareto front/,/^total/p' /tmp/hi_ci_trade_warm.txt | grep -v '^total' \
+    > /tmp/hi_ci_trade_warm_front.txt
+diff /tmp/hi_ci_trade_cold_front.txt /tmp/hi_ci_trade_warm_front.txt
 
 HI_BENCH_QUICK=1 cargo bench
 

@@ -28,6 +28,7 @@ fn oracle(point: &DesignPoint) -> Evaluation {
         pdr: (base + bonus).min(1.0),
         nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
         power_mw: power,
+        latency_ms: 2.0 + power,
     }
 }
 

@@ -188,6 +188,75 @@ profile dave\ntsim 2\nruns 1\nseed 7\npdrmin 0.9\ngeometry 1.15\ntraffic 25 64\n
         }
     }
 
+    // Pareto archive: the cost of folding a full sweep's evaluations
+    // into the epsilon-box front, and of hydrating the same front back
+    // from a rendered segment file. Both are pure CPU — zero fresh
+    // simulations — so the rows pin down the overhead a FRONT query (or
+    // a warm `tradeoff --archive`) adds on top of the evaluation cache.
+    {
+        let evaluator = opts(1).shared_evaluator();
+        let exec = ExecContext::new(1);
+        for slot in exec.eval_points(&evaluator, &points) {
+            slot.expect("sweep is never cancelled");
+        }
+        let evals = evaluator.cached_ok();
+        let to_point =
+            |(point, eval): &(hi_core::DesignPoint, hi_core::Evaluation)| hi_pareto::FrontPoint {
+                fingerprint: point.fingerprint(),
+                power_mw: eval.power_mw,
+                pdr: eval.pdr,
+                latency_ms: eval.latency_ms,
+                nlt_days: eval.nlt_days,
+            };
+        let build = || {
+            let mut archive = hi_pareto::ParetoArchive::new(hi_pareto::ArchiveConfig::default());
+            for pair in &evals {
+                archive.insert(to_point(pair));
+            }
+            archive
+        };
+        runner.bench(&format!("pareto_front_build_{}pts", evals.len()), build);
+        let t0 = Instant::now();
+        let archive = build();
+        let build_s = t0.elapsed().as_secs_f64();
+        let front = archive.front();
+        let segment = hi_serve::render_front_segment(0x42, &front);
+        runner.bench(&format!("pareto_front_hydrate_{}pts", front.len()), || {
+            let load = hi_serve::parse_front_segment(&segment).expect("bench segment is valid");
+            let mut warm = hi_pareto::ParetoArchive::new(hi_pareto::ArchiveConfig::default());
+            for point in load.points {
+                warm.insert(point);
+            }
+            assert_eq!(warm.len(), front.len(), "hydration changed the front");
+        });
+        let t1 = Instant::now();
+        let load = hi_serve::parse_front_segment(&segment).expect("bench segment is valid");
+        let mut warm = hi_pareto::ParetoArchive::new(hi_pareto::ArchiveConfig::default());
+        for point in load.points {
+            warm.insert(point);
+        }
+        let hydrate_s = t1.elapsed().as_secs_f64();
+        // Report rows: `cache_hits` carries the surviving front size,
+        // `cache_misses` the dominated remainder — the archive's own
+        // accept/reject split — and `simulations` stays honest at 0.
+        bench_report.push(EngineRun {
+            engine: "pareto_front_build".to_string(),
+            threads: 1,
+            wall_s: build_s,
+            simulations: 0,
+            cache_hits: front.len() as u64,
+            cache_misses: (evals.len() - front.len()) as u64,
+        });
+        bench_report.push(EngineRun {
+            engine: "pareto_front_hydrate".to_string(),
+            threads: 1,
+            wall_s: hydrate_s,
+            simulations: 0,
+            cache_hits: warm.len() as u64,
+            cache_misses: (front.len() - warm.len()) as u64,
+        });
+    }
+
     // Warm restart: the same fleet, served by a daemon that was killed
     // and restarted between the cold run and the re-submission. Pass 1
     // runs cold and spills every evaluator's outcomes to CRC-checked

@@ -226,6 +226,7 @@ mod tests {
             pdr,
             nlt_days: nlt,
             power_mw: 1.0,
+            latency_ms: 5.0,
         };
         let sweep = vec![
             (pt(TxPower::Minus20Dbm), e(0.5, 30.0)), // on front
@@ -262,6 +263,7 @@ mod tests {
                     pdr: 0.5,
                     nlt_days: 30.0,
                     power_mw: 0.9,
+                    latency_ms: 4.0,
                 },
             ),
             (
@@ -270,6 +272,7 @@ mod tests {
                     pdr: 0.95,
                     nlt_days: 25.0,
                     power_mw: 1.1,
+                    latency_ms: 6.0,
                 },
             ),
         ];

@@ -551,6 +551,7 @@ mod tests {
             pdr,
             nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
             power_mw: power,
+            latency_ms: 2.0 + power,
         }
     }
 

@@ -152,11 +152,12 @@ impl ExploreCheckpoint {
         match &self.best {
             None => out.push_str("best none\n"),
             Some((point, eval)) => out.push_str(&format!(
-                "best {:x} {} {} {}\n",
+                "best {:x} {} {} {} {}\n",
                 point.fingerprint(),
                 f64_to_hex(eval.pdr),
                 f64_to_hex(eval.nlt_days),
                 f64_to_hex(eval.power_mw),
+                f64_to_hex(eval.latency_ms),
             )),
         }
         out.push_str("end\n");
@@ -253,8 +254,12 @@ impl ExploreCheckpoint {
                 "best" if rest == "none" => best = Some(None),
                 "best" => {
                     let fields: Vec<&str> = rest.split_whitespace().collect();
-                    if fields.len() != 4 {
-                        return Err(bad("best needs <fingerprint> <pdr> <nlt> <power>"));
+                    // Four fields is the pre-latency format; those
+                    // checkpoints stay resumable with latency zeroed.
+                    if fields.len() != 4 && fields.len() != 5 {
+                        return Err(bad(
+                            "best needs <fingerprint> <pdr> <nlt> <power> [<latency>]",
+                        ));
                     }
                     let fp =
                         u64::from_str_radix(fields[0], 16).map_err(|_| bad("bad fingerprint"))?;
@@ -264,6 +269,10 @@ impl ExploreCheckpoint {
                         pdr: f64_from_hex(fields[1]).map_err(|e| bad(&e))?,
                         nlt_days: f64_from_hex(fields[2]).map_err(|e| bad(&e))?,
                         power_mw: f64_from_hex(fields[3]).map_err(|e| bad(&e))?,
+                        latency_ms: match fields.get(4) {
+                            Some(raw) => f64_from_hex(raw).map_err(|e| bad(&e))?,
+                            None => 0.0,
+                        },
                     };
                     best = Some(Some((point, eval)));
                 }
@@ -408,6 +417,7 @@ mod tests {
                     pdr: 0.9375,
                     nlt_days: 181.2345678901234,
                     power_mw: 1.0000000000000004,
+                    latency_ms: 7.891011121314152,
                 },
             )),
         }
@@ -462,6 +472,26 @@ mod tests {
     }
 
     #[test]
+    fn pre_latency_best_lines_parse_with_latency_zeroed() {
+        // Checkpoints written before latency joined the evaluation carry
+        // four fields after "best"; they must stay resumable.
+        let text = sample().to_text();
+        let old_best = text
+            .lines()
+            .find(|l| l.starts_with("best "))
+            .map(|l| l.rsplit_once(' ').unwrap().0.to_string())
+            .unwrap();
+        let four_field = resign(&text.replace(
+            text.lines().find(|l| l.starts_with("best ")).unwrap(),
+            &old_best,
+        ));
+        let parsed = ExploreCheckpoint::from_text(&four_field).unwrap();
+        let (_, eval) = parsed.best.unwrap();
+        assert_eq!(eval.latency_ms.to_bits(), 0.0f64.to_bits());
+        assert_eq!(eval.pdr, sample().best.unwrap().1.pdr);
+    }
+
+    #[test]
     fn malformed_files_are_rejected_with_line_numbers() {
         assert!(ExploreCheckpoint::from_text("").is_err());
         assert!(ExploreCheckpoint::from_text("not a checkpoint\n")
@@ -484,7 +514,7 @@ mod tests {
                 .to_text()
                 .replace("best ", "best ffffffffffffffff "),
         );
-        // Five fields after "best" — rejected before fingerprint decode.
+        // Six fields after "best" — rejected before fingerprint decode.
         assert!(ExploreCheckpoint::from_text(&bad_fp).is_err());
     }
 

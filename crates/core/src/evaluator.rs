@@ -19,6 +19,10 @@ pub struct Evaluation {
     pub nlt_days: f64,
     /// Simulated power of the lifetime-limiting node, mW (`P̄sim`).
     pub power_mw: f64,
+    /// Mean end-to-end packet latency across replications, ms. The DES
+    /// has always measured this; it is surfaced here so the Pareto
+    /// archive can trade it off against power and PDR.
+    pub latency_ms: f64,
 }
 
 /// Anything that can measure a design point. Algorithm 1 and the baseline
@@ -177,6 +181,7 @@ fn try_simulate_point(
         pdr: out.pdr,
         nlt_days: out.nlt_days,
         power_mw: out.max_power_mw,
+        latency_ms: out.latency.mean_ms,
     })
 }
 
@@ -438,6 +443,7 @@ mod tests {
                 pdr: 0.9,
                 nlt_days: 10.0,
                 power_mw: 1.0,
+                latency_ms: 4.0,
             }
         });
         let a = ev.evaluate(&pt());
@@ -458,6 +464,7 @@ mod tests {
         assert_eq!(ev.cache_len(), 1);
         assert!(a.pdr >= 0.0 && a.pdr <= 1.0);
         assert!(a.power_mw > 0.1);
+        assert!(a.latency_ms > 0.0, "the DES latency must reach the user");
     }
 
     #[test]
@@ -527,6 +534,7 @@ mod tests {
         assert_eq!(a.pdr.to_bits(), b.pdr.to_bits());
         assert_eq!(a.nlt_days.to_bits(), b.nlt_days.to_bits());
         assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+        assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
     }
 
     #[test]

@@ -111,6 +111,7 @@ mod tests {
                 0.5
             },
             nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+            latency_ms: 2.0 + power,
             power_mw: power,
         }
     }
@@ -138,6 +139,7 @@ mod tests {
             pdr: 1.0,
             nlt_days: 1.0,
             power_mw: 1.0,
+            latency_ms: 1.0,
         });
         let out = exhaustive_search(&problem, &mut ev);
         assert_eq!(out.best.unwrap().0, problem.space.points()[0]);

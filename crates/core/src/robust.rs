@@ -105,6 +105,10 @@ impl RobustEvaluation {
                 .all()
                 .map(|e| e.power_mw)
                 .fold(f64::NEG_INFINITY, f64::max),
+            latency_ms: self
+                .all()
+                .map(|e| e.latency_ms)
+                .fold(f64::NEG_INFINITY, f64::max),
         }
     }
 
@@ -132,12 +136,14 @@ impl RobustEvaluation {
         let idx = (q * (n - 1) as f64).round() as usize;
         let pdr = sorted(self.all().map(|e| e.pdr))[idx];
         let nlt = sorted(self.all().map(|e| e.nlt_days))[idx];
-        // For power, pessimistic = high: index from the top.
+        // For power and latency, pessimistic = high: index from the top.
         let power = sorted(self.all().map(|e| e.power_mw))[n - 1 - idx];
+        let latency = sorted(self.all().map(|e| e.latency_ms))[n - 1 - idx];
         Evaluation {
             pdr,
             nlt_days: nlt,
             power_mw: power,
+            latency_ms: latency,
         }
     }
 
@@ -248,6 +254,7 @@ impl RobustEvaluator {
             pdr: out.pdr,
             nlt_days: out.nlt_days,
             power_mw: out.max_power_mw,
+            latency_ms: out.latency.mean_ms,
         })
     }
 
@@ -353,6 +360,9 @@ mod tests {
             pdr,
             nlt_days: nlt,
             power_mw: power,
+            // Latency covaries with power in these fixtures, so the
+            // pessimistic-high aggregation is exercised on both fields.
+            latency_ms: power * 10.0,
         }
     }
 
@@ -369,6 +379,7 @@ mod tests {
         assert_eq!(w.pdr, 0.60);
         assert_eq!(w.nlt_days, 80.0);
         assert_eq!(w.power_mw, 1.4);
+        assert_eq!(w.latency_ms, 14.0, "latency worst case is the maximum");
     }
 
     #[test]
@@ -379,9 +390,11 @@ mod tests {
         assert_eq!(median.pdr, 0.85);
         assert_eq!(median.nlt_days, 100.0);
         assert_eq!(median.power_mw, 1.2);
+        assert_eq!(median.latency_ms, 12.0);
         let best = card.quantile(1.0);
         assert_eq!(best.pdr, 0.95);
         assert_eq!(best.power_mw, 1.0);
+        assert_eq!(best.latency_ms, 10.0, "optimistic latency is the lowest");
     }
 
     #[test]
@@ -458,6 +471,7 @@ mod tests {
         assert_eq!(a.pdr.to_bits(), b.pdr.to_bits());
         assert_eq!(a.nlt_days.to_bits(), b.nlt_days.to_bits());
         assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+        assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
         assert_eq!(robust.unique_evaluations(), 1);
     }
 

@@ -51,7 +51,8 @@ pub struct TradeoffPoint {
 /// let app = AppParams::default();
 /// let mut oracle = FnEvaluator::new(move |p: &DesignPoint| {
 ///     let power = power::analytic_power_mw(p, &app);
-///     Evaluation { pdr: 0.9, nlt_days: 2430.0 / power / 86.4, power_mw: power }
+///     Evaluation { pdr: 0.9, nlt_days: 2430.0 / power / 86.4, power_mw: power,
+///                  latency_ms: 4.0 }
 /// });
 /// let problem = Problem::paper_default(0.5);
 /// let sweep = explore_tradeoff(&problem, &[0.5, 0.8], &mut oracle)?;
@@ -65,9 +66,13 @@ pub fn explore_tradeoff(
     floors: &[f64],
     evaluator: &mut dyn Evaluator,
 ) -> Result<Vec<TradeoffPoint>, ExploreError> {
-    let mut out = Vec::with_capacity(floors.len());
+    let mut out: Vec<TradeoffPoint> = Vec::with_capacity(floors.len());
     for &floor in floors {
         assert!((0.0..=1.0).contains(&floor), "floor {floor} outside [0, 1]");
+        if let Some(echo) = echo_duplicate_floor(&out, floor) {
+            out.push(echo);
+            continue;
+        }
         let problem = Problem {
             space: template.space.clone(),
             pdr_min: floor,
@@ -83,6 +88,19 @@ pub fn explore_tradeoff(
         });
     }
     Ok(out)
+}
+
+/// The answer for `floor` when it bit-equals the floor just swept:
+/// Algorithm 1 is deterministic, so a repeated adjacent floor would
+/// redo the whole MILP ladder only to rediscover the same optimum from
+/// cache. The duplicate echoes the previous point (zero new work)
+/// instead of dispatching a sweep.
+fn echo_duplicate_floor(swept: &[TradeoffPoint], floor: f64) -> Option<TradeoffPoint> {
+    let last = swept.last()?;
+    (last.pdr_min.to_bits() == floor.to_bits()).then(|| TradeoffPoint {
+        new_simulations: 0,
+        ..last.clone()
+    })
 }
 
 /// [`explore_tradeoff`] on the execution engine: floors run in the given
@@ -108,11 +126,15 @@ pub fn explore_tradeoff_par<P: PointEvaluator>(
     evaluator: &P,
     exec: &ExecContext,
 ) -> Result<Vec<TradeoffPoint>, ExploreError> {
-    let mut out = Vec::with_capacity(floors.len());
+    let mut out: Vec<TradeoffPoint> = Vec::with_capacity(floors.len());
     for &floor in floors {
         assert!((0.0..=1.0).contains(&floor), "floor {floor} outside [0, 1]");
         if exec.is_cancelled() {
             break;
+        }
+        if let Some(echo) = echo_duplicate_floor(&out, floor) {
+            out.push(echo);
+            continue;
         }
         let problem = Problem {
             space: template.space.clone(),
@@ -156,6 +178,7 @@ mod tests {
             pdr: (base + bonus).min(1.0),
             nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
             power_mw: power,
+            latency_ms: 2.0 + power,
         }
     }
 
@@ -181,6 +204,50 @@ mod tests {
         let sweep = explore_tradeoff(&template, &[0.9, 0.9], &mut ev).unwrap();
         assert!(sweep[0].new_simulations > 0);
         assert_eq!(sweep[1].new_simulations, 0, "second pass fully cached");
+    }
+
+    #[test]
+    fn duplicate_adjacent_floors_echo_without_dispatching() {
+        // Counts *every* evaluator query, cache hits included: a deduped
+        // duplicate floor must not even re-walk the MILP ladder.
+        struct Counting {
+            inner: FnEvaluator<fn(&DesignPoint) -> Evaluation>,
+            queries: u64,
+        }
+        impl Evaluator for Counting {
+            fn evaluate(&mut self, point: &DesignPoint) -> Evaluation {
+                self.queries += 1;
+                self.inner.evaluate(point)
+            }
+            fn unique_evaluations(&self) -> u64 {
+                self.inner.unique_evaluations()
+            }
+        }
+        let template = Problem::paper_default(0.5);
+        let mut ev = Counting {
+            inner: FnEvaluator::new(ladder_oracle as fn(&DesignPoint) -> Evaluation),
+            queries: 0,
+        };
+        let lone = explore_tradeoff(&template, &[0.9], &mut ev).unwrap();
+        let queries_for_one = ev.queries;
+        let mut ev = Counting {
+            inner: FnEvaluator::new(ladder_oracle as fn(&DesignPoint) -> Evaluation),
+            queries: 0,
+        };
+        let sweep = explore_tradeoff(&template, &[0.9, 0.9, 0.9], &mut ev).unwrap();
+        assert_eq!(ev.queries, queries_for_one, "duplicates dispatched work");
+        assert_eq!(sweep.len(), 3);
+        for point in &sweep[1..] {
+            assert_eq!(point.new_simulations, 0);
+            assert_eq!(point.best, lone[0].best);
+            assert_eq!(point.stop_reason, lone[0].stop_reason);
+        }
+        // Non-adjacent repeats still re-sweep (cheaply, via the cache):
+        // only *adjacent* duplicates are textual duplicates of intent.
+        let mut ev = FnEvaluator::new(ladder_oracle);
+        let sweep = explore_tradeoff(&template, &[0.9, 0.6, 0.9], &mut ev).unwrap();
+        assert_eq!(sweep[2].new_simulations, 0, "cache still covers repeats");
+        assert_eq!(sweep[2].best, sweep[0].best);
     }
 
     #[test]

@@ -107,6 +107,7 @@ fn algorithm1_equals_exhaustive_under_sound_oracle() {
                 pdr,
                 nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
                 power_mw: power,
+                latency_ms: 2.0 + power,
             }
         };
         let problem = Problem {

@@ -41,7 +41,7 @@ USAGE:
                     [--chaos <spec>]
                     [--checkpoint <file> [--resume] [--checkpoint-every <k>]]
     hi-opt tradeoff [--floors <p1,p2,...>] [--tsim <secs>] [--runs <n>] [--seed <n>]
-                    [--threads <n>]
+                    [--threads <n>] [--archive <dir>]
     hi-opt simulate --sites <i,j,...> --power <-20|-10|0> --mac <csma|tdma>
                     --routing <star|mesh> [--tsim <secs>] [--runs <n>] [--seed <n>]
                     [--threads <n>]
@@ -58,7 +58,12 @@ COMMANDS:
                discrete-event simulation; prints the lifetime-optimal
                configuration meeting the PDR floor
     tradeoff   sweep reliability floors and print the architecture ladder
-               (default floors: 50,60,70,80,90,95,99%)
+               (default floors: 50,60,70,80,90,95,99%); with --archive
+               <dir>, maintain a persistent Pareto archive over
+               (power, PDR, latency) there — the first run sweeps and
+               persists the front, later runs with the same physics
+               answer from the archive with 0 fresh simulations
+               (changing --tsim/--runs/--seed invalidates it)
     simulate   evaluate one explicit configuration
     space      describe the design space and its constraints
     lint       statically analyze the paper scenario: configuration space,
@@ -66,8 +71,10 @@ COMMANDS:
                event schedule, the workspace metric catalog (HL037), the
                execution supervision policy (HL038/HL039), the execution
                configuration (HL040), hi-check model lock accounting
-               (HL041), the fleet demo profiles (HL042) and the serve
-               daemon defaults (HL043); exits 1 on error-severity findings
+               (HL041), the fleet demo profiles (HL042), the serve
+               daemon defaults (HL043-HL045) and the Pareto archive
+               epsilons plus a cold-daemon FRONT query (HL046/HL047);
+               exits 1 on error-severity findings
     serve      run the fleet-optimization daemon: a job queue behind a
                line-oriented wire protocol (SUBMIT/STATUS/RESULT/WAIT/
                CANCEL/STATS/SHUTDOWN) on TCP and/or stdin/stdout; jobs
@@ -457,6 +464,7 @@ fn print_best(outcome: &ExplorationOutcome, pdr_min: f64) {
             println!("PDR            : {:.2}%", eval.pdr * 100.0);
             println!("lifetime       : {:.1} days", eval.nlt_days);
             println!("worst power    : {:.3} mW", eval.power_mw);
+            println!("latency        : {:.2} ms", eval.latency_ms);
         }
         None => println!(
             "infeasible: no configuration reaches {:.1}% PDR",
@@ -692,9 +700,46 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The archive stream key for a `tradeoff` invocation's physics. Any
+/// change to the simulation protocol (`--tsim`/`--runs`/`--seed`) lands
+/// in a differently named front segment, so a stale archive is
+/// invalidated by construction — never silently served.
+fn archive_key(common: &Common) -> u64 {
+    let text = format!(
+        "tradeoff tsim {} runs {} seed {}",
+        common.t_sim.as_secs_f64(),
+        common.runs,
+        common.seed
+    );
+    let token = hi_opt::serve::derive_token(&text);
+    u64::from_str_radix(token.trim_start_matches("auto-"), 16)
+        .expect("derive_token yields 16 hex digits")
+}
+
+/// Prints the archive's non-dominated front, one row per design. Byte
+/// deterministic: the archive orders points by fingerprint, so a warm
+/// reprint is identical to the cold sweep that populated it.
+fn print_front(front: &[hi_opt::pareto::FrontPoint]) {
+    println!("pareto front   : {} point(s)", front.len());
+    for p in front {
+        let design = hi_opt::DesignPoint::from_fingerprint(p.fingerprint)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| format!("fp {:016x}", p.fingerprint));
+        println!(
+            "  {:<34} pdr {:>6.2}%  power {:>7.3} mW  latency {:>6.2} ms  nlt {:>6.1} d",
+            design,
+            p.pdr * 100.0,
+            p.power_mw,
+            p.latency_ms,
+            p.nlt_days
+        );
+    }
+}
+
 fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
     let (common, rest) = parse_common(args)?;
     let mut floors: Vec<f64> = vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99];
+    let mut archive_dir: Option<std::path::PathBuf> = None;
     for (k, v) in rest {
         match k.as_str() {
             "--floors" => {
@@ -704,11 +749,45 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
                     .collect::<Result<_, _>>()
                     .map_err(|_| "bad --floors (expected e.g. 50,80,95)".to_owned())?;
             }
+            "--archive" => archive_dir = Some(v.into()),
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
     if floors.iter().any(|f| !(0.0..=1.0).contains(f)) {
         return Err("floors must be percentages within [0, 100]".into());
+    }
+    // The archive's epsilon boxes are linted (HL046) before anything is
+    // inserted or served — a degenerate box would corrupt the front.
+    let eps = hi_opt::pareto::ArchiveConfig::default();
+    if archive_dir.is_some() {
+        let report = hi_opt::lint::lint_archive(&hi_opt::lint::ArchiveSpec {
+            eps_power_mw: eps.eps_power_mw,
+            eps_pdr: eps.eps_pdr,
+            eps_latency_ms: eps.eps_latency_ms,
+        });
+        if report.has_errors() {
+            return Err(CliError::Spec(format!(
+                "archive configuration rejected:\n{report}"
+            )));
+        }
+    }
+    // Warm path: a front segment for this exact physics already exists —
+    // answer from it, zero fresh simulations, no sweep at all.
+    if let Some(dir) = &archive_dir {
+        let path = hi_opt::serve::front_path(dir, archive_key(&common));
+        if path.is_file() {
+            let bytes = std::fs::read(&path)
+                .map_err(|e| CliError::Io(format!("cannot read `{}`: {e}", path.display())))?;
+            let load = hi_opt::serve::parse_front_segment(&bytes)
+                .map_err(|e| CliError::Spec(format!("{}: {e}", path.display())))?;
+            let mut archive = hi_opt::pareto::ParetoArchive::new(eps);
+            for point in load.points {
+                archive.insert(point);
+            }
+            print_front(&archive.front());
+            println!("total unique simulations: 0");
+            return Ok(());
+        }
     }
     let template = Problem::paper_default(0.5);
     let evaluator = common.protocol().shared_evaluator();
@@ -732,6 +811,34 @@ fn cmd_tradeoff(args: &[String]) -> Result<(), CliError> {
             ),
             None => println!("{:>6.1}%  (infeasible)", point.pdr_min * 100.0),
         }
+    }
+    // Cold populate: fold every evaluation the sweep cached into the
+    // archive and persist the resulting front (tmp + rename, so a
+    // killed run leaves either the old segment or the new one, never a
+    // half-written file). The printed front section is byte-identical
+    // to what the warm path will print for the same physics.
+    if let Some(dir) = &archive_dir {
+        let mut archive = hi_opt::pareto::ParetoArchive::new(eps);
+        for (point, eval) in evaluator.cached_ok() {
+            archive.insert(hi_opt::pareto::FrontPoint {
+                fingerprint: point.fingerprint(),
+                power_mw: eval.power_mw,
+                pdr: eval.pdr,
+                latency_ms: eval.latency_ms,
+                nlt_days: eval.nlt_days,
+            });
+        }
+        let front = archive.front();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create `{}`: {e}", dir.display())))?;
+        let key = archive_key(&common);
+        let path = hi_opt::serve::front_path(dir, key);
+        let tmp = path.with_extension("seg.tmp");
+        let bytes = hi_opt::serve::render_front_segment(key, &front);
+        std::fs::write(&tmp, bytes)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| CliError::Io(format!("cannot write `{}`: {e}", path.display())))?;
+        print_front(&front);
     }
     println!(
         "total unique simulations: {}",
@@ -836,7 +943,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         (0..common.runs).map(run_one).collect()
     };
     drop(batch);
-    let out = average_outcomes(&replications.map_err(|e| e.to_string())?);
+    let replications = replications.map_err(|e| e.to_string())?;
+    let out = average_outcomes(&replications);
     println!("configuration  : {}", cfg.summary());
     println!("PDR            : {:.2}%", out.pdr_percent());
     println!("lifetime       : {:.1} days", out.nlt_days);
@@ -844,6 +952,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     println!(
         "latency        : mean {:.2} ms, jitter {:.2} ms, max {:.2} ms",
         out.latency.mean_ms, out.latency.std_ms, out.latency.max_ms
+    );
+    // Per-replication means: replication r runs on seed `base + r`, so
+    // this line exposes the seed-to-seed latency spread the pooled mean
+    // above averages away.
+    println!(
+        "latency / rep  : {} ms",
+        replications
+            .iter()
+            .map(|r| format!("{:.2}", r.latency.mean_ms))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "traffic        : {} generated, {} transmissions, {} collisions, {} drops",
@@ -1060,6 +1179,27 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
         backoff_base_ms: 50.0,
     });
     print_lint_section("serve client retry policy (defaults)", &report);
+    total.merge(report);
+
+    // 11. The Pareto archive: the epsilon boxes every archive (daemon
+    //     and `tradeoff --archive`) is built with (HL046), and the
+    //     cold-daemon FRONT query (HL047) — shown deliberately in its
+    //     firing state so the advisory a too-early client would see is
+    //     part of this report (a warning, never an error).
+    let eps = hi_opt::pareto::ArchiveConfig::default();
+    let report = hi_opt::lint::lint_archive(&hi_opt::lint::ArchiveSpec {
+        eps_power_mw: eps.eps_power_mw,
+        eps_pdr: eps.eps_pdr,
+        eps_latency_ms: eps.eps_latency_ms,
+    });
+    print_lint_section("pareto archive epsilons (defaults)", &report);
+    total.merge(report);
+
+    let report = hi_opt::lint::lint_front_query(&hi_opt::lint::FrontQuerySpec {
+        completed_jobs: 0,
+        archived_points: 0,
+    });
+    print_lint_section("front query (cold daemon, empty archive)", &report);
     total.merge(report);
 
     println!();

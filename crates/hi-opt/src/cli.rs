@@ -178,6 +178,7 @@ mod tests {
                 pdr: 0.9137,
                 nlt_days: 41.6,
                 power_mw: 1.2,
+                latency_ms: 5.4,
             },
         )
     }

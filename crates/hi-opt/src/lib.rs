@@ -52,6 +52,7 @@ pub use hi_exec as exec;
 pub use hi_lint as lint;
 pub use hi_milp as milp;
 pub use hi_net as net;
+pub use hi_pareto as pareto;
 pub use hi_serve as serve;
 pub use hi_trace as trace;
 

@@ -42,6 +42,10 @@
 //!   threshold, segment/record directory collision — HL044) and
 //!   [`lint_client_retry`] a reconnecting client's retry policy
 //!   (unbounded attempts, non-positive backoff base — HL045).
+//! * [`lint_archive`] validates a Pareto archive's epsilon-box widths —
+//!   non-positive/non-finite or range-swallowing epsilons that collapse
+//!   the front (HL046) — and [`lint_front_query`] flags a `FRONT` wire
+//!   query issued before any job completed (HL047).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -97,8 +101,9 @@ pub use report::{Finding, Report, RuleId, Severity, Span};
 pub use rules::analyze;
 pub use schedule::lint_schedule;
 pub use serve::{
-    lint_cache_persist, lint_client_retry, lint_profile, lint_server, CachePersistSpec,
-    ClientRetrySpec, ProfileSpec, ServerSpec, COMPACT_THRESHOLD_CEILING,
+    lint_archive, lint_cache_persist, lint_client_retry, lint_front_query, lint_profile,
+    lint_server, ArchiveSpec, CachePersistSpec, ClientRetrySpec, FrontQuerySpec, ProfileSpec,
+    ServerSpec, COMPACT_THRESHOLD_CEILING,
 };
 pub use space::{lint_space, SpaceDim};
 pub use supervision::{lint_supervision, SupervisionSpec};

@@ -132,6 +132,15 @@ pub enum RuleId {
     /// gone, and a non-positive backoff base collapses the exponential
     /// schedule into a busy-loop hammering the listener.
     ClientRetryMisconfigured,
+    /// A Pareto-archive epsilon-box configuration is degenerate: a
+    /// zero, negative, or non-finite epsilon puts every evaluation into
+    /// one box (or overflows box indices), and an epsilon wider than its
+    /// objective's whole range collapses the archive to a single point.
+    ArchiveMisconfigured,
+    /// A `FRONT` query arrived before any job completed: the Pareto
+    /// archive only fills as jobs run, so the answer is an empty front —
+    /// legal, but almost certainly not what the client meant to ask.
+    FrontBeforeJobs,
 }
 
 impl RuleId {
@@ -168,6 +177,8 @@ impl RuleId {
             RuleId::ServeMisconfigured => "HL043",
             RuleId::CachePersistMisconfigured => "HL044",
             RuleId::ClientRetryMisconfigured => "HL045",
+            RuleId::ArchiveMisconfigured => "HL046",
+            RuleId::FrontBeforeJobs => "HL047",
         }
     }
 
@@ -187,7 +198,8 @@ impl RuleId {
             | RuleId::ProfileInvalid
             | RuleId::ServeMisconfigured
             | RuleId::CachePersistMisconfigured
-            | RuleId::ClientRetryMisconfigured => Severity::Error,
+            | RuleId::ClientRetryMisconfigured
+            | RuleId::ArchiveMisconfigured => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -200,7 +212,8 @@ impl RuleId {
             | RuleId::HubDisabled
             | RuleId::DuplicateMetric
             | RuleId::ChaosInRelease
-            | RuleId::ExecMisconfigured => Severity::Warning,
+            | RuleId::ExecMisconfigured
+            | RuleId::FrontBeforeJobs => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -456,6 +469,8 @@ mod tests {
             RuleId::ServeMisconfigured,
             RuleId::CachePersistMisconfigured,
             RuleId::ClientRetryMisconfigured,
+            RuleId::ArchiveMisconfigured,
+            RuleId::FrontBeforeJobs,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -34,6 +34,15 @@
 //!   collapses the exponential schedule (`base << attempt`) into a
 //!   zero-delay busy-loop hammering the listener it is supposed to be
 //!   backing off from.
+//! * **HL046** — a Pareto-archive epsilon-box configuration is
+//!   degenerate (error): a zero, negative, or non-finite epsilon puts
+//!   every evaluation into one box (or overflows the integral box
+//!   indices every dominance comparison runs on), and an epsilon wider
+//!   than its objective's whole range collapses the archive to a single
+//!   point — the "front" it serves would be one arbitrary design.
+//! * **HL047** — a `FRONT` query arrived before any job completed
+//!   (warning): the archive only fills as jobs run, so the answer is an
+//!   empty front; legal, but almost certainly a client asking too early.
 //!
 //! Like the rest of the crate this module is dependency-free: `hi-serve`
 //! lowers parsed profiles into [`ProfileSpec`]s and its configuration
@@ -95,6 +104,77 @@ pub struct ClientRetrySpec {
     pub max_attempts: u32,
     /// Base delay of the exponential backoff schedule, milliseconds.
     pub backoff_base_ms: f64,
+}
+
+/// A Pareto archive's epsilon-box widths, lowered to plain numbers with
+/// each axis's sensible full range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchiveSpec {
+    /// Box width on the power axis, mW.
+    pub eps_power_mw: f64,
+    /// Box width on the unreliability (`1 − PDR`) axis (range `[0, 1]`).
+    pub eps_pdr: f64,
+    /// Box width on the latency axis, ms.
+    pub eps_latency_ms: f64,
+}
+
+/// One `FRONT` query against a daemon's archive state, lowered to the
+/// two numbers HL047 needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontQuerySpec {
+    /// Jobs the daemon has run to a terminal `done` state.
+    pub completed_jobs: u64,
+    /// Points currently on the queried stream's front (hydrated points
+    /// count — a warm restart is not a premature query).
+    pub archived_points: usize,
+}
+
+/// Lints a Pareto-archive epsilon-box configuration (rule HL046).
+pub fn lint_archive(spec: &ArchiveSpec) -> Report {
+    let mut report = Report::new();
+    let axes = [
+        ("power epsilon", spec.eps_power_mw, "mW", 1e3),
+        ("pdr epsilon", spec.eps_pdr, "", 1.0),
+        ("latency epsilon", spec.eps_latency_ms, "ms", 1e6),
+    ];
+    for (name, eps, unit, range) in axes {
+        if eps <= 0.0 || !eps.is_finite() {
+            report.push(Finding::new(
+                RuleId::ArchiveMisconfigured,
+                Span::Model,
+                format!(
+                    "{name} {eps} {unit} is not positive and finite — every \
+                     evaluation lands in one epsilon box (or box indices \
+                     overflow) and dominance is meaningless"
+                ),
+            ));
+        } else if eps > range {
+            report.push(Finding::new(
+                RuleId::ArchiveMisconfigured,
+                Span::Model,
+                format!(
+                    "{name} {eps} {unit} is wider than the whole objective \
+                     range ({range}) — the archive collapses to a single \
+                     arbitrary point"
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Lints one `FRONT` query against the daemon's state (rule HL047).
+pub fn lint_front_query(spec: &FrontQuerySpec) -> Report {
+    let mut report = Report::new();
+    if spec.completed_jobs == 0 && spec.archived_points == 0 {
+        report.push(Finding::new(
+            RuleId::FrontBeforeJobs,
+            Span::Model,
+            "FRONT queried before any job completed — the Pareto archive \
+             only fills as jobs run, so this answer is an empty front",
+        ));
+    }
+    report
 }
 
 /// Lints the daemon's durable-cache persistence (rule HL044).
@@ -440,5 +520,71 @@ mod tests {
             backoff_base_ms: 0.0,
         });
         assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn hl046_fires_on_degenerate_archive_epsilons() {
+        let sane = ArchiveSpec {
+            eps_power_mw: 1e-6,
+            eps_pdr: 1e-6,
+            eps_latency_ms: 1e-6,
+        };
+        assert!(lint_archive(&sane).is_clean());
+
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let report = lint_archive(&ArchiveSpec {
+                eps_power_mw: eps,
+                ..sane
+            });
+            assert!(report.has_rule(RuleId::ArchiveMisconfigured));
+            assert!(report.has_errors(), "HL046 is an error");
+            assert!(
+                report.to_string().contains("not positive and finite"),
+                "{report}"
+            );
+        }
+
+        let report = lint_archive(&ArchiveSpec {
+            eps_pdr: 1.5,
+            ..sane
+        });
+        assert!(
+            report
+                .to_string()
+                .contains("wider than the whole objective"),
+            "{report}"
+        );
+        assert_eq!(report.error_count(), 1, "only the pdr axis fires");
+
+        let report = lint_archive(&ArchiveSpec {
+            eps_power_mw: -1.0,
+            eps_pdr: 2.0,
+            eps_latency_ms: 1e7,
+        });
+        assert_eq!(report.error_count(), 3, "each axis reports independently");
+    }
+
+    #[test]
+    fn hl047_fires_only_on_a_front_query_before_any_job() {
+        let report = lint_front_query(&FrontQuerySpec {
+            completed_jobs: 0,
+            archived_points: 0,
+        });
+        assert!(report.has_rule(RuleId::FrontBeforeJobs));
+        assert!(!report.has_errors(), "HL047 is a warning");
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.to_string().contains("empty front"), "{report}");
+
+        // Completed work, or warm hydrated points, both silence it.
+        assert!(lint_front_query(&FrontQuerySpec {
+            completed_jobs: 1,
+            archived_points: 0,
+        })
+        .is_clean());
+        assert!(lint_front_query(&FrontQuerySpec {
+            completed_jobs: 0,
+            archived_points: 3,
+        })
+        .is_clean());
     }
 }

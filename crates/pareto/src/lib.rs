@@ -1,0 +1,478 @@
+//! Incremental multi-objective Pareto archive over `(power, PDR,
+//! latency)` — the "query the frontier instead of re-sweeping it" core
+//! of `tradeoff --archive` and the daemon's `FRONT` command.
+//!
+//! The paper's Algorithm 1 answers one question per run: the cheapest
+//! design above one PDR floor. Every run, though, evaluates dozens of
+//! candidates whose full objective vectors are thrown away once the
+//! single optimum is reported. This crate keeps them: every evaluation
+//! any engine performs (exhaustive, Algorithm 1, simulated annealing,
+//! robust) is offered to a [`ParetoArchive`], which maintains the
+//! non-dominated front incrementally. A later trade-off question is then
+//! a lookup, not a sweep.
+//!
+//! # Dominance model
+//!
+//! All three objectives are *minimized*: power (mW), `1 − PDR`
+//! (unreliability), and latency (ms). Network lifetime rides along as a
+//! carried metric (it is `2430 mWh / power` up to unit conversion, so a
+//! separate axis would be redundant) and is reported with every front
+//! point.
+//!
+//! The archive uses **epsilon-box dominance** (Laumanns-style): each
+//! objective axis is divided into boxes of width `epsilon[i]`, a point's
+//! box vector is `floor(objective[i] / epsilon[i])`, and point `a`
+//! dominates point `b` iff `box(a) ≤ box(b)` componentwise with at
+//! least one strict `<`. At most one point survives per box; within a
+//! box the winner is chosen by a strict total order (objective
+//! lexicographic, then **lowest fingerprint**). Both relations are
+//! functions of the point alone, which gives the two properties the
+//! daemon's determinism contract needs:
+//!
+//! * **Insertion-order invariance.** Box dominance is a partial order
+//!   on box vectors (transitive, irreflexive), and two same-box points
+//!   dominate exactly the same third boxes — so whether a point is
+//!   displaced early or rejected late, the surviving set is the same.
+//!   The final front is exactly: the best in-box representative of
+//!   every box not dominated by any other occupied box.
+//! * **Thread invariance.** The archive is fed from evaluation caches
+//!   whose contents are thread-invariant; since insertion order cannot
+//!   matter, neither can the thread count that produced the feed.
+//!
+//! No dependencies, std only; persistence lives in `hi-serve` (the
+//! archive travels through the same CRC-framed segment discipline as
+//! the evaluation cache).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Default box width on the power axis, mW.
+pub const DEFAULT_EPS_POWER_MW: f64 = 1e-6;
+/// Default box width on the unreliability (`1 − PDR`) axis.
+pub const DEFAULT_EPS_PDR: f64 = 1e-6;
+/// Default box width on the latency axis, ms.
+pub const DEFAULT_EPS_LATENCY_MS: f64 = 1e-6;
+
+/// Epsilon-box widths, one per minimized objective axis.
+///
+/// The defaults are deliberately tiny: they make epsilon-box dominance
+/// coincide with plain Pareto dominance for any realistically separated
+/// evaluations, while still bounding the archive and keeping every
+/// comparison integral (box indices), hence exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchiveConfig {
+    /// Box width on the power axis, mW. Must be positive and finite.
+    pub eps_power_mw: f64,
+    /// Box width on the unreliability (`1 − PDR`) axis. Must be
+    /// positive, finite, and at most 1 (the axis spans `[0, 1]`).
+    pub eps_pdr: f64,
+    /// Box width on the latency axis, ms. Must be positive and finite.
+    pub eps_latency_ms: f64,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        Self {
+            eps_power_mw: DEFAULT_EPS_POWER_MW,
+            eps_pdr: DEFAULT_EPS_PDR,
+            eps_latency_ms: DEFAULT_EPS_LATENCY_MS,
+        }
+    }
+}
+
+impl ArchiveConfig {
+    /// Checks the config for degeneracy: zero, negative or non-finite
+    /// epsilons (every point would share one box, or box indices would
+    /// overflow), and epsilons wider than their objective's sensible
+    /// range (the archive would collapse to a single point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let axes = [
+            ("power epsilon (mW)", self.eps_power_mw, 1e3),
+            ("pdr epsilon", self.eps_pdr, 1.0),
+            ("latency epsilon (ms)", self.eps_latency_ms, 1e6),
+        ];
+        for (name, eps, range) in axes {
+            if !eps.is_finite() || eps <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {eps}"));
+            }
+            if eps > range {
+                return Err(format!(
+                    "{name} is {eps}, wider than the whole objective range ({range}): \
+                     the archive would collapse to one box"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The box vector of `point` — the integral coordinates all
+    /// dominance comparisons run on.
+    fn box_of(&self, point: &FrontPoint) -> [i64; 3] {
+        let idx = |value: f64, eps: f64| (value / eps).floor() as i64;
+        let [power, unreliability, latency] = point.objectives();
+        [
+            idx(power, self.eps_power_mw),
+            idx(unreliability, self.eps_pdr),
+            idx(latency, self.eps_latency_ms),
+        ]
+    }
+}
+
+/// One archived point: a design fingerprint with its full objective
+/// vector. Floats are carried bit-exactly; two `FrontPoint`s are equal
+/// iff every field is bit-equal.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontPoint {
+    /// The design point's fingerprint (`DesignPoint::fingerprint()` in
+    /// `hi-core`; this crate treats it as an opaque, totally ordered id).
+    pub fingerprint: u64,
+    /// Simulated power of the lifetime-limiting node, mW (minimized).
+    pub power_mw: f64,
+    /// Packet delivery ratio in `[0, 1]` (maximized; archived as the
+    /// minimized objective `1 − pdr`).
+    pub pdr: f64,
+    /// Mean end-to-end latency, ms (minimized).
+    pub latency_ms: f64,
+    /// Network lifetime, days — carried for reporting, not an axis.
+    pub nlt_days: f64,
+}
+
+impl PartialEq for FrontPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.power_mw.to_bits() == other.power_mw.to_bits()
+            && self.pdr.to_bits() == other.pdr.to_bits()
+            && self.latency_ms.to_bits() == other.latency_ms.to_bits()
+            && self.nlt_days.to_bits() == other.nlt_days.to_bits()
+    }
+}
+
+impl Eq for FrontPoint {}
+
+impl FrontPoint {
+    /// The minimized objective vector: `(power, 1 − pdr, latency)`.
+    pub fn objectives(&self) -> [f64; 3] {
+        [self.power_mw, 1.0 - self.pdr, self.latency_ms]
+    }
+
+    /// The strict total order used within one epsilon box: objective
+    /// lexicographic (better power, then better reliability, then
+    /// better latency), ties broken by **lowest fingerprint**. Equal
+    /// only for the same fingerprint with bit-equal objectives.
+    fn in_box_cmp(&self, other: &Self) -> Ordering {
+        let a = self.objectives();
+        let b = other.objectives();
+        for i in 0..3 {
+            match a[i].total_cmp(&b[i]) {
+                Ordering::Equal => continue,
+                unequal => return unequal,
+            }
+        }
+        self.fingerprint.cmp(&other.fingerprint)
+    }
+}
+
+/// `a ≤ b` componentwise with at least one strict `<`.
+fn box_dominates(a: &[i64; 3], b: &[i64; 3]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a != b
+}
+
+/// What one [`ParetoArchive::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The point joined the front, displacing `displaced` members it
+    /// (box-)dominated or beat within its own box.
+    Added {
+        /// Members removed to admit this point.
+        displaced: usize,
+    },
+    /// The point is dominated by (or loses its box to, or identically
+    /// duplicates) an existing member; the archive is unchanged.
+    Dominated,
+}
+
+/// An incrementally maintained epsilon-box Pareto front.
+///
+/// Points live in a `BTreeMap` keyed by fingerprint, so iteration —
+/// and therefore every rendered front — is deterministic regardless of
+/// the order evaluations arrived in.
+#[derive(Debug, Clone)]
+pub struct ParetoArchive {
+    config: ArchiveConfig,
+    points: BTreeMap<u64, FrontPoint>,
+}
+
+impl Default for ParetoArchive {
+    fn default() -> Self {
+        Self::new(ArchiveConfig::default())
+    }
+}
+
+impl ParetoArchive {
+    /// An empty archive under `config`.
+    pub fn new(config: ArchiveConfig) -> Self {
+        Self {
+            config,
+            points: BTreeMap::new(),
+        }
+    }
+
+    /// The box configuration.
+    pub fn config(&self) -> &ArchiveConfig {
+        &self.config
+    }
+
+    /// Offers `point` to the archive. The design space guarantees
+    /// finite objectives; non-finite values still terminate (total
+    /// orders throughout) but their box indices saturate.
+    pub fn insert(&mut self, point: FrontPoint) -> InsertOutcome {
+        let pb = self.config.box_of(&point);
+        for member in self.points.values() {
+            let mb = self.config.box_of(member);
+            if box_dominates(&mb, &pb) {
+                return InsertOutcome::Dominated;
+            }
+            if mb == pb && member.in_box_cmp(&point) != Ordering::Greater {
+                // The member wins its box (or is the identical point).
+                return InsertOutcome::Dominated;
+            }
+        }
+        let displaced: Vec<u64> = self
+            .points
+            .values()
+            .filter(|member| {
+                let mb = self.config.box_of(member);
+                // Same box: the candidate proved strictly better above.
+                box_dominates(&pb, &mb) || mb == pb
+            })
+            .map(|member| member.fingerprint)
+            .collect();
+        let count = displaced.len();
+        for fingerprint in displaced {
+            self.points.remove(&fingerprint);
+        }
+        self.points.insert(point.fingerprint, point);
+        InsertOutcome::Added { displaced: count }
+    }
+
+    /// The current front, in ascending fingerprint order.
+    pub fn front(&self) -> Vec<FrontPoint> {
+        self.points.values().copied().collect()
+    }
+
+    /// Iterates the front in ascending fingerprint order.
+    pub fn iter(&self) -> impl Iterator<Item = &FrontPoint> {
+        self.points.values()
+    }
+
+    /// The front member with the lowest power among those with
+    /// `pdr ≥ floor` — the archive's answer to one `tradeoff` row.
+    /// Ties on power keep the lowest fingerprint (the iteration order).
+    pub fn best_for_floor(&self, floor: f64) -> Option<FrontPoint> {
+        self.points
+            .values()
+            .filter(|p| p.pdr >= floor)
+            .min_by(|a, b| {
+                a.power_mw
+                    .total_cmp(&b.power_mw)
+                    .then(a.fingerprint.cmp(&b.fingerprint))
+            })
+            .copied()
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drops every point: the invalidation hook for when the physics
+    /// behind the archived evaluations changes (new fault suite, new
+    /// channel/traffic parameters) and old fronts would lie.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(fingerprint: u64, power: f64, pdr: f64, latency: f64) -> FrontPoint {
+        FrontPoint {
+            fingerprint,
+            power_mw: power,
+            pdr,
+            latency_ms: latency,
+            nlt_days: 2430.0 / (power * 1e-3) / 86_400.0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected_and_dominating_points_displace() {
+        let mut archive = ParetoArchive::default();
+        assert_eq!(
+            archive.insert(fp(10, 1.0, 0.9, 5.0)),
+            InsertOutcome::Added { displaced: 0 }
+        );
+        // Worse on every axis: rejected.
+        assert_eq!(
+            archive.insert(fp(11, 1.1, 0.8, 6.0)),
+            InsertOutcome::Dominated
+        );
+        // Better on every axis: displaces the incumbent.
+        assert_eq!(
+            archive.insert(fp(12, 0.9, 0.95, 4.0)),
+            InsertOutcome::Added { displaced: 1 }
+        );
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.front()[0].fingerprint, 12);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut archive = ParetoArchive::default();
+        archive.insert(fp(1, 1.0, 0.99, 5.0)); // high power, high pdr
+        archive.insert(fp(2, 0.5, 0.70, 5.0)); // low power, low pdr
+        archive.insert(fp(3, 0.8, 0.90, 2.0)); // middle, best latency
+        assert_eq!(archive.len(), 3);
+    }
+
+    #[test]
+    fn same_box_keeps_the_objective_winner_then_lowest_fingerprint() {
+        let config = ArchiveConfig {
+            eps_power_mw: 0.5,
+            eps_pdr: 0.1,
+            eps_latency_ms: 10.0,
+        };
+        // Same box, strictly better objectives: winner regardless of order.
+        let mut archive = ParetoArchive::new(config);
+        archive.insert(fp(7, 1.20, 0.91, 5.0));
+        archive.insert(fp(3, 1.10, 0.92, 5.0));
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.front()[0].fingerprint, 3);
+        // Bit-identical objectives: lowest fingerprint wins, both orders.
+        for pair in [[9u64, 4], [4, 9]] {
+            let mut archive = ParetoArchive::new(config);
+            for id in pair {
+                archive.insert(fp(id, 1.10, 0.92, 5.0));
+            }
+            assert_eq!(archive.front()[0].fingerprint, 4, "order {pair:?}");
+        }
+    }
+
+    #[test]
+    fn reinserting_an_archived_point_is_a_no_op() {
+        let mut archive = ParetoArchive::default();
+        archive.insert(fp(5, 1.0, 0.9, 5.0));
+        assert_eq!(
+            archive.insert(fp(5, 1.0, 0.9, 5.0)),
+            InsertOutcome::Dominated
+        );
+        assert_eq!(archive.len(), 1);
+    }
+
+    #[test]
+    fn the_front_is_insertion_order_invariant() {
+        // A mix of dominated, incomparable and same-box points, offered
+        // in many deterministic orders: every order must produce the
+        // bit-identical front.
+        let points = vec![
+            fp(1, 1.00, 0.90, 5.0),
+            fp(2, 1.10, 0.80, 6.0), // dominated by 1
+            fp(3, 0.90, 0.95, 4.0), // dominates 1
+            fp(4, 0.90, 0.95, 4.0), // same box as 3, higher fingerprint
+            fp(5, 0.50, 0.60, 9.0), // incomparable
+            fp(6, 0.50, 0.60, 8.0), // dominates 5
+            fp(7, 2.00, 0.99, 1.0), // incomparable
+            fp(8, 2.00, 0.99, 1.5), // dominated by 7
+        ];
+        let reference: Vec<FrontPoint> = {
+            let mut archive = ParetoArchive::default();
+            for p in &points {
+                archive.insert(*p);
+            }
+            archive.front()
+        };
+        assert_eq!(
+            reference.iter().map(|p| p.fingerprint).collect::<Vec<_>>(),
+            vec![3, 6, 7]
+        );
+        // Rotations, the reversal, and LCG-driven shuffles.
+        let mut orders: Vec<Vec<usize>> = (0..points.len())
+            .map(|r| (0..points.len()).map(|i| (i + r) % points.len()).collect())
+            .collect();
+        orders.push((0..points.len()).rev().collect());
+        let mut state = 0x2017dacu64;
+        for _ in 0..16 {
+            let mut order: Vec<usize> = (0..points.len()).collect();
+            for i in (1..order.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                order.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            orders.push(order);
+        }
+        for order in orders {
+            let mut archive = ParetoArchive::default();
+            for &i in &order {
+                archive.insert(points[i]);
+            }
+            assert_eq!(archive.front(), reference, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn best_for_floor_answers_tradeoff_rows() {
+        let mut archive = ParetoArchive::default();
+        archive.insert(fp(1, 0.5, 0.70, 5.0));
+        archive.insert(fp(2, 0.8, 0.90, 5.0));
+        archive.insert(fp(3, 1.2, 0.99, 4.0));
+        assert_eq!(archive.best_for_floor(0.6).unwrap().fingerprint, 1);
+        assert_eq!(archive.best_for_floor(0.9).unwrap().fingerprint, 2);
+        assert_eq!(archive.best_for_floor(0.95).unwrap().fingerprint, 3);
+        assert!(archive.best_for_floor(0.999).is_none());
+    }
+
+    #[test]
+    fn clear_is_the_invalidation_hook() {
+        let mut archive = ParetoArchive::default();
+        archive.insert(fp(1, 1.0, 0.9, 5.0));
+        archive.clear();
+        assert!(archive.is_empty());
+        assert_eq!(
+            archive.insert(fp(2, 9.9, 0.1, 99.0)),
+            InsertOutcome::Added { displaced: 0 }
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_fail_validation() {
+        assert!(ArchiveConfig::default().validate().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let config = ArchiveConfig {
+                eps_power_mw: bad,
+                ..ArchiveConfig::default()
+            };
+            assert!(config.validate().is_err(), "eps_power_mw = {bad}");
+        }
+        let too_wide = ArchiveConfig {
+            eps_pdr: 1.5,
+            ..ArchiveConfig::default()
+        };
+        let err = too_wide.validate().unwrap_err();
+        assert!(err.contains("wider than"), "{err}");
+    }
+}

@@ -11,7 +11,7 @@
 //! hi-serve-client [--retries N] [--backoff-ms B] [--token T] <addr> <command>
 //!
 //! hi-serve-client <addr> submit <profile-file>
-//! hi-serve-client <addr> status|result|wait|cancel <job-id>
+//! hi-serve-client <addr> status|result|wait|cancel|front <job-id>
 //! hi-serve-client <addr> stats
 //! hi-serve-client <addr> shutdown
 //! hi-serve-client <addr> run <profile-file>   # submit + wait + result, all jobs
@@ -47,6 +47,7 @@ fn usage() -> ExitCode {
          \x20 result <job-id>            print the terminal result block\n\
          \x20 wait <job-id>              stream progress events until terminal\n\
          \x20 cancel <job-id>            cancel a queued or running job\n\
+         \x20 front <job-id>             print the job's stream's Pareto front\n\
          \x20 stats                      print the daemon's metric snapshot\n\
          \x20 shutdown                   drain running jobs, flush segments and exit\n\
          \x20 run <profile-file>         submit, wait for and print every result\n\
@@ -146,6 +147,7 @@ fn main() -> ExitCode {
         ("result", 2) => run_line(&policy, &addr, format!("RESULT {}", command[1])),
         ("wait", 2) => run_line(&policy, &addr, format!("WAIT {}", command[1])),
         ("cancel", 2) => run_line(&policy, &addr, format!("CANCEL {}", command[1])),
+        ("front", 2) => run_line(&policy, &addr, format!("FRONT {}", command[1])),
         ("stats", 1) => run_line(&policy, &addr, "STATS".into()),
         ("shutdown", 1) => run_line(&policy, &addr, "SHUTDOWN".into()),
         ("run", 2) => with_profile(&command[1], |text| {
@@ -316,7 +318,10 @@ impl Connection {
             // Counted block: the verb decides whether the last field is
             // a line count (result/stats blocks) or payload (job ids).
             let mut words: Vec<&str> = tail.split_whitespace().collect();
-            let counted = matches!(words.first(), Some(&"result") | Some(&"stats"));
+            let counted = matches!(
+                words.first(),
+                Some(&"result") | Some(&"stats") | Some(&"front")
+            );
             if counted {
                 let count: usize = words
                     .pop()

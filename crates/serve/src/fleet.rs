@@ -76,6 +76,34 @@ impl FleetEvaluator {
         }
     }
 
+    /// Every `Ok` outcome lowered to a Pareto [`FrontPoint`] offer:
+    /// nominal evaluations directly, robust scorecards aggregated by the
+    /// stream's robust mode (the same pessimism the engine optimized
+    /// under). The archive's dominance filter decides what survives.
+    pub fn export_front_points(&self) -> Vec<hi_pareto::FrontPoint> {
+        let lower = |point: DesignPoint, eval: Evaluation| hi_pareto::FrontPoint {
+            fingerprint: point.fingerprint(),
+            power_mw: eval.power_mw,
+            pdr: eval.pdr,
+            latency_ms: eval.latency_ms,
+            nlt_days: eval.nlt_days,
+        };
+        match self {
+            FleetEvaluator::Nominal(e) => e
+                .cached_ok()
+                .into_iter()
+                .map(|(point, eval)| lower(point, eval))
+                .collect(),
+            FleetEvaluator::Robust(e) => {
+                let mode = e.mode();
+                e.cached_scorecards()
+                    .into_iter()
+                    .map(|(point, card)| lower(point, card.aggregate(mode)))
+                    .collect()
+            }
+        }
+    }
+
     /// Seeds one recovered outcome into this stream's cache. Returns
     /// false (and changes nothing) if the entry's kind does not match
     /// the stream — a robust scorecard can't answer a nominal stream —
@@ -275,7 +303,7 @@ pub fn run_profile(
     })
 }
 
-fn f64_hex(x: f64) -> String {
+pub(crate) fn f64_hex(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
@@ -300,6 +328,11 @@ pub fn render_result(profile: &UserProfile, outcome: &ProfileOutcome) -> String 
                 "power_mw {} {:.3}\n",
                 f64_hex(eval.power_mw),
                 eval.power_mw
+            ));
+            out.push_str(&format!(
+                "latency_ms {} {:.3}\n",
+                f64_hex(eval.latency_ms),
+                eval.latency_ms
             ));
         }
         None => out.push_str("status infeasible\n"),

@@ -16,8 +16,9 @@
 //!   with a total, fuzz-tested parser and a canonical
 //!   [`to_text`](UserProfile::to_text) rendering;
 //! * [`proto`](Request) — a line-oriented wire protocol (`SUBMIT`,
-//!   `STATUS`, `RESULT`, `WAIT`, `CANCEL`, `STATS`, `SHUTDOWN`) served
-//!   over stdin/stdout and TCP by the same transport-generic loop;
+//!   `STATUS`, `RESULT`, `WAIT`, `CANCEL`, `FRONT`, `STATS`,
+//!   `SHUTDOWN`) served over stdin/stdout and TCP by the same
+//!   transport-generic loop;
 //! * [`fleet`](FleetCache) — one shared, fingerprint-keyed evaluator
 //!   pool: profiles whose lowered physics agree share a memo cache, so
 //!   identical design points simulate once per fleet, not once per user;
@@ -25,7 +26,12 @@
 //!   `hi-exec` (per-job cancel tokens, supervised retries), CRC-checked
 //!   crash-safe job records and per-iteration checkpoints (a SIGKILLed
 //!   daemon resumes in-flight jobs on restart, byte-identically), and
-//!   `hi-trace` metrics behind `STATS`.
+//!   `hi-trace` metrics behind `STATS`;
+//! * [`front`](FrontStore) — a per-stream `hi-pareto` archive over
+//!   `(power, PDR, latency)`, fed incrementally by every job through
+//!   the shared cache, persisted in CRC-checked front segments beside
+//!   the cache segments, and served by `FRONT` — warm after a restart,
+//!   with zero fresh simulations.
 //!
 //! Everything is std-only and deterministic: jobs run serially in id
 //! order, so the cache state any job observes is a pure function of the
@@ -35,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod fleet;
+mod front;
 mod persist;
 mod profile;
 mod proto;
@@ -43,6 +50,10 @@ mod server;
 
 pub use fleet::{
     render_result, run_profile, FleetCache, FleetEvaluator, FleetStats, ProfileOutcome, RunPolicy,
+};
+pub use front::{
+    front_path, parse_front_entry, parse_front_segment, render_front_entry, render_front_segment,
+    FrontLoad, FrontStats, FrontStore,
 };
 pub use persist::{
     checkpoint_path, load_job_recovering, record_path, scan_records, JobRecord, JobState,

@@ -22,9 +22,13 @@
 //!                                 profile alice
 //!                                 ...           (11 counted lines)
 //! CANCEL 2                        OK cancel 2 cancelled
-//! STATS                           OK stats 13
+//! FRONT 1                         OK front 1 4
+//!                                 key 91a09d2f63880df1
+//!                                 simulations 32
+//!                                 point ...     (one per front design)
+//! STATS                           OK stats 18
 //!                                 serve.jobs.accepted 2
-//!                                 ...           (13 counted lines)
+//!                                 ...           (18 counted lines)
 //! SHUTDOWN                        OK shutdown
 //! anything malformed              ERR <one-line diagnostic>
 //! ```
@@ -89,6 +93,12 @@ pub enum Request {
     },
     /// `CANCEL <id>`: stop a queued or running job.
     Cancel {
+        /// The job id.
+        id: u64,
+    },
+    /// `FRONT <id>`: the Pareto front of the job's evaluator stream,
+    /// counted.
+    Front {
         /// The job id.
         id: u64,
     },
@@ -176,6 +186,9 @@ impl Request {
             "CANCEL" => Request::Cancel {
                 id: job_id(&mut fields, "CANCEL")?,
             },
+            "FRONT" => Request::Front {
+                id: job_id(&mut fields, "FRONT")?,
+            },
             "STATS" => Request::Stats,
             "SHUTDOWN" => Request::Shutdown,
             other => return Err(format!("unknown request `{other}`")),
@@ -204,6 +217,7 @@ impl fmt::Display for Request {
             Request::Result { id } => write!(f, "RESULT {id}"),
             Request::Wait { id } => write!(f, "WAIT {id}"),
             Request::Cancel { id } => write!(f, "CANCEL {id}"),
+            Request::Front { id } => write!(f, "FRONT {id}"),
             Request::Stats => f.write_str("STATS"),
             Request::Shutdown => f.write_str("SHUTDOWN"),
         }
@@ -253,6 +267,7 @@ mod tests {
             "RESULT 7",
             "WAIT 2",
             "CANCEL 9",
+            "FRONT 1",
             "STATS",
             "SHUTDOWN",
         ] {
@@ -279,6 +294,8 @@ mod tests {
             "STATUS",
             "STATUS abc",
             "RESULT 1 2",
+            "FRONT",
+            "FRONT x",
             "FETCH 1",
             "SHUTDOWN now",
         ] {

@@ -8,11 +8,16 @@
 //! ```text
 //! hi-serve cache segment v1
 //! key 00000afc1d2e3f40
-//! entry 72 1a2b3c4d
-//! n 0000000000000216 3fee666666666666 4056ab851eb851ec 3ff3ae147ae147ae
-//! entry 140 5e6f7a8b
-//! r 0000000000000317 1 <nominal triple> <scenario-0 triple>
+//! entry 89 1a2b3c4d
+//! n 0000000000000216 3fee666666666666 4056ab851eb851ec 3ff3ae147ae147ae 4010cccccccccccd
+//! entry 174 5e6f7a8b
+//! r 0000000000000317 1 <nominal quad> <scenario-0 quad>
 //! ```
+//!
+//! An evaluation travels as four bit-exact floats — PDR, lifetime,
+//! power, latency. Entries written before latency joined the
+//! [`Evaluation`] carry three; they still parse (latency zero), but the
+//! canonical rendered form is always four-wide.
 //!
 //! Each `entry` line frames one payload by byte length and CRC-32-IEEE
 //! over exactly the payload bytes — the PR-5 record discipline applied
@@ -83,12 +88,13 @@ impl CachedOutcome {
     }
 }
 
-fn push_triple(out: &mut String, eval: &Evaluation) {
+fn push_quad(out: &mut String, eval: &Evaluation) {
     out.push_str(&format!(
-        " {:016x} {:016x} {:016x}",
+        " {:016x} {:016x} {:016x} {:016x}",
         eval.pdr.to_bits(),
         eval.nlt_days.to_bits(),
-        eval.power_mw.to_bits()
+        eval.power_mw.to_bits(),
+        eval.latency_ms.to_bits()
     ));
 }
 
@@ -99,14 +105,14 @@ pub fn render_entry(outcome: &CachedOutcome) -> String {
     match outcome {
         CachedOutcome::Nominal { point, eval } => {
             let mut s = format!("n {:016x}", point.fingerprint());
-            push_triple(&mut s, eval);
+            push_quad(&mut s, eval);
             s
         }
         CachedOutcome::Robust { point, card } => {
             let mut s = format!("r {:016x} {}", point.fingerprint(), card.scenarios.len());
-            push_triple(&mut s, &card.nominal);
+            push_quad(&mut s, &card.nominal);
             for scenario in &card.scenarios {
-                push_triple(&mut s, scenario);
+                push_quad(&mut s, scenario);
             }
             s
         }
@@ -126,12 +132,17 @@ pub fn frame_entry(payload: &str) -> Vec<u8> {
     out
 }
 
-fn take_triple<'a>(
+/// Reads one evaluation's hex-bit floats. `legacy` entries (written
+/// before latency joined the [`Evaluation`]) carry three values and
+/// load with latency zero; current entries carry four.
+fn take_eval<'a>(
     tokens: &mut impl Iterator<Item = &'a str>,
     what: &str,
+    legacy: bool,
 ) -> Result<Evaluation, String> {
-    let mut bits = [0u64; 3];
-    for slot in &mut bits {
+    let width = if legacy { 3 } else { 4 };
+    let mut bits = [0u64; 4];
+    for slot in bits.iter_mut().take(width) {
         let token = tokens.next().ok_or(format!("{what}: missing field"))?;
         *slot = u64::from_str_radix(token, 16).map_err(|_| format!("{what}: bad hex `{token}`"))?;
     }
@@ -139,6 +150,7 @@ fn take_triple<'a>(
         pdr: f64::from_bits(bits[0]),
         nlt_days: f64::from_bits(bits[1]),
         power_mw: f64::from_bits(bits[2]),
+        latency_ms: f64::from_bits(bits[3]),
     })
 }
 
@@ -154,10 +166,15 @@ pub fn parse_entry(payload: &str) -> Result<CachedOutcome, String> {
     let point = DesignPoint::from_fingerprint(fp).ok_or(format!(
         "fingerprint {fp:016x} encodes no valid design point"
     ))?;
+    // Width detection: an entry is current (four floats per evaluation)
+    // exactly when its token count says so; anything else parses at the
+    // legacy three-float width, whose own missing-field/trailing checks
+    // produce the right diagnostics for malformed counts.
+    let total_tokens = payload.split_ascii_whitespace().count();
     let outcome = match kind {
         "n" => CachedOutcome::Nominal {
             point,
-            eval: take_triple(&mut tokens, "nominal evaluation")?,
+            eval: take_eval(&mut tokens, "nominal evaluation", total_tokens != 2 + 4)?,
         },
         "r" => {
             let count: usize = tokens
@@ -165,12 +182,14 @@ pub fn parse_entry(payload: &str) -> Result<CachedOutcome, String> {
                 .ok_or("missing scenario count".to_string())?
                 .parse()
                 .map_err(|_| "bad scenario count".to_string())?;
+            let legacy =
+                total_tokens != count.saturating_add(1).saturating_mul(4).saturating_add(3);
             // A megabyte-scale count with no payload behind it must fail
             // on the missing fields, not pre-allocate.
-            let nominal = take_triple(&mut tokens, "nominal evaluation")?;
+            let nominal = take_eval(&mut tokens, "nominal evaluation", legacy)?;
             let mut scenarios = Vec::with_capacity(count.min(1024));
             for i in 0..count {
-                scenarios.push(take_triple(&mut tokens, &format!("scenario {i}"))?);
+                scenarios.push(take_eval(&mut tokens, &format!("scenario {i}"), legacy)?);
             }
             CachedOutcome::Robust {
                 point,
@@ -207,31 +226,47 @@ fn read_line(bytes: &[u8], pos: usize) -> (&[u8], usize, bool) {
     }
 }
 
-/// Parses a segment file, separating torn tails from bit rot.
-///
-/// `Ok` means the intact prefix is trustworthy: `entries` carries it,
-/// and [`SegmentLoad::torn`] notes a truncated tail if the file ends
-/// mid-entry (the crash-during-append signature). `Err` means bit rot —
-/// CRC mismatch, framing violated mid-file, or a garbled header — with a
-/// byte-precise diagnostic; the caller should quarantine the file.
-pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
+/// A framed file decoded down to its raw entry payloads: the shared
+/// middle layer between [`parse_segment`] and the Pareto front store's
+/// parser (`crate::front`), which differ only in header and payload
+/// grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawFramedLoad {
+    /// The stream key stated in the file's `key` line.
+    pub key: u64,
+    /// Intact payloads in append order, each with the byte offset of its
+    /// `entry` header line (for diagnostics).
+    pub payloads: Vec<(String, usize)>,
+    /// `Some(note)` if a torn tail followed the intact prefix.
+    pub torn: Option<String>,
+}
+
+/// Parses the shared framed-file discipline (header line, key line,
+/// `entry <len> <crc32>` frames), separating torn tails from bit rot.
+/// `header` is the exact expected first line; `label` names the format
+/// in not-ours diagnostics.
+pub(crate) fn parse_framed(
+    bytes: &[u8],
+    header_line: &str,
+    label: &str,
+) -> Result<RawFramedLoad, String> {
     // Header line. A short unterminated prefix of the expected header is
     // a torn first write; anything else that differs is not our file.
     let (line, mut pos, terminated) = read_line(bytes, 0);
     if !terminated {
-        return if HEADER.as_bytes().starts_with(line) {
-            Ok(SegmentLoad {
+        return if header_line.as_bytes().starts_with(line) {
+            Ok(RawFramedLoad {
                 key: 0,
-                entries: Vec::new(),
+                payloads: Vec::new(),
                 torn: Some("file torn inside the header line".to_string()),
             })
         } else {
-            Err("not a cache segment (garbled header)".to_string())
+            Err(format!("not a {label} (garbled header)"))
         };
     }
-    if line != HEADER.as_bytes() {
+    if line != header_line.as_bytes() {
         return Err(format!(
-            "not a cache segment: expected `{HEADER}`, found {} header bytes",
+            "not a {label}: expected `{header_line}`, found {} header bytes",
             line.len()
         ));
     }
@@ -239,9 +274,9 @@ pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
     let (line, after_key, terminated) = read_line(bytes, pos);
     if !terminated {
         return if line.is_empty() || b"key ".starts_with(&line[..line.len().min(4)]) {
-            Ok(SegmentLoad {
+            Ok(RawFramedLoad {
                 key: 0,
-                entries: Vec::new(),
+                payloads: Vec::new(),
                 torn: Some("file torn inside the key line".to_string()),
             })
         } else {
@@ -255,15 +290,15 @@ pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
         .ok_or(format!("malformed key line at byte {pos}"))?;
     pos = after_key;
 
-    let mut entries = Vec::new();
+    let mut payloads: Vec<(String, usize)> = Vec::new();
     let mut index = 0usize;
     while pos < bytes.len() {
         let entry_at = pos;
         let (line, after_header, terminated) = read_line(bytes, pos);
         if !terminated {
-            return Ok(SegmentLoad {
+            return Ok(RawFramedLoad {
                 key,
-                entries,
+                payloads,
                 torn: Some(format!(
                     "entry {index} header torn at byte {entry_at} (end of file mid-line)"
                 )),
@@ -289,9 +324,9 @@ pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
         if payload_at + len >= bytes.len() {
             // Payload (or its terminating newline) runs past the end of
             // the file: the append died partway through.
-            return Ok(SegmentLoad {
+            return Ok(RawFramedLoad {
                 key,
-                entries,
+                payloads,
                 torn: Some(format!(
                     "entry {index} payload torn at byte {payload_at} \
                      ({len} bytes declared, {} present)",
@@ -316,16 +351,36 @@ pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
         }
         let payload = std::str::from_utf8(payload)
             .map_err(|_| format!("entry {index} payload at byte {payload_at} is not UTF-8"))?;
-        let outcome =
-            parse_entry(payload).map_err(|e| format!("entry {index} at byte {entry_at}: {e}"))?;
-        entries.push(outcome);
+        payloads.push((payload.to_string(), entry_at));
         pos = payload_at + len + 1;
         index += 1;
     }
-    Ok(SegmentLoad {
+    Ok(RawFramedLoad {
         key,
-        entries,
+        payloads,
         torn: None,
+    })
+}
+
+/// Parses a segment file, separating torn tails from bit rot.
+///
+/// `Ok` means the intact prefix is trustworthy: `entries` carries it,
+/// and [`SegmentLoad::torn`] notes a truncated tail if the file ends
+/// mid-entry (the crash-during-append signature). `Err` means bit rot —
+/// CRC mismatch, framing violated mid-file, or a garbled header — with a
+/// byte-precise diagnostic; the caller should quarantine the file.
+pub fn parse_segment(bytes: &[u8]) -> Result<SegmentLoad, String> {
+    let raw = parse_framed(bytes, HEADER, "cache segment")?;
+    let mut entries = Vec::with_capacity(raw.payloads.len());
+    for (index, (payload, entry_at)) in raw.payloads.iter().enumerate() {
+        entries.push(
+            parse_entry(payload).map_err(|e| format!("entry {index} at byte {entry_at}: {e}"))?,
+        );
+    }
+    Ok(SegmentLoad {
+        key: raw.key,
+        entries,
+        torn: raw.torn,
     })
 }
 
@@ -684,7 +739,7 @@ impl SegmentStore {
 
 /// The PR-5 atomic-write discipline for raw bytes: stage to `.tmp`,
 /// fsync, rotate the old file to `.prev`, rename into place.
-fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -725,6 +780,7 @@ mod tests {
             pdr: 0.9 + x,
             nlt_days: 100.0 * x,
             power_mw: 1.0 / (x + 1.0),
+            latency_ms: 3.0 + x,
         }
     }
 
@@ -765,6 +821,7 @@ mod tests {
                 pdr: f64::NAN,
                 nlt_days: f64::INFINITY,
                 power_mw: -0.0,
+                latency_ms: f64::MIN_POSITIVE,
             },
         };
         match parse_entry(&render_entry(&weird)).unwrap() {
@@ -772,6 +829,32 @@ mod tests {
                 assert!(eval.pdr.is_nan());
                 assert_eq!(eval.nlt_days, f64::INFINITY);
                 assert_eq!(eval.power_mw.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_latency_entries_parse_with_latency_zeroed() {
+        // Entries written by a pre-latency daemon carry three floats per
+        // evaluation; they must still hydrate (latency zero), and the
+        // width detection must not misread a current robust entry.
+        let legacy_n = "n 0000000000000216 3fee666666666666 4056ab851eb851ec 3ff3ae147ae147ae";
+        match parse_entry(legacy_n).unwrap() {
+            CachedOutcome::Nominal { eval, .. } => {
+                assert_eq!(eval.pdr, f64::from_bits(0x3fee666666666666));
+                assert_eq!(eval.latency_ms.to_bits(), 0.0f64.to_bits());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let legacy_r = "r 0000000000000216 1 \
+                        3fee666666666666 4056ab851eb851ec 3ff3ae147ae147ae \
+                        3fe0000000000000 4040000000000000 3ff8000000000000";
+        match parse_entry(legacy_r).unwrap() {
+            CachedOutcome::Robust { card, .. } => {
+                assert_eq!(card.scenarios.len(), 1);
+                assert_eq!(card.nominal.latency_ms.to_bits(), 0.0f64.to_bits());
+                assert_eq!(card.scenarios[0].latency_ms.to_bits(), 0.0f64.to_bits());
             }
             other => panic!("wrong kind: {other:?}"),
         }

@@ -22,7 +22,7 @@
 //! the resumed result block is byte-identical to an uninterrupted run
 //! (cumulative counters are part of the checkpoint contract).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -31,9 +31,11 @@ use hi_core::{
     load_recovering, parse_fault_suite, warmup_events_floor, CancelToken, ChaosPolicy, ExecContext,
     FaultSuite, RobustEvaluator, RobustMode, StopReason, SuiteParseError,
 };
+use hi_pareto::{ArchiveConfig, InsertOutcome, ParetoArchive};
 use hi_trace::{wellknown as wk, Collector, MetricsRegistry};
 
-use crate::fleet::{render_result, run_profile, FleetCache, FleetEvaluator, RunPolicy};
+use crate::fleet::{f64_hex, render_result, run_profile, FleetCache, FleetEvaluator, RunPolicy};
+use crate::front::FrontStore;
 use crate::persist::{checkpoint_path, record_path, scan_records, JobRecord, JobState};
 use crate::profile::{lint_profiles, parse_profiles, EngineChoice, UserProfile};
 use crate::proto::{err_line, ok_block, ok_line, Request};
@@ -139,6 +141,16 @@ struct State {
     tokens: BTreeMap<String, Vec<u64>>,
 }
 
+/// One evaluator stream's in-memory Pareto archive, plus the set of
+/// fingerprints already offered to it. Re-offering is harmless for the
+/// front itself (a fingerprint determines its evaluation), but skipping
+/// re-offers keeps the insert/dominated counters counting *evaluations*,
+/// not settle batches.
+struct ArchiveEntry {
+    archive: ParetoArchive,
+    offered: BTreeSet<u64>,
+}
+
 /// The daemon. See the [module docs](self) for the contracts.
 pub struct Server {
     config: ServeConfig,
@@ -146,6 +158,8 @@ pub struct Server {
     cv: Condvar,
     fleet: FleetCache,
     segments: SegmentStore,
+    fronts: FrontStore,
+    archives: Mutex<BTreeMap<u64, ArchiveEntry>>,
     collector: Collector,
 }
 
@@ -200,6 +214,20 @@ impl Server {
         })?;
         for note in notes {
             eprintln!("note: cache segment: {note}");
+        }
+        let (fronts, notes) = FrontStore::open(
+            config.resolved_cache_dir(),
+            config.compact_threshold,
+            config.chaos,
+        )
+        .map_err(|e| {
+            format!(
+                "cannot open front store in `{}`: {e}",
+                config.resolved_cache_dir().display()
+            )
+        })?;
+        for note in notes {
+            eprintln!("note: front segment: {note}");
         }
         let mut jobs = BTreeMap::new();
         let mut queue = VecDeque::new();
@@ -259,6 +287,8 @@ impl Server {
             cv: Condvar::new(),
             fleet: FleetCache::new(),
             segments,
+            fronts,
+            archives: Mutex::new(BTreeMap::new()),
             collector,
         })
     }
@@ -473,6 +503,118 @@ impl Server {
         }
     }
 
+    /// Runs `f` over a stream's Pareto archive, creating it on first
+    /// touch this lifetime and hydrating it from the front store — so a
+    /// restarted daemon answers `FRONT` warm, before (and without) any
+    /// job running on the stream. Hydrated fingerprints are marked
+    /// offered; the archive's own dominance filter drops any point a
+    /// later, better one had displaced after it was logged.
+    fn with_archive<R>(&self, key: u64, f: impl FnOnce(&mut ArchiveEntry) -> R) -> R {
+        let mut archives = self.archives.lock().expect("archive table poisoned");
+        let entry = archives.entry(key).or_insert_with(|| {
+            let mut entry = ArchiveEntry {
+                archive: ParetoArchive::new(ArchiveConfig::default()),
+                offered: BTreeSet::new(),
+            };
+            for point in self.fronts.hydrate(key) {
+                entry.offered.insert(point.fingerprint);
+                entry.archive.insert(point);
+            }
+            entry
+        });
+        f(entry)
+    }
+
+    /// Offers a stream's cached evaluations to its Pareto archive and
+    /// settles the accepted points durably. Called exactly where the
+    /// evaluation segment settles (every checkpoint, and again before a
+    /// result becomes observable), so archive durability rides the same
+    /// crash-consistency discipline as the cache itself.
+    fn settle_front(&self, key: u64, evaluator: &FleetEvaluator) {
+        let front = self.with_archive(key, |entry| {
+            let mut inserts = 0u64;
+            let mut dominated = 0u64;
+            for point in evaluator.export_front_points() {
+                if !entry.offered.insert(point.fingerprint) {
+                    continue;
+                }
+                match entry.archive.insert(point) {
+                    InsertOutcome::Added { .. } => inserts += 1,
+                    InsertOutcome::Dominated => dominated += 1,
+                }
+            }
+            let registry = self.registry();
+            registry.add(wk::SERVE_PARETO_INSERTS, inserts);
+            registry.add(wk::SERVE_PARETO_DOMINATED, dominated);
+            entry.archive.front()
+        });
+        if let Err(e) = self.fronts.settle(key, &front) {
+            eprintln!("warning: cannot settle stream {key:016x} front: {e}");
+        }
+    }
+
+    /// The `FRONT` block for a job's evaluator stream: the stream key,
+    /// the fresh simulations this process has spent on the stream (a
+    /// warm restart answering purely from hydrated segments reports 0),
+    /// then one `point` row per non-dominated design — floats as exact
+    /// bits next to a rounded decimal, like result blocks, so the block
+    /// is byte-stable across restarts and thread counts. An empty front
+    /// on a daemon that has completed no job earns the HL047 advisory.
+    pub fn front_block(&self, id: u64) -> Result<String, String> {
+        let profile = {
+            let state = self.state.lock().expect("server state poisoned");
+            state
+                .jobs
+                .get(&id)
+                .map(|entry| entry.profile.clone())
+                .ok_or(format!("unknown job {id}"))?
+        };
+        let suite_text = match profile.faults.as_ref() {
+            Some(_) => Some(load_suite(&profile)?.0),
+            None => None,
+        };
+        let key = profile.eval_fingerprint(suite_text.as_deref());
+        self.registry().add(wk::SERVE_PARETO_QUERIES, 1);
+        let simulations = self
+            .fleet
+            .streams()
+            .into_iter()
+            .find(|(stream, _)| *stream == key)
+            .map_or(0, |(_, evaluator)| evaluator.cache_misses());
+        let front = self.with_archive(key, |entry| entry.archive.front());
+        let mut out = String::new();
+        out.push_str(&format!("key {key:016x}\n"));
+        out.push_str(&format!("simulations {simulations}\n"));
+        for point in &front {
+            out.push_str(&format!(
+                "point {:016x} pdr {} {:.4} power_mw {} {:.3} latency_ms {} {:.3} nlt_days {} {:.2}\n",
+                point.fingerprint,
+                f64_hex(point.pdr),
+                point.pdr,
+                f64_hex(point.power_mw),
+                point.power_mw,
+                f64_hex(point.latency_ms),
+                point.latency_ms,
+                f64_hex(point.nlt_days),
+                point.nlt_days,
+            ));
+        }
+        if front.is_empty() {
+            let report = hi_lint::lint_front_query(&hi_lint::FrontQuerySpec {
+                completed_jobs: self.registry().counter_value(wk::SERVE_JOBS_COMPLETED),
+                archived_points: 0,
+            });
+            for finding in report.findings() {
+                out.push_str(&format!(
+                    "note {} {}\n",
+                    finding.rule.code(),
+                    finding.message
+                ));
+            }
+        }
+        Ok(out)
+    }
+
     /// The `STATS` block: a deterministic, fixed-order metric snapshot.
     pub fn stats_block(&self) -> String {
         let registry = self.registry();
@@ -510,6 +652,20 @@ impl Server {
             "{} {}\n",
             wk::SERVE_CACHE_QUARANTINED,
             segs.quarantined
+        ));
+        for name in [
+            wk::SERVE_PARETO_INSERTS,
+            wk::SERVE_PARETO_DOMINATED,
+            wk::SERVE_PARETO_QUERIES,
+        ] {
+            out.push_str(&format!("{name} {}\n", registry.counter_value(name)));
+        }
+        let fronts = self.fronts.stats();
+        out.push_str(&format!("{} {}\n", wk::SERVE_PARETO_LOADED, fronts.loaded));
+        out.push_str(&format!(
+            "{} {}\n",
+            wk::SERVE_PARETO_PERSISTED,
+            fronts.persisted
         ));
         out.push_str(&format!(
             "{} {}\n",
@@ -677,6 +833,7 @@ impl Server {
             if let Err(e) = self.segments.settle(key, &evaluator.export_entries()) {
                 eprintln!("warning: cannot settle stream {key:016x} segment: {e}");
             }
+            self.settle_front(key, &evaluator);
             let mut state = self.state.lock().expect("server state poisoned");
             if let Some(entry) = state.jobs.get_mut(&id) {
                 entry.progress.push(format!(
@@ -709,6 +866,7 @@ impl Server {
             }
             Err(e) => eprintln!("warning: cannot settle stream {key:016x} segment: {e}"),
         }
+        self.settle_front(key, &evaluator);
         match outcome {
             Ok(outcome) => {
                 let registry = self.registry();
@@ -757,6 +915,12 @@ impl Server {
         for (key, evaluator) in self.fleet.streams() {
             if let Err(e) = self.segments.flush(key, &evaluator.export_entries()) {
                 eprintln!("warning: cannot flush stream {key:016x} segment: {e}");
+            }
+        }
+        let archives = self.archives.lock().expect("archive table poisoned");
+        for (key, entry) in archives.iter() {
+            if let Err(e) = self.fronts.flush(*key, &entry.archive.front()) {
+                eprintln!("warning: cannot flush stream {key:016x} front: {e}");
             }
         }
     }
@@ -883,6 +1047,13 @@ pub fn serve_connection<R: BufRead, W: Write>(
             Request::Cancel { id } => {
                 let response = match server.cancel(id) {
                     Ok(state) => ok_line(&format!("cancel {id} {state}")),
+                    Err(e) => err_line(&e),
+                };
+                writer.write_all(response.as_bytes())?;
+            }
+            Request::Front { id } => {
+                let response = match server.front_block(id) {
+                    Ok(block) => ok_block(&format!("front {id}"), &block),
                     Err(e) => err_line(&e),
                 };
                 writer.write_all(response.as_bytes())?;
@@ -1224,20 +1395,113 @@ mod tests {
 
     #[test]
     fn stats_block_reports_cache_persistence_counters() {
-        let config = quick_config("stats13");
+        let config = quick_config("stats18");
         let server = Server::new(config.clone()).unwrap();
         let block = server.stats_block();
-        assert_eq!(block.lines().count(), 13, "{block}");
+        assert_eq!(block.lines().count(), 18, "{block}");
         for counter in [
             "serve.cache.entries_persisted ",
             "serve.cache.entries_loaded ",
             "serve.cache.compactions ",
             "serve.cache.segments_quarantined ",
+            "serve.pareto.inserts ",
+            "serve.pareto.dominated ",
+            "serve.pareto.queries ",
+            "serve.pareto.points_loaded ",
+            "serve.pareto.points_persisted ",
         ] {
             assert!(block.contains(counter), "{block}");
         }
         let out = drive(&server, "STATS\n");
-        assert!(out.starts_with("OK stats 13\n"), "{out}");
+        assert!(out.starts_with("OK stats 18\n"), "{out}");
         let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn front_streams_the_archive_and_warns_before_any_job() {
+        let config = quick_config("front");
+        let server = Arc::new(Server::new(config.clone()).unwrap());
+        let ids = server.submit(QUICK_PROFILE).unwrap();
+        // Queued but never run: the archive is empty and HL047 advises.
+        let early = server.front_block(ids[0]).unwrap();
+        assert!(early.contains("simulations 0\n"), "{early}");
+        assert!(early.contains("note HL047 "), "{early}");
+        assert!(server.front_block(99).is_err(), "unknown job refused");
+        let scheduler = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.scheduler_loop())
+        };
+        let out = drive(&server, "WAIT 1\nFRONT 1\nFRONT 99\nSHUTDOWN\n");
+        assert!(out.contains("OK status 1 done"), "{out}");
+        assert!(out.contains("OK front 1 "), "{out}");
+        assert!(out.contains("\npoint "), "{out}");
+        assert!(!out.contains("HL047"), "a populated front is not premature");
+        assert!(out.contains("ERR unknown job 99"), "{out}");
+        scheduler.join().unwrap();
+        // The job ran: its evaluations were simulated fresh this process.
+        let block = server.front_block(1).unwrap();
+        let sims: Vec<&str> = block
+            .lines()
+            .filter(|l| l.starts_with("simulations "))
+            .collect();
+        assert_ne!(sims, vec!["simulations 0"], "{block}");
+        assert!(server.fronts.stats().persisted > 0, "front must settle");
+        // Three queries counted: the two on job 1 before and after the
+        // run, plus the wire-level FRONT 1. Unknown jobs do not count.
+        assert!(server.stats_block().contains("serve.pareto.queries 3"));
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn a_restarted_daemon_answers_front_warm_with_zero_simulations() {
+        let config = quick_config("front-warm");
+        let cold = {
+            let server = Arc::new(Server::new(config.clone()).unwrap());
+            let scheduler = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.scheduler_loop())
+            };
+            let submit = format!("SUBMIT 4\n{QUICK_PROFILE}WAIT 1\nSHUTDOWN\n");
+            drive(&server, &submit);
+            scheduler.join().unwrap();
+            server.front_block(1).unwrap()
+        };
+        assert!(cold.contains("\npoint "), "{cold}");
+        // Cold process, warm disk: job 1's record restores, the archive
+        // hydrates from its front segment, and the whole block matches
+        // byte for byte except the simulation count — which must be 0.
+        let server = Server::new(config.clone()).unwrap();
+        let warm = server.front_block(1).unwrap();
+        assert!(warm.contains("\nsimulations 0\n"), "{warm}");
+        let strip = |block: &str| {
+            block
+                .lines()
+                .filter(|l| !l.starts_with("simulations "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+        assert!(server.fronts.stats().loaded > 0, "front segments reload");
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+    }
+
+    #[test]
+    fn the_front_is_identical_across_worker_thread_counts() {
+        let mut blocks = Vec::new();
+        for threads in [1, 8] {
+            let mut config = quick_config(&format!("front-t{threads}"));
+            config.threads = threads;
+            let server = Arc::new(Server::new(config.clone()).unwrap());
+            let scheduler = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.scheduler_loop())
+            };
+            let submit = format!("SUBMIT 4\n{QUICK_PROFILE}WAIT 1\nSHUTDOWN\n");
+            drive(&server, &submit);
+            scheduler.join().unwrap();
+            blocks.push(server.front_block(1).unwrap());
+            let _ = std::fs::remove_dir_all(&config.state_dir);
+        }
+        assert_eq!(blocks[0], blocks[1], "front depends on thread count");
     }
 }

@@ -109,6 +109,16 @@ pub const SERVE_CACHE_QUARANTINED: &str = "serve.cache.segments_quarantined";
 /// Client reconnect attempts (each retried session after a transport
 /// failure, across all `hi-serve-client` invocations in-process).
 pub const SERVE_RECONNECTS: &str = "serve.reconnect.attempts";
+/// Evaluations accepted into a Pareto archive (new front members).
+pub const SERVE_PARETO_INSERTS: &str = "serve.pareto.inserts";
+/// Evaluations rejected by an archive (epsilon-box dominated).
+pub const SERVE_PARETO_DOMINATED: &str = "serve.pareto.dominated";
+/// `FRONT` wire queries answered.
+pub const SERVE_PARETO_QUERIES: &str = "serve.pareto.queries";
+/// Front points hydrated back from front segment files at daemon start.
+pub const SERVE_PARETO_LOADED: &str = "serve.pareto.points_loaded";
+/// Front points appended to (or rewritten into) durable front segments.
+pub const SERVE_PARETO_PERSISTED: &str = "serve.pareto.points_persisted";
 
 /// Every metric in the catalog with its kind.
 pub const CATALOG: &[(&str, MetricKind)] = &[
@@ -158,6 +168,11 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     (SERVE_CACHE_COMPACTIONS, MetricKind::Counter),
     (SERVE_CACHE_QUARANTINED, MetricKind::Counter),
     (SERVE_RECONNECTS, MetricKind::Counter),
+    (SERVE_PARETO_INSERTS, MetricKind::Counter),
+    (SERVE_PARETO_DOMINATED, MetricKind::Counter),
+    (SERVE_PARETO_QUERIES, MetricKind::Counter),
+    (SERVE_PARETO_LOADED, MetricKind::Counter),
+    (SERVE_PARETO_PERSISTED, MetricKind::Counter),
 ];
 
 /// Pre-registers the whole catalog on `registry`.
