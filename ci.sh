@@ -51,6 +51,82 @@ diff /tmp/hi_ci_rob_t1.txt /tmp/hi_ci_rob_t8.txt
 # the demo suite (the whole point of Γ-robust feasibility).
 ! diff -q /tmp/hi_ci_t1.txt /tmp/hi_ci_rob_t1.txt > /dev/null
 
+# Γ-robust engine gates. `--engine robust-milp` prices the fault suite
+# into the formulation and simulates only each level's witness, so on
+# the demo suite it must stay thread-invariant, print the
+# price-of-robustness line, differ from the verification-based
+# `--robust worst` run, and meet the same worst-case floor with at
+# least 10x fewer simulations.
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 1 \
+    --faults scenarios/demo.suite --robust worst > /tmp/hi_ci_rw.txt 2> /dev/null
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 1 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 2 \
+    > /tmp/hi_ci_rm_t1.txt 2> /dev/null
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 2 \
+    > /tmp/hi_ci_rm_t8.txt 2> /dev/null
+diff /tmp/hi_ci_rm_t1.txt /tmp/hi_ci_rm_t8.txt
+grep -q '^price of robustness : ' /tmp/hi_ci_rm_t1.txt
+! diff -q /tmp/hi_ci_rw.txt /tmp/hi_ci_rm_t1.txt > /dev/null
+WORST_SIMS=$(sed -n 's/^effort *: \([0-9]*\) simulations.*/\1/p' /tmp/hi_ci_rw.txt)
+MILP_SIMS=$(sed -n 's/^effort *: \([0-9]*\) simulations.*/\1/p' /tmp/hi_ci_rm_t1.txt)
+[ $((MILP_SIMS * 10)) -le "$WORST_SIMS" ]
+
+# The ILP restriction heuristic must spend strictly fewer simulations
+# than `--robust worst` and land within 5% (measured worst-case power of
+# the accepted design) of the exact robust MILP.
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine ilp-heuristic --gamma 2 \
+    > /tmp/hi_ci_ih.txt 2> /dev/null
+HEUR_SIMS=$(sed -n 's/^effort *: \([0-9]*\) simulations.*/\1/p' /tmp/hi_ci_ih.txt)
+[ "$HEUR_SIMS" -lt "$WORST_SIMS" ]
+MILP_MW=$(sed -n 's/^worst power *: \([0-9.]*\) mW$/\1/p' /tmp/hi_ci_rm_t1.txt)
+HEUR_MW=$(sed -n 's/^worst power *: \([0-9.]*\) mW$/\1/p' /tmp/hi_ci_ih.txt)
+awk -v h="$HEUR_MW" -v m="$MILP_MW" 'BEGIN { exit !(h <= m * 1.05) }'
+
+# `--gamma 0` degenerates to the nominal algorithm1 engine byte for
+# byte (a stderr note announces the degeneration; stdout is identical
+# to the engine-less run on the same suite).
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 0 \
+    > /tmp/hi_ci_g0.txt 2> /tmp/hi_ci_g0.err
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite > /tmp/hi_ci_nomsuite.txt 2> /dev/null
+diff /tmp/hi_ci_g0.txt /tmp/hi_ci_nomsuite.txt
+grep -q degenerate /tmp/hi_ci_g0.err
+
+# HL048 bounce: a gamma above the protected-link count is refused with
+# exit 2 before any simulation runs.
+RC=0
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 100 \
+    > /dev/null 2> /tmp/hi_ci_hl048.err || RC=$?
+[ "$RC" -eq 2 ]
+grep -q HL048 /tmp/hi_ci_hl048.err
+
+# A robust run interrupted by --budget and resumed must replay the cut
+# ladder to byte-identical stdout — and resuming that robust checkpoint
+# with a different engine must be refused with exit 2, never silently
+# restarted under the wrong formulation.
+rm -f /tmp/hi_ci_rob_cp.ck
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 2 \
+    --budget 30 --checkpoint /tmp/hi_ci_rob_cp.ck \
+    > /tmp/hi_ci_rob_partial.txt 2> /dev/null
+grep -q BudgetExhausted /tmp/hi_ci_rob_partial.txt
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite --engine robust-milp --gamma 2 \
+    --checkpoint /tmp/hi_ci_rob_cp.ck --resume \
+    > /tmp/hi_ci_rob_resumed.txt 2> /dev/null
+diff /tmp/hi_ci_rm_t8.txt /tmp/hi_ci_rob_resumed.txt
+RC=0
+target/release/hi-opt explore --pdr-min 0.7 --tsim 5 --runs 1 --threads 8 \
+    --faults scenarios/demo.suite \
+    --checkpoint /tmp/hi_ci_rob_cp.ck --resume \
+    > /dev/null 2> /tmp/hi_ci_engine_mismatch.err || RC=$?
+[ "$RC" -eq 2 ]
+grep -q 'recorded by engine' /tmp/hi_ci_engine_mismatch.err
+
 # Graceful-degradation gate: a run interrupted by --budget and resumed
 # from its --checkpoint must print byte-identical stdout to an
 # uninterrupted run of the same exploration.

@@ -279,6 +279,13 @@ pub fn explore_par_observed<P: PointEvaluator>(
     observer: &mut dyn FnMut(&ExploreCheckpoint),
 ) -> Result<ExplorationOutcome, ExploreError> {
     if let Some(cp) = resume {
+        if cp.engine != crate::checkpoint::ENGINE_ALGORITHM1 {
+            return Err(ExploreError::Checkpoint(format!(
+                "checkpoint was recorded by engine `{}`, this run uses `{}`",
+                cp.engine,
+                crate::checkpoint::ENGINE_ALGORITHM1
+            )));
+        }
         if cp.pdr_min.to_bits() != problem.pdr_min.to_bits() {
             return Err(ExploreError::Checkpoint(format!(
                 "checkpoint was recorded at pdr_min = {}, this run uses {}",
@@ -501,6 +508,7 @@ fn explore_impl(
             .is_some_and(|k| k > 0 && iterations.is_multiple_of(k))
         {
             observer(&ExploreCheckpoint {
+                engine: crate::checkpoint::ENGINE_ALGORITHM1.to_string(),
                 pdr_min: problem.pdr_min,
                 alpha_correction: options.alpha_correction,
                 cuts: cuts.clone(),

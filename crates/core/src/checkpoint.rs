@@ -44,9 +44,25 @@ use crate::crc32::crc32_ieee;
 use crate::evaluator::Evaluation;
 use crate::point::DesignPoint;
 
-/// The resumable state of an Algorithm 1 exploration.
+/// Engine label recorded in checkpoints by the paper's Algorithm 1 (the
+/// default: a checkpoint with no `engine` line belongs to it).
+pub const ENGINE_ALGORITHM1: &str = "algorithm1";
+/// Engine label recorded in checkpoints by the Γ-robust MILP engine.
+pub const ENGINE_ROBUST_MILP: &str = "robust-milp";
+/// Engine label recorded in checkpoints by the ILP restriction-and-repair
+/// heuristic.
+pub const ENGINE_ILP_HEURISTIC: &str = "ilp-heuristic";
+
+/// The resumable state of an exploration (Algorithm 1 or one of the
+/// robust engines).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExploreCheckpoint {
+    /// The engine that recorded the checkpoint
+    /// ([`ENGINE_ALGORITHM1`] when the file carries no `engine` line);
+    /// resume exits with a diagnostic when it does not match the engine
+    /// asked to continue, because each engine's cut ladder replays into a
+    /// different encoding.
+    pub engine: String,
     /// The reliability floor the exploration ran at (resume validates it).
     pub pdr_min: f64,
     /// Whether the α-corrected bound was active (resume validates it).
@@ -122,6 +138,7 @@ impl ExploreCheckpoint {
         outcome: &crate::ExplorationOutcome,
     ) -> Self {
         Self {
+            engine: ENGINE_ALGORITHM1.to_string(),
             pdr_min,
             alpha_correction,
             cuts: outcome.cuts.clone(),
@@ -130,6 +147,14 @@ impl ExploreCheckpoint {
             simulations: outcome.simulations,
             best: outcome.best,
         }
+    }
+
+    /// The same checkpoint relabeled as belonging to `engine` — the
+    /// robust engines stamp their label on the snapshots they record.
+    #[must_use]
+    pub fn with_engine(mut self, engine: &str) -> Self {
+        self.engine = engine.to_string();
+        self
     }
 
     /// Renders the checkpoint as its text format (v2: body + CRC-32
@@ -146,6 +171,12 @@ impl ExploreCheckpoint {
         out.push_str(&format!("iterations {}\n", self.iterations));
         out.push_str(&format!("candidates {}\n", self.candidates_proposed));
         out.push_str(&format!("simulations {}\n", self.simulations));
+        // Only non-default engines write the line: Algorithm 1 checkpoints
+        // stay byte-identical to every pre-engine file (and resumable by
+        // pre-engine readers, which reject unknown keys).
+        if self.engine != ENGINE_ALGORITHM1 {
+            out.push_str(&format!("engine {}\n", self.engine));
+        }
         for cut in &self.cuts {
             out.push_str(&format!("cut {}\n", f64_to_hex(*cut)));
         }
@@ -204,6 +235,7 @@ impl ExploreCheckpoint {
                 "line 1: expected {expected_header:?}, got {header:?}"
             ));
         }
+        let mut engine: Option<String> = None;
         let mut pdr_min = None;
         let mut alpha_correction = None;
         let mut iterations = None;
@@ -224,6 +256,12 @@ impl ExploreCheckpoint {
             let bad = |what: &str| format!("line {lineno}: {what}");
             let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
             match key {
+                "engine" => {
+                    if rest.is_empty() {
+                        return Err(bad("empty engine name"));
+                    }
+                    engine = Some(rest.to_string());
+                }
                 "pdr_min" => pdr_min = Some(f64_from_hex(rest).map_err(|e| bad(&e))?),
                 "alpha_correction" => {
                     alpha_correction = Some(match rest {
@@ -284,6 +322,7 @@ impl ExploreCheckpoint {
             return Err("truncated checkpoint: missing \"end\" line".into());
         }
         Ok(Self {
+            engine: engine.unwrap_or_else(|| ENGINE_ALGORITHM1.to_string()),
             pdr_min: pdr_min.ok_or("missing pdr_min")?,
             alpha_correction: alpha_correction.ok_or("missing alpha_correction")?,
             cuts,
@@ -400,6 +439,7 @@ mod tests {
 
     fn sample() -> ExploreCheckpoint {
         ExploreCheckpoint {
+            engine: ENGINE_ALGORITHM1.to_string(),
             pdr_min: 0.9,
             alpha_correction: true,
             cuts: vec![1.25, 1.5000000000000002, f64::MIN_POSITIVE],
@@ -446,6 +486,28 @@ mod tests {
         for (a, b) in cp.cuts.iter().zip(&parsed.cuts) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn engine_line_roundtrips_and_defaults_to_algorithm1() {
+        // The default engine writes no line at all: pre-engine readers
+        // (which reject unknown keys) keep resuming Algorithm 1 files.
+        let default = sample();
+        assert!(!default.to_text().contains("engine "));
+        // Non-default engines stamp their label and it round-trips.
+        let robust = sample().with_engine(ENGINE_ROBUST_MILP);
+        let text = robust.to_text();
+        assert!(text.contains("engine robust-milp\n"), "{text}");
+        let parsed = ExploreCheckpoint::from_text(&text).unwrap();
+        assert_eq!(parsed.engine, ENGINE_ROBUST_MILP);
+        assert_eq!(parsed, robust);
+        // A file with no engine line parses as Algorithm 1's.
+        assert_eq!(
+            ExploreCheckpoint::from_text(&default.to_text())
+                .unwrap()
+                .engine,
+            ENGINE_ALGORITHM1
+        );
     }
 
     #[test]

@@ -55,12 +55,15 @@ mod constraints;
 mod crc32;
 mod evaluator;
 mod exhaustive;
+mod ilp_heuristic;
 mod milp_encode;
 mod parallel;
 mod point;
 pub mod power;
 mod profiles;
 mod robust;
+mod robust_milp;
+mod robustness;
 mod sa;
 mod suitefile;
 mod supervised;
@@ -72,7 +75,7 @@ pub use algorithm1::{
 };
 pub use checkpoint::{
     load_checkpoint_file, load_recovering, CheckpointLoadError, CheckpointRecovery,
-    ExploreCheckpoint,
+    ExploreCheckpoint, ENGINE_ALGORITHM1, ENGINE_ILP_HEURISTIC, ENGINE_ROBUST_MILP,
 };
 pub use constraints::{DesignSpace, TopologyConstraints};
 pub use crc32::crc32_ieee;
@@ -82,11 +85,14 @@ pub use evaluator::{
 };
 pub use exhaustive::{exhaustive_search, exhaustive_search_par, ExhaustiveOutcome};
 pub use hi_exec::{CancelToken, ChaosPolicy, EvalError, RetryPolicy, Supervisor};
+pub use ilp_heuristic::ilp_heuristic_search;
 pub use milp_encode::MilpEncoding;
 pub use parallel::ExecContext;
 pub use point::{DesignPoint, MacChoice, Placement, RouteChoice};
 pub use profiles::AppProfile;
 pub use robust::{FaultSuite, RobustEvaluation, RobustEvaluator, RobustMode};
+pub use robust_milp::{robust_milp_search, RobustOutcome};
+pub use robustness::{deviation_power_mw, LinkDeviation, RobustnessSpec, DEVIATION_CAP_DB};
 pub use sa::{simulated_annealing, simulated_annealing_restarts, SaOutcome, SaParams};
 pub use suitefile::{parse_fault_suite, SuiteParseError};
 pub use supervised::{supervision_spec, warmup_events_floor, SupervisedEvaluator};

@@ -23,6 +23,7 @@ use hi_net::{AppParams, TxPower};
 use crate::constraints::TopologyConstraints;
 use crate::point::{DesignPoint, MacChoice, Placement, RouteChoice};
 use crate::power::radio_power_mw;
+use crate::robustness::{deviation_power_mw, RobustnessSpec};
 
 /// The growing MILP model behind Algorithm 1's `RunMILP`: construct once,
 /// then alternate [`solve_pool`](MilpEncoding::solve_pool) and
@@ -36,6 +37,10 @@ pub struct MilpEncoding {
     mesh_var: VarId,
     /// Objective in mW, kept for power cuts.
     objective_mw: LinExpr,
+    /// The Γ-robust objective (nominal + `Γλ + Σμ_l`), present only on
+    /// encodings built by [`new_robust`](MilpEncoding::new_robust) with a
+    /// non-degenerate spec; kept for robust cuts.
+    robust_objective: Option<LinExpr>,
     /// The product lattice: `(analytic power incl. baseline, z var)`.
     z_vars: Vec<(f64, VarId)>,
     /// Kept for expanding the optimal solution into the full pool.
@@ -147,6 +152,7 @@ impl MilpEncoding {
             mac_var,
             mesh_var,
             objective_mw,
+            robust_objective: None,
             z_vars,
             constraints: constraints.clone(),
             cut_tracker: CutTracker::new(),
@@ -192,6 +198,161 @@ impl MilpEncoding {
             "power cut introduced a structural error:\n{}",
             self.model.lint()
         );
+    }
+
+    /// Encodes the Γ-robust counterpart of `P̃`: the nominal encoding plus
+    /// the classic Bertsimas–Sim dualization of "up to Γ links deviate by
+    /// their bounds at once".
+    ///
+    /// Per protected link `l = (a, b)` with deviation price
+    /// `δp_l = deviation_power_mw(δ_l)`:
+    ///
+    /// * a continuous activation `u_l ∈ [0, 1]`, forced to 1 exactly when
+    ///   the link exists in the decoded design — `u_l ≥ n_a + n_b − 1` for
+    ///   hub pairs (site 0 is the star coordinator, so its links exist
+    ///   under both routings), `u_l ≥ n_a + n_b + mesh − 2` for peripheral
+    ///   pairs (a direct peripheral link only exists in mesh routing);
+    /// * a dual `μ_l ∈ [0, δp_l]` and the shared budget dual `λ ≥ 0`, tied
+    ///   by the dual feasibility row `λ + μ_l ≥ δp_l · u_l`.
+    ///
+    /// The objective becomes `P̄ + Γ·λ + Σ_l μ_l`, whose minimum equals
+    /// the nominal power plus the worst sum of Γ active-link deviations —
+    /// LP duality makes the inner adversary exact while the model stays an
+    /// LP-relaxable MILP for the existing simplex / branch & bound.
+    /// A degenerate spec (Γ = 0 or no protected links) returns the plain
+    /// nominal encoding unchanged.
+    pub fn new_robust(
+        constraints: &TopologyConstraints,
+        app: &AppParams,
+        spec: &RobustnessSpec,
+    ) -> Self {
+        let mut enc = Self::new(constraints, app);
+        if spec.is_degenerate() {
+            return enc;
+        }
+        let delta_max = spec
+            .deviations
+            .iter()
+            .map(|d| deviation_power_mw(d.delta_db, app))
+            .fold(0.0f64, f64::max);
+        let lambda = enc.model.add_continuous("lambda", 0.0, delta_max);
+        let mut robust = enc.objective_mw.clone();
+        robust.add_term(lambda, f64::from(spec.gamma));
+        for d in &spec.deviations {
+            let dp = deviation_power_mw(d.delta_db, app);
+            if dp <= 0.0 {
+                continue;
+            }
+            let u = enc
+                .model
+                .add_continuous(&format!("u_{}_{}", d.site_a, d.site_b), 0.0, 1.0);
+            let (na, nb) = (enc.site_vars[d.site_a], enc.site_vars[d.site_b]);
+            if d.site_a == 0 || d.site_b == 0 {
+                enc.model
+                    .add_constraint(LinExpr::var(u) - na - nb, Sense::Ge, -1.0);
+            } else {
+                enc.model
+                    .add_constraint(LinExpr::var(u) - na - nb - enc.mesh_var, Sense::Ge, -2.0);
+            }
+            let mu = enc
+                .model
+                .add_continuous(&format!("mu_{}_{}", d.site_a, d.site_b), 0.0, dp);
+            enc.model
+                .add_constraint(lambda + mu - LinExpr::term(u, dp), Sense::Ge, 0.0);
+            robust.add_term(mu, 1.0);
+        }
+        enc.model.minimize(robust.clone());
+        enc.robust_objective = Some(robust);
+        enc
+    }
+
+    /// True if this encoding carries the Γ-robust objective.
+    pub fn is_robust(&self) -> bool {
+        self.robust_objective.is_some()
+    }
+
+    /// Excludes the exact integer assignment of `point` (a no-good cut) —
+    /// the robust engines' ladder step.
+    ///
+    /// An objective-threshold row like
+    /// [`add_power_cut`](MilpEncoding::add_power_cut) is unsound on the
+    /// robust objective: its duals (`lambda`, `mu`) are only
+    /// lower-bounded by the dualization rows, so the LP can inflate them
+    /// past their dual-minimal values and return the *same* design at
+    /// any demanded objective — the ladder would crawl by epsilon
+    /// forever. Excluding the disproven witness itself is sound:
+    /// re-minimizing then yields the next-cheapest design by robust
+    /// cost, ties surfacing one at a time in deterministic solver order.
+    pub fn exclude_point(&mut self, point: &DesignPoint) {
+        let mut row = LinExpr::new();
+        let mut ones = 0.0;
+        let mut bind = |row: &mut LinExpr, var: VarId, selected: bool| {
+            if selected {
+                row.add_term(var, 1.0);
+                ones += 1.0;
+            } else {
+                row.add_term(var, -1.0);
+            }
+        };
+        for (i, &v) in self.site_vars.iter().enumerate() {
+            bind(&mut row, v, point.placement.contains_index(i));
+        }
+        for &(p, v) in &self.power_vars {
+            bind(&mut row, v, p == point.tx_power);
+        }
+        bind(&mut row, self.mac_var, point.mac == MacChoice::Tdma);
+        bind(&mut row, self.mesh_var, point.routing == RouteChoice::Mesh);
+        self.model.add_constraint(row, Sense::Le, ones - 1.0);
+        // Fingerprint the new cut so a ladder that re-excludes the same
+        // witness — the stalled-ladder bug in robust form — is reported
+        // instead of looping forever.
+        let lint_model = self.model.to_lint_model();
+        if let Some(cut_row) = lint_model.rows.last() {
+            if let Some(finding) = self.cut_tracker.observe(cut_row) {
+                self.cut_findings.push(finding);
+            }
+        }
+        debug_assert!(
+            !self.model.lint().has_errors(),
+            "no-good cut introduced a structural error:\n{}",
+            self.model.lint()
+        );
+    }
+
+    /// Runs the MILP and returns the single decoded optimum and its
+    /// objective value, or `None` if the (cut-augmented) model is
+    /// infeasible.
+    ///
+    /// The robust engines use this instead of
+    /// [`solve_pool`](MilpEncoding::solve_pool): the pool expansion there
+    /// assumes the objective depends only on `(N, power, routing)`, which
+    /// the placement-dependent robust objective breaks. Designs tied at
+    /// the witness's robust objective surface one at a time as
+    /// [`exclude_point`](MilpEncoding::exclude_point) removes each
+    /// disproven witness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve_witness(&self) -> Result<Option<(DesignPoint, f64)>, SolveError> {
+        let sol = self.model.solve()?;
+        if !sol.is_optimal() {
+            return Ok(None);
+        }
+        Ok(Some((self.decode(&sol), sol.objective())))
+    }
+
+    /// Pins site `site`'s occupancy binary to `occupied` — the ILP
+    /// heuristic's restriction step.
+    pub fn fix_site(&mut self, site: usize, occupied: bool) {
+        let v = f64::from(u8::from(occupied));
+        self.model.set_bounds(self.site_vars[site], v, v);
+    }
+
+    /// Releases a pinned site back to `[0, 1]` — the ILP heuristic's
+    /// repair step.
+    pub fn free_site(&mut self, site: usize) {
+        self.model.set_bounds(self.site_vars[site], 0.0, 1.0);
     }
 
     /// Lints the current (cut-augmented) encoding.
@@ -444,5 +605,126 @@ mod tests {
         for pt in points {
             assert!(pt.placement.contains_index(0), "chest required");
         }
+    }
+
+    use crate::robustness::{LinkDeviation, RobustnessSpec};
+    use hi_channel::BodyLocation;
+
+    /// Every pair deviates by 9 dB (a wideband interference burst): any
+    /// witness has active protected links, so robustness must cost.
+    fn wideband_spec(gamma: u32) -> RobustnessSpec {
+        let mut deviations = Vec::new();
+        for a in 0..BodyLocation::COUNT {
+            for b in (a + 1)..BodyLocation::COUNT {
+                deviations.push(LinkDeviation {
+                    site_a: a,
+                    site_b: b,
+                    delta_db: 9.0,
+                });
+            }
+        }
+        RobustnessSpec { gamma, deviations }
+    }
+
+    #[test]
+    fn robust_objective_prices_gamma_monotonically() {
+        let app = AppParams::default();
+        let constraints = TopologyConstraints::paper_default();
+        let (_, nominal) = MilpEncoding::new(&constraints, &app)
+            .solve_witness()
+            .unwrap()
+            .unwrap();
+        let mut prev = nominal;
+        for gamma in 1..=4u32 {
+            let enc = MilpEncoding::new_robust(&constraints, &app, &wideband_spec(gamma));
+            assert!(enc.is_robust());
+            let (pt, robust) = enc.solve_witness().unwrap().unwrap();
+            assert!(constraints.is_satisfied(pt.placement), "{pt}");
+            assert!(
+                robust > nominal,
+                "Γ = {gamma}: robust {robust} must cost more than nominal {nominal}"
+            );
+            assert!(
+                robust >= prev - 1e-9,
+                "price of robustness must be non-decreasing in Γ ({robust} < {prev})"
+            );
+            prev = robust;
+        }
+    }
+
+    #[test]
+    fn degenerate_spec_builds_the_nominal_encoding() {
+        let app = AppParams::default();
+        let constraints = TopologyConstraints::paper_default();
+        let nominal = MilpEncoding::new(&constraints, &app)
+            .solve_witness()
+            .unwrap()
+            .unwrap()
+            .1;
+        for spec in [
+            RobustnessSpec {
+                gamma: 0,
+                deviations: wideband_spec(1).deviations,
+            },
+            RobustnessSpec {
+                gamma: 3,
+                deviations: vec![],
+            },
+        ] {
+            let enc = MilpEncoding::new_robust(&constraints, &app, &spec);
+            assert!(!enc.is_robust());
+            let (_, p) = enc.solve_witness().unwrap().unwrap();
+            assert_eq!(p.to_bits(), nominal.to_bits(), "bit-identical to nominal");
+        }
+    }
+
+    #[test]
+    fn excluding_witnesses_climbs_the_robust_ladder() {
+        let app = AppParams::default();
+        let constraints = TopologyConstraints::paper_default();
+        let mut enc = MilpEncoding::new_robust(&constraints, &app, &wideband_spec(2));
+        let mut seen = Vec::new();
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let (pt, p) = enc.solve_witness().unwrap().unwrap();
+            // Ties are only equal up to float summation order (each
+            // placement sums its own duals), hence the 1e-9 slack.
+            assert!(
+                p >= prev - 1e-9,
+                "robust ladder must be monotone: {p} after {prev}"
+            );
+            assert!(!seen.contains(&pt), "each witness must be new: {pt}");
+            prev = p;
+            seen.push(pt);
+            enc.exclude_point(&pt);
+        }
+        let report = enc.lint_report();
+        assert!(!report.has_errors(), "{report}");
+        assert!(
+            !report.has_rule(hi_lint::RuleId::RedundantCut),
+            "a climbing robust ladder must not repeat cuts:\n{report}"
+        );
+    }
+
+    #[test]
+    fn fix_and_free_site_bound_the_witness() {
+        let app = AppParams::default();
+        let constraints = TopologyConstraints::paper_default();
+        let nominal = MilpEncoding::new(&constraints, &app)
+            .solve_witness()
+            .unwrap()
+            .unwrap()
+            .1;
+        let mut enc = MilpEncoding::new(&constraints, &app);
+        enc.fix_site(7, true);
+        let (pt, p_in) = enc.solve_witness().unwrap().unwrap();
+        assert!(pt.placement.contains_index(7), "pinned-in site selected");
+        assert!(p_in > nominal, "forcing an extra site costs power");
+        enc.fix_site(7, false);
+        let (pt, _) = enc.solve_witness().unwrap().unwrap();
+        assert!(!pt.placement.contains_index(7), "pinned-out site excluded");
+        enc.free_site(7);
+        let (_, p) = enc.solve_witness().unwrap().unwrap();
+        assert_eq!(p.to_bits(), nominal.to_bits(), "freed model is nominal");
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! hi-opt explore  --pdr-min 0.9 [--tsim 600] [--runs 3] [--seed 42] [--threads 8]
 //! hi-opt explore  --pdr-min 0.9 --faults scenarios/demo.suite --robust worst
+//! hi-opt explore  --pdr-min 0.9 --faults scenarios/demo.suite \
+//!                 --engine robust-milp --gamma 2
 //! hi-opt simulate --sites 0,1,3,5 --power 0 --mac tdma --routing mesh
 //! hi-opt space
 //! hi-opt lint
@@ -25,10 +27,12 @@ use hi_opt::net::{
     average_outcomes, simulate_stochastic, MacKind, NetworkConfig, Routing, TxPower,
 };
 use hi_opt::{
-    explore_par_observed, explore_tradeoff_par, parse_fault_suite, supervision_spec, ChaosPolicy,
-    CheckpointLoadError, DesignSpace, ExecContext, ExplorationOutcome, ExploreCheckpoint,
-    ExploreError, ExploreOptions, FaultSuite, MilpEncoding, Problem, RetryPolicy, RobustEvaluator,
-    RobustMode, SimProtocol, SuiteParseError, SupervisedEvaluator, Supervisor, TopologyConstraints,
+    explore_par_observed, explore_tradeoff_par, ilp_heuristic_search, parse_fault_suite,
+    robust_milp_search, supervision_spec, ChaosPolicy, CheckpointLoadError, DesignSpace,
+    ExecContext, ExplorationOutcome, ExploreCheckpoint, ExploreError, ExploreOptions, FaultSuite,
+    MilpEncoding, Problem, RetryPolicy, RobustEvaluator, RobustMode, RobustnessSpec, SimProtocol,
+    SuiteParseError, SupervisedEvaluator, Supervisor, TopologyConstraints, ENGINE_ALGORITHM1,
+    ENGINE_ILP_HEURISTIC, ENGINE_ROBUST_MILP,
 };
 
 const USAGE: &str = "\
@@ -37,6 +41,8 @@ hi-opt — optimized design of a Human Intranet network (DAC 2017)
 USAGE:
     hi-opt explore  --pdr-min <0..1> [--tsim <secs>] [--runs <n>] [--seed <n>]
                     [--threads <n>] [--faults <file> [--robust <mode>]]
+                    [--engine <algorithm1|robust-milp|ilp-heuristic>]
+                    [--gamma <k>]
                     [--budget <sims>] [--retries <n>] [--max-events <n>]
                     [--chaos <spec>]
                     [--checkpoint <file> [--resume] [--checkpoint-every <k>]]
@@ -72,8 +78,9 @@ COMMANDS:
                execution supervision policy (HL038/HL039), the execution
                configuration (HL040), hi-check model lock accounting
                (HL041), the fleet demo profiles (HL042), the serve
-               daemon defaults (HL043-HL045) and the Pareto archive
-               epsilons plus a cold-daemon FRONT query (HL046/HL047);
+               daemon defaults (HL043-HL045), the Pareto archive
+               epsilons plus a cold-daemon FRONT query (HL046/HL047)
+               and the Gamma-robustness specification (HL048/HL049);
                exits 1 on error-severity findings
     serve      run the fleet-optimization daemon: a job queue behind a
                line-oriented wire protocol (SUBMIT/STATUS/RESULT/WAIT/
@@ -89,6 +96,22 @@ EXPLORE OPTIONS:
     --robust <mode>      aggregation over nominal + scenarios: `nominal`,
                          `worst` (default with --faults) or `qNN`
                          (e.g. q25: the 25th-percentile scenario)
+    --engine <name>      search engine: `algorithm1` (default — the
+                         paper's cut ladder, every candidate simulated),
+                         `robust-milp` (Gamma-robust counterpart: per-link
+                         deviation bounds derived from --faults are priced
+                         into the MILP by Bertsimas-Sim dualization, and
+                         only the single witness optimum per level is
+                         simulated) or `ilp-heuristic` (restriction and
+                         repair: pin sites untouched by worst-case faults
+                         to the nominal optimum, re-solve the robust
+                         counterpart on the rest, free pins on
+                         infeasibility)
+    --gamma <k>          deviation budget Gamma for the robust engines:
+                         the adversary may push up to <k> protected links
+                         to their bounds at once (default 1; 0 or a
+                         missing --faults degenerates to the nominal
+                         engine with a note; linted HL048/HL049)
     --budget <sims>      stop after ~<sims> unique simulations and report
                          the best design found so far
     --retries <n>        attempts per evaluation (default 3); transient
@@ -152,7 +175,9 @@ Profile files submitted over the protocol (`#` starts a comment):
     channel <dB>                     channel-matrix path-loss offset
     traffic <pkts/s> [bytes]         application traffic mix
     pdrmin <0..1>                    reliability floor
-    engine <algorithm1|exhaustive>   search engine
+    engine <name>                    search engine: algorithm1, exhaustive,
+                                     robust-milp or ilp-heuristic
+    gamma <k>                        deviation budget (robust engines only)
     tsim/runs/seed <n>               simulation protocol knobs
     faults <file> [worst|nominal|qNN]  robust scoring over a fault suite
 
@@ -390,6 +415,41 @@ fn parse_robust(value: &str) -> Result<RobustMode, CliError> {
     }
 }
 
+/// The `--engine` selection for `explore`. The label doubles as the
+/// checkpoint header's engine name, so a `--resume` across engines is
+/// detected by exact string comparison.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Algorithm1,
+    RobustMilp,
+    IlpHeuristic,
+}
+
+impl EngineKind {
+    fn parse(value: &str) -> Result<Self, CliError> {
+        match value {
+            "algorithm1" => Ok(EngineKind::Algorithm1),
+            "robust-milp" => Ok(EngineKind::RobustMilp),
+            "ilp-heuristic" => Ok(EngineKind::IlpHeuristic),
+            other => Err(CliError::Usage(format!(
+                "bad --engine `{other}` (use algorithm1, robust-milp or ilp-heuristic)"
+            ))),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            EngineKind::Algorithm1 => ENGINE_ALGORITHM1,
+            EngineKind::RobustMilp => ENGINE_ROBUST_MILP,
+            EngineKind::IlpHeuristic => ENGINE_ILP_HEURISTIC,
+        }
+    }
+
+    fn is_robust(self) -> bool {
+        matches!(self, EngineKind::RobustMilp | EngineKind::IlpHeuristic)
+    }
+}
+
 fn robust_name(mode: RobustMode) -> String {
     match mode {
         RobustMode::Nominal => "nominal".into(),
@@ -473,11 +533,47 @@ fn print_best(outcome: &ExplorationOutcome, pdr_min: f64) {
     }
 }
 
+/// Prints the optimum's nominal/worst/median PDR scorecard across the
+/// fault suite. Cached from the exploration: reprinting the scorecard
+/// costs no extra simulations.
+fn print_scorecard(
+    evaluator: &SupervisedEvaluator<RobustEvaluator>,
+    outcome: &ExplorationOutcome,
+) -> Result<(), CliError> {
+    let Some((point, _)) = &outcome.best else {
+        return Ok(());
+    };
+    let card = evaluator
+        .inner()
+        .try_robust_eval(point)
+        .map_err(|e| CliError::Spec(format!("robust evaluation of the optimum failed: {e}")))?;
+    let mut worst_name = "nominal";
+    let mut worst_pdr = card.nominal.pdr;
+    for (sc, ev) in evaluator
+        .inner()
+        .suite()
+        .scenarios
+        .iter()
+        .zip(&card.scenarios)
+    {
+        if ev.pdr < worst_pdr {
+            worst_pdr = ev.pdr;
+            worst_name = &sc.name;
+        }
+    }
+    println!("nominal PDR    : {:.2}%", card.nominal.pdr * 100.0);
+    println!("worst PDR      : {:.2}% ({worst_name})", worst_pdr * 100.0);
+    println!("median PDR     : {:.2}%", card.quantile(0.5).pdr * 100.0);
+    Ok(())
+}
+
 fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let (common, rest) = parse_common(args)?;
     let mut pdr_min = None;
     let mut faults: Option<String> = None;
     let mut robust: Option<RobustMode> = None;
+    let mut engine = EngineKind::Algorithm1;
+    let mut gamma: Option<u32> = None;
     let mut budget: Option<u64> = None;
     let mut checkpoint: Option<String> = None;
     let mut checkpoint_every: Option<u32> = None;
@@ -492,6 +588,12 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             }
             "--faults" => faults = Some(v),
             "--robust" => robust = Some(parse_robust(&v)?),
+            "--engine" => engine = EngineKind::parse(&v)?,
+            "--gamma" => {
+                gamma = Some(v.parse::<u32>().map_err(|_| {
+                    "bad --gamma (expected a non-negative deviation budget)".to_owned()
+                })?)
+            }
             "--budget" => {
                 budget = Some(
                     v.parse::<u64>()
@@ -532,6 +634,13 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if robust.is_some() && faults.is_none() {
         return Err("--robust needs --faults <file> (nothing to be robust against)".into());
     }
+    if gamma.is_some() && !engine.is_robust() {
+        return Err(
+            "--gamma needs --engine robust-milp or ilp-heuristic (the nominal engine prices \
+             no deviations)"
+                .into(),
+        );
+    }
     if resume && checkpoint.is_none() {
         return Err("--resume needs --checkpoint <file> to resume from".into());
     }
@@ -559,10 +668,69 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             report.error_count()
         )));
     }
+    let suite = match &faults {
+        Some(path) => Some(load_fault_suite(path, common.t_sim)?),
+        None => None,
+    };
+    // Gamma-robust engines derive their per-link deviation bounds from
+    // the fault suite and are linted (HL048/HL049) before any budget is
+    // spent. A degenerate specification — Gamma 0 or no protected links
+    // — falls back to the nominal engine with a stderr note, so its
+    // stdout stays byte-identical to a plain algorithm1 run's.
+    let mut spec: Option<RobustnessSpec> = None;
+    if engine.is_robust() {
+        let gamma = gamma.unwrap_or(1);
+        let derived = match &suite {
+            Some(s) => RobustnessSpec::from_suite(s, gamma),
+            None => RobustnessSpec {
+                gamma,
+                deviations: Vec::new(),
+            },
+        };
+        let report = hi_opt::lint::lint_robustness(&hi_opt::lint::RobustnessLintSpec {
+            gamma: i64::from(gamma),
+            protected_links: derived.deviations.len(),
+            deviation_bounds: derived.deviations.iter().map(|d| d.delta_db).collect(),
+            robust_engine: true,
+            suite_scenarios: suite.as_ref().map_or(0, |s| s.len()),
+        });
+        for finding in report.findings() {
+            eprintln!("robustness: {finding}");
+        }
+        if derived.is_degenerate() {
+            eprintln!(
+                "note: the robustness specification is degenerate (gamma = {gamma}, {} \
+                 protected link(s)); running the nominal algorithm1 engine",
+                derived.deviations.len()
+            );
+            engine = EngineKind::Algorithm1;
+        } else if report.has_errors() {
+            return Err(CliError::Usage(format!(
+                "robustness specification has {} error-severity lint finding(s)",
+                report.error_count()
+            )));
+        } else {
+            spec = Some(derived);
+        }
+    }
     let prior = match (&checkpoint, resume) {
         (Some(path), true) => Some(load_checkpoint(path)?),
         _ => None,
     };
+    // A checkpoint records which engine wrote it; silently replaying an
+    // algorithm1 cut ladder into the robust counterpart (or vice versa)
+    // would corrupt the resumed search, so a mismatch is a usage error.
+    if let Some(cp) = &prior {
+        if cp.engine != engine.label() {
+            return Err(CliError::Usage(format!(
+                "--resume checkpoint was recorded by engine `{}`, but this run selects \
+                 `{}`; rerun with `--engine {}` or start a fresh checkpoint",
+                cp.engine,
+                engine.label(),
+                cp.engine
+            )));
+        }
+    }
     let options = ExploreOptions {
         budget,
         checkpoint_every,
@@ -587,9 +755,8 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let trace_main = session.install_main();
     let exec = common.exec_context(&session);
 
-    let (outcome, cache) = match &faults {
-        Some(path) => {
-            let suite = load_fault_suite(path, common.t_sim)?;
+    let (outcome, cache) = match (engine, suite) {
+        (EngineKind::Algorithm1, Some(suite)) => {
             let mode = robust.unwrap_or(RobustMode::WorstCase);
             println!(
                 "fault suite    : {} scenario(s), {} aggregation",
@@ -610,30 +777,7 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             )
             .map_err(explore_err)?;
             print_best(&outcome, pdr_min);
-            if let Some((point, _)) = &outcome.best {
-                // Cached from the exploration: reprinting the scorecard
-                // costs no extra simulations.
-                let card = evaluator.inner().try_robust_eval(point).map_err(|e| {
-                    CliError::Spec(format!("robust evaluation of the optimum failed: {e}"))
-                })?;
-                let mut worst_name = "nominal";
-                let mut worst_pdr = card.nominal.pdr;
-                for (sc, ev) in evaluator
-                    .inner()
-                    .suite()
-                    .scenarios
-                    .iter()
-                    .zip(&card.scenarios)
-                {
-                    if ev.pdr < worst_pdr {
-                        worst_pdr = ev.pdr;
-                        worst_name = &sc.name;
-                    }
-                }
-                println!("nominal PDR    : {:.2}%", card.nominal.pdr * 100.0);
-                println!("worst PDR      : {:.2}% ({worst_name})", worst_pdr * 100.0);
-                println!("median PDR     : {:.2}%", card.quantile(0.5).pdr * 100.0);
-            }
+            print_scorecard(&evaluator, &outcome)?;
             (
                 outcome,
                 (
@@ -642,7 +786,76 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
                 ),
             )
         }
-        None => {
+        (kind, Some(suite)) => {
+            let spec = spec
+                .take()
+                .expect("non-degenerate robust engines carry a spec");
+            let mode = robust.unwrap_or(RobustMode::WorstCase);
+            println!(
+                "fault suite    : {} scenario(s), {} aggregation",
+                suite.len(),
+                robust_name(mode)
+            );
+            println!(
+                "engine         : {} (gamma = {}, {} protected link(s))",
+                kind.label(),
+                spec.gamma,
+                spec.deviations.len()
+            );
+            let evaluator = SupervisedEvaluator::new(
+                RobustEvaluator::new(common.protocol().with_max_events(max_events), suite, mode),
+                supervisor,
+            );
+            let result = match kind {
+                EngineKind::RobustMilp => robust_milp_search(
+                    &problem,
+                    &spec,
+                    &evaluator,
+                    options,
+                    &exec,
+                    prior.as_ref(),
+                    &mut observer,
+                ),
+                _ => ilp_heuristic_search(
+                    &problem,
+                    &spec,
+                    &evaluator,
+                    options,
+                    &exec,
+                    prior.as_ref(),
+                    &mut observer,
+                ),
+            }
+            .map_err(explore_err)?;
+            print_best(&result.outcome, pdr_min);
+            print_scorecard(&evaluator, &result.outcome)?;
+            if let (Some(nominal), Some(robust_mw)) =
+                (result.nominal_power_mw, result.robust_power_mw)
+            {
+                println!(
+                    "price of robustness : nominal {:.3} mW -> robust {:.3} mW (+{:.1}%), \
+                     {} simulation(s)",
+                    nominal,
+                    robust_mw,
+                    (robust_mw - nominal) / nominal * 100.0,
+                    result.outcome.simulations
+                );
+            }
+            if kind == EngineKind::IlpHeuristic {
+                println!("repairs        : {} pinned site(s) freed", result.repairs);
+            }
+            (
+                result.outcome,
+                (
+                    evaluator.inner().cache_hits(),
+                    evaluator.inner().cache_misses(),
+                ),
+            )
+        }
+        (EngineKind::RobustMilp | EngineKind::IlpHeuristic, None) => {
+            unreachable!("degenerate robust specifications run as algorithm1")
+        }
+        (EngineKind::Algorithm1, None) => {
             let evaluator = SupervisedEvaluator::new(
                 common
                     .protocol()
@@ -680,7 +893,8 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
         outcome.simulations, outcome.iterations, outcome.stop_reason
     );
     if let Some(path) = &checkpoint {
-        let cp = ExploreCheckpoint::from_outcome(pdr_min, options.alpha_correction, &outcome);
+        let cp = ExploreCheckpoint::from_outcome(pdr_min, options.alpha_correction, &outcome)
+            .with_engine(engine.label());
         cp.write_atomic(Path::new(path))
             .map_err(|e| CliError::Io(format!("cannot write checkpoint `{path}`: {e}")))?;
         // Stderr, so a resumed run's stdout stays byte-identical to an
@@ -1200,6 +1414,33 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
         archived_points: 0,
     });
     print_lint_section("front query (cold daemon, empty archive)", &report);
+    total.merge(report);
+
+    // 12. The Gamma-robustness specification (HL048/HL049): first the
+    //     shape a robust engine derives from the demo fault suite (45
+    //     protected links, burst- and cap-level deviation bounds), then
+    //     — deliberately in its firing state, like the FRONT query above
+    //     — a robust engine pointed at no suite at all, whose silent
+    //     degeneration to the nominal engine is a warning, never an
+    //     error.
+    let report = hi_opt::lint::lint_robustness(&hi_opt::lint::RobustnessLintSpec {
+        gamma: 2,
+        protected_links: 45,
+        deviation_bounds: vec![9.0, 40.0],
+        robust_engine: true,
+        suite_scenarios: 3,
+    });
+    print_lint_section("robustness spec (demo suite, gamma 2)", &report);
+    total.merge(report);
+
+    let report = hi_opt::lint::lint_robustness(&hi_opt::lint::RobustnessLintSpec {
+        gamma: 1,
+        protected_links: 0,
+        deviation_bounds: vec![],
+        robust_engine: true,
+        suite_scenarios: 0,
+    });
+    print_lint_section("robust engine without a fault suite", &report);
     total.merge(report);
 
     println!();

@@ -59,14 +59,17 @@ pub use hi_trace as trace;
 pub mod cli;
 
 pub use hi_core::{
-    exhaustive_search, exhaustive_search_par, explore, explore_par, explore_par_from,
-    explore_par_observed, explore_tradeoff, explore_tradeoff_par, explore_with_options,
-    load_checkpoint_file, load_recovering, parse_fault_suite, simulated_annealing,
-    simulated_annealing_restarts, supervision_spec, warmup_events_floor, AppProfile, CancelToken,
-    ChaosPolicy, CheckpointLoadError, CheckpointRecovery, DesignPoint, DesignSpace, EvalError,
-    Evaluation, Evaluator, ExecContext, ExhaustiveOutcome, ExplorationOutcome, ExploreCheckpoint,
-    ExploreError, ExploreOptions, FaultSuite, FnEvaluator, MacChoice, MilpEncoding, Placement,
+    deviation_power_mw, exhaustive_search, exhaustive_search_par, explore, explore_par,
+    explore_par_from, explore_par_observed, explore_tradeoff, explore_tradeoff_par,
+    explore_with_options, ilp_heuristic_search, load_checkpoint_file, load_recovering,
+    parse_fault_suite, robust_milp_search, simulated_annealing, simulated_annealing_restarts,
+    supervision_spec, warmup_events_floor, AppProfile, CancelToken, ChaosPolicy,
+    CheckpointLoadError, CheckpointRecovery, DesignPoint, DesignSpace, EvalError, Evaluation,
+    Evaluator, ExecContext, ExhaustiveOutcome, ExplorationOutcome, ExploreCheckpoint, ExploreError,
+    ExploreOptions, FaultSuite, FnEvaluator, LinkDeviation, MacChoice, MilpEncoding, Placement,
     PointEvaluator, Problem, RetryPolicy, RobustEvaluation, RobustEvaluator, RobustMode,
-    RouteChoice, SaOutcome, SaParams, SharedSimEvaluator, SimEvaluator, SimProtocol, StopReason,
-    SuiteParseError, SupervisedEvaluator, Supervisor, TopologyConstraints, TradeoffPoint,
+    RobustOutcome, RobustnessSpec, RouteChoice, SaOutcome, SaParams, SharedSimEvaluator,
+    SimEvaluator, SimProtocol, StopReason, SuiteParseError, SupervisedEvaluator, Supervisor,
+    TopologyConstraints, TradeoffPoint, DEVIATION_CAP_DB, ENGINE_ALGORITHM1, ENGINE_ILP_HEURISTIC,
+    ENGINE_ROBUST_MILP,
 };

@@ -46,6 +46,11 @@
 //!   non-positive/non-finite or range-swallowing epsilons that collapse
 //!   the front (HL046) — and [`lint_front_query`] flags a `FRONT` wire
 //!   query issued before any job completed (HL047).
+//! * [`lint_robustness`] validates Γ-robust engine specifications before
+//!   the dualization prices them: a non-positive or link-count-exceeding
+//!   budget and NaN/negative/zero-width deviation bounds (HL048), and a
+//!   robust engine pointed at an empty fault suite, which silently
+//!   degenerates to the nominal engine (HL049).
 //!
 //! Every [`Finding`] carries a stable [`RuleId`], a [`Severity`], and a
 //! [`Span`] naming the offending variable, row, event or dimension. The
@@ -85,6 +90,7 @@ mod metrics;
 mod model;
 mod propagate;
 mod report;
+mod robustness;
 mod rules;
 mod schedule;
 mod serve;
@@ -98,6 +104,7 @@ pub use metrics::{lint_metrics, MetricDefSpec};
 pub use model::{LintModel, LintRow, LintVar, RowSense};
 pub use propagate::{propagate, Propagation};
 pub use report::{Finding, Report, RuleId, Severity, Span};
+pub use robustness::{lint_robustness, RobustnessLintSpec};
 pub use rules::analyze;
 pub use schedule::lint_schedule;
 pub use serve::{

@@ -141,6 +141,18 @@ pub enum RuleId {
     /// archive only fills as jobs run, so the answer is an empty front —
     /// legal, but almost certainly not what the client meant to ask.
     FrontBeforeJobs,
+    /// A Γ-robustness specification is broken: a budget of zero (the
+    /// robust counterpart degenerates to the nominal model while *looking*
+    /// robust), a budget exceeding the number of protected links (the
+    /// adversary can already push every link at once — extra budget is a
+    /// configuration error), or a NaN / negative / zero-width deviation
+    /// bound (the dualization would price garbage into the objective).
+    RobustnessMisconfigured,
+    /// A robust engine (`robust-milp` / `ilp-heuristic`) was requested
+    /// with an empty fault suite: no scenarios means no deviation bounds,
+    /// so the run silently degenerates to the nominal engine — legal, but
+    /// the "robust" in the invocation buys nothing.
+    RobustDegenerate,
 }
 
 impl RuleId {
@@ -179,6 +191,8 @@ impl RuleId {
             RuleId::ClientRetryMisconfigured => "HL045",
             RuleId::ArchiveMisconfigured => "HL046",
             RuleId::FrontBeforeJobs => "HL047",
+            RuleId::RobustnessMisconfigured => "HL048",
+            RuleId::RobustDegenerate => "HL049",
         }
     }
 
@@ -199,7 +213,8 @@ impl RuleId {
             | RuleId::ServeMisconfigured
             | RuleId::CachePersistMisconfigured
             | RuleId::ClientRetryMisconfigured
-            | RuleId::ArchiveMisconfigured => Severity::Error,
+            | RuleId::ArchiveMisconfigured
+            | RuleId::RobustnessMisconfigured => Severity::Error,
             RuleId::EmptyRow
             | RuleId::UnusedVariable
             | RuleId::DuplicateRow
@@ -213,7 +228,8 @@ impl RuleId {
             | RuleId::DuplicateMetric
             | RuleId::ChaosInRelease
             | RuleId::ExecMisconfigured
-            | RuleId::FrontBeforeJobs => Severity::Warning,
+            | RuleId::FrontBeforeJobs
+            | RuleId::RobustDegenerate => Severity::Warning,
             RuleId::RedundantRow | RuleId::DegenerateDimension | RuleId::SpaceExplosion => {
                 Severity::Info
             }
@@ -471,6 +487,8 @@ mod tests {
             RuleId::ClientRetryMisconfigured,
             RuleId::ArchiveMisconfigured,
             RuleId::FrontBeforeJobs,
+            RuleId::RobustnessMisconfigured,
+            RuleId::RobustDegenerate,
         ];
         let mut codes: Vec<_> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

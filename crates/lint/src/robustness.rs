@@ -1,0 +1,171 @@
+//! Static validation of Γ-robustness specifications.
+//!
+//! The robust engines in `hi-core` are deliberately permissive at run
+//! time: a zero budget or an empty deviation set silently degenerates to
+//! the nominal engine, and the dualization happily prices whatever bound
+//! it is handed. This pass is where a broken or pointless specification
+//! gets *explained* before a run spends its budget discovering it:
+//!
+//! * **HL048** — a misconfigured specification (error): Γ ≤ 0 requested
+//!   on a robust engine (the robust counterpart degenerates to nominal
+//!   while looking robust), Γ above the number of protected links (the
+//!   adversary can already push every link — the surplus budget is a
+//!   typo, not a knob), or a NaN / negative / zero-width deviation bound
+//!   (the dualization would price garbage into the objective);
+//! * **HL049** — a robust engine with an *empty fault suite* (warning):
+//!   no scenarios means no deviation bounds, so the run degenerates to
+//!   the nominal engine and the "robust" in the invocation buys nothing.
+//!
+//! Like the rest of the crate this module is dependency-free: callers
+//! lower their specification into a [`RobustnessLintSpec`].
+
+use crate::report::{Finding, Report, RuleId, Span};
+
+/// One Γ-robustness configuration, lowered to plain numbers for
+/// analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessLintSpec {
+    /// The requested deviation budget Γ (signed so a negative CLI value
+    /// can be reported instead of silently wrapping).
+    pub gamma: i64,
+    /// Protected links — pairs with a positive deviation bound.
+    pub protected_links: usize,
+    /// The raw per-link deviation bounds (dB) as derived or supplied.
+    pub deviation_bounds: Vec<f64>,
+    /// Whether a robust engine (`robust-milp` / `ilp-heuristic`) was
+    /// requested. HL048/HL049 only concern robust runs.
+    pub robust_engine: bool,
+    /// Scenarios in the fault suite backing the derivation.
+    pub suite_scenarios: usize,
+}
+
+/// Lints a Γ-robustness specification (see the module docs for the
+/// rules).
+pub fn lint_robustness(spec: &RobustnessLintSpec) -> Report {
+    let mut report = Report::new();
+    if !spec.robust_engine {
+        return report;
+    }
+    if spec.gamma <= 0 {
+        report.push(Finding::new(
+            RuleId::RobustnessMisconfigured,
+            Span::Model,
+            format!(
+                "robust engine with gamma = {} — the Γ-robust counterpart \
+                 degenerates to the nominal model while looking robust \
+                 (use the nominal engine, or gamma >= 1)",
+                spec.gamma
+            ),
+        ));
+    } else if spec.protected_links > 0 && spec.gamma > spec.protected_links as i64 {
+        report.push(Finding::new(
+            RuleId::RobustnessMisconfigured,
+            Span::Model,
+            format!(
+                "gamma = {} exceeds the {} protected links — the adversary \
+                 can already push every link at once, so the surplus budget \
+                 is a configuration error",
+                spec.gamma, spec.protected_links
+            ),
+        ));
+    }
+    for (i, &bound) in spec.deviation_bounds.iter().enumerate() {
+        if !bound.is_finite() || bound <= 0.0 {
+            report.push(Finding::new(
+                RuleId::RobustnessMisconfigured,
+                Span::Model,
+                format!(
+                    "deviation bound #{i} is {bound} dB — bounds must be \
+                     finite and strictly positive for the dualization to \
+                     price them"
+                ),
+            ));
+        }
+    }
+    if spec.suite_scenarios == 0 {
+        report.push(Finding::new(
+            RuleId::RobustDegenerate,
+            Span::Model,
+            "robust engine with an empty fault suite — no scenarios means \
+             no deviation bounds, so the run degenerates to the nominal \
+             engine",
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> RobustnessLintSpec {
+        RobustnessLintSpec {
+            gamma: 2,
+            protected_links: 45,
+            deviation_bounds: vec![9.0, 40.0],
+            robust_engine: true,
+            suite_scenarios: 3,
+        }
+    }
+
+    #[test]
+    fn a_sane_spec_is_clean() {
+        assert!(lint_robustness(&clean()).is_clean());
+        // Γ at exactly the protected-link count is legal (full budget).
+        let spec = RobustnessLintSpec {
+            gamma: 45,
+            ..clean()
+        };
+        assert!(lint_robustness(&spec).is_clean());
+    }
+
+    #[test]
+    fn nominal_engines_are_never_flagged() {
+        // Whatever the numbers say, HL048/HL049 only concern robust runs.
+        let spec = RobustnessLintSpec {
+            robust_engine: false,
+            gamma: -3,
+            deviation_bounds: vec![f64::NAN],
+            suite_scenarios: 0,
+            ..clean()
+        };
+        assert!(lint_robustness(&spec).is_clean());
+    }
+
+    #[test]
+    fn hl048_fires_on_each_misconfiguration() {
+        for gamma in [0, -1] {
+            let report = lint_robustness(&RobustnessLintSpec { gamma, ..clean() });
+            assert!(report.has_rule(RuleId::RobustnessMisconfigured), "{report}");
+            assert!(report.has_errors());
+        }
+        let report = lint_robustness(&RobustnessLintSpec {
+            gamma: 46,
+            ..clean()
+        });
+        assert!(report.has_rule(RuleId::RobustnessMisconfigured), "{report}");
+        for bad in [f64::NAN, -1.0, 0.0, f64::INFINITY] {
+            let report = lint_robustness(&RobustnessLintSpec {
+                deviation_bounds: vec![9.0, bad],
+                ..clean()
+            });
+            assert!(
+                report.has_rule(RuleId::RobustnessMisconfigured),
+                "bound {bad} must be flagged"
+            );
+            assert!(report.has_errors());
+        }
+    }
+
+    #[test]
+    fn hl049_warns_on_an_empty_suite() {
+        let report = lint_robustness(&RobustnessLintSpec {
+            suite_scenarios: 0,
+            protected_links: 0,
+            deviation_bounds: vec![],
+            ..clean()
+        });
+        assert!(report.has_rule(RuleId::RobustDegenerate), "{report}");
+        assert!(!report.has_errors(), "HL049 is a warning");
+    }
+}

@@ -21,9 +21,10 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use hi_core::{
-    exhaustive_search_par, explore_par_observed, DesignPoint, EvalError, Evaluation, ExecContext,
-    ExploreCheckpoint, ExploreOptions, PointEvaluator, RetryPolicy, RobustEvaluator,
-    SharedSimEvaluator, StopReason, SupervisedEvaluator, Supervisor,
+    exhaustive_search_par, explore_par_observed, ilp_heuristic_search, robust_milp_search,
+    DesignPoint, EvalError, Evaluation, ExecContext, ExploreCheckpoint, ExploreOptions,
+    PointEvaluator, RetryPolicy, RobustEvaluator, RobustnessSpec, SharedSimEvaluator, StopReason,
+    SupervisedEvaluator, Supervisor,
 };
 
 use crate::profile::{EngineChoice, UserProfile};
@@ -291,6 +292,54 @@ pub fn run_profile(
                 simulations: out.simulations,
                 eval_errors: 0,
                 stop_reason: None,
+                cache_hits: 0,
+                cache_misses: 0,
+            }
+        }
+        EngineChoice::RobustMilp | EngineChoice::IlpHeuristic => {
+            // Deviation bounds come from the stream's fault suite; a
+            // nominal stream (no `faults` line) yields a degenerate spec,
+            // so the engine delegates to Algorithm 1 bit for bit.
+            let gamma = profile.gamma.unwrap_or(1);
+            let spec = match evaluator {
+                FleetEvaluator::Robust(e) => RobustnessSpec::from_suite(e.suite(), gamma),
+                FleetEvaluator::Nominal(_) => RobustnessSpec {
+                    gamma,
+                    deviations: Vec::new(),
+                },
+            };
+            let options = ExploreOptions {
+                checkpoint_every: policy.checkpoint_every,
+                ..ExploreOptions::default()
+            };
+            let out = match profile.engine {
+                EngineChoice::RobustMilp => robust_milp_search(
+                    &problem,
+                    &spec,
+                    &supervised,
+                    options,
+                    exec,
+                    resume,
+                    observer,
+                ),
+                _ => ilp_heuristic_search(
+                    &problem,
+                    &spec,
+                    &supervised,
+                    options,
+                    exec,
+                    resume,
+                    observer,
+                ),
+            }
+            .map_err(|e| e.to_string())?;
+            ProfileOutcome {
+                best: out.outcome.best,
+                iterations: out.outcome.iterations,
+                candidates: out.outcome.candidates_proposed,
+                simulations: out.outcome.simulations,
+                eval_errors: out.outcome.eval_errors,
+                stop_reason: Some(out.outcome.stop_reason),
                 cache_hits: 0,
                 cache_misses: 0,
             }

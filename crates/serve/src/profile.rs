@@ -15,7 +15,8 @@
 //! channel 3.5                # uniform channel-matrix shift, dB
 //! traffic 25 64              # packets/second [packet bytes]
 //! pdrmin 0.9                 # reliability floor in [0, 1]
-//! engine algorithm1          # algorithm1 | exhaustive
+//! engine algorithm1          # algorithm1 | exhaustive | robust-milp | ilp-heuristic
+//! gamma 2                    # Γ budget (robust engines only)
 //! tsim 60                    # per-replication simulated seconds
 //! runs 3                     # replications averaged per evaluation
 //! seed 7                     # master seed
@@ -52,6 +53,10 @@ pub enum EngineChoice {
     Algorithm1,
     /// Exhaustive sweep of the whole feasible space.
     Exhaustive,
+    /// The Γ-robust MILP counterpart (robustness in the formulation).
+    RobustMilp,
+    /// The ILP restriction-and-repair heuristic over the robust model.
+    IlpHeuristic,
 }
 
 impl EngineChoice {
@@ -60,15 +65,25 @@ impl EngineChoice {
         match self {
             EngineChoice::Algorithm1 => "algorithm1",
             EngineChoice::Exhaustive => "exhaustive",
+            EngineChoice::RobustMilp => "robust-milp",
+            EngineChoice::IlpHeuristic => "ilp-heuristic",
         }
+    }
+
+    /// Whether this engine consumes a Γ-robustness budget (`gamma`).
+    pub fn is_robust(self) -> bool {
+        matches!(self, EngineChoice::RobustMilp | EngineChoice::IlpHeuristic)
     }
 
     fn parse(s: &str) -> Result<Self, String> {
         match s {
             "algorithm1" => Ok(EngineChoice::Algorithm1),
             "exhaustive" => Ok(EngineChoice::Exhaustive),
+            "robust-milp" => Ok(EngineChoice::RobustMilp),
+            "ilp-heuristic" => Ok(EngineChoice::IlpHeuristic),
             other => Err(format!(
-                "unknown engine `{other}` (expected `algorithm1` or `exhaustive`)"
+                "unknown engine `{other}` (expected `algorithm1`, `exhaustive`, \
+                 `robust-milp` or `ilp-heuristic`)"
             )),
         }
     }
@@ -107,6 +122,11 @@ pub struct UserProfile {
     pub pdr_min: f64,
     /// Which search engine runs the job.
     pub engine: EngineChoice,
+    /// The Γ-robustness budget. Only legal with a robust engine
+    /// (`robust-milp` / `ilp-heuristic`); the parser rejects it
+    /// elsewhere. `None` on a robust engine means the engine default
+    /// (Γ = 1).
+    pub gamma: Option<u32>,
     /// Per-replication simulated duration, seconds.
     pub t_sim_secs: f64,
     /// Replications averaged per evaluation.
@@ -130,6 +150,7 @@ impl UserProfile {
             packet_len_bytes: 100,
             pdr_min: 0.9,
             engine: EngineChoice::Algorithm1,
+            gamma: None,
             t_sim_secs: 60.0,
             runs: 3,
             seed: 0xDAC_2017,
@@ -172,9 +193,9 @@ impl UserProfile {
     /// determine simulation results — the lowered channel, the protocol
     /// (duration, replications, seed), the traffic, and the fault suite's
     /// *content* and aggregation mode. Deliberately excluded: the profile
-    /// id, `pdr_min` and `engine`, which steer the *search* but not any
-    /// per-point evaluation — so two users who differ only there share
-    /// every simulation through the fleet cache.
+    /// id, `pdr_min`, `engine` and `gamma`, which steer the *search* but
+    /// not any per-point evaluation — so two users who differ only there
+    /// share every simulation through the fleet cache.
     pub fn eval_fingerprint(&self, suite_text: Option<&str>) -> u64 {
         let protocol = self.protocol();
         let mut h = Fnv::new();
@@ -231,6 +252,9 @@ impl UserProfile {
         ));
         out.push_str(&format!("pdrmin {}\n", self.pdr_min));
         out.push_str(&format!("engine {}\n", self.engine));
+        if let Some(gamma) = self.gamma {
+            out.push_str(&format!("gamma {gamma}\n"));
+        }
         out.push_str(&format!("tsim {}\n", self.t_sim_secs));
         out.push_str(&format!("runs {}\n", self.runs));
         out.push_str(&format!("seed {}\n", self.seed));
@@ -333,6 +357,10 @@ fn no_trailing(fields: &mut SplitWhitespace<'_>) -> Result<(), String> {
 /// [`ProfileParseError`] with a 1-based line number — never a panic.
 pub fn parse_profiles(text: &str) -> Result<Vec<UserProfile>, ProfileParseError> {
     let mut profiles: Vec<UserProfile> = Vec::new();
+    // `gamma` may legally precede the block's `engine` line, so the
+    // gamma-requires-a-robust-engine check runs after the whole file is
+    // read; this records where to point the error.
+    let mut gamma_lines: Vec<usize> = Vec::new();
     for (index, raw) in text.lines().enumerate() {
         let err = |message: String| ProfileParseError::Line {
             line: index + 1,
@@ -349,6 +377,7 @@ pub fn parse_profiles(text: &str) -> Result<Vec<UserProfile>, ProfileParseError>
             // an *empty* id is representable and HL042's problem).
             let id = line["profile".len()..].trim().to_string();
             profiles.push(UserProfile::named(id));
+            gamma_lines.push(0);
             continue;
         }
         let current = profiles
@@ -382,6 +411,16 @@ pub fn parse_profiles(text: &str) -> Result<Vec<UserProfile>, ProfileParseError>
             "engine" => {
                 let raw = field(&mut fields, "engine name").map_err(&err)?;
                 current.engine = EngineChoice::parse(raw).map_err(&err)?;
+            }
+            "gamma" => {
+                let raw = field(&mut fields, "gamma budget").map_err(&err)?;
+                let gamma: u32 = raw.parse().map_err(|_| {
+                    err(format!(
+                        "bad gamma budget `{raw}` (expected a non-negative integer)"
+                    ))
+                })?;
+                current.gamma = Some(gamma);
+                *gamma_lines.last_mut().expect("current profile exists") = index + 1;
             }
             "tsim" => {
                 let secs = finite_field(&mut fields, "simulated duration (s)").map_err(&err)?;
@@ -439,6 +478,18 @@ pub fn parse_profiles(text: &str) -> Result<Vec<UserProfile>, ProfileParseError>
     }
     if profiles.is_empty() {
         return Err(ProfileParseError::NoProfile);
+    }
+    for (profile, &line) in profiles.iter().zip(&gamma_lines) {
+        if profile.gamma.is_some() && !profile.engine.is_robust() {
+            return Err(ProfileParseError::Line {
+                line,
+                message: format!(
+                    "`gamma` requires a robust engine (`robust-milp` or \
+                     `ilp-heuristic`), but the profile uses `{}`",
+                    profile.engine
+                ),
+            });
+        }
     }
     Ok(profiles)
 }
@@ -502,6 +553,57 @@ mod tests {
         });
         let reparsed = parse_profiles(&robust.to_text()).unwrap();
         assert_eq!(reparsed, vec![robust]);
+        // A Γ-robust profile round-trips through its `gamma` line too.
+        let mut gamma = UserProfile::named("frank");
+        gamma.engine = EngineChoice::RobustMilp;
+        gamma.gamma = Some(3);
+        gamma.faults = Some(FaultsRef {
+            path: "scenarios/demo.suite".into(),
+            mode: RobustMode::WorstCase,
+        });
+        assert!(gamma.to_text().contains("gamma 3\n"), "{}", gamma.to_text());
+        let reparsed = parse_profiles(&gamma.to_text()).unwrap();
+        assert_eq!(reparsed, vec![gamma]);
+    }
+
+    #[test]
+    fn robust_engines_parse_and_carry_gamma() {
+        let fleet = parse_profiles(
+            "profile a\nengine robust-milp\ngamma 2\n\
+             profile b\nengine ilp-heuristic\n",
+        )
+        .unwrap();
+        assert_eq!(fleet[0].engine, EngineChoice::RobustMilp);
+        assert_eq!(fleet[0].gamma, Some(2));
+        assert_eq!(fleet[1].engine, EngineChoice::IlpHeuristic);
+        assert_eq!(fleet[1].gamma, None, "gamma defaults to the engine's");
+        assert!(EngineChoice::RobustMilp.is_robust());
+        assert!(!EngineChoice::Exhaustive.is_robust());
+    }
+
+    #[test]
+    fn gamma_without_a_robust_engine_is_rejected() {
+        // ...even when `gamma` precedes the `engine` line, and the error
+        // points at the `gamma` line.
+        let err = parse_profiles("profile a\ngamma 2\nengine algorithm1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ProfileParseError::Line {
+                line: 2,
+                message: "`gamma` requires a robust engine (`robust-milp` or \
+                          `ilp-heuristic`), but the profile uses `algorithm1`"
+                    .into()
+            }
+        );
+        let err = parse_profiles("profile a\nengine exhaustive\ngamma 1\n").unwrap_err();
+        assert!(
+            matches!(err, ProfileParseError::Line { line: 3, .. }),
+            "{err}"
+        );
+        // The default engine is algorithm1, so a bare gamma bounces too.
+        assert!(parse_profiles("profile a\ngamma 1\n").is_err());
+        assert!(parse_profiles("profile a\nengine robust-milp\ngamma -1\n").is_err());
+        assert!(parse_profiles("profile a\nengine robust-milp\ngamma two\n").is_err());
     }
 
     #[test]
@@ -529,6 +631,14 @@ mod tests {
             base.eval_fingerprint(None),
             floor.eval_fingerprint(None),
             "id/floor/engine must not split the cache"
+        );
+        let mut robust = UserProfile::named("c");
+        robust.engine = EngineChoice::RobustMilp;
+        robust.gamma = Some(3);
+        assert_eq!(
+            base.eval_fingerprint(None),
+            robust.eval_fingerprint(None),
+            "gamma steers the search, not the simulations"
         );
         let mut tall = base.clone();
         tall.geometry_scale = 1.2;

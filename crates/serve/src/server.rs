@@ -796,7 +796,11 @@ impl Server {
             }
         }
         let ck_path = checkpoint_path(&self.config.state_dir, id);
-        let resume = if profile.engine == EngineChoice::Algorithm1 && ck_path.exists() {
+        // Every checkpoint-capable engine resumes; the checkpoint header
+        // records which engine wrote it, and the engines refuse a
+        // mismatched file instead of silently continuing.
+        let resumes = profile.engine != EngineChoice::Exhaustive;
+        let resume = if resumes && ck_path.exists() {
             match load_recovering(&ck_path) {
                 Ok(recovery) => {
                     if let Some(note) = &recovery.fallback {
